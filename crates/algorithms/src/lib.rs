@@ -1,0 +1,138 @@
+//! # isl-algorithms — the built-in iterative stencil loop library
+//!
+//! The paper's evaluation centres on two case studies — the **iterative
+//! Gaussian filter** (IGF, Section 4.1) and the **Chambolle** total-variation
+//! algorithm (Section 4.2) — and motivates the ISL class with convolution,
+//! Jacobi-style solvers and multimedia kernels (Section 2). This crate ships
+//! each of them in two *independent* forms:
+//!
+//! 1. a C-subset **kernel source** (what a user of the flow would write),
+//!    compiled through the real frontend + symbolic executor;
+//! 2. a hand-written **native Rust step** over [`isl_sim::FrameSet`].
+//!
+//! The pair gives the test suite a powerful cross-check: the pattern the
+//! symbolic executor extracts from (1) must behave exactly like (2) on random
+//! frames — any disagreement exposes a bug in the frontend, the executor or
+//! the hand-written reference.
+//!
+//! ```
+//! use isl_algorithms::gaussian_igf;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let algo = gaussian_igf();
+//! let (pattern, info) = algo.compile()?;
+//! assert_eq!(pattern.radius(), 1);
+//! assert_eq!(info.iterations, Some(algo.default_iterations));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chambolle;
+pub mod gaussian;
+pub mod heat;
+pub mod jacobi;
+pub mod life;
+pub mod sobel;
+
+pub use chambolle::chambolle;
+pub use gaussian::gaussian_igf;
+pub use heat::heat_diffusion;
+pub use jacobi::jacobi4;
+pub use life::game_of_life;
+pub use sobel::gradient_magnitude;
+
+// `pub use` of the constructor functions above shadows nothing: the modules
+// stay reachable (e.g. `chambolle::recover_image`).
+
+use isl_frontend::KernelInfo;
+use isl_sim::{BorderMode, FrameSet};
+use isl_symexec::{compile_str, SymExecError};
+
+/// A hand-written reference step: one ISL iteration over a frame set.
+pub type NativeStep = fn(&FrameSet, BorderMode, &[f64]) -> FrameSet;
+
+/// One built-in ISL algorithm.
+#[derive(Debug, Clone)]
+pub struct Algorithm {
+    /// Short name (used in reports and file names).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Kernel in the C subset accepted by `isl-frontend`.
+    pub source: &'static str,
+    /// Iteration count used by the paper / typical deployments.
+    pub default_iterations: u32,
+    /// Parameter `(name, default)` pairs, in kernel declaration order.
+    pub params: &'static [(&'static str, f64)],
+    /// Independent native reference implementation of one iteration.
+    pub native_step: Option<NativeStep>,
+}
+
+impl Algorithm {
+    /// Parse, analyse and symbolically execute the kernel source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SymExecError`] (which never fires for the built-in
+    /// sources — the test suite compiles each one).
+    pub fn compile(&self) -> Result<(isl_ir::StencilPattern, KernelInfo), SymExecError> {
+        compile_str(self.source)
+    }
+
+    /// Default parameter values, in declaration order.
+    pub fn default_params(&self) -> Vec<f64> {
+        self.params.iter().map(|(_, v)| *v).collect()
+    }
+}
+
+/// Every built-in algorithm, in a stable order.
+pub fn all() -> Vec<Algorithm> {
+    vec![
+        gaussian_igf(),
+        chambolle(),
+        jacobi4(),
+        heat_diffusion(),
+        game_of_life(),
+        gradient_magnitude(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_compiles() {
+        for algo in all() {
+            let (pattern, info) = algo
+                .compile()
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name));
+            assert!(pattern.radius() >= 1, "{}", algo.name);
+            assert_eq!(info.iterations, Some(algo.default_iterations), "{}", algo.name);
+            assert_eq!(pattern.params().len(), algo.params.len(), "{}", algo.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = all().iter().map(|a| a.name).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+    }
+
+    #[test]
+    fn param_defaults_match_pragmas() {
+        for algo in all() {
+            let (pattern, _) = algo.compile().unwrap();
+            for (i, (name, default)) in algo.params.iter().enumerate() {
+                assert_eq!(pattern.params()[i].name, *name, "{}", algo.name);
+                assert_eq!(pattern.params()[i].default, *default, "{}", algo.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! A cost model of generic commercial HLS tools on ISL kernels.
+//!
+//! Section 4.3 evaluates Vivado HLS and Synphony C on the case studies. The
+//! tools "perform a set of predefined and general purpose array and loop
+//! optimizations" — unrolling, merging, flattening, pipelining, array
+//! partitioning — but, blind to the ISL structure, they (a) keep the
+//! frame-at-a-time schedule, (b) reject loop merging because of the data
+//! dependencies between subsequent iterations, and (c) blow up when
+//! pipelining is combined with flattening ("an out-of-memory exception is
+//! generated even on a powerful Intel i7 with 16 GB of RAM"). The best
+//! implementation the paper's authors obtained ran at **0.14 fps** on a
+//! 1024×768 IGF.
+//!
+//! This model reproduces those behaviours mechanically: a finite
+//! configuration grid, two hard failure rules, and a throughput model whose
+//! parallelism is limited by memory ports and whose element schedule is a
+//! serial state machine unless pipelining applies.
+
+use std::error::Error;
+use std::fmt;
+
+use isl_estimate::Workload;
+use isl_fpga::{techmap, Device, FixedFormat};
+use isl_ir::{Cone, StencilPattern, Window};
+
+/// One configuration of the generic HLS tool's knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HlsConfig {
+    /// Inner-loop unroll factor.
+    pub unroll: u32,
+    /// Cyclic array-partitioning factor.
+    pub partition: u32,
+    /// Loop pipelining.
+    pub pipeline: bool,
+    /// Loop flattening (collapse the spatial nest).
+    pub flatten: bool,
+    /// Loop merging (fuse the time loop with the spatial nest).
+    pub merge: bool,
+}
+
+impl fmt::Display for HlsConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unroll={} partition={} pipeline={} flatten={} merge={}",
+            self.unroll, self.partition, self.pipeline, self.flatten, self.merge
+        )
+    }
+}
+
+/// Hard failures of the tool on ISL inputs (Section 4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsFailure {
+    /// "When loop merging is enabled, a solution cannot be found because of
+    /// the data dependencies between subsequent iterations."
+    DataDependency,
+    /// "When pipelining and loop flattening are employed, the execution
+    /// cannot be completed because of memory shortage."
+    OutOfMemory {
+        /// Modeled tool memory demand, GB.
+        required_gb: f64,
+        /// The modeled workstation limit, GB.
+        limit_gb: f64,
+    },
+}
+
+impl fmt::Display for HlsFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsFailure::DataDependency => write!(
+                f,
+                "loop merge rejected: data dependencies between subsequent iterations"
+            ),
+            HlsFailure::OutOfMemory { required_gb, limit_gb } => write!(
+                f,
+                "tool out of memory: needs {required_gb:.1} GB, host has {limit_gb:.0} GB"
+            ),
+        }
+    }
+}
+
+impl Error for HlsFailure {}
+
+/// Result of a successful tool run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsOutcome {
+    /// Configuration used.
+    pub config: HlsConfig,
+    /// Frames per second.
+    pub fps: f64,
+    /// Time per frame, seconds.
+    pub time_per_frame_s: f64,
+    /// Average cycles per element update.
+    pub cycles_per_element: f64,
+}
+
+/// The generic-HLS cost model for one device.
+#[derive(Debug, Clone)]
+pub struct CommercialHls<'d> {
+    device: &'d Device,
+    format: FixedFormat,
+    /// Modeled synthesis-workstation memory, GB (the paper's machine: 16).
+    pub host_memory_gb: f64,
+}
+
+impl<'d> CommercialHls<'d> {
+    /// Model with the paper's 16 GB workstation.
+    pub fn new(device: &'d Device) -> Self {
+        CommercialHls {
+            device,
+            format: FixedFormat::default(),
+            host_memory_gb: 16.0,
+        }
+    }
+
+    /// Run one configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`HlsFailure::DataDependency`] when `merge` is set on a multi-
+    /// iteration workload; [`HlsFailure::OutOfMemory`] when
+    /// `pipeline && flatten` on a realistically sized workload.
+    pub fn run(
+        &self,
+        pattern: &StencilPattern,
+        workload: Workload,
+        config: HlsConfig,
+    ) -> Result<HlsOutcome, HlsFailure> {
+        if config.merge && workload.iterations > 1 {
+            return Err(HlsFailure::DataDependency);
+        }
+        if config.pipeline && config.flatten {
+            // The tool unrolls the flattened pipelined nest symbolically;
+            // its internal representation grows with frame x iterations.
+            let required_gb = workload.frame_elements() as f64
+                * f64::from(workload.iterations)
+                * 3000.0
+                / 1e9;
+            if required_gb > self.host_memory_gb {
+                return Err(HlsFailure::OutOfMemory {
+                    required_gb,
+                    limit_gb: self.host_memory_gb,
+                });
+            }
+        }
+
+        // Element schedule. reads/elem and serial latency from the
+        // one-element, one-iteration dataflow.
+        let cone = Cone::build(pattern, Window::square(1), 1)
+            .expect("one-element cone of a valid pattern");
+        let reads = cone.inputs().len() as f64 + cone.static_inputs().len() as f64;
+        let serial_latency = f64::from(techmap::pipeline_latency(cone.graph(), self.format));
+
+        // Without pipelining, each element runs a serial state machine:
+        // every operation level costs fetch/execute/store states plus
+        // control overhead.
+        let state_overhead = 25.0;
+        let _ = reads;
+        let (base_cycles, parallel) = if config.pipeline {
+            // The tool cannot disambiguate the `in`/`out` frame pointers, so
+            // its conservative dependence analysis pins the initiation
+            // interval near the full operation latency, and it refuses to
+            // combine unrolling with the pipelined schedule.
+            (serial_latency * 4.0, 1.0)
+        } else {
+            // Unrolling is bounded by the memory ports of the (partitioned)
+            // array, and the replication efficiency decays sharply because
+            // the control and addressing logic stays serial.
+            (
+                serial_latency * state_overhead,
+                f64::from(config.unroll.min(2 * config.partition)).max(1.0),
+            )
+        };
+        let effective_speedup = 1.0 + (parallel - 1.0) * 0.1;
+        let cycles_per_element = (base_cycles / effective_speedup).max(0.5);
+
+        let fmax = self.device.fmax_cap_mhz * 1e6;
+        let elems = workload.frame_elements() as f64;
+        let iters = f64::from(workload.iterations);
+        let compute_s = elems * iters * cycles_per_element / fmax;
+
+        // Frame-at-a-time schedule: each iteration syncs the full frame
+        // through the memory interface the tool generates (far less
+        // efficient than a hand-tuned DMA engine).
+        let elem_bytes = f64::from(self.format.width.div_ceil(8));
+        let tool_interface_efficiency = 0.25;
+        let transfer_s = iters * 2.0 * elems * elem_bytes
+            / (self.device.offchip_bandwidth_mbs * 1e6 * tool_interface_efficiency);
+
+        let time = compute_s + transfer_s;
+        Ok(HlsOutcome {
+            config,
+            fps: 1.0 / time,
+            time_per_frame_s: time,
+            cycles_per_element,
+        })
+    }
+
+    /// Exhaustively try the tool's configuration grid; return the best
+    /// outcome plus every failed configuration.
+    pub fn explore(
+        &self,
+        pattern: &StencilPattern,
+        workload: Workload,
+    ) -> (Option<HlsOutcome>, Vec<(HlsConfig, HlsFailure)>, usize) {
+        let mut best: Option<HlsOutcome> = None;
+        let mut failures = Vec::new();
+        let mut evaluated = 0usize;
+        for &unroll in &[1u32, 2, 4, 8, 16] {
+            for &partition in &[1u32, 2, 4, 8] {
+                for &pipeline in &[false, true] {
+                    for &flatten in &[false, true] {
+                        for &merge in &[false, true] {
+                            let config = HlsConfig { unroll, partition, pipeline, flatten, merge };
+                            evaluated += 1;
+                            match self.run(pattern, workload, config) {
+                                Ok(out) => {
+                                    if best.as_ref().is_none_or(|b| out.fps > b.fps) {
+                                        best = Some(out);
+                                    }
+                                }
+                                Err(e) => failures.push((config, e)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (best, failures, evaluated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset};
+
+    fn igf_like() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("igf");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(-1, -1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, -1)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(1, -1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(-1, 0)), Expr::constant(2.0)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, 0)), Expr::constant(4.0)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(1, 0)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(-1, 1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, 1)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(1, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(16.0)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn merge_fails_on_isl() {
+        let dev = Device::virtex6_xc6vlx760();
+        let tool = CommercialHls::new(&dev);
+        let cfg = HlsConfig { unroll: 1, partition: 1, pipeline: false, flatten: false, merge: true };
+        let err = tool
+            .run(&igf_like(), Workload::image(1024, 768, 10), cfg)
+            .unwrap_err();
+        assert_eq!(err, HlsFailure::DataDependency);
+    }
+
+    #[test]
+    fn pipeline_flatten_oom_on_real_frames() {
+        let dev = Device::virtex6_xc6vlx760();
+        let tool = CommercialHls::new(&dev);
+        let cfg = HlsConfig { unroll: 1, partition: 1, pipeline: true, flatten: true, merge: false };
+        let err = tool
+            .run(&igf_like(), Workload::image(1024, 768, 10), cfg)
+            .unwrap_err();
+        assert!(matches!(err, HlsFailure::OutOfMemory { required_gb, .. } if required_gb > 16.0));
+        // Tiny toy frames still succeed, like the real tool.
+        tool.run(&igf_like(), Workload::image(32, 32, 2), cfg).unwrap();
+    }
+
+    #[test]
+    fn best_configuration_is_sub_fps() {
+        // The paper: "the best implementation found by the tool has a
+        // throughput of only 0.14 fps on a 1024x768 image".
+        let dev = Device::virtex6_xc6vlx760();
+        let tool = CommercialHls::new(&dev);
+        let (best, failures, evaluated) =
+            tool.explore(&igf_like(), Workload::image(1024, 768, 10));
+        let best = best.unwrap();
+        assert!(
+            best.fps > 0.03 && best.fps < 1.0,
+            "expected sub-fps best, got {:.3}",
+            best.fps
+        );
+        assert!(evaluated >= 160);
+        assert!(failures
+            .iter()
+            .any(|(_, e)| matches!(e, HlsFailure::DataDependency)));
+        assert!(failures
+            .iter()
+            .any(|(_, e)| matches!(e, HlsFailure::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn unrolling_helps_but_saturates() {
+        let dev = Device::virtex6_xc6vlx760();
+        let tool = CommercialHls::new(&dev);
+        let p = igf_like();
+        let w = Workload::image(256, 256, 10);
+        let run = |unroll, partition| {
+            tool.run(
+                &p,
+                w,
+                HlsConfig { unroll, partition, pipeline: false, flatten: false, merge: false },
+            )
+            .unwrap()
+            .fps
+        };
+        let f1 = run(1, 1);
+        let f4 = run(4, 4);
+        let f16 = run(16, 8);
+        assert!(f4 > f1);
+        assert!(f16 >= f4);
+        // Far from linear scaling.
+        assert!(f16 < 4.0 * f1);
+    }
+}

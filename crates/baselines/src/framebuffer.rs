@@ -1,0 +1,194 @@
+//! The two-frame-buffer baseline architecture.
+//!
+//! The "typical state-of-the-art approach" (Section 1, refs \[1\]\[2\]\[3\]): two
+//! buffers `A`/`B` and one-iteration transformation logic. The frame is
+//! loaded once; each iteration reads one buffer and writes the other. When
+//! both frames fit in on-chip memory, the iteration streams at one element
+//! per cycle; otherwise every iteration crosses the off-chip interface twice
+//! — "the performance is bound by the memory transfers" (Section 2.2).
+
+use isl_estimate::Workload;
+use isl_fpga::{techmap, Device, FixedFormat, Synthesizer};
+use isl_ir::{Cone, StencilPattern, Window};
+
+/// Performance and cost report of the frame-buffer architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameBufferReport {
+    /// Bytes of on-chip memory needed for the two ping-pong frames.
+    pub buffer_bytes_required: u64,
+    /// Whether both buffers fit the device's BRAM.
+    pub fits_on_chip: bool,
+    /// LUTs of the one-iteration transformation logic (all PEs).
+    pub logic_luts: u64,
+    /// Parallel streaming processing elements instantiated.
+    pub processing_elements: u32,
+    /// Frames per second.
+    pub fps: f64,
+    /// Time per frame, seconds.
+    pub time_per_frame_s: f64,
+    /// Compute portion, seconds.
+    pub compute_time_s: f64,
+    /// Off-chip transfer portion, seconds (zero in the on-chip regime apart
+    /// from the initial load and final store).
+    pub transfer_time_s: f64,
+    /// Whether transfers dominate.
+    pub transfer_bound: bool,
+}
+
+/// The two-frame-buffer architecture model.
+#[derive(Debug, Clone)]
+pub struct FrameBufferModel<'d> {
+    device: &'d Device,
+    format: FixedFormat,
+}
+
+impl<'d> FrameBufferModel<'d> {
+    /// Model on a device with the default fixed-point format.
+    pub fn new(device: &'d Device) -> Self {
+        FrameBufferModel {
+            device,
+            format: FixedFormat::default(),
+        }
+    }
+
+    /// Override the data format.
+    pub fn with_format(mut self, format: FixedFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Evaluate the architecture for `pattern` on `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the synthesis simulator's error when the one-iteration logic
+    /// cannot be constructed.
+    pub fn evaluate(
+        &self,
+        pattern: &StencilPattern,
+        workload: Workload,
+    ) -> Result<FrameBufferReport, isl_fpga::SynthError> {
+        let synth = Synthesizer::new(self.device);
+        // Transformation logic: a depth-1, one-element cone (the classic
+        // streaming processing element).
+        let report = synth.synthesize(pattern, Window::square(1), 1, 1)?;
+        let cone = Cone::build(pattern, Window::square(1), 1)
+            .map_err(|e| isl_fpga::SynthError::Cone(e.to_string()))?;
+        let latency = techmap::pipeline_latency(cone.graph(), self.format);
+
+        let n_fields = pattern.fields().len() as u64;
+        let elem_bytes = u64::from(self.format.width.div_ceil(8));
+        let frame_bytes = workload.frame_elements() * elem_bytes;
+        let buffers = 2 * frame_bytes * n_fields;
+        let fits = buffers <= self.device.bram_bytes();
+
+        // Streaming compute: each PE consumes one element per cycle once
+        // its line buffers fill; PEs split the frame into horizontal bands.
+        // The PE count is bounded by logic area and by a practical cap on
+        // parallel line-buffer banks.
+        const MAX_PES: u64 = 64;
+        let pes = (self.device.luts / report.luts.max(1)).clamp(1, MAX_PES) as u32;
+        let elems = workload.frame_elements() as f64;
+        let iters = f64::from(workload.iterations);
+        let fmax = report.fmax_mhz.min(self.device.fmax_cap_mhz) * 1e6;
+        let compute_time_s = (elems * iters / f64::from(pes) + f64::from(latency)) / fmax;
+
+        // Transfers: initial load + final store always; per-iteration
+        // round-trips when the buffers do not fit.
+        let bw = self.device.offchip_bandwidth_mbs * 1e6;
+        let endpoint_bytes = 2.0 * frame_bytes as f64 * n_fields as f64;
+        let transfer_time_s = if fits {
+            endpoint_bytes / bw
+        } else {
+            endpoint_bytes / bw + iters * 2.0 * frame_bytes as f64 * n_fields as f64 / bw
+        };
+
+        let time = compute_time_s.max(transfer_time_s);
+        Ok(FrameBufferReport {
+            buffer_bytes_required: buffers,
+            fits_on_chip: fits,
+            logic_luts: report.luts * u64::from(pes),
+            processing_elements: pes,
+            fps: 1.0 / time,
+            time_per_frame_s: time,
+            compute_time_s,
+            transfer_time_s,
+            transfer_bound: transfer_time_s > compute_time_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(4.0)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn small_frames_fit_large_frames_do_not() {
+        let dev = Device::small_multimedia(); // 540 kb BRAM ≈ 67 kB
+        let model = FrameBufferModel::new(&dev);
+        let p = blur();
+        let small = model.evaluate(&p, Workload::image(64, 64, 10)).unwrap();
+        assert!(small.fits_on_chip); // 2 x 12 kB buffers
+        let large = model.evaluate(&p, Workload::image(1024, 768, 10)).unwrap();
+        assert!(!large.fits_on_chip); // 2 x 2.3 MB buffers
+        assert!(large.transfer_bound);
+        assert!(large.fps < small.fps);
+    }
+
+    #[test]
+    fn memory_performance_conflict_quantified() {
+        // The Section 2.2 conflict on one device: per-element throughput
+        // collapses once the ping-pong buffers stop fitting on chip and
+        // every iteration round-trips the frame.
+        let p = blur();
+        let dev = Device::small_multimedia();
+        let model = FrameBufferModel::new(&dev);
+        let fits = model.evaluate(&p, Workload::image(96, 96, 10)).unwrap();
+        let spills = model.evaluate(&p, Workload::image(768, 768, 10)).unwrap();
+        assert!(fits.fits_on_chip);
+        assert!(!spills.fits_on_chip);
+        assert!(spills.transfer_bound);
+        // Elements per second, size-normalised.
+        let eps_fit = fits.fps * (96.0 * 96.0);
+        let eps_spill = spills.fps * (768.0 * 768.0);
+        assert!(
+            eps_fit > 1.5 * eps_spill,
+            "off-chip regime should cost per-element throughput: {eps_fit:.0} vs {eps_spill:.0}"
+        );
+    }
+
+    #[test]
+    fn buffer_requirement_scales_with_fields_and_frame() {
+        let dev = Device::virtex6_xc6vlx760();
+        let model = FrameBufferModel::new(&dev);
+        let p = blur();
+        let a = model.evaluate(&p, Workload::image(128, 128, 4)).unwrap();
+        let b = model.evaluate(&p, Workload::image(256, 256, 4)).unwrap();
+        assert_eq!(b.buffer_bytes_required, 4 * a.buffer_bytes_required);
+    }
+
+    #[test]
+    fn compute_time_scales_with_iterations() {
+        let dev = Device::virtex6_xc6vlx760();
+        let model = FrameBufferModel::new(&dev);
+        let p = blur();
+        let short = model.evaluate(&p, Workload::image(256, 256, 5)).unwrap();
+        let long = model.evaluate(&p, Workload::image(256, 256, 20)).unwrap();
+        assert!(long.compute_time_s > 3.5 * short.compute_time_s);
+    }
+}

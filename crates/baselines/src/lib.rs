@@ -1,0 +1,28 @@
+//! # isl-baselines — the architectures the paper compares against
+//!
+//! Three families of baselines appear in the paper's evaluation:
+//!
+//! * [`framebuffer`] — the state-of-the-art *two-frame-buffer* architecture
+//!   (Sections 2.1–2.2): ping-pong buffers `A` and `B` plus logic for one
+//!   iteration. Its defining flaw is the **memory/performance conflict**:
+//!   either the on-chip memory holds two whole frames (MBs — expensive), or
+//!   every iteration round-trips the frame over the off-chip interface;
+//! * [`commercial`] — a cost model of generic commercial HLS tools (Vivado
+//!   HLS / Synphony C, Section 4.3) applying their standard loop
+//!   optimisations to an ISL kernel, including the paper's observed failure
+//!   modes: loop merging rejected on inter-iteration dependencies and
+//!   pipeline+flatten exhausting the tool's host memory;
+//! * [`references`] — the published numbers of the manual implementations
+//!   the paper compares with (\[16\] Cope's convolution, \[19\] Akin's
+//!   Chambolle, and the sub-real-time optical-flow designs \[3\]\[22\]\[23\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commercial;
+pub mod framebuffer;
+pub mod references;
+
+pub use commercial::{CommercialHls, HlsConfig, HlsFailure, HlsOutcome};
+pub use framebuffer::{FrameBufferModel, FrameBufferReport};
+pub use references::{paper_results, published_references, ReferencePoint};

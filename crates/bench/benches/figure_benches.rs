@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the figure-regeneration experiments themselves —
+//! how long each paper experiment takes to reproduce with this library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use isl_bench::{area_validation, throughput_sweep};
+use isl_hls::algorithms::gaussian_igf;
+use isl_hls::prelude::*;
+
+fn bench_fig5(c: &mut Criterion) {
+    let device = Device::virtex6_xc6vlx760();
+    c.bench_function("figures/fig5_igf_area_grid_6x3", |b| {
+        b.iter(|| {
+            area_validation(
+                black_box(&gaussian_igf()),
+                &device,
+                &[1, 2, 3, 4, 5, 6],
+                &[1, 2, 3],
+            )
+            .expect("validates")
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let device = Device::virtex6_xc6vlx760();
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    let space = DesignSpace::paper();
+    c.bench_function("figures/fig6_igf_pareto_paper_space", |b| {
+        b.iter(|| {
+            flow.explore(&device, flow.workload(1024, 768), black_box(&space))
+                .expect("explores")
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let device = Device::virtex6_xc6vlx760();
+    c.bench_function("figures/fig7_igf_throughput_3x2", |b| {
+        b.iter(|| {
+            throughput_sweep(
+                black_box(&gaussian_igf()),
+                &device,
+                (1024, 768),
+                &[3, 5, 7],
+                &[1, 2],
+            )
+            .expect("sweeps")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

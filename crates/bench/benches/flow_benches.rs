@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the flow's own phases: dependency analysis,
+//! cone construction (register reuse), VHDL generation and Pareto
+//! exploration. These measure the *compiler*, not the modeled hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use isl_hls::algorithms::{all, chambolle, gaussian_igf};
+use isl_hls::prelude::*;
+
+fn bench_symbolic_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_execution");
+    for algo in all() {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name), &algo, |b, algo| {
+            b.iter(|| IslFlow::from_source(black_box(algo.source)).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cone_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cone_construction");
+    let igf = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    for depth in [1u32, 2, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("igf_w8", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| igf.build_cone(black_box(Window::square(8)), depth).expect("builds"))
+            },
+        );
+    }
+    let cham = IslFlow::from_algorithm(&chambolle()).expect("compiles");
+    for depth in [1u32, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("chambolle_w6", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| cham.build_cone(black_box(Window::square(6)), depth).expect("builds"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vhdl_generation(c: &mut Criterion) {
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    c.bench_function("vhdl_generation/igf_w4_d2", |b| {
+        b.iter(|| flow.generate_vhdl(black_box(Window::square(4)), 2).expect("generates"))
+    });
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    let device = Device::virtex6_xc6vlx760();
+    let space = DesignSpace::new(1..=6, 1..=3, 8);
+    c.bench_function("dse/igf_6x3x8_space", |b| {
+        b.iter(|| {
+            flow.explore(&device, flow.workload(1024, 768), black_box(&space))
+                .expect("explores")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_symbolic_execution,
+    bench_cone_construction,
+    bench_vhdl_generation,
+    bench_exploration
+);
+criterion_main!(benches);

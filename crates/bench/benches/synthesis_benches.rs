@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the synthesis-simulator substrate and the Eq. 1
+//! estimator — including the headline comparison: estimating an
+//! architecture's area vs "synthesising" it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use isl_hls::algorithms::gaussian_igf;
+use isl_hls::prelude::*;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let device = Device::virtex6_xc6vlx760();
+    let synth = Synthesizer::new(&device);
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    let pattern = flow.pattern().clone();
+
+    let mut group = c.benchmark_group("synthesis");
+    for (side, depth) in [(2u32, 1u32), (4, 2), (8, 2), (8, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("igf", format!("w{side}_d{depth}")),
+            &(side, depth),
+            |b, &(side, depth)| {
+                b.iter(|| {
+                    synth
+                        .synthesize(black_box(&pattern), Window::square(side), depth, 1)
+                        .expect("synthesises")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimation_vs_synthesis(c: &mut Criterion) {
+    let device = Device::virtex6_xc6vlx760();
+    let synth = Synthesizer::new(&device);
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    let pattern = flow.pattern().clone();
+    let estimator = AreaEstimator::calibrate(
+        &synth,
+        &pattern,
+        2,
+        &[Window::square(1), Window::square(2)],
+    )
+    .expect("calibrates");
+    let cone = flow.build_cone(Window::square(8), 2).expect("builds");
+    let registers = cone.registers() as u64;
+
+    let mut group = c.benchmark_group("area_of_w8_d2");
+    group.bench_function("eq1_estimate", |b| {
+        b.iter(|| estimator.estimate(black_box(registers)))
+    });
+    group.bench_function("full_synthesis", |b| {
+        b.iter(|| {
+            synth
+                .synthesize(black_box(&pattern), Window::square(8), 2, 1)
+                .expect("synthesises")
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let flow = IslFlow::from_algorithm(&gaussian_igf()).expect("compiles");
+    let sim = flow.simulator().expect("simulates");
+    let init = FrameSet::from_frames(vec![isl_hls::sim::synthetic::noise(64, 48, 3)])
+        .expect("frames");
+
+    let mut group = c.benchmark_group("simulation_64x48_4iters");
+    group.bench_function("golden", |b| {
+        b.iter(|| sim.run(black_box(&init), 4).expect("runs"))
+    });
+    group.bench_function("tiled_w4_d2", |b| {
+        b.iter(|| {
+            sim.run_tiled(black_box(&init), 4, Window::square(4), 2)
+                .expect("runs")
+        })
+    });
+    group.bench_function("cone_dag_w4_d2", |b| {
+        b.iter(|| {
+            sim.run_cone_dag(black_box(&init), 4, Window::square(4), 2)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_estimation_vs_synthesis,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 7 — IGF throughput vs output window area on a packed Virtex-6
+//! XC6VLX760, one curve per cone depth, 1024x768 frames, N = 10.
+//!
+//! Paper: depths that divide N = 10 (1, 2, 5) beat depths 3 and 4, which
+//! must allocate an additional remainder core; the best architectures reach
+//! ~110 fps; curves are non-monotone in the window size because smaller
+//! cones sometimes pack the device better.
+
+use isl_bench::{compare, rule, throughput_sweep};
+use isl_hls::algorithms::gaussian_igf;
+use isl_hls::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    rule("Figure 7: IGF throughput on Virtex-6 XC6VLX760, 1024x768");
+    let device = Device::virtex6_xc6vlx760();
+    let sides: Vec<u32> = (2..=9).collect();
+    let depths: Vec<u32> = (1..=5).collect();
+    let rows = throughput_sweep(&gaussian_igf(), &device, (1024, 768), &sides, &depths)?;
+
+    println!("win-area |     d=1      d=2      d=3      d=4      d=5   (fps, cores in parens)");
+    for &side in &sides {
+        let area = u64::from(side) * u64::from(side);
+        print!("{area:>8} |");
+        for &d in &depths {
+            let r = rows
+                .iter()
+                .find(|r| r.window_area == area && r.depth == d)
+                .expect("swept");
+            if r.feasible {
+                print!(" {:>5.1}({:>2})", r.fps, r.cores);
+            } else {
+                print!("   inf.   ");
+            }
+        }
+        println!();
+    }
+
+    let csv = isl_bench::write_csv(
+        "fig7_igf_throughput",
+        &["window_area", "depth", "fps", "cores", "feasible"],
+        rows.iter().map(|r| vec![
+            r.window_area.to_string(),
+            r.depth.to_string(),
+            format!("{:.2}", r.fps),
+            r.cores.to_string(),
+            r.feasible.to_string(),
+        ]),
+    )?;
+    println!("(csv written to {})", csv.display());
+
+    let best = rows
+        .iter()
+        .filter(|r| r.feasible)
+        .max_by(|a, b| a.fps.partial_cmp(&b.fps).expect("finite"))
+        .expect("feasible rows");
+    println!();
+    compare("best IGF throughput", 110.0, best.fps, "fps");
+
+    // The divisor effect, aggregated over the window sweep.
+    let avg = |d: u32| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.depth == d && r.feasible)
+            .map(|r| r.fps)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!("\n  mean fps per depth (divisors of 10 should lead):");
+    for d in 1..=5u32 {
+        let marker = if 10 % d == 0 { "divisor" } else { "       " };
+        println!("    depth {d} ({marker}): {:>6.1} fps", avg(d));
+    }
+    Ok(())
+}

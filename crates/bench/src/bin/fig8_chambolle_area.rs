@@ -1,0 +1,47 @@
+//! Figure 8 — Chambolle area estimation: actual vs Eq. 1 estimate.
+//!
+//! Paper: maximum estimation error 6.36 %, average 2.19 %.
+
+use isl_bench::{area_validation, compare, rule};
+use isl_hls::algorithms::chambolle;
+use isl_hls::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    rule("Figure 8: Chambolle area estimation (Virtex-6)");
+    let device = Device::virtex6_xc6vlx760();
+    let sides: Vec<u32> = (1..=9).collect();
+    let depths: Vec<u32> = (1..=5).collect();
+    let e = area_validation(&chambolle(), &device, &sides, &depths)?;
+
+    println!("depth  win-area  registers  actual-kLUT  est-kLUT  err-%  calib");
+    for r in &e.rows {
+        println!(
+            "{:>5}  {:>8}  {:>9}  {:>11.1}  {:>8.1}  {:>5.2}  {}",
+            r.depth,
+            r.window_area,
+            r.registers,
+            r.actual_kluts,
+            r.estimated_kluts,
+            r.error_pct,
+            if r.calibration { "*" } else { "" }
+        );
+    }
+    let csv = isl_bench::write_csv(
+        "fig8_chambolle_area",
+        &["depth", "window_area", "registers", "actual_kluts", "estimated_kluts", "error_pct", "calibration"],
+        e.rows.iter().map(|r| vec![
+            r.depth.to_string(),
+            r.window_area.to_string(),
+            r.registers.to_string(),
+            format!("{:.2}", r.actual_kluts),
+            format!("{:.2}", r.estimated_kluts),
+            format!("{:.3}", r.error_pct),
+            r.calibration.to_string(),
+        ]),
+    )?;
+    println!("(csv written to {})", csv.display());
+    println!();
+    compare("max estimation error", 6.36, e.max_error_pct, "%");
+    compare("avg estimation error", 2.19, e.avg_error_pct, "%");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Section 4.2 prose comparison — Chambolle vs the hand-made design \[19\]
+//! (Akin 2011, "designed by hand in several months of work"):
+//!
+//! * \[19\]: 38 fps at 1024x768, 99 fps at 512x512;
+//! * the paper's automatic flow: 24 fps at 1024x768, 72 fps at 512x512 —
+//!   "comparable results" for zero manual effort.
+
+use isl_bench::{best_fps, compare, rule};
+use isl_hls::algorithms::chambolle;
+use isl_hls::baselines::published_references;
+use isl_hls::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    rule("Table B (Sec. 4.2): Chambolle vs the hand design [19]");
+    for r in published_references()
+        .iter()
+        .filter(|r| r.citation.contains("[19]"))
+    {
+        println!(
+            "  literature: {} — {} at {}x{}: {} fps ({})",
+            r.citation, r.algorithm, r.resolution.0, r.resolution.1, r.fps, r.note
+        );
+    }
+    println!();
+
+    let device = Device::virtex6_xc6vlx760();
+    let sides: Vec<u32> = (2..=9).collect();
+    let depths: Vec<u32> = (1..=5).collect();
+
+    let (fps_big, arch_big) = best_fps(&chambolle(), &device, (1024, 768), &sides, &depths)?;
+    compare("flow, Chambolle 1024x768", 24.0, fps_big, "fps");
+    println!(
+        "    best architecture: window {}, depth {}, {} cores",
+        arch_big.window, arch_big.depth, arch_big.cores
+    );
+
+    let (fps_small, arch_small) = best_fps(&chambolle(), &device, (512, 512), &sides, &depths)?;
+    compare("flow, Chambolle 512x512", 72.0, fps_small, "fps");
+    println!(
+        "    best architecture: window {}, depth {}, {} cores",
+        arch_small.window, arch_small.depth, arch_small.cores
+    );
+
+    let manual = 38.0;
+    println!(
+        "\n  automatic/manual ratio at 1024x768: paper {:.2}, measured {:.2} (claim: comparable, i.e. within ~2x)",
+        24.0 / manual,
+        fps_big / manual
+    );
+    Ok(())
+}

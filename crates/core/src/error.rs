@@ -1,0 +1,72 @@
+//! The flow-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure along the HLS flow, tagged by phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Frontend / symbolic-execution failure (phase 1).
+    Analysis(String),
+    /// Cone construction failure (phase 2).
+    Cone(String),
+    /// Synthesis-simulator failure.
+    Synthesis(String),
+    /// Estimation failure (phase 3).
+    Estimation(String),
+    /// Design-space exploration failure (phase 4).
+    Exploration(String),
+    /// Functional-simulation failure.
+    Simulation(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Analysis(m) => write!(f, "dependency analysis failed: {m}"),
+            FlowError::Cone(m) => write!(f, "cone construction failed: {m}"),
+            FlowError::Synthesis(m) => write!(f, "synthesis failed: {m}"),
+            FlowError::Estimation(m) => write!(f, "estimation failed: {m}"),
+            FlowError::Exploration(m) => write!(f, "design-space exploration failed: {m}"),
+            FlowError::Simulation(m) => write!(f, "simulation failed: {m}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<isl_symexec::SymExecError> for FlowError {
+    fn from(e: isl_symexec::SymExecError) -> Self {
+        FlowError::Analysis(e.to_string())
+    }
+}
+
+impl From<isl_ir::ConeError> for FlowError {
+    fn from(e: isl_ir::ConeError) -> Self {
+        FlowError::Cone(e.to_string())
+    }
+}
+
+impl From<isl_fpga::SynthError> for FlowError {
+    fn from(e: isl_fpga::SynthError) -> Self {
+        FlowError::Synthesis(e.to_string())
+    }
+}
+
+impl From<isl_estimate::EstimateError> for FlowError {
+    fn from(e: isl_estimate::EstimateError) -> Self {
+        FlowError::Estimation(e.to_string())
+    }
+}
+
+impl From<isl_dse::DseError> for FlowError {
+    fn from(e: isl_dse::DseError) -> Self {
+        FlowError::Exploration(e.to_string())
+    }
+}
+
+impl From<isl_sim::SimError> for FlowError {
+    fn from(e: isl_sim::SimError) -> Self {
+        FlowError::Simulation(e.to_string())
+    }
+}

@@ -1,0 +1,347 @@
+//! The end-to-end flow object.
+
+use isl_algorithms::Algorithm;
+use isl_dse::{DesignSpace, Exploration, Explorer};
+use isl_estimate::{
+    Architecture, AreaValidation, ScheduleModel, ThroughputEstimator, ThroughputReport, Workload,
+};
+use isl_fpga::{Device, SynthOptions, Synthesizer};
+use isl_ir::{Cone, StencilPattern, Window};
+use isl_sim::{BorderMode, Simulator};
+use isl_symexec::compile_str;
+use isl_vhdl::{fixed_package, generate_cone, generate_testbench, generate_wrapper, VhdlOptions};
+
+use crate::error::FlowError;
+
+/// Everything needed to drop a cone into a VHDL project.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VhdlBundle {
+    /// The fixed-point support package (`isl_fixed_pkg`).
+    pub package: String,
+    /// The cone entity + architecture.
+    pub entity: String,
+    /// The tile wrapper (serial window loader + fire/collect control).
+    pub wrapper: String,
+    /// A self-checking testbench (drives the bare cone).
+    pub testbench: String,
+    /// The entity name.
+    pub entity_name: String,
+    /// Pipeline depth, cycles.
+    pub pipeline_stages: u32,
+}
+
+/// The automatic HLS flow of the paper, end to end.
+///
+/// See the [crate-level documentation](crate) for a full example.
+#[derive(Debug, Clone)]
+pub struct IslFlow {
+    pattern: StencilPattern,
+    iterations: u32,
+    border: BorderMode,
+    synth_options: SynthOptions,
+    schedule: ScheduleModel,
+}
+
+impl IslFlow {
+    /// Phase 1: parse, analyse and symbolically execute a C kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Analysis`] with the frontend/symexec diagnostic.
+    pub fn from_source(source: &str) -> Result<Self, FlowError> {
+        let (pattern, info) = compile_str(source)?;
+        let border = info
+            .border
+            .as_deref()
+            .and_then(BorderMode::parse)
+            .unwrap_or_default();
+        Ok(IslFlow {
+            pattern,
+            iterations: info.iterations.unwrap_or(1),
+            border,
+            synth_options: SynthOptions::default(),
+            schedule: ScheduleModel::default(),
+        })
+    }
+
+    /// Build the flow from a built-in algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslFlow::from_source`].
+    pub fn from_algorithm(algorithm: &Algorithm) -> Result<Self, FlowError> {
+        Self::from_source(algorithm.source)
+    }
+
+    /// Build the flow from an already-extracted pattern.
+    pub fn from_pattern(pattern: StencilPattern, iterations: u32) -> Self {
+        IslFlow {
+            pattern,
+            iterations: iterations.max(1),
+            border: BorderMode::default(),
+            synth_options: SynthOptions::default(),
+            schedule: ScheduleModel::default(),
+        }
+    }
+
+    /// Override the border mode.
+    pub fn with_border(mut self, border: BorderMode) -> Self {
+        self.border = border;
+        self
+    }
+
+    /// Override the iteration count.
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Override synthesis options (fixed-point format, sharing, jitter).
+    pub fn with_synth_options(mut self, options: SynthOptions) -> Self {
+        self.synth_options = options;
+        self
+    }
+
+    /// Override the schedule model.
+    pub fn with_schedule(mut self, schedule: ScheduleModel) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The extracted stencil pattern.
+    pub fn pattern(&self) -> &StencilPattern {
+        &self.pattern
+    }
+
+    /// Iterations per frame (the paper's `N`).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Border mode used for simulation.
+    pub fn border(&self) -> BorderMode {
+        self.border
+    }
+
+    /// A workload for this ISL over `width`×`height` frames.
+    pub fn workload(&self, width: u32, height: u32) -> Workload {
+        Workload::image(width, height, self.iterations)
+    }
+
+    // -- phase 2: cones and VHDL -------------------------------------------
+
+    /// Build the cone of one output window and depth.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cone`] on invalid depth/pattern.
+    pub fn build_cone(&self, window: Window, depth: u32) -> Result<Cone, FlowError> {
+        Ok(Cone::build(&self.pattern, window, depth)?)
+    }
+
+    /// Generate the complete VHDL bundle for one cone.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cone`] on invalid depth/pattern.
+    pub fn generate_vhdl(&self, window: Window, depth: u32) -> Result<VhdlBundle, FlowError> {
+        let cone = self.build_cone(window, depth)?;
+        let fmt = self.synth_options.format;
+        let module = generate_cone(&cone, &VhdlOptions { format: fmt });
+        let testbench = generate_testbench(&cone, &module, fmt);
+        let wrapper = generate_wrapper(&cone, &module);
+        Ok(VhdlBundle {
+            package: fixed_package(fmt),
+            entity_name: module.entity_name.clone(),
+            pipeline_stages: module.pipeline_stages,
+            entity: module.code,
+            wrapper: wrapper.code,
+            testbench,
+        })
+    }
+
+    // -- phase 3: estimation -------------------------------------------------
+
+    /// Validate the Eq. 1 area model over a window/depth grid on `device`
+    /// (the Figure 5 / Figure 8 experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on calibration/synthesis failures.
+    pub fn validate_area_model(
+        &self,
+        device: &Device,
+        windows: &[Window],
+        depths: &[u32],
+        calibration_points: usize,
+    ) -> Result<AreaValidation, FlowError> {
+        let synth = Synthesizer::with_options(device, self.synth_options);
+        Ok(AreaValidation::run(
+            &synth,
+            &self.pattern,
+            windows,
+            depths,
+            calibration_points,
+        )?)
+    }
+
+    /// Estimate one architecture's throughput on `device`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on infeasibility or bad parameters.
+    pub fn throughput(
+        &self,
+        device: &Device,
+        arch: Architecture,
+        workload: Workload,
+    ) -> Result<ThroughputReport, FlowError> {
+        let synth = Synthesizer::with_options(device, self.synth_options);
+        let est = ThroughputEstimator::with_schedule(&synth, self.schedule);
+        Ok(est.estimate(&self.pattern, arch, workload)?)
+    }
+
+    /// Best throughput for a window/depth when the device is packed with as
+    /// many cores as fit (the Figure 7 / Figure 10 experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on infeasibility.
+    pub fn best_on_device(
+        &self,
+        device: &Device,
+        window: Window,
+        depth: u32,
+        workload: Workload,
+    ) -> Result<ThroughputReport, FlowError> {
+        let synth = Synthesizer::with_options(device, self.synth_options);
+        let est = ThroughputEstimator::with_schedule(&synth, self.schedule);
+        Ok(est.best_on_device(&self.pattern, window, depth, workload)?)
+    }
+
+    // -- phase 4: exploration -------------------------------------------------
+
+    /// Explore the design space and extract the Pareto set (the Figure 6 /
+    /// Figure 9 experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Exploration`] when nothing is feasible.
+    pub fn explore(
+        &self,
+        device: &Device,
+        workload: Workload,
+        space: &DesignSpace,
+    ) -> Result<Exploration, FlowError> {
+        let explorer = Explorer::new(device)
+            .with_synth_options(self.synth_options)
+            .with_schedule(self.schedule);
+        Ok(explorer.explore(&self.pattern, workload, space)?)
+    }
+
+    // -- simulation -------------------------------------------------------------
+
+    /// A functional simulator for this ISL (golden / tiled / cone-DAG).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Simulation`] for unsupported ranks.
+    pub fn simulator(&self) -> Result<Simulator<'_>, FlowError> {
+        Ok(Simulator::new(&self.pattern)?.with_border(self.border))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_sim::{synthetic, FrameSet};
+
+    const BLUR: &str = r#"
+#pragma isl iterations 6
+#pragma isl border mirror
+void blur(const float in[H][W], float out[H][W]) {
+    for (int y = 0; y < H; y++)
+        for (int x = 0; x < W; x++)
+            out[y][x] = (in[y-1][x] + in[y+1][x] + in[y][x-1] + in[y][x+1]) * 0.25f;
+}
+"#;
+
+    #[test]
+    fn source_to_flow() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        assert_eq!(flow.iterations(), 6);
+        assert_eq!(flow.border(), BorderMode::Mirror);
+        assert_eq!(flow.pattern().radius(), 1);
+    }
+
+    #[test]
+    fn bad_source_reports_analysis_error() {
+        let err = IslFlow::from_source("void f() {").unwrap_err();
+        assert!(matches!(err, FlowError::Analysis(_)));
+    }
+
+    #[test]
+    fn end_to_end_explore_and_vhdl() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(1..=3, 1..=2, 2);
+        let result = flow.explore(&device, flow.workload(128, 96), &space).unwrap();
+        assert!(!result.pareto().is_empty());
+        let best = result.fastest().unwrap();
+        let bundle = flow.generate_vhdl(best.arch.window, best.arch.depth).unwrap();
+        isl_vhdl::check::validate(&bundle.entity).unwrap();
+        isl_vhdl::check::validate_package(&bundle.package).unwrap();
+        assert!(bundle.testbench.contains(&bundle.entity_name));
+    }
+
+    #[test]
+    fn simulator_tiled_equals_golden_through_flow() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let sim = flow.simulator().unwrap();
+        let init = FrameSet::from_frames(vec![synthetic::noise(20, 14, 5)]).unwrap();
+        let golden = sim.run(&init, flow.iterations()).unwrap();
+        let tiled = sim
+            .run_tiled(&init, flow.iterations(), Window::square(4), 3)
+            .unwrap();
+        assert!(golden.max_abs_diff(&tiled) < 1e-12);
+    }
+
+    #[test]
+    fn from_algorithm_wires_defaults() {
+        let algo = isl_algorithms::chambolle();
+        let flow = IslFlow::from_algorithm(&algo).unwrap();
+        assert_eq!(flow.iterations(), algo.default_iterations);
+        assert_eq!(flow.pattern().dynamic_fields().len(), 2);
+        assert_eq!(flow.pattern().params().len(), 2);
+    }
+
+    #[test]
+    fn area_model_validation_through_flow() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let windows: Vec<Window> = (1..=4).map(Window::square).collect();
+        let v = flow
+            .validate_area_model(&device, &windows, &[1, 2], 2)
+            .unwrap();
+        assert_eq!(v.rows.len(), 8);
+        assert!(v.max_error_pct < 12.0);
+    }
+
+    #[test]
+    fn throughput_through_flow() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let r = flow
+            .throughput(
+                &device,
+                Architecture::new(Window::square(3), 2, 2),
+                flow.workload(256, 192),
+            )
+            .unwrap();
+        assert!(r.fps > 0.0);
+        let best = flow
+            .best_on_device(&device, Window::square(3), 2, flow.workload(256, 192))
+            .unwrap();
+        assert!(best.fps >= r.fps);
+    }
+}

@@ -1,0 +1,89 @@
+//! # isl-hls — an automatic HLS flow for iterative stencil loops on FPGAs
+//!
+//! A from-scratch Rust reproduction of *"A High-Level Synthesis Flow for the
+//! Implementation of Iterative Stencil Loop Algorithms on FPGA Devices"*
+//! (Nacci, Rana, Bruschi, Sciuto, Beretta, Atienza — DAC 2013).
+//!
+//! The flow (paper, Figure 2) takes a C kernel describing **one iteration**
+//! of an ISL and produces Pareto-optimal FPGA architectures:
+//!
+//! 1. **Dependency analysis** — symbolic execution of the kernel extracts
+//!    the stencil pattern, verifying *domain narrowness* and *translational
+//!    invariance* (`isl-frontend`, `isl-symexec`);
+//! 2. **Cone identification** — multi-iteration compute modules ("cones")
+//!    are built by unrolling the dependencies with full register reuse
+//!    (`isl-ir`), and rendered to synthesizable VHDL (`isl-vhdl`);
+//! 3. **Performance and area estimation** — the incremental register-based
+//!    area model (Eq. 1, α calibrated from two syntheses) and an analytic
+//!    throughput schedule (`isl-estimate`, over the `isl-fpga` synthesis
+//!    simulator);
+//! 4. **Design space exploration** — exhaustive enumeration of (window ×
+//!    depth × cores) instances and Pareto extraction (`isl-dse`).
+//!
+//! Functional correctness of the whole architecture template is provable in
+//! simulation: window-by-window cone execution is bit-identical to the
+//! golden whole-frame iteration (`isl-sim`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use isl_hls::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let flow = IslFlow::from_source(r#"
+//! #pragma isl iterations 10
+//! #pragma isl border clamp
+//! void blur(const float in[H][W], float out[H][W]) {
+//!     for (int y = 0; y < H; y++)
+//!         for (int x = 0; x < W; x++)
+//!             out[y][x] = (in[y-1][x] + in[y+1][x] + in[y][x-1] + in[y][x+1]) * 0.25f;
+//! }
+//! "#)?;
+//!
+//! // Explore architectures for 256x192 frames on a Virtex-6.
+//! let device = Device::virtex6_xc6vlx760();
+//! let space = DesignSpace::new(1..=4, 1..=2, 4);
+//! let result = flow.explore(&device, flow.workload(256, 192), &space)?;
+//! let best = result.fastest().expect("feasible points exist");
+//! assert!(best.fps > 0.0);
+//!
+//! // Generate the VHDL for the chosen cone.
+//! let bundle = flow.generate_vhdl(best.arch.window, best.arch.depth)?;
+//! assert!(bundle.entity.contains("entity"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flow;
+
+pub use error::FlowError;
+pub use flow::{IslFlow, VhdlBundle};
+
+/// Convenient single-import surface for flow users.
+pub mod prelude {
+    pub use crate::{FlowError, IslFlow, VhdlBundle};
+    pub use isl_dse::{DesignPoint, DesignSpace, Exploration, Explorer};
+    pub use isl_estimate::{
+        Architecture, AreaEstimator, AreaValidation, ScheduleModel, ThroughputEstimator,
+        Workload,
+    };
+    pub use isl_fpga::{Device, FixedFormat, SynthOptions, Synthesizer};
+    pub use isl_ir::{Cone, Expr, StencilPattern, Window};
+    pub use isl_sim::{BorderMode, Frame, FrameSet, Simulator};
+}
+
+// Re-export the component crates for power users.
+pub use isl_algorithms as algorithms;
+pub use isl_baselines as baselines;
+pub use isl_dse as dse;
+pub use isl_estimate as estimate;
+pub use isl_fpga as fpga;
+pub use isl_frontend as frontend;
+pub use isl_ir as ir;
+pub use isl_sim as sim;
+pub use isl_symexec as symexec;
+pub use isl_vhdl as vhdl;

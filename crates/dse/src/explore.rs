@@ -1,0 +1,510 @@
+//! Exhaustive enumeration of architecture instances.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use isl_estimate::{
+    schedule, AreaEstimator, Architecture, EstimateError, ScheduleModel, Workload,
+};
+use isl_fpga::{techmap, Device, SynthOptions, Synthesizer};
+use isl_ir::{Cone, StencilPattern, Window};
+
+use crate::pareto::pareto_front;
+
+/// The grid of architecture instances to enumerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    /// Square output-window sides to consider (the paper sweeps 1..=9,
+    /// i.e. window areas 1..=81).
+    pub window_sides: Vec<u32>,
+    /// Cone depths to consider.
+    pub depths: Vec<u32>,
+    /// Maximum parallel cores per instance.
+    pub max_cores: u32,
+}
+
+impl DesignSpace {
+    /// Space over side and depth ranges with up to `max_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or `max_cores` is zero.
+    pub fn new(sides: RangeInclusive<u32>, depths: RangeInclusive<u32>, max_cores: u32) -> Self {
+        let space = DesignSpace {
+            window_sides: sides.collect(),
+            depths: depths.collect(),
+            max_cores,
+        };
+        assert!(
+            !space.window_sides.is_empty() && !space.depths.is_empty() && max_cores > 0,
+            "design space must be non-empty"
+        );
+        space
+    }
+
+    /// The space the paper explores for its case studies: windows 1x1..9x9,
+    /// depths 1..5, up to 16 cores.
+    pub fn paper() -> Self {
+        Self::new(1..=9, 1..=5, 16)
+    }
+
+    /// Number of raw grid points (before feasibility filtering).
+    pub fn len(&self) -> usize {
+        self.window_sides.len() * self.depths.len() * self.max_cores as usize
+    }
+
+    /// Whether the space is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluated architecture instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The architecture.
+    pub arch: Architecture,
+    /// Estimated LUTs (Eq. 1) of all cores incl. the remainder core.
+    pub estimated_luts: f64,
+    /// Time per frame, seconds (analytic schedule).
+    pub time_per_frame_s: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Whether the off-chip interface limits this instance.
+    pub transfer_bound: bool,
+    /// Registers of the single main cone (`Reg_i`).
+    pub registers: u64,
+}
+
+/// Result of exploring a design space.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    points: Vec<DesignPoint>,
+    pareto: Vec<usize>,
+    calibration_syntheses: usize,
+    skipped_infeasible: usize,
+}
+
+impl Exploration {
+    /// Every feasible evaluated point.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// The Pareto-optimal points (minimal area, minimal time), ascending by
+    /// area.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        self.pareto.iter().map(|&i| &self.points[i]).collect()
+    }
+
+    /// Indices of the Pareto points into [`Exploration::points`].
+    pub fn pareto_indices(&self) -> &[usize] {
+        &self.pareto
+    }
+
+    /// Synthesis runs consumed by α calibration (two per distinct depth —
+    /// the paper's "as low as two" per estimation curve).
+    pub fn calibration_syntheses(&self) -> usize {
+        self.calibration_syntheses
+    }
+
+    /// Instances rejected by the feasibility rule (not even one cone of each
+    /// required depth fits).
+    pub fn skipped_infeasible(&self) -> usize {
+        self.skipped_infeasible
+    }
+
+    /// The point with the highest frames-per-second.
+    pub fn fastest(&self) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.fps.partial_cmp(&b.fps).expect("fps is finite"))
+    }
+
+    /// The feasible point with the smallest estimated area.
+    pub fn smallest(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.estimated_luts
+                .partial_cmp(&b.estimated_luts)
+                .expect("area is finite")
+        })
+    }
+}
+
+/// Errors from exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DseError {
+    /// Nothing in the space is feasible on the device.
+    NothingFeasible,
+    /// An estimation step failed.
+    Estimate(String),
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::NothingFeasible => {
+                write!(f, "no architecture in the design space fits the device")
+            }
+            DseError::Estimate(m) => write!(f, "estimation failed: {m}"),
+        }
+    }
+}
+
+impl Error for DseError {}
+
+impl From<EstimateError> for DseError {
+    fn from(e: EstimateError) -> Self {
+        DseError::Estimate(e.to_string())
+    }
+}
+
+/// The design-space explorer for one target device.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Explorer<'d> {
+    device: &'d Device,
+    synth_options: SynthOptions,
+    schedule_model: ScheduleModel,
+}
+
+impl<'d> Explorer<'d> {
+    /// Explorer with default synthesis options and schedule model.
+    pub fn new(device: &'d Device) -> Self {
+        Explorer {
+            device,
+            synth_options: SynthOptions::default(),
+            schedule_model: ScheduleModel::default(),
+        }
+    }
+
+    /// Override synthesis options (format, sharing, jitter).
+    pub fn with_synth_options(mut self, options: SynthOptions) -> Self {
+        self.synth_options = options;
+        self
+    }
+
+    /// Override the schedule model.
+    pub fn with_schedule(mut self, model: ScheduleModel) -> Self {
+        self.schedule_model = model;
+        self
+    }
+
+    /// Enumerate and cost every instance of `space` for `pattern` on
+    /// `workload`; extract the Pareto set.
+    ///
+    /// Costing uses the paper's estimation machinery only: Eq. 1 areas
+    /// (α calibrated with two syntheses per distinct depth) and the analytic
+    /// schedule; no per-point synthesis happens.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::NothingFeasible`] when the whole space is infeasible;
+    /// [`DseError::Estimate`] on calibration failures.
+    pub fn explore(
+        &self,
+        pattern: &StencilPattern,
+        workload: Workload,
+        space: &DesignSpace,
+    ) -> Result<Exploration, DseError> {
+        let synth = Synthesizer::with_options(self.device, self.synth_options);
+        let fmt = self.synth_options.format;
+
+        // Every depth that can appear: requested depths plus remainder
+        // depths they induce.
+        let mut all_depths: Vec<u32> = space
+            .depths
+            .iter()
+            .copied()
+            .chain(
+                space
+                    .depths
+                    .iter()
+                    .map(|&d| workload.iterations % d)
+                    .filter(|&r| r > 0),
+            )
+            .filter(|&d| d >= 1 && d <= workload.iterations)
+            .collect();
+        all_depths.sort_unstable();
+        all_depths.dedup();
+
+        // Calibrate one area estimator per depth (2 syntheses each) and
+        // pre-compute cone registers/latency per (side, depth).
+        let calib_sides = [space.window_sides[0], *space.window_sides.last().expect("non-empty")];
+        let calib_windows: Vec<Window> = if calib_sides[0] == calib_sides[1] {
+            vec![Window::square(calib_sides[0]), Window::square(calib_sides[0] + 1)]
+        } else {
+            calib_sides.iter().map(|&s| Window::square(s)).collect()
+        };
+        let mut estimators: HashMap<u32, AreaEstimator> = HashMap::new();
+        for &d in &all_depths {
+            let est = AreaEstimator::calibrate(&synth, pattern, d, &calib_windows)?;
+            estimators.insert(d, est);
+        }
+        let calibration_syntheses = estimators.len() * calib_windows.len();
+
+        struct ConeFacts {
+            registers: u64,
+            latency: u32,
+            est_luts: f64,
+        }
+        let mut facts: HashMap<(u32, u32), ConeFacts> = HashMap::new();
+        for &side in &space.window_sides {
+            for &d in &all_depths {
+                let cone = Cone::build(pattern, Window::square(side), d)
+                    .map_err(|e| DseError::Estimate(e.to_string()))?;
+                let est = &estimators[&d];
+                facts.insert(
+                    (side, d),
+                    ConeFacts {
+                        registers: cone.registers() as u64,
+                        latency: techmap::pipeline_latency(cone.graph(), fmt),
+                        est_luts: est.estimate(cone.registers() as u64),
+                    },
+                );
+            }
+        }
+
+        let mut points = Vec::new();
+        let mut skipped = 0usize;
+        for &side in &space.window_sides {
+            for &depth in &space.depths {
+                if depth > workload.iterations {
+                    skipped += 1;
+                    continue;
+                }
+                let rem = workload.iterations % depth;
+                let main = &facts[&(side, depth)];
+                let (rem_luts, rem_latency) = if rem > 0 {
+                    let rf = &facts[&(side, rem)];
+                    (rf.est_luts, Some(rf.latency))
+                } else {
+                    (0.0, None)
+                };
+                // Feasibility: one cone of each required depth must fit.
+                if main.est_luts + rem_luts > self.device.luts as f64 {
+                    skipped += space.max_cores as usize;
+                    continue;
+                }
+                let core_cap = space.max_cores.min(self.device.max_parallel_cones);
+                for cores in 1..=core_cap {
+                    let est_total = main.est_luts * cores as f64 + rem_luts;
+                    if est_total > self.device.luts as f64 {
+                        skipped += 1;
+                        continue;
+                    }
+                    let arch = Architecture::new(Window::square(side), depth, cores);
+                    let outcome = schedule(
+                        pattern,
+                        arch,
+                        workload,
+                        main.latency,
+                        rem_latency,
+                        self.device.fmax_cap_mhz,
+                        self.schedule_model,
+                        self.device,
+                    )?;
+                    points.push(DesignPoint {
+                        arch,
+                        estimated_luts: est_total,
+                        time_per_frame_s: outcome.time_per_frame_s,
+                        fps: outcome.fps,
+                        transfer_bound: outcome.transfer_bound,
+                        registers: main.registers,
+                    });
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err(DseError::NothingFeasible);
+        }
+        let coords: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.estimated_luts, p.time_per_frame_s))
+            .collect();
+        let pareto = pareto_front(&coords);
+        Ok(Exploration {
+            points,
+            pareto,
+            calibration_syntheses,
+            skipped_infeasible: skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::dominates;
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset};
+
+    fn jacobi() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("jacobi");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))
+            .unwrap();
+        p
+    }
+
+    fn explore_default() -> Exploration {
+        let device = Device::virtex6_xc6vlx760();
+        let explorer = Explorer::new(&device);
+        let space = DesignSpace::new(1..=6, 1..=4, 6);
+        explorer
+            .explore(&jacobi(), Workload::image(256, 192, 8), &space)
+            .unwrap()
+    }
+
+    #[test]
+    fn explores_hundreds_of_solutions() {
+        let e = explore_default();
+        // 6 sides x 4 depths x 6 cores = 144 grid points; most feasible.
+        assert!(e.points().len() > 100, "{} points", e.points().len());
+        assert!(!e.pareto().is_empty());
+    }
+
+    #[test]
+    fn pareto_soundness_over_real_points() {
+        let e = explore_default();
+        let coords: Vec<(f64, f64)> = e
+            .points()
+            .iter()
+            .map(|p| (p.estimated_luts, p.time_per_frame_s))
+            .collect();
+        for &i in e.pareto_indices() {
+            for (j, &c) in coords.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(c, coords[i]));
+                }
+            }
+        }
+        for (j, &c) in coords.iter().enumerate() {
+            if !e.pareto_indices().contains(&j) {
+                assert!(e.pareto_indices().iter().any(|&i| dominates(coords[i], c)));
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_uses_two_syntheses_per_depth() {
+        let e = explore_default();
+        // Depths 1..4 on N=8 induce remainder depths {1, 2, 3} (8%3=2; 8%... )
+        // all within 1..=4, so 4 estimators x 2 syntheses.
+        assert_eq!(e.calibration_syntheses(), 8);
+    }
+
+    #[test]
+    fn more_cores_never_slower_same_shape() {
+        let e = explore_default();
+        let mut by_shape: HashMap<(u32, u32), Vec<&DesignPoint>> = HashMap::new();
+        for p in e.points() {
+            by_shape
+                .entry((p.arch.window.w, p.arch.depth))
+                .or_default()
+                .push(p);
+        }
+        for (_, mut pts) in by_shape {
+            pts.sort_by_key(|p| p.arch.cores);
+            for w in pts.windows(2) {
+                assert!(w[1].fps >= w[0].fps - 1e-9);
+                assert!(w[1].estimated_luts >= w[0].estimated_luts);
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_and_smallest_are_consistent() {
+        let e = explore_default();
+        let fastest = e.fastest().unwrap();
+        let smallest = e.smallest().unwrap();
+        for p in e.points() {
+            assert!(p.fps <= fastest.fps + 1e-9);
+            assert!(p.estimated_luts >= smallest.estimated_luts - 1e-9);
+        }
+        // Both extremes must sit on the Pareto front.
+        let front = e.pareto();
+        assert!(front
+            .iter()
+            .any(|p| (p.fps - fastest.fps).abs() < 1e-9));
+        assert!(front
+            .iter()
+            .any(|p| (p.estimated_luts - smallest.estimated_luts).abs() < 1e-9));
+    }
+
+    #[test]
+    fn nothing_feasible_reported() {
+        // A heavy pattern on a tiny device with only huge windows.
+        let mut p = StencilPattern::new(2).with_name("heavy");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let gx = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 0)),
+        );
+        let den = Expr::binary(
+            BinaryOp::Add,
+            Expr::constant(1.0),
+            Expr::unary(
+                isl_ir::UnaryOp::Sqrt,
+                Expr::binary(BinaryOp::Mul, gx.clone(), gx),
+            ),
+        );
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Div, Expr::input(f, Offset::ZERO), den),
+        )
+        .unwrap();
+        let device = Device::small_multimedia();
+        let explorer = Explorer::new(&device);
+        let space = DesignSpace::new(9..=9, 5..=5, 2);
+        let err = explorer
+            .explore(&p, Workload::image(256, 192, 10), &space)
+            .unwrap_err();
+        assert_eq!(err, DseError::NothingFeasible);
+    }
+
+    #[test]
+    fn estimated_areas_track_actual_synthesis() {
+        // The flow's promise: the Pareto set picked on estimates is real.
+        let device = Device::virtex6_xc6vlx760();
+        let explorer = Explorer::new(&device);
+        let space = DesignSpace::new(1..=5, 2..=2, 1);
+        let p = jacobi();
+        let e = explorer
+            .explore(&p, Workload::image(128, 128, 8), &space)
+            .unwrap();
+        let synth = Synthesizer::new(&device);
+        for pt in e.points() {
+            let actual = synth
+                .synthesize(&p, pt.arch.window, pt.arch.depth, pt.arch.cores)
+                .unwrap();
+            let err =
+                (pt.estimated_luts - actual.luts as f64).abs() / actual.luts as f64;
+            assert!(
+                err < 0.15,
+                "window {} est {:.0} vs actual {} ({:.1}%)",
+                pt.arch.window,
+                pt.estimated_luts,
+                actual.luts,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn paper_space_shape() {
+        let s = DesignSpace::paper();
+        assert_eq!(s.window_sides, (1..=9).collect::<Vec<_>>());
+        assert_eq!(s.depths, (1..=5).collect::<Vec<_>>());
+        assert_eq!(s.len(), 9 * 5 * 16);
+    }
+}

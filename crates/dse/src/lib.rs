@@ -1,0 +1,45 @@
+//! # isl-dse — design-space exploration and Pareto extraction
+//!
+//! The last stage of the DAC 2013 flow (Figure 2): enumerate every
+//! architecture-template instance — output window × cone depth × number of
+//! parallel cores — cost each one with the *estimated* area (Eq. 1,
+//! calibrated from two syntheses per depth) and the analytic throughput
+//! model, and extract the Pareto set w.r.t. (area, time-per-frame) by
+//! exhaustive search. The paper notes the space "typically requires the
+//! evaluation of a few hundreds of solutions"; [`Exploration::points`]
+//! carries them all so the Figures 6/9 curves can be re-plotted.
+//!
+//! ```
+//! use isl_dse::{DesignSpace, Explorer};
+//! use isl_estimate::Workload;
+//! use isl_fpga::Device;
+//! use isl_ir::{StencilPattern, FieldKind, Expr, BinaryOp, Offset};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = StencilPattern::new(2).with_name("jacobi");
+//! let f = p.add_field("f", FieldKind::Dynamic);
+//! let sum = Expr::sum([
+//!     Expr::input(f, Offset::d2(0, -1)),
+//!     Expr::input(f, Offset::d2(-1, 0)),
+//!     Expr::input(f, Offset::d2(1, 0)),
+//!     Expr::input(f, Offset::d2(0, 1)),
+//! ]);
+//! p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))?;
+//!
+//! let device = Device::virtex6_xc6vlx760();
+//! let explorer = Explorer::new(&device);
+//! let space = DesignSpace::new(1..=4, 1..=3, 4);
+//! let result = explorer.explore(&p, Workload::image(256, 192, 6), &space)?;
+//! assert!(!result.pareto().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod pareto;
+
+pub use explore::{DesignPoint, DesignSpace, DseError, Exploration, Explorer};
+pub use pareto::{dominates, pareto_front};

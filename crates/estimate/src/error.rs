@@ -1,0 +1,50 @@
+//! Estimation error type.
+
+use std::error::Error;
+use std::fmt;
+
+use isl_fpga::SynthError;
+
+/// Errors from area/throughput estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// Calibration needs at least two synthesis points.
+    NotEnoughCalibration(usize),
+    /// The calibration points have identical register counts, so α is
+    /// undetermined.
+    DegenerateCalibration,
+    /// The architecture cannot be placed: not even one cone of each
+    /// required depth fits the device (the paper's feasibility rule).
+    Infeasible {
+        /// Explanation of what does not fit.
+        reason: String,
+    },
+    /// The underlying synthesis simulator failed.
+    Synth(String),
+    /// A parameter is out of its domain.
+    BadParameter(String),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::NotEnoughCalibration(n) => {
+                write!(f, "alpha calibration needs at least 2 syntheses, got {n}")
+            }
+            EstimateError::DegenerateCalibration => {
+                write!(f, "calibration windows have identical register counts")
+            }
+            EstimateError::Infeasible { reason } => write!(f, "infeasible architecture: {reason}"),
+            EstimateError::Synth(m) => write!(f, "synthesis failed: {m}"),
+            EstimateError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+impl From<SynthError> for EstimateError {
+    fn from(e: SynthError) -> Self {
+        EstimateError::Synth(e.to_string())
+    }
+}

@@ -1,0 +1,66 @@
+//! # isl-estimate — area and throughput estimation for cone architectures
+//!
+//! Implements Section 3.3 of the DAC 2013 paper:
+//!
+//! * [`AreaEstimator`] — the incremental register-based area model
+//!
+//!   ```text
+//!   A_est(i) = A_est(i-1) + (Reg(i) - Reg(i-1)) · SizeReg · α        (Eq. 1)
+//!   ```
+//!
+//!   `Reg(i)` (operation registers of the cone with output window `i`) is
+//!   known *before* synthesis, straight from the register-reuse pass;
+//!   `SizeReg` is the register width; `α` captures the synthesis tool's
+//!   logic reuse and is calibrated by interpolating **as few as two** real
+//!   syntheses — more calibration points buy more accuracy, exactly as the
+//!   paper describes;
+//! * [`ThroughputEstimator`] — "summing the delays of the operations
+//!   included in each cone, and counting the number of cones that can run
+//!   in parallel": a level-by-level schedule of the architecture template
+//!   over a frame, including the off-chip transfer budget and the paper's
+//!   feasibility rule (at least one cone of each required depth must fit);
+//! * [`AreaValidation`] — the Figure 5 / Figure 8 experiment: estimated
+//!   vs. actual area over the whole window/depth grid, with per-point and
+//!   aggregate errors.
+//!
+//! ```
+//! use isl_estimate::AreaEstimator;
+//! use isl_fpga::{Device, Synthesizer};
+//! use isl_ir::{StencilPattern, FieldKind, Expr, BinaryOp, Offset, Window};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = StencilPattern::new(2);
+//! let f = p.add_field("f", FieldKind::Dynamic);
+//! let sum = Expr::sum([
+//!     Expr::input(f, Offset::d2(0, -1)),
+//!     Expr::input(f, Offset::d2(-1, 0)),
+//!     Expr::input(f, Offset::d2(1, 0)),
+//!     Expr::input(f, Offset::d2(0, 1)),
+//! ]);
+//! p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))?;
+//!
+//! let device = Device::virtex6_xc6vlx760();
+//! let synth = Synthesizer::new(&device);
+//! // Calibrate alpha from the two smallest windows, then predict 6x6.
+//! let est = AreaEstimator::calibrate(
+//!     &synth, &p, 2, &[Window::square(1), Window::square(2)],
+//! )?;
+//! let predicted = est.estimate_window(&p, Window::square(6), 2)?;
+//! assert!(predicted > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod error;
+mod throughput;
+
+pub use area::{AreaEstimator, AreaValidation, ValidationRow};
+pub use error::EstimateError;
+pub use throughput::{
+    schedule, Architecture, ScheduleModel, ScheduleOutcome, ThroughputEstimator,
+    ThroughputReport, Workload,
+};

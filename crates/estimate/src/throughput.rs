@@ -1,0 +1,629 @@
+//! Throughput estimation: scheduling the cone architecture over a frame.
+//!
+//! Follows the paper's recipe — operation delays give the cone clock and
+//! latency (via `isl-fpga`), and the architecture's throughput comes from
+//! how many cone executions a frame needs and how many cones run in
+//! parallel. The level structure matches Section 3.1: `floor(N/d)` levels of
+//! the main depth plus, when `d` does not divide `N`, one *additional
+//! specific core* of depth `N mod d` — the mechanism that makes non-divisor
+//! depths lose on `N = 10` (Figure 7).
+
+use isl_fpga::{Device, Synthesizer, SynthesisReport};
+use isl_ir::{StencilPattern, Window};
+
+use crate::error::EstimateError;
+
+/// The frame-processing job to estimate against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Frame width, elements.
+    pub frame_width: u32,
+    /// Frame height, elements.
+    pub frame_height: u32,
+    /// ISL iterations per frame (the paper's `N`).
+    pub iterations: u32,
+    /// Bytes per element moved over the off-chip interface.
+    pub bytes_per_element: u32,
+}
+
+impl Workload {
+    /// An image-processing workload with 16-bit samples.
+    pub fn image(frame_width: u32, frame_height: u32, iterations: u32) -> Self {
+        Workload {
+            frame_width,
+            frame_height,
+            iterations,
+            bytes_per_element: 2,
+        }
+    }
+
+    /// Elements per frame.
+    pub fn frame_elements(&self) -> u64 {
+        u64::from(self.frame_width) * u64::from(self.frame_height)
+    }
+}
+
+/// One instance of the architecture template: `cores` cones of `depth`
+/// producing `window`-sized output blocks (plus the implicit remainder core
+/// when `depth` does not divide the workload's iteration count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Architecture {
+    /// Output window of every cone.
+    pub window: Window,
+    /// Main cone depth.
+    pub depth: u32,
+    /// Parallel cone instances of the main depth.
+    pub cores: u32,
+}
+
+impl Architecture {
+    /// Convenience constructor.
+    pub fn new(window: Window, depth: u32, cores: u32) -> Self {
+        Architecture { window, depth, cores }
+    }
+}
+
+/// Knobs of the schedule model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleModel {
+    /// Fraction of a cone's pipeline latency hidden by overlapping
+    /// successive executions (0 = fully serial, 1 = perfectly pipelined,
+    /// one execution per cycle). The default 0.25 reflects the
+    /// level-to-level dependencies inside a tile that limit overlap; it is
+    /// calibrated so the IGF architectures land in the paper's ~110 fps
+    /// range on the Virtex-6 (see EXPERIMENTS.md).
+    pub pipeline_overlap: f64,
+}
+
+impl Default for ScheduleModel {
+    fn default() -> Self {
+        ScheduleModel { pipeline_overlap: 0.25 }
+    }
+}
+
+/// The outcome of the analytic schedule of one architecture over one frame
+/// (no synthesis involved — everything derives from cone geometry, latencies
+/// and the device's interface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Output tiles per frame.
+    pub tiles: u64,
+    /// Cone executions per tile, main-depth levels.
+    pub executions_main: u64,
+    /// Cone executions per tile, remainder level.
+    pub executions_rem: u64,
+    /// Total cycles per frame.
+    pub cycles_per_frame: f64,
+    /// Compute time per frame, seconds.
+    pub compute_time_s: f64,
+    /// Off-chip transfer time per frame, seconds.
+    pub transfer_time_s: f64,
+    /// Effective frame time, seconds.
+    pub time_per_frame_s: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Whether the interface is the bottleneck.
+    pub transfer_bound: bool,
+}
+
+/// Analytically schedule `arch` over `workload`: level extents, execution
+/// counts, initiation intervals from latencies, and the off-chip transfer
+/// budget (with row-band halo reuse). This is the "throughput estimation"
+/// the paper performs without synthesis — callers supply per-cone latencies
+/// (available straight after VHDL generation) and a clock.
+///
+/// # Errors
+///
+/// [`EstimateError::BadParameter`] for a zero/excessive depth or zero cores.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule(
+    pattern: &StencilPattern,
+    arch: Architecture,
+    workload: Workload,
+    latency_main: u32,
+    latency_rem: Option<u32>,
+    fmax_mhz: f64,
+    model: ScheduleModel,
+    device: &Device,
+) -> Result<ScheduleOutcome, EstimateError> {
+    if arch.cores == 0 {
+        return Err(EstimateError::BadParameter("cores must be >= 1".into()));
+    }
+    if arch.depth == 0 || arch.depth > workload.iterations {
+        return Err(EstimateError::BadParameter(format!(
+            "depth must be in 1..={} (iterations), got {}",
+            workload.iterations, arch.depth
+        )));
+    }
+    let rem = workload.iterations % arch.depth;
+    let n_main_levels = workload.iterations / arch.depth;
+    let r = pattern.radius();
+
+    let mut depths: Vec<u32> = vec![arch.depth; n_main_levels as usize];
+    if rem > 0 {
+        depths.push(rem);
+    }
+
+    let is_1d = workload.frame_height == 1 || arch.window.h == 1 && pattern.rank() == 1;
+    let mut ext = (u64::from(arch.window.w), u64::from(arch.window.h));
+    let mut execs_main = 0u64;
+    let mut execs_rem = 0u64;
+    for (idx, &d) in depths.iter().enumerate().rev() {
+        let execs =
+            ext.0.div_ceil(u64::from(arch.window.w)) * ext.1.div_ceil(u64::from(arch.window.h));
+        if idx >= n_main_levels as usize {
+            execs_rem += execs;
+        } else {
+            execs_main += execs;
+        }
+        ext.0 += 2 * u64::from(r) * u64::from(d);
+        if !is_1d {
+            ext.1 += 2 * u64::from(r) * u64::from(d);
+        }
+    }
+
+    let ii = |latency: u32| -> f64 {
+        (latency as f64 * (1.0 - model.pipeline_overlap)).max(1.0)
+    };
+    let tiles = u64::from(workload.frame_width).div_ceil(u64::from(arch.window.w))
+        * u64::from(workload.frame_height).div_ceil(u64::from(arch.window.h));
+    let cycles_per_tile = execs_main as f64 * ii(latency_main) / arch.cores as f64
+        + execs_rem as f64 * latency_rem.map_or(0.0, &ii);
+    let cycles_per_frame = tiles as f64 * cycles_per_tile;
+    let compute_time_s = cycles_per_frame / (fmax_mhz * 1e6);
+
+    // Off-chip traffic with row-band reuse: the DMA engine fetches each
+    // tile body once and shares halo bands between adjacent tiles, so the
+    // halo is paid per tile *edge* rather than per tile area.
+    let n_dyn = pattern.dynamic_fields().len() as u64;
+    let n_static = pattern.static_fields().len() as u64;
+    let halo = 2 * u64::from(r) * u64::from(workload.iterations);
+    let body = u64::from(arch.window.w) * u64::from(arch.window.h);
+    let edges = halo * (u64::from(arch.window.w) + u64::from(arch.window.h));
+    let per_tile_elems = (body + edges) * (n_dyn + n_static) + body * n_dyn;
+    let bytes_per_frame = tiles as f64 * per_tile_elems as f64 * workload.bytes_per_element as f64;
+    let transfer_time_s = bytes_per_frame / (device.offchip_bandwidth_mbs * 1e6);
+
+    let time_per_frame_s = compute_time_s.max(transfer_time_s);
+    Ok(ScheduleOutcome {
+        tiles,
+        executions_main: execs_main,
+        executions_rem: execs_rem,
+        cycles_per_frame,
+        compute_time_s,
+        transfer_time_s,
+        time_per_frame_s,
+        fps: 1.0 / time_per_frame_s,
+        transfer_bound: transfer_time_s > compute_time_s,
+    })
+}
+
+/// Estimated performance of one architecture on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// The architecture estimated.
+    pub arch: Architecture,
+    /// Output tiles per frame.
+    pub tiles: u64,
+    /// Cone executions per tile, main-depth levels.
+    pub executions_main: u64,
+    /// Cone executions per tile, remainder level (0 when `d | N`).
+    pub executions_rem: u64,
+    /// Clock after synthesis of all cores, MHz.
+    pub fmax_mhz: f64,
+    /// Total cycles per frame.
+    pub cycles_per_frame: f64,
+    /// Compute-side time per frame, seconds.
+    pub compute_time_s: f64,
+    /// Off-chip transfer time per frame, seconds.
+    pub transfer_time_s: f64,
+    /// Effective time per frame (max of compute and transfer), seconds.
+    pub time_per_frame_s: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Whether the off-chip interface is the bottleneck.
+    pub transfer_bound: bool,
+    /// Total LUTs of the instantiated cores (incl. remainder core).
+    pub luts: u64,
+    /// Synthesis report of the main cores.
+    pub main_synthesis: SynthesisReport,
+    /// Synthesis report of the remainder core, when present.
+    pub rem_synthesis: Option<SynthesisReport>,
+}
+
+/// Estimates architecture throughput on a device (through its
+/// [`Synthesizer`]).
+#[derive(Debug, Clone)]
+pub struct ThroughputEstimator<'a, 'd> {
+    synth: &'a Synthesizer<'d>,
+    schedule: ScheduleModel,
+}
+
+impl<'a, 'd> ThroughputEstimator<'a, 'd> {
+    /// Estimator with the default schedule model.
+    pub fn new(synth: &'a Synthesizer<'d>) -> Self {
+        ThroughputEstimator {
+            synth,
+            schedule: ScheduleModel::default(),
+        }
+    }
+
+    /// Estimator with an explicit schedule model.
+    pub fn with_schedule(synth: &'a Synthesizer<'d>, schedule: ScheduleModel) -> Self {
+        ThroughputEstimator { synth, schedule }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        self.synth.device()
+    }
+
+    /// Estimate one architecture against one workload.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::BadParameter`] for zero cores or `depth >
+    /// iterations`; [`EstimateError::Infeasible`] when the cores do not fit
+    /// the device; synthesis failures are propagated.
+    pub fn estimate(
+        &self,
+        pattern: &StencilPattern,
+        arch: Architecture,
+        workload: Workload,
+    ) -> Result<ThroughputReport, EstimateError> {
+        let rem = if arch.depth == 0 { 0 } else { workload.iterations % arch.depth };
+
+        // Synthesise the cores.
+        let main = self
+            .synth
+            .synthesize(pattern, arch.window, arch.depth.max(1), arch.cores.max(1))?;
+        let rem_report = if rem > 0 {
+            Some(self.synth.synthesize(pattern, arch.window, rem, 1)?)
+        } else {
+            None
+        };
+        let total_luts = main.luts + rem_report.as_ref().map_or(0, |r| r.luts);
+        let device = self.synth.device();
+
+        let fmax = main
+            .fmax_mhz
+            .min(rem_report.as_ref().map_or(f64::INFINITY, |r| r.fmax_mhz));
+        let outcome = schedule(
+            pattern,
+            arch,
+            workload,
+            main.latency_cycles,
+            rem_report.as_ref().map(|r| r.latency_cycles),
+            fmax,
+            self.schedule,
+            device,
+        )?;
+        if total_luts > device.luts {
+            return Err(EstimateError::Infeasible {
+                reason: format!(
+                    "{total_luts} LUTs required, {} available on {}",
+                    device.luts, device.name
+                ),
+            });
+        }
+
+        Ok(ThroughputReport {
+            arch,
+            tiles: outcome.tiles,
+            executions_main: outcome.executions_main,
+            executions_rem: outcome.executions_rem,
+            fmax_mhz: fmax,
+            cycles_per_frame: outcome.cycles_per_frame,
+            compute_time_s: outcome.compute_time_s,
+            transfer_time_s: outcome.transfer_time_s,
+            time_per_frame_s: outcome.time_per_frame_s,
+            fps: outcome.fps,
+            transfer_bound: outcome.transfer_bound,
+            luts: total_luts,
+            main_synthesis: main,
+            rem_synthesis: rem_report,
+        })
+    }
+
+    /// Largest core count whose area (plus the remainder core) fits the
+    /// device — "the synthesis tool uses all the available area to maximise
+    /// the throughput" (Section 4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::Infeasible`] when not even one core of each depth
+    /// fits (the paper's feasibility rule).
+    pub fn max_cores(
+        &self,
+        pattern: &StencilPattern,
+        window: Window,
+        depth: u32,
+        iterations: u32,
+    ) -> Result<u32, EstimateError> {
+        let device = self.synth.device();
+        let rem = iterations % depth;
+        let rem_luts = if rem > 0 {
+            self.synth.synthesize(pattern, window, rem, 1)?.luts
+        } else {
+            0
+        };
+        let budget = device.luts.saturating_sub(rem_luts);
+        let fits = |n: u32| -> Result<bool, EstimateError> {
+            Ok(self.synth.synthesize(pattern, window, depth, n)?.luts <= budget)
+        };
+        if !fits(1)? {
+            return Err(EstimateError::Infeasible {
+                reason: format!(
+                    "one cone of window {window} depth {depth} (plus its remainder core) exceeds {}",
+                    device.name
+                ),
+            });
+        }
+        // Exponential probe, then binary search, bounded by the window-buffer
+        // feed limit of the device.
+        let mut lo = 1u32;
+        let mut hi = 2u32;
+        let cap: u32 = device.max_parallel_cones.max(1);
+        if fits(cap)? {
+            return Ok(cap);
+        }
+        while hi <= cap && fits(hi)? {
+            lo = hi;
+            hi *= 2;
+        }
+        let mut hi = hi.min(cap + 1);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Estimate with the maximum core count that fits the device.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThroughputEstimator::max_cores`] and
+    /// [`ThroughputEstimator::estimate`].
+    pub fn best_on_device(
+        &self,
+        pattern: &StencilPattern,
+        window: Window,
+        depth: u32,
+        workload: Workload,
+    ) -> Result<ThroughputReport, EstimateError> {
+        let cores = self.max_cores(pattern, window, depth, workload.iterations)?;
+        self.estimate(
+            pattern,
+            Architecture::new(window, depth, cores),
+            workload,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_fpga::{Device, SynthOptions, Synthesizer};
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(-1, -1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, -1)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(1, -1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(-1, 0)), Expr::constant(2.0)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, 0)), Expr::constant(4.0)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(1, 0)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(-1, 1)),
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::d2(0, 1)), Expr::constant(2.0)),
+            Expr::input(f, Offset::d2(1, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(16.0)))
+            .unwrap();
+        p
+    }
+
+    /// An expensive per-element pattern (divide + sqrt), Chambolle-like.
+    fn heavy() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("heavy");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let gx = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 0)),
+        );
+        let gy = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d2(0, 1)),
+            Expr::input(f, Offset::d2(0, 0)),
+        );
+        let norm = Expr::unary(
+            isl_ir::UnaryOp::Sqrt,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::binary(BinaryOp::Mul, gx.clone(), gx),
+                Expr::binary(BinaryOp::Mul, gy.clone(), gy),
+            ),
+        );
+        let den = Expr::binary(BinaryOp::Add, Expr::constant(1.0), norm);
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Div, Expr::input(f, Offset::ZERO), den),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn basic_report_sanity() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let r = est
+            .estimate(
+                &p,
+                Architecture::new(Window::square(4), 2, 2),
+                Workload::image(256, 192, 10),
+            )
+            .unwrap();
+        assert!(r.fps > 0.0);
+        assert!(r.fmax_mhz > 0.0);
+        assert_eq!(r.tiles, 64 * 48);
+        assert_eq!(r.executions_rem, 0);
+        assert!(r.executions_main >= 5); // 5 levels, growing extents
+        assert!(r.luts > 0);
+    }
+
+    #[test]
+    fn more_cores_more_fps() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let w = Workload::image(512, 384, 10);
+        let one = est
+            .estimate(&p, Architecture::new(Window::square(4), 2, 1), w)
+            .unwrap();
+        let four = est
+            .estimate(&p, Architecture::new(Window::square(4), 2, 4), w)
+            .unwrap();
+        assert!(four.fps > one.fps);
+    }
+
+    #[test]
+    fn divisor_depths_win_on_n10() {
+        // Section 4.1: with N = 10, depths 1/2/5 beat 3/4 because the
+        // latter need an extra remainder core.
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let w = Workload::image(1024, 768, 10);
+        // Mid-size windows are where Figure 7 separates divisor depths from
+        // non-divisors (tiny windows are halo-dominated for every depth).
+        let fps = |d: u32| {
+            est.best_on_device(&p, Window::square(6), d, w)
+                .map(|r| r.fps)
+                .unwrap_or(0.0)
+        };
+        let (f1, f2, f3, f4, f5) = (fps(1), fps(2), fps(3), fps(4), fps(5));
+        assert!(f1 > f3, "depth 1 ({f1:.1}) should beat 3 ({f3:.1})");
+        assert!(f1 > f4, "depth 1 ({f1:.1}) should beat 4 ({f4:.1})");
+        assert!(f2 > f3, "depth 2 ({f2:.1}) should beat 3 ({f3:.1})");
+        assert!(f2 > f4, "depth 2 ({f2:.1}) should beat 4 ({f4:.1})");
+        // The deep divisor beats the adjacent non-divisor, which pays for a
+        // remainder core and its extra level.
+        assert!(f5 > f4, "depth 5 ({f5:.1}) should beat 4 ({f4:.1})");
+    }
+
+    #[test]
+    fn remainder_level_is_accounted() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let r = est
+            .estimate(
+                &p,
+                Architecture::new(Window::square(4), 3, 1),
+                Workload::image(128, 128, 10), // 10 = 3+3+3+1
+            )
+            .unwrap();
+        assert!(r.rem_synthesis.is_some());
+        assert_eq!(r.executions_rem, 1); // topmost level, window-sized
+    }
+
+    #[test]
+    fn transfer_bound_on_starved_interface() {
+        let mut dev = Device::virtex6_xc6vlx760();
+        dev.offchip_bandwidth_mbs = 5.0; // strangle the interface
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let r = est
+            .estimate(
+                &p,
+                Architecture::new(Window::square(4), 2, 4),
+                Workload::image(1024, 768, 10),
+            )
+            .unwrap();
+        assert!(r.transfer_bound);
+        assert!(r.fps < 30.0);
+    }
+
+    #[test]
+    fn infeasible_when_cone_exceeds_device() {
+        let dev = Device::small_multimedia();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = heavy();
+        let err = est
+            .max_cores(&p, Window::square(8), 5, 10)
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn max_cores_fits_budget() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::with_options(
+            &dev,
+            SynthOptions { jitter: false, ..SynthOptions::default() },
+        );
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let n = est.max_cores(&p, Window::square(4), 2, 10).unwrap();
+        assert!(n >= 1);
+        assert!(n <= dev.max_parallel_cones);
+        let fit = s.synthesize(&p, Window::square(4), 2, n).unwrap();
+        assert!(fit.luts <= dev.luts);
+        if n < dev.max_parallel_cones {
+            let over = s.synthesize(&p, Window::square(4), 2, n + 1).unwrap();
+            assert!(over.luts > dev.luts);
+        }
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let p = blur();
+        let w = Workload::image(64, 64, 4);
+        assert!(matches!(
+            est.estimate(&p, Architecture::new(Window::square(4), 0, 1), w),
+            Err(EstimateError::BadParameter(_))
+        ));
+        assert!(matches!(
+            est.estimate(&p, Architecture::new(Window::square(4), 5, 1), w),
+            Err(EstimateError::BadParameter(_))
+        ));
+        assert!(matches!(
+            est.estimate(&p, Architecture::new(Window::square(4), 2, 0), w),
+            Err(EstimateError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn heavy_patterns_are_slower() {
+        let dev = Device::virtex6_xc6vlx760();
+        let s = Synthesizer::new(&dev);
+        let est = ThroughputEstimator::new(&s);
+        let w = Workload::image(512, 384, 10);
+        let light = est
+            .best_on_device(&blur(), Window::square(4), 2, w)
+            .unwrap();
+        let heavy = est
+            .best_on_device(&heavy(), Window::square(4), 2, w)
+            .unwrap();
+        assert!(light.fps > heavy.fps);
+    }
+}

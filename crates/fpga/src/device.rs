@@ -1,0 +1,159 @@
+//! FPGA device resource and timing models.
+
+use std::fmt;
+
+/// Resource capacity and first-order timing parameters of an FPGA part.
+///
+/// The numbers for the named constructors come from the public Xilinx data
+/// sheets of the parts the paper evaluates on; timing coefficients are tuned
+/// so that synthesised cone designs land in the frequency range the paper
+/// reports (≈ 100 MHz on the Virtex-6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Part name (e.g. `xc6vlx760`).
+    pub name: String,
+    /// Device family (for reports).
+    pub family: String,
+    /// Usable logic LUTs.
+    pub luts: u64,
+    /// Usable flip-flops.
+    pub flip_flops: u64,
+    /// DSP multiplier blocks.
+    pub dsps: u64,
+    /// On-chip block RAM, kilobits.
+    pub bram_kbits: u64,
+    /// LUT combinational delay, ns.
+    pub lut_delay_ns: f64,
+    /// Average routing delay per logic level, ns.
+    pub routing_delay_ns: f64,
+    /// Carry-chain delay per bit, ns.
+    pub carry_per_bit_ns: f64,
+    /// DSP block combinational delay, ns.
+    pub dsp_delay_ns: f64,
+    /// Register clock-to-out plus setup, ns.
+    pub ff_overhead_ns: f64,
+    /// Hard frequency cap (clock tree limit), MHz.
+    pub fmax_cap_mhz: f64,
+    /// Off-chip memory bandwidth available to the accelerator, MB/s.
+    pub offchip_bandwidth_mbs: f64,
+    /// Maximum cone instances the on-chip window-buffer fabric can feed in
+    /// parallel (port/interconnect limit; the paper's solutions use up to
+    /// 16 cores).
+    pub max_parallel_cones: u32,
+}
+
+impl Device {
+    /// Xilinx Virtex-6 XC6VLX760 — the device of Figures 7 and 10.
+    pub fn virtex6_xc6vlx760() -> Device {
+        Device {
+            name: "xc6vlx760".into(),
+            family: "Virtex-6".into(),
+            luts: 474_240,
+            flip_flops: 948_480,
+            dsps: 864,
+            bram_kbits: 25_920,
+            lut_delay_ns: 0.9,
+            routing_delay_ns: 1.2,
+            carry_per_bit_ns: 0.05,
+            dsp_delay_ns: 3.4,
+            ff_overhead_ns: 0.8,
+            fmax_cap_mhz: 100.0,
+            offchip_bandwidth_mbs: 6_400.0,
+            max_parallel_cones: 16,
+        }
+    }
+
+    /// Xilinx Virtex-II Pro XC2VP30 — the device of the literature comparison
+    /// in Section 4.1 (\[16\] runs on a Virtex-II Pro).
+    pub fn virtex2_pro_xc2vp30() -> Device {
+        Device {
+            name: "xc2vp30".into(),
+            family: "Virtex-II Pro".into(),
+            luts: 27_392,
+            flip_flops: 27_392,
+            dsps: 136,
+            bram_kbits: 2_448,
+            lut_delay_ns: 1.6,
+            routing_delay_ns: 2.2,
+            carry_per_bit_ns: 0.09,
+            dsp_delay_ns: 5.5,
+            ff_overhead_ns: 1.2,
+            fmax_cap_mhz: 66.0,
+            offchip_bandwidth_mbs: 1_600.0,
+            max_parallel_cones: 8,
+        }
+    }
+
+    /// A small multimedia-class part with "only a few kBs" of on-chip memory
+    /// (Section 2.2's memory/performance-conflict discussion).
+    pub fn small_multimedia() -> Device {
+        Device {
+            name: "mm-small".into(),
+            family: "Multimedia".into(),
+            luts: 14_000,
+            flip_flops: 28_000,
+            dsps: 40,
+            bram_kbits: 540,
+            lut_delay_ns: 1.2,
+            routing_delay_ns: 1.6,
+            carry_per_bit_ns: 0.07,
+            dsp_delay_ns: 4.2,
+            ff_overhead_ns: 1.0,
+            fmax_cap_mhz: 80.0,
+            offchip_bandwidth_mbs: 800.0,
+            max_parallel_cones: 8,
+        }
+    }
+
+    /// Slices, assuming 4 LUT / 8 FF per slice (Virtex-6 style packing).
+    pub fn slices_for(&self, luts: u64, ffs: u64) -> u64 {
+        (luts.div_ceil(4)).max(ffs.div_ceil(8))
+    }
+
+    /// On-chip memory in bytes.
+    pub fn bram_bytes(&self) -> u64 {
+        self.bram_kbits * 1024 / 8
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} LUT / {} FF / {} DSP / {} kb BRAM",
+            self.name, self.family, self.luts, self.flip_flops, self.dsps, self.bram_kbits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_have_sane_capacities() {
+        let v6 = Device::virtex6_xc6vlx760();
+        let v2 = Device::virtex2_pro_xc2vp30();
+        let mm = Device::small_multimedia();
+        assert!(v6.luts > v2.luts);
+        assert!(v2.luts > 0);
+        assert!(mm.bram_bytes() < 128 * 1024); // "a few kBs"
+        assert!(v6.bram_bytes() > 1024 * 1024);
+    }
+
+    #[test]
+    fn slice_packing() {
+        let v6 = Device::virtex6_xc6vlx760();
+        assert_eq!(v6.slices_for(8, 8), 2);
+        assert_eq!(v6.slices_for(4, 64), 8);
+        assert_eq!(v6.slices_for(0, 0), 0);
+    }
+
+    #[test]
+    fn older_parts_are_slower() {
+        let v6 = Device::virtex6_xc6vlx760();
+        let v2 = Device::virtex2_pro_xc2vp30();
+        assert!(v2.lut_delay_ns > v6.lut_delay_ns);
+        assert!(v2.fmax_cap_mhz < v6.fmax_cap_mhz);
+    }
+}

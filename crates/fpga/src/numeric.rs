@@ -1,0 +1,145 @@
+//! Fixed-point number formats for the hardware data path.
+
+use std::fmt;
+
+/// A signed fixed-point format with `width` total bits, `frac` of which are
+/// fractional (Q notation: `Q(width-frac).frac`).
+///
+/// The default, `Q8.10` in 18 bits, follows the fixed-point choice of the
+/// hand-optimised Chambolle implementation the paper builds on, and matches
+/// the 18-bit DSP/multiplier granularity of the Xilinx parts modelled here.
+///
+/// ```
+/// use isl_fpga::FixedFormat;
+/// let q = FixedFormat::default();
+/// assert_eq!(q.width, 18);
+/// let bits = q.quantize(0.25);
+/// assert_eq!(q.dequantize(bits), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    /// Total bits, including sign.
+    pub width: u32,
+    /// Fractional bits.
+    pub frac: u32,
+}
+
+impl Default for FixedFormat {
+    fn default() -> Self {
+        FixedFormat { width: 18, frac: 10 }
+    }
+}
+
+impl FixedFormat {
+    /// Build a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < width <= 64` and `frac < width`.
+    pub fn new(width: u32, frac: u32) -> Self {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        assert!(frac < width, "frac must leave at least the sign bit");
+        FixedFormat { width, frac }
+    }
+
+    /// Integer (non-fractional) bits, including sign.
+    pub fn int_bits(&self) -> u32 {
+        self.width - self.frac
+    }
+
+    /// Quantisation step.
+    pub fn resolution(&self) -> f64 {
+        (2.0f64).powi(-(self.frac as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        let max_raw = (1i64 << (self.width - 1)) - 1;
+        max_raw as f64 * self.resolution()
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> f64 {
+        let min_raw = -(1i64 << (self.width - 1));
+        min_raw as f64 * self.resolution()
+    }
+
+    /// Round-to-nearest quantisation with saturation, returning the raw
+    /// two's-complement value.
+    pub fn quantize(&self, v: f64) -> i64 {
+        let max_raw = (1i64 << (self.width - 1)) - 1;
+        let min_raw = -(1i64 << (self.width - 1));
+        let scaled = (v * (1u64 << self.frac) as f64).round();
+        if scaled >= max_raw as f64 {
+            max_raw
+        } else if scaled <= min_raw as f64 {
+            min_raw
+        } else {
+            scaled as i64
+        }
+    }
+
+    /// Back-conversion from a raw value.
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 * self.resolution()
+    }
+
+    /// Round-trip a value through the format (quantisation error included).
+    pub fn round_trip(&self, v: f64) -> f64 {
+        self.dequantize(self.quantize(v))
+    }
+}
+
+impl fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{} ({}b)", self.int_bits(), self.frac, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_18_bit() {
+        let q = FixedFormat::default();
+        assert_eq!(q.width, 18);
+        assert_eq!(q.frac, 10);
+        assert_eq!(q.int_bits(), 8);
+    }
+
+    #[test]
+    fn quantize_roundtrip_exact_values() {
+        let q = FixedFormat::new(16, 8);
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 127.0] {
+            assert_eq!(q.round_trip(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantize_rounds() {
+        let q = FixedFormat::new(16, 8);
+        let eps = q.resolution();
+        assert_eq!(q.round_trip(0.3), (0.3f64 / eps).round() * eps);
+    }
+
+    #[test]
+    fn saturation() {
+        let q = FixedFormat::new(8, 4);
+        assert_eq!(q.round_trip(1000.0), q.max_value());
+        assert_eq!(q.round_trip(-1000.0), q.min_value());
+        assert!(q.max_value() < 8.0);
+        assert_eq!(q.min_value(), -8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac must leave")]
+    fn bad_format_panics() {
+        let _ = FixedFormat::new(8, 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FixedFormat::default().to_string(), "Q8.10 (18b)");
+    }
+}

@@ -1,0 +1,295 @@
+//! Bit-accurate fixed-point evaluation of cone dataflow graphs.
+//!
+//! The generated VHDL computes in fixed point (`isl_fixed_pkg`), while the
+//! functional simulator uses `f64`. This module evaluates a cone exactly the
+//! way the hardware does — quantising after every operation, saturating on
+//! overflow, truncating multiplies — so the numeric gap between the two is a
+//! measurable quantity instead of a leap of faith. The generated testbenches
+//! assert against `f64` expectations with an LSB tolerance; the tests here
+//! justify that tolerance.
+
+use isl_ir::{BinaryOp, Cone, FieldId, Leaf, Node, Point, UnaryOp};
+
+use crate::numeric::FixedFormat;
+
+/// Evaluate `cone` in fixed-point arithmetic.
+///
+/// `read` supplies input values in real units (they are quantised on entry,
+/// like samples loaded into the window buffer); `params` likewise. Returns
+/// `(field, point, value)` per output, dequantised back to `f64`.
+pub fn eval_fixed<R>(
+    cone: &Cone,
+    fmt: FixedFormat,
+    read: R,
+    params: &[f64],
+) -> Vec<(FieldId, Point, f64)>
+where
+    R: Fn(FieldId, Point) -> f64,
+{
+    let graph = cone.graph();
+    let mut vals: Vec<i64> = Vec::with_capacity(graph.len());
+    let one = 1i64 << fmt.frac;
+    let sat = |v: i64| -> i64 {
+        let max = (1i64 << (fmt.width - 1)) - 1;
+        let min = -(1i64 << (fmt.width - 1));
+        v.clamp(min, max)
+    };
+    for (_, node) in graph.nodes() {
+        let v = match node {
+            Node::Leaf(leaf) => match leaf {
+                Leaf::Input { field, point } | Leaf::Static { field, point } => {
+                    fmt.quantize(read(*field, *point))
+                }
+                Leaf::Const(c) => fmt.quantize(c.value()),
+                Leaf::Param(p) => {
+                    fmt.quantize(params.get(p.index()).copied().unwrap_or(0.0))
+                }
+            },
+            Node::Unary { op, arg } => {
+                let a = vals[arg.index()];
+                match op {
+                    UnaryOp::Neg => sat(-a),
+                    UnaryOp::Abs => sat(a.abs()),
+                    UnaryOp::Sqrt => {
+                        // Integer square root of a << frac, like fx_sqrt.
+                        if a <= 0 {
+                            0
+                        } else {
+                            isqrt((a as i128) << fmt.frac) as i64
+                        }
+                    }
+                }
+            }
+            Node::Binary { op, lhs, rhs } => {
+                let a = vals[lhs.index()];
+                let b = vals[rhs.index()];
+                match op {
+                    BinaryOp::Add => sat(a + b),
+                    BinaryOp::Sub => sat(a - b),
+                    BinaryOp::Mul => sat(((a as i128 * b as i128) >> fmt.frac) as i64),
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            sat((((a as i128) << fmt.frac) / b as i128) as i64)
+                        }
+                    }
+                    BinaryOp::Min => a.min(b),
+                    BinaryOp::Max => a.max(b),
+                    BinaryOp::Lt => {
+                        if a < b {
+                            one
+                        } else {
+                            0
+                        }
+                    }
+                    BinaryOp::Le => {
+                        if a <= b {
+                            one
+                        } else {
+                            0
+                        }
+                    }
+                    BinaryOp::Gt => {
+                        if a > b {
+                            one
+                        } else {
+                            0
+                        }
+                    }
+                    BinaryOp::Ge => {
+                        if a >= b {
+                            one
+                        } else {
+                            0
+                        }
+                    }
+                }
+            }
+            Node::Select { cond, then_, else_ } => {
+                if vals[cond.index()] != 0 {
+                    vals[then_.index()]
+                } else {
+                    vals[else_.index()]
+                }
+            }
+        };
+        vals.push(v);
+    }
+    cone.outputs()
+        .iter()
+        .map(|o| (o.field, o.point, fmt.dequantize(vals[o.node.index()])))
+        .collect()
+}
+
+/// Integer square root (floor) for non-negative `i128`.
+fn isqrt(n: i128) -> i128 {
+    if n < 2 {
+        return n.max(0);
+    }
+    let mut x = (n as f64).sqrt() as i128;
+    // Newton touch-ups to correct float rounding.
+    while x > 0 && x * x > n {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{Expr, FieldKind, Offset, StencilPattern, Window};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(4.0)))
+            .unwrap();
+        p
+    }
+
+    fn heavy() -> StencilPattern {
+        // sqrt + divide, the Chambolle-style numerics.
+        let mut p = StencilPattern::new(1).with_name("heavy");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let gx = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d1(1)),
+            Expr::input(f, Offset::d1(-1)),
+        );
+        let den = Expr::binary(
+            BinaryOp::Add,
+            Expr::constant(1.0),
+            Expr::unary(UnaryOp::Sqrt, Expr::binary(BinaryOp::Mul, gx.clone(), gx)),
+        );
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Div, Expr::input(f, Offset::ZERO), den),
+        )
+        .unwrap();
+        p
+    }
+
+    fn stimulus(f: FieldId, p: Point) -> f64 {
+        let i = (p.x + 7 * p.y + 13 * f.index() as i32).rem_euclid(23);
+        i as f64 / 8.0 - 1.0
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for n in 0..2000i128 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
+        }
+        assert_eq!(isqrt(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn fixed_point_tracks_f64_for_shift_only_kernels() {
+        let p = blur();
+        let cone = Cone::build(&p, Window::square(3), 3).unwrap();
+        let fmt = FixedFormat::default();
+        let fixed = eval_fixed(&cone, fmt, stimulus, &[]);
+        let float = cone.eval(stimulus, &[]);
+        for ((_, _, fv), (_, _, dv)) in fixed.iter().zip(float.iter()) {
+            // Shift-and-add data path: error bounded by a few quantisation
+            // steps per level.
+            assert!(
+                (fv - dv).abs() < 16.0 * fmt.resolution(),
+                "{fv} vs {dv}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_fraction_bits_reduce_error() {
+        let p = heavy();
+        let cone = Cone::build(&p, Window::line(2), 2).unwrap();
+        let float = cone.eval(stimulus, &[]);
+        let err_of = |fmt: FixedFormat| {
+            let fixed = eval_fixed(&cone, fmt, stimulus, &[]);
+            fixed
+                .iter()
+                .zip(float.iter())
+                .map(|((_, _, a), (_, _, b))| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = err_of(FixedFormat::new(16, 6));
+        let fine = err_of(FixedFormat::new(28, 16));
+        assert!(fine < coarse, "fine {fine} !< coarse {coarse}");
+        assert!(fine < 1e-3);
+    }
+
+    #[test]
+    fn saturation_engages_instead_of_wrapping() {
+        // f' = f + f repeatedly overflows Q2.4 quickly; values must pin at
+        // the rails, never wrap sign.
+        let mut p = StencilPattern::new(1).with_name("doubler");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::input(f, Offset::ZERO),
+                Expr::input(f, Offset::ZERO),
+            ),
+        )
+        .unwrap();
+        let cone = Cone::build(&p, Window::line(1), 8).unwrap();
+        let fmt = FixedFormat::new(6, 4);
+        let out = eval_fixed(&cone, fmt, |_, _| 1.0, &[]);
+        assert_eq!(out[0].2, fmt.max_value());
+        let out_neg = eval_fixed(&cone, fmt, |_, _| -1.0, &[]);
+        assert_eq!(out_neg[0].2, fmt.min_value());
+    }
+
+    #[test]
+    fn comparisons_yield_exact_booleans() {
+        let mut p = StencilPattern::new(1).with_name("cmp");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::select(
+                Expr::binary(
+                    BinaryOp::Gt,
+                    Expr::input(f, Offset::d1(0)),
+                    Expr::constant(0.0),
+                ),
+                Expr::constant(1.0),
+                Expr::constant(-1.0),
+            ),
+        )
+        .unwrap();
+        let cone = Cone::build(&p, Window::line(1), 1).unwrap();
+        let fmt = FixedFormat::default();
+        assert_eq!(eval_fixed(&cone, fmt, |_, _| 0.5, &[])[0].2, 1.0);
+        assert_eq!(eval_fixed(&cone, fmt, |_, _| -0.5, &[])[0].2, -1.0);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero_like_fx_div() {
+        let mut p = StencilPattern::new(1).with_name("div");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::binary(
+                BinaryOp::Div,
+                Expr::constant(1.0),
+                Expr::input(f, Offset::ZERO),
+            ),
+        )
+        .unwrap();
+        let cone = Cone::build(&p, Window::line(1), 1).unwrap();
+        let out = eval_fixed(&cone, FixedFormat::default(), |_, _| 0.0, &[]);
+        assert_eq!(out[0].2, 0.0);
+    }
+}

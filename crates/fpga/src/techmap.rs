@@ -1,0 +1,371 @@
+//! Technology mapping: operation nodes → LUT/FF/DSP resources and delays.
+//!
+//! The mapping follows standard FPGA arithmetic implementation practice:
+//!
+//! * adders/subtractors ride the carry chain (1 LUT/bit);
+//! * multiplications by constants are decomposed into shift-adds using the
+//!   canonical signed digit (CSD / non-adjacent form) recoding of the
+//!   constant — so a Gaussian kernel tap `×2` is free and `×√2 ≈ Q10
+//!   constant` costs a handful of adders;
+//! * general multiplications take a DSP block (up to 18×18), falling back to
+//!   LUT arrays when DSPs run out;
+//! * division and square root become pipelined iterative arrays (one
+//!   subtract-compare stage per result bit);
+//! * every operation's result is registered (one pipeline stage), which is
+//!   the hardware realisation of the paper's "store the result in a
+//!   register" reuse rule.
+
+use isl_ir::{BinaryOp, Graph, Leaf, Node, NodeId, UnaryOp};
+
+use crate::device::Device;
+use crate::numeric::FixedFormat;
+
+/// Resources and timing of one mapped operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceCost {
+    /// Logic LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+    /// Combinational delay of the slowest pipeline stage of this operation,
+    /// nanoseconds (excludes register overhead).
+    pub stage_delay_ns: f64,
+    /// Pipeline stages occupied (1 for simple ops, `width` for dividers).
+    pub stages: u32,
+}
+
+impl ResourceCost {
+    /// Componentwise sum.
+    pub fn add(&self, other: &ResourceCost) -> ResourceCost {
+        ResourceCost {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            dsps: self.dsps + other.dsps,
+            stage_delay_ns: self.stage_delay_ns.max(other.stage_delay_ns),
+            stages: self.stages.max(other.stages),
+        }
+    }
+}
+
+/// Number of non-zero digits in the canonical signed digit (non-adjacent
+/// form) recoding of `n` — the number of partial products a constant
+/// multiplier needs.
+///
+/// ```
+/// use isl_fpga::techmap::csd_nonzero_digits;
+/// assert_eq!(csd_nonzero_digits(0), 0);
+/// assert_eq!(csd_nonzero_digits(4), 1);   // one shift
+/// assert_eq!(csd_nonzero_digits(7), 2);   // 8 - 1
+/// assert_eq!(csd_nonzero_digits(0b1010101), 4);
+/// ```
+pub fn csd_nonzero_digits(n: u64) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let n = n as u128;
+    ((3 * n) ^ n).count_ones()
+}
+
+/// Adders needed to multiply by the constant `c` in format `fmt`
+/// (shift-adds after CSD recoding; 0 for powers of two and for 0/±1).
+pub fn const_mul_adders(c: f64, fmt: FixedFormat) -> u32 {
+    let raw = (c.abs() * (1u64 << fmt.frac) as f64).round() as u64;
+    csd_nonzero_digits(raw).saturating_sub(1)
+}
+
+/// Whether multiplying by `c` is a pure shift (CSD has at most one digit).
+pub fn const_is_shift(c: f64, fmt: FixedFormat) -> bool {
+    const_mul_adders(c, fmt) == 0
+}
+
+fn adder_delay(dev: &Device, width: u32) -> f64 {
+    dev.lut_delay_ns + dev.carry_per_bit_ns * width as f64 + dev.routing_delay_ns
+}
+
+fn adder_cost(dev: &Device, width: u32) -> ResourceCost {
+    ResourceCost {
+        luts: width as u64,
+        ffs: width as u64,
+        dsps: 0,
+        stage_delay_ns: adder_delay(dev, width),
+        stages: 1,
+    }
+}
+
+/// Pipeline latency (in cycles) of a graph whose every operation is
+/// registered: the longest path measured in pipeline stages, with iterative
+/// units (divide, square root) contributing one stage per result bit.
+pub fn pipeline_latency(graph: &Graph, fmt: FixedFormat) -> u32 {
+    let latency = graph.longest_path(|n| match n.op_kind() {
+        Some(isl_ir::OpKind::Binary(BinaryOp::Div)) => fmt.width as f64,
+        Some(isl_ir::OpKind::Unary(UnaryOp::Sqrt)) => (fmt.width as f64 / 2.0).max(1.0),
+        Some(_) => 1.0,
+        None => 0.0,
+    });
+    (latency as u32).max(1)
+}
+
+/// Map one operation node of `graph`. Leaves cost nothing (their registers
+/// are accounted as input-window buffers by the synthesiser). `allow_dsp`
+/// selects DSP blocks for general multiplies; pass `false` when the DSP
+/// budget is exhausted to fall back to LUT multipliers.
+pub fn map_node(
+    graph: &Graph,
+    id: NodeId,
+    fmt: FixedFormat,
+    dev: &Device,
+    allow_dsp: bool,
+) -> ResourceCost {
+    let w = fmt.width;
+    let wu = w as u64;
+    let node = graph.node(id);
+    let const_of = |nid: NodeId| -> Option<f64> {
+        match graph.node(nid) {
+            Node::Leaf(Leaf::Const(c)) => Some(c.value()),
+            _ => None,
+        }
+    };
+    match node {
+        Node::Leaf(_) => ResourceCost::default(),
+        Node::Unary { op, .. } => match op {
+            UnaryOp::Neg => adder_cost(dev, w),
+            UnaryOp::Abs => ResourceCost {
+                luts: wu + wu / 2,
+                ffs: wu,
+                dsps: 0,
+                stage_delay_ns: adder_delay(dev, w) + dev.lut_delay_ns,
+                stages: 1,
+            },
+            UnaryOp::Sqrt => ResourceCost {
+                // Non-restoring square root: one subtract/compare row per
+                // result bit, fully pipelined.
+                luts: (wu * wu) * 4 / 5,
+                ffs: wu * wu / 2,
+                dsps: 0,
+                stage_delay_ns: adder_delay(dev, w),
+                stages: w.div_ceil(2).max(1),
+            },
+        },
+        Node::Binary { op, lhs, rhs } => {
+            let (lc, rc) = (const_of(*lhs), const_of(*rhs));
+            match op {
+                BinaryOp::Add | BinaryOp::Sub => adder_cost(dev, w),
+                BinaryOp::Mul => {
+                    // One side constant: CSD shift-add network.
+                    if let Some(c) = lc.or(rc) {
+                        let adders = const_mul_adders(c, fmt) as u64;
+                        if adders == 0 {
+                            return ResourceCost {
+                                luts: 0,
+                                ffs: wu,
+                                dsps: 0,
+                                stage_delay_ns: dev.routing_delay_ns,
+                                stages: 1,
+                            };
+                        }
+                        let levels = (64 - (adders + 1).leading_zeros()).max(1);
+                        return ResourceCost {
+                            luts: adders * wu,
+                            ffs: wu,
+                            dsps: 0,
+                            stage_delay_ns: adder_delay(dev, w) * levels as f64,
+                            stages: 1,
+                        };
+                    }
+                    if allow_dsp && w <= 18 {
+                        ResourceCost {
+                            luts: 0,
+                            ffs: wu,
+                            dsps: 1,
+                            stage_delay_ns: dev.dsp_delay_ns,
+                            stages: 1,
+                        }
+                    } else {
+                        ResourceCost {
+                            luts: wu * wu / 2,
+                            ffs: wu,
+                            dsps: 0,
+                            stage_delay_ns: adder_delay(dev, w)
+                                * (32 - w.leading_zeros()).max(1) as f64
+                                * 0.5,
+                            stages: 2,
+                        }
+                    }
+                }
+                BinaryOp::Div => {
+                    if let Some(c) = rc {
+                        // Division by a constant = multiplication by the
+                        // quantised reciprocal (exact shift for powers of 2).
+                        if c != 0.0 && const_is_shift(1.0 / c, fmt) {
+                            return ResourceCost {
+                                luts: 0,
+                                ffs: wu,
+                                dsps: 0,
+                                stage_delay_ns: dev.routing_delay_ns,
+                                stages: 1,
+                            };
+                        }
+                        let adders = if c != 0.0 {
+                            const_mul_adders(1.0 / c, fmt) as u64
+                        } else {
+                            0
+                        };
+                        let levels = (64 - (adders + 1).leading_zeros()).max(1);
+                        return ResourceCost {
+                            luts: adders * wu,
+                            ffs: wu,
+                            dsps: 0,
+                            stage_delay_ns: adder_delay(dev, w) * levels as f64,
+                            stages: 1,
+                        };
+                    }
+                    // Pipelined non-restoring divider array.
+                    ResourceCost {
+                        luts: wu * wu * 3 / 2,
+                        ffs: wu * wu,
+                        dsps: 0,
+                        stage_delay_ns: adder_delay(dev, w),
+                        stages: w,
+                    }
+                }
+                BinaryOp::Min | BinaryOp::Max => ResourceCost {
+                    luts: wu,
+                    ffs: wu,
+                    dsps: 0,
+                    stage_delay_ns: adder_delay(dev, w) + dev.lut_delay_ns,
+                    stages: 1,
+                },
+                BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => ResourceCost {
+                    luts: wu / 2 + 1,
+                    ffs: 1,
+                    dsps: 0,
+                    stage_delay_ns: adder_delay(dev, w),
+                    stages: 1,
+                },
+            }
+        }
+        Node::Select { .. } => ResourceCost {
+            luts: wu / 2,
+            ffs: wu,
+            dsps: 0,
+            stage_delay_ns: dev.lut_delay_ns + dev.routing_delay_ns,
+            stages: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{FieldId, Point};
+
+    fn setup() -> (Graph, NodeId, NodeId, Device, FixedFormat) {
+        let mut g = Graph::new();
+        let a = g.input(FieldId::new(0), Point::d1(0));
+        let b = g.input(FieldId::new(0), Point::d1(1));
+        (g, a, b, Device::virtex6_xc6vlx760(), FixedFormat::default())
+    }
+
+    #[test]
+    fn csd_values() {
+        assert_eq!(csd_nonzero_digits(0), 0);
+        assert_eq!(csd_nonzero_digits(1), 1);
+        assert_eq!(csd_nonzero_digits(2), 1);
+        assert_eq!(csd_nonzero_digits(3), 2); // 4 - 1
+        assert_eq!(csd_nonzero_digits(15), 2); // 16 - 1
+        assert_eq!(csd_nonzero_digits(255), 2); // 256 - 1
+        assert_eq!(csd_nonzero_digits(0b101010), 3);
+    }
+
+    #[test]
+    fn power_of_two_multiplies_are_free() {
+        let fmt = FixedFormat::default();
+        assert!(const_is_shift(2.0, fmt));
+        assert!(const_is_shift(0.25, fmt));
+        assert!(const_is_shift(1.0, fmt));
+        assert!(!const_is_shift(3.0, fmt));
+        assert_eq!(const_mul_adders(3.0, fmt), 1);
+        assert_eq!(const_mul_adders(0.0625, fmt), 0); // 1/16
+    }
+
+    #[test]
+    fn adds_ride_the_carry_chain() {
+        let (mut g, a, b, dev, fmt) = setup();
+        let s = g.binary(BinaryOp::Add, a, b);
+        let c = map_node(&g, s, fmt, &dev, true);
+        assert_eq!(c.luts, fmt.width as u64);
+        assert_eq!(c.ffs, fmt.width as u64);
+        assert_eq!(c.stages, 1);
+        assert!(c.stage_delay_ns > 0.0);
+    }
+
+    #[test]
+    fn const_mul_cheaper_than_general_mul() {
+        let (mut g, a, b, dev, fmt) = setup();
+        let k = g.constant(3.0);
+        let cm = g.binary(BinaryOp::Mul, a, k);
+        let gm = g.binary(BinaryOp::Mul, a, b);
+        let c_const = map_node(&g, cm, fmt, &dev, false);
+        let c_gen = map_node(&g, gm, fmt, &dev, false);
+        assert!(c_const.luts < c_gen.luts);
+    }
+
+    #[test]
+    fn general_mul_uses_dsp_when_allowed() {
+        let (mut g, a, b, dev, fmt) = setup();
+        let m = g.binary(BinaryOp::Mul, a, b);
+        let with = map_node(&g, m, fmt, &dev, true);
+        let without = map_node(&g, m, fmt, &dev, false);
+        assert_eq!(with.dsps, 1);
+        assert_eq!(with.luts, 0);
+        assert_eq!(without.dsps, 0);
+        assert!(without.luts > 0);
+    }
+
+    #[test]
+    fn divider_is_expensive_and_deep() {
+        let (mut g, a, b, dev, fmt) = setup();
+        let d = g.binary(BinaryOp::Div, a, b);
+        let s = g.binary(BinaryOp::Add, a, b);
+        let cd = map_node(&g, d, fmt, &dev, true);
+        let cs = map_node(&g, s, fmt, &dev, true);
+        assert!(cd.luts > 10 * cs.luts);
+        assert_eq!(cd.stages, fmt.width);
+    }
+
+    #[test]
+    fn div_by_power_of_two_is_free() {
+        let (mut g, a, _, dev, fmt) = setup();
+        let k = g.constant(16.0);
+        let d = g.binary(BinaryOp::Div, a, k);
+        let c = map_node(&g, d, fmt, &dev, true);
+        assert_eq!(c.luts, 0);
+        assert_eq!(c.dsps, 0);
+    }
+
+    #[test]
+    fn sqrt_is_an_iterative_array() {
+        let (mut g, a, _, dev, fmt) = setup();
+        let s = g.unary(UnaryOp::Sqrt, a);
+        let c = map_node(&g, s, fmt, &dev, true);
+        assert!(c.luts > fmt.width as u64 * 10);
+        assert!(c.stages > 1);
+    }
+
+    #[test]
+    fn leaves_cost_nothing() {
+        let (g, a, _, dev, fmt) = setup();
+        assert_eq!(map_node(&g, a, fmt, &dev, true), ResourceCost::default());
+    }
+
+    #[test]
+    fn comparisons_produce_single_bit() {
+        let (mut g, a, b, dev, fmt) = setup();
+        let lt = g.binary(BinaryOp::Lt, a, b);
+        let c = map_node(&g, lt, fmt, &dev, true);
+        assert_eq!(c.ffs, 1);
+        assert!(c.luts <= fmt.width as u64);
+    }
+}

@@ -1,0 +1,442 @@
+//! Abstract syntax tree of the C subset, plus a pretty-printer.
+//!
+//! The pretty-printer regenerates compilable source from an AST; the
+//! integration suite uses it for parse → print → parse round-trip
+//! property tests.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A metadata directive (`#pragma isl ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pragma {
+    /// `#pragma isl iterations N` — default iteration count of the ISL.
+    Iterations(u32),
+    /// `#pragma isl param name value` — default value of a scalar parameter.
+    ParamDefault {
+        /// Parameter name (must match a scalar function parameter).
+        name: String,
+        /// Default value.
+        value: f64,
+    },
+    /// `#pragma isl border mode` — border handling hint (clamp/mirror/wrap/zero).
+    Border(String),
+}
+
+/// An array (frame) parameter such as `const float in[H][W]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayParam {
+    /// Parameter name.
+    pub name: String,
+    /// `const` marks inputs.
+    pub is_const: bool,
+    /// Dimension names/sizes from outermost to innermost, e.g. `["H", "W"]`.
+    pub dims: Vec<String>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A scalar parameter such as `float tau`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarParam {
+    /// Parameter name.
+    pub name: String,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// Binary operators of the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// C spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators of the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference (loop variable, scalar parameter or local).
+    Ident(String, Span),
+    /// Array element access `name[e1][e2]...`.
+    Index {
+        /// Array name.
+        array: String,
+        /// One index expression per dimension, outermost first.
+        indices: Vec<ExprAst>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<ExprAst>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Function call (the math subset: `sqrtf`, `fabsf`, `fminf`, `fmaxf`).
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<ExprAst>,
+        /// Source location.
+        span: Span,
+    },
+    /// C ternary `cond ? then : else`.
+    Ternary {
+        /// Condition.
+        cond: Box<ExprAst>,
+        /// Value if the condition is non-zero.
+        then_: Box<ExprAst>,
+        /// Value otherwise.
+        else_: Box<ExprAst>,
+    },
+}
+
+impl ExprAst {
+    /// Source location most representative of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            ExprAst::Num(_) => Span::default(),
+            ExprAst::Ident(_, s) => *s,
+            ExprAst::Index { span, .. } => *span,
+            ExprAst::Unary { arg, .. } => arg.span(),
+            ExprAst::Binary { lhs, .. } => lhs.span(),
+            ExprAst::Call { span, .. } => *span,
+            ExprAst::Ternary { cond, .. } => cond.span(),
+        }
+    }
+}
+
+/// Assignment target: scalar or array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar local variable.
+    Var(String, Span),
+    /// An array element.
+    Elem {
+        /// Array name.
+        array: String,
+        /// Index expressions, outermost first.
+        indices: Vec<ExprAst>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// Source location of the target.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var(_, s) => *s,
+            LValue::Elem { span, .. } => *span,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A counted `for` loop with unit increment:
+    /// `for (int v = from; v < to; v++) body`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Lower bound (inclusive).
+        from: ExprAst,
+        /// Upper bound (exclusive).
+        to: ExprAst,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// Local scalar declaration with initialiser: `float t = e;`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: ExprAst,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment `lv = e;` (compound `+=`/`-=` are desugared by the parser).
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: ExprAst,
+    },
+    /// `if (cond) then [else else]` — both branches may assign; symbolic
+    /// execution merges them into hardware selects.
+    If {
+        /// Condition.
+        cond: ExprAst,
+        /// Taken branch.
+        then_: Box<Stmt>,
+        /// Optional fallback branch.
+        else_: Option<Box<Stmt>>,
+        /// Source location.
+        span: Span,
+    },
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+}
+
+/// A parsed kernel: one `void` function plus its pragmas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Function name.
+    pub name: String,
+    /// Array (frame) parameters, in declaration order.
+    pub arrays: Vec<ArrayParam>,
+    /// Scalar parameters, in declaration order.
+    pub scalars: Vec<ScalarParam>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Collected `#pragma isl` directives.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Kernel {
+    /// The `iterations` pragma value, if present.
+    pub fn iterations(&self) -> Option<u32> {
+        self.pragmas.iter().find_map(|p| match p {
+            Pragma::Iterations(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The default value declared for scalar parameter `name`, if any.
+    pub fn param_default(&self, name: &str) -> Option<f64> {
+        self.pragmas.iter().find_map(|p| match p {
+            Pragma::ParamDefault { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// The `border` pragma value, if present.
+    pub fn border(&self) -> Option<&str> {
+        self.pragmas.iter().find_map(|p| match p {
+            Pragma::Border(b) => Some(b.as_str()),
+            _ => None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------------
+
+fn fmt_expr(e: &ExprAst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        ExprAst::Num(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                write!(f, "{v:.1}")
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        ExprAst::Ident(n, _) => write!(f, "{n}"),
+        ExprAst::Index { array, indices, .. } => {
+            write!(f, "{array}")?;
+            for i in indices {
+                write!(f, "[")?;
+                fmt_expr(i, f)?;
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+        ExprAst::Unary { op, arg } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            write!(f, "({sym}")?;
+            fmt_expr(arg, f)?;
+            write!(f, ")")
+        }
+        ExprAst::Binary { op, lhs, rhs } => {
+            write!(f, "(")?;
+            fmt_expr(lhs, f)?;
+            write!(f, " {} ", op.symbol())?;
+            fmt_expr(rhs, f)?;
+            write!(f, ")")
+        }
+        ExprAst::Call { func, args, .. } => {
+            write!(f, "{func}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+        ExprAst::Ternary { cond, then_, else_ } => {
+            write!(f, "(")?;
+            fmt_expr(cond, f)?;
+            write!(f, " ? ")?;
+            fmt_expr(then_, f)?;
+            write!(f, " : ")?;
+            fmt_expr(else_, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for ExprAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}
+
+fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::For { var, from, to, body, .. } => {
+            writeln!(f, "{pad}for (int {var} = {from}; {var} < {to}; {var}++)")?;
+            fmt_stmt(body, f, indent + 1)
+        }
+        Stmt::Decl { name, value, .. } => writeln!(f, "{pad}float {name} = {value};"),
+        Stmt::Assign { target, value } => match target {
+            LValue::Var(n, _) => writeln!(f, "{pad}{n} = {value};"),
+            LValue::Elem { array, indices, .. } => {
+                write!(f, "{pad}{array}")?;
+                for i in indices {
+                    write!(f, "[{i}]")?;
+                }
+                writeln!(f, " = {value};")
+            }
+        },
+        Stmt::If { cond, then_, else_, .. } => {
+            writeln!(f, "{pad}if ({cond})")?;
+            fmt_stmt(then_, f, indent + 1)?;
+            if let Some(e) = else_ {
+                writeln!(f, "{pad}else")?;
+                fmt_stmt(e, f, indent + 1)?;
+            }
+            Ok(())
+        }
+        Stmt::Block(stmts) => {
+            writeln!(f, "{pad}{{")?;
+            for st in stmts {
+                fmt_stmt(st, f, indent + 1)?;
+            }
+            writeln!(f, "{pad}}}")
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_stmt(self, f, 0)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.pragmas {
+            match p {
+                Pragma::Iterations(n) => writeln!(f, "#pragma isl iterations {n}")?,
+                Pragma::ParamDefault { name, value } => {
+                    writeln!(f, "#pragma isl param {name} {value}")?
+                }
+                Pragma::Border(b) => writeln!(f, "#pragma isl border {b}")?,
+            }
+        }
+        write!(f, "void {}(", self.name)?;
+        let mut first = true;
+        for a in &self.arrays {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if a.is_const {
+                write!(f, "const ")?;
+            }
+            write!(f, "float {}", a.name)?;
+            for d in &a.dims {
+                write!(f, "[{d}]")?;
+            }
+        }
+        for s in &self.scalars {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "float {}", s.name)?;
+        }
+        writeln!(f, ") {{")?;
+        for s in &self.body {
+            fmt_stmt(s, f, 1)?;
+        }
+        writeln!(f, "}}")
+    }
+}

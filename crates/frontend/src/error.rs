@@ -1,0 +1,68 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::Span;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// A character the lexer does not understand.
+    UnexpectedChar(char),
+    /// A malformed numeric literal.
+    BadNumber(String),
+    /// A malformed `#pragma isl` directive.
+    BadPragma(String),
+    /// The parser found `got` where it expected `expected`.
+    UnexpectedToken {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        got: String,
+    },
+    /// A semantic-analysis violation (signature, loop structure, ...).
+    Semantic(String),
+}
+
+/// An error with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Where (1-based line/column).
+    pub span: Span,
+}
+
+impl FrontendError {
+    /// Construct an error at a location.
+    pub fn new(kind: ErrorKind, span: Span) -> Self {
+        FrontendError { kind, span }
+    }
+
+    /// Construct a semantic error at a location.
+    pub fn semantic(msg: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            kind: ErrorKind::Semantic(msg.into()),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::UnexpectedChar(c) => {
+                write!(f, "{}: unexpected character `{c}`", self.span)
+            }
+            ErrorKind::BadNumber(s) => write!(f, "{}: malformed number `{s}`", self.span),
+            ErrorKind::BadPragma(s) => write!(f, "{}: malformed pragma: {s}", self.span),
+            ErrorKind::UnexpectedToken { expected, got } => {
+                write!(f, "{}: expected {expected}, found {got}", self.span)
+            }
+            ErrorKind::Semantic(msg) => write!(f, "{}: {msg}", self.span),
+        }
+    }
+}
+
+impl Error for FrontendError {}

@@ -1,0 +1,409 @@
+//! Hand-written lexer for the C subset, including `#pragma isl` directives.
+
+use crate::ast::Pragma;
+use crate::error::{ErrorKind, FrontendError};
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenise `source`, separating `#pragma isl` directives from the token
+/// stream. `//` and `/* */` comments are skipped; unknown preprocessor lines
+/// (`#define`, `#include`) are ignored so realistic kernel files lex cleanly.
+///
+/// # Errors
+///
+/// Returns a located [`FrontendError`] on unknown characters, malformed
+/// numbers or malformed `#pragma isl` directives.
+pub fn lex(source: &str) -> Result<(Vec<Token>, Vec<Pragma>), FrontendError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'s str,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<(Vec<Token>, Vec<Pragma>), FrontendError> {
+        let mut tokens = Vec::new();
+        let mut pragmas = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span });
+                break;
+            };
+            if c == '#' {
+                if let Some(p) = self.preprocessor_line(span)? {
+                    pragmas.push(p);
+                }
+                continue;
+            }
+            let kind = self.token(span)?;
+            tokens.push(Token { kind, span });
+        }
+        Ok((tokens, pragmas))
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Consume a whole `#...` line. Recognised `#pragma isl` directives are
+    /// returned; other preprocessor lines are ignored.
+    fn preprocessor_line(&mut self, span: Span) -> Result<Option<Pragma>, FrontendError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let words: Vec<&str> = text.split_whitespace().collect();
+        if words.len() >= 2 && words[0] == "#pragma" && words[1] == "isl" {
+            let bad = |msg: &str| {
+                Err(FrontendError::new(ErrorKind::BadPragma(msg.to_string()), span))
+            };
+            match words.get(2).copied() {
+                Some("iterations") => {
+                    let Some(n) = words.get(3).and_then(|w| w.parse::<u32>().ok()) else {
+                        return bad("expected `iterations <positive integer>`");
+                    };
+                    if n == 0 {
+                        return bad("iteration count must be positive");
+                    }
+                    Ok(Some(Pragma::Iterations(n)))
+                }
+                Some("param") => {
+                    let (Some(name), Some(value)) = (words.get(3), words.get(4)) else {
+                        return bad("expected `param <name> <value>`");
+                    };
+                    let Ok(v) = value.parse::<f64>() else {
+                        return bad("parameter default must be numeric");
+                    };
+                    Ok(Some(Pragma::ParamDefault {
+                        name: name.to_string(),
+                        value: v,
+                    }))
+                }
+                Some("border") => {
+                    let Some(mode) = words.get(3) else {
+                        return bad("expected `border <mode>`");
+                    };
+                    Ok(Some(Pragma::Border(mode.to_string())))
+                }
+                other => bad(&format!(
+                    "unknown directive `{}`; expected iterations/param/border",
+                    other.unwrap_or("")
+                )),
+            }
+        } else {
+            Ok(None) // #define / #include etc.: ignored
+        }
+    }
+
+    fn token(&mut self, span: Span) -> Result<TokenKind, FrontendError> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Self, next: char, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semi,
+            ',' => TokenKind::Comma,
+            '?' => TokenKind::Question,
+            ':' => TokenKind::Colon,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            '<' => two(self, '=', TokenKind::Le, TokenKind::Lt),
+            '>' => two(self, '=', TokenKind::Ge, TokenKind::Gt),
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '!' => two(self, '=', TokenKind::Ne, TokenKind::Not),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(FrontendError::new(ErrorKind::UnexpectedChar('&'), span));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(FrontendError::new(ErrorKind::UnexpectedChar('|'), span));
+                }
+            }
+            c if c.is_ascii_digit() || (c == '.' && self.peek().is_some_and(|n| n.is_ascii_digit())) => {
+                self.number(c, span)?
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => self.ident(c),
+            other => return Err(FrontendError::new(ErrorKind::UnexpectedChar(other), span)),
+        };
+        Ok(kind)
+    }
+
+    fn number(&mut self, first: char, span: Span) -> Result<TokenKind, FrontendError> {
+        let mut text = String::new();
+        text.push(first);
+        let mut seen_dot = first == '.';
+        let mut seen_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    text.push(c);
+                    self.bump();
+                }
+                '.' if !seen_dot && !seen_exp => {
+                    seen_dot = true;
+                    text.push(c);
+                    self.bump();
+                }
+                'e' | 'E' if !seen_exp => {
+                    seen_exp = true;
+                    text.push(c);
+                    self.bump();
+                    if matches!(self.peek(), Some('+') | Some('-')) {
+                        text.push(self.bump().expect("peeked"));
+                    }
+                }
+                'f' | 'F' => {
+                    self.bump(); // float suffix, drop it
+                    break;
+                }
+                _ => break,
+            }
+        }
+        text.parse::<f64>()
+            .map(TokenKind::Num)
+            .map_err(|_| FrontendError::new(ErrorKind::BadNumber(text), span))
+    }
+
+    fn ident(&mut self, first: char) -> TokenKind {
+        let mut text = String::new();
+        text.push(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "void" => TokenKind::KwVoid,
+            "const" => TokenKind::KwConst,
+            "float" | "double" => TokenKind::KwFloat,
+            "int" => TokenKind::KwInt,
+            "for" => TokenKind::KwFor,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "return" => TokenKind::KwReturn,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    #[allow(dead_code)]
+    fn source(&self) -> &'s str {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_idents() {
+        let ks = kinds("out[y][x] = in[y-1][x] * 0.25f;");
+        assert_eq!(ks[0], TokenKind::Ident("out".into()));
+        assert_eq!(ks[1], TokenKind::LBracket);
+        assert!(ks.contains(&TokenKind::Num(0.25)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let ks = kinds("<= >= == != && || ++ -- += -=");
+        assert_eq!(
+            &ks[..10],
+            &[
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::PlusPlus,
+                TokenKind::MinusMinus,
+                TokenKind::PlusAssign,
+                TokenKind::MinusAssign,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a // line\n /* block\nblock */ b");
+        assert_eq!(ks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn parses_pragmas() {
+        let (_, pragmas) = lex("#pragma isl iterations 10\n#pragma isl param tau 0.25\n#pragma isl border clamp\nvoid f() {}").unwrap();
+        assert_eq!(
+            pragmas,
+            vec![
+                Pragma::Iterations(10),
+                Pragma::ParamDefault { name: "tau".into(), value: 0.25 },
+                Pragma::Border("clamp".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_other_preprocessor_lines() {
+        let (tokens, pragmas) = lex("#include <math.h>\n#define W 1024\nx").unwrap();
+        assert!(pragmas.is_empty());
+        assert_eq!(tokens.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_pragma() {
+        assert!(lex("#pragma isl iterations zero\n").is_err());
+        assert!(lex("#pragma isl bogus\n").is_err());
+        assert!(lex("#pragma isl iterations 0\n").is_err());
+    }
+
+    #[test]
+    fn number_forms() {
+        assert_eq!(kinds("1 2.5 .5 1e3 1.5e-2 3f")[..6].to_vec(), vec![
+            TokenKind::Num(1.0),
+            TokenKind::Num(2.5),
+            TokenKind::Num(0.5),
+            TokenKind::Num(1000.0),
+            TokenKind::Num(0.015),
+            TokenKind::Num(3.0),
+        ]);
+    }
+
+    #[test]
+    fn reports_unknown_char_with_location() {
+        let err = lex("a\n  @").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.col, 3);
+        assert!(matches!(err.kind, ErrorKind::UnexpectedChar('@')));
+    }
+
+    #[test]
+    fn single_ampersand_is_error() {
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # isl-frontend — C-subset frontend for iterative stencil loop kernels
+//!
+//! The DAC 2013 flow "takes a high level description (C language) of the
+//! algorithm as input". This crate implements that front door: a lexer,
+//! recursive-descent parser and semantic analyser for the C subset in which
+//! single-iteration ISL kernels are written.
+//!
+//! A kernel is a `void` function whose array parameters are the frames:
+//!
+//! ```c
+//! #pragma isl iterations 10
+//! void step(const float in[H][W], float out[H][W]) {
+//!     for (int y = 0; y < H; y++) {
+//!         for (int x = 0; x < W; x++) {
+//!             out[y][x] = (in[y-1][x] + in[y+1][x]
+//!                        + in[y][x-1] + in[y][x+1]) * 0.25f;
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! Conventions (checked by [`analyze`]):
+//!
+//! * every `const` array is an input, every non-`const` array an output;
+//! * outputs pair with inputs either by the `_out` suffix (`px` / `px_out`)
+//!   or — when there is exactly one input and one output array — by
+//!   position (`in` / `out`); unpaired `const` arrays are *static* fields
+//!   (read-only for the whole run, e.g. Chambolle's observed image);
+//! * scalar parameters become runtime parameters of the stencil;
+//! * `#pragma isl iterations N`, `#pragma isl param name value` and
+//!   `#pragma isl border mode` carry metadata the flow needs.
+//!
+//! The grammar intentionally covers what ISL kernels use: nested `for`
+//! loops, scalar `float`/`int` declarations, assignments, arithmetic with
+//! comparisons and ternaries, the C math calls `sqrtf`, `fabsf`, `fminf`,
+//! `fmaxf`, and constant-trip loops (which symbolic execution later
+//! unrolls).
+//!
+//! ```
+//! use isl_frontend::{parse, analyze};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = r#"
+//! #pragma isl iterations 4
+//! void step(const float in[H][W], float out[H][W]) {
+//!     for (int y = 0; y < H; y++)
+//!         for (int x = 0; x < W; x++)
+//!             out[y][x] = in[y][x];
+//! }
+//! "#;
+//! let kernel = parse(src)?;
+//! let info = analyze(&kernel)?;
+//! assert_eq!(info.rank, 2);
+//! assert_eq!(info.iterations, Some(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod sema;
+mod token;
+
+pub use ast::{
+    ArrayParam, BinOp, ExprAst, Kernel, LValue, Pragma, ScalarParam, Stmt, UnOp,
+};
+pub use error::{ErrorKind, FrontendError};
+pub use lexer::lex;
+pub use parser::parse;
+pub use sema::{analyze, FieldInfo, FieldRole, KernelInfo, ParamInfo};
+pub use token::{Span, Token, TokenKind};

@@ -1,0 +1,644 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::{
+    ArrayParam, BinOp, ExprAst, Kernel, LValue, ScalarParam, Stmt, UnOp,
+};
+use crate::error::{ErrorKind, FrontendError};
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parse a kernel source file into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns a located [`FrontendError`] on lexical or syntactic problems.
+pub fn parse(source: &str) -> Result<Kernel, FrontendError> {
+    let (tokens, pragmas) = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut kernel = p.kernel()?;
+    kernel.pragmas = pragmas;
+    Ok(kernel)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, FrontendError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> FrontendError {
+        FrontendError::new(
+            ErrorKind::UnexpectedToken {
+                expected: expected.to_string(),
+                got: self.peek_kind().describe(),
+            },
+            self.peek().span,
+        )
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), FrontendError> {
+        let t = self.peek().clone();
+        if let TokenKind::Ident(name) = t.kind {
+            self.bump();
+            Ok((name, t.span))
+        } else {
+            Err(self.unexpected("an identifier"))
+        }
+    }
+
+    // -- kernel -----------------------------------------------------------
+
+    fn kernel(&mut self) -> Result<Kernel, FrontendError> {
+        self.expect(TokenKind::KwVoid)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut arrays = Vec::new();
+        let mut scalars = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                self.parameter(&mut arrays, &mut scalars)?;
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen)?;
+                break;
+            }
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek_kind(), TokenKind::Eof) {
+                return Err(self.unexpected("`}`"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Kernel {
+            name,
+            arrays,
+            scalars,
+            body,
+            pragmas: Vec::new(),
+        })
+    }
+
+    fn parameter(
+        &mut self,
+        arrays: &mut Vec<ArrayParam>,
+        scalars: &mut Vec<ScalarParam>,
+    ) -> Result<(), FrontendError> {
+        let is_const = self.eat(&TokenKind::KwConst);
+        if !self.eat(&TokenKind::KwFloat) && !self.eat(&TokenKind::KwInt) {
+            return Err(self.unexpected("`float` or `int`"));
+        }
+        let (name, span) = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let dim = match self.peek_kind().clone() {
+                TokenKind::Ident(d) => {
+                    self.bump();
+                    d
+                }
+                TokenKind::Num(n) => {
+                    self.bump();
+                    format!("{}", n as i64)
+                }
+                _ => return Err(self.unexpected("a dimension name or size")),
+            };
+            self.expect(TokenKind::RBracket)?;
+            dims.push(dim);
+        }
+        if dims.is_empty() {
+            if is_const {
+                return Err(FrontendError::semantic(
+                    format!("scalar parameter `{name}` must not be const"),
+                    span,
+                ));
+            }
+            scalars.push(ScalarParam { name, span });
+        } else {
+            arrays.push(ArrayParam { name, is_const, dims, span });
+        }
+        Ok(())
+    }
+
+    // -- statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if matches!(self.peek_kind(), TokenKind::Eof) {
+                        return Err(self.unexpected("`}`"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::KwFloat | TokenKind::KwInt => {
+                let span = self.peek().span;
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Decl { name, value, span })
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            _ => self.assign_stmt(),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let span = self.peek().span;
+        self.expect(TokenKind::KwFor)?;
+        self.expect(TokenKind::LParen)?;
+        let _ = self.eat(&TokenKind::KwInt);
+        let (var, var_span) = self.ident()?;
+        self.expect(TokenKind::Assign)?;
+        let from = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        // Condition: `var < bound` or `var <= bound` (normalised to exclusive).
+        let (cond_var, _) = self.ident()?;
+        if cond_var != var {
+            return Err(FrontendError::semantic(
+                format!("loop condition must test `{var}`, found `{cond_var}`"),
+                var_span,
+            ));
+        }
+        let inclusive = match self.bump().kind {
+            TokenKind::Lt => false,
+            TokenKind::Le => true,
+            _ => return Err(self.unexpected("`<` or `<=`")),
+        };
+        let mut to = self.expr()?;
+        if inclusive {
+            to = ExprAst::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(to),
+                rhs: Box::new(ExprAst::Num(1.0)),
+            };
+        }
+        self.expect(TokenKind::Semi)?;
+        self.loop_increment(&var, var_span)?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt()?;
+        Ok(Stmt::For {
+            var,
+            from,
+            to,
+            body: Box::new(body),
+            span,
+        })
+    }
+
+    /// Accepts `v++`, `++v`, `v += 1`, `v = v + 1`.
+    fn loop_increment(&mut self, var: &str, span: Span) -> Result<(), FrontendError> {
+        let err = || {
+            FrontendError::semantic(
+                format!("loop increment must step `{var}` by 1"),
+                span,
+            )
+        };
+        match self.peek_kind().clone() {
+            TokenKind::PlusPlus => {
+                self.bump();
+                let (v, _) = self.ident()?;
+                if v != var {
+                    return Err(err());
+                }
+                Ok(())
+            }
+            TokenKind::Ident(v) if v == var => {
+                self.bump();
+                match self.bump().kind {
+                    TokenKind::PlusPlus => Ok(()),
+                    TokenKind::PlusAssign => match self.bump().kind {
+                        TokenKind::Num(n) if (n - 1.0).abs() < f64::EPSILON => Ok(()),
+                        _ => Err(err()),
+                    },
+                    TokenKind::Assign => {
+                        let (v2, _) = self.ident()?;
+                        if v2 != var {
+                            return Err(err());
+                        }
+                        self.expect(TokenKind::Plus)?;
+                        match self.bump().kind {
+                            TokenKind::Num(n) if (n - 1.0).abs() < f64::EPSILON => Ok(()),
+                            _ => Err(err()),
+                        }
+                    }
+                    _ => Err(err()),
+                }
+            }
+            _ => Err(err()),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let span = self.peek().span;
+        self.expect(TokenKind::KwIf)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_ = Box::new(self.stmt()?);
+        let else_ = if self.eat(&TokenKind::KwElse) {
+            Some(Box::new(self.stmt()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_, else_, span })
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let (name, span) = self.ident()?;
+        let target = if self.peek_kind() == &TokenKind::LBracket {
+            let mut indices = Vec::new();
+            while self.eat(&TokenKind::LBracket) {
+                indices.push(self.expr()?);
+                self.expect(TokenKind::RBracket)?;
+            }
+            LValue::Elem { array: name, indices, span }
+        } else {
+            LValue::Var(name, span)
+        };
+        let op = self.bump().kind;
+        let rhs = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let value = match op {
+            TokenKind::Assign => rhs,
+            TokenKind::PlusAssign | TokenKind::MinusAssign => {
+                // Desugar `lv op= e` into `lv = lv op e`.
+                let read = match &target {
+                    LValue::Var(n, s) => ExprAst::Ident(n.clone(), *s),
+                    LValue::Elem { array, indices, span } => ExprAst::Index {
+                        array: array.clone(),
+                        indices: indices.clone(),
+                        span: *span,
+                    },
+                };
+                ExprAst::Binary {
+                    op: if op == TokenKind::PlusAssign {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    },
+                    lhs: Box::new(read),
+                    rhs: Box::new(rhs),
+                }
+            }
+            _ => return Err(self.unexpected("`=`, `+=` or `-=`")),
+        };
+        Ok(Stmt::Assign { target, value })
+    }
+
+    // -- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, FrontendError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<ExprAst, FrontendError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let then_ = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let else_ = self.ternary()?;
+            Ok(ExprAst::Ternary {
+                cond: Box::new(cond),
+                then_: Box::new(then_),
+                else_: Box::new(else_),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            e = ExprAst::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            e = ExprAst::Binary {
+                op: BinOp::And,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let e = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(e),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(ExprAst::Binary {
+            op,
+            lhs: Box::new(e),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            e = ExprAst::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = ExprAst::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                Ok(ExprAst::Unary {
+                    op: UnOp::Neg,
+                    arg: Box::new(arg),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                Ok(ExprAst::Unary {
+                    op: UnOp::Not,
+                    arg: Box::new(arg),
+                })
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.unary_expr()
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        match self.peek_kind().clone() {
+            TokenKind::Num(v) => {
+                self.bump();
+                Ok(ExprAst::Num(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(ExprAst::Call { func: name, args, span })
+                } else if self.peek_kind() == &TokenKind::LBracket {
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(TokenKind::RBracket)?;
+                    }
+                    Ok(ExprAst::Index { array: name, indices, span })
+                } else {
+                    Ok(ExprAst::Ident(name, span))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JACOBI: &str = r#"
+#pragma isl iterations 10
+void step(const float in[H][W], float out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            out[y][x] = (in[y-1][x] + in[y+1][x] + in[y][x-1] + in[y][x+1]) * 0.25f;
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn parses_jacobi() {
+        let k = parse(JACOBI).unwrap();
+        assert_eq!(k.name, "step");
+        assert_eq!(k.arrays.len(), 2);
+        assert!(k.arrays[0].is_const);
+        assert!(!k.arrays[1].is_const);
+        assert_eq!(k.arrays[0].dims, vec!["H", "W"]);
+        assert_eq!(k.iterations(), Some(10));
+        assert_eq!(k.body.len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_structure() {
+        let k = parse(JACOBI).unwrap();
+        let Stmt::For { var, body, .. } = &k.body[0] else {
+            panic!("expected outer for");
+        };
+        assert_eq!(var, "y");
+        let Stmt::Block(inner) = body.as_ref() else {
+            panic!("expected block");
+        };
+        let Stmt::For { var, .. } = &inner[0] else {
+            panic!("expected inner for");
+        };
+        assert_eq!(var, "x");
+    }
+
+    #[test]
+    fn scalar_parameters_parse() {
+        let k = parse(
+            "void step(const float p[H][W], float q[H][W], float tau) { }",
+        )
+        .unwrap();
+        assert_eq!(k.scalars.len(), 1);
+        assert_eq!(k.scalars[0].name, "tau");
+    }
+
+    #[test]
+    fn inclusive_bound_is_normalised() {
+        let k = parse("void f(float a[N]) { for (int i = 0; i <= N; i++) ; }").unwrap();
+        let Stmt::For { to, .. } = &k.body[0] else {
+            panic!()
+        };
+        assert!(matches!(to, ExprAst::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn all_increment_forms_accepted() {
+        for inc in ["i++", "++i", "i += 1", "i = i + 1"] {
+            let src = format!("void f(float a[N]) {{ for (int i = 0; i < N; {inc}) ; }}");
+            parse(&src).unwrap_or_else(|e| panic!("{inc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn non_unit_increment_rejected() {
+        let src = "void f(float a[N]) { for (int i = 0; i < N; i += 2) ; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let k = parse("void f(float a[N]) { float t = 0.0f; t += 2.0f; }").unwrap();
+        let Stmt::Assign { value, .. } = &k.body[1] else {
+            panic!()
+        };
+        assert!(matches!(value, ExprAst::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn ternary_and_calls() {
+        let k = parse(
+            "void f(const float a[N], float b[N], float t) {
+                for (int i = 0; i < N; i++)
+                    b[i] = a[i] > t ? sqrtf(a[i]) : fminf(a[i], t);
+            }",
+        )
+        .unwrap();
+        let Stmt::For { body, .. } = &k.body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { value, .. } = body.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(value, ExprAst::Ternary { .. }));
+    }
+
+    #[test]
+    fn error_has_location() {
+        let err = parse("void f(float a[N]) { for }").unwrap_err();
+        assert!(err.span.line >= 1);
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn pretty_print_roundtrip() {
+        // Spans differ between original and reprinted source, so compare the
+        // printed forms: printing must be a fixed point of parse ∘ print.
+        let k = parse(JACOBI).unwrap();
+        let printed = k.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn empty_parameter_list() {
+        let k = parse("void f() { }").unwrap();
+        assert!(k.arrays.is_empty());
+        assert!(k.scalars.is_empty());
+    }
+
+    #[test]
+    fn wrong_loop_condition_variable_rejected() {
+        let src = "void f(float a[N]) { for (int i = 0; j < N; i++) ; }";
+        assert!(parse(src).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Semantic analysis: signature checks and field-role inference.
+//!
+//! `analyze` validates the kernel signature and derives the *field map*: how
+//! the C arrays of the kernel correspond to the stencil's dynamic and static
+//! fields. The loop structure and index affinity (translational invariance)
+//! are checked later by the symbolic executor, which is where array accesses
+//! are actually resolved.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::Kernel;
+use crate::error::FrontendError;
+use crate::token::Span;
+
+/// How one stencil field is realised in the kernel signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldRole {
+    /// A field that is rewritten every iteration: the kernel reads array
+    /// `input` and writes array `output`.
+    Dynamic {
+        /// Name of the `const` array holding iteration `i`.
+        input: String,
+        /// Name of the array receiving iteration `i + 1`.
+        output: String,
+    },
+    /// A frame-constant field: read-only across all iterations.
+    Static {
+        /// Name of the `const` array.
+        input: String,
+    },
+}
+
+/// One stencil field derived from the kernel signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Canonical field name (the input array's name).
+    pub name: String,
+    /// How the field appears in the signature.
+    pub role: FieldRole,
+}
+
+impl FieldInfo {
+    /// Whether the field is dynamic (updated every iteration).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self.role, FieldRole::Dynamic { .. })
+    }
+
+    /// The output array name, for dynamic fields.
+    pub fn output_array(&self) -> Option<&str> {
+        match &self.role {
+            FieldRole::Dynamic { output, .. } => Some(output),
+            FieldRole::Static { .. } => None,
+        }
+    }
+}
+
+/// A scalar runtime parameter with its (pragma-supplied) default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamInfo {
+    /// Parameter name.
+    pub name: String,
+    /// Default value (`0.0` when no `#pragma isl param` is given).
+    pub default: f64,
+}
+
+/// The validated signature-level facts about a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInfo {
+    /// Kernel (function) name.
+    pub name: String,
+    /// Spatial rank (number of array dimensions), 1 to 3.
+    pub rank: usize,
+    /// Dimension names, outermost (slowest) first — e.g. `["H", "W"]`.
+    pub dim_names: Vec<String>,
+    /// Stencil fields in input-array declaration order.
+    pub fields: Vec<FieldInfo>,
+    /// Scalar parameters in declaration order.
+    pub params: Vec<ParamInfo>,
+    /// Default iteration count from `#pragma isl iterations`, if present.
+    pub iterations: Option<u32>,
+    /// Border-mode hint from `#pragma isl border`, if present.
+    pub border: Option<String>,
+}
+
+impl KernelInfo {
+    /// Index of the field whose *input* array is `array`, if any.
+    pub fn field_of_input(&self, array: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == array)
+    }
+
+    /// Index of the dynamic field whose *output* array is `array`, if any.
+    pub fn field_of_output(&self, array: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.output_array() == Some(array))
+    }
+
+    /// Index of the scalar parameter named `name`, if any.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+}
+
+/// Validate a parsed kernel's signature and derive its field map.
+///
+/// Pairing rules (in order):
+///
+/// 1. a non-`const` array named `X_out` pairs with a `const` array `X`;
+/// 2. if after suffix pairing exactly one `const` and one non-`const` array
+///    remain, they pair positionally (the classic `in`/`out` signature);
+/// 3. remaining `const` arrays become static fields; a remaining non-`const`
+///    array is an error (an output with no matching input cannot iterate).
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] with kind `Semantic` describing the first
+/// violated rule (no arrays, mismatched dimensions, duplicate names,
+/// unpairable outputs, unknown pragma parameter names, bad rank).
+pub fn analyze(kernel: &Kernel) -> Result<KernelInfo, FrontendError> {
+    let span = Span::new(1, 1);
+    if kernel.arrays.is_empty() {
+        return Err(FrontendError::semantic(
+            "kernel declares no array (frame) parameter",
+            span,
+        ));
+    }
+
+    // Unique names across arrays and scalars.
+    let mut seen: HashSet<&str> = HashSet::new();
+    for a in &kernel.arrays {
+        if !seen.insert(a.name.as_str()) {
+            return Err(FrontendError::semantic(
+                format!("duplicate parameter name `{}`", a.name),
+                a.span,
+            ));
+        }
+    }
+    for s in &kernel.scalars {
+        if !seen.insert(s.name.as_str()) {
+            return Err(FrontendError::semantic(
+                format!("duplicate parameter name `{}`", s.name),
+                s.span,
+            ));
+        }
+    }
+
+    // Congruent dimensions.
+    let dim_names = kernel.arrays[0].dims.clone();
+    let rank = dim_names.len();
+    if !(1..=3).contains(&rank) {
+        return Err(FrontendError::semantic(
+            format!("array rank {rank} unsupported (must be 1, 2 or 3)"),
+            kernel.arrays[0].span,
+        ));
+    }
+    for a in &kernel.arrays {
+        if a.dims != dim_names {
+            return Err(FrontendError::semantic(
+                format!(
+                    "array `{}` has dimensions [{}] but `{}` has [{}]; all frames must be congruent",
+                    a.name,
+                    a.dims.join("]["),
+                    kernel.arrays[0].name,
+                    dim_names.join("][")
+                ),
+                a.span,
+            ));
+        }
+    }
+
+    // Pair outputs with inputs.
+    let inputs: Vec<_> = kernel.arrays.iter().filter(|a| a.is_const).collect();
+    let outputs: Vec<_> = kernel.arrays.iter().filter(|a| !a.is_const).collect();
+    if outputs.is_empty() {
+        return Err(FrontendError::semantic(
+            "kernel has no output array (every array is const)",
+            kernel.arrays[0].span,
+        ));
+    }
+
+    let mut paired: HashMap<&str, &str> = HashMap::new(); // input -> output
+    let mut unpaired_outputs: Vec<&crate::ast::ArrayParam> = Vec::new();
+    for o in &outputs {
+        if let Some(base) = o.name.strip_suffix("_out") {
+            if inputs.iter().any(|i| i.name == base) {
+                paired.insert(
+                    inputs.iter().find(|i| i.name == base).map(|i| i.name.as_str()).expect("checked"),
+                    o.name.as_str(),
+                );
+                continue;
+            }
+        }
+        unpaired_outputs.push(o);
+    }
+    let unpaired_inputs: Vec<&&crate::ast::ArrayParam> = inputs
+        .iter()
+        .filter(|i| !paired.contains_key(i.name.as_str()))
+        .collect();
+    match (unpaired_inputs.len(), unpaired_outputs.len()) {
+        (_, 0) => {}
+        (1, 1) => {
+            paired.insert(&unpaired_inputs[0].name, &unpaired_outputs[0].name);
+        }
+        _ => {
+            return Err(FrontendError::semantic(
+                format!(
+                    "cannot pair output array `{}` with an input; name it `<input>_out` or use a single in/out pair",
+                    unpaired_outputs[0].name
+                ),
+                unpaired_outputs[0].span,
+            ));
+        }
+    }
+
+    let fields: Vec<FieldInfo> = inputs
+        .iter()
+        .map(|i| FieldInfo {
+            name: i.name.clone(),
+            role: match paired.get(i.name.as_str()) {
+                Some(out) => FieldRole::Dynamic {
+                    input: i.name.clone(),
+                    output: (*out).to_string(),
+                },
+                None => FieldRole::Static { input: i.name.clone() },
+            },
+        })
+        .collect();
+
+    if !fields.iter().any(|f| f.is_dynamic()) {
+        return Err(FrontendError::semantic(
+            "kernel has no dynamic field (no const/non-const array pair)",
+            kernel.arrays[0].span,
+        ));
+    }
+
+    // Scalar params with pragma defaults; pragma names must exist.
+    let params: Vec<ParamInfo> = kernel
+        .scalars
+        .iter()
+        .map(|s| ParamInfo {
+            name: s.name.clone(),
+            default: kernel.param_default(&s.name).unwrap_or(0.0),
+        })
+        .collect();
+    for p in &kernel.pragmas {
+        if let crate::ast::Pragma::ParamDefault { name, .. } = p {
+            if !kernel.scalars.iter().any(|s| &s.name == name) {
+                return Err(FrontendError::semantic(
+                    format!("pragma names unknown parameter `{name}`"),
+                    span,
+                ));
+            }
+        }
+    }
+
+    Ok(KernelInfo {
+        name: kernel.name.clone(),
+        rank,
+        dim_names,
+        fields,
+        params,
+        iterations: kernel.iterations(),
+        border: kernel.border().map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn info(src: &str) -> Result<KernelInfo, FrontendError> {
+        analyze(&parse(src)?)
+    }
+
+    #[test]
+    fn single_in_out_pairs_positionally() {
+        let i = info("void f(const float in[H][W], float out[H][W]) { }").unwrap();
+        assert_eq!(i.rank, 2);
+        assert_eq!(i.fields.len(), 1);
+        assert_eq!(
+            i.fields[0].role,
+            FieldRole::Dynamic { input: "in".into(), output: "out".into() }
+        );
+    }
+
+    #[test]
+    fn suffix_pairing_with_static_extra() {
+        let i = info(
+            "void f(const float px[H][W], const float py[H][W], const float g[H][W],
+                    float px_out[H][W], float py_out[H][W]) { }",
+        )
+        .unwrap();
+        assert_eq!(i.fields.len(), 3);
+        assert!(i.fields[0].is_dynamic());
+        assert!(i.fields[1].is_dynamic());
+        assert_eq!(i.fields[2].role, FieldRole::Static { input: "g".into() });
+        assert_eq!(i.field_of_output("px_out"), Some(0));
+        assert_eq!(i.field_of_input("g"), Some(2));
+    }
+
+    #[test]
+    fn unpairable_output_is_error() {
+        let err = info(
+            "void f(const float a[H][W], const float b[H][W], float c[H][W], float d[H][W]) { }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot pair"));
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let err = info("void f(const float a[H][W], float b[W][H]) { }").unwrap_err();
+        assert!(err.to_string().contains("congruent"));
+    }
+
+    #[test]
+    fn all_const_rejected() {
+        let err = info("void f(const float a[H][W]) { }").unwrap_err();
+        assert!(err.to_string().contains("no output array"));
+    }
+
+    #[test]
+    fn no_arrays_rejected() {
+        let err = info("void f(float t) { }").unwrap_err();
+        assert!(err.to_string().contains("no array"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = info("void f(const float a[H][W], float a[H][W]) { }").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rank_bounds() {
+        assert!(info("void f(const float a[A][B][C][D], float b[A][B][C][D]) { }").is_err());
+        assert_eq!(info("void f(const float a[N], float b[N]) { }").unwrap().rank, 1);
+        assert_eq!(
+            info("void f(const float a[D][H][W], float b[D][H][W]) { }").unwrap().rank,
+            3
+        );
+    }
+
+    #[test]
+    fn params_and_pragmas() {
+        let i = info(
+            "#pragma isl iterations 7\n#pragma isl param tau 0.25\n#pragma isl border mirror\n
+             void f(const float a[H][W], float b[H][W], float tau, float lam) { }",
+        )
+        .unwrap();
+        assert_eq!(i.iterations, Some(7));
+        assert_eq!(i.border.as_deref(), Some("mirror"));
+        assert_eq!(i.params.len(), 2);
+        assert_eq!(i.params[0], ParamInfo { name: "tau".into(), default: 0.25 });
+        assert_eq!(i.params[1], ParamInfo { name: "lam".into(), default: 0.0 });
+        assert_eq!(i.param_index("lam"), Some(1));
+    }
+
+    #[test]
+    fn pragma_for_unknown_param_rejected() {
+        let err = info(
+            "#pragma isl param nope 1.0\nvoid f(const float a[H][W], float b[H][W]) { }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Pattern composition: fusing iterations at the *expression* level.
+//!
+//! Composing a pattern with itself substitutes every dynamic read in the
+//! update expressions with a shifted copy of the corresponding update — the
+//! algebraic counterpart of building a depth-2 cone. The two must agree
+//! (`Cone(p, w, 2) ≡ Cone(p∘p, w, 1)` up to register counting), which gives
+//! the test suite an independent oracle for the cone-construction logic and
+//! users a way to hand the flow a pre-fused kernel.
+//!
+//! Composition works on trees, so it *duplicates* shared work — the size of
+//! the composed expressions grows multiplicatively with depth. That is
+//! exactly the "exponential growth of the number of symbols" the paper's
+//! register reuse avoids; [`StencilPattern::composed`] documents the
+//! trade-off by existing.
+
+use crate::expr::Expr;
+use crate::geometry::Offset;
+use crate::pattern::{FieldKind, PatternError, StencilPattern};
+
+impl StencilPattern {
+    /// The pattern computing `self` applied twice: every dynamic-field read
+    /// at offset `o` in an update is replaced by that field's update
+    /// translated by `o`. Static-field reads and parameters are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failure of `self`.
+    pub fn composed_once(&self) -> Result<StencilPattern, PatternError> {
+        self.validate()?;
+        let mut out = self.clone().with_name(format!("{}^2", self.name()));
+        for field in self.dynamic_fields() {
+            let update = self.update(field).expect("validated pattern");
+            let fused = substitute(update, self, Offset::ZERO);
+            out.set_update(field, fused)?;
+        }
+        Ok(out)
+    }
+
+    /// The `n`-fold composition of `self` (`n = 1` returns a clone).
+    ///
+    /// # Errors
+    ///
+    /// [`PatternError`] from validation; `n` must be at least 1 or the same
+    /// error surface as `composed_once` applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn composed(&self, n: u32) -> Result<StencilPattern, PatternError> {
+        assert!(n >= 1, "composition depth must be at least 1");
+        let mut p = self.clone();
+        for _ in 1..n {
+            // Compose against the ORIGINAL one-step pattern, shifting reads
+            // through the accumulated expression.
+            p = compose_with(&p, self)?;
+        }
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// `outer ∘ inner`: replace dynamic reads of `outer`'s updates with the
+/// translated updates of `inner`.
+fn compose_with(
+    outer: &StencilPattern,
+    inner: &StencilPattern,
+) -> Result<StencilPattern, PatternError> {
+    outer.validate()?;
+    inner.validate()?;
+    let mut out = outer
+        .clone()
+        .with_name(format!("{}*", outer.name().trim_end_matches('*')));
+    for field in outer.dynamic_fields() {
+        let update = outer.update(field).expect("validated pattern");
+        let fused = substitute(update, inner, Offset::ZERO);
+        out.set_update(field, fused)?;
+    }
+    Ok(out)
+}
+
+/// Instantiate `expr` with every dynamic read `(f, o)` replaced by `inner`'s
+/// update of `f`, translated by `shift + o`.
+fn substitute(expr: &Expr, inner: &StencilPattern, shift: Offset) -> Expr {
+    match expr {
+        Expr::Input { field, offset } => {
+            let total = shift + *offset;
+            if inner.field(*field).kind == FieldKind::Static {
+                Expr::input(*field, total)
+            } else {
+                let update = inner.update(*field).expect("validated pattern");
+                translate(update, total)
+            }
+        }
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Param(p) => Expr::Param(*p),
+        Expr::Unary { op, arg } => Expr::unary(*op, substitute(arg, inner, shift)),
+        Expr::Binary { op, lhs, rhs } => Expr::binary(
+            *op,
+            substitute(lhs, inner, shift),
+            substitute(rhs, inner, shift),
+        ),
+        Expr::Select { cond, then_, else_ } => Expr::select(
+            substitute(cond, inner, shift),
+            substitute(then_, inner, shift),
+            substitute(else_, inner, shift),
+        ),
+    }
+}
+
+/// Translate every read of `expr` by `shift`.
+fn translate(expr: &Expr, shift: Offset) -> Expr {
+    match expr {
+        Expr::Input { field, offset } => Expr::input(*field, shift + *offset),
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Param(p) => Expr::Param(*p),
+        Expr::Unary { op, arg } => Expr::unary(*op, translate(arg, shift)),
+        Expr::Binary { op, lhs, rhs } => {
+            Expr::binary(*op, translate(lhs, shift), translate(rhs, shift))
+        }
+        Expr::Select { cond, then_, else_ } => Expr::select(
+            translate(cond, shift),
+            translate(then_, shift),
+            translate(else_, shift),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::Cone;
+    use crate::geometry::{Point, Window};
+    use crate::ops::BinaryOp;
+    use crate::pattern::{FieldId, FieldKind};
+
+    fn avg_1d() -> StencilPattern {
+        let mut p = StencilPattern::new(1).with_name("avg");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d1(-1)),
+            Expr::input(f, Offset::d1(0)),
+            Expr::input(f, Offset::d1(1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))
+            .unwrap();
+        p
+    }
+
+    fn coupled_with_static() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("cs");
+        let u = p.add_field("u", FieldKind::Dynamic);
+        let v = p.add_field("v", FieldKind::Dynamic);
+        let g = p.add_field("g", FieldKind::Static);
+        p.set_update(
+            u,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::input(v, Offset::d2(1, 0)),
+                Expr::input(g, Offset::d2(0, 1)),
+            ),
+        )
+        .unwrap();
+        p.set_update(
+            v,
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::input(u, Offset::d2(0, -1)),
+                Expr::constant(0.5),
+            ),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn composed_radius_scales() {
+        let p = avg_1d();
+        assert_eq!(p.composed(1).unwrap().radius(), 1);
+        assert_eq!(p.composed(2).unwrap().radius(), 2);
+        assert_eq!(p.composed(4).unwrap().radius(), 4);
+    }
+
+    #[test]
+    fn composition_is_the_algebraic_cone() {
+        // Cone(p, w, m) must equal Cone(p^m, w, 1) as a function.
+        for m in 1..=3u32 {
+            let p = avg_1d();
+            let pm = p.composed(m).unwrap();
+            let deep = Cone::build(&p, Window::line(3), m).unwrap();
+            let flat = Cone::build(&pm, Window::line(3), 1).unwrap();
+            let read = |_f: FieldId, pt: Point| (pt.x * pt.x) as f64 * 0.01 + 0.2;
+            let a = deep.eval(read, &[]);
+            let b = flat.eval(read, &[]);
+            assert_eq!(a.len(), b.len());
+            for ((fa, pa, va), (fb, pb, vb)) in a.iter().zip(b.iter()) {
+                assert_eq!((fa, pa), (fb, pb));
+                assert!((va - vb).abs() < 1e-12, "m={m}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_handles_coupled_fields_and_statics() {
+        let p = coupled_with_static();
+        let p2 = p.composed(2).unwrap();
+        // u'' = v'(1,0) + g(0,1) where v'(1,0) = 0.5·u(1,-1):
+        // reads of u at (1,-1) and g at (1,... ) appear.
+        let u = p.dynamic_fields()[0];
+        let reads = p2.update(u).unwrap().reads();
+        assert!(reads.contains(&(u, Offset::d2(1, -1))));
+        // The static field keeps absolute (translated) offsets and is never
+        // expanded.
+        let g = p.static_fields()[0];
+        assert!(reads.iter().any(|(f, _)| *f == g));
+
+        // Functional agreement with the cone oracle.
+        let deep = Cone::build(&p, Window::square(2), 2).unwrap();
+        let flat = Cone::build(&p2, Window::square(2), 1).unwrap();
+        let read = |f: FieldId, pt: Point| {
+            (f.index() as f64 + 1.0) * 0.1 + pt.x as f64 * 0.01 - pt.y as f64 * 0.02
+        };
+        let a = deep.eval(read, &[]);
+        let b = flat.eval(read, &[]);
+        for ((_, _, va), (_, _, vb)) in a.iter().zip(b.iter()) {
+            assert!((va - vb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn composition_grows_trees_where_cones_do_not() {
+        // The motivating contrast: composed expressions blow up, interned
+        // cones stay compact.
+        let p = avg_1d();
+        let p6 = p.composed(6).unwrap();
+        let tree_ops = p6.ops_per_element();
+        let cone = Cone::build(&p, Window::line(1), 6).unwrap();
+        assert!(
+            tree_ops as f64 > 3.0 * cone.registers() as f64,
+            "tree {tree_ops} vs registers {}",
+            cone.registers()
+        );
+    }
+
+    #[test]
+    fn params_survive_composition() {
+        let mut p = StencilPattern::new(1).with_name("par");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let tau = p.add_param("tau", 0.5);
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::ZERO), Expr::param(tau)),
+        )
+        .unwrap();
+        let p3 = p.composed(3).unwrap();
+        assert_eq!(p3.params().len(), 1);
+        // f''' = tau^3 · f
+        let cone = Cone::build(&p3, Window::line(1), 1).unwrap();
+        let out = cone.eval(|_, _| 8.0, &[0.5]);
+        assert!((out[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_composition_panics() {
+        let _ = avg_1d().composed(0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Surface expression trees.
+//!
+//! An [`Expr`] is the *per-iteration* update function of one field, written
+//! over relative [`Offset`]s — the direct product of the symbolic-execution
+//! phase. Expression trees are deliberately plain trees (with possible
+//! duplication); sharing is introduced later when a tree is instantiated into
+//! a hash-consed [`crate::Graph`] during cone construction, which is where
+//! the paper's register reuse happens.
+
+use std::fmt;
+
+use crate::geometry::Offset;
+use crate::ops::{BinaryOp, UnaryOp};
+use crate::pattern::{FieldId, ParamId};
+
+/// A per-iteration scalar expression over neighbouring elements.
+///
+/// ```
+/// use isl_ir::{Expr, BinaryOp, Offset, FieldId};
+/// let f = FieldId::new(0);
+/// // (f(-1) + f(+1)) * 0.5
+/// let e = Expr::binary(
+///     BinaryOp::Mul,
+///     Expr::binary(
+///         BinaryOp::Add,
+///         Expr::input(f, Offset::d1(-1)),
+///         Expr::input(f, Offset::d1(1)),
+///     ),
+///     Expr::constant(0.5),
+/// );
+/// assert_eq!(e.radius(), 1);
+/// assert_eq!(e.op_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Read a field at a relative offset. If the field is *dynamic* the read
+    /// refers to the previous iteration's value; if it is *static* (e.g. the
+    /// observed image in Chambolle) it refers to the constant input frame.
+    Input {
+        /// Which field is read.
+        field: FieldId,
+        /// Relative neighbour offset.
+        offset: Offset,
+    },
+    /// A literal constant.
+    Const(f64),
+    /// A scalar runtime parameter (e.g. Chambolle's `tau` or `lambda`).
+    Param(ParamId),
+    /// A unary operation.
+    Unary {
+        /// Operation.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operation.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond != 0 ? then_ : else_` — a hardware multiplexer.
+    Select {
+        /// Condition (non-zero selects `then_`).
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then_: Box<Expr>,
+        /// Value when the condition does not hold.
+        else_: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Read `field` at `offset`.
+    pub fn input(field: FieldId, offset: Offset) -> Expr {
+        Expr::Input { field, offset }
+    }
+
+    /// A literal constant.
+    pub fn constant(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// A scalar parameter reference.
+    pub fn param(p: ParamId) -> Expr {
+        Expr::Param(p)
+    }
+
+    /// Apply a unary operation.
+    pub fn unary(op: UnaryOp, arg: Expr) -> Expr {
+        Expr::Unary { op, arg: Box::new(arg) }
+    }
+
+    /// Apply a binary operation.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Build a multiplexer expression.
+    pub fn select(cond: Expr, then_: Expr, else_: Expr) -> Expr {
+        Expr::Select {
+            cond: Box::new(cond),
+            then_: Box::new(then_),
+            else_: Box::new(else_),
+        }
+    }
+
+    /// Sum of a sequence of expressions (empty sum is `0.0`).
+    pub fn sum<I: IntoIterator<Item = Expr>>(terms: I) -> Expr {
+        let mut it = terms.into_iter();
+        let first = match it.next() {
+            Some(e) => e,
+            None => return Expr::Const(0.0),
+        };
+        it.fold(first, |acc, e| Expr::binary(BinaryOp::Add, acc, e))
+    }
+
+    /// Evaluate the expression with `f64` semantics.
+    ///
+    /// `read(field, offset)` supplies neighbour values; `param(id)` supplies
+    /// parameter values. This is the golden functional semantics used by the
+    /// simulator and tests.
+    pub fn eval<R, P>(&self, read: &R, param: &P) -> f64
+    where
+        R: Fn(FieldId, Offset) -> f64,
+        P: Fn(ParamId) -> f64,
+    {
+        match self {
+            Expr::Input { field, offset } => read(*field, *offset),
+            Expr::Const(v) => *v,
+            Expr::Param(p) => param(*p),
+            Expr::Unary { op, arg } => op.apply(arg.eval(read, param)),
+            Expr::Binary { op, lhs, rhs } => op.apply(lhs.eval(read, param), rhs.eval(read, param)),
+            Expr::Select { cond, then_, else_ } => {
+                if cond.eval(read, param) != 0.0 {
+                    then_.eval(read, param)
+                } else {
+                    else_.eval(read, param)
+                }
+            }
+        }
+    }
+
+    /// Evaluate like [`Expr::eval`], but pass every intermediate result
+    /// through `post` — the hook the quantised simulator uses to apply
+    /// fixed-point rounding after each operation, mirroring the hardware
+    /// data path at frame scale.
+    pub fn eval_map<R, P, Q>(&self, read: &R, param: &P, post: &Q) -> f64
+    where
+        R: Fn(FieldId, Offset) -> f64,
+        P: Fn(ParamId) -> f64,
+        Q: Fn(f64) -> f64,
+    {
+        match self {
+            Expr::Input { field, offset } => post(read(*field, *offset)),
+            Expr::Const(v) => post(*v),
+            Expr::Param(p) => post(param(*p)),
+            Expr::Unary { op, arg } => post(op.apply(arg.eval_map(read, param, post))),
+            Expr::Binary { op, lhs, rhs } => post(op.apply(
+                lhs.eval_map(read, param, post),
+                rhs.eval_map(read, param, post),
+            )),
+            Expr::Select { cond, then_, else_ } => {
+                if cond.eval_map(read, param, post) != 0.0 {
+                    then_.eval_map(read, param, post)
+                } else {
+                    else_.eval_map(read, param, post)
+                }
+            }
+        }
+    }
+
+    /// Visit every node of the tree (pre-order).
+    pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Expr::Input { .. } | Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Unary { arg, .. } => arg.visit(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Select { cond, then_, else_ } => {
+                cond.visit(f);
+                then_.visit(f);
+                else_.visit(f);
+            }
+        }
+    }
+
+    /// All `(field, offset)` pairs read by this expression, deduplicated and
+    /// sorted — the element's dependency footprint.
+    pub fn reads(&self) -> Vec<(FieldId, Offset)> {
+        let mut v = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Input { field, offset } = e {
+                v.push((*field, *offset));
+            }
+        });
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Stencil radius: the maximum Chebyshev norm over all offsets read.
+    /// Returns 0 for expressions that read nothing.
+    pub fn radius(&self) -> u32 {
+        let mut r = 0;
+        self.visit(&mut |e| {
+            if let Expr::Input { offset, .. } = e {
+                r = r.max(offset.chebyshev());
+            }
+        });
+        r
+    }
+
+    /// Number of operation nodes (unary + binary + select) in the tree,
+    /// counting duplicates. Compare with the register count of the interned
+    /// [`crate::Graph`] to measure how much reuse buys.
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Unary { .. } | Expr::Binary { .. } | Expr::Select { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Maximum depth of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Input { .. } | Expr::Const(_) | Expr::Param(_) => 1,
+            Expr::Unary { arg, .. } => 1 + arg.depth(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.depth().max(rhs.depth()),
+            Expr::Select { cond, then_, else_ } => {
+                1 + cond.depth().max(then_.depth()).max(else_.depth())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Input { field, offset } => write!(f, "{field}{offset}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(p) => write!(f, "{p}"),
+            Expr::Unary { op, arg } => write!(f, "{op}({arg})"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "{op}({lhs}, {rhs})"),
+            Expr::Select { cond, then_, else_ } => write!(f, "sel({cond}, {then_}, {else_})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u16) -> FieldId {
+        FieldId::new(i)
+    }
+
+    fn three_point_avg() -> Expr {
+        Expr::binary(
+            BinaryOp::Div,
+            Expr::sum([
+                Expr::input(fid(0), Offset::d1(-1)),
+                Expr::input(fid(0), Offset::d1(0)),
+                Expr::input(fid(0), Offset::d1(1)),
+            ]),
+            Expr::constant(3.0),
+        )
+    }
+
+    #[test]
+    fn eval_three_point_avg() {
+        let e = three_point_avg();
+        let v = e.eval(&|_, o| (o.dx + 2) as f64, &|_| 0.0); // reads 1, 2, 3
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_are_sorted_and_deduped() {
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::input(fid(0), Offset::d1(1)),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::input(fid(0), Offset::d1(1)),
+                Expr::input(fid(0), Offset::d1(-1)),
+            ),
+        );
+        assert_eq!(
+            e.reads(),
+            vec![(fid(0), Offset::d1(-1)), (fid(0), Offset::d1(1))]
+        );
+    }
+
+    #[test]
+    fn radius_and_counts() {
+        let e = three_point_avg();
+        assert_eq!(e.radius(), 1);
+        assert_eq!(e.op_count(), 3); // 2 adds + 1 div
+        assert_eq!(e.depth(), 4);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let e = Expr::sum([]);
+        assert_eq!(e.eval(&|_, _| 1.0, &|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn select_semantics() {
+        let e = Expr::select(
+            Expr::binary(
+                BinaryOp::Lt,
+                Expr::input(fid(0), Offset::ZERO),
+                Expr::constant(0.0),
+            ),
+            Expr::constant(-1.0),
+            Expr::constant(1.0),
+        );
+        assert_eq!(e.eval(&|_, _| -5.0, &|_| 0.0), -1.0);
+        assert_eq!(e.eval(&|_, _| 5.0, &|_| 0.0), 1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::unary(UnaryOp::Sqrt, Expr::constant(2.0));
+        assert_eq!(e.to_string(), "sqrt(2)");
+    }
+}

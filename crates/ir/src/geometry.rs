@@ -1,0 +1,388 @@
+//! Geometric primitives shared across the flow: relative offsets, absolute
+//! points, output windows and rectangular extents.
+//!
+//! Everything is stored with three coordinates so that 1D, 2D and 3D stencils
+//! share one representation; unused trailing coordinates are zero. The rank of
+//! a stencil lives in [`crate::StencilPattern`], not here.
+
+use std::fmt;
+
+/// A relative displacement between a stencil output element and one of the
+/// elements it reads, e.g. `f[y-1][x+1]` reads at offset `(dx=1, dy=-1)`.
+///
+/// Offsets are what "domain narrowness" bounds: a valid ISL pattern only uses
+/// offsets with small magnitude (the stencil radius).
+///
+/// ```
+/// use isl_ir::Offset;
+/// let o = Offset::d2(1, -1);
+/// assert_eq!(o.chebyshev(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Offset {
+    /// Displacement along the innermost (x) axis.
+    pub dx: i32,
+    /// Displacement along the second (y) axis; zero for 1D stencils.
+    pub dy: i32,
+    /// Displacement along the third (z) axis; zero for 1D/2D stencils.
+    pub dz: i32,
+}
+
+impl Offset {
+    /// Offset for a 1D stencil.
+    pub const fn d1(dx: i32) -> Self {
+        Self { dx, dy: 0, dz: 0 }
+    }
+
+    /// Offset for a 2D stencil.
+    pub const fn d2(dx: i32, dy: i32) -> Self {
+        Self { dx, dy, dz: 0 }
+    }
+
+    /// Offset for a 3D stencil.
+    pub const fn d3(dx: i32, dy: i32, dz: i32) -> Self {
+        Self { dx, dy, dz }
+    }
+
+    /// The zero offset (the element itself).
+    pub const ZERO: Self = Self { dx: 0, dy: 0, dz: 0 };
+
+    /// Chebyshev (L-infinity) norm: the stencil radius contribution of this
+    /// offset.
+    pub fn chebyshev(&self) -> u32 {
+        self.dx
+            .unsigned_abs()
+            .max(self.dy.unsigned_abs())
+            .max(self.dz.unsigned_abs())
+    }
+
+    /// Component along axis `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    pub fn axis(&self, axis: usize) -> i32 {
+        match axis {
+            0 => self.dx,
+            1 => self.dy,
+            2 => self.dz,
+            _ => panic!("offset axis out of range: {axis}"),
+        }
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.dx, self.dy, self.dz)
+    }
+}
+
+impl std::ops::Add for Offset {
+    type Output = Offset;
+    fn add(self, rhs: Offset) -> Offset {
+        Offset {
+            dx: self.dx + rhs.dx,
+            dy: self.dy + rhs.dy,
+            dz: self.dz + rhs.dz,
+        }
+    }
+}
+
+/// An absolute grid coordinate inside a cone's local coordinate system (or a
+/// frame, for the simulator). Negative coordinates are legal inside cones:
+/// the output window spans `0..w`, while deeper levels of the cone reach
+/// *outside* that span by `radius × level` elements on each side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Innermost (x) coordinate.
+    pub x: i32,
+    /// Second (y) coordinate.
+    pub y: i32,
+    /// Third (z) coordinate.
+    pub z: i32,
+}
+
+impl Point {
+    /// A 1D point.
+    pub const fn d1(x: i32) -> Self {
+        Self { x, y: 0, z: 0 }
+    }
+
+    /// A 2D point.
+    pub const fn d2(x: i32, y: i32) -> Self {
+        Self { x, y, z: 0 }
+    }
+
+    /// A 3D point.
+    pub const fn d3(x: i32, y: i32, z: i32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Self = Self { x: 0, y: 0, z: 0 };
+
+    /// Translate this point by a stencil offset.
+    pub fn offset(&self, o: Offset) -> Point {
+        Point {
+            x: self.x + o.dx,
+            y: self.y + o.dy,
+            z: self.z + o.dz,
+        }
+    }
+
+    /// Component along axis `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    pub fn axis(&self, axis: usize) -> i32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("point axis out of range: {axis}"),
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{},{}]", self.x, self.y, self.z)
+    }
+}
+
+/// The *output window* of a cone: the block of elements of iteration `i + m`
+/// that one cone invocation produces (the paper's `Pn`, Section 1).
+///
+/// The paper illustrates square windows "for the sake of illustration"; we
+/// support rectangular (and line, for 1D) windows as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Window {
+    /// Extent along x (elements).
+    pub w: u32,
+    /// Extent along y (elements); 1 for 1D stencils.
+    pub h: u32,
+    /// Extent along z (elements); 1 for 1D/2D stencils.
+    pub d: u32,
+}
+
+impl Window {
+    /// A square 2D window of side `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn square(side: u32) -> Self {
+        assert!(side > 0, "window side must be positive");
+        Self { w: side, h: side, d: 1 }
+    }
+
+    /// A rectangular 2D window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn rect(w: u32, h: u32) -> Self {
+        assert!(w > 0 && h > 0, "window dimensions must be positive");
+        Self { w, h, d: 1 }
+    }
+
+    /// A 1D window (a line of `w` elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn line(w: u32) -> Self {
+        assert!(w > 0, "window length must be positive");
+        Self { w, h: 1, d: 1 }
+    }
+
+    /// A 3D window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn cube3(w: u32, h: u32, d: u32) -> Self {
+        assert!(w > 0 && h > 0 && d > 0, "window dimensions must be positive");
+        Self { w, h, d }
+    }
+
+    /// Number of elements in the window (the paper's "output window area").
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h) * u64::from(self.d)
+    }
+
+    /// Iterate over all points of the window, x fastest.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        let (w, h, d) = (self.w as i32, self.h as i32, self.d as i32);
+        (0..d).flat_map(move |z| {
+            (0..h).flat_map(move |y| (0..w).map(move |x| Point { x, y, z }))
+        })
+    }
+
+    /// Grow the window by `margin` elements on every side of every used axis
+    /// — the input window of a cone is the output window grown by
+    /// `radius × depth`.
+    pub fn grown(&self, margin: u32) -> Extent {
+        let m = margin as i32;
+        Extent {
+            lo: Point {
+                x: -m,
+                y: if self.h > 1 || self.d > 1 { -m } else { 0 },
+                z: if self.d > 1 { -m } else { 0 },
+            },
+            hi: Point {
+                x: self.w as i32 - 1 + m,
+                y: if self.h > 1 || self.d > 1 {
+                    self.h as i32 - 1 + m
+                } else {
+                    0
+                },
+                z: if self.d > 1 { self.d as i32 - 1 + m } else { 0 },
+            },
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.d > 1 {
+            write!(f, "{}x{}x{}", self.w, self.h, self.d)
+        } else if self.h > 1 {
+            write!(f, "{}x{}", self.w, self.h)
+        } else {
+            write!(f, "{}x1", self.w)
+        }
+    }
+}
+
+/// An inclusive axis-aligned box of grid points, used to describe cone input
+/// windows and tile coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// Lowest corner (inclusive).
+    pub lo: Point,
+    /// Highest corner (inclusive).
+    pub hi: Point,
+}
+
+impl Extent {
+    /// Extent covering exactly one point.
+    pub fn point(p: Point) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// Number of points contained.
+    pub fn count(&self) -> u64 {
+        let span = |lo: i32, hi: i32| (hi - lo + 1).max(0) as u64;
+        span(self.lo.x, self.hi.x) * span(self.lo.y, self.hi.y) * span(self.lo.z, self.hi.z)
+    }
+
+    /// Side length along axis `axis`.
+    pub fn span(&self, axis: usize) -> u64 {
+        (self.hi.axis(axis) - self.lo.axis(axis) + 1).max(0) as u64
+    }
+
+    /// Whether `p` lies inside the extent.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x
+            && p.x <= self.hi.x
+            && p.y >= self.lo.y
+            && p.y <= self.hi.y
+            && p.z >= self.lo.z
+            && p.z <= self.hi.z
+    }
+
+    /// Iterate over all contained points, x fastest.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        let (lo, hi) = (self.lo, self.hi);
+        (lo.z..=hi.z).flat_map(move |z| {
+            (lo.y..=hi.y).flat_map(move |y| (lo.x..=hi.x).map(move |x| Point { x, y, z }))
+        })
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_chebyshev() {
+        assert_eq!(Offset::d2(1, -2).chebyshev(), 2);
+        assert_eq!(Offset::ZERO.chebyshev(), 0);
+        assert_eq!(Offset::d3(0, 0, -3).chebyshev(), 3);
+    }
+
+    #[test]
+    fn offset_add_is_componentwise() {
+        let a = Offset::d3(1, 2, 3);
+        let b = Offset::d3(-1, 1, 0);
+        assert_eq!(a + b, Offset::d3(0, 3, 3));
+    }
+
+    #[test]
+    fn point_offset_translates() {
+        let p = Point::d2(5, 7);
+        assert_eq!(p.offset(Offset::d2(-1, 2)), Point::d2(4, 9));
+    }
+
+    #[test]
+    fn window_area_and_points() {
+        let w = Window::rect(3, 2);
+        assert_eq!(w.area(), 6);
+        let pts: Vec<Point> = w.points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::d2(0, 0));
+        assert_eq!(pts[1], Point::d2(1, 0)); // x fastest
+        assert_eq!(pts[5], Point::d2(2, 1));
+    }
+
+    #[test]
+    fn window_grown_2d() {
+        let e = Window::square(4).grown(3);
+        assert_eq!(e.lo, Point::d2(-3, -3));
+        assert_eq!(e.hi, Point::d2(6, 6));
+        assert_eq!(e.count(), 100);
+        assert_eq!(e.span(0), 10);
+    }
+
+    #[test]
+    fn window_grown_1d_does_not_grow_y() {
+        let e = Window::line(4).grown(2);
+        assert_eq!(e.lo, Point::d1(-2));
+        assert_eq!(e.hi, Point::d1(5));
+        assert_eq!(e.count(), 8);
+    }
+
+    #[test]
+    fn extent_contains_and_count() {
+        let e = Extent {
+            lo: Point::d2(-1, -1),
+            hi: Point::d2(1, 1),
+        };
+        assert_eq!(e.count(), 9);
+        assert!(e.contains(Point::d2(0, 0)));
+        assert!(e.contains(Point::d2(-1, 1)));
+        assert!(!e.contains(Point::d2(2, 0)));
+        assert_eq!(e.points().count(), 9);
+    }
+
+    #[test]
+    fn window_display() {
+        assert_eq!(Window::square(4).to_string(), "4x4");
+        assert_eq!(Window::line(5).to_string(), "5x1");
+        assert_eq!(Window::cube3(2, 3, 4).to_string(), "2x3x4");
+    }
+
+    #[test]
+    #[should_panic(expected = "window side must be positive")]
+    fn zero_window_panics() {
+        let _ = Window::square(0);
+    }
+}

@@ -1,0 +1,639 @@
+//! Hash-consed dataflow graphs.
+//!
+//! Every operation node inserted into a [`Graph`] is *interned*: inserting
+//! the same operation on the same operands twice returns the same
+//! [`NodeId`]. In hardware terms each operation node is one register (its
+//! result is stored once and wired to every consumer), so interning is the
+//! literal implementation of the paper's register-reuse rule (Section 3.2,
+//! Figure 4). The number of non-leaf nodes of a graph is the `Reg` quantity
+//! used by the area-estimation model (Eq. 1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::geometry::Point;
+use crate::ops::{BinaryOp, OpKind, UnaryOp};
+use crate::pattern::{FieldId, ParamId};
+
+/// Identifier of a node inside one [`Graph`].
+///
+/// Ids are dense and topologically ordered: every operand of a node has a
+/// strictly smaller id than the node itself (children must exist before a
+/// parent can be interned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A bit-exact constant wrapper so `f64` constants can be hashed and interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstValue(u64);
+
+impl ConstValue {
+    /// Wrap a constant. NaNs are canonicalised to a single representation so
+    /// interning stays consistent.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            ConstValue(f64::NAN.to_bits())
+        } else if v == 0.0 {
+            // Fold -0.0 and +0.0 together.
+            ConstValue(0f64.to_bits())
+        } else {
+            ConstValue(v.to_bits())
+        }
+    }
+
+    /// The wrapped value.
+    pub fn value(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// Leaf (input) nodes of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Leaf {
+    /// An element of a *dynamic* field at the cone's base iteration, at an
+    /// absolute point in cone-local coordinates.
+    Input {
+        /// Field read.
+        field: FieldId,
+        /// Cone-local coordinate.
+        point: Point,
+    },
+    /// An element of a *static* (frame-constant) field.
+    Static {
+        /// Field read.
+        field: FieldId,
+        /// Cone-local coordinate.
+        point: Point,
+    },
+    /// A literal constant.
+    Const(ConstValue),
+    /// A scalar runtime parameter.
+    Param(ParamId),
+}
+
+/// One node of a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// An input (leaf) node.
+    Leaf(Leaf),
+    /// A unary operation.
+    Unary {
+        /// Operation.
+        op: UnaryOp,
+        /// Operand.
+        arg: NodeId,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operation.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: NodeId,
+        /// Right operand.
+        rhs: NodeId,
+    },
+    /// A 2-to-1 multiplexer.
+    Select {
+        /// Condition operand (non-zero selects `then_`).
+        cond: NodeId,
+        /// Selected when the condition holds.
+        then_: NodeId,
+        /// Selected otherwise.
+        else_: NodeId,
+    },
+}
+
+impl Node {
+    /// Classification of this node's operation, or `None` for leaves.
+    pub fn op_kind(&self) -> Option<OpKind> {
+        match self {
+            Node::Leaf(_) => None,
+            Node::Unary { op, .. } => Some(OpKind::Unary(*op)),
+            Node::Binary { op, .. } => Some(OpKind::Binary(*op)),
+            Node::Select { .. } => Some(OpKind::Select),
+        }
+    }
+
+    /// Operand ids, in order (empty for leaves).
+    pub fn operands(&self) -> Vec<NodeId> {
+        match self {
+            Node::Leaf(_) => Vec::new(),
+            Node::Unary { arg, .. } => vec![*arg],
+            Node::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Node::Select { cond, then_, else_ } => vec![*cond, *then_, *else_],
+        }
+    }
+}
+
+/// Operation-count statistics of a graph (or of its reachable subset).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    counts: std::collections::BTreeMap<OpKind, usize>,
+}
+
+impl OpStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence of `kind`.
+    pub fn record(&mut self, kind: OpKind) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Occurrences of `kind`.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total operation count.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Iterate over `(kind, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, usize)> + '_ {
+        self.counts.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// Merge another statistics object into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        for (k, c) in other.iter() {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, c) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}:{c}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A hash-consed dataflow DAG.
+///
+/// ```
+/// use isl_ir::{Graph, BinaryOp, FieldId, Point};
+/// let mut g = Graph::new();
+/// let f = FieldId::new(0);
+/// let a = g.input(f, Point::d1(0));
+/// let b = g.input(f, Point::d1(1));
+/// let s1 = g.binary(BinaryOp::Add, a, b);
+/// let s2 = g.binary(BinaryOp::Add, b, a); // commutative: interned to s1
+/// assert_eq!(s1, s2);
+/// assert_eq!(g.register_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, NodeId>,
+    simplify: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// A new graph with algebraic simplification (constant folding, identity
+    /// elimination) enabled — the default the flow uses to emit "slim" VHDL.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            intern: HashMap::new(),
+            simplify: true,
+        }
+    }
+
+    /// A new graph that interns nodes but performs *no* algebraic rewrites.
+    /// Used by ablation benches to quantify what simplification buys.
+    pub fn without_simplification() -> Self {
+        Graph {
+            simplify: false,
+            ..Self::new()
+        }
+    }
+
+    /// Number of nodes (leaves + operations).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate over `(id, node)` pairs in topological (id) order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Number of operation (non-leaf) nodes: the paper's `Reg` quantity —
+    /// every operation result is stored in one shared register.
+    pub fn register_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n, Node::Leaf(_)))
+            .count()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.len() - self.register_count()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// Intern a dynamic-field input leaf.
+    pub fn input(&mut self, field: FieldId, point: Point) -> NodeId {
+        self.push(Node::Leaf(Leaf::Input { field, point }))
+    }
+
+    /// Intern a static-field input leaf.
+    pub fn static_input(&mut self, field: FieldId, point: Point) -> NodeId {
+        self.push(Node::Leaf(Leaf::Static { field, point }))
+    }
+
+    /// Intern a constant leaf.
+    pub fn constant(&mut self, v: f64) -> NodeId {
+        self.push(Node::Leaf(Leaf::Const(ConstValue::new(v))))
+    }
+
+    /// Intern a parameter leaf.
+    pub fn param(&mut self, p: ParamId) -> NodeId {
+        self.push(Node::Leaf(Leaf::Param(p)))
+    }
+
+    fn const_of(&self, id: NodeId) -> Option<f64> {
+        match self.node(id) {
+            Node::Leaf(Leaf::Const(c)) => Some(c.value()),
+            _ => None,
+        }
+    }
+
+    /// Intern a unary operation (with simplification when enabled).
+    pub fn unary(&mut self, op: UnaryOp, arg: NodeId) -> NodeId {
+        if self.simplify {
+            if let Some(a) = self.const_of(arg) {
+                return self.constant(op.apply(a));
+            }
+            // neg(neg(x)) = x ; abs(abs(x)) = abs(x)
+            match (op, self.node(arg)) {
+                (UnaryOp::Neg, Node::Unary { op: UnaryOp::Neg, arg: inner }) => return *inner,
+                (UnaryOp::Abs, Node::Unary { op: UnaryOp::Abs, .. }) => return arg,
+                _ => {}
+            }
+        }
+        self.push(Node::Unary { op, arg })
+    }
+
+    /// Intern a binary operation. Commutative operations are stored in
+    /// canonical operand order so `a + b` and `b + a` share one register.
+    ///
+    /// Simplification (when enabled) folds constants and applies the safe
+    /// finite-arithmetic identities `x+0`, `x-0`, `x-x`, `x*1`, `x*0`,
+    /// `x/1`, `min/max(x,x)`.
+    pub fn binary(&mut self, op: BinaryOp, lhs: NodeId, rhs: NodeId) -> NodeId {
+        let (mut lhs, mut rhs) = (lhs, rhs);
+        if op.is_commutative() && rhs < lhs {
+            std::mem::swap(&mut lhs, &mut rhs);
+        }
+        if self.simplify {
+            if let (Some(a), Some(b)) = (self.const_of(lhs), self.const_of(rhs)) {
+                return self.constant(op.apply(a, b));
+            }
+            let lc = self.const_of(lhs);
+            let rc = self.const_of(rhs);
+            match op {
+                BinaryOp::Add => {
+                    if rc == Some(0.0) {
+                        return lhs;
+                    }
+                    if lc == Some(0.0) {
+                        return rhs;
+                    }
+                }
+                BinaryOp::Sub => {
+                    if rc == Some(0.0) {
+                        return lhs;
+                    }
+                    if lhs == rhs {
+                        return self.constant(0.0);
+                    }
+                }
+                BinaryOp::Mul => {
+                    if rc == Some(1.0) {
+                        return lhs;
+                    }
+                    if lc == Some(1.0) {
+                        return rhs;
+                    }
+                    if rc == Some(0.0) || lc == Some(0.0) {
+                        return self.constant(0.0);
+                    }
+                }
+                BinaryOp::Div
+                    if rc == Some(1.0) => {
+                        return lhs;
+                    }
+                BinaryOp::Min | BinaryOp::Max
+                    if lhs == rhs => {
+                        return lhs;
+                    }
+                _ => {}
+            }
+        }
+        self.push(Node::Binary { op, lhs, rhs })
+    }
+
+    /// Intern a multiplexer. With simplification, constant conditions select
+    /// a branch and `sel(c, x, x)` collapses to `x`.
+    pub fn select(&mut self, cond: NodeId, then_: NodeId, else_: NodeId) -> NodeId {
+        if self.simplify {
+            if let Some(c) = self.const_of(cond) {
+                return if c != 0.0 { then_ } else { else_ };
+            }
+            if then_ == else_ {
+                return then_;
+            }
+        }
+        self.push(Node::Select { cond, then_, else_ })
+    }
+
+    /// Evaluate every node with `f64` semantics; `leaf_value` supplies the
+    /// value of each leaf. Returns the value of every node, indexable by
+    /// [`NodeId::index`].
+    pub fn eval<F: Fn(&Leaf) -> f64>(&self, leaf_value: F) -> Vec<f64> {
+        let mut vals = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match node {
+                Node::Leaf(l) => leaf_value(l),
+                Node::Unary { op, arg } => op.apply(vals[arg.index()]),
+                Node::Binary { op, lhs, rhs } => op.apply(vals[lhs.index()], vals[rhs.index()]),
+                Node::Select { cond, then_, else_ } => {
+                    if vals[cond.index()] != 0.0 {
+                        vals[then_.index()]
+                    } else {
+                        vals[else_.index()]
+                    }
+                }
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// ASAP logic level of every node: leaves are level 0, an operation is
+    /// one more than its deepest operand. Used for pipeline staging in the
+    /// VHDL backend and for latency estimation.
+    pub fn asap_levels(&self) -> Vec<u32> {
+        let mut levels = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let l = match node {
+                Node::Leaf(_) => 0,
+                _ => {
+                    1 + node
+                        .operands()
+                        .iter()
+                        .map(|o| levels[o.index()])
+                        .max()
+                        .unwrap_or(0)
+                }
+            };
+            levels.push(l);
+        }
+        levels
+    }
+
+    /// Longest weighted path through the graph, where `delay(node)` gives the
+    /// cost of traversing a node (leaves usually cost 0). This is the
+    /// combinational critical path used for frequency estimation.
+    pub fn longest_path<F: Fn(&Node) -> f64>(&self, delay: F) -> f64 {
+        let mut cp = vec![0.0f64; self.nodes.len()];
+        let mut best = 0.0f64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let inputs_max = node
+                .operands()
+                .iter()
+                .map(|o| cp[o.index()])
+                .fold(0.0, f64::max);
+            cp[i] = inputs_max + delay(node);
+            best = best.max(cp[i]);
+        }
+        best
+    }
+
+    /// Reachability mask from a set of root nodes (e.g. cone outputs). Used
+    /// to exclude orphans created by simplification from register counts.
+    pub fn reachable(&self, roots: &[NodeId]) -> Vec<bool> {
+        let mut mask = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if mask[id.index()] {
+                continue;
+            }
+            mask[id.index()] = true;
+            stack.extend(self.node(id).operands());
+        }
+        mask
+    }
+
+    /// Operation statistics over the nodes selected by `mask` (pair with
+    /// [`Graph::reachable`]); pass `None` to count every node.
+    pub fn op_stats(&self, mask: Option<&[bool]>) -> OpStats {
+        let mut stats = OpStats::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(m) = mask {
+                if !m[i] {
+                    continue;
+                }
+            }
+            if let Some(kind) = node.op_kind() {
+                stats.record(kind);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid() -> FieldId {
+        FieldId::new(0)
+    }
+
+    #[test]
+    fn interning_reuses_nodes() {
+        let mut g = Graph::new();
+        let a = g.input(fid(), Point::d1(0));
+        let b = g.input(fid(), Point::d1(1));
+        let s1 = g.binary(BinaryOp::Add, a, b);
+        let s2 = g.binary(BinaryOp::Add, a, b);
+        assert_eq!(s1, s2);
+        assert_eq!(g.register_count(), 1);
+        assert_eq!(g.leaf_count(), 2);
+    }
+
+    #[test]
+    fn commutative_canonicalisation() {
+        let mut g = Graph::new();
+        let a = g.input(fid(), Point::d1(0));
+        let b = g.input(fid(), Point::d1(1));
+        assert_eq!(g.binary(BinaryOp::Add, a, b), g.binary(BinaryOp::Add, b, a));
+        assert_eq!(g.binary(BinaryOp::Mul, a, b), g.binary(BinaryOp::Mul, b, a));
+        // Non-commutative ops must NOT unify.
+        assert_ne!(g.binary(BinaryOp::Sub, a, b), g.binary(BinaryOp::Sub, b, a));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Graph::new();
+        let two = g.constant(2.0);
+        let three = g.constant(3.0);
+        let s = g.binary(BinaryOp::Add, two, three);
+        assert_eq!(g.const_of(s), Some(5.0));
+        let r = g.unary(UnaryOp::Sqrt, s);
+        assert!((g.const_of(r).unwrap() - 5.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let mut g = Graph::new();
+        let x = g.input(fid(), Point::d1(0));
+        let zero = g.constant(0.0);
+        let one = g.constant(1.0);
+        assert_eq!(g.binary(BinaryOp::Add, x, zero), x);
+        assert_eq!(g.binary(BinaryOp::Sub, x, zero), x);
+        assert_eq!(g.binary(BinaryOp::Mul, x, one), x);
+        assert_eq!(g.binary(BinaryOp::Div, x, one), x);
+        let z = g.binary(BinaryOp::Mul, x, zero);
+        assert_eq!(g.const_of(z), Some(0.0));
+        let sub_self = g.binary(BinaryOp::Sub, x, x);
+        assert_eq!(g.const_of(sub_self), Some(0.0));
+        assert_eq!(g.binary(BinaryOp::Min, x, x), x);
+    }
+
+    #[test]
+    fn no_simplification_mode_keeps_structure() {
+        let mut g = Graph::without_simplification();
+        let x = g.input(fid(), Point::d1(0));
+        let zero = g.constant(0.0);
+        let s = g.binary(BinaryOp::Add, x, zero);
+        assert_ne!(s, x);
+        assert_eq!(g.register_count(), 1);
+    }
+
+    #[test]
+    fn select_simplification() {
+        let mut g = Graph::new();
+        let x = g.input(fid(), Point::d1(0));
+        let y = g.input(fid(), Point::d1(1));
+        let t = g.constant(1.0);
+        assert_eq!(g.select(t, x, y), x);
+        let f = g.constant(0.0);
+        assert_eq!(g.select(f, x, y), y);
+        assert_eq!(g.select(x, y, y), y);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut g = Graph::new();
+        let a = g.input(fid(), Point::d1(0));
+        let b = g.input(fid(), Point::d1(1));
+        let s = g.binary(BinaryOp::Add, a, b);
+        let h = g.constant(0.5);
+        let avg = g.binary(BinaryOp::Mul, s, h);
+        let vals = g.eval(|leaf| match leaf {
+            Leaf::Input { point, .. } => point.x as f64 + 1.0, // 1.0, 2.0
+            Leaf::Const(c) => c.value(),
+            _ => 0.0,
+        });
+        assert!((vals[avg.index()] - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn asap_levels_and_critical_path() {
+        let mut g = Graph::new();
+        let a = g.input(fid(), Point::d1(0));
+        let b = g.input(fid(), Point::d1(1));
+        let c = g.input(fid(), Point::d1(2));
+        let ab = g.binary(BinaryOp::Add, a, b);
+        let abc = g.binary(BinaryOp::Add, ab, c);
+        let levels = g.asap_levels();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[ab.index()], 1);
+        assert_eq!(levels[abc.index()], 2);
+        let cp = g.longest_path(|n| if matches!(n, Node::Leaf(_)) { 0.0 } else { 2.0 });
+        assert_eq!(cp, 4.0);
+    }
+
+    #[test]
+    fn reachability_excludes_orphans() {
+        let mut g = Graph::new();
+        let a = g.input(fid(), Point::d1(0));
+        let b = g.input(fid(), Point::d1(1));
+        let used = g.binary(BinaryOp::Add, a, b);
+        let _orphan = g.binary(BinaryOp::Mul, a, b);
+        let mask = g.reachable(&[used]);
+        let stats = g.op_stats(Some(&mask));
+        assert_eq!(stats.total(), 1);
+        assert_eq!(stats.count(OpKind::Binary(BinaryOp::Add)), 1);
+        assert_eq!(g.op_stats(None).total(), 2);
+    }
+
+    #[test]
+    fn const_value_normalises_zero_and_nan() {
+        assert_eq!(ConstValue::new(0.0), ConstValue::new(-0.0));
+        assert_eq!(ConstValue::new(f64::NAN), ConstValue::new(-f64::NAN));
+    }
+}

@@ -1,0 +1,69 @@
+//! # isl-ir — intermediate representation for iterative stencil loops
+//!
+//! This crate is the foundation of the ISL HLS flow reproduced from
+//! *"A High-Level Synthesis Flow for the Implementation of Iterative Stencil
+//! Loop Algorithms on FPGA Devices"* (Nacci et al., DAC 2013). It provides:
+//!
+//! * [`StencilPattern`] — the single-iteration dependency pattern of an ISL,
+//!   i.e. the output of the paper's symbolic-execution phase: one update
+//!   expression per dynamic field, written over *relative* neighbour offsets
+//!   (this is exactly what "domain narrowness" plus "translational
+//!   invariance" allow);
+//! * [`Expr`] — the surface expression tree used inside a pattern;
+//! * [`Graph`] — a hash-consed dataflow DAG. Interning nodes implements the
+//!   paper's *register reuse* rule: "for each operation between two elements,
+//!   we store the result in a register: whenever the operation appears more
+//!   than once, the register is reused" (Section 3.2, Figure 4);
+//! * [`Cone`] — a multi-iteration compute module of a given *depth* `m` and
+//!   *output window* `w × h`, built by unrolling the dependencies of the
+//!   pattern through `m` iterations into a single shared [`Graph`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use isl_ir::{StencilPattern, FieldKind, Expr, BinaryOp, Offset, Window, Cone};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1D three-point average: f'(x) = (f(x-1) + f(x) + f(x+1)) / 3
+//! let mut pattern = StencilPattern::new(1);
+//! let f = pattern.add_field("f", FieldKind::Dynamic);
+//! let sum = Expr::binary(
+//!     BinaryOp::Add,
+//!     Expr::binary(
+//!         BinaryOp::Add,
+//!         Expr::input(f, Offset::d1(-1)),
+//!         Expr::input(f, Offset::d1(0)),
+//!     ),
+//!     Expr::input(f, Offset::d1(1)),
+//! );
+//! pattern.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(3.0)))?;
+//!
+//! // A cone of depth 2 computing a window of 4 output elements needs
+//! // 4 + 2*1*2 = 8 input elements, and register reuse makes the interior
+//! // adds shared between adjacent outputs.
+//! let cone = Cone::build(&pattern, Window::line(4), 2)?;
+//! assert_eq!(cone.inputs().len(), 8);
+//! assert!(cone.registers() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod cone;
+mod expr;
+mod geometry;
+mod graph;
+mod ops;
+mod pattern;
+
+pub use cone::{Cone, ConeError, ConeInput, ConeOutput, ConeSignature};
+pub use expr::Expr;
+pub use geometry::{Extent, Offset, Point, Window};
+pub use graph::{Graph, Leaf, Node, NodeId, OpStats};
+pub use ops::{BinaryOp, OpKind, UnaryOp};
+pub use pattern::{
+    FieldDecl, FieldId, FieldKind, ParamDecl, ParamId, PatternError, StencilPattern,
+};

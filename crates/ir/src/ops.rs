@@ -1,0 +1,218 @@
+//! Operation kinds supported by the stencil IR.
+//!
+//! The set is chosen to cover the paper's two case studies — the iterative
+//! Gaussian filter (adds, constant multiplies, divides by powers of two) and
+//! the Chambolle total-variation algorithm (general multiply/divide, square
+//! root, min/max/abs for projections) — plus comparisons and selection so
+//! data-dependent clamping can be expressed.
+
+use std::fmt;
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root (Chambolle's gradient norm needs it).
+    Sqrt,
+}
+
+impl UnaryOp {
+    /// Apply the operation to an `f64` (the functional semantics used by the
+    /// simulator; hardware uses fixed point, see `isl-fpga`).
+    pub fn apply(&self, a: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -a,
+            UnaryOp::Abs => a.abs(),
+            UnaryOp::Sqrt => a.sqrt(),
+        }
+    }
+
+    /// Stable lowercase mnemonic (used in VHDL signal names and reports).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Sqrt => "sqrt",
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Less-than comparison, producing 1.0 or 0.0.
+    Lt,
+    /// Less-or-equal comparison, producing 1.0 or 0.0.
+    Le,
+    /// Greater-than comparison, producing 1.0 or 0.0.
+    Gt,
+    /// Greater-or-equal comparison, producing 1.0 or 0.0.
+    Ge,
+}
+
+impl BinaryOp {
+    /// Apply the operation to two `f64` values.
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Lt => f64::from(a < b),
+            BinaryOp::Le => f64::from(a <= b),
+            BinaryOp::Gt => f64::from(a > b),
+            BinaryOp::Ge => f64::from(a >= b),
+        }
+    }
+
+    /// Whether `op(a, b) == op(b, a)` for all inputs. Commutative operands
+    /// are stored in canonical order by the hash-consing graph so that more
+    /// subexpressions unify (more register reuse).
+    pub fn is_commutative(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Mul | BinaryOp::Min | BinaryOp::Max
+        )
+    }
+
+    /// Stable lowercase mnemonic (used in VHDL signal names and reports).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "add",
+            BinaryOp::Sub => "sub",
+            BinaryOp::Mul => "mul",
+            BinaryOp::Div => "div",
+            BinaryOp::Min => "min",
+            BinaryOp::Max => "max",
+            BinaryOp::Lt => "lt",
+            BinaryOp::Le => "le",
+            BinaryOp::Gt => "gt",
+            BinaryOp::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A uniform classification of every operation node in a [`crate::Graph`],
+/// used for operation statistics, technology mapping and delay models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A unary operation.
+    Unary(UnaryOp),
+    /// A binary operation.
+    Binary(BinaryOp),
+    /// A 2-to-1 multiplexer driven by a condition (`cond ? a : b`).
+    Select,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order (useful for report tables).
+    pub fn all() -> &'static [OpKind] {
+        use BinaryOp::*;
+        use UnaryOp::*;
+        const ALL: &[OpKind] = &[
+            OpKind::Unary(Neg),
+            OpKind::Unary(Abs),
+            OpKind::Unary(Sqrt),
+            OpKind::Binary(Add),
+            OpKind::Binary(Sub),
+            OpKind::Binary(Mul),
+            OpKind::Binary(Div),
+            OpKind::Binary(Min),
+            OpKind::Binary(Max),
+            OpKind::Binary(Lt),
+            OpKind::Binary(Le),
+            OpKind::Binary(Gt),
+            OpKind::Binary(Ge),
+            OpKind::Select,
+        ];
+        ALL
+    }
+
+    /// Stable lowercase mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Unary(u) => u.mnemonic(),
+            OpKind::Binary(b) => b.mnemonic(),
+            OpKind::Select => "sel",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_semantics() {
+        assert_eq!(UnaryOp::Neg.apply(2.5), -2.5);
+        assert_eq!(UnaryOp::Abs.apply(-3.0), 3.0);
+        assert_eq!(UnaryOp::Sqrt.apply(9.0), 3.0);
+    }
+
+    #[test]
+    fn binary_semantics() {
+        assert_eq!(BinaryOp::Add.apply(1.0, 2.0), 3.0);
+        assert_eq!(BinaryOp::Sub.apply(1.0, 2.0), -1.0);
+        assert_eq!(BinaryOp::Mul.apply(3.0, 4.0), 12.0);
+        assert_eq!(BinaryOp::Div.apply(1.0, 4.0), 0.25);
+        assert_eq!(BinaryOp::Min.apply(1.0, 2.0), 1.0);
+        assert_eq!(BinaryOp::Max.apply(1.0, 2.0), 2.0);
+        assert_eq!(BinaryOp::Lt.apply(1.0, 2.0), 1.0);
+        assert_eq!(BinaryOp::Ge.apply(1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinaryOp::Add.is_commutative());
+        assert!(BinaryOp::Mul.is_commutative());
+        assert!(BinaryOp::Min.is_commutative());
+        assert!(BinaryOp::Max.is_commutative());
+        assert!(!BinaryOp::Sub.is_commutative());
+        assert!(!BinaryOp::Div.is_commutative());
+        assert!(!BinaryOp::Lt.is_commutative());
+    }
+
+    #[test]
+    fn all_kinds_have_unique_mnemonics() {
+        let mut seen = std::collections::HashSet::new();
+        for k in OpKind::all() {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {k}");
+        }
+        assert_eq!(OpKind::all().len(), 14);
+    }
+}

@@ -1,0 +1,473 @@
+//! Stencil dependency patterns: the output of dependency analysis.
+//!
+//! A [`StencilPattern`] captures *one iteration* of an ISL: for every dynamic
+//! field, an update [`Expr`] over relative offsets. Because ISLs are
+//! translation-invariant, this single per-element description determines the
+//! whole computation (paper, Section 2, property 2) and — because
+//! dependencies between consecutive iterations are identical for every
+//! iteration — it also suffices to build cones of *any* depth (Section 3.2).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::geometry::Offset;
+
+/// Identifier of a field (grid) inside a pattern.
+///
+/// Fields are dense and ordered: the first `add_field` call returns id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(u16);
+
+impl FieldId {
+    /// Construct from a raw index.
+    pub const fn new(raw: u16) -> Self {
+        FieldId(raw)
+    }
+
+    /// Raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a scalar runtime parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(u16);
+
+impl ParamId {
+    /// Construct from a raw index.
+    pub const fn new(raw: u16) -> Self {
+        ParamId(raw)
+    }
+
+    /// Raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Whether a field is rewritten every iteration or constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKind {
+    /// Updated every iteration (`f_{i+1} = t(f_i)`).
+    Dynamic,
+    /// Read-only for the whole run, e.g. the observed image `g` in the
+    /// Chambolle algorithm: every iteration reads it at iteration-0 values.
+    Static,
+}
+
+/// Declaration of one field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Human-readable name (from the source kernel).
+    pub name: String,
+    /// Dynamic or static.
+    pub kind: FieldKind,
+}
+
+/// Declaration of one scalar parameter with its default value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Human-readable name (from the source kernel).
+    pub name: String,
+    /// Value used when the caller does not override it.
+    pub default: f64,
+}
+
+/// Errors produced while assembling or validating a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A field id does not exist in this pattern.
+    UnknownField(String),
+    /// `set_update` was called on a static field.
+    UpdateOnStaticField(String),
+    /// A dynamic field has no update expression.
+    MissingUpdate(String),
+    /// An offset uses an axis beyond the pattern's rank.
+    OffsetRankMismatch {
+        /// Field whose update is faulty.
+        field: String,
+        /// The offending offset, rendered.
+        offset: String,
+        /// Declared pattern rank.
+        rank: usize,
+    },
+    /// The pattern has no dynamic field at all.
+    NoDynamicField,
+    /// Domain narrowness violated: an offset exceeds the configured bound.
+    RadiusTooLarge {
+        /// Observed radius.
+        radius: u32,
+        /// Allowed maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::UnknownField(n) => write!(f, "unknown field `{n}`"),
+            PatternError::UpdateOnStaticField(n) => {
+                write!(f, "cannot set an update on static field `{n}`")
+            }
+            PatternError::MissingUpdate(n) => {
+                write!(f, "dynamic field `{n}` has no update expression")
+            }
+            PatternError::OffsetRankMismatch { field, offset, rank } => write!(
+                f,
+                "update of `{field}` reads offset {offset} outside pattern rank {rank}"
+            ),
+            PatternError::NoDynamicField => write!(f, "pattern declares no dynamic field"),
+            PatternError::RadiusTooLarge { radius, max } => write!(
+                f,
+                "stencil radius {radius} exceeds the domain-narrowness bound {max}"
+            ),
+        }
+    }
+}
+
+impl Error for PatternError {}
+
+/// The single-iteration dependency pattern of an iterative stencil loop.
+///
+/// ```
+/// use isl_ir::{StencilPattern, FieldKind, Expr, BinaryOp, Offset};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = StencilPattern::new(2);
+/// let f = p.add_field("f", FieldKind::Dynamic);
+/// let avg = Expr::binary(
+///     BinaryOp::Mul,
+///     Expr::sum([
+///         Expr::input(f, Offset::d2(0, -1)),
+///         Expr::input(f, Offset::d2(-1, 0)),
+///         Expr::input(f, Offset::d2(1, 0)),
+///         Expr::input(f, Offset::d2(0, 1)),
+///     ]),
+///     Expr::constant(0.25),
+/// );
+/// p.set_update(f, avg)?;
+/// assert_eq!(p.radius(), 1);
+/// p.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilPattern {
+    rank: usize,
+    fields: Vec<FieldDecl>,
+    updates: Vec<Option<Expr>>,
+    params: Vec<ParamDecl>,
+    name: String,
+}
+
+impl StencilPattern {
+    /// Create an empty pattern of the given rank (1, 2 or 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is 0 or greater than 3.
+    pub fn new(rank: usize) -> Self {
+        assert!((1..=3).contains(&rank), "rank must be 1, 2 or 3");
+        StencilPattern {
+            rank,
+            fields: Vec::new(),
+            updates: Vec::new(),
+            params: Vec::new(),
+            name: String::from("anonymous"),
+        }
+    }
+
+    /// Set a human-readable algorithm name (used in reports and VHDL entity
+    /// names).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Algorithm name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spatial rank (1, 2 or 3).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Declare a new field and return its id.
+    pub fn add_field(&mut self, name: impl Into<String>, kind: FieldKind) -> FieldId {
+        let id = FieldId(self.fields.len() as u16);
+        self.fields.push(FieldDecl { name: name.into(), kind });
+        self.updates.push(None);
+        id
+    }
+
+    /// Declare a new scalar parameter and return its id.
+    pub fn add_param(&mut self, name: impl Into<String>, default: f64) -> ParamId {
+        let id = ParamId(self.params.len() as u16);
+        self.params.push(ParamDecl { name: name.into(), default });
+        id
+    }
+
+    /// Set the per-iteration update expression of a dynamic field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::UnknownField`] if `field` is not declared and
+    /// [`PatternError::UpdateOnStaticField`] if it is static.
+    pub fn set_update(&mut self, field: FieldId, expr: Expr) -> Result<(), PatternError> {
+        let decl = self
+            .fields
+            .get(field.index())
+            .ok_or_else(|| PatternError::UnknownField(format!("{field}")))?;
+        if decl.kind == FieldKind::Static {
+            return Err(PatternError::UpdateOnStaticField(decl.name.clone()));
+        }
+        self.updates[field.index()] = Some(expr);
+        Ok(())
+    }
+
+    /// All declared fields, in id order.
+    pub fn fields(&self) -> &[FieldDecl] {
+        &self.fields
+    }
+
+    /// Declaration of one field.
+    pub fn field(&self, id: FieldId) -> &FieldDecl {
+        &self.fields[id.index()]
+    }
+
+    /// All declared parameters, in id order.
+    pub fn params(&self) -> &[ParamDecl] {
+        &self.params
+    }
+
+    /// Ids of all dynamic fields, in id order.
+    pub fn dynamic_fields(&self) -> Vec<FieldId> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == FieldKind::Dynamic)
+            .map(|(i, _)| FieldId(i as u16))
+            .collect()
+    }
+
+    /// Ids of all static fields, in id order.
+    pub fn static_fields(&self) -> Vec<FieldId> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == FieldKind::Static)
+            .map(|(i, _)| FieldId(i as u16))
+            .collect()
+    }
+
+    /// The update expression of a dynamic field, if set.
+    pub fn update(&self, field: FieldId) -> Option<&Expr> {
+        self.updates.get(field.index()).and_then(|u| u.as_ref())
+    }
+
+    /// Stencil radius: maximum Chebyshev offset over every update expression
+    /// (the bound that "domain narrowness" promises is small).
+    pub fn radius(&self) -> u32 {
+        self.updates
+            .iter()
+            .flatten()
+            .map(|e| e.radius())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total operation count of one iteration of one element, summed over all
+    /// dynamic fields (tree ops, before any reuse).
+    pub fn ops_per_element(&self) -> usize {
+        self.updates.iter().flatten().map(|e| e.op_count()).sum()
+    }
+
+    /// Check structural well-formedness:
+    ///
+    /// * at least one dynamic field exists;
+    /// * every dynamic field has an update;
+    /// * no update reads an offset outside the pattern rank;
+    /// * the stencil radius respects `max_radius` (domain narrowness),
+    ///   checked by [`StencilPattern::validate_with_radius`]; `validate` uses
+    ///   a liberal default of 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`PatternError`].
+    pub fn validate(&self) -> Result<(), PatternError> {
+        self.validate_with_radius(8)
+    }
+
+    /// [`StencilPattern::validate`] with an explicit domain-narrowness bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`PatternError`].
+    pub fn validate_with_radius(&self, max_radius: u32) -> Result<(), PatternError> {
+        if self.dynamic_fields().is_empty() {
+            return Err(PatternError::NoDynamicField);
+        }
+        for (i, decl) in self.fields.iter().enumerate() {
+            let id = FieldId(i as u16);
+            if decl.kind == FieldKind::Dynamic {
+                let expr = self
+                    .update(id)
+                    .ok_or_else(|| PatternError::MissingUpdate(decl.name.clone()))?;
+                for (_, off) in expr.reads() {
+                    if !self.offset_in_rank(off) {
+                        return Err(PatternError::OffsetRankMismatch {
+                            field: decl.name.clone(),
+                            offset: off.to_string(),
+                            rank: self.rank,
+                        });
+                    }
+                }
+            }
+        }
+        let radius = self.radius();
+        if radius > max_radius {
+            return Err(PatternError::RadiusTooLarge { radius, max: max_radius });
+        }
+        Ok(())
+    }
+
+    fn offset_in_rank(&self, o: Offset) -> bool {
+        match self.rank {
+            1 => o.dy == 0 && o.dz == 0,
+            2 => o.dz == 0,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for StencilPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stencil `{}` rank={} radius={}", self.name, self.rank, self.radius())?;
+        for (i, decl) in self.fields.iter().enumerate() {
+            let id = FieldId(i as u16);
+            match decl.kind {
+                FieldKind::Dynamic => {
+                    if let Some(u) = self.update(id) {
+                        writeln!(f, "  {}' = {u}", decl.name)?;
+                    } else {
+                        writeln!(f, "  {}' = <unset>", decl.name)?;
+                    }
+                }
+                FieldKind::Static => writeln!(f, "  {} (static)", decl.name)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BinaryOp;
+
+    fn diffusion_2d() -> (StencilPattern, FieldId) {
+        let mut p = StencilPattern::new(2).with_name("diffusion");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::sum([
+                Expr::input(f, Offset::d2(0, -1)),
+                Expr::input(f, Offset::d2(-1, 0)),
+                Expr::input(f, Offset::d2(1, 0)),
+                Expr::input(f, Offset::d2(0, 1)),
+            ]),
+            Expr::constant(0.25),
+        );
+        p.set_update(f, e).unwrap();
+        (p, f)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (p, f) = diffusion_2d();
+        assert_eq!(p.rank(), 2);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.dynamic_fields(), vec![f]);
+        assert!(p.static_fields().is_empty());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_update_is_reported() {
+        let mut p = StencilPattern::new(2);
+        let _f = p.add_field("f", FieldKind::Dynamic);
+        assert_eq!(
+            p.validate(),
+            Err(PatternError::MissingUpdate("f".to_string()))
+        );
+    }
+
+    #[test]
+    fn static_field_cannot_be_updated() {
+        let mut p = StencilPattern::new(2);
+        let g = p.add_field("g", FieldKind::Static);
+        let err = p.set_update(g, Expr::constant(0.0)).unwrap_err();
+        assert_eq!(err, PatternError::UpdateOnStaticField("g".to_string()));
+    }
+
+    #[test]
+    fn rank_violation_is_reported() {
+        let mut p = StencilPattern::new(1);
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(f, Expr::input(f, Offset::d2(0, 1))).unwrap();
+        assert!(matches!(
+            p.validate(),
+            Err(PatternError::OffsetRankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn no_dynamic_field_is_reported() {
+        let mut p = StencilPattern::new(2);
+        p.add_field("g", FieldKind::Static);
+        assert_eq!(p.validate(), Err(PatternError::NoDynamicField));
+    }
+
+    #[test]
+    fn radius_bound_is_enforced() {
+        let mut p = StencilPattern::new(1);
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(f, Expr::input(f, Offset::d1(9))).unwrap();
+        assert_eq!(
+            p.validate(),
+            Err(PatternError::RadiusTooLarge { radius: 9, max: 8 })
+        );
+        p.validate_with_radius(9).unwrap();
+    }
+
+    #[test]
+    fn params_have_defaults() {
+        let mut p = StencilPattern::new(2);
+        let tau = p.add_param("tau", 0.25);
+        assert_eq!(p.params()[tau.index()].name, "tau");
+        assert_eq!(p.params()[tau.index()].default, 0.25);
+    }
+
+    #[test]
+    fn display_contains_update() {
+        let (p, _) = diffusion_2d();
+        let s = p.to_string();
+        assert!(s.contains("diffusion"));
+        assert!(s.contains("f' ="));
+    }
+}

@@ -1,0 +1,157 @@
+//! Border (boundary-condition) handling.
+
+use std::fmt;
+
+/// How out-of-frame reads are resolved.
+///
+/// The cone architecture relies on locality: a read outside the frame must
+/// resolve to a coordinate *near the edge it crossed* so that tiles can be
+/// processed independently. Clamp and mirror have that property; [`BorderMode::Wrap`]
+/// does not (it teleports reads to the opposite edge), so the tiled executor
+/// rejects it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum BorderMode {
+    /// Repeat the edge sample (`f(-1) = f(0)`), the common choice for image
+    /// filters.
+    #[default]
+    Clamp,
+    /// Mirror across the edge without repeating it (`f(-1) = f(1)`).
+    Mirror,
+    /// Periodic boundary (`f(-1) = f(n-1)`). Golden simulation only.
+    Wrap,
+    /// A fixed value outside the frame.
+    Constant(f64),
+}
+
+
+impl BorderMode {
+    /// Map coordinate `i` onto `0..n`, or `None` when the mode substitutes a
+    /// constant. `n` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn resolve(&self, i: i64, n: i64) -> Option<i64> {
+        assert!(n > 0, "cannot resolve a border on an empty axis");
+        if (0..n).contains(&i) {
+            return Some(i);
+        }
+        match self {
+            BorderMode::Clamp => Some(i.clamp(0, n - 1)),
+            BorderMode::Mirror => {
+                // Reflect without repeating the edge sample; period 2(n-1).
+                if n == 1 {
+                    return Some(0);
+                }
+                let period = 2 * (n - 1);
+                let mut m = i.rem_euclid(period);
+                if m >= n {
+                    m = period - m;
+                }
+                Some(m)
+            }
+            BorderMode::Wrap => Some(i.rem_euclid(n)),
+            BorderMode::Constant(_) => None,
+        }
+    }
+
+    /// The substitute value for [`BorderMode::Constant`], else `None`.
+    pub fn constant_value(&self) -> Option<f64> {
+        match self {
+            BorderMode::Constant(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether tiles can resolve this border locally (see type docs).
+    pub fn is_local(&self) -> bool {
+        !matches!(self, BorderMode::Wrap)
+    }
+
+    /// Parse the `#pragma isl border` spelling (`clamp`, `mirror`, `wrap`,
+    /// `zero`).
+    pub fn parse(s: &str) -> Option<BorderMode> {
+        match s {
+            "clamp" => Some(BorderMode::Clamp),
+            "mirror" => Some(BorderMode::Mirror),
+            "wrap" => Some(BorderMode::Wrap),
+            "zero" => Some(BorderMode::Constant(0.0)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BorderMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BorderMode::Clamp => write!(f, "clamp"),
+            BorderMode::Mirror => write!(f, "mirror"),
+            BorderMode::Wrap => write!(f, "wrap"),
+            BorderMode::Constant(v) => write!(f, "constant({v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_resolution() {
+        let b = BorderMode::Clamp;
+        assert_eq!(b.resolve(-3, 10), Some(0));
+        assert_eq!(b.resolve(12, 10), Some(9));
+        assert_eq!(b.resolve(5, 10), Some(5));
+    }
+
+    #[test]
+    fn mirror_resolution() {
+        let b = BorderMode::Mirror;
+        assert_eq!(b.resolve(-1, 10), Some(1));
+        assert_eq!(b.resolve(-2, 10), Some(2));
+        assert_eq!(b.resolve(10, 10), Some(8));
+        assert_eq!(b.resolve(11, 10), Some(7));
+        assert_eq!(b.resolve(0, 1), Some(0));
+        assert_eq!(b.resolve(-5, 1), Some(0));
+    }
+
+    #[test]
+    fn wrap_resolution() {
+        let b = BorderMode::Wrap;
+        assert_eq!(b.resolve(-1, 10), Some(9));
+        assert_eq!(b.resolve(10, 10), Some(0));
+        assert!(!b.is_local());
+    }
+
+    #[test]
+    fn constant_resolution() {
+        let b = BorderMode::Constant(7.0);
+        assert_eq!(b.resolve(-1, 10), None);
+        assert_eq!(b.resolve(3, 10), Some(3));
+        assert_eq!(b.constant_value(), Some(7.0));
+    }
+
+    #[test]
+    fn mirror_stays_near_edge() {
+        // The locality property the tiled executor depends on: for an
+        // excursion of e beyond the edge, the resolved point is within e of
+        // the edge.
+        let b = BorderMode::Mirror;
+        for n in [4i64, 9, 16] {
+            for e in 1..=3i64 {
+                let lo = b.resolve(-e, n).expect("mirror always resolves");
+                assert!(lo <= e);
+                let hi = b.resolve(n - 1 + e, n).expect("mirror always resolves");
+                assert!(hi >= n - 1 - e);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(BorderMode::parse("clamp"), Some(BorderMode::Clamp));
+        assert_eq!(BorderMode::parse("zero"), Some(BorderMode::Constant(0.0)));
+        assert_eq!(BorderMode::parse("nope"), None);
+    }
+}

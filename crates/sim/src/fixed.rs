@@ -1,0 +1,199 @@
+//! Quantised whole-frame simulation: fixed-point error accumulation at the
+//! scale of a full ISL run.
+//!
+//! The per-cone fixed-point evaluator in `isl-fpga` answers "how far is one
+//! cone pass from `f64`?"; this module answers the system-level question —
+//! after `N` iterations over a whole frame, how much error has the hardware
+//! data path accumulated? The quantiser applies round-to-nearest with
+//! saturation after *every* operation, like the generated VHDL.
+
+use isl_ir::{FieldId, FieldKind};
+
+use crate::error::SimError;
+use crate::frame::{Frame, FrameSet};
+use crate::sim::Simulator;
+
+/// A fixed-point rounding rule: signed, `width` total bits, `frac`
+/// fractional bits (mirrors `isl_fpga::FixedFormat` without creating a
+/// dependency between the crates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    width: u32,
+    frac: u32,
+}
+
+impl Quantizer {
+    /// Build a quantiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < width <= 63` and `frac < width`.
+    pub fn new(width: u32, frac: u32) -> Self {
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        assert!(frac < width, "frac must leave at least the sign bit");
+        Quantizer { width, frac }
+    }
+
+    /// The default hardware format (Q8.10 in 18 bits).
+    pub fn q18_10() -> Self {
+        Quantizer::new(18, 10)
+    }
+
+    /// Quantisation step.
+    pub fn resolution(&self) -> f64 {
+        (2.0f64).powi(-(self.frac as i32))
+    }
+
+    /// Round-to-nearest with saturation, back in real units.
+    pub fn apply(&self, v: f64) -> f64 {
+        let scale = (1u64 << self.frac) as f64;
+        let max_raw = ((1i64 << (self.width - 1)) - 1) as f64;
+        let min_raw = (-(1i64 << (self.width - 1))) as f64;
+        let raw = (v * scale).round().clamp(min_raw, max_raw);
+        raw / scale
+    }
+}
+
+impl Simulator<'_> {
+    /// Run `iterations` whole-frame steps with fixed-point rounding after
+    /// every operation — the frame-scale analogue of the generated hardware.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run_quantized(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        // Quantise the initial frames once (loading into the fixed-point
+        // domain), then iterate with per-op rounding.
+        let mut state = FrameSet::from_frames(
+            init.frames()
+                .iter()
+                .map(|f| Frame::from_fn(f.width(), f.height(), |x, y| q.apply(f.get(x, y))))
+                .collect(),
+        )
+        .expect("shapes preserved");
+        for _ in 0..iterations {
+            state = self.step_quantized(&state, q)?;
+        }
+        Ok(state)
+    }
+
+    fn step_quantized(&self, state: &FrameSet, q: Quantizer) -> Result<FrameSet, SimError> {
+        // Mirror Simulator::step, with the post-op rounding hook.
+        if state.len() != self.pattern().fields().len() {
+            return Err(SimError::FieldCountMismatch {
+                expected: self.pattern().fields().len(),
+                got: state.len(),
+            });
+        }
+        let (w, h) = (state.width(), state.height());
+        let border = self.border();
+        let mut next = Vec::with_capacity(state.len());
+        for (i, decl) in self.pattern().fields().iter().enumerate() {
+            let fid = FieldId::new(i as u16);
+            match decl.kind {
+                FieldKind::Static => next.push(state.frame(i).clone()),
+                FieldKind::Dynamic => {
+                    let update = self.pattern().update(fid).expect("validated pattern");
+                    let mut out = Frame::new(w, h);
+                    for y in 0..h {
+                        for x in 0..w {
+                            let v = update.eval_map(
+                                &|f: FieldId, o: isl_ir::Offset| {
+                                    state.frame(f.index()).sample(
+                                        x as i64 + o.dx as i64,
+                                        y as i64 + o.dy as i64,
+                                        border,
+                                    )
+                                },
+                                &|p: isl_ir::ParamId| self.param_value(p),
+                                &|v| q.apply(v),
+                            );
+                            out.set(x, y, v);
+                        }
+                    }
+                    next.push(out);
+                }
+            }
+        }
+        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::border::BorderMode;
+    use crate::synthetic;
+    use isl_ir::{BinaryOp, Expr, Offset, StencilPattern};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(4.0)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn quantizer_rounds_and_saturates() {
+        let q = Quantizer::new(8, 4);
+        assert_eq!(q.apply(0.5), 0.5);
+        assert_eq!(q.apply(0.51), 0.5);
+        assert_eq!(q.apply(1000.0), 7.9375); // (2^7 - 1) / 16
+        assert_eq!(q.apply(-1000.0), -8.0);
+        assert_eq!(q.resolution(), 0.0625);
+    }
+
+    #[test]
+    fn quantized_run_tracks_f64() {
+        let p = blur();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![synthetic::noise(16, 12, 5)]).unwrap();
+        let exact = sim.run(&init, 8).unwrap();
+        let fixed = sim.run_quantized(&init, 8, Quantizer::q18_10()).unwrap();
+        // Averaging keeps per-iteration error near one LSB; 8 iterations of
+        // a contraction accumulate only a small multiple of it.
+        let diff = exact.max_abs_diff(&fixed);
+        assert!(diff < 32.0 * Quantizer::q18_10().resolution(), "diff {diff}");
+    }
+
+    #[test]
+    fn error_shrinks_with_finer_formats() {
+        let p = blur();
+        let sim = Simulator::new(&p).unwrap().with_border(BorderMode::Mirror);
+        let init = FrameSet::from_frames(vec![synthetic::noise(12, 12, 9)]).unwrap();
+        let exact = sim.run(&init, 6).unwrap();
+        let err = |q: Quantizer| {
+            exact.max_abs_diff(&sim.run_quantized(&init, 6, q).unwrap())
+        };
+        let coarse = err(Quantizer::new(12, 4));
+        let fine = err(Quantizer::new(24, 16));
+        assert!(fine < coarse, "{fine} !< {coarse}");
+        assert!(fine < 1e-3);
+    }
+
+    #[test]
+    fn integer_valued_dynamics_are_exact() {
+        // Sums of integers within range round-trip exactly.
+        let mut p = StencilPattern::new(1).with_name("shift");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(f, Expr::input(f, Offset::d1(-1))).unwrap();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![Frame::from_samples(&[1.0, 2.0, 3.0, 4.0])])
+            .unwrap();
+        let exact = sim.run(&init, 3).unwrap();
+        let fixed = sim.run_quantized(&init, 3, Quantizer::q18_10()).unwrap();
+        assert_eq!(exact.max_abs_diff(&fixed), 0.0);
+    }
+}

@@ -1,0 +1,677 @@
+//! Golden, tiled and cone-DAG execution of stencil patterns.
+
+use isl_ir::{Cone, FieldId, FieldKind, StencilPattern, Window};
+
+use crate::border::BorderMode;
+use crate::error::SimError;
+use crate::frame::{Frame, FrameSet};
+
+/// Result of a fixed-point run ([`Simulator::run_until_converged`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Iterations actually performed.
+    pub iterations: u32,
+    /// Last observed max-abs update delta.
+    pub delta: f64,
+    /// Whether the delta fell below the threshold before the iteration cap.
+    pub converged: bool,
+}
+
+/// Executes a [`StencilPattern`] on frames under three semantics: golden
+/// whole-frame iteration, exact tiled (cone-architecture) execution, and
+/// hardware-faithful cone-DAG evaluation.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'p> {
+    pattern: &'p StencilPattern,
+    border: BorderMode,
+    params: Vec<f64>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Wrap a validated pattern with default border (clamp) and default
+    /// parameter values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedRank`] for rank-3 patterns;
+    /// [`SimError::Pattern`] if the pattern fails validation.
+    pub fn new(pattern: &'p StencilPattern) -> Result<Self, SimError> {
+        pattern
+            .validate()
+            .map_err(|e| SimError::Pattern(e.to_string()))?;
+        if pattern.rank() > 2 {
+            return Err(SimError::UnsupportedRank(pattern.rank()));
+        }
+        Ok(Simulator {
+            pattern,
+            border: BorderMode::default(),
+            params: pattern.params().iter().map(|p| p.default).collect(),
+        })
+    }
+
+    /// Select the border mode.
+    pub fn with_border(mut self, border: BorderMode) -> Self {
+        self.border = border;
+        self
+    }
+
+    /// Override parameter values (by [`isl_ir::ParamId`] index).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ParamCountMismatch`] when the length differs from the
+    /// pattern's parameter list.
+    pub fn with_params(mut self, params: Vec<f64>) -> Result<Self, SimError> {
+        if params.len() != self.pattern.params().len() {
+            return Err(SimError::ParamCountMismatch {
+                expected: self.pattern.params().len(),
+                got: params.len(),
+            });
+        }
+        self.params = params;
+        Ok(self)
+    }
+
+    /// The pattern being simulated.
+    pub fn pattern(&self) -> &StencilPattern {
+        self.pattern
+    }
+
+    /// The active border mode.
+    pub fn border(&self) -> BorderMode {
+        self.border
+    }
+
+    /// Value of parameter `p` (default or override).
+    pub fn param_value(&self, p: isl_ir::ParamId) -> f64 {
+        self.params[p.index()]
+    }
+
+    fn check(&self, state: &FrameSet) -> Result<(), SimError> {
+        if state.len() != self.pattern.fields().len() {
+            return Err(SimError::FieldCountMismatch {
+                expected: self.pattern.fields().len(),
+                got: state.len(),
+            });
+        }
+        Ok(())
+    }
+
+    // -- golden semantics ---------------------------------------------------
+
+    /// One whole-frame iteration (the body of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FieldCountMismatch`] when the frame set does not match the
+    /// pattern.
+    pub fn step(&self, state: &FrameSet) -> Result<FrameSet, SimError> {
+        self.check(state)?;
+        let (w, h) = (state.width(), state.height());
+        let mut next = Vec::with_capacity(state.len());
+        for (i, decl) in self.pattern.fields().iter().enumerate() {
+            let fid = FieldId::new(i as u16);
+            match decl.kind {
+                FieldKind::Static => next.push(state.frame(i).clone()),
+                FieldKind::Dynamic => {
+                    let update = self.pattern.update(fid).expect("validated pattern");
+                    let mut out = Frame::new(w, h);
+                    for y in 0..h {
+                        for x in 0..w {
+                            let v = update.eval(
+                                &|f: FieldId, o: isl_ir::Offset| {
+                                    state.frame(f.index()).sample(
+                                        x as i64 + o.dx as i64,
+                                        y as i64 + o.dy as i64,
+                                        self.border,
+                                    )
+                                },
+                                &|p: isl_ir::ParamId| self.params[p.index()],
+                            );
+                            out.set(x, y, v);
+                        }
+                    }
+                    next.push(out);
+                }
+            }
+        }
+        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+    }
+
+    /// `iterations` golden whole-frame steps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run(&self, init: &FrameSet, iterations: u32) -> Result<FrameSet, SimError> {
+        let mut state = init.clone();
+        for _ in 0..iterations {
+            state = self.step(&state)?;
+        }
+        Ok(state)
+    }
+
+    /// Iterate until the max-abs delta of the dynamic fields drops below
+    /// `epsilon`, or `max_iterations` is reached — the "fixed point of the
+    /// single step transformation" formulation from the paper's introduction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run_until_converged(
+        &self,
+        init: &FrameSet,
+        epsilon: f64,
+        max_iterations: u32,
+    ) -> Result<(FrameSet, ConvergenceReport), SimError> {
+        let mut state = init.clone();
+        let mut delta = f64::INFINITY;
+        for i in 0..max_iterations {
+            let next = self.step(&state)?;
+            delta = self
+                .pattern
+                .dynamic_fields()
+                .iter()
+                .map(|f| state.frame(f.index()).max_abs_diff(next.frame(f.index())))
+                .fold(0.0, f64::max);
+            state = next;
+            if delta < epsilon {
+                return Ok((
+                    state,
+                    ConvergenceReport {
+                        iterations: i + 1,
+                        delta,
+                        converged: true,
+                    },
+                ));
+            }
+        }
+        Ok((
+            state,
+            ConvergenceReport {
+                iterations: max_iterations,
+                delta,
+                converged: false,
+            },
+        ))
+    }
+
+    // -- tiled (cone-architecture) semantics --------------------------------
+
+    /// Execute `iterations` through levels of depth-`depth` cones applied
+    /// window by window — the paper's architecture template, with border
+    /// resolution at every level. Bit-identical to [`Simulator::run`] for
+    /// local border modes.
+    ///
+    /// Iterations are decomposed exactly like the flow's architecture
+    /// instances: `floor(iterations / depth)` levels of `depth`, plus one
+    /// remainder level when `depth` does not divide `iterations`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NonLocalBorder`] for wrap borders; [`SimError::Cone`] for
+    /// `depth == 0`; plus the [`Simulator::step`] errors.
+    pub fn run_tiled(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<FrameSet, SimError> {
+        self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
+        if !self.border.is_local() {
+            return Err(SimError::NonLocalBorder);
+        }
+        let mut state = init.clone();
+        for d in level_depths(iterations, depth) {
+            state = self.tiled_level(&state, window, d)?;
+        }
+        Ok(state)
+    }
+
+    /// One level: apply depth-`d` cones over every window tile.
+    fn tiled_level(&self, state: &FrameSet, window: Window, d: u32) -> Result<FrameSet, SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let r = self.pattern.radius() as i64;
+        let mut next: Vec<Frame> = state.frames().to_vec();
+
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            while tx < w {
+                self.tile(state, &mut next, (tx, ty), (tw, th), d, r)?;
+                tx += tw;
+            }
+            ty += th;
+        }
+        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+    }
+
+    /// Compute one tile through `d` levels, reading `state`, writing `next`.
+    #[allow(clippy::too_many_arguments)]
+    fn tile(
+        &self,
+        state: &FrameSet,
+        next: &mut [Frame],
+        (tx, ty): (i64, i64),
+        (tw, th): (i64, i64),
+        d: u32,
+        r: i64,
+    ) -> Result<(), SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let dyn_fields = self.pattern.dynamic_fields();
+
+        // Level extents, clipped to the frame: level `l` needs the tile grown
+        // by radius x (d - l).
+        let rect = |l: u32| -> (i64, i64, i64, i64) {
+            let halo = r * (d - l) as i64;
+            let x0 = (tx - halo).max(0);
+            let y0 = if h > 1 { (ty - halo).max(0) } else { 0 };
+            let x1 = (tx + tw - 1 + halo).min(w - 1);
+            let y1 = if h > 1 { (ty + th - 1 + halo).min(h - 1) } else { 0 };
+            (x0, y0, x1, y1)
+        };
+
+        // Level-0 buffers: direct copies of the current state over ext(0).
+        let (x0, y0, x1, y1) = rect(0);
+        let (bw, bh) = ((x1 - x0 + 1) as usize, (y1 - y0 + 1) as usize);
+        let mut bufs: Vec<Vec<f64>> = dyn_fields
+            .iter()
+            .map(|f| {
+                let fr = state.frame(f.index());
+                let mut b = vec![0.0; bw * bh];
+                for yy in 0..bh as i64 {
+                    for xx in 0..bw as i64 {
+                        b[(yy * bw as i64 + xx) as usize] =
+                            fr.get((x0 + xx) as usize, (y0 + yy) as usize);
+                    }
+                }
+                b
+            })
+            .collect();
+        let mut buf_rect = (x0, y0, x1, y1);
+
+        for l in 1..=d {
+            let (nx0, ny0, nx1, ny1) = rect(l);
+            let (nbw, nbh) = ((nx1 - nx0 + 1) as usize, (ny1 - ny0 + 1) as usize);
+            let mut new_bufs: Vec<Vec<f64>> = dyn_fields
+                .iter()
+                .map(|_| vec![0.0; nbw * nbh])
+                .collect();
+            let (px0, py0, px1, py1) = buf_rect;
+            let pbw = (px1 - px0 + 1) as usize;
+            for (di, f) in dyn_fields.iter().enumerate() {
+                let update = self.pattern.update(*f).expect("validated pattern");
+                for yy in ny0..=ny1 {
+                    for xx in nx0..=nx1 {
+                        let v = update.eval(
+                            &|rf: FieldId, o: isl_ir::Offset| {
+                                let (qx, qy) = (xx + o.dx as i64, yy + o.dy as i64);
+                                if self.pattern.field(rf).kind == FieldKind::Static {
+                                    return state.frame(rf.index()).sample(qx, qy, self.border);
+                                }
+                                // Border-resolve at absolute frame coordinates,
+                                // then look up in the previous level's buffer.
+                                let rx = self.border.resolve(qx, w);
+                                let ry = if h > 1 { self.border.resolve(qy, h) } else { Some(0) };
+                                match (rx, ry) {
+                                    (Some(rx), Some(ry)) => {
+                                        debug_assert!(
+                                            rx >= px0 && rx <= px1 && ry >= py0 && ry <= py1,
+                                            "tile halo must cover border-resolved reads"
+                                        );
+                                        let di2 = dyn_fields
+                                            .iter()
+                                            .position(|g| g == &rf)
+                                            .expect("dynamic read");
+                                        bufs[di2][((ry - py0) as usize) * pbw + (rx - px0) as usize]
+                                    }
+                                    _ => self
+                                        .border
+                                        .constant_value()
+                                        .expect("non-resolving border is Constant"),
+                                }
+                            },
+                            &|p: isl_ir::ParamId| self.params[p.index()],
+                        );
+                        new_bufs[di][((yy - ny0) as usize) * nbw + (xx - nx0) as usize] = v;
+                    }
+                }
+            }
+            bufs = new_bufs;
+            buf_rect = (nx0, ny0, nx1, ny1);
+        }
+
+        // Commit the top level into the output frames.
+        let (fx0, fy0, fx1, fy1) = buf_rect;
+        let fbw = (fx1 - fx0 + 1) as usize;
+        for (di, f) in dyn_fields.iter().enumerate() {
+            let out = &mut next[f.index()];
+            for yy in fy0..=fy1 {
+                for xx in fx0..=fx1 {
+                    out.set(
+                        xx as usize,
+                        yy as usize,
+                        bufs[di][((yy - fy0) as usize) * fbw + (xx - fx0) as usize],
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- cone-DAG semantics ---------------------------------------------------
+
+    /// Execute through the actual hash-consed cone DAGs (the structures the
+    /// VHDL backend emits), window by window.
+    ///
+    /// Cones resolve borders only at their *base* inputs, exactly like the
+    /// generated hardware; intermediate levels extrapolate past the frame
+    /// edge. The result therefore matches [`Simulator::run`] on the frame
+    /// interior (at distance ≥ `radius × iterations` from the edge) and may
+    /// differ in a border band — the standard behaviour of streaming stencil
+    /// hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cone`] when cone construction fails, plus the
+    /// [`Simulator::step`] errors.
+    pub fn run_cone_dag(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<FrameSet, SimError> {
+        self.check(init)?;
+        let mut state = init.clone();
+        for d in level_depths(iterations, depth) {
+            let cone = Cone::build(self.pattern, window, d)
+                .map_err(|e| SimError::Cone(e.to_string()))?;
+            state = self.cone_level(&state, &cone)?;
+        }
+        Ok(state)
+    }
+
+    fn cone_level(&self, state: &FrameSet, cone: &Cone) -> Result<FrameSet, SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let window = cone.window();
+        let mut next: Vec<Frame> = state.frames().to_vec();
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            while tx < w {
+                let outs = cone.eval(
+                    |f, p| {
+                        state
+                            .frame(f.index())
+                            .sample(tx + p.x as i64, ty + p.y as i64, self.border)
+                    },
+                    &self.params,
+                );
+                for (f, p, v) in outs {
+                    let (ax, ay) = (tx + p.x as i64, ty + p.y as i64);
+                    if ax < w && ay < h {
+                        next[f.index()].set(ax as usize, ay as usize, v);
+                    }
+                }
+                tx += tw;
+            }
+            ty += th;
+        }
+        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+    }
+}
+
+/// Decompose `iterations` into cone levels of `depth` plus a remainder level
+/// — the paper's "additional specific core" for non-divisor depths.
+pub(crate) fn level_depths(iterations: u32, depth: u32) -> Vec<u32> {
+    let mut v = vec![depth; (iterations / depth) as usize];
+    if !iterations.is_multiple_of(depth) {
+        v.push(iterations % depth);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{BinaryOp, Expr, Offset};
+
+    fn jacobi() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("jacobi");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let avg = Expr::binary(
+            BinaryOp::Mul,
+            Expr::sum([
+                Expr::input(f, Offset::d2(0, -1)),
+                Expr::input(f, Offset::d2(-1, 0)),
+                Expr::input(f, Offset::d2(1, 0)),
+                Expr::input(f, Offset::d2(0, 1)),
+            ]),
+            Expr::constant(0.25),
+        );
+        p.set_update(f, avg).unwrap();
+        p
+    }
+
+    fn relax_to_static() -> StencilPattern {
+        // f' = 0.5 f + 0.5 g — converges to the static field g.
+        let mut p = StencilPattern::new(2).with_name("relax");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let g = p.add_field("g", FieldKind::Static);
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::ZERO), Expr::constant(0.5)),
+            Expr::binary(BinaryOp::Mul, Expr::input(g, Offset::ZERO), Expr::constant(0.5)),
+        );
+        p.set_update(f, e).unwrap();
+        p
+    }
+
+    fn noisy(w: usize, h: usize) -> Frame {
+        Frame::from_fn(w, h, |x, y| {
+            ((x * 31 + y * 17) % 11) as f64 * 0.7 + (x as f64 * 0.1)
+        })
+    }
+
+    #[test]
+    fn golden_step_smooths() {
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![noisy(12, 12)]).unwrap();
+        let out = sim.run(&init, 5).unwrap();
+        // Variance must drop under repeated averaging.
+        let var = |f: &Frame| {
+            let m = f.mean();
+            f.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>() / f.len() as f64
+        };
+        assert!(var(out.frame(0)) < var(init.frame(0)));
+    }
+
+    #[test]
+    fn tiled_equals_golden_all_local_borders() {
+        let p = jacobi();
+        let init = FrameSet::from_frames(vec![noisy(17, 13)]).unwrap();
+        for border in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Constant(0.5),
+        ] {
+            let sim = Simulator::new(&p).unwrap().with_border(border);
+            let golden = sim.run(&init, 5).unwrap();
+            for (window, depth) in [
+                (Window::square(4), 1),
+                (Window::square(4), 2),
+                (Window::square(3), 5),
+                (Window::rect(5, 2), 3),
+                (Window::square(1), 2),
+            ] {
+                let tiled = sim.run_tiled(&init, 5, window, depth).unwrap();
+                assert!(
+                    golden.max_abs_diff(&tiled) < 1e-12,
+                    "border {border}, window {window}, depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_handles_remainder_levels() {
+        // 7 iterations with depth 3 = levels [3, 3, 1].
+        assert_eq!(level_depths(7, 3), vec![3, 3, 1]);
+        assert_eq!(level_depths(10, 5), vec![5, 5]);
+        assert_eq!(level_depths(3, 5), vec![3]);
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![noisy(11, 9)]).unwrap();
+        let golden = sim.run(&init, 7).unwrap();
+        let tiled = sim.run_tiled(&init, 7, Window::square(4), 3).unwrap();
+        assert!(golden.max_abs_diff(&tiled) < 1e-12);
+    }
+
+    #[test]
+    fn tiled_rejects_wrap() {
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap().with_border(BorderMode::Wrap);
+        let init = FrameSet::from_frames(vec![noisy(8, 8)]).unwrap();
+        assert_eq!(
+            sim.run_tiled(&init, 2, Window::square(4), 2).unwrap_err(),
+            SimError::NonLocalBorder
+        );
+        // Golden still supports wrap.
+        sim.run(&init, 2).unwrap();
+    }
+
+    #[test]
+    fn tiled_multi_field_with_static() {
+        let p = relax_to_static();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![noisy(10, 10), Frame::from_fn(10, 10, |x, _| x as f64)])
+            .unwrap();
+        let golden = sim.run(&init, 4).unwrap();
+        let tiled = sim.run_tiled(&init, 4, Window::square(3), 2).unwrap();
+        assert!(golden.max_abs_diff(&tiled) < 1e-12);
+        // Static field untouched.
+        assert_eq!(golden.frame(1), init.frame(1));
+    }
+
+    #[test]
+    fn one_dimensional_tiled() {
+        let mut p = StencilPattern::new(1).with_name("avg1d");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::sum([
+                    Expr::input(f, Offset::d1(-1)),
+                    Expr::input(f, Offset::d1(0)),
+                    Expr::input(f, Offset::d1(1)),
+                ]),
+                Expr::constant(1.0 / 3.0),
+            ),
+        )
+        .unwrap();
+        let sim = Simulator::new(&p).unwrap().with_border(BorderMode::Mirror);
+        let init = FrameSet::from_frames(vec![Frame::from_samples(&[
+            3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0,
+        ])])
+        .unwrap();
+        let golden = sim.run(&init, 6).unwrap();
+        let tiled = sim.run_tiled(&init, 6, Window::line(4), 2).unwrap();
+        assert!(golden.max_abs_diff(&tiled) < 1e-12);
+    }
+
+    #[test]
+    fn cone_dag_matches_golden_in_interior() {
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![noisy(24, 24)]).unwrap();
+        let iters = 4u32;
+        let golden = sim.run(&init, iters).unwrap();
+        let dag = sim.run_cone_dag(&init, iters, Window::square(4), 2).unwrap();
+        let margin = (p.radius() * iters) as usize;
+        for y in margin..24 - margin {
+            for x in margin..24 - margin {
+                let a = golden.frame(0).get(x, y);
+                let b = dag.frame(0).get(x, y);
+                assert!((a - b).abs() < 1e-12, "mismatch at ({x},{y}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_to_static_field() {
+        let p = relax_to_static();
+        let sim = Simulator::new(&p).unwrap();
+        let g = Frame::from_fn(8, 8, |x, y| (x + y) as f64);
+        let init = FrameSet::from_frames(vec![Frame::new(8, 8), g.clone()]).unwrap();
+        let (fixed, report) = sim.run_until_converged(&init, 1e-9, 200).unwrap();
+        assert!(report.converged);
+        assert!(report.iterations < 200);
+        assert!(fixed.frame(0).max_abs_diff(&g) < 1e-6);
+    }
+
+    #[test]
+    fn non_convergence_is_reported() {
+        // f' = f + 1 never converges.
+        let mut p = StencilPattern::new(1);
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Add, Expr::input(f, Offset::ZERO), Expr::constant(1.0)),
+        )
+        .unwrap();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![Frame::from_samples(&[0.0; 4])]).unwrap();
+        let (_, report) = sim.run_until_converged(&init, 1e-9, 10).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 10);
+        assert!((report.delta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_are_respected() {
+        let mut p = StencilPattern::new(1);
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let tau = p.add_param("tau", 0.5);
+        p.set_update(
+            f,
+            Expr::binary(BinaryOp::Mul, Expr::input(f, Offset::ZERO), Expr::param(tau)),
+        )
+        .unwrap();
+        let init = FrameSet::from_frames(vec![Frame::from_samples(&[8.0])]).unwrap();
+        let by_default = Simulator::new(&p).unwrap().run(&init, 1).unwrap();
+        assert_eq!(by_default.frame(0).get(0, 0), 4.0);
+        let by_override = Simulator::new(&p)
+            .unwrap()
+            .with_params(vec![0.25])
+            .unwrap()
+            .run(&init, 1)
+            .unwrap();
+        assert_eq!(by_override.frame(0).get(0, 0), 2.0);
+        assert!(matches!(
+            Simulator::new(&p).unwrap().with_params(vec![]),
+            Err(SimError::ParamCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn field_count_mismatch_detected() {
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap();
+        let bad = FrameSet::from_frames(vec![noisy(4, 4), noisy(4, 4)]).unwrap();
+        assert!(matches!(
+            sim.step(&bad),
+            Err(SimError::FieldCountMismatch { expected: 1, got: 2 })
+        ));
+    }
+}

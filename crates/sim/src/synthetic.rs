@@ -1,0 +1,156 @@
+//! Deterministic synthetic frame generators.
+//!
+//! The paper's experiments run on 1024x768 and Full-HD camera frames we do
+//! not have; these generators produce deterministic stand-ins with the same
+//! statistical roles (smooth regions, edges, noise) so every experiment is
+//! reproducible byte-for-byte. All randomness is a seeded splitmix64 stream.
+
+use crate::frame::Frame;
+
+/// A tiny, fast, deterministic PRNG (splitmix64). Not cryptographic; used
+/// only to synthesise reproducible test frames.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A smooth diagonal luminance gradient in `[0, 1]`.
+pub fn gradient(width: usize, height: usize) -> Frame {
+    Frame::from_fn(width, height, |x, y| {
+        (x + y) as f64 / (width + height - 2).max(1) as f64
+    })
+}
+
+/// A checkerboard with `cell`-pixel squares (hard edges for blur tests).
+///
+/// # Panics
+///
+/// Panics if `cell == 0`.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> Frame {
+    assert!(cell > 0, "cell size must be positive");
+    Frame::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Uniform noise in `[0, 1)` from `seed`.
+pub fn noise(width: usize, height: usize, seed: u64) -> Frame {
+    let mut rng = SplitMix64::new(seed);
+    Frame::from_fn(width, height, |_, _| rng.next_f64())
+}
+
+/// A smooth scene of `spots` Gaussian blobs plus a gradient floor — a
+/// camera-like test frame for denoising and optical-flow style workloads.
+pub fn gaussian_spots(width: usize, height: usize, seed: u64, spots: usize) -> Frame {
+    let mut rng = SplitMix64::new(seed);
+    let blobs: Vec<(f64, f64, f64, f64)> = (0..spots)
+        .map(|_| {
+            (
+                rng.next_f64() * width as f64,
+                rng.next_f64() * height as f64,
+                (0.02 + 0.08 * rng.next_f64()) * width.max(height) as f64, // sigma
+                0.3 + 0.7 * rng.next_f64(),                                // amplitude
+            )
+        })
+        .collect();
+    Frame::from_fn(width, height, |x, y| {
+        let mut v = 0.1 * (x + y) as f64 / (width + height) as f64;
+        for (cx, cy, sigma, amp) in &blobs {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            v += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+        }
+        v
+    })
+}
+
+/// `scene` corrupted with additive uniform noise of amplitude `amplitude`
+/// (denoising workloads).
+pub fn add_noise(scene: &Frame, seed: u64, amplitude: f64) -> Frame {
+    let mut rng = SplitMix64::new(seed);
+    Frame::from_fn(scene.width(), scene.height(), |x, y| {
+        scene.get(x, y) + amplitude * (rng.next_f64() - 0.5)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_noise() {
+        let a = noise(16, 16, 42);
+        let b = noise(16, 16, 42);
+        let c = noise(16, 16, 43);
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn noise_in_unit_interval() {
+        let f = noise(32, 32, 7);
+        for &v in f.as_slice() {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let f = checkerboard(8, 8, 2);
+        assert_eq!(f.get(0, 0), 1.0);
+        assert_eq!(f.get(2, 0), 0.0);
+        assert_eq!(f.get(0, 2), 0.0);
+        assert_eq!(f.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn gradient_monotone() {
+        let f = gradient(10, 10);
+        assert_eq!(f.get(0, 0), 0.0);
+        assert_eq!(f.get(9, 9), 1.0);
+        assert!(f.get(4, 4) < f.get(5, 5));
+    }
+
+    #[test]
+    fn spots_are_reproducible_and_bounded() {
+        let a = gaussian_spots(64, 48, 1, 5);
+        let b = gaussian_spots(64, 48, 1, 5);
+        assert_eq!(a, b);
+        for &v in a.as_slice() {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn add_noise_perturbs() {
+        let clean = gradient(16, 16);
+        let dirty = add_noise(&clean, 3, 0.2);
+        let d = clean.max_abs_diff(&dirty);
+        assert!(d > 0.0 && d <= 0.1 + 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Symbolic-execution error type.
+
+use std::error::Error;
+use std::fmt;
+
+use isl_frontend::{FrontendError, Span};
+
+/// Classification of symbolic-execution failures — each corresponds to a
+/// property the target class of algorithms must satisfy (Section 2 of the
+/// paper) or to a supported-subset limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymExecErrorKind {
+    /// An error reported by the frontend (lexer/parser/sema).
+    Frontend,
+    /// An array index is not `loop_var + constant` — translational
+    /// invariance does not hold.
+    NonAffineIndex,
+    /// An array index is a bare constant — an absolute (position-pinned)
+    /// access, which breaks translational invariance.
+    AbsoluteIndex,
+    /// An array index depends on data values.
+    DataDependentIndex,
+    /// The kernel reads an *output* array inside the iteration
+    /// (Gauss-Seidel style updates are not ISLs in the paper's sense).
+    OutputRead,
+    /// A spatial index variable is used as a data value — the result would
+    /// be position-dependent.
+    IndexAsData,
+    /// A branch condition depends on the spatial position.
+    PositionDependentBranch,
+    /// Unsupported function call.
+    UnsupportedCall,
+    /// Unsupported operation on data values (e.g. `%`).
+    UnsupportedOp,
+    /// The spatial loop nest does not bind every axis of the frame rank.
+    IncompleteLoopNest,
+    /// Two nested spatial loops bind the same axis.
+    AxisRebound,
+    /// An output element is written somewhere other than the loop point
+    /// `out[y][x]`.
+    WriteNotAtCenter,
+    /// A dynamic field's output array is never written.
+    MissingOutput,
+    /// An output element is written more than once per iteration.
+    DoubleWrite,
+    /// A constant-trip loop exceeds the unrolling limit.
+    TripTooLarge,
+    /// A loop bound could not be classified as spatial or constant.
+    BadBound,
+    /// Reference to an undefined variable.
+    UnknownIdent,
+    /// The extracted pattern failed `StencilPattern` validation (e.g.
+    /// domain-narrowness bound exceeded).
+    InvalidPattern,
+}
+
+impl fmt::Display for SymExecErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SymExecErrorKind::Frontend => "frontend error",
+            SymExecErrorKind::NonAffineIndex => "non-affine array index",
+            SymExecErrorKind::AbsoluteIndex => "absolute array index",
+            SymExecErrorKind::DataDependentIndex => "data-dependent array index",
+            SymExecErrorKind::OutputRead => "read of an output array",
+            SymExecErrorKind::IndexAsData => "spatial index used as data",
+            SymExecErrorKind::PositionDependentBranch => "position-dependent branch",
+            SymExecErrorKind::UnsupportedCall => "unsupported function call",
+            SymExecErrorKind::UnsupportedOp => "unsupported operation",
+            SymExecErrorKind::IncompleteLoopNest => "incomplete spatial loop nest",
+            SymExecErrorKind::AxisRebound => "axis bound twice",
+            SymExecErrorKind::WriteNotAtCenter => "output write not at the loop point",
+            SymExecErrorKind::MissingOutput => "missing output write",
+            SymExecErrorKind::DoubleWrite => "output written twice",
+            SymExecErrorKind::TripTooLarge => "constant loop too long to unroll",
+            SymExecErrorKind::BadBound => "unclassifiable loop bound",
+            SymExecErrorKind::UnknownIdent => "unknown identifier",
+            SymExecErrorKind::InvalidPattern => "extracted pattern is invalid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A symbolic-execution failure with location and explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymExecError {
+    /// Failure classification.
+    pub kind: SymExecErrorKind,
+    /// Human-oriented explanation.
+    pub message: String,
+    /// Source location (1-based line/column), when known.
+    pub span: Span,
+}
+
+impl SymExecError {
+    /// Build an error.
+    pub fn new(kind: SymExecErrorKind, message: impl Into<String>, span: Span) -> Self {
+        SymExecError {
+            kind,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Wrap a frontend error.
+    pub fn from_frontend(e: FrontendError) -> Self {
+        SymExecError {
+            kind: SymExecErrorKind::Frontend,
+            message: e.to_string(),
+            span: e.span,
+        }
+    }
+}
+
+impl fmt::Display for SymExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.span, self.kind, self.message)
+    }
+}
+
+impl Error for SymExecError {}

@@ -1,0 +1,1161 @@
+//! The symbolic executor.
+
+use std::collections::HashMap;
+
+use isl_frontend::{BinOp, ExprAst, Kernel, KernelInfo, LValue, Span, Stmt, UnOp};
+use isl_ir::{BinaryOp, Expr, FieldId, FieldKind, Offset, StencilPattern, UnaryOp};
+
+use crate::error::{SymExecError, SymExecErrorKind as K};
+use crate::value::{IndexVal, SymValue};
+
+/// Maximum trip count a constant loop may have before unrolling is refused.
+/// Large enough for any realistic kernel-tap loop, small enough to keep the
+/// "exponential growth of the number of symbols" (Section 3.2) at bay.
+const MAX_UNROLL: i64 = 64;
+
+/// Symbolically execute one iteration of `kernel` and extract its
+/// [`StencilPattern`].
+///
+/// # Errors
+///
+/// Returns a [`SymExecError`] when the kernel violates an ISL property
+/// (translational invariance, domain narrowness, no output reads, ...) or
+/// steps outside the supported C subset. The error pinpoints the source
+/// location and names the violated property.
+pub fn extract(kernel: &Kernel, info: &KernelInfo) -> Result<StencilPattern, SymExecError> {
+    let mut pattern = StencilPattern::new(info.rank).with_name(&kernel.name);
+    let field_ids: Vec<FieldId> = info
+        .fields
+        .iter()
+        .map(|f| {
+            pattern.add_field(
+                &f.name,
+                if f.is_dynamic() {
+                    FieldKind::Dynamic
+                } else {
+                    FieldKind::Static
+                },
+            )
+        })
+        .collect();
+    for p in &info.params {
+        pattern.add_param(&p.name, p.default);
+    }
+
+    let mut exec = Executor {
+        info,
+        field_ids,
+        env: HashMap::new(),
+        bound_now: [false; 3],
+        axes_ever: [false; 3],
+        outputs: vec![None; info.fields.len()],
+    };
+    for stmt in &kernel.body {
+        exec.exec(stmt)?;
+    }
+
+    for axis in 0..info.rank {
+        if !exec.axes_ever[axis] {
+            return Err(SymExecError::new(
+                K::IncompleteLoopNest,
+                format!(
+                    "no spatial loop binds axis {axis} (dimension `{}`)",
+                    info.dim_names[info.rank - 1 - axis]
+                ),
+                Span::default(),
+            ));
+        }
+    }
+
+    for (i, f) in info.fields.iter().enumerate() {
+        if f.is_dynamic() {
+            match exec.outputs[i].take() {
+                Some(e) => pattern
+                    .set_update(exec.field_ids[i], e)
+                    .expect("field ids are valid by construction"),
+                None => {
+                    return Err(SymExecError::new(
+                        K::MissingOutput,
+                        format!("output array `{}` is never written", f.output_array().expect("dynamic")),
+                        Span::default(),
+                    ))
+                }
+            }
+        }
+    }
+
+    pattern.validate().map_err(|e| {
+        SymExecError::new(K::InvalidPattern, e.to_string(), Span::default())
+    })?;
+    Ok(pattern)
+}
+
+struct Executor<'k> {
+    info: &'k KernelInfo,
+    field_ids: Vec<FieldId>,
+    env: HashMap<String, SymValue>,
+    /// Axes bound by the spatial loops currently being executed.
+    bound_now: [bool; 3],
+    /// Axes bound at any point (loop-nest completeness check).
+    axes_ever: [bool; 3],
+    outputs: Vec<Option<Expr>>,
+}
+
+impl Executor<'_> {
+    fn axis_of_dim(&self, name: &str) -> Option<usize> {
+        self.info
+            .dim_names
+            .iter()
+            .position(|d| d == name)
+            .map(|p| self.info.rank - 1 - p)
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), SymExecError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Decl { name, value, .. } => {
+                let v = self.eval(value)?;
+                self.env.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::Assign { target, value } => self.exec_assign(target, value),
+            Stmt::For { var, from, to, body, span } => {
+                self.exec_for(var, from, to, body, *span)
+            }
+            Stmt::If { cond, then_, else_, span } => self.exec_if(cond, then_, else_.as_deref(), *span),
+        }
+    }
+
+    fn exec_assign(&mut self, target: &LValue, value: &ExprAst) -> Result<(), SymExecError> {
+        match target {
+            LValue::Var(name, span) => {
+                if !self.env.contains_key(name) {
+                    return Err(SymExecError::new(
+                        K::UnknownIdent,
+                        format!("assignment to undeclared variable `{name}`"),
+                        *span,
+                    ));
+                }
+                let v = self.eval(value)?;
+                self.env.insert(name.clone(), v);
+                Ok(())
+            }
+            LValue::Elem { array, indices, span } => {
+                let Some(fi) = self.info.field_of_output(array) else {
+                    if self.info.field_of_input(array).is_some() {
+                        return Err(SymExecError::new(
+                            K::OutputRead,
+                            format!("cannot write input array `{array}`"),
+                            *span,
+                        ));
+                    }
+                    return Err(SymExecError::new(
+                        K::UnknownIdent,
+                        format!("unknown array `{array}` (local arrays are not supported; use scalar temporaries)"),
+                        *span,
+                    ));
+                };
+                // Every axis must be live: writes happen inside the full nest.
+                for axis in 0..self.info.rank {
+                    if !self.bound_now[axis] {
+                        return Err(SymExecError::new(
+                            K::WriteNotAtCenter,
+                            format!("output write outside the spatial loop nest (axis {axis} unbound)"),
+                            *span,
+                        ));
+                    }
+                }
+                let offset = self.resolve_indices(array, indices, *span)?;
+                if offset != Offset::ZERO {
+                    return Err(SymExecError::new(
+                        K::WriteNotAtCenter,
+                        format!("output `{array}` must be written at the loop point, found offset {offset}"),
+                        *span,
+                    ));
+                }
+                let v = self.eval(value)?;
+                let expr = self.to_data(v, *span)?;
+                if self.outputs[fi].is_some() {
+                    return Err(SymExecError::new(
+                        K::DoubleWrite,
+                        format!("output `{array}` is written more than once per iteration"),
+                        *span,
+                    ));
+                }
+                self.outputs[fi] = Some(expr);
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_for(
+        &mut self,
+        var: &str,
+        from: &ExprAst,
+        to: &ExprAst,
+        body: &Stmt,
+        span: Span,
+    ) -> Result<(), SymExecError> {
+        let from_v = self.eval(from)?;
+        let to_v = self.eval(to)?;
+        match (&from_v, &to_v) {
+            // Constant trip count: unroll.
+            (SymValue::Num(_), SymValue::Num(_)) => {
+                let (a, b) = (
+                    from_v.as_int().ok_or_else(|| {
+                        SymExecError::new(K::BadBound, "non-integer loop bound", span)
+                    })?,
+                    to_v.as_int().ok_or_else(|| {
+                        SymExecError::new(K::BadBound, "non-integer loop bound", span)
+                    })?,
+                );
+                if b - a > MAX_UNROLL {
+                    return Err(SymExecError::new(
+                        K::TripTooLarge,
+                        format!("constant loop has {} iterations; limit is {MAX_UNROLL}", b - a),
+                        span,
+                    ));
+                }
+                let saved = self.env.get(var).cloned();
+                for k in a..b {
+                    self.env.insert(var.to_string(), SymValue::Num(k as f64));
+                    self.exec(body)?;
+                }
+                match saved {
+                    Some(v) => self.env.insert(var.to_string(), v),
+                    None => self.env.remove(var),
+                };
+                Ok(())
+            }
+            // Spatial loop: bound mentions a frame dimension.
+            (_, SymValue::Dim { name, .. }) => {
+                if from_v.as_int().is_none() {
+                    return Err(SymExecError::new(
+                        K::BadBound,
+                        "spatial loop must start at a constant",
+                        span,
+                    ));
+                }
+                let axis = self.axis_of_dim(name).ok_or_else(|| {
+                    SymExecError::new(K::BadBound, format!("unknown dimension `{name}`"), span)
+                })?;
+                if self.bound_now[axis] {
+                    return Err(SymExecError::new(
+                        K::AxisRebound,
+                        format!("axis of dimension `{name}` is already bound by an enclosing loop"),
+                        span,
+                    ));
+                }
+                self.bound_now[axis] = true;
+                self.axes_ever[axis] = true;
+                let saved = self.env.get(var).cloned();
+                self.env
+                    .insert(var.to_string(), SymValue::Index(IndexVal::axis(axis)));
+                let result = self.exec(body);
+                match saved {
+                    Some(v) => self.env.insert(var.to_string(), v),
+                    None => self.env.remove(var),
+                };
+                self.bound_now[axis] = false;
+                result
+            }
+            _ => Err(SymExecError::new(
+                K::BadBound,
+                "loop bound is neither constant nor a frame dimension",
+                span,
+            )),
+        }
+    }
+
+    fn exec_if(
+        &mut self,
+        cond: &ExprAst,
+        then_: &Stmt,
+        else_: Option<&Stmt>,
+        span: Span,
+    ) -> Result<(), SymExecError> {
+        let c = self.eval(cond)?;
+        match c {
+            SymValue::Num(v) => {
+                if v != 0.0 {
+                    self.exec(then_)
+                } else if let Some(e) = else_ {
+                    self.exec(e)
+                } else {
+                    Ok(())
+                }
+            }
+            SymValue::Index(_) | SymValue::Dim { .. } => Err(SymExecError::new(
+                K::PositionDependentBranch,
+                "branch condition depends on the spatial position; ISL results must be translation-invariant",
+                span,
+            )),
+            SymValue::Data(ce) => {
+                // Fork, execute both branches, merge with selects.
+                let env0 = self.env.clone();
+                let out0 = self.outputs.clone();
+                self.exec(then_)?;
+                let env_t = std::mem::replace(&mut self.env, env0.clone());
+                let out_t = std::mem::replace(&mut self.outputs, out0.clone());
+                if let Some(e) = else_ {
+                    self.exec(e)?;
+                }
+                let env_e = std::mem::replace(&mut self.env, env0.clone());
+                let out_e = std::mem::replace(&mut self.outputs, out0.clone());
+
+                // Merge locals that existed before the branch.
+                for (name, pre) in &env0 {
+                    let tv = env_t.get(name).unwrap_or(pre);
+                    let ev = env_e.get(name).unwrap_or(pre);
+                    let merged = if tv == ev {
+                        tv.clone()
+                    } else {
+                        let t = self.to_data(tv.clone(), span)?;
+                        let e = self.to_data(ev.clone(), span)?;
+                        SymValue::Data(Expr::select(ce.clone(), t, e))
+                    };
+                    self.env.insert(name.clone(), merged);
+                }
+                // Merge outputs.
+                for i in 0..out0.len() {
+                    let merged = match (&out_t[i], &out_e[i]) {
+                        (t, e) if t == e => t.clone(),
+                        (Some(t), Some(e)) => {
+                            Some(Expr::select(ce.clone(), t.clone(), e.clone()))
+                        }
+                        _ => {
+                            return Err(SymExecError::new(
+                                K::MissingOutput,
+                                "an output is written on only one side of a data-dependent branch",
+                                span,
+                            ))
+                        }
+                    };
+                    self.outputs[i] = merged;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn eval(&self, expr: &ExprAst) -> Result<SymValue, SymExecError> {
+        match expr {
+            ExprAst::Num(v) => Ok(SymValue::Num(*v)),
+            ExprAst::Ident(name, span) => self.eval_ident(name, *span),
+            ExprAst::Index { array, indices, span } => self.eval_access(array, indices, *span),
+            ExprAst::Unary { op, arg } => self.eval_unary(*op, arg),
+            ExprAst::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            ExprAst::Call { func, args, span } => self.eval_call(func, args, *span),
+            ExprAst::Ternary { cond, then_, else_ } => {
+                let c = self.eval(cond)?;
+                let span = cond.span();
+                match c {
+                    SymValue::Num(v) => {
+                        if v != 0.0 {
+                            self.eval(then_)
+                        } else {
+                            self.eval(else_)
+                        }
+                    }
+                    SymValue::Index(_) | SymValue::Dim { .. } => Err(SymExecError::new(
+                        K::PositionDependentBranch,
+                        "ternary condition depends on the spatial position",
+                        span,
+                    )),
+                    SymValue::Data(ce) => {
+                        let t = self.eval(then_)?;
+                        let e = self.eval(else_)?;
+                        let t = self.to_data(t, span)?;
+                        let e = self.to_data(e, span)?;
+                        Ok(SymValue::Data(Expr::select(ce, t, e)))
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_ident(&self, name: &str, span: Span) -> Result<SymValue, SymExecError> {
+        if let Some(v) = self.env.get(name) {
+            return Ok(v.clone());
+        }
+        if self.info.dim_names.iter().any(|d| d == name) {
+            return Ok(SymValue::Dim { name: name.to_string(), offset: 0 });
+        }
+        if let Some(pi) = self.info.param_index(name) {
+            return Ok(SymValue::Data(Expr::param(isl_ir::ParamId::new(pi as u16))));
+        }
+        if self.info.field_of_input(name).is_some() || self.info.field_of_output(name).is_some() {
+            return Err(SymExecError::new(
+                K::UnsupportedOp,
+                format!("array `{name}` used without indices"),
+                span,
+            ));
+        }
+        Err(SymExecError::new(
+            K::UnknownIdent,
+            format!("unknown identifier `{name}`"),
+            span,
+        ))
+    }
+
+    fn eval_access(
+        &self,
+        array: &str,
+        indices: &[ExprAst],
+        span: Span,
+    ) -> Result<SymValue, SymExecError> {
+        if let Some(fi) = self.info.field_of_input(array) {
+            let offset = self.resolve_indices(array, indices, span)?;
+            return Ok(SymValue::Data(Expr::input(self.field_ids[fi], offset)));
+        }
+        if self.info.field_of_output(array).is_some() {
+            return Err(SymExecError::new(
+                K::OutputRead,
+                format!(
+                    "kernel reads output array `{array}`; an ISL iteration may only read the previous frame"
+                ),
+                span,
+            ));
+        }
+        Err(SymExecError::new(
+            K::UnknownIdent,
+            format!("unknown array `{array}`"),
+            span,
+        ))
+    }
+
+    /// Resolve index expressions to a relative [`Offset`], enforcing
+    /// translational invariance.
+    fn resolve_indices(
+        &self,
+        array: &str,
+        indices: &[ExprAst],
+        span: Span,
+    ) -> Result<Offset, SymExecError> {
+        if indices.len() != self.info.rank {
+            return Err(SymExecError::new(
+                K::NonAffineIndex,
+                format!(
+                    "array `{array}` indexed with {} subscripts but has rank {}",
+                    indices.len(),
+                    self.info.rank
+                ),
+                span,
+            ));
+        }
+        let mut per_axis = [0i64; 3];
+        for (p, idx) in indices.iter().enumerate() {
+            let expected_axis = self.info.rank - 1 - p;
+            let v = self.eval(idx)?;
+            let iv = match v {
+                SymValue::Index(iv) => iv,
+                SymValue::Num(_) => {
+                    return Err(SymExecError::new(
+                        K::AbsoluteIndex,
+                        format!(
+                            "subscript {p} of `{array}` is a constant; absolute accesses break translational invariance"
+                        ),
+                        span,
+                    ))
+                }
+                SymValue::Data(_) => {
+                    return Err(SymExecError::new(
+                        K::DataDependentIndex,
+                        format!("subscript {p} of `{array}` depends on data values"),
+                        span,
+                    ))
+                }
+                SymValue::Dim { .. } => {
+                    return Err(SymExecError::new(
+                        K::NonAffineIndex,
+                        format!("subscript {p} of `{array}` uses a frame dimension"),
+                        span,
+                    ))
+                }
+            };
+            let Some((axis, off)) = iv.as_unit_axis() else {
+                return Err(SymExecError::new(
+                    K::NonAffineIndex,
+                    format!(
+                        "subscript {p} of `{array}` is not `loop_var + constant` (translational invariance)"
+                    ),
+                    span,
+                ));
+            };
+            if axis != expected_axis {
+                return Err(SymExecError::new(
+                    K::NonAffineIndex,
+                    format!(
+                        "subscript {p} of `{array}` uses the wrong loop variable (transposed access is not a translation)"
+                    ),
+                    span,
+                ));
+            }
+            per_axis[axis] = off;
+        }
+        let to_i32 = |v: i64| v as i32;
+        Ok(Offset::d3(
+            to_i32(per_axis[0]),
+            to_i32(per_axis[1]),
+            to_i32(per_axis[2]),
+        ))
+    }
+
+    fn eval_unary(&self, op: UnOp, arg: &ExprAst) -> Result<SymValue, SymExecError> {
+        let span = arg.span();
+        let v = self.eval(arg)?;
+        match (op, v) {
+            (UnOp::Neg, SymValue::Num(v)) => Ok(SymValue::Num(-v)),
+            (UnOp::Neg, SymValue::Index(iv)) => Ok(SymValue::Index(iv.scale(-1))),
+            (UnOp::Neg, SymValue::Data(e)) => {
+                Ok(SymValue::Data(Expr::unary(UnaryOp::Neg, e)))
+            }
+            (UnOp::Neg, SymValue::Dim { .. }) => Err(SymExecError::new(
+                K::UnsupportedOp,
+                "cannot negate a frame dimension",
+                span,
+            )),
+            (UnOp::Not, SymValue::Num(v)) => Ok(SymValue::Num(f64::from(v == 0.0))),
+            (UnOp::Not, SymValue::Data(e)) => Ok(SymValue::Data(Expr::binary(
+                BinaryOp::Sub,
+                Expr::constant(1.0),
+                e,
+            ))),
+            (UnOp::Not, _) => Err(SymExecError::new(
+                K::IndexAsData,
+                "`!` applied to a spatial index",
+                span,
+            )),
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        op: BinOp,
+        lhs: &ExprAst,
+        rhs: &ExprAst,
+    ) -> Result<SymValue, SymExecError> {
+        let span = lhs.span();
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+
+        // Index/bound arithmetic first.
+        match (&l, &r) {
+            (SymValue::Index(a), SymValue::Index(b)) => {
+                return match op {
+                    BinOp::Add => Ok(SymValue::Index(a.add(*b))),
+                    BinOp::Sub => Ok(SymValue::Index(a.sub(*b))),
+                    _ if is_comparison(op) => Err(position_dependent_cmp(span)),
+                    _ => Err(SymExecError::new(
+                        K::NonAffineIndex,
+                        format!("operation `{}` between spatial indices", op.symbol()),
+                        span,
+                    )),
+                };
+            }
+            (SymValue::Index(a), SymValue::Num(_)) => {
+                if let Some(k) = r.as_int() {
+                    return match op {
+                        BinOp::Add => Ok(SymValue::Index(a.add(IndexVal::constant(k)))),
+                        BinOp::Sub => Ok(SymValue::Index(a.sub(IndexVal::constant(k)))),
+                        BinOp::Mul => Ok(SymValue::Index(a.scale(k))),
+                        _ if is_comparison(op) => Err(position_dependent_cmp(span)),
+                        _ => Err(SymExecError::new(
+                            K::NonAffineIndex,
+                            format!("operation `{}` on a spatial index", op.symbol()),
+                            span,
+                        )),
+                    };
+                }
+                return Err(SymExecError::new(
+                    K::NonAffineIndex,
+                    "non-integer arithmetic on a spatial index",
+                    span,
+                ));
+            }
+            (SymValue::Num(_), SymValue::Index(b)) => {
+                if let Some(k) = l.as_int() {
+                    return match op {
+                        BinOp::Add => Ok(SymValue::Index(b.add(IndexVal::constant(k)))),
+                        BinOp::Sub => {
+                            Ok(SymValue::Index(b.scale(-1).add(IndexVal::constant(k))))
+                        }
+                        BinOp::Mul => Ok(SymValue::Index(b.scale(k))),
+                        _ if is_comparison(op) => Err(position_dependent_cmp(span)),
+                        _ => Err(SymExecError::new(
+                            K::NonAffineIndex,
+                            format!("operation `{}` on a spatial index", op.symbol()),
+                            span,
+                        )),
+                    };
+                }
+                return Err(SymExecError::new(
+                    K::NonAffineIndex,
+                    "non-integer arithmetic on a spatial index",
+                    span,
+                ));
+            }
+            (SymValue::Dim { name, offset }, SymValue::Num(_)) => {
+                if let Some(k) = r.as_int() {
+                    return match op {
+                        BinOp::Add => Ok(SymValue::Dim { name: name.clone(), offset: offset + k }),
+                        BinOp::Sub => Ok(SymValue::Dim { name: name.clone(), offset: offset - k }),
+                        _ => Err(SymExecError::new(
+                            K::BadBound,
+                            format!("operation `{}` on a frame dimension", op.symbol()),
+                            span,
+                        )),
+                    };
+                }
+                return Err(SymExecError::new(K::BadBound, "non-integer dimension arithmetic", span));
+            }
+            (SymValue::Dim { .. }, _) | (_, SymValue::Dim { .. }) => {
+                return Err(SymExecError::new(
+                    K::BadBound,
+                    "frame dimensions may only be adjusted by constants",
+                    span,
+                ));
+            }
+            (SymValue::Index(_), SymValue::Data(_)) | (SymValue::Data(_), SymValue::Index(_)) => {
+                return Err(SymExecError::new(
+                    K::DataDependentIndex,
+                    "mixing spatial indices and data values in one expression",
+                    span,
+                ));
+            }
+            _ => {}
+        }
+
+        // Pure numeric folding (needed inside unrolled loops).
+        if let (SymValue::Num(a), SymValue::Num(b)) = (&l, &r) {
+            let (a, b) = (*a, *b);
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::Lt => f64::from(a < b),
+                BinOp::Le => f64::from(a <= b),
+                BinOp::Gt => f64::from(a > b),
+                BinOp::Ge => f64::from(a >= b),
+                BinOp::Eq => f64::from(a == b),
+                BinOp::Ne => f64::from(a != b),
+                BinOp::And => f64::from(a != 0.0 && b != 0.0),
+                BinOp::Or => f64::from(a != 0.0 || b != 0.0),
+            };
+            return Ok(SymValue::Num(v));
+        }
+
+        // Data path.
+        let le = self.to_data(l, span)?;
+        let re = self.to_data(r, span)?;
+        let data = match op {
+            BinOp::Add => Expr::binary(BinaryOp::Add, le, re),
+            BinOp::Sub => Expr::binary(BinaryOp::Sub, le, re),
+            BinOp::Mul => Expr::binary(BinaryOp::Mul, le, re),
+            BinOp::Div => Expr::binary(BinaryOp::Div, le, re),
+            BinOp::Rem => {
+                return Err(SymExecError::new(
+                    K::UnsupportedOp,
+                    "`%` on data values has no hardware mapping in this flow",
+                    span,
+                ))
+            }
+            BinOp::Lt => Expr::binary(BinaryOp::Lt, le, re),
+            BinOp::Le => Expr::binary(BinaryOp::Le, le, re),
+            BinOp::Gt => Expr::binary(BinaryOp::Gt, le, re),
+            BinOp::Ge => Expr::binary(BinaryOp::Ge, le, re),
+            // eq(a,b) = (a <= b) * (a >= b); ne = 1 - eq.
+            BinOp::Eq => Expr::binary(
+                BinaryOp::Mul,
+                Expr::binary(BinaryOp::Le, le.clone(), re.clone()),
+                Expr::binary(BinaryOp::Ge, le, re),
+            ),
+            BinOp::Ne => Expr::binary(
+                BinaryOp::Sub,
+                Expr::constant(1.0),
+                Expr::binary(
+                    BinaryOp::Mul,
+                    Expr::binary(BinaryOp::Le, le.clone(), re.clone()),
+                    Expr::binary(BinaryOp::Ge, le, re),
+                ),
+            ),
+            // Boolean algebra over {0,1}-valued operands.
+            BinOp::And => Expr::binary(BinaryOp::Mul, le, re),
+            BinOp::Or => Expr::binary(BinaryOp::Max, le, re),
+        };
+        Ok(SymValue::Data(data))
+    }
+
+    fn eval_call(
+        &self,
+        func: &str,
+        args: &[ExprAst],
+        span: Span,
+    ) -> Result<SymValue, SymExecError> {
+        let data_args = |exec: &Self, n: usize| -> Result<Vec<Expr>, SymExecError> {
+            if args.len() != n {
+                return Err(SymExecError::new(
+                    K::UnsupportedCall,
+                    format!("`{func}` expects {n} argument(s), got {}", args.len()),
+                    span,
+                ));
+            }
+            args.iter()
+                .map(|a| exec.eval(a).and_then(|v| exec.to_data(v, span)))
+                .collect()
+        };
+        match func {
+            "sqrtf" | "sqrt" => {
+                let a = data_args(self, 1)?;
+                Ok(SymValue::Data(Expr::unary(UnaryOp::Sqrt, a.into_iter().next().expect("one arg"))))
+            }
+            "fabsf" | "fabs" | "abs" => {
+                let a = data_args(self, 1)?;
+                Ok(SymValue::Data(Expr::unary(UnaryOp::Abs, a.into_iter().next().expect("one arg"))))
+            }
+            "fminf" | "fmin" => {
+                let mut a = data_args(self, 2)?;
+                let r = a.pop().expect("two args");
+                let l = a.pop().expect("two args");
+                Ok(SymValue::Data(Expr::binary(BinaryOp::Min, l, r)))
+            }
+            "fmaxf" | "fmax" => {
+                let mut a = data_args(self, 2)?;
+                let r = a.pop().expect("two args");
+                let l = a.pop().expect("two args");
+                Ok(SymValue::Data(Expr::binary(BinaryOp::Max, l, r)))
+            }
+            "hypotf" | "hypot" => {
+                let mut a = data_args(self, 2)?;
+                let r = a.pop().expect("two args");
+                let l = a.pop().expect("two args");
+                let sum = Expr::binary(
+                    BinaryOp::Add,
+                    Expr::binary(BinaryOp::Mul, l.clone(), l),
+                    Expr::binary(BinaryOp::Mul, r.clone(), r),
+                );
+                Ok(SymValue::Data(Expr::unary(UnaryOp::Sqrt, sum)))
+            }
+            other => Err(SymExecError::new(
+                K::UnsupportedCall,
+                format!("unsupported call `{other}` (supported: sqrtf, fabsf, fminf, fmaxf, hypotf)"),
+                span,
+            )),
+        }
+    }
+
+    fn to_data(&self, v: SymValue, span: Span) -> Result<Expr, SymExecError> {
+        match v {
+            SymValue::Data(e) => Ok(e),
+            SymValue::Num(v) => Ok(Expr::constant(v)),
+            SymValue::Index(_) => Err(SymExecError::new(
+                K::IndexAsData,
+                "a spatial index is used as a data value; results must not depend on position",
+                span,
+            )),
+            SymValue::Dim { .. } => Err(SymExecError::new(
+                K::IndexAsData,
+                "a frame dimension is used as a data value",
+                span,
+            )),
+        }
+    }
+}
+
+fn is_comparison(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+    )
+}
+
+fn position_dependent_cmp(span: Span) -> SymExecError {
+    SymExecError::new(
+        K::PositionDependentBranch,
+        "comparison on a spatial index makes the result position-dependent",
+        span,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_str;
+    use crate::error::SymExecErrorKind;
+
+    fn err_kind(src: &str) -> SymExecErrorKind {
+        compile_str(src).unwrap_err().kind
+    }
+
+    const BLUR_1D: &str = r#"
+#pragma isl iterations 8
+void blur(const float in[N], float out[N]) {
+    for (int i = 0; i < N; i++)
+        out[i] = (in[i-1] + 2.0f*in[i] + in[i+1]) / 4.0f;
+}
+"#;
+
+    #[test]
+    fn blur_1d_pattern() {
+        let (p, info) = compile_str(BLUR_1D).unwrap();
+        assert_eq!(p.rank(), 1);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(info.iterations, Some(8));
+        let f = p.dynamic_fields()[0];
+        let reads = p.update(f).unwrap().reads();
+        assert_eq!(
+            reads,
+            vec![
+                (f, Offset::d1(-1)),
+                (f, Offset::d1(0)),
+                (f, Offset::d1(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn jacobi_2d_offsets() {
+        let (p, _) = compile_str(
+            r#"void j(const float in[H][W], float out[H][W]) {
+                for (int y = 1; y < H - 1; y++)
+                    for (int x = 1; x < W - 1; x++)
+                        out[y][x] = (in[y-1][x] + in[y+1][x] + in[y][x-1] + in[y][x+1]) * 0.25f;
+            }"#,
+        )
+        .unwrap();
+        let f = p.dynamic_fields()[0];
+        let reads = p.update(f).unwrap().reads();
+        assert_eq!(reads.len(), 4);
+        assert!(reads.contains(&(f, Offset::d2(0, -1))));
+        assert!(reads.contains(&(f, Offset::d2(0, 1))));
+        assert!(reads.contains(&(f, Offset::d2(-1, 0))));
+        assert!(reads.contains(&(f, Offset::d2(1, 0))));
+    }
+
+    #[test]
+    fn constant_trip_loop_unrolls() {
+        let (p, _) = compile_str(
+            r#"void conv(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    float acc = 0.0f;
+                    for (int k = -1; k <= 1; k++)
+                        acc += in[i + k];
+                    out[i] = acc / 3.0f;
+                }
+            }"#,
+        )
+        .unwrap();
+        let f = p.dynamic_fields()[0];
+        assert_eq!(p.update(f).unwrap().reads().len(), 3);
+        assert_eq!(p.radius(), 1);
+    }
+
+    #[test]
+    fn scalar_temps_and_params() {
+        let (p, _) = compile_str(
+            r#"#pragma isl param tau 0.25
+            void relax(const float u[H][W], float u_out[H][W], float tau) {
+                for (int y = 0; y < H; y++)
+                    for (int x = 0; x < W; x++) {
+                        float lap = u[y-1][x] + u[y+1][x] + u[y][x-1] + u[y][x+1] - 4.0f*u[y][x];
+                        u_out[y][x] = u[y][x] + tau * lap;
+                    }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.params().len(), 1);
+        assert_eq!(p.params()[0].default, 0.25);
+        assert_eq!(p.radius(), 1);
+    }
+
+    #[test]
+    fn static_field_supported() {
+        let (p, _) = compile_str(
+            r#"void fid(const float u[H][W], const float g[H][W], float u_out[H][W]) {
+                for (int y = 0; y < H; y++)
+                    for (int x = 0; x < W; x++)
+                        u_out[y][x] = 0.5f * u[y][x] + 0.5f * g[y][x];
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.static_fields().len(), 1);
+        assert_eq!(p.dynamic_fields().len(), 1);
+    }
+
+    #[test]
+    fn two_separate_nests_allowed() {
+        let (p, _) = compile_str(
+            r#"void two(const float a[H][W], const float b[H][W],
+                       float a_out[H][W], float b_out[H][W]) {
+                for (int y = 0; y < H; y++)
+                    for (int x = 0; x < W; x++)
+                        a_out[y][x] = b[y][x];
+                for (int y = 0; y < H; y++)
+                    for (int x = 0; x < W; x++)
+                        b_out[y][x] = a[y][x];
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.dynamic_fields().len(), 2);
+    }
+
+    #[test]
+    fn data_branch_becomes_select() {
+        let (p, _) = compile_str(
+            r#"void clamp(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    float v = in[i];
+                    if (v > 1.0f)
+                        v = 1.0f;
+                    out[i] = v;
+                }
+            }"#,
+        )
+        .unwrap();
+        let f = p.dynamic_fields()[0];
+        let s = p.update(f).unwrap().to_string();
+        assert!(s.contains("sel("), "expected a select, got {s}");
+    }
+
+    #[test]
+    fn ternary_becomes_select() {
+        let (p, _) = compile_str(
+            r#"void t(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++)
+                    out[i] = in[i] < 0.0f ? 0.0f : in[i];
+            }"#,
+        )
+        .unwrap();
+        let f = p.dynamic_fields()[0];
+        assert!(p.update(f).unwrap().to_string().contains("sel("));
+    }
+
+    // --- property violations ------------------------------------------------
+
+    #[test]
+    fn scaled_index_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[2*i];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::NonAffineIndex);
+    }
+
+    #[test]
+    fn absolute_index_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[5];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::AbsoluteIndex);
+    }
+
+    #[test]
+    fn transposed_access_rejected() {
+        let k = err_kind(
+            "void f(const float in[H][W], float out[H][W]) {
+                for (int y = 0; y < H; y++)
+                    for (int x = 0; x < W; x++)
+                        out[y][x] = in[x][y];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::NonAffineIndex);
+    }
+
+    #[test]
+    fn output_read_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = out[i-1] + in[i];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::OutputRead);
+    }
+
+    #[test]
+    fn data_dependent_index_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[i + in[i]];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::DataDependentIndex);
+    }
+
+    #[test]
+    fn position_dependent_branch_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    if (i < 3)
+                        out[i] = in[i];
+                    else
+                        out[i] = in[i-1];
+                }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::PositionDependentBranch);
+    }
+
+    #[test]
+    fn index_as_data_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[i] + i;
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::DataDependentIndex);
+    }
+
+    #[test]
+    fn write_off_center_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i+1] = in[i];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::WriteNotAtCenter);
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) { float t = in[i]; }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::MissingOutput);
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) { out[i] = in[i]; out[i] = in[i-1]; }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::DoubleWrite);
+    }
+
+    #[test]
+    fn incomplete_nest_rejected() {
+        let k = err_kind(
+            "void f(const float in[H][W], float out[H][W]) {
+                for (int y = 0; y < H; y++) { float t = 0.0f; }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::IncompleteLoopNest);
+    }
+
+    #[test]
+    fn huge_constant_loop_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    float acc = 0.0f;
+                    for (int k = 0; k < 1000; k++) acc += in[i];
+                    out[i] = acc;
+                }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::TripTooLarge);
+    }
+
+    #[test]
+    fn unsupported_call_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = expf(in[i]);
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::UnsupportedCall);
+    }
+
+    #[test]
+    fn conditional_output_write_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    if (in[i] > 0.0f)
+                        out[i] = in[i];
+                }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::MissingOutput);
+    }
+
+    #[test]
+    fn axis_rebound_rejected() {
+        let k = err_kind(
+            "void f(const float in[H][W], float out[H][W]) {
+                for (int y = 0; y < H; y++)
+                    for (int y2 = 0; y2 < H; y2++)
+                        out[y][y2] = in[y][y2];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::AxisRebound);
+    }
+
+    #[test]
+    fn rem_on_data_rejected() {
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[i] % 2.0f;
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::UnsupportedOp);
+    }
+
+    #[test]
+    fn chambolle_like_kernel_extracts() {
+        let (p, info) = compile_str(
+            r#"
+#pragma isl iterations 10
+#pragma isl param tau 0.25
+#pragma isl param lambda 0.1
+void chambolle(const float px[H][W], const float py[H][W], const float g[H][W],
+               float px_out[H][W], float py_out[H][W], float tau, float lambda) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float div_c = px[y][x] - px[y][x-1] + py[y][x] - py[y-1][x];
+            float div_r = px[y][x+1] - px[y][x] + py[y][x+1] - py[y-1][x+1];
+            float div_d = px[y+1][x] - px[y+1][x-1] + py[y+1][x] - py[y][x];
+            float u_c = div_c - g[y][x] / lambda;
+            float u_r = div_r - g[y][x+1] / lambda;
+            float u_d = div_d - g[y+1][x] / lambda;
+            float gx = u_r - u_c;
+            float gy = u_d - u_c;
+            float nrm = sqrtf(gx*gx + gy*gy);
+            float den = 1.0f + tau * nrm;
+            px_out[y][x] = (px[y][x] + tau * gx) / den;
+            py_out[y][x] = (py[y][x] + tau * gy) / den;
+        }
+    }
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.dynamic_fields().len(), 2);
+        assert_eq!(p.static_fields().len(), 1);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.params().len(), 2);
+        assert_eq!(info.iterations, Some(10));
+        // Both updates must involve sqrt (the gradient norm).
+        for f in p.dynamic_fields() {
+            assert!(p.update(f).unwrap().to_string().contains("sqrt"));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # isl-symexec — symbolic execution of ISL kernels
+//!
+//! Implements the dependency-analysis phase of the DAC 2013 flow
+//! (Section 3.2): the C kernel is *executed symbolically* — variables hold
+//! expressions instead of numbers — for **one generic element of one
+//! iteration**, which suffices because of the two ISL properties the paper
+//! leans on:
+//!
+//! * **translational invariance** — the dependency schema of every element
+//!   is a translation of every other's, so tracking one element yields the
+//!   whole frame's equations. The executor *verifies* this instead of
+//!   assuming it: every array index must be `loop_var + constant`; any
+//!   data-dependent or position-dependent indexing is rejected with a
+//!   diagnostic.
+//! * **iteration stationarity** — dependencies between `f_{i+1}` and `f_i`
+//!   are the same for every `i`, so one symbolic iteration is the building
+//!   block for cones of any depth (cone unrolling happens in `isl-ir`).
+//!
+//! Spatial loops (bounds involving frame dimensions) are executed **once**
+//! with the loop variable bound to a symbolic axis; constant-trip loops
+//! (e.g. an inner loop over kernel taps) are **unrolled**; `if`/ternaries on
+//! data become hardware selects.
+//!
+//! ```
+//! use isl_symexec::compile_str;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (pattern, info) = compile_str(r#"
+//! #pragma isl iterations 10
+//! void blur(const float in[H][W], float out[H][W]) {
+//!     for (int y = 0; y < H; y++)
+//!         for (int x = 0; x < W; x++)
+//!             out[y][x] = (in[y][x-1] + 2.0f*in[y][x] + in[y][x+1]) / 4.0f;
+//! }
+//! "#)?;
+//! assert_eq!(pattern.radius(), 1);
+//! assert_eq!(info.iterations, Some(10));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod value;
+
+pub use error::{SymExecError, SymExecErrorKind};
+pub use exec::extract;
+
+use isl_frontend::{analyze, parse, KernelInfo};
+use isl_ir::StencilPattern;
+
+/// Parse, analyse and symbolically execute a kernel source string, producing
+/// the stencil pattern plus the signature-level kernel info (iterations,
+/// border hint, parameter defaults).
+///
+/// # Errors
+///
+/// Returns [`SymExecError`] on any lexical, syntactic, semantic or
+/// symbolic-execution failure; the error carries a source location.
+pub fn compile_str(source: &str) -> Result<(StencilPattern, KernelInfo), SymExecError> {
+    let kernel = parse(source).map_err(SymExecError::from_frontend)?;
+    let info = analyze(&kernel).map_err(SymExecError::from_frontend)?;
+    let pattern = extract(&kernel, &info)?;
+    Ok((pattern, info))
+}

@@ -1,0 +1,148 @@
+//! Symbolic values and index arithmetic.
+
+use isl_ir::Expr;
+
+/// An affine index form `Σ coeff[a] · axis_a + offset`.
+///
+/// Translational invariance requires every array index to reduce to exactly
+/// one axis with coefficient 1 plus a constant; the executor builds general
+/// affine forms so it can *diagnose* violations precisely (e.g. `2*x` or
+/// `x + y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexVal {
+    /// Coefficient per spatial axis (0 = x/innermost).
+    pub coeff: [i64; 3],
+    /// Constant displacement.
+    pub offset: i64,
+}
+
+impl IndexVal {
+    /// The index form of a spatial loop variable bound to `axis`.
+    pub fn axis(axis: usize) -> Self {
+        let mut coeff = [0i64; 3];
+        coeff[axis] = 1;
+        IndexVal { coeff, offset: 0 }
+    }
+
+    /// A pure-constant index.
+    pub fn constant(k: i64) -> Self {
+        IndexVal { coeff: [0; 3], offset: k }
+    }
+
+    /// If this form is `axis_a + offset` (single unit coefficient), return
+    /// `(a, offset)`; `None` otherwise (including pure constants).
+    pub fn as_unit_axis(&self) -> Option<(usize, i64)> {
+        let mut found = None;
+        for (a, &c) in self.coeff.iter().enumerate() {
+            match c {
+                0 => {}
+                1 if found.is_none() => found = Some(a),
+                _ => return None,
+            }
+        }
+        found.map(|a| (a, self.offset))
+    }
+
+    /// Whether the form uses no axis at all.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_constant(&self) -> bool {
+        self.coeff == [0; 3]
+    }
+
+    fn zip(self, rhs: IndexVal, f: impl Fn(i64, i64) -> i64) -> IndexVal {
+        IndexVal {
+            coeff: [
+                f(self.coeff[0], rhs.coeff[0]),
+                f(self.coeff[1], rhs.coeff[1]),
+                f(self.coeff[2], rhs.coeff[2]),
+            ],
+            offset: f(self.offset, rhs.offset),
+        }
+    }
+
+    /// Componentwise sum.
+    pub fn add(self, rhs: IndexVal) -> IndexVal {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Componentwise difference.
+    pub fn sub(self, rhs: IndexVal) -> IndexVal {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Scale by a constant.
+    pub fn scale(self, k: i64) -> IndexVal {
+        IndexVal {
+            coeff: [self.coeff[0] * k, self.coeff[1] * k, self.coeff[2] * k],
+            offset: self.offset * k,
+        }
+    }
+}
+
+/// A symbolic value flowing through the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymValue {
+    /// A numeric literal — context decides whether it acts as an integer
+    /// (index arithmetic, loop bounds) or as data (a constant operand).
+    Num(f64),
+    /// An affine spatial index.
+    Index(IndexVal),
+    /// A frame-dimension size with a constant adjustment, e.g. `H - 1`;
+    /// only meaningful inside loop bounds.
+    Dim {
+        /// Which dimension (name as declared).
+        name: String,
+        /// Constant adjustment.
+        offset: i64,
+    },
+    /// A data expression.
+    Data(Expr),
+}
+
+impl SymValue {
+    /// Integer view of a numeric literal, when it is integral.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SymValue::Num(v) if v.fract() == 0.0 && v.abs() < 9e15 => Some(*v as i64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_form() {
+        let x = IndexVal::axis(0);
+        assert_eq!(x.as_unit_axis(), Some((0, 0)));
+        let shifted = x.add(IndexVal::constant(-2));
+        assert_eq!(shifted.as_unit_axis(), Some((0, -2)));
+    }
+
+    #[test]
+    fn non_unit_forms_rejected() {
+        let x = IndexVal::axis(0);
+        assert_eq!(x.scale(2).as_unit_axis(), None);
+        let y = IndexVal::axis(1);
+        assert_eq!(x.add(y).as_unit_axis(), None);
+        assert_eq!(IndexVal::constant(3).as_unit_axis(), None);
+        assert!(IndexVal::constant(3).is_constant());
+    }
+
+    #[test]
+    fn sub_cancels_axis() {
+        let x = IndexVal::axis(0);
+        let d = x.sub(x);
+        assert!(d.is_constant());
+        assert_eq!(d.offset, 0);
+    }
+
+    #[test]
+    fn num_as_int() {
+        assert_eq!(SymValue::Num(3.0).as_int(), Some(3));
+        assert_eq!(SymValue::Num(2.5).as_int(), None);
+        assert_eq!(SymValue::Index(IndexVal::axis(0)).as_int(), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Structural validation of generated VHDL.
+//!
+//! Not a VHDL compiler — a disciplined checker for the shapes this backend
+//! emits, used by the test suite to guarantee that every generated design
+//! is internally consistent: one entity/architecture pair, balanced
+//! `begin`/`end`, all referenced identifiers declared, single driver per
+//! signal, and input ports never driven.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Check failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Structure problems (missing entity, unbalanced blocks...).
+    Malformed(String),
+    /// A referenced identifier is not declared.
+    Undeclared(String),
+    /// A signal is driven by more than one assignment.
+    MultipleDrivers(String),
+    /// An input port appears on the left of an assignment.
+    InputDriven(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Malformed(m) => write!(f, "malformed VHDL: {m}"),
+            CheckError::Undeclared(n) => write!(f, "undeclared identifier `{n}`"),
+            CheckError::MultipleDrivers(n) => write!(f, "signal `{n}` has multiple drivers"),
+            CheckError::InputDriven(n) => write!(f, "input port `{n}` is driven"),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Summary facts of a validated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VhdlStructure {
+    /// Entity name.
+    pub entity: String,
+    /// Number of ports.
+    pub ports: usize,
+    /// Number of declared signals.
+    pub signals: usize,
+    /// Number of signal assignments (`<=`).
+    pub assignments: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "library", "use", "all", "entity", "is", "port", "in", "out", "end", "architecture", "of",
+    "signal", "begin", "process", "if", "then", "else", "elsif", "rising_edge", "std_logic",
+    "std_logic_vector", "signed", "unsigned", "downto", "to", "others", "not", "and", "or",
+    "when", "constant", "integer", "subtype", "function", "return", "variable", "loop", "for",
+    "work", "ieee", "numeric_std", "std_logic_1164", "fixed_t", "resize", "shift_left",
+    "shift_right", "to_signed", "to_unsigned", "abs", "rst", "clk", "rtl", "generic", "map",
+    "component", "package", "body", "null", "data_width", "data_frac", "isl_fixed_pkg",
+];
+
+fn is_builtin(word: &str) -> bool {
+    let w = word.to_ascii_lowercase();
+    KEYWORDS.contains(&w.as_str()) || w.starts_with("fx_") || w.parse::<i64>().is_ok()
+}
+
+fn words(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in line.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("--") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Count block openers vs `end` tokens over the whole source.
+fn block_balance(code: &str) -> (i64, i64) {
+    let mut tokens: Vec<String> = Vec::new();
+    for line in code.lines() {
+        tokens.extend(words(strip_comment(line)));
+    }
+    let mut opens = 0i64;
+    let mut ends = 0i64;
+    for (i, w) in tokens.iter().enumerate() {
+        let prev = if i > 0 { tokens[i - 1].as_str() } else { "" };
+        let next = tokens.get(i + 1).map(String::as_str).unwrap_or("");
+        match w.as_str() {
+            "end" => ends += 1,
+            // `entity work.X` in an instantiation is a reference, not an opener.
+            "entity" if prev != "end" && next != "work" => opens += 1,
+            "architecture" if prev != "end" => opens += 1,
+            "process" if prev != "end" => opens += 1,
+            "if" if prev != "end" => opens += 1,
+            "loop" if prev != "end" => opens += 1,
+            "package" if prev != "end" => opens += 1,
+            "case" if prev != "end" => opens += 1,
+            _ => {}
+        }
+    }
+    // Function *bodies* open a block (`function ... is`); declarations in a
+    // package spec (`function ...;`) do not. Distinguish line-wise.
+    for line in code.lines() {
+        let line = strip_comment(line).trim();
+        if line.starts_with("function ") && line.ends_with(" is") {
+            opens += 1;
+        }
+    }
+    (opens, ends)
+}
+
+/// Validate a generated cone entity (see module docs for the checks).
+///
+/// # Errors
+///
+/// The first violated rule as a [`CheckError`].
+pub fn validate(code: &str) -> Result<VhdlStructure, CheckError> {
+    let entity = {
+        let mut name = None;
+        for line in code.lines() {
+            let line = strip_comment(line).trim();
+            if let Some(rest) = line.strip_prefix("entity ") {
+                if let Some(n) = rest.strip_suffix(" is") {
+                    name = Some(n.trim().to_string());
+                    break;
+                }
+            }
+        }
+        name.ok_or_else(|| CheckError::Malformed("no entity declaration".into()))?
+    };
+    if !code.contains(&format!("architecture rtl of {entity} is")) {
+        return Err(CheckError::Malformed(format!(
+            "no architecture `rtl` for entity `{entity}`"
+        )));
+    }
+
+    // Block balance: every opener (entity, architecture, process, if, loop,
+    // function body) must have a matching `end`.
+    let (opens, ends) = block_balance(code);
+    if ends != opens {
+        return Err(CheckError::Malformed(format!(
+            "unbalanced blocks: {opens} openers / {ends} ends"
+        )));
+    }
+
+    // Declarations.
+    let mut in_ports: HashSet<String> = HashSet::new();
+    let mut out_ports: HashSet<String> = HashSet::new();
+    let mut signals: HashSet<String> = HashSet::new();
+    for raw in code.lines() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix("signal ") {
+            if let Some((name, _)) = rest.split_once(':') {
+                signals.insert(name.trim().to_string());
+            }
+        } else if line.contains(" : in ") {
+            if let Some((name, _)) = line.split_once(':') {
+                in_ports.insert(name.trim().to_string());
+            }
+        } else if line.contains(" : out ") {
+            if let Some((name, _)) = line.split_once(':') {
+                out_ports.insert(name.trim().to_string());
+            }
+        }
+    }
+
+    // Assignments.
+    let mut drivers: HashMap<String, usize> = HashMap::new();
+    let mut assignments = 0usize;
+    for raw in code.lines() {
+        let line = strip_comment(raw).trim();
+        let Some((lhs, rhs)) = line.split_once("<=") else {
+            continue;
+        };
+        // Skip comparisons inside if-conditions (they contain `then`).
+        if line.starts_with("if ") || line.contains(" then") {
+            continue;
+        }
+        assignments += 1;
+        let lhs_name = words(lhs)
+            .into_iter()
+            .next()
+            .ok_or_else(|| CheckError::Malformed(format!("empty assignment target: {line}")))?;
+        if in_ports.contains(&lhs_name) {
+            return Err(CheckError::InputDriven(lhs_name));
+        }
+        if !signals.contains(&lhs_name) && !out_ports.contains(&lhs_name) {
+            return Err(CheckError::Undeclared(lhs_name));
+        }
+        *drivers.entry(lhs_name).or_insert(0) += 1;
+        for w in words(rhs) {
+            if is_builtin(&w) {
+                continue;
+            }
+            if !signals.contains(&w) && !in_ports.contains(&w) && !out_ports.contains(&w) {
+                return Err(CheckError::Undeclared(w));
+            }
+        }
+    }
+    for (name, n) in &drivers {
+        // A signal may be assigned once per control path; our generator
+        // drives each signal from exactly one statement except valid_sr,
+        // which has a reset branch plus shifted updates.
+        if *n > 1 && name != "valid_sr" {
+            return Err(CheckError::MultipleDrivers(name.clone()));
+        }
+    }
+
+    Ok(VhdlStructure {
+        entity,
+        ports: in_ports.len() + out_ports.len(),
+        signals: signals.len(),
+        assignments,
+    })
+}
+
+/// Block-balance check only (used by the wrapper validator, whose array
+/// types and instantiations fall outside the cone checker's discipline).
+///
+/// # Errors
+///
+/// [`CheckError::Malformed`] when openers and `end`s disagree.
+pub fn balance_only(code: &str) -> Result<(), CheckError> {
+    let (opens, ends) = block_balance(code);
+    if opens != ends {
+        return Err(CheckError::Malformed(format!(
+            "unbalanced blocks: {opens} openers / {ends} ends"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate the support package: presence of `package` and `package body`
+/// and balanced function/if/loop blocks.
+///
+/// # Errors
+///
+/// [`CheckError::Malformed`] on violations.
+pub fn validate_package(code: &str) -> Result<(), CheckError> {
+    if !code.contains("package isl_fixed_pkg is") {
+        return Err(CheckError::Malformed("missing package declaration".into()));
+    }
+    if !code.contains("package body isl_fixed_pkg is") {
+        return Err(CheckError::Malformed("missing package body".into()));
+    }
+    let (opens, ends) = block_balance(code);
+    if opens != ends {
+        return Err(CheckError::Malformed(format!(
+            "unbalanced package blocks: {opens} openers / {ends} ends"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+entity t is
+  port (
+    clk : in  std_logic;
+    a : in fixed_t;
+    y : out fixed_t
+  );
+end entity t;
+
+architecture rtl of t is
+  signal n0 : fixed_t;
+begin
+  p : process (clk)
+  begin
+    if rising_edge(clk) then
+      n0 <= fx_add(a, a);
+    end if;
+  end process p;
+  y <= n0;
+end architecture rtl;
+"#;
+
+    #[test]
+    fn accepts_well_formed() {
+        let s = validate(GOOD).unwrap();
+        assert_eq!(s.entity, "t");
+        assert_eq!(s.signals, 1);
+        assert_eq!(s.assignments, 2);
+    }
+
+    #[test]
+    fn rejects_undeclared_rhs() {
+        let bad = GOOD.replace("fx_add(a, a)", "fx_add(a, ghost)");
+        assert_eq!(
+            validate(&bad).unwrap_err(),
+            CheckError::Undeclared("ghost".into())
+        );
+    }
+
+    #[test]
+    fn rejects_undeclared_lhs() {
+        let bad = GOOD.replace("n0 <= fx_add(a, a);", "nx <= fx_add(a, a);");
+        assert!(matches!(validate(&bad), Err(CheckError::Undeclared(_))));
+    }
+
+    #[test]
+    fn rejects_driven_input() {
+        let bad = GOOD.replace("y <= n0;", "y <= n0;\n  a <= n0;");
+        assert_eq!(
+            validate(&bad).unwrap_err(),
+            CheckError::InputDriven("a".into())
+        );
+    }
+
+    #[test]
+    fn rejects_double_driver() {
+        let bad = GOOD.replace("y <= n0;", "y <= n0;\n  y <= n0;");
+        assert_eq!(
+            validate(&bad).unwrap_err(),
+            CheckError::MultipleDrivers("y".into())
+        );
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        let bad = GOOD.replace("end process p;", "");
+        assert!(matches!(validate(&bad), Err(CheckError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_missing_entity() {
+        assert!(matches!(
+            validate("architecture rtl of t is begin end;"),
+            Err(CheckError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Testbench generation: self-checking stimulus for a generated cone.
+
+use std::fmt::Write as _;
+
+use isl_fpga::FixedFormat;
+use isl_ir::{Cone, FieldId, Point};
+
+use crate::codegen::{PortDirection, VhdlModule};
+
+/// Deterministic stimulus value for an input port index.
+fn stimulus(i: usize) -> f64 {
+    ((i * 37 + 11) % 23) as f64 / 8.0 - 1.0
+}
+
+/// Generate a self-checking testbench for `module`.
+///
+/// The expected outputs are computed by evaluating the cone's dataflow graph
+/// with the same stimulus, quantised to the fixed-point format; the
+/// testbench asserts each output within a small tolerance (behavioural
+/// divide/sqrt in the support package round differently from `f64` by a few
+/// LSBs).
+pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) -> String {
+    // Assign stimulus per data input port, in port order.
+    let data_inputs: Vec<&crate::codegen::PortInfo> = module
+        .ports
+        .iter()
+        .filter(|p| !p.is_control && p.direction == PortDirection::In)
+        .collect();
+    let stim: Vec<(String, f64)> = data_inputs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), stimulus(i)))
+        .collect();
+
+    // Expected outputs via the IR evaluator: map (field, point) -> value.
+    let lookup = |field: FieldId, point: Point| -> f64 {
+        // Reconstruct the port name exactly like codegen does.
+        let coord = |c: i32| {
+            if c < 0 {
+                format!("m{}", -c)
+            } else {
+                c.to_string()
+            }
+        };
+        let dynamic = format!("in_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y));
+        let static_ = format!("st_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y));
+        stim.iter()
+            .find(|(n, _)| n == &dynamic || n == &static_)
+            .map(|(_, v)| fmt.round_trip(*v))
+            .unwrap_or(0.0)
+    };
+    let params: Vec<f64> = (0..64).map(|_| 0.0).collect(); // params driven to 0 in the TB
+    let expected = cone.eval(lookup, &params);
+
+    let entity = &module.entity_name;
+    let mut tb = String::new();
+    let _ = writeln!(tb, "-- Self-checking testbench for `{entity}`.");
+    tb.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\nuse work.isl_fixed_pkg.all;\n\n");
+    let _ = writeln!(tb, "entity tb_{entity} is\nend entity tb_{entity};");
+    tb.push('\n');
+    let _ = writeln!(tb, "architecture sim of tb_{entity} is");
+    tb.push_str("  constant CLK_PERIOD : time := 10 ns;\n");
+    tb.push_str("  constant TOLERANCE  : integer := 16; -- LSBs, covers behavioural div/sqrt rounding\n");
+    tb.push_str("  signal clk : std_logic := '0';\n  signal rst : std_logic := '1';\n");
+    tb.push_str("  signal in_valid, out_valid : std_logic := '0';\n");
+    for p in module.ports.iter().filter(|p| !p.is_control) {
+        let _ = writeln!(tb, "  signal {} : fixed_t := (others => '0');", p.name);
+    }
+    tb.push_str("begin\n");
+    tb.push_str("  clk <= not clk after CLK_PERIOD / 2;\n\n");
+
+    // DUT instantiation.
+    let _ = writeln!(tb, "  dut : entity work.{entity}");
+    tb.push_str("    port map (\n");
+    for (i, p) in module.ports.iter().enumerate() {
+        let sep = if i + 1 == module.ports.len() { "" } else { "," };
+        let _ = writeln!(tb, "      {} => {}{sep}", p.name, p.name);
+    }
+    tb.push_str("    );\n\n");
+
+    // Stimulus + checks.
+    tb.push_str("  stimulus : process\n  begin\n");
+    tb.push_str("    wait for 2 * CLK_PERIOD;\n    rst <= '0';\n");
+    for (name, v) in &stim {
+        let _ = writeln!(tb, "    {name} <= to_signed({}, DATA_WIDTH);", fmt.quantize(*v));
+    }
+    tb.push_str("    in_valid <= '1';\n");
+    let _ = writeln!(tb, "    wait for CLK_PERIOD;");
+    tb.push_str("    in_valid <= '0';\n");
+    let _ = writeln!(
+        tb,
+        "    wait for {} * CLK_PERIOD;",
+        module.pipeline_stages + 2
+    );
+    tb.push_str("    assert out_valid = '1' report \"out_valid did not rise\" severity error;\n");
+    for (field, point, value) in &expected {
+        let coord = |c: i32| {
+            if c < 0 {
+                format!("m{}", -c)
+            } else {
+                c.to_string()
+            }
+        };
+        let port = format!(
+            "out_f{}_x{}_y{}",
+            field.index(),
+            coord(point.x),
+            coord(point.y)
+        );
+        let q = fmt.quantize(*value);
+        let _ = writeln!(
+            tb,
+            "    assert abs(to_integer({port}) - {q}) <= TOLERANCE\n      report \"{port}: expected {q}\" severity error;"
+        );
+    }
+    tb.push_str("    report \"testbench finished\" severity note;\n    wait;\n  end process stimulus;\n");
+    let _ = writeln!(tb, "end architecture sim;");
+    tb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{generate_cone, VhdlOptions};
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset, StencilPattern, Window};
+
+    fn module() -> (Cone, VhdlModule) {
+        let mut p = StencilPattern::new(1).with_name("avg");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::binary(
+            BinaryOp::Add,
+            Expr::input(f, Offset::d1(-1)),
+            Expr::input(f, Offset::d1(1)),
+        );
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.5)))
+            .unwrap();
+        let cone = Cone::build(&p, Window::line(2), 2).unwrap();
+        let m = generate_cone(&cone, &VhdlOptions::default());
+        (cone, m)
+    }
+
+    #[test]
+    fn testbench_references_dut() {
+        let (cone, m) = module();
+        let tb = generate_testbench(&cone, &m, FixedFormat::default());
+        assert!(tb.contains(&format!("entity tb_{} is", m.entity_name)));
+        assert!(tb.contains(&format!("dut : entity work.{}", m.entity_name)));
+        // One assertion per output.
+        let asserts = tb.matches("assert abs(").count();
+        assert_eq!(asserts, cone.outputs().len());
+    }
+
+    #[test]
+    fn testbench_waits_for_pipeline() {
+        let (cone, m) = module();
+        let tb = generate_testbench(&cone, &m, FixedFormat::default());
+        assert!(tb.contains(&format!("wait for {} * CLK_PERIOD;", m.pipeline_stages + 2)));
+    }
+
+    #[test]
+    fn stimulus_is_deterministic() {
+        let (cone, m) = module();
+        let a = generate_testbench(&cone, &m, FixedFormat::default());
+        let b = generate_testbench(&cone, &m, FixedFormat::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_values_are_quantised() {
+        let (cone, m) = module();
+        let tb = generate_testbench(&cone, &m, FixedFormat::default());
+        // All expected literals must fit the 18-bit format.
+        for line in tb.lines() {
+            if let Some(i) = line.find("expected ") {
+                let tail: String = line[i + 9..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '-')
+                    .collect();
+                let v: i64 = tail.parse().unwrap();
+                assert!(v.abs() < (1 << 17));
+            }
+        }
+    }
+}

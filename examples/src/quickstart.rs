@@ -1,0 +1,79 @@
+//! Quickstart: from a C stencil kernel to Pareto-optimal FPGA architectures.
+//!
+//! Run with `cargo run -p isl-examples --bin quickstart`.
+
+use isl_hls::prelude::*;
+
+const KERNEL: &str = r#"
+#pragma isl iterations 10
+#pragma isl border clamp
+void blur(const float in[H][W], float out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            out[y][x] = (1.0f * in[y-1][x-1] + 2.0f * in[y-1][x] + 1.0f * in[y-1][x+1]
+                       + 2.0f * in[y][x-1]   + 4.0f * in[y][x]   + 2.0f * in[y][x+1]
+                       + 1.0f * in[y+1][x-1] + 2.0f * in[y+1][x] + 1.0f * in[y+1][x+1]) / 16.0f;
+        }
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: dependency analysis by symbolic execution.
+    let flow = IslFlow::from_source(KERNEL)?;
+    println!("== extracted stencil pattern ==");
+    println!("{}", flow.pattern());
+    println!("iterations per frame: {}", flow.iterations());
+
+    // Phase 2: one cone, inspected.
+    let cone = flow.build_cone(Window::square(4), 2)?;
+    println!("\n== cone {} ==", cone.signature());
+    println!("  inputs (window + halo): {}", cone.inputs().len());
+    println!("  outputs:                {}", cone.outputs().len());
+    println!("  registers after reuse:  {}", cone.registers());
+    println!("  ops without reuse:      {:.0}", cone.tree_op_count());
+    println!(
+        "  reuse factor:           {:.1}x",
+        cone.tree_op_count() / cone.registers() as f64
+    );
+
+    // Phases 3-4: explore architectures for 1024x768 frames on a Virtex-6.
+    let device = Device::virtex6_xc6vlx760();
+    let space = DesignSpace::new(1..=6, 1..=5, 8);
+    let result = flow.explore(&device, flow.workload(1024, 768), &space)?;
+    println!(
+        "\n== design space: {} feasible points, {} on the Pareto front ==",
+        result.points().len(),
+        result.pareto().len()
+    );
+    println!(
+        "(alpha calibration used {} syntheses in total)",
+        result.calibration_syntheses()
+    );
+    println!("\n  window  depth  cores |      LUTs  time/frame        fps");
+    println!("  --------------------------------------------------------");
+    for p in result.pareto() {
+        println!(
+            "  {:>6}  {:>5}  {:>5} | {:>9.0}  {:>9.2} ms  {:>8.1}",
+            p.arch.window.to_string(),
+            p.arch.depth,
+            p.arch.cores,
+            p.estimated_luts,
+            p.time_per_frame_s * 1e3,
+            p.fps
+        );
+    }
+
+    // Generate VHDL for the fastest architecture.
+    let best = result.fastest().expect("space is feasible");
+    let bundle = flow.generate_vhdl(best.arch.window, best.arch.depth)?;
+    println!(
+        "\n== VHDL for the fastest point: entity `{}`, {} pipeline stages ==",
+        bundle.entity_name, bundle.pipeline_stages
+    );
+    for line in bundle.entity.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Export a ready-to-simulate VHDL project for a chosen cone: support
+//! package, entity and self-checking testbench.
+//!
+//! Run with `cargo run -p isl-examples --bin vhdl_export` — files land in
+//! `target/vhdl_export/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use isl_hls::algorithms::all;
+use isl_hls::prelude::*;
+use isl_hls::vhdl::check;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from("target/vhdl_export");
+    fs::create_dir_all(&out_dir)?;
+
+    for algo in all() {
+        let flow = IslFlow::from_algorithm(&algo)?;
+        let depth = flow.iterations().min(2);
+        let bundle = flow.generate_vhdl(Window::square(3), depth)?;
+
+        // The structural checker gates everything we write out.
+        check::validate_package(&bundle.package)?;
+        check::validate(&bundle.entity)?;
+
+        let pkg_path = out_dir.join("isl_fixed_pkg.vhd");
+        fs::write(&pkg_path, &bundle.package)?;
+        let entity_path = out_dir.join(format!("{}.vhd", bundle.entity_name));
+        fs::write(&entity_path, &bundle.entity)?;
+        let wrapper_path = out_dir.join(format!("{}_tile.vhd", bundle.entity_name));
+        fs::write(&wrapper_path, &bundle.wrapper)?;
+        let tb_path = out_dir.join(format!("tb_{}.vhd", bundle.entity_name));
+        fs::write(&tb_path, &bundle.testbench)?;
+
+        println!(
+            "{:<10} -> {} ({} pipeline stages, {} lines of VHDL + {} lines of testbench)",
+            algo.name,
+            entity_path.display(),
+            bundle.pipeline_stages,
+            bundle.entity.lines().count(),
+            bundle.testbench.lines().count(),
+        );
+    }
+
+    println!(
+        "\nCompile order: isl_fixed_pkg.vhd, then any entity, then its tb_*.vhd.\n\
+         Each testbench drives one stimulus window and asserts the outputs\n\
+         against values computed by the flow's own evaluator."
+    );
+    Ok(())
+}

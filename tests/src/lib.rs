@@ -1,0 +1,1 @@
+//! Integration tests for the ISL HLS flow live in the `tests/` directory of this package.

@@ -1,0 +1,82 @@
+//! Property tests for Pareto extraction — the DSE's final step must be
+//! sound (no dominated point on the front) and complete (every off-front
+//! point is dominated) for arbitrary point clouds.
+
+use proptest::prelude::*;
+
+use isl_hls::dse::{dominates, pareto_front};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn front_is_sound_and_complete(
+        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..120)
+    ) {
+        let front = pareto_front(&points);
+        prop_assert!(!front.is_empty());
+
+        // Soundness.
+        for &i in &front {
+            for (j, &p) in points.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(p, points[i]),
+                        "point {j} {:?} dominates front member {i} {:?}",
+                        p,
+                        points[i]
+                    );
+                }
+            }
+        }
+        // Completeness: every non-front point is dominated by some front
+        // point or is a duplicate of one.
+        for (j, &p) in points.iter().enumerate() {
+            if front.contains(&j) {
+                continue;
+            }
+            let covered = front
+                .iter()
+                .any(|&i| dominates(points[i], p) || points[i] == p);
+            prop_assert!(covered, "point {j} {p:?} neither dominated nor duplicate");
+        }
+    }
+
+    #[test]
+    fn front_is_a_staircase(
+        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..120)
+    ) {
+        let front = pareto_front(&points);
+        let coords: Vec<(f64, f64)> = front.iter().map(|&i| points[i]).collect();
+        for w in coords.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "areas must strictly increase");
+            prop_assert!(w[0].1 > w[1].1, "times must strictly decrease");
+        }
+    }
+
+    #[test]
+    fn front_invariant_under_permutation(
+        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 2..60),
+        rotation in 0usize..59,
+    ) {
+        let mut rotated = points.clone();
+        rotated.rotate_left(rotation % points.len());
+        let a: Vec<(f64, f64)> = pareto_front(&points).iter().map(|&i| points[i]).collect();
+        let b: Vec<(f64, f64)> = pareto_front(&rotated).iter().map(|&i| rotated[i]).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adding_a_dominated_point_changes_nothing(
+        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..60),
+    ) {
+        let base: Vec<(f64, f64)> = pareto_front(&points).iter().map(|&i| points[i]).collect();
+        // A point dominated by the first front member.
+        let (a, t) = base[0];
+        let mut extended = points.clone();
+        extended.push((a + 1.0, t + 1.0));
+        let after: Vec<(f64, f64)> =
+            pareto_front(&extended).iter().map(|&i| extended[i]).collect();
+        prop_assert_eq!(base, after);
+    }
+}
