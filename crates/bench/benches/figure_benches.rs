@@ -1,7 +1,8 @@
 //! Criterion benchmarks of the figure-regeneration experiments themselves —
 //! how long each paper experiment takes to reproduce with this library.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use isl_bench::harness::Criterion;
+use isl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use isl_bench::{area_validation, throughput_sweep};

@@ -2,7 +2,8 @@
 //! cone construction (register reuse), VHDL generation and Pareto
 //! exploration. These measure the *compiler*, not the modeled hardware.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isl_bench::harness::{BenchmarkId, Criterion};
+use isl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use isl_hls::algorithms::{all, chambolle, gaussian_igf};

@@ -1,0 +1,124 @@
+//! Interpreted vs compiled simulation engine, the headline perf comparison
+//! of the bytecode VM work: gaussian IGF and Chambolle at 256×256.
+//!
+//! Always writes `BENCH_sim.json` at the workspace root with the measured
+//! times and speedups so the perf trajectory of the engine can be tracked
+//! across commits.
+
+use std::time::Instant;
+
+use isl_bench::harness::Criterion;
+use isl_hls::algorithms::{chambolle, gaussian_igf};
+use isl_hls::prelude::*;
+use isl_hls::sim::synthetic;
+
+const SIZE: usize = 256;
+const ITERS: u32 = 10;
+
+struct Case {
+    name: &'static str,
+    pattern: StencilPattern,
+    init: FrameSet,
+}
+
+fn cases() -> Vec<Case> {
+    let (igf, _) = gaussian_igf().compile().expect("igf compiles");
+    let (cham, _) = chambolle().compile().expect("chambolle compiles");
+    let noisy = synthetic::add_noise(&synthetic::gaussian_spots(SIZE, SIZE, 9, 4), 3, 0.15);
+    vec![
+        Case {
+            name: "gaussian_igf_256",
+            pattern: igf,
+            init: FrameSet::from_frames(vec![synthetic::noise(SIZE, SIZE, 42)])
+                .expect("frames"),
+        },
+        Case {
+            name: "chambolle_256",
+            pattern: cham,
+            init: FrameSet::from_frames(vec![
+                Frame::new(SIZE, SIZE),
+                Frame::new(SIZE, SIZE),
+                noisy,
+            ])
+            .expect("frames"),
+        },
+    ]
+}
+
+/// Median-of-3 wall time of one full run.
+fn time_runs(mut f: impl FnMut() -> FrameSet) -> (f64, FrameSet) {
+    let out = f();
+    let mut times: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times[1], out)
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut json = String::from("{\n  \"frame\": [256, 256],\n  \"iterations\": 10,\n  \"cases\": [\n");
+    let cases = cases();
+    for (i, case) in cases.iter().enumerate() {
+        let interp = Simulator::new(&case.pattern).expect("valid").with_threads(1);
+        let compiled1 = Simulator::new(&case.pattern).expect("valid").with_threads(1);
+        let compiledn = Simulator::new(&case.pattern).expect("valid").with_threads(0);
+
+        let (t_interp, a) = time_runs(|| interp.run_reference(&case.init, ITERS).expect("runs"));
+        let (t_vm1, b) = time_runs(|| compiled1.run(&case.init, ITERS).expect("runs"));
+        let (t_vmn, c_out) = time_runs(|| compiledn.run(&case.init, ITERS).expect("runs"));
+        assert_eq!(a, b, "{}: compiled engine diverged", case.name);
+        assert_eq!(a, c_out, "{}: parallel engine diverged", case.name);
+
+        let speedup1 = t_interp / t_vm1;
+        let speedupn = t_interp / t_vmn;
+        println!(
+            "{:<18} interpreted {:>8.2} ms | compiled(1t) {:>7.2} ms ({:>5.1}x) | compiled(auto) {:>7.2} ms ({:>5.1}x)",
+            case.name,
+            t_interp * 1e3,
+            t_vm1 * 1e3,
+            speedup1,
+            t_vmn * 1e3,
+            speedupn
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_1t_ms\": {:.3}, \"compiled_auto_ms\": {:.3}, \"speedup_1t\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
+            case.name,
+            t_interp * 1e3,
+            t_vm1 * 1e3,
+            t_vmn * 1e3,
+            speedup1,
+            speedupn,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+
+        // Also register per-step timings with the harness for uniform output.
+        let small = small_for(&case.pattern, 64, 64);
+        let mut g = c.benchmark_group(case.name);
+        g.bench_function("interpreted_step_64", |b| {
+            b.iter(|| interp.step_reference(&small).expect("runs"))
+        });
+        g.bench_function("compiled_step_64", |b| {
+            b.iter(|| compiled1.step(&small).expect("runs"))
+        });
+        g.finish();
+    }
+    json.push_str("  ]\n}\n");
+    // cargo runs benches with the package directory as cwd; anchor the
+    // trajectory file at the workspace root instead.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("can write BENCH_sim.json");
+    println!("wrote {path}");
+    c.final_summary();
+}
+
+/// A noise frame set shaped to the pattern's field count.
+fn small_for(pattern: &StencilPattern, w: usize, h: usize) -> FrameSet {
+    let n = pattern.fields().len();
+    FrameSet::from_frames((0..n).map(|i| synthetic::noise(w, h, 7 + i as u64)).collect())
+        .expect("frames")
+}

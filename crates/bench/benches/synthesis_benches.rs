@@ -2,7 +2,8 @@
 //! estimator — including the headline comparison: estimating an
 //! architecture's area vs "synthesising" it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isl_bench::harness::{BenchmarkId, Criterion};
+use isl_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use isl_hls::algorithms::gaussian_igf;

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use isl_hls::algorithms::Algorithm;
 use isl_hls::prelude::*;
 

@@ -10,6 +10,7 @@ use isl_estimate::{
 };
 use isl_fpga::{techmap, Device, SynthOptions, Synthesizer};
 use isl_ir::{Cone, StencilPattern, Window};
+use isl_sim::parallel::par_map;
 
 use crate::pareto::pareto_front;
 
@@ -169,6 +170,7 @@ pub struct Explorer<'d> {
     device: &'d Device,
     synth_options: SynthOptions,
     schedule_model: ScheduleModel,
+    threads: usize,
 }
 
 impl<'d> Explorer<'d> {
@@ -178,7 +180,16 @@ impl<'d> Explorer<'d> {
             device,
             synth_options: SynthOptions::default(),
             schedule_model: ScheduleModel::default(),
+            threads: 0,
         }
+    }
+
+    /// Cap the worker threads used to enumerate instances (0 = one per
+    /// available core, 1 = fully serial). The exploration result — point
+    /// order included — is identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Override synthesis options (format, sharing, jitter).
@@ -239,11 +250,12 @@ impl<'d> Explorer<'d> {
         } else {
             calib_sides.iter().map(|&s| Window::square(s)).collect()
         };
-        let mut estimators: HashMap<u32, AreaEstimator> = HashMap::new();
-        for &d in &all_depths {
-            let est = AreaEstimator::calibrate(&synth, pattern, d, &calib_windows)?;
-            estimators.insert(d, est);
-        }
+        let estimators: HashMap<u32, AreaEstimator> =
+            par_map(all_depths.clone(), self.threads, |d| {
+                AreaEstimator::calibrate(&synth, pattern, d, &calib_windows).map(|e| (d, e))
+            })
+            .into_iter()
+            .collect::<Result<_, EstimateError>>()?;
         let calibration_syntheses = estimators.len() * calib_windows.len();
 
         struct ConeFacts {
@@ -251,30 +263,43 @@ impl<'d> Explorer<'d> {
             latency: u32,
             est_luts: f64,
         }
-        let mut facts: HashMap<(u32, u32), ConeFacts> = HashMap::new();
-        for &side in &space.window_sides {
-            for &d in &all_depths {
-                let cone = Cone::build(pattern, Window::square(side), d)
-                    .map_err(|e| DseError::Estimate(e.to_string()))?;
-                let est = &estimators[&d];
-                facts.insert(
-                    (side, d),
-                    ConeFacts {
-                        registers: cone.registers() as u64,
-                        latency: techmap::pipeline_latency(cone.graph(), fmt),
-                        est_luts: est.estimate(cone.registers() as u64),
-                    },
-                );
-            }
-        }
+        // Cone construction per (side, depth) is independent — fan it out.
+        let shapes: Vec<(u32, u32)> = space
+            .window_sides
+            .iter()
+            .flat_map(|&side| all_depths.iter().map(move |&d| (side, d)))
+            .collect();
+        let facts: HashMap<(u32, u32), ConeFacts> = par_map(shapes, self.threads, |(side, d)| {
+            let cone = Cone::build(pattern, Window::square(side), d)
+                .map_err(|e| DseError::Estimate(e.to_string()))?;
+            let est = &estimators[&d];
+            Ok((
+                (side, d),
+                ConeFacts {
+                    registers: cone.registers() as u64,
+                    latency: techmap::pipeline_latency(cone.graph(), fmt),
+                    est_luts: est.estimate(cone.registers() as u64),
+                },
+            ))
+        })
+        .into_iter()
+        .collect::<Result<_, DseError>>()?;
 
-        let mut points = Vec::new();
-        let mut skipped = 0usize;
-        for &side in &space.window_sides {
-            for &depth in &space.depths {
+        // Enumerate instances in parallel, one task per (side, depth) pair.
+        // Pairs are mapped in input order and concatenated in that order, so
+        // the point list — and therefore the Pareto front — is byte-identical
+        // to a serial sweep.
+        let pairs: Vec<(u32, u32)> = space
+            .window_sides
+            .iter()
+            .flat_map(|&side| space.depths.iter().map(move |&depth| (side, depth)))
+            .collect();
+        let evaluated: Vec<Result<(Vec<DesignPoint>, usize), DseError>> =
+            par_map(pairs, self.threads, |(side, depth)| {
+                let mut points = Vec::new();
+                let mut skipped = 0usize;
                 if depth > workload.iterations {
-                    skipped += 1;
-                    continue;
+                    return Ok((points, 1));
                 }
                 let rem = workload.iterations % depth;
                 let main = &facts[&(side, depth)];
@@ -286,8 +311,7 @@ impl<'d> Explorer<'d> {
                 };
                 // Feasibility: one cone of each required depth must fit.
                 if main.est_luts + rem_luts > self.device.luts as f64 {
-                    skipped += space.max_cores as usize;
-                    continue;
+                    return Ok((points, space.max_cores as usize));
                 }
                 let core_cap = space.max_cores.min(self.device.max_parallel_cones);
                 for cores in 1..=core_cap {
@@ -316,7 +340,14 @@ impl<'d> Explorer<'d> {
                         registers: main.registers,
                     });
                 }
-            }
+                Ok((points, skipped))
+            });
+        let mut points = Vec::new();
+        let mut skipped = 0usize;
+        for r in evaluated {
+            let (p, s) = r?;
+            points.extend(p);
+            skipped += s;
         }
         if points.is_empty() {
             return Err(DseError::NothingFeasible);
@@ -497,6 +528,27 @@ mod tests {
                 actual.luts,
                 err * 100.0
             );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let device = Device::virtex6_xc6vlx760();
+        let p = jacobi();
+        let space = DesignSpace::new(1..=6, 1..=4, 6);
+        let workload = Workload::image(256, 192, 8);
+        let serial = Explorer::new(&device)
+            .with_threads(1)
+            .explore(&p, workload, &space)
+            .unwrap();
+        for threads in [2, 3, 8, 0] {
+            let par = Explorer::new(&device)
+                .with_threads(threads)
+                .explore(&p, workload, &space)
+                .unwrap();
+            assert_eq!(serial.points(), par.points(), "{threads} threads");
+            assert_eq!(serial.pareto_indices(), par.pareto_indices());
+            assert_eq!(serial.skipped_infeasible(), par.skipped_infeasible());
         }
     }
 

@@ -1,0 +1,414 @@
+//! Lowering of [`Expr`] trees into flat bytecode.
+//!
+//! The tree-walking interpreter in `isl-ir` chases a `Box` per node, re-reads
+//! duplicated subtrees and resolves borders on every sample — fine as a
+//! golden reference, far too slow for whole-frame iteration at production
+//! sizes. This module lowers each dynamic field's update expression **once**
+//! into a [`CompiledKernel`]: a register-indexed instruction buffer in
+//! dependency (postfix) order, with
+//!
+//! * **parameters bound up front** — every [`Expr::Param`] leaf becomes a
+//!   literal constant of the simulator's current parameter binding;
+//! * **constant folding** — operations whose operands are all constants are
+//!   evaluated at compile time (with the exact same `f64` operation the
+//!   runtime would use, so results stay bit-identical);
+//! * **common-subexpression elimination** — structurally identical
+//!   subexpressions share one register, mirroring the paper's register-reuse
+//!   rule at software level;
+//! * **dead-code elimination** — registers orphaned by folding are dropped.
+//!
+//! Execution lives in [`crate::vm`]; the [`crate::Simulator`] compiles lazily
+//! and caches the program.
+
+use std::collections::HashMap;
+
+use isl_ir::{BinaryOp, Expr, FieldKind, StencilPattern, UnaryOp};
+
+/// Index of an instruction; instruction `i` writes virtual register `i`.
+pub(crate) type Reg = u32;
+
+/// One bytecode instruction. Operands always reference earlier instructions,
+/// so a single forward pass evaluates the whole program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Instr {
+    /// A literal (folded constants and bound parameters included).
+    Const(f64),
+    /// Read field `field` at relative offset `(dx, dy)`.
+    Input { field: u16, dx: i32, dy: i32 },
+    /// Unary operation on register `a`.
+    Unary { op: UnaryOp, a: Reg },
+    /// Binary operation on registers `a`, `b`.
+    Binary { op: BinaryOp, a: Reg, b: Reg },
+    /// `regs[c] != 0 ? regs[t] : regs[e]`.
+    Select { c: Reg, t: Reg, e: Reg },
+}
+
+/// Structural key used for common-subexpression elimination (constants are
+/// keyed by bit pattern so `-0.0`/`0.0` and NaNs are kept distinct).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64),
+    Input(u16, i32, i32),
+    Unary(UnaryOp, Reg),
+    Binary(BinaryOp, Reg, Reg),
+    Select(Reg, Reg, Reg),
+}
+
+/// Per-side halo of a kernel: how far reads reach beyond the centre element.
+/// The interior plane of a frame is the region where every read stays
+/// in-bounds, i.e. at least `left`/`right`/`up`/`down` samples away from the
+/// respective frame edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Halo {
+    /// Reach in `-x`.
+    pub left: u32,
+    /// Reach in `+x`.
+    pub right: u32,
+    /// Reach in `-y`.
+    pub up: u32,
+    /// Reach in `+y`.
+    pub down: u32,
+}
+
+/// The compiled update program of one dynamic field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    pub(crate) code: Vec<Instr>,
+    pub(crate) result: Reg,
+    halo: Halo,
+}
+
+impl CompiledKernel {
+    /// Lower `expr` with `params` bound as constants. With `fold == true`
+    /// constant subexpressions are evaluated at compile time; the quantised
+    /// engine compiles with `fold == false` so that every intermediate value
+    /// still exists for per-operation rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on offsets with a `dz` component (the frame engine is 1D/2D;
+    /// [`crate::Simulator::new`] rejects rank-3 patterns before this runs).
+    pub fn compile(expr: &Expr, params: &[f64], fold: bool) -> Self {
+        let mut b = Builder {
+            params,
+            fold,
+            code: Vec::new(),
+            cse: HashMap::new(),
+        };
+        let result = b.lower(expr);
+        let (code, result) = eliminate_dead_code(b.code, result);
+        let mut halo = Halo::default();
+        for instr in &code {
+            if let Instr::Input { dx, dy, .. } = *instr {
+                halo.left = halo.left.max(dx.unsigned_abs() * u32::from(dx < 0));
+                halo.right = halo.right.max(dx.unsigned_abs() * u32::from(dx > 0));
+                halo.up = halo.up.max(dy.unsigned_abs() * u32::from(dy < 0));
+                halo.down = halo.down.max(dy.unsigned_abs() * u32::from(dy > 0));
+            }
+        }
+        CompiledKernel { code, result, halo }
+    }
+
+    /// Number of instructions in the flattened program.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (never: even a constant emits one
+    /// instruction).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The per-side read reach of this kernel.
+    pub fn halo(&self) -> Halo {
+        self.halo
+    }
+
+    /// Number of field-read instructions after CSE (deduplicated taps).
+    pub fn input_count(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|i| matches!(i, Instr::Input { .. }))
+            .count()
+    }
+}
+
+struct Builder<'a> {
+    params: &'a [f64],
+    fold: bool,
+    code: Vec<Instr>,
+    cse: HashMap<Key, Reg>,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, key: Key, instr: Instr) -> Reg {
+        if let Some(&r) = self.cse.get(&key) {
+            return r;
+        }
+        let r = Reg::try_from(self.code.len()).expect("program exceeds u32 registers");
+        self.code.push(instr);
+        self.cse.insert(key, r);
+        r
+    }
+
+    fn constant(&mut self, v: f64) -> Reg {
+        self.push(Key::Const(v.to_bits()), Instr::Const(v))
+    }
+
+    fn const_of(&self, r: Reg) -> Option<f64> {
+        match self.code[r as usize] {
+            Instr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn lower(&mut self, expr: &Expr) -> Reg {
+        match expr {
+            Expr::Input { field, offset } => {
+                assert!(
+                    offset.dz == 0,
+                    "the compiled frame engine supports rank 1 and 2 only"
+                );
+                let f = u16::try_from(field.index()).expect("field id fits u16");
+                self.push(
+                    Key::Input(f, offset.dx, offset.dy),
+                    Instr::Input {
+                        field: f,
+                        dx: offset.dx,
+                        dy: offset.dy,
+                    },
+                )
+            }
+            Expr::Const(v) => self.constant(*v),
+            Expr::Param(p) => self.constant(self.params[p.index()]),
+            Expr::Unary { op, arg } => {
+                let a = self.lower(arg);
+                if self.fold {
+                    if let Some(ca) = self.const_of(a) {
+                        return self.constant(op.apply(ca));
+                    }
+                }
+                self.push(Key::Unary(*op, a), Instr::Unary { op: *op, a })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.lower(lhs);
+                let b = self.lower(rhs);
+                if self.fold {
+                    if let (Some(ca), Some(cb)) = (self.const_of(a), self.const_of(b)) {
+                        return self.constant(op.apply(ca, cb));
+                    }
+                }
+                self.push(Key::Binary(*op, a, b), Instr::Binary { op: *op, a, b })
+            }
+            Expr::Select { cond, then_, else_ } => {
+                let c = self.lower(cond);
+                if self.fold {
+                    if let Some(cc) = self.const_of(c) {
+                        // Mirror the interpreter's lazy branch choice; the
+                        // untaken branch is never emitted.
+                        return if cc != 0.0 {
+                            self.lower(then_)
+                        } else {
+                            self.lower(else_)
+                        };
+                    }
+                }
+                let t = self.lower(then_);
+                let e = self.lower(else_);
+                self.push(Key::Select(c, t, e), Instr::Select { c, t, e })
+            }
+        }
+    }
+}
+
+/// Drop instructions unreachable from `result` (constants orphaned by
+/// folding), remapping operand registers.
+fn eliminate_dead_code(code: Vec<Instr>, result: Reg) -> (Vec<Instr>, Reg) {
+    let mut live = vec![false; code.len()];
+    live[result as usize] = true;
+    for (i, instr) in code.iter().enumerate().rev() {
+        if !live[i] {
+            continue;
+        }
+        match *instr {
+            Instr::Const(_) | Instr::Input { .. } => {}
+            Instr::Unary { a, .. } => live[a as usize] = true,
+            Instr::Binary { a, b, .. } => {
+                live[a as usize] = true;
+                live[b as usize] = true;
+            }
+            Instr::Select { c, t, e } => {
+                live[c as usize] = true;
+                live[t as usize] = true;
+                live[e as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![0 as Reg; code.len()];
+    let mut out = Vec::with_capacity(code.len());
+    for (i, instr) in code.into_iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let fix = |r: Reg| remap[r as usize];
+        let mapped = match instr {
+            Instr::Const(_) | Instr::Input { .. } => instr,
+            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
+            Instr::Binary { op, a, b } => Instr::Binary {
+                op,
+                a: fix(a),
+                b: fix(b),
+            },
+            Instr::Select { c, t, e } => Instr::Select {
+                c: fix(c),
+                t: fix(t),
+                e: fix(e),
+            },
+        };
+        remap[i] = out.len() as Reg;
+        out.push(mapped);
+    }
+    let result = remap[result as usize];
+    (out, result)
+}
+
+/// The compiled programs of every dynamic field of one pattern, with one
+/// fixed parameter binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPattern {
+    kernels: Vec<Option<CompiledKernel>>,
+}
+
+impl CompiledPattern {
+    /// Compile every dynamic field's update of `pattern` with `params` bound.
+    /// `fold` selects constant folding (see [`CompiledKernel::compile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dynamic field lacks an update expression (callers validate
+    /// the pattern first) or on rank-3 offsets.
+    pub fn compile(pattern: &StencilPattern, params: &[f64], fold: bool) -> Self {
+        let kernels = pattern
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| match decl.kind {
+                FieldKind::Static => None,
+                FieldKind::Dynamic => {
+                    let update = pattern
+                        .update(isl_ir::FieldId::new(i as u16))
+                        .expect("validated pattern has updates for dynamic fields");
+                    Some(CompiledKernel::compile(update, params, fold))
+                }
+            })
+            .collect();
+        CompiledPattern { kernels }
+    }
+
+    /// The kernel of field `i`, or `None` for static fields.
+    pub fn kernel(&self, i: usize) -> Option<&CompiledKernel> {
+        self.kernels.get(i).and_then(|k| k.as_ref())
+    }
+
+    /// Number of fields (dynamic and static) the program covers.
+    pub fn field_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Total instructions across all dynamic fields.
+    pub fn total_instructions(&self) -> usize {
+        self.kernels
+            .iter()
+            .flatten()
+            .map(CompiledKernel::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{FieldId, Offset};
+
+    fn fid(i: u16) -> FieldId {
+        FieldId::new(i)
+    }
+
+    #[test]
+    fn constants_fold_to_single_instruction() {
+        // (2 + 3) * 4 -> Const(20)
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::binary(BinaryOp::Add, Expr::constant(2.0), Expr::constant(3.0)),
+            Expr::constant(4.0),
+        );
+        let k = CompiledKernel::compile(&e, &[], true);
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.code[0], Instr::Const(20.0));
+    }
+
+    #[test]
+    fn params_are_bound_and_folded() {
+        use isl_ir::ParamId;
+        // tau * 2 with tau = 0.25 -> Const(0.5)
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::param(ParamId::new(0)),
+            Expr::constant(2.0),
+        );
+        let k = CompiledKernel::compile(&e, &[0.25], true);
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.code[0], Instr::Const(0.5));
+    }
+
+    #[test]
+    fn cse_dedupes_repeated_reads() {
+        // f(1) + (f(1) + f(-1)): the tree reads f(1) twice, the program once.
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::input(fid(0), Offset::d1(1)),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::input(fid(0), Offset::d1(1)),
+                Expr::input(fid(0), Offset::d1(-1)),
+            ),
+        );
+        let k = CompiledKernel::compile(&e, &[], true);
+        assert_eq!(k.input_count(), 2);
+        assert_eq!(k.halo(), Halo { left: 1, right: 1, up: 0, down: 0 });
+    }
+
+    #[test]
+    fn no_fold_keeps_leaves() {
+        let e = Expr::binary(BinaryOp::Add, Expr::constant(2.0), Expr::constant(3.0));
+        let k = CompiledKernel::compile(&e, &[], false);
+        assert_eq!(k.len(), 3); // two consts + one add
+    }
+
+    #[test]
+    fn constant_select_takes_lazy_branch() {
+        // sel(1, f(0), f(7)) folds to the `then` read only: halo stays 0.
+        let e = Expr::select(
+            Expr::constant(1.0),
+            Expr::input(fid(0), Offset::d1(0)),
+            Expr::input(fid(0), Offset::d1(7)),
+        );
+        let k = CompiledKernel::compile(&e, &[], true);
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.halo(), Halo::default());
+    }
+
+    #[test]
+    fn dead_constants_are_eliminated() {
+        // abs(-3) + f(0): the folded `-3` operand register must not linger.
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::unary(UnaryOp::Abs, Expr::constant(-3.0)),
+            Expr::input(fid(0), Offset::d1(0)),
+        );
+        let k = CompiledKernel::compile(&e, &[], true);
+        assert_eq!(k.len(), 3); // Const(3), Input, Add
+        assert!(k.code.iter().all(|i| *i != Instr::Const(-3.0)));
+    }
+}

@@ -9,9 +9,11 @@
 
 use isl_ir::{FieldId, FieldKind};
 
+use crate::compile::CompiledPattern;
 use crate::error::SimError;
 use crate::frame::{Frame, FrameSet};
 use crate::sim::Simulator;
+use crate::vm;
 
 /// A fixed-point rounding rule: signed, `width` total bits, `frac`
 /// fractional bits (mirrors `isl_fpga::FixedFormat` without creating a
@@ -58,6 +60,11 @@ impl Simulator<'_> {
     /// Run `iterations` whole-frame steps with fixed-point rounding after
     /// every operation — the frame-scale analogue of the generated hardware.
     ///
+    /// Executes on the compiled bytecode engine, lowered **without** constant
+    /// folding so every intermediate value of the reference expression tree
+    /// still exists and receives its own rounding — bit-identical to
+    /// [`Simulator::run_quantized_reference`], which tests enforce.
+    ///
     /// # Errors
     ///
     /// Same as [`Simulator::step`].
@@ -67,15 +74,33 @@ impl Simulator<'_> {
         iterations: u32,
         q: Quantizer,
     ) -> Result<FrameSet, SimError> {
-        // Quantise the initial frames once (loading into the fixed-point
-        // domain), then iterate with per-op rounding.
-        let mut state = FrameSet::from_frames(
-            init.frames()
-                .iter()
-                .map(|f| Frame::from_fn(f.width(), f.height(), |x, y| q.apply(f.get(x, y))))
-                .collect(),
-        )
-        .expect("shapes preserved");
+        if init.len() != self.pattern().fields().len() {
+            return Err(SimError::FieldCountMismatch {
+                expected: self.pattern().fields().len(),
+                got: init.len(),
+            });
+        }
+        let mut state = quantize_set(init, q);
+        let program = CompiledPattern::compile(self.pattern(), self.params(), false);
+        for _ in 0..iterations {
+            state = vm::step_quantized(&program, &state, self.border(), q, self.threads());
+        }
+        Ok(state)
+    }
+
+    /// [`Simulator::run_quantized`] through the tree-walking interpreter —
+    /// the golden reference for the quantised engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run_quantized_reference(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        let mut state = quantize_set(init, q);
         for _ in 0..iterations {
             state = self.step_quantized(&state, q)?;
         }
@@ -96,7 +121,7 @@ impl Simulator<'_> {
         for (i, decl) in self.pattern().fields().iter().enumerate() {
             let fid = FieldId::new(i as u16);
             match decl.kind {
-                FieldKind::Static => next.push(state.frame(i).clone()),
+                FieldKind::Static => next.push(state.frame_arc(i)),
                 FieldKind::Dynamic => {
                     let update = self.pattern().update(fid).expect("validated pattern");
                     let mut out = Frame::new(w, h);
@@ -116,12 +141,24 @@ impl Simulator<'_> {
                             out.set(x, y, v);
                         }
                     }
-                    next.push(out);
+                    next.push(std::sync::Arc::new(out));
                 }
             }
         }
-        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+        Ok(FrameSet::from_shared(next).expect("shapes preserved"))
     }
+}
+
+/// Quantise every sample of every frame (loading into the fixed-point
+/// domain).
+fn quantize_set(init: &FrameSet, q: Quantizer) -> FrameSet {
+    FrameSet::from_frames(
+        init.frames()
+            .iter()
+            .map(|f| Frame::from_fn(f.width(), f.height(), |x, y| q.apply(f.get(x, y))))
+            .collect(),
+    )
+    .expect("shapes preserved")
 }
 
 #[cfg(test)]
@@ -181,6 +218,21 @@ mod tests {
         let fine = err(Quantizer::new(24, 16));
         assert!(fine < coarse, "{fine} !< {coarse}");
         assert!(fine < 1e-3);
+    }
+
+    #[test]
+    fn compiled_quantized_engine_matches_reference_bitwise() {
+        let p = blur();
+        for border in [BorderMode::Clamp, BorderMode::Mirror, BorderMode::Constant(0.5)] {
+            let sim = Simulator::new(&p).unwrap().with_border(border);
+            let init = FrameSet::from_frames(vec![synthetic::noise(19, 11, 3)]).unwrap();
+            let q = Quantizer::q18_10();
+            let a = sim.run_quantized(&init, 5, q).unwrap();
+            let b = sim.run_quantized_reference(&init, 5, q).unwrap();
+            for (x, y) in a.frame(0).as_slice().iter().zip(b.frame(0).as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "border {border}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

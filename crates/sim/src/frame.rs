@@ -1,6 +1,7 @@
 //! Frames (grids of samples) and frame sets.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::border::BorderMode;
 use crate::error::SimError;
@@ -48,6 +49,17 @@ impl Frame {
             }
         }
         frame
+    }
+
+    /// Build a frame that takes ownership of row-major `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        assert_eq!(data.len(), width * height, "sample count must match dimensions");
+        Frame { width, height, data }
     }
 
     /// Build a 1D frame (height 1) from samples.
@@ -170,9 +182,14 @@ impl fmt::Display for Frame {
 }
 
 /// One frame per stencil field, aligned with the pattern's field ids.
+///
+/// Frames are stored behind [`Arc`] so that a step which leaves a field
+/// untouched (every `Static` field, every iteration) shares the frame
+/// instead of copying it; [`FrameSet::frame_mut`] restores copy-on-write
+/// semantics for callers that do mutate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameSet {
-    frames: Vec<Frame>,
+    frames: Vec<Arc<Frame>>,
 }
 
 impl FrameSet {
@@ -184,6 +201,15 @@ impl FrameSet {
     /// [`SimError::FrameSizeMismatch`] when dimensions differ,
     /// [`SimError::FieldCountMismatch`] when empty.
     pub fn from_frames(frames: Vec<Frame>) -> Result<Self, SimError> {
+        Self::from_shared(frames.into_iter().map(Arc::new).collect())
+    }
+
+    /// Assemble a set from already-shared frames without copying them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameSet::from_frames`].
+    pub fn from_shared(frames: Vec<Arc<Frame>>) -> Result<Self, SimError> {
         if frames.is_empty() {
             return Err(SimError::FieldCountMismatch { expected: 1, got: 0 });
         }
@@ -203,17 +229,27 @@ impl FrameSet {
         &self.frames[i]
     }
 
-    /// Mutable access to the frame of field `i`.
+    /// A shared handle to the frame of field `i` (no sample copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn frame_arc(&self, i: usize) -> Arc<Frame> {
+        Arc::clone(&self.frames[i])
+    }
+
+    /// Mutable access to the frame of field `i` (copy-on-write: the samples
+    /// are copied only if the frame is currently shared).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn frame_mut(&mut self, i: usize) -> &mut Frame {
-        &mut self.frames[i]
+        Arc::make_mut(&mut self.frames[i])
     }
 
-    /// All frames, in field order.
-    pub fn frames(&self) -> &[Frame] {
+    /// All frames, in field order, as shared handles.
+    pub fn frames(&self) -> &[Arc<Frame>] {
         &self.frames
     }
 

@@ -1,0 +1,135 @@
+//! Minimal deterministic fork-join helpers over `std::thread::scope`.
+//!
+//! The build must work fully offline, so instead of `rayon` this module
+//! provides the two primitives the flow needs: row-band parallelism for the
+//! compiled frame engine and order-preserving `par_map` for the design-space
+//! sweep. Both produce results that are **bit-identical for every thread
+//! count** — work is partitioned statically into contiguous chunks and
+//! reassembled in order, so parallelism only changes wall-clock time.
+
+use std::num::NonZeroUsize;
+
+/// Worker threads implied by `requested`: `0` means one per available core,
+/// anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Split `out` (a row-major buffer of `width`-sample rows) into contiguous
+/// whole-row bands and run `f(first_row, band)` on each, in parallel when
+/// `threads != 1`. Bands are disjoint, so any schedule writes the same bytes.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `width`.
+pub fn for_each_row_band<F>(out: &mut [f64], width: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(
+        width > 0 && out.len().is_multiple_of(width),
+        "buffer must be whole rows"
+    );
+    let rows = out.len() / width;
+    let t = effective_threads(threads).min(rows).max(1);
+    if t <= 1 {
+        f(0, out);
+        return;
+    }
+    let rows_per_band = rows.div_ceil(t);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut first_row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per_band * width).min(rest.len());
+            let (band, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let y0 = first_row;
+            first_row += take / width;
+            s.spawn(move || f(y0, band));
+        }
+    });
+}
+
+/// Map `f` over `items` on up to `threads` workers, preserving input order
+/// exactly (contiguous chunks, reassembled in sequence).
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn par_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let t = effective_threads(threads).min(n).max(1);
+    if t <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(t);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(t);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = par_map(items.clone(), 1, |x| x * x);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(par_map(items.clone(), t, |x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn row_bands_cover_everything_once() {
+        let width = 7;
+        for threads in [1, 2, 3, 5, 16] {
+            let mut buf = vec![0.0; width * 23];
+            for_each_row_band(&mut buf, width, threads, |y0, band| {
+                for (i, v) in band.iter_mut().enumerate() {
+                    *v += (y0 * width + i) as f64 + 1.0;
+                }
+            });
+            for (i, v) in buf.iter().enumerate() {
+                assert_eq!(*v, (i + 1) as f64, "slot {i} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

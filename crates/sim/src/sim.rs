@@ -1,10 +1,14 @@
 //! Golden, tiled and cone-DAG execution of stencil patterns.
 
+use std::sync::{Arc, OnceLock};
+
 use isl_ir::{Cone, FieldId, FieldKind, StencilPattern, Window};
 
 use crate::border::BorderMode;
+use crate::compile::CompiledPattern;
 use crate::error::SimError;
 use crate::frame::{Frame, FrameSet};
+use crate::vm;
 
 /// Result of a fixed-point run ([`Simulator::run_until_converged`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +31,8 @@ pub struct Simulator<'p> {
     pattern: &'p StencilPattern,
     border: BorderMode,
     params: Vec<f64>,
+    threads: usize,
+    compiled: OnceLock<CompiledPattern>,
 }
 
 impl<'p> Simulator<'p> {
@@ -48,12 +54,22 @@ impl<'p> Simulator<'p> {
             pattern,
             border: BorderMode::default(),
             params: pattern.params().iter().map(|p| p.default).collect(),
+            threads: 0,
+            compiled: OnceLock::new(),
         })
     }
 
     /// Select the border mode.
     pub fn with_border(mut self, border: BorderMode) -> Self {
         self.border = border;
+        self
+    }
+
+    /// Cap the worker threads used by the compiled engine (0 = one per
+    /// available core, 1 = fully serial). Results are bit-identical for any
+    /// thread count; only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -71,7 +87,16 @@ impl<'p> Simulator<'p> {
             });
         }
         self.params = params;
+        // Parameters are baked into the bytecode; drop any stale program.
+        self.compiled = OnceLock::new();
         Ok(self)
+    }
+
+    /// The compiled bytecode program for this pattern + parameter binding
+    /// (built on first use, cached afterwards).
+    pub fn compiled(&self) -> &CompiledPattern {
+        self.compiled
+            .get_or_init(|| CompiledPattern::compile(self.pattern, &self.params, true))
     }
 
     /// The pattern being simulated.
@@ -87,6 +112,16 @@ impl<'p> Simulator<'p> {
     /// Value of parameter `p` (default or override).
     pub fn param_value(&self, p: isl_ir::ParamId) -> f64 {
         self.params[p.index()]
+    }
+
+    /// The full parameter binding, in [`isl_ir::ParamId`] order.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// The configured worker-thread cap (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     fn check(&self, state: &FrameSet) -> Result<(), SimError> {
@@ -109,12 +144,25 @@ impl<'p> Simulator<'p> {
     /// pattern.
     pub fn step(&self, state: &FrameSet) -> Result<FrameSet, SimError> {
         self.check(state)?;
+        let program = self.compiled();
+        Ok(vm::step_compiled(program, state, self.border, self.threads))
+    }
+
+    /// One whole-frame iteration through the tree-walking interpreter — the
+    /// golden reference semantics the compiled engine is property-tested
+    /// against. Prefer [`Simulator::step`] (bit-identical, much faster).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn step_reference(&self, state: &FrameSet) -> Result<FrameSet, SimError> {
+        self.check(state)?;
         let (w, h) = (state.width(), state.height());
         let mut next = Vec::with_capacity(state.len());
         for (i, decl) in self.pattern.fields().iter().enumerate() {
             let fid = FieldId::new(i as u16);
             match decl.kind {
-                FieldKind::Static => next.push(state.frame(i).clone()),
+                FieldKind::Static => next.push(state.frame_arc(i)),
                 FieldKind::Dynamic => {
                     let update = self.pattern.update(fid).expect("validated pattern");
                     let mut out = Frame::new(w, h);
@@ -133,11 +181,25 @@ impl<'p> Simulator<'p> {
                             out.set(x, y, v);
                         }
                     }
-                    next.push(out);
+                    next.push(std::sync::Arc::new(out));
                 }
             }
         }
-        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+        Ok(FrameSet::from_shared(next).expect("shapes preserved"))
+    }
+
+    /// `iterations` golden whole-frame steps through the tree-walking
+    /// interpreter (see [`Simulator::step_reference`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run_reference(&self, init: &FrameSet, iterations: u32) -> Result<FrameSet, SimError> {
+        let mut state = init.clone();
+        for _ in 0..iterations {
+            state = self.step_reference(&state)?;
+        }
+        Ok(state)
     }
 
     /// `iterations` golden whole-frame steps.
@@ -238,7 +300,7 @@ impl<'p> Simulator<'p> {
     fn tiled_level(&self, state: &FrameSet, window: Window, d: u32) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let r = self.pattern.radius() as i64;
-        let mut next: Vec<Frame> = state.frames().to_vec();
+        let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
 
         let (tw, th) = (window.w as i64, window.h as i64);
         let mut ty = 0;
@@ -250,7 +312,7 @@ impl<'p> Simulator<'p> {
             }
             ty += th;
         }
-        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+        Ok(FrameSet::from_shared(next).expect("shapes preserved"))
     }
 
     /// Compute one tile through `d` levels, reading `state`, writing `next`.
@@ -258,7 +320,7 @@ impl<'p> Simulator<'p> {
     fn tile(
         &self,
         state: &FrameSet,
-        next: &mut [Frame],
+        next: &mut [Arc<Frame>],
         (tx, ty): (i64, i64),
         (tw, th): (i64, i64),
         d: u32,
@@ -352,7 +414,7 @@ impl<'p> Simulator<'p> {
         let (fx0, fy0, fx1, fy1) = buf_rect;
         let fbw = (fx1 - fx0 + 1) as usize;
         for (di, f) in dyn_fields.iter().enumerate() {
-            let out = &mut next[f.index()];
+            let out = Arc::make_mut(&mut next[f.index()]);
             for yy in fy0..=fy1 {
                 for xx in fx0..=fx1 {
                     out.set(
@@ -402,7 +464,7 @@ impl<'p> Simulator<'p> {
     fn cone_level(&self, state: &FrameSet, cone: &Cone) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let window = cone.window();
-        let mut next: Vec<Frame> = state.frames().to_vec();
+        let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
         let (tw, th) = (window.w as i64, window.h as i64);
         let mut ty = 0;
         while ty < h {
@@ -419,14 +481,14 @@ impl<'p> Simulator<'p> {
                 for (f, p, v) in outs {
                     let (ax, ay) = (tx + p.x as i64, ty + p.y as i64);
                     if ax < w && ay < h {
-                        next[f.index()].set(ax as usize, ay as usize, v);
+                        Arc::make_mut(&mut next[f.index()]).set(ax as usize, ay as usize, v);
                     }
                 }
                 tx += tw;
             }
             ty += th;
         }
-        Ok(FrameSet::from_frames(next).expect("shapes preserved"))
+        Ok(FrameSet::from_shared(next).expect("shapes preserved"))
     }
 }
 

@@ -1,0 +1,368 @@
+//! The compiled stencil execution engine.
+//!
+//! Executes [`CompiledPattern`] programs (see [`crate::compile`]) over whole
+//! frames in **three planes** per dynamic field:
+//!
+//! * an **interior plane** — the sub-rectangle where every read of the
+//!   kernel's halo stays in-bounds. Reads become raw row-slice copies and the
+//!   program is evaluated *instruction-at-a-time over whole row spans*
+//!   (structure-of-arrays), so dispatch cost is paid once per instruction per
+//!   span instead of once per pixel, and the arithmetic loops vectorise;
+//! * two **border strips** (left/right columns of interior rows) and the
+//!   **border rows** (top/bottom), which fall back to per-pixel evaluation
+//!   with full [`BorderMode`] resolution — identical semantics to
+//!   [`isl_ir::Expr::eval`], paid only on the frame perimeter.
+//!
+//! Interior rows are distributed over threads in contiguous bands
+//! ([`crate::parallel`]); every band writes a disjoint region, so results are
+//! bit-identical for any thread count.
+
+use std::sync::Arc;
+
+use isl_ir::BinaryOp;
+
+use crate::border::BorderMode;
+use crate::compile::{CompiledKernel, CompiledPattern, Instr};
+use crate::fixed::Quantizer;
+use crate::frame::{Frame, FrameSet};
+use crate::parallel::for_each_row_band;
+
+/// Row-span width of the structure-of-arrays scratch (bounds scratch memory
+/// at `instructions × SPAN × 8` bytes per worker).
+const SPAN: usize = 512;
+
+/// Below this many pixel-instructions a step runs serially even in auto
+/// thread mode — spawn cost would dominate.
+const PARALLEL_WORK_THRESHOLD: usize = 100_000;
+
+/// One compiled whole-frame step (`post == None`) — the engine behind
+/// [`crate::Simulator::step`].
+pub(crate) fn step_compiled(
+    cp: &CompiledPattern,
+    state: &FrameSet,
+    border: BorderMode,
+    threads: usize,
+) -> FrameSet {
+    step_impl(cp, state, border, threads, None)
+}
+
+/// One compiled whole-frame step with fixed-point rounding after every
+/// non-select instruction — the engine behind
+/// [`crate::Simulator::run_quantized`]. Compile the pattern with
+/// `fold == false` so every intermediate of the reference tree still exists.
+pub(crate) fn step_quantized(
+    cp: &CompiledPattern,
+    state: &FrameSet,
+    border: BorderMode,
+    q: Quantizer,
+    threads: usize,
+) -> FrameSet {
+    step_impl(cp, state, border, threads, Some(q))
+}
+
+fn step_impl(
+    cp: &CompiledPattern,
+    state: &FrameSet,
+    border: BorderMode,
+    threads: usize,
+    post: Option<Quantizer>,
+) -> FrameSet {
+    let (w, h) = (state.width(), state.height());
+    let frames: Vec<&Frame> = state.frames().iter().map(Arc::as_ref).collect();
+    let mut next = Vec::with_capacity(cp.field_count());
+    for i in 0..cp.field_count() {
+        match cp.kernel(i) {
+            None => next.push(state.frame_arc(i)),
+            Some(k) => {
+                let data = eval_field(k, &frames, w, h, border, threads, post);
+                next.push(Arc::new(Frame::from_vec(w, h, data)));
+            }
+        }
+    }
+    FrameSet::from_shared(next).expect("shapes preserved")
+}
+
+/// Evaluate one kernel over the full frame, returning the output samples.
+fn eval_field(
+    kernel: &CompiledKernel,
+    frames: &[&Frame],
+    w: usize,
+    h: usize,
+    border: BorderMode,
+    threads: usize,
+    post: Option<Quantizer>,
+) -> Vec<f64> {
+    let halo = kernel.halo();
+    // Interior rectangle: every tap in-bounds.
+    let xlo = (halo.left as usize).min(w);
+    let xhi = w.saturating_sub(halo.right as usize);
+    let ylo = (halo.up as usize).min(h);
+    let yhi = h.saturating_sub(halo.down as usize);
+    let has_interior = xlo < xhi && ylo < yhi;
+
+    let threads = if threads == 0 && w * h * kernel.len() < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+
+    let mut out = vec![0.0; w * h];
+    for_each_row_band(&mut out, w, threads, |y0, band| {
+        let span = if has_interior { (xhi - xlo).min(SPAN) } else { 0 };
+        let mut scratch = vec![0.0; kernel.len() * span];
+        let mut regs = vec![0.0; kernel.len()];
+        for (local, row) in band.chunks_mut(w).enumerate() {
+            let y = y0 + local;
+            if has_interior && (ylo..yhi).contains(&y) {
+                for (x, slot) in row.iter_mut().enumerate().take(xlo) {
+                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
+                }
+                let mut x0 = xlo;
+                while x0 < xhi {
+                    let len = span.min(xhi - x0);
+                    eval_span(kernel, frames, w, y, x0, len, &mut scratch, post);
+                    let res = kernel.result as usize;
+                    row[x0..x0 + len].copy_from_slice(&scratch[res * len..(res + 1) * len]);
+                    x0 += len;
+                }
+                for (x, slot) in row.iter_mut().enumerate().skip(xhi) {
+                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
+                }
+            } else {
+                for (x, slot) in row.iter_mut().enumerate() {
+                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Evaluate the program over the in-bounds span `[x0, x0 + len)` of row `y`.
+/// `scratch` holds one `len`-wide lane per instruction.
+#[allow(clippy::too_many_arguments)]
+fn eval_span(
+    kernel: &CompiledKernel,
+    frames: &[&Frame],
+    w: usize,
+    y: usize,
+    x0: usize,
+    len: usize,
+    scratch: &mut [f64],
+    post: Option<Quantizer>,
+) {
+    for (i, instr) in kernel.code.iter().enumerate() {
+        let (prev, cur) = scratch.split_at_mut(i * len);
+        let dst = &mut cur[..len];
+        let lane = |r: u32| &prev[r as usize * len..(r as usize + 1) * len];
+        let mut rounded = true;
+        match *instr {
+            Instr::Const(v) => dst.fill(v),
+            Instr::Input { field, dx, dy } => {
+                let src = frames[field as usize].as_slice();
+                let base = (y as i64 + i64::from(dy)) * w as i64 + x0 as i64 + i64::from(dx);
+                let base = usize::try_from(base).expect("interior read in bounds");
+                dst.copy_from_slice(&src[base..base + len]);
+            }
+            Instr::Unary { op, a } => unary_span(op, lane(a), dst),
+            Instr::Binary { op, a, b } => binary_span(op, lane(a), lane(b), dst),
+            Instr::Select { c, t, e } => {
+                // The interpreter applies no rounding hook to a select — it
+                // forwards one already-rounded branch value unchanged.
+                rounded = false;
+                let (c, t, e) = (lane(c), lane(t), lane(e));
+                for k in 0..len {
+                    dst[k] = if c[k] != 0.0 { t[k] } else { e[k] };
+                }
+            }
+        }
+        if rounded {
+            if let Some(q) = post {
+                for v in dst.iter_mut() {
+                    *v = q.apply(*v);
+                }
+            }
+        }
+    }
+}
+
+fn unary_span(op: isl_ir::UnaryOp, a: &[f64], dst: &mut [f64]) {
+    use isl_ir::UnaryOp::*;
+    fn zip1(a: &[f64], dst: &mut [f64], f: impl Fn(f64) -> f64) {
+        for (d, &x) in dst.iter_mut().zip(a) {
+            *d = f(x);
+        }
+    }
+    match op {
+        Neg => zip1(a, dst, |x| -x),
+        Abs => zip1(a, dst, f64::abs),
+        Sqrt => zip1(a, dst, f64::sqrt),
+    }
+}
+
+fn binary_span(op: BinaryOp, a: &[f64], b: &[f64], dst: &mut [f64]) {
+    use BinaryOp::*;
+    fn zip2(a: &[f64], b: &[f64], dst: &mut [f64], f: impl Fn(f64, f64) -> f64) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d = f(x, y);
+        }
+    }
+    match op {
+        Add => zip2(a, b, dst, |x, y| x + y),
+        Sub => zip2(a, b, dst, |x, y| x - y),
+        Mul => zip2(a, b, dst, |x, y| x * y),
+        Div => zip2(a, b, dst, |x, y| x / y),
+        Min => zip2(a, b, dst, f64::min),
+        Max => zip2(a, b, dst, f64::max),
+        Lt => zip2(a, b, dst, |x, y| f64::from(x < y)),
+        Le => zip2(a, b, dst, |x, y| f64::from(x <= y)),
+        Gt => zip2(a, b, dst, |x, y| f64::from(x > y)),
+        Ge => zip2(a, b, dst, |x, y| f64::from(x >= y)),
+    }
+}
+
+/// Per-pixel program evaluation with full border resolution — used for the
+/// border strips and for frames with no interior at all.
+fn eval_pixel(
+    kernel: &CompiledKernel,
+    frames: &[&Frame],
+    border: BorderMode,
+    x: usize,
+    y: usize,
+    regs: &mut [f64],
+    post: Option<Quantizer>,
+) -> f64 {
+    for (i, instr) in kernel.code.iter().enumerate() {
+        let (v, rounded) = match *instr {
+            Instr::Const(c) => (c, true),
+            Instr::Input { field, dx, dy } => (
+                frames[field as usize].sample(
+                    x as i64 + i64::from(dx),
+                    y as i64 + i64::from(dy),
+                    border,
+                ),
+                true,
+            ),
+            Instr::Unary { op, a } => (op.apply(regs[a as usize]), true),
+            Instr::Binary { op, a, b } => (op.apply(regs[a as usize], regs[b as usize]), true),
+            Instr::Select { c, t, e } => (
+                if regs[c as usize] != 0.0 {
+                    regs[t as usize]
+                } else {
+                    regs[e as usize]
+                },
+                false,
+            ),
+        };
+        regs[i] = match (post, rounded) {
+            (Some(q), true) => q.apply(v),
+            _ => v,
+        };
+    }
+    regs[kernel.result as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::synthetic;
+    use isl_ir::{Expr, FieldKind, Offset, StencilPattern, UnaryOp};
+
+    fn spiky() -> StencilPattern {
+        // Exercises every plane: radius-2 taps, select, sqrt, min/max.
+        let mut p = StencilPattern::new(2).with_name("spiky");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let g = p.add_field("g", FieldKind::Static);
+        let t = p.add_param("t", 0.35);
+        let grad = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d2(2, 0)),
+            Expr::input(f, Offset::d2(0, -2)),
+        );
+        let norm = Expr::unary(
+            UnaryOp::Sqrt,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::binary(BinaryOp::Mul, grad.clone(), grad),
+                Expr::constant(1e-6),
+            ),
+        );
+        let blend = Expr::select(
+            Expr::binary(
+                BinaryOp::Lt,
+                Expr::input(f, Offset::ZERO),
+                Expr::param(t),
+            ),
+            Expr::binary(
+                BinaryOp::Max,
+                Expr::input(g, Offset::d2(-1, 1)),
+                Expr::input(f, Offset::d2(1, 1)),
+            ),
+            norm,
+        );
+        let update = Expr::binary(
+            BinaryOp::Min,
+            Expr::binary(BinaryOp::Mul, blend, Expr::constant(0.5)),
+            Expr::constant(4.0),
+        );
+        p.set_update(f, update).unwrap();
+        p
+    }
+
+    fn states(w: usize, h: usize) -> FrameSet {
+        FrameSet::from_frames(vec![
+            synthetic::noise(w, h, 11),
+            synthetic::gaussian_spots(w, h, 5, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compiled_step_matches_reference_bitwise() {
+        let p = spiky();
+        for border in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Wrap,
+            BorderMode::Constant(0.25),
+        ] {
+            for (w, h) in [(17, 13), (3, 3), (1, 9), (9, 1), (40, 7)] {
+                let sim = Simulator::new(&p).unwrap().with_border(border);
+                let init = states(w, h);
+                let a = sim.step(&init).unwrap();
+                let b = sim.step_reference(&init).unwrap();
+                for fi in 0..init.len() {
+                    let (fa, fb) = (a.frame(fi).as_slice(), b.frame(fi).as_slice());
+                    for (i, (x, y)) in fa.iter().zip(fb).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "border {border}, {w}x{h}, field {fi}, slot {i}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let p = spiky();
+        let init = states(33, 29);
+        let serial = Simulator::new(&p).unwrap().with_threads(1).run(&init, 3).unwrap();
+        for t in [2, 4, 7, 0] {
+            let par = Simulator::new(&p).unwrap().with_threads(t).run(&init, 3).unwrap();
+            assert_eq!(serial, par, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn static_frames_are_shared_not_copied() {
+        let p = spiky();
+        let sim = Simulator::new(&p).unwrap();
+        let init = states(12, 12);
+        let out = sim.step(&init).unwrap();
+        assert!(Arc::ptr_eq(&init.frames()[1], &out.frames()[1]));
+    }
+}

@@ -1,1 +1,6 @@
-//! Integration tests for the ISL HLS flow live in the `tests/` directory of this package.
+//! Integration tests for the ISL HLS flow live in the `tests/` directory of
+//! this package; this library hosts their shared support code.
+
+#![forbid(unsafe_code)]
+
+pub mod prop;

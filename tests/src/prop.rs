@@ -1,0 +1,146 @@
+//! A minimal deterministic property-testing harness.
+//!
+//! The repository builds fully offline, so the property suites cannot use
+//! `proptest`. This module provides the piece that matters for these tests:
+//! running a closure over many reproducibly-seeded random cases, with the
+//! failing case's seed reported on panic so a failure replays exactly.
+//! (There is no shrinking — generators here are small enough that the raw
+//! counterexample is readable.)
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+pub use isl_hls::sim::synthetic::SplitMix64;
+
+/// A deterministic case generator wrapping [`SplitMix64`].
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: SplitMix64,
+}
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            inner: SplitMix64::new(seed),
+        }
+    }
+
+    /// Next raw value.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.next_f64()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo <= hi);
+        lo + (self.u64() % (i64::from(hi) - i64::from(lo) + 1) as u64) as i32
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        lo + (self.u64() % (hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi);
+        lo + (self.u64() % (u64::from(hi) - u64::from(lo) + 1)) as u32
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Index drawn with the given relative weights (proptest's
+    /// `prop_oneof![w => ...]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut roll = self.u64() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!("roll bounded by total weight")
+    }
+}
+
+/// Run `f` over `cases` independently-seeded random cases. On failure the
+/// case index and seed are printed before the panic propagates, so the run
+/// reproduces with `Rng::new(seed)`.
+pub fn check(name: &str, cases: u64, mut f: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = 0x15C1_5EED_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng::new(seed);
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!("property `{name}` failed at case {case}/{cases} (seed {seed:#x})");
+            resume_unwind(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_in_range() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut r = Rng::new(9);
+        for _ in 0..1000 {
+            let v = r.i32_in(-3, 5);
+            assert!((-3..=5).contains(&v));
+            let u = r.usize_in(2, 2);
+            assert_eq!(u, 2);
+            let x = r.f64_in(0.25, 0.5);
+            assert!((0.25..0.5).contains(&x));
+            let w = r.weighted(&[3, 1, 1]);
+            assert!(w < 3);
+        }
+        // Full-width ranges must not overflow intermediate arithmetic.
+        let big = r.u32_in(u32::MAX - 1, u32::MAX);
+        assert!(big >= u32::MAX - 1);
+    }
+
+    #[test]
+    fn check_runs_every_case() {
+        let mut n = 0;
+        check("counter", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+}

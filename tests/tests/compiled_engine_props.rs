@@ -1,0 +1,256 @@
+//! Property tests for the compiled bytecode engine: `Simulator::step`/`run`
+//! (and the quantised variant) must match the tree-walking golden reference
+//! **bit for bit** — on random expressions over every operator, every border
+//! mode, random frame shapes, and every built-in algorithm.
+
+use isl_tests::prop::{check, Rng};
+
+use isl_hls::ir::{BinaryOp, Expr, FieldId, FieldKind, Offset, StencilPattern, UnaryOp};
+use isl_hls::prelude::*;
+use isl_hls::sim::synthetic;
+use isl_hls::sim::Quantizer;
+
+/// Random expression over every op kind, any declared field, bounded depth
+/// and radius ≤ 2. Values may blow up under iteration — irrelevant here,
+/// since Inf/NaN must propagate identically through both engines.
+fn arb_expr(rng: &mut Rng, fields: &[FieldId], n_params: usize, depth: u32) -> Expr {
+    let leaf = |rng: &mut Rng| {
+        match rng.weighted(&[4, 2, if n_params > 0 { 2 } else { 0 }]) {
+            0 => {
+                let f = fields[rng.usize_in(0, fields.len() - 1)];
+                Expr::input(f, Offset::d2(rng.i32_in(-2, 2), rng.i32_in(-2, 2)))
+            }
+            1 => Expr::constant((rng.f64_in(-2.0, 2.0) * 8.0).round() / 8.0),
+            _ => Expr::param(isl_hls::ir::ParamId::new(
+                rng.usize_in(0, n_params - 1) as u16
+            )),
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.weighted(&[3, 5, 2, 2]) {
+        0 => leaf(rng),
+        1 => {
+            let op = [
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::Mul,
+                BinaryOp::Div,
+                BinaryOp::Min,
+                BinaryOp::Max,
+                BinaryOp::Lt,
+                BinaryOp::Le,
+                BinaryOp::Gt,
+                BinaryOp::Ge,
+            ][rng.usize_in(0, 9)];
+            let lhs = arb_expr(rng, fields, n_params, depth - 1);
+            let rhs = arb_expr(rng, fields, n_params, depth - 1);
+            Expr::binary(op, lhs, rhs)
+        }
+        2 => {
+            let op = [UnaryOp::Neg, UnaryOp::Abs, UnaryOp::Sqrt][rng.usize_in(0, 2)];
+            Expr::unary(op, arb_expr(rng, fields, n_params, depth - 1))
+        }
+        _ => {
+            let c = arb_expr(rng, fields, n_params, depth - 1);
+            let t = arb_expr(rng, fields, n_params, depth - 1);
+            let e = arb_expr(rng, fields, n_params, depth - 1);
+            Expr::select(c, t, e)
+        }
+    }
+}
+
+/// Random pattern: 1–3 fields (first dynamic, rest mixed), 0–2 parameters,
+/// one random update per dynamic field.
+fn arb_pattern(rng: &mut Rng) -> StencilPattern {
+    let mut p = StencilPattern::new(2).with_name("vmrand");
+    let n_fields = rng.usize_in(1, 3);
+    let mut ids = Vec::new();
+    for i in 0..n_fields {
+        let kind = if i == 0 || rng.bool() {
+            FieldKind::Dynamic
+        } else {
+            FieldKind::Static
+        };
+        ids.push((p.add_field(format!("f{i}"), kind), kind));
+    }
+    let n_params = rng.usize_in(0, 2);
+    for j in 0..n_params {
+        p.add_param(format!("p{j}"), (rng.f64_in(-1.0, 1.0) * 8.0).round() / 8.0);
+    }
+    let all_ids: Vec<FieldId> = ids.iter().map(|(id, _)| *id).collect();
+    for (id, kind) in &ids {
+        if *kind == FieldKind::Dynamic {
+            let depth = rng.u32_in(1, 4);
+            let e = arb_expr(rng, &all_ids, n_params, depth);
+            p.set_update(*id, e).expect("dynamic field");
+        }
+    }
+    p
+}
+
+fn arb_border(rng: &mut Rng) -> BorderMode {
+    match rng.weighted(&[1, 1, 1, 1]) {
+        0 => BorderMode::Clamp,
+        1 => BorderMode::Mirror,
+        2 => BorderMode::Wrap,
+        _ => BorderMode::Constant(rng.f64_in(-1.0, 1.0)),
+    }
+}
+
+fn frames_for(p: &StencilPattern, w: usize, h: usize, seed: u64) -> FrameSet {
+    FrameSet::from_frames(
+        p.fields()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| synthetic::noise(w, h, seed ^ (i as u64) << 32))
+            .collect(),
+    )
+    .expect("congruent")
+}
+
+fn assert_bitwise_eq(a: &FrameSet, b: &FrameSet, what: &str) {
+    assert_eq!(a.len(), b.len());
+    for fi in 0..a.len() {
+        for (i, (x, y)) in a
+            .frame(fi)
+            .as_slice()
+            .iter()
+            .zip(b.frame(fi).as_slice())
+            .enumerate()
+        {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: field {fi} slot {i}: {x} ({:#x}) vs {y} ({:#x})",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+}
+
+/// The compiled engine equals `Expr::eval` bit-for-bit on random patterns,
+/// frames, borders and thread counts.
+#[test]
+fn compiled_step_matches_tree_walk_bitwise() {
+    check("compiled_step_matches_tree_walk_bitwise", 96, |rng| {
+        let pattern = arb_pattern(rng);
+        let border = arb_border(rng);
+        let (w, h) = (rng.usize_in(1, 24), rng.usize_in(1, 24));
+        let threads = rng.usize_in(1, 4);
+        let iters = rng.u32_in(1, 3);
+        let sim = Simulator::new(&pattern)
+            .expect("valid pattern")
+            .with_border(border)
+            .with_threads(threads);
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let compiled = sim.run(&init, iters).expect("compiled runs");
+        let reference = sim.run_reference(&init, iters).expect("reference runs");
+        assert_bitwise_eq(
+            &compiled,
+            &reference,
+            &format!("{w}x{h} border {border} threads {threads}"),
+        );
+    });
+}
+
+/// Every built-in algorithm, every border mode: compiled == reference,
+/// bit for bit, over several iterations.
+#[test]
+fn builtin_algorithms_match_bitwise() {
+    for algo in isl_hls::algorithms::all() {
+        let (pattern, _) = algo.compile().expect("builtin compiles");
+        for border in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Wrap,
+            BorderMode::Constant(0.5),
+        ] {
+            let sim = Simulator::new(&pattern)
+                .expect("valid pattern")
+                .with_border(border);
+            let init = frames_for(&pattern, 23, 17, 0xA1C0 ^ algo.name.len() as u64);
+            let compiled = sim.run(&init, 4).expect("compiled runs");
+            let reference = sim.run_reference(&init, 4).expect("reference runs");
+            assert_bitwise_eq(
+                &compiled,
+                &reference,
+                &format!("{} border {border}", algo.name),
+            );
+        }
+    }
+}
+
+/// The quantised compiled engine (per-operation rounding) equals the
+/// quantised tree walk bit for bit — for random patterns and the builtins.
+#[test]
+fn quantized_engine_matches_reference_bitwise() {
+    check("quantized_engine_matches_reference_bitwise", 48, |rng| {
+        let pattern = arb_pattern(rng);
+        let border = arb_border(rng);
+        let (w, h) = (rng.usize_in(1, 16), rng.usize_in(1, 16));
+        let q = Quantizer::new(rng.u32_in(10, 30), rng.u32_in(4, 9));
+        let sim = Simulator::new(&pattern)
+            .expect("valid pattern")
+            .with_border(border);
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let compiled = sim.run_quantized(&init, 2, q).expect("compiled runs");
+        let reference = sim
+            .run_quantized_reference(&init, 2, q)
+            .expect("reference runs");
+        assert_bitwise_eq(&compiled, &reference, &format!("{w}x{h} border {border}"));
+    });
+    for algo in isl_hls::algorithms::all() {
+        let (pattern, _) = algo.compile().expect("builtin compiles");
+        let sim = Simulator::new(&pattern).expect("valid pattern");
+        let init = frames_for(&pattern, 13, 11, 99);
+        let q = Quantizer::q18_10();
+        let compiled = sim.run_quantized(&init, 3, q).expect("compiled runs");
+        let reference = sim
+            .run_quantized_reference(&init, 3, q)
+            .expect("reference runs");
+        assert_bitwise_eq(&compiled, &reference, algo.name);
+    }
+}
+
+/// `run_until_converged` (now on the compiled engine) still reaches the same
+/// fixed point and report as stepping the reference engine by hand.
+#[test]
+fn convergence_on_compiled_engine_matches_reference() {
+    let mut p = StencilPattern::new(2).with_name("damped");
+    let f = p.add_field("f", FieldKind::Dynamic);
+    let avg = Expr::binary(
+        BinaryOp::Mul,
+        Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]),
+        Expr::constant(0.125),
+    );
+    let update = Expr::binary(
+        BinaryOp::Add,
+        Expr::binary(
+            BinaryOp::Mul,
+            Expr::input(f, Offset::ZERO),
+            Expr::constant(0.5),
+        ),
+        avg,
+    );
+    p.set_update(f, update).unwrap();
+    let sim = Simulator::new(&p).unwrap();
+    let init = FrameSet::from_frames(vec![synthetic::noise(12, 9, 3)]).unwrap();
+    let (fixed, report) = sim.run_until_converged(&init, 1e-8, 10_000).unwrap();
+    assert!(report.converged);
+    let by_hand = sim.run_reference(&init, report.iterations).unwrap();
+    for (x, y) in fixed
+        .frame(0)
+        .as_slice()
+        .iter()
+        .zip(by_hand.frame(0).as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -2,7 +2,7 @@
 //! independent oracle for cone construction, and fixed-point convergence
 //! (the "potentially unbounded" ISL variant of Section 2).
 
-use proptest::prelude::*;
+use isl_tests::prop::{check, Rng};
 
 use isl_hls::ir::{
     BinaryOp, Cone, Expr, FieldId, FieldKind, Offset, Point, StencilPattern, Window,
@@ -64,41 +64,34 @@ fn three_dimensional_cones_synthesize() {
 
 // -- composition as a cone oracle ---------------------------------------------
 
-fn arb_simple_pattern() -> impl Strategy<Value = StencilPattern> {
-    prop::collection::vec(
-        ((-1i32..=1, -1i32..=1), 1u32..8),
-        2..5,
-    )
-    .prop_map(|taps| {
-        let mut p = StencilPattern::new(2).with_name("randc");
-        let f = p.add_field("f", FieldKind::Dynamic);
-        let terms: Vec<Expr> = taps
-            .iter()
-            .map(|((dx, dy), w)| {
-                Expr::binary(
-                    BinaryOp::Mul,
-                    Expr::input(f, Offset::d2(*dx, *dy)),
-                    Expr::constant(f64::from(*w) / 16.0),
-                )
-            })
-            .collect();
-        p.set_update(f, Expr::sum(terms)).expect("valid field");
-        p
-    })
+fn arb_simple_pattern(rng: &mut Rng) -> StencilPattern {
+    let mut p = StencilPattern::new(2).with_name("randc");
+    let f = p.add_field("f", FieldKind::Dynamic);
+    let n = rng.usize_in(2, 4);
+    let terms: Vec<Expr> = (0..n)
+        .map(|_| {
+            let (dx, dy) = (rng.i32_in(-1, 1), rng.i32_in(-1, 1));
+            let w = rng.u32_in(1, 7);
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::input(f, Offset::d2(dx, dy)),
+                Expr::constant(f64::from(w) / 16.0),
+            )
+        })
+        .collect();
+    p.set_update(f, Expr::sum(terms)).expect("valid field");
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// `Cone(p, w, m)` and `Cone(p^m, w, 1)` compute the same function —
-    /// two completely different code paths (level-wise memoised expansion
-    /// vs. algebraic substitution) must agree.
-    #[test]
-    fn composed_pattern_matches_deep_cone(
-        pattern in arb_simple_pattern(),
-        m in 1u32..4,
-        seed in 0u64..500,
-    ) {
+/// `Cone(p, w, m)` and `Cone(p^m, w, 1)` compute the same function —
+/// two completely different code paths (level-wise memoised expansion
+/// vs. algebraic substitution) must agree.
+#[test]
+fn composed_pattern_matches_deep_cone() {
+    check("composed_pattern_matches_deep_cone", 32, |rng| {
+        let pattern = arb_simple_pattern(rng);
+        let m = rng.u32_in(1, 3);
+        let seed = rng.u64() % 500;
         let composed = pattern.composed(m).expect("composable");
         let deep = Cone::build(&pattern, Window::square(2), m).expect("builds");
         let flat = Cone::build(&composed, Window::square(2), 1).expect("builds");
@@ -110,20 +103,24 @@ proptest! {
         };
         let a = deep.eval(read, &[]);
         let b = flat.eval(read, &[]);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for ((fa, pa, va), (fb, pb, vb)) in a.iter().zip(b.iter()) {
-            prop_assert_eq!((fa, pa), (fb, pb));
-            prop_assert!((va - vb).abs() < 1e-9, "{} vs {}", va, vb);
+            assert_eq!((fa, pa), (fb, pb));
+            assert!((va - vb).abs() < 1e-9, "{} vs {}", va, vb);
         }
-    }
+    });
+}
 
-    /// Composed radius: r(p^m) <= m · r(p), with equality for patterns whose
-    /// extremal taps survive (weights here are strictly positive).
-    #[test]
-    fn composed_radius_bound(pattern in arb_simple_pattern(), m in 1u32..5) {
+/// Composed radius: r(p^m) <= m · r(p), with equality for patterns whose
+/// extremal taps survive (weights here are strictly positive).
+#[test]
+fn composed_radius_bound() {
+    check("composed_radius_bound", 32, |rng| {
+        let pattern = arb_simple_pattern(rng);
+        let m = rng.u32_in(1, 4);
         let composed = pattern.composed(m).expect("composable");
-        prop_assert!(composed.radius() <= m * pattern.radius());
-    }
+        assert!(composed.radius() <= m * pattern.radius());
+    });
 }
 
 // -- fixed-point iteration ----------------------------------------------------

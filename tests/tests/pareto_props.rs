@@ -2,25 +2,29 @@
 //! sound (no dominated point on the front) and complete (every off-front
 //! point is dominated) for arbitrary point clouds.
 
-use proptest::prelude::*;
+use isl_tests::prop::{check, Rng};
 
 use isl_hls::dse::{dominates, pareto_front};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_points(rng: &mut Rng, min: usize, max: usize) -> Vec<(f64, f64)> {
+    let n = rng.usize_in(min, max);
+    (0..n)
+        .map(|_| (rng.f64_in(1.0, 1000.0), rng.f64_in(1.0, 1000.0)))
+        .collect()
+}
 
-    #[test]
-    fn front_is_sound_and_complete(
-        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..120)
-    ) {
+#[test]
+fn front_is_sound_and_complete() {
+    check("front_is_sound_and_complete", 128, |rng| {
+        let points = arb_points(rng, 1, 119);
         let front = pareto_front(&points);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
 
         // Soundness.
         for &i in &front {
             for (j, &p) in points.iter().enumerate() {
                 if i != j {
-                    prop_assert!(
+                    assert!(
                         !dominates(p, points[i]),
                         "point {j} {:?} dominates front member {i} {:?}",
                         p,
@@ -38,38 +42,42 @@ proptest! {
             let covered = front
                 .iter()
                 .any(|&i| dominates(points[i], p) || points[i] == p);
-            prop_assert!(covered, "point {j} {p:?} neither dominated nor duplicate");
+            assert!(covered, "point {j} {p:?} neither dominated nor duplicate");
         }
-    }
+    });
+}
 
-    #[test]
-    fn front_is_a_staircase(
-        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..120)
-    ) {
+#[test]
+fn front_is_a_staircase() {
+    check("front_is_a_staircase", 128, |rng| {
+        let points = arb_points(rng, 1, 119);
         let front = pareto_front(&points);
         let coords: Vec<(f64, f64)> = front.iter().map(|&i| points[i]).collect();
         for w in coords.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "areas must strictly increase");
-            prop_assert!(w[0].1 > w[1].1, "times must strictly decrease");
+            assert!(w[0].0 < w[1].0, "areas must strictly increase");
+            assert!(w[0].1 > w[1].1, "times must strictly decrease");
         }
-    }
+    });
+}
 
-    #[test]
-    fn front_invariant_under_permutation(
-        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 2..60),
-        rotation in 0usize..59,
-    ) {
+#[test]
+fn front_invariant_under_permutation() {
+    check("front_invariant_under_permutation", 128, |rng| {
+        let points = arb_points(rng, 2, 59);
+        let rotation = rng.usize_in(0, 58);
         let mut rotated = points.clone();
-        rotated.rotate_left(rotation % points.len());
+        let k = rotation % points.len();
+        rotated.rotate_left(k);
         let a: Vec<(f64, f64)> = pareto_front(&points).iter().map(|&i| points[i]).collect();
         let b: Vec<(f64, f64)> = pareto_front(&rotated).iter().map(|&i| rotated[i]).collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn adding_a_dominated_point_changes_nothing(
-        points in prop::collection::vec((1.0f64..1000.0, 1.0f64..1000.0), 1..60),
-    ) {
+#[test]
+fn adding_a_dominated_point_changes_nothing() {
+    check("adding_a_dominated_point_changes_nothing", 128, |rng| {
+        let points = arb_points(rng, 1, 59);
         let base: Vec<(f64, f64)> = pareto_front(&points).iter().map(|&i| points[i]).collect();
         // A point dominated by the first front member.
         let (a, t) = base[0];
@@ -77,6 +85,6 @@ proptest! {
         extended.push((a + 1.0, t + 1.0));
         let after: Vec<(f64, f64)> =
             pareto_front(&extended).iter().map(|&i| extended[i]).collect();
-        prop_assert_eq!(base, after);
-    }
+        assert_eq!(base, after);
+    });
 }
