@@ -1,5 +1,7 @@
 //! Interpreted vs compiled simulation engine, the headline perf comparison
-//! of the bytecode VM work: gaussian IGF and Chambolle at 256×256.
+//! of the bytecode VM work: gaussian IGF and Chambolle at 256×256, through
+//! all three execution semantics — golden whole-frame, tiled
+//! (cone-architecture) and cone-DAG.
 //!
 //! Always writes `BENCH_sim.json` at the workspace root with the measured
 //! times and speedups so the perf trajectory of the engine can be tracked
@@ -14,6 +16,12 @@ use isl_hls::sim::synthetic;
 
 const SIZE: usize = 256;
 const ITERS: u32 = 10;
+/// Architecture shapes used for the tiled / cone-DAG cases (chosen near
+/// the paper's sweet spots: wide windows amortise tiled halo recompute,
+/// small windows stress per-tile dispatch on the cone-DAG path).
+const TILE_TILED: u32 = 16;
+const TILE_CONE: u32 = 8;
+const DEPTH: u32 = 2;
 
 struct Case {
     name: &'static str,
@@ -45,10 +53,10 @@ fn cases() -> Vec<Case> {
     ]
 }
 
-/// Median-of-3 wall time of one full run.
+/// Median-of-5 wall time of one full run.
 fn time_runs(mut f: impl FnMut() -> FrameSet) -> (f64, FrameSet) {
     let out = f();
-    let mut times: Vec<f64> = (0..3)
+    let mut times: Vec<f64> = (0..5)
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
@@ -56,56 +64,141 @@ fn time_runs(mut f: impl FnMut() -> FrameSet) -> (f64, FrameSet) {
         })
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (times[1], out)
+    (times[2], out)
+}
+
+struct Row {
+    name: String,
+    interpreted_ms: f64,
+    compiled_1t_ms: f64,
+    compiled_auto_ms: f64,
+}
+
+impl Row {
+    fn json(&self, last: bool) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_1t_ms\": {:.3}, \"compiled_auto_ms\": {:.3}, \"speedup_1t\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
+            self.name,
+            self.interpreted_ms,
+            self.compiled_1t_ms,
+            self.compiled_auto_ms,
+            self.interpreted_ms / self.compiled_1t_ms,
+            self.interpreted_ms / self.compiled_auto_ms,
+            if last { "" } else { "," }
+        )
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<24} interpreted {:>8.2} ms | compiled(1t) {:>7.2} ms ({:>5.1}x) | compiled(auto) {:>7.2} ms ({:>5.1}x)",
+            self.name,
+            self.interpreted_ms,
+            self.compiled_1t_ms,
+            self.interpreted_ms / self.compiled_1t_ms,
+            self.compiled_auto_ms,
+            self.interpreted_ms / self.compiled_auto_ms,
+        );
+    }
+}
+
+/// Measure one semantics (reference vs compiled 1t vs compiled auto).
+fn measure(
+    name: String,
+    reference: impl Fn(&Simulator<'_>) -> FrameSet,
+    compiled: impl Fn(&Simulator<'_>) -> FrameSet,
+    pattern: &StencilPattern,
+) -> Row {
+    let interp = Simulator::new(pattern).expect("valid").with_threads(1);
+    let compiled1 = Simulator::new(pattern).expect("valid").with_threads(1);
+    let compiledn = Simulator::new(pattern).expect("valid").with_threads(0);
+    let (t_interp, a) = time_runs(|| reference(&interp));
+    let (t_vm1, b) = time_runs(|| compiled(&compiled1));
+    let (t_vmn, c) = time_runs(|| compiled(&compiledn));
+    assert_eq!(a, b, "{name}: compiled engine diverged");
+    assert_eq!(a, c, "{name}: parallel engine diverged");
+    Row {
+        name,
+        interpreted_ms: t_interp * 1e3,
+        compiled_1t_ms: t_vm1 * 1e3,
+        compiled_auto_ms: t_vmn * 1e3,
+    }
 }
 
 fn main() {
     let mut c = Criterion::default();
-    let mut json = String::from("{\n  \"frame\": [256, 256],\n  \"iterations\": 10,\n  \"cases\": [\n");
     let cases = cases();
-    for (i, case) in cases.iter().enumerate() {
-        let interp = Simulator::new(&case.pattern).expect("valid").with_threads(1);
-        let compiled1 = Simulator::new(&case.pattern).expect("valid").with_threads(1);
-        let compiledn = Simulator::new(&case.pattern).expect("valid").with_threads(0);
-
-        let (t_interp, a) = time_runs(|| interp.run_reference(&case.init, ITERS).expect("runs"));
-        let (t_vm1, b) = time_runs(|| compiled1.run(&case.init, ITERS).expect("runs"));
-        let (t_vmn, c_out) = time_runs(|| compiledn.run(&case.init, ITERS).expect("runs"));
-        assert_eq!(a, b, "{}: compiled engine diverged", case.name);
-        assert_eq!(a, c_out, "{}: parallel engine diverged", case.name);
-
-        let speedup1 = t_interp / t_vm1;
-        let speedupn = t_interp / t_vmn;
-        println!(
-            "{:<18} interpreted {:>8.2} ms | compiled(1t) {:>7.2} ms ({:>5.1}x) | compiled(auto) {:>7.2} ms ({:>5.1}x)",
-            case.name,
-            t_interp * 1e3,
-            t_vm1 * 1e3,
-            speedup1,
-            t_vmn * 1e3,
-            speedupn
+    let tiled_window = Window::square(TILE_TILED);
+    let cone_window = Window::square(TILE_CONE);
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &cases {
+        // Golden whole-frame semantics: tree-walk vs bytecode VM.
+        let row = measure(
+            case.name.to_string(),
+            |s| s.run_reference(&case.init, ITERS).expect("runs"),
+            |s| s.run(&case.init, ITERS).expect("runs"),
+            &case.pattern,
         );
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_1t_ms\": {:.3}, \"compiled_auto_ms\": {:.3}, \"speedup_1t\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
-            case.name,
-            t_interp * 1e3,
-            t_vm1 * 1e3,
-            t_vmn * 1e3,
-            speedup1,
-            speedupn,
-            if i + 1 < cases.len() { "," } else { "" }
-        ));
+        row.print();
+        rows.push(row);
+
+        // Tiled (cone-architecture) semantics: per-pixel tree-walk levels
+        // vs compiled halo-buffer levels.
+        let row = measure(
+            format!("tiled_{}", case.name),
+            |s| {
+                s.run_tiled_reference(&case.init, ITERS, tiled_window, DEPTH)
+                    .expect("runs")
+            },
+            |s| {
+                s.run_tiled(&case.init, ITERS, tiled_window, DEPTH)
+                    .expect("runs")
+            },
+            &case.pattern,
+        );
+        row.print();
+        rows.push(row);
+
+        // Cone-DAG semantics: graph interpreter vs lowered cone bytecode.
+        let row = measure(
+            format!("cone_dag_{}", case.name),
+            |s| {
+                s.run_cone_dag_reference(&case.init, ITERS, cone_window, DEPTH)
+                    .expect("runs")
+            },
+            |s| {
+                s.run_cone_dag(&case.init, ITERS, cone_window, DEPTH)
+                    .expect("runs")
+            },
+            &case.pattern,
+        );
+        row.print();
+        rows.push(row);
 
         // Also register per-step timings with the harness for uniform output.
+        let interp = Simulator::new(&case.pattern).expect("valid").with_threads(1);
         let small = small_for(&case.pattern, 64, 64);
         let mut g = c.benchmark_group(case.name);
         g.bench_function("interpreted_step_64", |b| {
             b.iter(|| interp.step_reference(&small).expect("runs"))
         });
         g.bench_function("compiled_step_64", |b| {
-            b.iter(|| compiled1.step(&small).expect("runs"))
+            b.iter(|| interp.step(&small).expect("runs"))
+        });
+        g.bench_function("compiled_tiled_64", |b| {
+            b.iter(|| {
+                interp
+                    .run_tiled(&small, 1, Window::square(8), 1)
+                    .expect("runs")
+            })
         });
         g.finish();
+    }
+
+    let mut json = format!(
+        "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&row.json(i + 1 == rows.len()));
     }
     json.push_str("  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the

@@ -249,6 +249,24 @@ impl IslFlow {
     pub fn simulator(&self) -> Result<Simulator<'_>, FlowError> {
         Ok(Simulator::new(&self.pattern)?.with_border(self.border))
     }
+
+    /// Run this ISL's full iteration count on `init` through the compiled
+    /// tiled engine with the exact window/depth decomposition of `arch` —
+    /// i.e. simulate what the explored architecture instance computes.
+    /// Bit-identical to the golden run for local border modes.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Simulation`] for unsupported ranks, non-local borders,
+    /// or mismatched frame sets.
+    pub fn run_architecture(
+        &self,
+        init: &isl_sim::FrameSet,
+        arch: Architecture,
+    ) -> Result<isl_sim::FrameSet, FlowError> {
+        let sim = self.simulator()?;
+        Ok(sim.run_tiled(init, self.iterations, arch.window, arch.depth)?)
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +322,25 @@ void blur(const float in[H][W], float out[H][W]) {
             .run_tiled(&init, flow.iterations(), Window::square(4), 3)
             .unwrap();
         assert!(golden.max_abs_diff(&tiled) < 1e-12);
+    }
+
+    #[test]
+    fn explored_architecture_simulates_to_golden() {
+        // The DSE → simulation loop: pick the fastest explored instance and
+        // execute exactly its window/depth decomposition on frames.
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(2..=4, 1..=3, 2);
+        let result = flow.explore(&device, flow.workload(64, 48), &space).unwrap();
+        let best = result.fastest().unwrap();
+        let init = FrameSet::from_frames(vec![synthetic::noise(64, 48, 11)]).unwrap();
+        let by_arch = flow.run_architecture(&init, best.arch).unwrap();
+        let golden = flow
+            .simulator()
+            .unwrap()
+            .run(&init, flow.iterations())
+            .unwrap();
+        assert_eq!(by_arch, golden);
     }
 
     #[test]

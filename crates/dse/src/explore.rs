@@ -242,17 +242,48 @@ impl<'d> Explorer<'d> {
         all_depths.sort_unstable();
         all_depths.dedup();
 
-        // Calibrate one area estimator per depth (2 syntheses each) and
-        // pre-compute cone registers/latency per (side, depth).
+        // Calibration windows: the smallest and largest side of the space
+        // (or two adjacent sides when the space has only one).
         let calib_sides = [space.window_sides[0], *space.window_sides.last().expect("non-empty")];
         let calib_windows: Vec<Window> = if calib_sides[0] == calib_sides[1] {
             vec![Window::square(calib_sides[0]), Window::square(calib_sides[0] + 1)]
         } else {
             calib_sides.iter().map(|&s| Window::square(s)).collect()
         };
+
+        // Build each *calibration* cone exactly once and reuse it for both
+        // the calibration syntheses and the facts pass below — those were
+        // the shapes previously constructed twice, and calibration
+        // dominates big sweeps. Only these few cones (2 windows × depths)
+        // are kept resident; the rest of the facts cones stay transient so
+        // peak memory matches a plain sweep.
+        let calib_shapes: Vec<(Window, u32)> = calib_windows
+            .iter()
+            .flat_map(|&w| all_depths.iter().map(move |&d| (w, d)))
+            .collect();
+        let calib_cones: HashMap<(Window, u32), Cone> =
+            par_map(calib_shapes, self.threads, |(w, d)| {
+                Cone::build(pattern, w, d)
+                    .map(|c| ((w, d), c))
+                    .map_err(|e| DseError::Estimate(e.to_string()))
+            })
+            .into_iter()
+            .collect::<Result<_, DseError>>()?;
+
+        // Calibrate one area estimator per depth (2 syntheses each). The
+        // shared cones are built with simplification on (the flow default);
+        // under the ablation options the synthesiser needs raw cones, so
+        // calibration falls back to building its own.
+        let share_cones = self.synth_options.simplify;
         let estimators: HashMap<u32, AreaEstimator> =
             par_map(all_depths.clone(), self.threads, |d| {
-                AreaEstimator::calibrate(&synth, pattern, d, &calib_windows).map(|e| (d, e))
+                if share_cones {
+                    let calib: Vec<&Cone> =
+                        calib_windows.iter().map(|w| &calib_cones[&(*w, d)]).collect();
+                    AreaEstimator::calibrate_with_cones(&synth, pattern, &calib).map(|e| (d, e))
+                } else {
+                    AreaEstimator::calibrate(&synth, pattern, d, &calib_windows).map(|e| (d, e))
+                }
             })
             .into_iter()
             .collect::<Result<_, EstimateError>>()?;
@@ -263,15 +294,24 @@ impl<'d> Explorer<'d> {
             latency: u32,
             est_luts: f64,
         }
-        // Cone construction per (side, depth) is independent — fan it out.
+        // Facts per (side, depth): reuse a calibration cone when the shape
+        // matches, build transiently otherwise.
         let shapes: Vec<(u32, u32)> = space
             .window_sides
             .iter()
             .flat_map(|&side| all_depths.iter().map(move |&d| (side, d)))
             .collect();
         let facts: HashMap<(u32, u32), ConeFacts> = par_map(shapes, self.threads, |(side, d)| {
-            let cone = Cone::build(pattern, Window::square(side), d)
-                .map_err(|e| DseError::Estimate(e.to_string()))?;
+            let w = Window::square(side);
+            let built;
+            let cone = match calib_cones.get(&(w, d)) {
+                Some(c) => c,
+                None => {
+                    built = Cone::build(pattern, w, d)
+                        .map_err(|e| DseError::Estimate(e.to_string()))?;
+                    &built
+                }
+            };
             let est = &estimators[&d];
             Ok((
                 (side, d),
@@ -284,6 +324,7 @@ impl<'d> Explorer<'d> {
         })
         .into_iter()
         .collect::<Result<_, DseError>>()?;
+        drop(calib_cones);
 
         // Enumerate instances in parallel, one task per (side, depth) pair.
         // Pairs are mapped in input order and concatenated in that order, so

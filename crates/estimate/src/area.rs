@@ -39,10 +39,42 @@ impl AreaEstimator {
         if calibration_windows.len() < 2 {
             return Err(EstimateError::NotEnoughCalibration(calibration_windows.len()));
         }
+        let cones = calibration_windows
+            .iter()
+            .map(|w| {
+                Cone::build_with(pattern, *w, depth, synth.options().simplify)
+                    .map_err(|e| EstimateError::Synth(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::calibrate_with_cones(synth, pattern, &cones.iter().collect::<Vec<_>>())
+    }
+
+    /// [`AreaEstimator::calibrate`] over **already-built** calibration cones
+    /// (all of one depth, built with the synthesiser's `simplify` option).
+    /// Callers that construct the same cones for other passes — the design-
+    /// space explorer's facts pass — share them instead of rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AreaEstimator::calibrate`].
+    pub fn calibrate_with_cones(
+        synth: &Synthesizer<'_>,
+        pattern: &StencilPattern,
+        cones: &[&Cone],
+    ) -> Result<Self, EstimateError> {
+        if cones.len() < 2 {
+            return Err(EstimateError::NotEnoughCalibration(cones.len()));
+        }
+        debug_assert!(
+            cones.windows(2).all(|c| c[0].depth() == c[1].depth()),
+            "calibration cones must share one depth"
+        );
         let size_reg = synth.options().format.width as f64;
-        let mut points: Vec<(u64, f64)> = Vec::with_capacity(calibration_windows.len());
-        for w in calibration_windows {
-            let report = synth.synthesize(pattern, *w, depth, 1)?;
+        let mut points: Vec<(u64, f64)> = Vec::with_capacity(cones.len());
+        for cone in cones {
+            let report = synth
+                .synthesize_cone(pattern, cone, 1)
+                .map_err(EstimateError::from)?;
             points.push((report.registers, report.luts as f64));
         }
         points.sort_by_key(|(r, _)| *r);
@@ -67,7 +99,7 @@ impl AreaEstimator {
             size_reg,
             anchor_area: a0,
             anchor_registers: reg0,
-            syntheses_used: calibration_windows.len(),
+            syntheses_used: cones.len(),
         })
     }
 

@@ -162,7 +162,28 @@ impl<'d> Synthesizer<'d> {
         cones: u32,
     ) -> Result<SynthesisReport, SynthError> {
         let cone = Cone::build_with(pattern, window, depth, self.options.simplify)?;
-        let single = self.map_cone(&cone);
+        self.synthesize_cone(pattern, &cone, cones)
+    }
+
+    /// [`Synthesizer::synthesize`] over an **already-built** cone, so callers
+    /// that need the cone for other purposes too (the DSE facts pass) do not
+    /// pay construction twice. The cone must have been built with this
+    /// synthesiser's `simplify` option for the report to match
+    /// [`Synthesizer::synthesize`]. `pattern` is only consulted when
+    /// `cones > 1` with inter-cone sharing enabled (the fused-pair probe).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::Cone`] when fused-pair cone construction fails.
+    pub fn synthesize_cone(
+        &self,
+        pattern: &StencilPattern,
+        cone: &Cone,
+        cones: u32,
+    ) -> Result<SynthesisReport, SynthError> {
+        let window = cone.window();
+        let depth = cone.depth();
+        let single = self.map_cone(cone);
 
         // Structural inter-cone sharing: fuse two x-adjacent windows and
         // measure what hash-consing deduplicates.

@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use isl_ir::{BinaryOp, Expr, FieldKind, StencilPattern, UnaryOp};
+use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Leaf, Node, NodeId, StencilPattern, UnaryOp};
 
 /// Index of an instruction; instruction `i` writes virtual register `i`.
 pub(crate) type Reg = u32;
@@ -163,6 +163,41 @@ impl Builder<'_> {
         }
     }
 
+    fn input(&mut self, field: u16, dx: i32, dy: i32) -> Reg {
+        self.push(
+            Key::Input(field, dx, dy),
+            Instr::Input { field, dx, dy },
+        )
+    }
+
+    fn unary(&mut self, op: UnaryOp, a: Reg) -> Reg {
+        if self.fold {
+            if let Some(ca) = self.const_of(a) {
+                return self.constant(op.apply(ca));
+            }
+        }
+        self.push(Key::Unary(op, a), Instr::Unary { op, a })
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: Reg, b: Reg) -> Reg {
+        if self.fold {
+            if let (Some(ca), Some(cb)) = (self.const_of(a), self.const_of(b)) {
+                return self.constant(op.apply(ca, cb));
+            }
+        }
+        self.push(Key::Binary(op, a, b), Instr::Binary { op, a, b })
+    }
+
+    fn select(&mut self, c: Reg, t: Reg, e: Reg) -> Reg {
+        if self.fold {
+            if let Some(cc) = self.const_of(c) {
+                // Mirror the interpreter's lazy branch choice.
+                return if cc != 0.0 { t } else { e };
+            }
+        }
+        self.push(Key::Select(c, t, e), Instr::Select { c, t, e })
+    }
+
     fn lower(&mut self, expr: &Expr) -> Reg {
         match expr {
             Expr::Input { field, offset } => {
@@ -171,42 +206,24 @@ impl Builder<'_> {
                     "the compiled frame engine supports rank 1 and 2 only"
                 );
                 let f = u16::try_from(field.index()).expect("field id fits u16");
-                self.push(
-                    Key::Input(f, offset.dx, offset.dy),
-                    Instr::Input {
-                        field: f,
-                        dx: offset.dx,
-                        dy: offset.dy,
-                    },
-                )
+                self.input(f, offset.dx, offset.dy)
             }
             Expr::Const(v) => self.constant(*v),
             Expr::Param(p) => self.constant(self.params[p.index()]),
             Expr::Unary { op, arg } => {
                 let a = self.lower(arg);
-                if self.fold {
-                    if let Some(ca) = self.const_of(a) {
-                        return self.constant(op.apply(ca));
-                    }
-                }
-                self.push(Key::Unary(*op, a), Instr::Unary { op: *op, a })
+                self.unary(*op, a)
             }
             Expr::Binary { op, lhs, rhs } => {
                 let a = self.lower(lhs);
                 let b = self.lower(rhs);
-                if self.fold {
-                    if let (Some(ca), Some(cb)) = (self.const_of(a), self.const_of(b)) {
-                        return self.constant(op.apply(ca, cb));
-                    }
-                }
-                self.push(Key::Binary(*op, a, b), Instr::Binary { op: *op, a, b })
+                self.binary(*op, a, b)
             }
             Expr::Select { cond, then_, else_ } => {
                 let c = self.lower(cond);
                 if self.fold {
                     if let Some(cc) = self.const_of(c) {
-                        // Mirror the interpreter's lazy branch choice; the
-                        // untaken branch is never emitted.
+                        // Only the taken branch is ever emitted.
                         return if cc != 0.0 {
                             self.lower(then_)
                         } else {
@@ -216,7 +233,7 @@ impl Builder<'_> {
                 }
                 let t = self.lower(then_);
                 let e = self.lower(else_);
-                self.push(Key::Select(c, t, e), Instr::Select { c, t, e })
+                self.select(c, t, e)
             }
         }
     }
@@ -225,8 +242,95 @@ impl Builder<'_> {
 /// Drop instructions unreachable from `result` (constants orphaned by
 /// folding), remapping operand registers.
 fn eliminate_dead_code(code: Vec<Instr>, result: Reg) -> (Vec<Instr>, Reg) {
+    let (code, mut results) = eliminate_dead_code_multi(code, vec![result]);
+    (code, results.pop().expect("one result in, one result out"))
+}
+
+/// Linear-scan slot allocation over a dead-code-free program: a slot is
+/// freed the moment its value's last consumer has executed, and reused by
+/// later instructions. Returns the program with operands rewritten to slot
+/// indices, the destination slot of each instruction, the result slots, and
+/// the total slot count (peak liveness).
+///
+/// An instruction's destination slot is always distinct from its operand
+/// slots (operands are live *at* the instruction, so their slots cannot be
+/// on the free list when the destination is assigned) — evaluators may rely
+/// on this for aliasing-free in-place execution.
+fn allocate_slots(
+    code: Vec<Instr>,
+    results: Vec<Reg>,
+) -> (Vec<Instr>, Vec<Reg>, Vec<Reg>, usize) {
+    let n = code.len();
+    // Last consumer of each instruction's value (itself if never consumed);
+    // results stay live to the end.
+    let mut last_use: Vec<usize> = (0..n).collect();
+    for (i, instr) in code.iter().enumerate() {
+        let mut touch = |r: Reg| last_use[r as usize] = i;
+        match *instr {
+            Instr::Const(_) | Instr::Input { .. } => {}
+            Instr::Unary { a, .. } => touch(a),
+            Instr::Binary { a, b, .. } => {
+                touch(a);
+                touch(b);
+            }
+            Instr::Select { c, t, e } => {
+                touch(c);
+                touch(t);
+                touch(e);
+            }
+        }
+    }
+    for &r in &results {
+        last_use[r as usize] = usize::MAX;
+    }
+    let mut frees: Vec<Vec<Reg>> = vec![Vec::new(); n];
+    for (r, &lu) in last_use.iter().enumerate() {
+        if lu < n {
+            frees[lu].push(r as Reg);
+        }
+    }
+    let mut slot_of: Vec<Reg> = vec![0; n];
+    let mut free: Vec<Reg> = Vec::new();
+    let mut total: Reg = 0;
+    for i in 0..n {
+        slot_of[i] = free.pop().unwrap_or_else(|| {
+            total += 1;
+            total - 1
+        });
+        for &r in &frees[i] {
+            free.push(slot_of[r as usize]);
+        }
+    }
+    let fix = |r: Reg| slot_of[r as usize];
+    let code = code
+        .into_iter()
+        .map(|instr| match instr {
+            Instr::Const(_) | Instr::Input { .. } => instr,
+            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
+            Instr::Binary { op, a, b } => Instr::Binary {
+                op,
+                a: fix(a),
+                b: fix(b),
+            },
+            Instr::Select { c, t, e } => Instr::Select {
+                c: fix(c),
+                t: fix(t),
+                e: fix(e),
+            },
+        })
+        .collect();
+    let dst = slot_of.clone();
+    let results = results.into_iter().map(fix).collect();
+    (code, dst, results, total as usize)
+}
+
+/// Multi-root dead-code elimination: drop instructions unreachable from any
+/// of `results`, remapping operand registers and the results themselves.
+fn eliminate_dead_code_multi(code: Vec<Instr>, results: Vec<Reg>) -> (Vec<Instr>, Vec<Reg>) {
     let mut live = vec![false; code.len()];
-    live[result as usize] = true;
+    for &r in &results {
+        live[r as usize] = true;
+    }
     for (i, instr) in code.iter().enumerate().rev() {
         if !live[i] {
             continue;
@@ -269,8 +373,8 @@ fn eliminate_dead_code(code: Vec<Instr>, result: Reg) -> (Vec<Instr>, Reg) {
         remap[i] = out.len() as Reg;
         out.push(mapped);
     }
-    let result = remap[result as usize];
-    (out, result)
+    let results = results.into_iter().map(|r| remap[r as usize]).collect();
+    (out, results)
 }
 
 /// The compiled programs of every dynamic field of one pattern, with one
@@ -323,6 +427,203 @@ impl CompiledPattern {
             .flatten()
             .map(CompiledKernel::len)
             .sum()
+    }
+}
+
+/// One output element of a [`CompiledCone`] program: `field` at window-local
+/// `(px, py)`, produced in register `reg`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ConeSlot {
+    pub(crate) field: u16,
+    pub(crate) px: i32,
+    pub(crate) py: i32,
+    pub(crate) reg: Reg,
+}
+
+/// Signed bounding box of everything a cone program touches relative to its
+/// tile origin — all [`Instr::Input`] taps *and* all output points, so a
+/// tile whose reach is in-frame can both gather and scatter unchecked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reach {
+    /// Smallest x touched (≤ 0 for any non-degenerate cone).
+    pub min_dx: i32,
+    /// Largest x touched.
+    pub max_dx: i32,
+    /// Smallest y touched.
+    pub min_dy: i32,
+    /// Largest y touched.
+    pub max_dy: i32,
+}
+
+/// A whole cone level lowered to one flat bytecode program.
+///
+/// Where a [`CompiledKernel`] computes a single field at a single element,
+/// a `CompiledCone` computes **every output element of one depth-`d` cone**
+/// — the multi-iteration module the VHDL backend emits — in one forward
+/// pass: the hash-consed cone [`Graph`](isl_ir::Graph) is walked in
+/// topological order and every reachable node becomes one instruction, with
+/// parameters bound as constants, constant subexpressions folded (with the
+/// exact runtime `f64` operations, so results stay bit-identical) and
+/// common subexpressions shared **across the whole cone** — the software
+/// mirror of the paper's register-reuse rule.
+///
+/// Inputs are [`Instr::Input`] taps at cone-local coordinates relative to
+/// the tile origin; static and dynamic base reads are unified (both read
+/// iteration-0 data under cone semantics).
+///
+/// After lowering, virtual registers are **slot-allocated** (linear scan,
+/// slots freed after their last use): instruction `i` writes `dst[i]` and
+/// operands name slots, not instruction indices. Cone programs run to
+/// thousands of instructions, but only a few hundred values are live at
+/// once, so the evaluator's structure-of-arrays scratch shrinks by an order
+/// of magnitude and stays cache-resident — the software analogue of the
+/// paper's bounded register file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCone {
+    pub(crate) code: Vec<Instr>,
+    /// Destination slot of each instruction (parallel to `code`).
+    pub(crate) dst: Vec<Reg>,
+    pub(crate) outputs: Vec<ConeSlot>,
+    slots: usize,
+    reach: Reach,
+}
+
+impl CompiledCone {
+    /// Lower `cone` with `params` bound as constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-3 cones (the frame engine is 1D/2D; the simulator
+    /// rejects rank-3 patterns before this runs) or an unbound parameter.
+    pub fn compile(cone: &Cone, params: &[f64]) -> Self {
+        let graph = cone.graph();
+        let roots: Vec<NodeId> = cone.outputs().iter().map(|o| o.node).collect();
+        let mask = graph.reachable(&roots);
+        let mut b = Builder {
+            params,
+            fold: true,
+            code: Vec::new(),
+            cse: HashMap::new(),
+        };
+        // NodeIds are dense and topologically ordered, so one forward pass
+        // sees every operand before its users.
+        let mut regs: Vec<Option<Reg>> = vec![None; graph.len()];
+        let reg_of = |regs: &[Option<Reg>], id: NodeId| -> Reg {
+            regs[id.index()].expect("graph ids are topologically ordered")
+        };
+        for (id, node) in graph.nodes() {
+            if !mask[id.index()] {
+                continue;
+            }
+            let r = match node {
+                Node::Leaf(Leaf::Input { field, point })
+                | Node::Leaf(Leaf::Static { field, point }) => {
+                    assert!(point.z == 0, "the compiled cone engine supports rank 1 and 2 only");
+                    let f = u16::try_from(field.index()).expect("field id fits u16");
+                    b.input(f, point.x, point.y)
+                }
+                Node::Leaf(Leaf::Const(c)) => b.constant(c.value()),
+                Node::Leaf(Leaf::Param(p)) => b.constant(params[p.index()]),
+                Node::Unary { op, arg } => {
+                    let a = reg_of(&regs, *arg);
+                    b.unary(*op, a)
+                }
+                Node::Binary { op, lhs, rhs } => {
+                    let (a, bb) = (reg_of(&regs, *lhs), reg_of(&regs, *rhs));
+                    b.binary(*op, a, bb)
+                }
+                Node::Select { cond, then_, else_ } => {
+                    let (c, t, e) = (
+                        reg_of(&regs, *cond),
+                        reg_of(&regs, *then_),
+                        reg_of(&regs, *else_),
+                    );
+                    b.select(c, t, e)
+                }
+            };
+            regs[id.index()] = Some(r);
+        }
+        let result_regs: Vec<Reg> = cone
+            .outputs()
+            .iter()
+            .map(|o| reg_of(&regs, o.node))
+            .collect();
+        let (code, result_regs) = eliminate_dead_code_multi(b.code, result_regs);
+        let (code, dst, result_regs, slots) = allocate_slots(code, result_regs);
+        let outputs: Vec<ConeSlot> = cone
+            .outputs()
+            .iter()
+            .zip(result_regs)
+            .map(|(o, reg)| ConeSlot {
+                field: u16::try_from(o.field.index()).expect("field id fits u16"),
+                px: o.point.x,
+                py: o.point.y,
+                reg,
+            })
+            .collect();
+        // Reach: every tap plus every output point, so interior tiles can
+        // skip both read and write bounds handling.
+        let mut reach = Reach {
+            min_dx: 0,
+            max_dx: 0,
+            min_dy: 0,
+            max_dy: 0,
+        };
+        let mut touch = |x: i32, y: i32| {
+            reach.min_dx = reach.min_dx.min(x);
+            reach.max_dx = reach.max_dx.max(x);
+            reach.min_dy = reach.min_dy.min(y);
+            reach.max_dy = reach.max_dy.max(y);
+        };
+        for instr in &code {
+            if let Instr::Input { dx, dy, .. } = *instr {
+                touch(dx, dy);
+            }
+        }
+        for o in &outputs {
+            touch(o.px, o.py);
+        }
+        CompiledCone {
+            code,
+            dst,
+            outputs,
+            slots,
+            reach,
+        }
+    }
+
+    /// Number of value slots the evaluator needs (peak live registers).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of instructions in the flattened program.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (never: every output emits at least one
+    /// instruction).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Number of output elements (`dynamic fields × window area`).
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of field-read instructions after CSE (deduplicated taps).
+    pub fn input_count(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|i| matches!(i, Instr::Input { .. }))
+            .count()
+    }
+
+    /// The signed coordinate reach of the program around its tile origin.
+    pub fn reach(&self) -> Reach {
+        self.reach
     }
 }
 
@@ -397,6 +698,90 @@ mod tests {
         let k = CompiledKernel::compile(&e, &[], true);
         assert_eq!(k.len(), 1);
         assert_eq!(k.halo(), Halo::default());
+    }
+
+    #[test]
+    fn cone_lowering_shares_and_binds() {
+        use isl_ir::{FieldKind, StencilPattern, Window};
+        // f'(x) = (f(x-1) + f(x) + f(x+1)) * tau, window 4, depth 2: the
+        // compiled cone must share interior adds between adjacent outputs
+        // (input taps deduplicated) and fold tau into constants.
+        let mut p = StencilPattern::new(1).with_name("avg");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let tau = p.add_param("tau", 1.0 / 3.0);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d1(-1)),
+            Expr::input(f, Offset::d1(0)),
+            Expr::input(f, Offset::d1(1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::param(tau)))
+            .unwrap();
+        let cone = Cone::build(&p, Window::line(4), 2).unwrap();
+        let cc = CompiledCone::compile(&cone, &[1.0 / 3.0]);
+        assert_eq!(cc.output_count(), 4);
+        // 4 + 2 * radius * depth unique base taps.
+        assert_eq!(cc.input_count(), 8);
+        let reach = cc.reach();
+        assert_eq!((reach.min_dx, reach.max_dx), (-2, 5));
+        assert_eq!((reach.min_dy, reach.max_dy), (0, 0));
+        // One Const(tau) register, interned.
+        let taus = cc
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Const(v) if (*v - 1.0 / 3.0).abs() < 1e-15))
+            .count();
+        assert_eq!(taus, 1);
+    }
+
+    #[test]
+    fn cone_lowering_matches_graph_eval() {
+        use isl_ir::{FieldId, FieldKind, Point, StencilPattern, Window};
+        let mut p = StencilPattern::new(2).with_name("mix");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let g = p.add_field("g", FieldKind::Static);
+        let e = Expr::binary(
+            BinaryOp::Max,
+            Expr::unary(UnaryOp::Abs, Expr::input(f, isl_ir::Offset::d2(1, -1))),
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::input(g, isl_ir::Offset::d2(0, 1)),
+                Expr::input(f, isl_ir::Offset::d2(-1, 0)),
+            ),
+        );
+        p.set_update(f, e).unwrap();
+        let cone = Cone::build(&p, Window::square(2), 2).unwrap();
+        let cc = CompiledCone::compile(&cone, &[]);
+        let read = |fid: FieldId, pt: Point| {
+            (pt.x * 3 + pt.y * 7) as f64 * 0.25 + fid.index() as f64
+        };
+        let want = cone.eval(read, &[]);
+        // Evaluate the program by hand with the same read function
+        // (operands and destinations name allocated slots).
+        let mut regs = vec![0.0; cc.slots()];
+        for (i, instr) in cc.code.iter().enumerate() {
+            regs[cc.dst[i] as usize] = match *instr {
+                Instr::Const(v) => v,
+                Instr::Input { field, dx, dy } => {
+                    read(FieldId::new(field), Point::d2(dx, dy))
+                }
+                Instr::Unary { op, a } => op.apply(regs[a as usize]),
+                Instr::Binary { op, a, b } => op.apply(regs[a as usize], regs[b as usize]),
+                Instr::Select { c, t, e } => {
+                    if regs[c as usize] != 0.0 {
+                        regs[t as usize]
+                    } else {
+                        regs[e as usize]
+                    }
+                }
+            };
+        }
+        assert_eq!(cc.outputs.len(), want.len());
+        for (slot, (wf, wp, wv)) in cc.outputs.iter().zip(&want) {
+            assert_eq!(slot.field as usize, wf.index());
+            assert_eq!((slot.px, slot.py), (wp.x, wp.y));
+            let got = regs[slot.reg as usize];
+            assert_eq!(got.to_bits(), wv.to_bits(), "({},{})", wp.x, wp.y);
+        }
     }
 
     #[test]

@@ -82,8 +82,17 @@ impl Simulator<'_> {
         }
         let mut state = quantize_set(init, q);
         let program = CompiledPattern::compile(self.pattern(), self.params(), false);
+        let mut spare: Option<FrameSet> = None;
         for _ in 0..iterations {
-            state = vm::step_quantized(&program, &state, self.border(), q, self.threads());
+            let next = vm::step_quantized(
+                &program,
+                &state,
+                self.border(),
+                q,
+                self.threads(),
+                spare.take(),
+            );
+            spare = Some(std::mem::replace(&mut state, next));
         }
         Ok(state)
     }

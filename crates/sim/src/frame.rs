@@ -133,6 +133,12 @@ impl Frame {
         &self.data
     }
 
+    /// Consume the frame, returning its sample storage. Used by the engine's
+    /// double-buffered stepping to recycle output allocations.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Largest absolute difference against another frame.
     ///
     /// # Panics
@@ -251,6 +257,13 @@ impl FrameSet {
     /// All frames, in field order, as shared handles.
     pub fn frames(&self) -> &[Arc<Frame>] {
         &self.frames
+    }
+
+    /// Consume the set, returning the shared frames in field order. Frames
+    /// whose handle was the last one can then be reclaimed with
+    /// [`Arc::try_unwrap`] — the basis of the engine's ping-pong buffering.
+    pub fn into_frames(self) -> Vec<Arc<Frame>> {
+        self.frames
     }
 
     /// Number of fields.

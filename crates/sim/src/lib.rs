@@ -24,34 +24,60 @@
 //!
 //! ## The compiled execution engine
 //!
-//! [`Simulator::step`], [`Simulator::run`], [`Simulator::run_until_converged`]
-//! and [`Simulator::run_quantized`] execute on a **compiled bytecode engine**
-//! rather than walking the [`isl_ir::Expr`] tree per pixel:
+//! **Every** execution path — [`Simulator::step`], [`Simulator::run`],
+//! [`Simulator::run_until_converged`], [`Simulator::run_quantized`],
+//! [`Simulator::run_tiled`] and [`Simulator::run_cone_dag`] — executes on a
+//! **compiled bytecode engine** rather than walking the [`isl_ir::Expr`]
+//! tree (or the cone graph) per element:
 //!
 //! * [`compile`] lowers each dynamic field's update expression once into a
 //!   flat, register-indexed instruction buffer ([`CompiledPattern`]) — no
 //!   `Box` chasing, parameters bound up front, constants folded and common
 //!   subexpressions shared. The program is built lazily on first step and
 //!   cached on the simulator.
+//! * For the cone-DAG path, [`compile`] additionally lowers a whole cone
+//!   level — the hash-consed multi-iteration graph the VHDL backend emits —
+//!   into one multi-output program ([`CompiledCone`]) with CSE across the
+//!   entire cone and **slot-allocated registers** (linear scan, freed after
+//!   last use), so the evaluator's scratch holds only the peak live set, an
+//!   order of magnitude below the instruction count.
 //! * The VM evaluates each frame in **three planes**: an *interior plane*
 //!   where every stencil tap is statically in-bounds (reads become raw
 //!   row-slice copies and the program runs instruction-at-a-time over whole
 //!   row spans, which vectorises), plus *border strips* that fall back to
-//!   per-pixel evaluation with full [`BorderMode`] resolution.
-//! * Interior rows are distributed over threads in contiguous bands
-//!   ([`parallel`]); tune with [`Simulator::with_threads`] (default: one per
-//!   core, automatically serial for tiny frames).
+//!   per-pixel evaluation with full [`BorderMode`] resolution. The same
+//!   machinery runs [`Simulator::run_tiled`]'s levels over reusable tile
+//!   halo buffers (frames and halo buffers are one source-view type), and
+//!   [`Simulator::run_cone_dag`]'s window tiles as structure-of-arrays
+//!   *lanes* — one lane per tile, arithmetic amortised across a whole band
+//!   of tiles.
+//! * Steps are **double-buffered**: run loops recycle the retiring frame
+//!   set's uniquely-owned allocations as the next step's output buffers, so
+//!   long runs stop paying the allocator per iteration.
+//! * Work is distributed over a **persistent worker pool** ([`parallel`]):
+//!   threads are spawned once per process and parked between calls, cutting
+//!   the per-step spawn overhead that used to eat the engine's gains on
+//!   small frames. Interior rows parallelise in contiguous row bands, tiled
+//!   and cone levels in bands of whole tile rows; tune with
+//!   [`Simulator::with_threads`] (default: one per core, automatically
+//!   serial for tiny frames).
 //!
-//! The tree-walking interpreter survives as [`Simulator::step_reference`] /
-//! [`Simulator::run_reference`] / [`Simulator::run_quantized_reference`]:
-//! the golden semantics the engine is property-tested against — results are
-//! **bit-identical** for every pattern, border mode and thread count (see
-//! `tests/tests/compiled_engine_props.rs`).
+//! The tree-walking interpreters survive as [`Simulator::step_reference`] /
+//! [`Simulator::run_reference`] / [`Simulator::run_quantized_reference`] /
+//! [`Simulator::run_tiled_reference`] /
+//! [`Simulator::run_cone_dag_reference`]: the golden semantics the engine is
+//! property-tested against — results are **bit-identical** for every
+//! pattern, border mode, window shape, depth and thread count (see
+//! `tests/tests/compiled_engine_props.rs` and
+//! `tests/tests/tiled_engine_props.rs`).
 //!
 //! Measure the difference with `cargo bench -p isl-bench --bench sim_engine`,
-//! which compares interpreted vs compiled whole-frame runs (gaussian IGF and
-//! Chambolle at 256×256) and writes `BENCH_sim.json`; on one core the
-//! compiled engine is ~15× (IGF) to ~28× (Chambolle) faster.
+//! which compares interpreted vs compiled runs of all three semantics
+//! (gaussian IGF and Chambolle at 256×256) and writes `BENCH_sim.json`; on
+//! one core the compiled engine is ~13×/~29× (whole-frame), ~10×/~26×
+//! (tiled) and ~6×/~7× (cone-DAG) faster for IGF/Chambolle respectively
+//! (run to run the exact ratios wander with machine load; the committed
+//! `BENCH_sim.json` holds the last measured trajectory point).
 //!
 //! ```
 //! use isl_sim::{Frame, FrameSet, Simulator, BorderMode};
@@ -81,7 +107,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single audited exception is the
+// lifetime-erasure choke point of the persistent worker pool in `parallel`
+// (see `parallel::erase` for the safety argument).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod border;
@@ -95,7 +124,7 @@ pub mod synthetic;
 mod vm;
 
 pub use border::BorderMode;
-pub use compile::{CompiledKernel, CompiledPattern, Halo};
+pub use compile::{CompiledCone, CompiledKernel, CompiledPattern, Halo, Reach};
 pub use error::SimError;
 pub use fixed::Quantizer;
 pub use frame::{Frame, FrameSet};

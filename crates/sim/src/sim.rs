@@ -5,7 +5,7 @@ use std::sync::{Arc, OnceLock};
 use isl_ir::{Cone, FieldId, FieldKind, StencilPattern, Window};
 
 use crate::border::BorderMode;
-use crate::compile::CompiledPattern;
+use crate::compile::{CompiledCone, CompiledPattern};
 use crate::error::SimError;
 use crate::frame::{Frame, FrameSet};
 use crate::vm;
@@ -204,13 +204,23 @@ impl<'p> Simulator<'p> {
 
     /// `iterations` golden whole-frame steps.
     ///
+    /// Stepping is **double-buffered**: from the third iteration on, the
+    /// retiring state's dynamic frames (uniquely owned by the run loop) are
+    /// recycled as the next step's output buffers, so long runs allocate a
+    /// bounded ping-pong pair instead of one frame set per iteration.
+    ///
     /// # Errors
     ///
     /// Same as [`Simulator::step`].
     pub fn run(&self, init: &FrameSet, iterations: u32) -> Result<FrameSet, SimError> {
+        self.check(init)?;
+        let program = self.compiled();
         let mut state = init.clone();
+        let mut spare: Option<FrameSet> = None;
         for _ in 0..iterations {
-            state = self.step(&state)?;
+            let next =
+                vm::step_compiled_into(program, &state, self.border, self.threads, spare.take());
+            spare = Some(std::mem::replace(&mut state, next));
         }
         Ok(state)
     }
@@ -228,17 +238,21 @@ impl<'p> Simulator<'p> {
         epsilon: f64,
         max_iterations: u32,
     ) -> Result<(FrameSet, ConvergenceReport), SimError> {
+        self.check(init)?;
+        let program = self.compiled();
         let mut state = init.clone();
+        let mut spare: Option<FrameSet> = None;
         let mut delta = f64::INFINITY;
         for i in 0..max_iterations {
-            let next = self.step(&state)?;
+            let next =
+                vm::step_compiled_into(program, &state, self.border, self.threads, spare.take());
             delta = self
                 .pattern
                 .dynamic_fields()
                 .iter()
                 .map(|f| state.frame(f.index()).max_abs_diff(next.frame(f.index())))
                 .fold(0.0, f64::max);
-            state = next;
+            spare = Some(std::mem::replace(&mut state, next));
             if delta < epsilon {
                 return Ok((
                     state,
@@ -271,6 +285,12 @@ impl<'p> Simulator<'p> {
     /// instances: `floor(iterations / depth)` levels of `depth`, plus one
     /// remainder level when `depth` does not divide `iterations`.
     ///
+    /// Levels execute on the compiled bytecode engine over reusable halo
+    /// buffers, with tiles distributed over threads in bands of whole tile
+    /// rows and level outputs double-buffered — bit-identical to
+    /// [`Simulator::run_tiled_reference`] (tests enforce it) and more than
+    /// an order of magnitude faster.
+    ///
     /// # Errors
     ///
     /// [`SimError::NonLocalBorder`] for wrap borders; [`SimError::Cone`] for
@@ -282,13 +302,44 @@ impl<'p> Simulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<FrameSet, SimError> {
-        self.check(init)?;
-        if depth == 0 {
-            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        self.check_tiled(init, depth)?;
+        let program = self.compiled();
+        let r = self.pattern.radius() as i64;
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut state = init.clone();
+        let mut spare: Option<FrameSet> = None;
+        for d in level_depths(iterations, depth) {
+            let next = vm::tiled_level_compiled(
+                program,
+                &state,
+                self.border,
+                self.threads,
+                (tw, th),
+                d,
+                r,
+                spare.take(),
+            );
+            spare = Some(std::mem::replace(&mut state, next));
         }
-        if !self.border.is_local() {
-            return Err(SimError::NonLocalBorder);
-        }
+        Ok(state)
+    }
+
+    /// [`Simulator::run_tiled`] through the tree-walking interpreter — the
+    /// golden cone-architecture semantics the compiled tiled engine is
+    /// property-tested against. Prefer [`Simulator::run_tiled`]
+    /// (bit-identical, much faster).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_tiled`].
+    pub fn run_tiled_reference(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<FrameSet, SimError> {
+        self.check_tiled(init, depth)?;
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
             state = self.tiled_level(&state, window, d)?;
@@ -296,18 +347,37 @@ impl<'p> Simulator<'p> {
         Ok(state)
     }
 
-    /// One level: apply depth-`d` cones over every window tile.
+    fn check_tiled(&self, init: &FrameSet, depth: u32) -> Result<(), SimError> {
+        self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
+        if !self.border.is_local() {
+            return Err(SimError::NonLocalBorder);
+        }
+        Ok(())
+    }
+
+    /// One reference level: apply depth-`d` cones over every window tile.
     fn tiled_level(&self, state: &FrameSet, window: Window, d: u32) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let r = self.pattern.radius() as i64;
         let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
+
+        // Field id → dynamic slot, computed once per level instead of a
+        // linear scan on every dynamic read inside the tile hot loop.
+        let dyn_fields = self.pattern.dynamic_fields();
+        let (_, dyn_index) = vm::dyn_slot_map(
+            self.pattern.fields().len(),
+            dyn_fields.iter().map(|f| f.index()),
+        );
 
         let (tw, th) = (window.w as i64, window.h as i64);
         let mut ty = 0;
         while ty < h {
             let mut tx = 0;
             while tx < w {
-                self.tile(state, &mut next, (tx, ty), (tw, th), d, r)?;
+                self.tile(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index)?;
                 tx += tw;
             }
             ty += th;
@@ -325,6 +395,7 @@ impl<'p> Simulator<'p> {
         (tw, th): (i64, i64),
         d: u32,
         r: i64,
+        dyn_index: &[Option<usize>],
     ) -> Result<(), SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let dyn_fields = self.pattern.dynamic_fields();
@@ -380,18 +451,18 @@ impl<'p> Simulator<'p> {
                                 }
                                 // Border-resolve at absolute frame coordinates,
                                 // then look up in the previous level's buffer.
+                                // (Resolve y even for height-1 frames: a
+                                // rank-2 pattern can tap dy ≠ 0 there, and
+                                // the golden run border-resolves it.)
                                 let rx = self.border.resolve(qx, w);
-                                let ry = if h > 1 { self.border.resolve(qy, h) } else { Some(0) };
+                                let ry = self.border.resolve(qy, h);
                                 match (rx, ry) {
                                     (Some(rx), Some(ry)) => {
                                         debug_assert!(
                                             rx >= px0 && rx <= px1 && ry >= py0 && ry <= py1,
                                             "tile halo must cover border-resolved reads"
                                         );
-                                        let di2 = dyn_fields
-                                            .iter()
-                                            .position(|g| g == &rf)
-                                            .expect("dynamic read");
+                                        let di2 = dyn_index[rf.index()].expect("dynamic read");
                                         bufs[di2][((ry - py0) as usize) * pbw + (rx - px0) as usize]
                                     }
                                     _ => self
@@ -440,6 +511,12 @@ impl<'p> Simulator<'p> {
     /// differ in a border band — the standard behaviour of streaming stencil
     /// hardware.
     ///
+    /// Each distinct level depth is lowered **once** to a flat multi-output
+    /// bytecode program ([`crate::compile::CompiledCone`]) and executed tile
+    /// by tile on the VM — bit-identical to
+    /// [`Simulator::run_cone_dag_reference`] (tests enforce it) for every
+    /// thread count.
+    ///
     /// # Errors
     ///
     /// [`SimError::Cone`] when cone construction fails, plus the
@@ -452,6 +529,58 @@ impl<'p> Simulator<'p> {
         depth: u32,
     ) -> Result<FrameSet, SimError> {
         self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
+        let (tw, th) = (window.w as i64, window.h as i64);
+        // At most two distinct depths appear (the main one plus a possible
+        // remainder); build and lower each exactly once.
+        let mut programs: Vec<(u32, CompiledCone)> = Vec::new();
+        let mut state = init.clone();
+        let mut spare: Option<FrameSet> = None;
+        for d in level_depths(iterations, depth) {
+            if !programs.iter().any(|(pd, _)| *pd == d) {
+                let cone = Cone::build(self.pattern, window, d)
+                    .map_err(|e| SimError::Cone(e.to_string()))?;
+                programs.push((d, CompiledCone::compile(&cone, &self.params)));
+            }
+            let cc = &programs
+                .iter()
+                .find(|(pd, _)| *pd == d)
+                .expect("program built above")
+                .1;
+            let next = vm::cone_level_compiled(
+                cc,
+                &state,
+                self.border,
+                self.threads,
+                (tw, th),
+                spare.take(),
+            );
+            spare = Some(std::mem::replace(&mut state, next));
+        }
+        Ok(state)
+    }
+
+    /// [`Simulator::run_cone_dag`] through [`Cone::eval`]'s tree-walking
+    /// graph interpreter — the golden hardware-data-path semantics the
+    /// compiled cone engine is property-tested against. Prefer
+    /// [`Simulator::run_cone_dag`] (bit-identical, much faster).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_cone_dag`].
+    pub fn run_cone_dag_reference(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<FrameSet, SimError> {
+        self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
             let cone = Cone::build(self.pattern, window, d)
@@ -600,6 +729,19 @@ mod tests {
     }
 
     #[test]
+    fn cone_dag_rejects_zero_depth() {
+        let p = jacobi();
+        let sim = Simulator::new(&p).unwrap();
+        let init = FrameSet::from_frames(vec![noisy(8, 8)]).unwrap();
+        for f in [Simulator::run_cone_dag, Simulator::run_cone_dag_reference] {
+            assert!(matches!(
+                f(&sim, &init, 3, Window::square(4), 0),
+                Err(SimError::Cone(_))
+            ));
+        }
+    }
+
+    #[test]
     fn tiled_rejects_wrap() {
         let p = jacobi();
         let sim = Simulator::new(&p).unwrap().with_border(BorderMode::Wrap);
@@ -650,6 +792,74 @@ mod tests {
         let golden = sim.run(&init, 6).unwrap();
         let tiled = sim.run_tiled(&init, 6, Window::line(4), 2).unwrap();
         assert!(golden.max_abs_diff(&tiled) < 1e-12);
+    }
+
+    #[test]
+    fn compiled_tiled_matches_reference_bitwise() {
+        let p = relax_to_static();
+        let init = FrameSet::from_frames(vec![noisy(19, 13), Frame::from_fn(19, 13, |x, _| x as f64)])
+            .unwrap();
+        for border in [BorderMode::Clamp, BorderMode::Mirror, BorderMode::Constant(0.25)] {
+            for threads in [1, 2, 4] {
+                let sim = Simulator::new(&p)
+                    .unwrap()
+                    .with_border(border)
+                    .with_threads(threads);
+                for (window, depth) in [
+                    (Window::square(4), 2),
+                    (Window::rect(5, 2), 3),
+                    (Window::square(1), 2),
+                    (Window::square(7), 4),
+                ] {
+                    let fast = sim.run_tiled(&init, 7, window, depth).unwrap();
+                    let gold = sim.run_tiled_reference(&init, 7, window, depth).unwrap();
+                    for fi in 0..init.len() {
+                        for (a, b) in fast
+                            .frame(fi)
+                            .as_slice()
+                            .iter()
+                            .zip(gold.frame(fi).as_slice())
+                        {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "border {border}, window {window}, depth {depth}, {threads}t"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_cone_dag_matches_reference_bitwise() {
+        let p = jacobi();
+        let init = FrameSet::from_frames(vec![noisy(22, 15)]).unwrap();
+        for border in [BorderMode::Clamp, BorderMode::Wrap, BorderMode::Constant(0.5)] {
+            for threads in [1, 2, 4] {
+                let sim = Simulator::new(&p)
+                    .unwrap()
+                    .with_border(border)
+                    .with_threads(threads);
+                for (window, depth) in [(Window::square(4), 2), (Window::rect(6, 3), 3)] {
+                    let fast = sim.run_cone_dag(&init, 5, window, depth).unwrap();
+                    let gold = sim.run_cone_dag_reference(&init, 5, window, depth).unwrap();
+                    for (a, b) in fast
+                        .frame(0)
+                        .as_slice()
+                        .iter()
+                        .zip(gold.frame(0).as_slice())
+                    {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "border {border}, window {window}, depth {depth}, {threads}t"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,29 +13,127 @@
 //!   with full [`BorderMode`] resolution — identical semantics to
 //!   [`isl_ir::Expr::eval`], paid only on the frame perimeter.
 //!
-//! Interior rows are distributed over threads in contiguous bands
-//! ([`crate::parallel`]); every band writes a disjoint region, so results are
-//! bit-identical for any thread count.
+//! The same three-plane machinery is reused for the cone-architecture paths:
+//! reads go through [`SrcView`]s, which present whole frames *and* tile halo
+//! buffers uniformly (a frame is just a buffer anchored at the origin), so
+//! [`eval_rect`] can run a kernel over any rectangle of any level of a tiled
+//! cone — that is the engine behind [`crate::Simulator::run_tiled`]. Cone
+//! DAGs lowered by [`crate::compile::CompiledCone`] execute per window tile,
+//! with interior tiles batched into structure-of-arrays *lanes* (one lane
+//! per tile, gathers strided by the window width) and edge tiles evaluated
+//! scalar with border resolution — the engine behind
+//! [`crate::Simulator::run_cone_dag`].
+//!
+//! Output allocations are **recycled**: steps accept the retiring frame set
+//! of two iterations ago and reuse any uniquely-owned dynamic frame as the
+//! next output buffer (ping-pong double buffering), so long runs stop paying
+//! the allocator per step.
+//!
+//! Interior rows are distributed over persistent pool workers in contiguous
+//! bands, and the tiled/cone paths over contiguous bands of whole *tile*
+//! rows ([`crate::parallel`]); every band writes a disjoint region, so
+//! results are bit-identical for any thread count.
 
 use std::sync::Arc;
 
 use isl_ir::BinaryOp;
 
 use crate::border::BorderMode;
-use crate::compile::{CompiledKernel, CompiledPattern, Instr};
+use crate::compile::{CompiledCone, CompiledKernel, CompiledPattern, Instr};
 use crate::fixed::Quantizer;
 use crate::frame::{Frame, FrameSet};
-use crate::parallel::for_each_row_band;
+use crate::parallel::{effective_threads, for_each_row_band, for_each_task};
 
 /// Row-span width of the structure-of-arrays scratch (bounds scratch memory
 /// at `instructions × SPAN × 8` bytes per worker).
 const SPAN: usize = 512;
 
+/// Cap on the structure-of-arrays scratch of the cone-lane evaluator, in
+/// `f64` values (`live slots × lanes` must fit; at most 512 KiB per worker,
+/// sized to stay L2-resident).
+const LANE_SCRATCH: usize = 1 << 16;
+
 /// Below this many pixel-instructions a step runs serially even in auto
-/// thread mode — spawn cost would dominate.
+/// thread mode — even pool dispatch cost would dominate.
 const PARALLEL_WORK_THRESHOLD: usize = 100_000;
 
-/// One compiled whole-frame step (`post == None`) — the engine behind
+// -- source views -----------------------------------------------------------
+
+/// A read-only view of one field's samples: a row-major buffer whose first
+/// sample sits at frame coordinate `(ox, oy)`. Whole frames and tile halo
+/// buffers are the same thing under this view, which is what lets one
+/// evaluator serve the whole-frame and the cone-architecture paths.
+#[derive(Clone, Copy)]
+pub(crate) struct SrcView<'a> {
+    data: &'a [f64],
+    ox: i64,
+    oy: i64,
+    stride: usize,
+}
+
+impl<'a> SrcView<'a> {
+    /// View a whole frame (anchored at the origin).
+    pub(crate) fn frame(f: &'a Frame) -> Self {
+        SrcView {
+            data: f.as_slice(),
+            ox: 0,
+            oy: 0,
+            stride: f.width(),
+        }
+    }
+
+    /// View a halo buffer anchored at `(ox, oy)` with row length `stride`.
+    pub(crate) fn buffer(data: &'a [f64], ox: i64, oy: i64, stride: usize) -> Self {
+        SrcView { data, ox, oy, stride }
+    }
+
+    /// Read at frame coordinates known to lie inside the view.
+    #[inline]
+    fn get(&self, x: i64, y: i64) -> f64 {
+        let idx = (y - self.oy) as usize * self.stride + (x - self.ox) as usize;
+        self.data[idx]
+    }
+
+    /// Border-resolved read at frame coordinates `(x, y)` of a `w × h`
+    /// frame. The resolved coordinate must lie inside the view — guaranteed
+    /// for whole-frame views, and for halo buffers by border locality (the
+    /// tiled executor rejects wrap borders).
+    fn sample(&self, x: i64, y: i64, w: i64, h: i64, border: BorderMode) -> f64 {
+        match (border.resolve(x, w), border.resolve(y, h)) {
+            (Some(rx), Some(ry)) => self.get(rx, ry),
+            _ => border
+                .constant_value()
+                .expect("resolve returns None only for Constant"),
+        }
+    }
+}
+
+/// Reusable per-worker scratch of the rect evaluator.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    lanes: Vec<f64>,
+    regs: Vec<f64>,
+}
+
+impl Scratch {
+    fn ensure(&mut self, instrs: usize) {
+        self.lanes.resize(instrs.max(1) * SPAN, 0.0);
+        self.regs.resize(instrs.max(1), 0.0);
+    }
+}
+
+/// The destination of a rect evaluation: a row-major buffer whose first
+/// sample sits at frame coordinate `(ox, oy)`.
+pub(crate) struct RectOut<'a> {
+    pub(crate) data: &'a mut [f64],
+    pub(crate) ox: i64,
+    pub(crate) oy: i64,
+    pub(crate) stride: usize,
+}
+
+// -- whole-frame stepping ---------------------------------------------------
+
+/// One compiled whole-frame step — the engine behind
 /// [`crate::Simulator::step`].
 pub(crate) fn step_compiled(
     cp: &CompiledPattern,
@@ -43,7 +141,20 @@ pub(crate) fn step_compiled(
     border: BorderMode,
     threads: usize,
 ) -> FrameSet {
-    step_impl(cp, state, border, threads, None)
+    step_impl(cp, state, border, threads, None, None)
+}
+
+/// [`step_compiled`] with a retiring frame set whose uniquely-owned dynamic
+/// frames are recycled as output buffers (double buffering) — the engine
+/// behind [`crate::Simulator::run`].
+pub(crate) fn step_compiled_into(
+    cp: &CompiledPattern,
+    state: &FrameSet,
+    border: BorderMode,
+    threads: usize,
+    recycle: Option<FrameSet>,
+) -> FrameSet {
+    step_impl(cp, state, border, threads, None, recycle)
 }
 
 /// One compiled whole-frame step with fixed-point rounding after every
@@ -56,8 +167,27 @@ pub(crate) fn step_quantized(
     border: BorderMode,
     q: Quantizer,
     threads: usize,
+    recycle: Option<FrameSet>,
 ) -> FrameSet {
-    step_impl(cp, state, border, threads, Some(q))
+    step_impl(cp, state, border, threads, Some(q), recycle)
+}
+
+/// Reclaim the sample storage of every frame of `recycle` that is not shared
+/// with anyone else (index-aligned; `None` where the frame is still shared).
+fn reclaim(recycle: Option<FrameSet>, w: usize, h: usize) -> Vec<Option<Vec<f64>>> {
+    match recycle {
+        None => Vec::new(),
+        Some(fs) => fs
+            .into_frames()
+            .into_iter()
+            .map(|arc| {
+                Arc::try_unwrap(arc)
+                    .ok()
+                    .map(Frame::into_vec)
+                    .filter(|v| v.len() == w * h)
+            })
+            .collect(),
+    }
 }
 
 fn step_impl(
@@ -66,15 +196,18 @@ fn step_impl(
     border: BorderMode,
     threads: usize,
     post: Option<Quantizer>,
+    recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
     let frames: Vec<&Frame> = state.frames().iter().map(Arc::as_ref).collect();
+    let mut recycled = reclaim(recycle, w, h);
     let mut next = Vec::with_capacity(cp.field_count());
     for i in 0..cp.field_count() {
         match cp.kernel(i) {
             None => next.push(state.frame_arc(i)),
             Some(k) => {
-                let data = eval_field(k, &frames, w, h, border, threads, post);
+                let reuse = recycled.get_mut(i).and_then(Option::take);
+                let data = eval_field(k, &frames, w, h, border, threads, post, reuse);
                 next.push(Arc::new(Frame::from_vec(w, h, data)));
             }
         }
@@ -82,7 +215,9 @@ fn step_impl(
     FrameSet::from_shared(next).expect("shapes preserved")
 }
 
-/// Evaluate one kernel over the full frame, returning the output samples.
+/// Evaluate one kernel over the full frame, returning the output samples
+/// (into `reuse`'s storage when provided).
+#[allow(clippy::too_many_arguments)]
 fn eval_field(
     kernel: &CompiledKernel,
     frames: &[&Frame],
@@ -91,62 +226,101 @@ fn eval_field(
     border: BorderMode,
     threads: usize,
     post: Option<Quantizer>,
+    reuse: Option<Vec<f64>>,
 ) -> Vec<f64> {
-    let halo = kernel.halo();
-    // Interior rectangle: every tap in-bounds.
-    let xlo = (halo.left as usize).min(w);
-    let xhi = w.saturating_sub(halo.right as usize);
-    let ylo = (halo.up as usize).min(h);
-    let yhi = h.saturating_sub(halo.down as usize);
-    let has_interior = xlo < xhi && ylo < yhi;
-
     let threads = if threads == 0 && w * h * kernel.len() < PARALLEL_WORK_THRESHOLD {
         1
     } else {
         threads
     };
-
-    let mut out = vec![0.0; w * h];
+    let mut out = reuse.unwrap_or_else(|| vec![0.0; w * h]);
+    debug_assert_eq!(out.len(), w * h);
+    let srcs: Vec<SrcView<'_>> = frames.iter().map(|f| SrcView::frame(f)).collect();
     for_each_row_band(&mut out, w, threads, |y0, band| {
-        let span = if has_interior { (xhi - xlo).min(SPAN) } else { 0 };
-        let mut scratch = vec![0.0; kernel.len() * span];
-        let mut regs = vec![0.0; kernel.len()];
-        for (local, row) in band.chunks_mut(w).enumerate() {
-            let y = y0 + local;
-            if has_interior && (ylo..yhi).contains(&y) {
-                for (x, slot) in row.iter_mut().enumerate().take(xlo) {
-                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
-                }
-                let mut x0 = xlo;
-                while x0 < xhi {
-                    let len = span.min(xhi - x0);
-                    eval_span(kernel, frames, w, y, x0, len, &mut scratch, post);
-                    let res = kernel.result as usize;
-                    row[x0..x0 + len].copy_from_slice(&scratch[res * len..(res + 1) * len]);
-                    x0 += len;
-                }
-                for (x, slot) in row.iter_mut().enumerate().skip(xhi) {
-                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
-                }
-            } else {
-                for (x, slot) in row.iter_mut().enumerate() {
-                    *slot = eval_pixel(kernel, frames, border, x, y, &mut regs, post);
-                }
-            }
-        }
+        let rows = band.len() / w;
+        let mut scratch = Scratch::default();
+        let mut dst = RectOut {
+            data: band,
+            ox: 0,
+            oy: y0 as i64,
+            stride: w,
+        };
+        eval_rect(
+            kernel,
+            &srcs,
+            (w, h),
+            border,
+            (0, y0 as i64, w as i64 - 1, (y0 + rows) as i64 - 1),
+            &mut dst,
+            post,
+            &mut scratch,
+        );
     });
     out
 }
 
-/// Evaluate the program over the in-bounds span `[x0, x0 + len)` of row `y`.
-/// `scratch` holds one `len`-wide lane per instruction.
+// -- rect evaluation --------------------------------------------------------
+
+/// Evaluate `kernel` at every element of `rect` (frame coordinates,
+/// inclusive), reading fields through `srcs` with `border` resolved at
+/// absolute frame coordinates, writing into `dst`. The interior portion of
+/// the rect (where every tap is statically in-frame) runs as vectorised
+/// row spans; the rest falls back to per-pixel evaluation.
 #[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_rect(
+    kernel: &CompiledKernel,
+    srcs: &[SrcView<'_>],
+    (w, h): (usize, usize),
+    border: BorderMode,
+    (rx0, ry0, rx1, ry1): (i64, i64, i64, i64),
+    dst: &mut RectOut<'_>,
+    post: Option<Quantizer>,
+    scratch: &mut Scratch,
+) {
+    let halo = kernel.halo();
+    // Frame-interior coordinate range clipped to the rect (inclusive).
+    let xlo = rx0.max(i64::from(halo.left));
+    let xhi = rx1.min(w as i64 - 1 - i64::from(halo.right));
+    let ylo = ry0.max(i64::from(halo.up));
+    let yhi = ry1.min(h as i64 - 1 - i64::from(halo.down));
+    scratch.ensure(kernel.len());
+    for y in ry0..=ry1 {
+        let row = ((y - dst.oy) as usize) * dst.stride;
+        let at = |x: i64| row + (x - dst.ox) as usize;
+        if (ylo..=yhi).contains(&y) && xlo <= xhi {
+            for x in rx0..xlo {
+                dst.data[at(x)] =
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+            }
+            let mut x0 = xlo;
+            while x0 <= xhi {
+                let len = (xhi - x0 + 1).min(SPAN as i64) as usize;
+                eval_span(kernel, srcs, y, x0, len, &mut scratch.lanes, post);
+                let res = kernel.result as usize;
+                dst.data[at(x0)..at(x0) + len]
+                    .copy_from_slice(&scratch.lanes[res * len..(res + 1) * len]);
+                x0 += len as i64;
+            }
+            for x in (xhi + 1)..=rx1 {
+                dst.data[at(x)] =
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+            }
+        } else {
+            for x in rx0..=rx1 {
+                dst.data[at(x)] =
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+            }
+        }
+    }
+}
+
+/// Evaluate the program over the statically in-bounds span `[x0, x0 + len)`
+/// of row `y`. `scratch` holds one `len`-wide lane per instruction.
 fn eval_span(
     kernel: &CompiledKernel,
-    frames: &[&Frame],
-    w: usize,
-    y: usize,
-    x0: usize,
+    srcs: &[SrcView<'_>],
+    y: i64,
+    x0: i64,
     len: usize,
     scratch: &mut [f64],
     post: Option<Quantizer>,
@@ -159,10 +333,11 @@ fn eval_span(
         match *instr {
             Instr::Const(v) => dst.fill(v),
             Instr::Input { field, dx, dy } => {
-                let src = frames[field as usize].as_slice();
-                let base = (y as i64 + i64::from(dy)) * w as i64 + x0 as i64 + i64::from(dx);
+                let s = &srcs[field as usize];
+                let base = (y + i64::from(dy) - s.oy) * s.stride as i64
+                    + (x0 + i64::from(dx) - s.ox);
                 let base = usize::try_from(base).expect("interior read in bounds");
-                dst.copy_from_slice(&src[base..base + len]);
+                dst.copy_from_slice(&s.data[base..base + len]);
             }
             Instr::Unary { op, a } => unary_span(op, lane(a), dst),
             Instr::Binary { op, a, b } => binary_span(op, lane(a), lane(b), dst),
@@ -222,13 +397,15 @@ fn binary_span(op: BinaryOp, a: &[f64], b: &[f64], dst: &mut [f64]) {
 }
 
 /// Per-pixel program evaluation with full border resolution — used for the
-/// border strips and for frames with no interior at all.
+/// border strips and for rects with no interior at all.
+#[allow(clippy::too_many_arguments)]
 fn eval_pixel(
     kernel: &CompiledKernel,
-    frames: &[&Frame],
+    srcs: &[SrcView<'_>],
     border: BorderMode,
-    x: usize,
-    y: usize,
+    (w, h): (usize, usize),
+    x: i64,
+    y: i64,
     regs: &mut [f64],
     post: Option<Quantizer>,
 ) -> f64 {
@@ -236,9 +413,11 @@ fn eval_pixel(
         let (v, rounded) = match *instr {
             Instr::Const(c) => (c, true),
             Instr::Input { field, dx, dy } => (
-                frames[field as usize].sample(
-                    x as i64 + i64::from(dx),
-                    y as i64 + i64::from(dy),
+                srcs[field as usize].sample(
+                    x + i64::from(dx),
+                    y + i64::from(dy),
+                    w as i64,
+                    h as i64,
                     border,
                 ),
                 true,
@@ -260,6 +439,416 @@ fn eval_pixel(
         };
     }
     regs[kernel.result as usize]
+}
+
+// -- tiled (cone-architecture) level execution ------------------------------
+
+/// Dense dynamic-slot mapping: the dynamic field ids in first-appearance
+/// order, plus the inverse `field id → slot` table — so per-read lookups
+/// in the tile hot loops are one index, not a scan.
+pub(crate) fn dyn_slot_map(
+    field_count: usize,
+    fields: impl Iterator<Item = usize>,
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    let mut slot: Vec<Option<usize>> = vec![None; field_count];
+    let mut dyn_fields = Vec::new();
+    for f in fields {
+        if slot[f].is_none() {
+            slot[f] = Some(dyn_fields.len());
+            dyn_fields.push(f);
+        }
+    }
+    (dyn_fields, slot)
+}
+
+/// Split each buffer of `bufs` (all the same length, `width`-sample rows)
+/// into aligned bands of at most `rows_per_band` rows. Returns
+/// `(first_row, per-buffer band slices)` per band.
+fn split_bands(
+    mut bufs: Vec<&mut [f64]>,
+    width: usize,
+    rows_per_band: usize,
+) -> Vec<(usize, Vec<&mut [f64]>)> {
+    let mut out = Vec::new();
+    let mut row0 = 0;
+    while bufs.first().is_some_and(|b| !b.is_empty()) {
+        let take_rows = rows_per_band.min(bufs[0].len() / width);
+        let mut band = Vec::with_capacity(bufs.len());
+        let mut rest = Vec::with_capacity(bufs.len());
+        for b in bufs {
+            let (head, tail) = b.split_at_mut(take_rows * width);
+            band.push(head);
+            rest.push(tail);
+        }
+        out.push((row0, band));
+        bufs = rest;
+        row0 += take_rows;
+    }
+    out
+}
+
+/// Concurrency for a tile-banded pass: contiguous bands of whole tile rows.
+fn tile_banding(h: usize, th: usize, threads: usize, work: usize) -> usize {
+    let threads = if threads == 0 && work < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    let tile_rows = h.div_ceil(th);
+    effective_threads(threads).min(tile_rows).max(1)
+}
+
+/// Shared frame of every tile-banded level executor: take (or recycle) one
+/// output buffer per dynamic field, split all of them into aligned bands of
+/// whole tile rows, run `band_fn(first_row, band_slices)` per band on up to
+/// `t` workers, and reassemble the next frame set (static fields shared).
+fn banded_level<F>(
+    state: &FrameSet,
+    dyn_fields: &[usize],
+    th: usize,
+    t: usize,
+    recycle: Option<FrameSet>,
+    band_fn: F,
+) -> FrameSet
+where
+    F: Fn(usize, &mut [&mut [f64]]) + Sync,
+{
+    let (w, h) = (state.width(), state.height());
+    let mut recycled = reclaim(recycle, w, h);
+    let mut outs: Vec<Vec<f64>> = dyn_fields
+        .iter()
+        .map(|&i| {
+            recycled
+                .get_mut(i)
+                .and_then(Option::take)
+                .unwrap_or_else(|| vec![0.0; w * h])
+        })
+        .collect();
+    let rows_per_band = h.div_ceil(th).div_ceil(t) * th;
+    let bands = split_bands(outs.iter_mut().map(Vec::as_mut_slice).collect(), w, rows_per_band);
+    for_each_task(bands, t, |(row0, mut slices)| band_fn(row0, &mut slices));
+    let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
+    for (&fi, data) in dyn_fields.iter().zip(outs) {
+        next[fi] = Arc::new(Frame::from_vec(w, h, data));
+    }
+    FrameSet::from_shared(next).expect("shapes preserved")
+}
+
+/// One compiled tiled level: apply depth-`d` cones of the pattern's kernels
+/// over every `window` tile of the frame — the engine behind
+/// [`crate::Simulator::run_tiled`]. Bit-identical to the tree-walking
+/// reference level for every local border mode and thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tiled_level_compiled(
+    cp: &CompiledPattern,
+    state: &FrameSet,
+    border: BorderMode,
+    threads: usize,
+    (tw, th): (i64, i64),
+    d: u32,
+    r: i64,
+    recycle: Option<FrameSet>,
+) -> FrameSet {
+    let (w, h) = (state.width(), state.height());
+    let (dyn_fields, dyn_slot) = dyn_slot_map(
+        cp.field_count(),
+        (0..cp.field_count()).filter(|&i| cp.kernel(i).is_some()),
+    );
+    let frames: Vec<&Frame> = state.frames().iter().map(Arc::as_ref).collect();
+    let work = w * h * cp.total_instructions() * d as usize;
+    let t = tile_banding(h, th as usize, threads, work);
+    banded_level(state, &dyn_fields, th as usize, t, recycle, |row0, slices| {
+        // Per-worker halo buffers (ping/pong) sized for the largest
+        // intermediate level, plus span scratch — reused across tiles.
+        let max_halo = r * i64::from(d.saturating_sub(1));
+        let cap = ((tw + 2 * max_halo) * (th + 2 * max_halo)) as usize;
+        let mut ping: Vec<Vec<f64>> = dyn_fields.iter().map(|_| vec![0.0; cap]).collect();
+        let mut pong = ping.clone();
+        let mut scratch = Scratch::default();
+        let rows = slices[0].len() / w;
+        let mut ty = row0 as i64;
+        while ty < (row0 + rows) as i64 {
+            let mut tx = 0;
+            while tx < w as i64 {
+                tile_compiled(
+                    cp,
+                    &dyn_fields,
+                    &dyn_slot,
+                    &frames,
+                    (w, h),
+                    border,
+                    (tx, ty),
+                    (tw, th),
+                    (d, r),
+                    (&mut ping, &mut pong),
+                    &mut scratch,
+                    (slices, row0),
+                );
+                tx += tw;
+            }
+            ty += th;
+        }
+    })
+}
+
+/// Compute one tile through `d` compiled levels. Levels `1..d` evaluate into
+/// ping/pong halo buffers; the top level writes straight into the caller's
+/// output band.
+#[allow(clippy::too_many_arguments)]
+fn tile_compiled(
+    cp: &CompiledPattern,
+    dyn_fields: &[usize],
+    dyn_slot: &[Option<usize>],
+    frames: &[&Frame],
+    (w, h): (usize, usize),
+    border: BorderMode,
+    (tx, ty): (i64, i64),
+    (tw, th): (i64, i64),
+    (d, r): (u32, i64),
+    (ping, pong): (&mut [Vec<f64>], &mut [Vec<f64>]),
+    scratch: &mut Scratch,
+    (slices, row0): (&mut [&mut [f64]], usize),
+) {
+    let (wi, hi) = (w as i64, h as i64);
+    // Level extents, clipped to the frame: level `l` needs the tile grown
+    // by radius × (d − l).
+    let rect = |l: u32| -> (i64, i64, i64, i64) {
+        let halo = r * i64::from(d - l);
+        (
+            (tx - halo).max(0),
+            (ty - halo).max(0),
+            (tx + tw - 1 + halo).min(wi - 1),
+            (ty + th - 1 + halo).min(hi - 1),
+        )
+    };
+    let mut prev_rect = rect(0);
+    for l in 1..=d {
+        let (nx0, ny0, nx1, ny1) = rect(l);
+        let nbw = (nx1 - nx0 + 1) as usize;
+        let (px0, py0, px1, _py1) = prev_rect;
+        let pbw = (px1 - px0 + 1) as usize;
+        for (di, &fi) in dyn_fields.iter().enumerate() {
+            let kernel = cp.kernel(fi).expect("dynamic field has a kernel");
+            // Level 1 reads iteration-`i` data straight from the frames
+            // (the reference's level-0 buffers are verbatim copies of it);
+            // deeper levels read the previous level's halo buffers.
+            let srcs: Vec<SrcView<'_>> = frames
+                .iter()
+                .enumerate()
+                .map(|(f, frame)| match dyn_slot[f] {
+                    Some(ds) if l > 1 => SrcView::buffer(&ping[ds], px0, py0, pbw),
+                    _ => SrcView::frame(frame),
+                })
+                .collect();
+            if l == d {
+                let mut dst = RectOut {
+                    data: &mut *slices[di],
+                    ox: 0,
+                    oy: row0 as i64,
+                    stride: w,
+                };
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, None, scratch);
+            } else {
+                let mut dst = RectOut {
+                    data: &mut pong[di],
+                    ox: nx0,
+                    oy: ny0,
+                    stride: nbw,
+                };
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, None, scratch);
+            }
+        }
+        if l < d {
+            for (a, b) in ping.iter_mut().zip(pong.iter_mut()) {
+                std::mem::swap(a, b);
+            }
+            prev_rect = (nx0, ny0, nx1, ny1);
+        }
+    }
+}
+
+// -- cone-DAG level execution -----------------------------------------------
+
+/// One compiled cone-DAG level: evaluate the lowered cone program window by
+/// window — the engine behind [`crate::Simulator::run_cone_dag`]. Interior
+/// tiles run as structure-of-arrays lanes (one lane per tile); tiles whose
+/// reach crosses the frame edge run scalar with base-input border
+/// resolution, exactly like [`isl_ir::Cone::eval`].
+pub(crate) fn cone_level_compiled(
+    cc: &CompiledCone,
+    state: &FrameSet,
+    border: BorderMode,
+    threads: usize,
+    (tw, th): (i64, i64),
+    recycle: Option<FrameSet>,
+) -> FrameSet {
+    let (w, h) = (state.width(), state.height());
+    let (dyn_fields, dyn_slot) =
+        dyn_slot_map(state.len(), cc.outputs.iter().map(|s| s.field as usize));
+    let frames: Vec<&Frame> = state.frames().iter().map(Arc::as_ref).collect();
+    let tiles_x = w.div_ceil(tw as usize);
+    let work = tiles_x * h.div_ceil(th as usize) * cc.len();
+    let t = tile_banding(h, th as usize, threads, work);
+    let reach = cc.reach();
+    let lanes_cap = (LANE_SCRATCH / cc.slots().max(1)).clamp(1, 512);
+    banded_level(state, &dyn_fields, th as usize, t, recycle, |row0, slices| {
+        // Every tile of the band becomes one lane. Interior tiles (whole
+        // reach in-frame) batch into chunks with direct strided gathers;
+        // edge tiles batch into chunks whose gathers border-resolve — the
+        // arithmetic instructions are amortised across the lanes of a chunk
+        // either way.
+        let rows = slices[0].len() / w;
+        let mut interior: Vec<(i64, i64)> = Vec::new();
+        let mut edge: Vec<(i64, i64)> = Vec::new();
+        let mut ty = row0 as i64;
+        while ty < (row0 + rows) as i64 {
+            let y_in =
+                ty + i64::from(reach.min_dy) >= 0 && ty + i64::from(reach.max_dy) < h as i64;
+            for k in 0..tiles_x as i64 {
+                let tx = k * tw;
+                if y_in
+                    && tx + i64::from(reach.min_dx) >= 0
+                    && tx + i64::from(reach.max_dx) < w as i64
+                {
+                    interior.push((tx, ty));
+                } else {
+                    edge.push((tx, ty));
+                }
+            }
+            ty += th;
+        }
+        let mut scratch = vec![0.0; cc.slots() * lanes_cap];
+        for chunk in interior.chunks(lanes_cap) {
+            eval_cone_lanes(
+                cc,
+                &frames,
+                (w, h),
+                border,
+                chunk,
+                true,
+                &dyn_slot,
+                &mut scratch,
+                (slices, row0),
+            );
+        }
+        for chunk in edge.chunks(lanes_cap) {
+            eval_cone_lanes(
+                cc,
+                &frames,
+                (w, h),
+                border,
+                chunk,
+                false,
+                &dyn_slot,
+                &mut scratch,
+                (slices, row0),
+            );
+        }
+    })
+}
+
+/// Evaluate the cone program for every tile of `chunk` at once: one
+/// structure-of-arrays lane per tile. `interior == true` promises that
+/// every tap and every output of every tile is statically in-frame, so
+/// gathers index directly and scatters skip bounds checks; otherwise
+/// gathers border-resolve at the cone base (exactly like
+/// [`isl_ir::Cone::eval`]) and scatters clip to the frame. The arithmetic
+/// instructions are identical — and amortised across the chunk — either
+/// way.
+#[allow(clippy::too_many_arguments)]
+fn eval_cone_lanes(
+    cc: &CompiledCone,
+    frames: &[&Frame],
+    (w, h): (usize, usize),
+    border: BorderMode,
+    chunk: &[(i64, i64)],
+    interior: bool,
+    dyn_slot: &[Option<usize>],
+    scratch: &mut [f64],
+    (slices, row0): (&mut [&mut [f64]], usize),
+) {
+    let n = chunk.len();
+    // Per-lane linear origins: read side in frame space, write side in
+    // band space. One add per lane per gather/scatter afterwards.
+    let read_origin: Vec<i64> = chunk.iter().map(|&(tx, ty)| ty * w as i64 + tx).collect();
+    let write_origin: Vec<i64> = chunk
+        .iter()
+        .map(|&(tx, ty)| (ty - row0 as i64) * w as i64 + tx)
+        .collect();
+    // Values live in allocated slots (`cc.dst`); an instruction's
+    // destination slot is never one of its operand slots, so the disjoint
+    // borrows below cannot fail.
+    let range = |s: u32| s as usize * n..s as usize * n + n;
+    for (i, instr) in cc.code.iter().enumerate() {
+        let d = cc.dst[i];
+        match *instr {
+            Instr::Const(v) => scratch[range(d)].fill(v),
+            Instr::Input { field, dx, dy } => {
+                let dst = &mut scratch[range(d)];
+                if interior {
+                    let src = frames[field as usize].as_slice();
+                    let off = i64::from(dy) * w as i64 + i64::from(dx);
+                    for (d, &o) in dst.iter_mut().zip(&read_origin) {
+                        *d = src[(o + off) as usize];
+                    }
+                } else {
+                    let f = frames[field as usize];
+                    for (d, &(tx, ty)) in dst.iter_mut().zip(chunk) {
+                        *d = f.sample(tx + i64::from(dx), ty + i64::from(dy), border);
+                    }
+                }
+            }
+            Instr::Unary { op, a } => {
+                let [dst, a] = scratch
+                    .get_disjoint_mut([range(d), range(a)])
+                    .expect("dst slot distinct from operands");
+                unary_span(op, a, dst);
+            }
+            Instr::Binary { op, a, b } => {
+                if a == b {
+                    let [dst, a] = scratch
+                        .get_disjoint_mut([range(d), range(a)])
+                        .expect("dst slot distinct from operands");
+                    let a = &*a;
+                    binary_span(op, a, a, dst);
+                } else {
+                    let [dst, a, b] = scratch
+                        .get_disjoint_mut([range(d), range(a), range(b)])
+                        .expect("dst slot distinct from operands");
+                    binary_span(op, a, b, dst);
+                }
+            }
+            Instr::Select { c, t, e } => {
+                // Rare op: plain indexed loop sidesteps operand aliasing.
+                let (c0, t0, e0, d0) =
+                    (c as usize * n, t as usize * n, e as usize * n, d as usize * n);
+                for k in 0..n {
+                    scratch[d0 + k] = if scratch[c0 + k] != 0.0 {
+                        scratch[t0 + k]
+                    } else {
+                        scratch[e0 + k]
+                    };
+                }
+            }
+        }
+    }
+    for slot in &cc.outputs {
+        let di = dyn_slot[slot.field as usize].expect("output field is dynamic");
+        let src = &scratch[range(slot.reg)];
+        let off = i64::from(slot.py) * w as i64 + i64::from(slot.px);
+        if interior {
+            for (&v, &o) in src.iter().zip(&write_origin) {
+                slices[di][(o + off) as usize] = v;
+            }
+        } else {
+            for (k, &(tx, ty)) in chunk.iter().enumerate() {
+                let (ax, ay) = (tx + i64::from(slot.px), ty + i64::from(slot.py));
+                if ax < w as i64 && ay < h as i64 {
+                    slices[di][(ay as usize - row0) * w + ax as usize] = src[k];
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -364,5 +953,19 @@ mod tests {
         let init = states(12, 12);
         let out = sim.step(&init).unwrap();
         assert!(Arc::ptr_eq(&init.frames()[1], &out.frames()[1]));
+    }
+
+    #[test]
+    fn recycled_buffers_change_nothing() {
+        // step-by-step vs double-buffered run: identical results.
+        let p = spiky();
+        let sim = Simulator::new(&p).unwrap();
+        let init = states(21, 17);
+        let mut by_step = init.clone();
+        for _ in 0..6 {
+            by_step = sim.step(&by_step).unwrap();
+        }
+        let run = sim.run(&init, 6).unwrap();
+        assert_eq!(by_step, run);
     }
 }

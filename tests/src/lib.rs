@@ -3,4 +3,5 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arb;
 pub mod prop;

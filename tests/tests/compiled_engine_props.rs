@@ -3,155 +3,41 @@
 //! **bit for bit** — on random expressions over every operator, every border
 //! mode, random frame shapes, and every built-in algorithm.
 
-use isl_tests::prop::{check, Rng};
+use isl_tests::arb::{arb_border, arb_pattern, assert_bitwise_eq, frames_for};
+use isl_tests::prop::check;
 
-use isl_hls::ir::{BinaryOp, Expr, FieldId, FieldKind, Offset, StencilPattern, UnaryOp};
+use isl_hls::ir::{BinaryOp, Expr, FieldKind, Offset, StencilPattern};
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
 use isl_hls::sim::Quantizer;
 
-/// Random expression over every op kind, any declared field, bounded depth
-/// and radius ≤ 2. Values may blow up under iteration — irrelevant here,
-/// since Inf/NaN must propagate identically through both engines.
-fn arb_expr(rng: &mut Rng, fields: &[FieldId], n_params: usize, depth: u32) -> Expr {
-    let leaf = |rng: &mut Rng| {
-        match rng.weighted(&[4, 2, if n_params > 0 { 2 } else { 0 }]) {
-            0 => {
-                let f = fields[rng.usize_in(0, fields.len() - 1)];
-                Expr::input(f, Offset::d2(rng.i32_in(-2, 2), rng.i32_in(-2, 2)))
-            }
-            1 => Expr::constant((rng.f64_in(-2.0, 2.0) * 8.0).round() / 8.0),
-            _ => Expr::param(isl_hls::ir::ParamId::new(
-                rng.usize_in(0, n_params - 1) as u16
-            )),
-        }
-    };
-    if depth == 0 {
-        return leaf(rng);
-    }
-    match rng.weighted(&[3, 5, 2, 2]) {
-        0 => leaf(rng),
-        1 => {
-            let op = [
-                BinaryOp::Add,
-                BinaryOp::Sub,
-                BinaryOp::Mul,
-                BinaryOp::Div,
-                BinaryOp::Min,
-                BinaryOp::Max,
-                BinaryOp::Lt,
-                BinaryOp::Le,
-                BinaryOp::Gt,
-                BinaryOp::Ge,
-            ][rng.usize_in(0, 9)];
-            let lhs = arb_expr(rng, fields, n_params, depth - 1);
-            let rhs = arb_expr(rng, fields, n_params, depth - 1);
-            Expr::binary(op, lhs, rhs)
-        }
-        2 => {
-            let op = [UnaryOp::Neg, UnaryOp::Abs, UnaryOp::Sqrt][rng.usize_in(0, 2)];
-            Expr::unary(op, arb_expr(rng, fields, n_params, depth - 1))
-        }
-        _ => {
-            let c = arb_expr(rng, fields, n_params, depth - 1);
-            let t = arb_expr(rng, fields, n_params, depth - 1);
-            let e = arb_expr(rng, fields, n_params, depth - 1);
-            Expr::select(c, t, e)
-        }
-    }
-}
-
-/// Random pattern: 1–3 fields (first dynamic, rest mixed), 0–2 parameters,
-/// one random update per dynamic field.
-fn arb_pattern(rng: &mut Rng) -> StencilPattern {
-    let mut p = StencilPattern::new(2).with_name("vmrand");
-    let n_fields = rng.usize_in(1, 3);
-    let mut ids = Vec::new();
-    for i in 0..n_fields {
-        let kind = if i == 0 || rng.bool() {
-            FieldKind::Dynamic
-        } else {
-            FieldKind::Static
-        };
-        ids.push((p.add_field(format!("f{i}"), kind), kind));
-    }
-    let n_params = rng.usize_in(0, 2);
-    for j in 0..n_params {
-        p.add_param(format!("p{j}"), (rng.f64_in(-1.0, 1.0) * 8.0).round() / 8.0);
-    }
-    let all_ids: Vec<FieldId> = ids.iter().map(|(id, _)| *id).collect();
-    for (id, kind) in &ids {
-        if *kind == FieldKind::Dynamic {
-            let depth = rng.u32_in(1, 4);
-            let e = arb_expr(rng, &all_ids, n_params, depth);
-            p.set_update(*id, e).expect("dynamic field");
-        }
-    }
-    p
-}
-
-fn arb_border(rng: &mut Rng) -> BorderMode {
-    match rng.weighted(&[1, 1, 1, 1]) {
-        0 => BorderMode::Clamp,
-        1 => BorderMode::Mirror,
-        2 => BorderMode::Wrap,
-        _ => BorderMode::Constant(rng.f64_in(-1.0, 1.0)),
-    }
-}
-
-fn frames_for(p: &StencilPattern, w: usize, h: usize, seed: u64) -> FrameSet {
-    FrameSet::from_frames(
-        p.fields()
-            .iter()
-            .enumerate()
-            .map(|(i, _)| synthetic::noise(w, h, seed ^ (i as u64) << 32))
-            .collect(),
-    )
-    .expect("congruent")
-}
-
-fn assert_bitwise_eq(a: &FrameSet, b: &FrameSet, what: &str) {
-    assert_eq!(a.len(), b.len());
-    for fi in 0..a.len() {
-        for (i, (x, y)) in a
-            .frame(fi)
-            .as_slice()
-            .iter()
-            .zip(b.frame(fi).as_slice())
-            .enumerate()
-        {
-            assert!(
-                x.to_bits() == y.to_bits(),
-                "{what}: field {fi} slot {i}: {x} ({:#x}) vs {y} ({:#x})",
-                x.to_bits(),
-                y.to_bits()
-            );
-        }
-    }
-}
-
 /// The compiled engine equals `Expr::eval` bit-for-bit on random patterns,
-/// frames, borders and thread counts.
+/// frames and borders, across an explicit worker-pool thread matrix.
 #[test]
 fn compiled_step_matches_tree_walk_bitwise() {
     check("compiled_step_matches_tree_walk_bitwise", 96, |rng| {
         let pattern = arb_pattern(rng);
         let border = arb_border(rng);
         let (w, h) = (rng.usize_in(1, 24), rng.usize_in(1, 24));
-        let threads = rng.usize_in(1, 4);
         let iters = rng.u32_in(1, 3);
-        let sim = Simulator::new(&pattern)
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let reference = Simulator::new(&pattern)
             .expect("valid pattern")
             .with_border(border)
-            .with_threads(threads);
-        let init = frames_for(&pattern, w, h, rng.u64());
-        let compiled = sim.run(&init, iters).expect("compiled runs");
-        let reference = sim.run_reference(&init, iters).expect("reference runs");
-        assert_bitwise_eq(
-            &compiled,
-            &reference,
-            &format!("{w}x{h} border {border} threads {threads}"),
-        );
+            .run_reference(&init, iters)
+            .expect("reference runs");
+        for threads in [1, 2, 4] {
+            let sim = Simulator::new(&pattern)
+                .expect("valid pattern")
+                .with_border(border)
+                .with_threads(threads);
+            let compiled = sim.run(&init, iters).expect("compiled runs");
+            assert_bitwise_eq(
+                &compiled,
+                &reference,
+                &format!("{w}x{h} border {border} threads {threads}"),
+            );
+        }
     });
 }
 
