@@ -1,7 +1,10 @@
 //! Interpreted vs compiled simulation engine, the headline perf comparison
 //! of the bytecode VM work: gaussian IGF and Chambolle at 256×256, through
 //! all three execution semantics — golden whole-frame, tiled
-//! (cone-architecture) and cone-DAG.
+//! (cone-architecture) and cone-DAG — plus their **quantised** variants
+//! (fixed-point rounding after every operation, the hardware's numeric
+//! behaviour) and the cone-program slot footprint with and without the
+//! consumer-clustering scheduling pre-pass.
 //!
 //! Always writes `BENCH_sim.json` at the workspace root with the measured
 //! times and speedups so the perf trajectory of the engine can be tracked
@@ -11,8 +14,10 @@ use std::time::Instant;
 
 use isl_bench::harness::Criterion;
 use isl_hls::algorithms::{chambolle, gaussian_igf};
+use isl_hls::ir::Cone;
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
+use isl_hls::sim::{CompiledCone, Quantizer};
 
 const SIZE: usize = 256;
 const ITERS: u32 = 10;
@@ -174,6 +179,49 @@ fn main() {
         row.print();
         rows.push(row);
 
+        // Quantised semantics (fixed-point rounding after every op): the
+        // hardware-faithful numeric mode, interpreted vs compiled, through
+        // all three execution paths.
+        let q = Quantizer::q18_10();
+        let row = measure(
+            format!("quantized_{}", case.name),
+            |s| s.run_quantized_reference(&case.init, ITERS, q).expect("runs"),
+            |s| s.run_quantized(&case.init, ITERS, q).expect("runs"),
+            &case.pattern,
+        );
+        row.print();
+        rows.push(row);
+
+        let row = measure(
+            format!("quantized_tiled_{}", case.name),
+            |s| {
+                s.run_tiled_quantized_reference(&case.init, ITERS, tiled_window, DEPTH, q)
+                    .expect("runs")
+            },
+            |s| {
+                s.run_tiled_quantized(&case.init, ITERS, tiled_window, DEPTH, q)
+                    .expect("runs")
+            },
+            &case.pattern,
+        );
+        row.print();
+        rows.push(row);
+
+        let row = measure(
+            format!("quantized_cone_dag_{}", case.name),
+            |s| {
+                s.run_cone_dag_quantized_reference(&case.init, ITERS, cone_window, DEPTH, q)
+                    .expect("runs")
+            },
+            |s| {
+                s.run_cone_dag_quantized(&case.init, ITERS, cone_window, DEPTH, q)
+                    .expect("runs")
+            },
+            &case.pattern,
+        );
+        row.print();
+        rows.push(row);
+
         // Also register per-step timings with the harness for uniform output.
         let interp = Simulator::new(&case.pattern).expect("valid").with_threads(1);
         let small = small_for(&case.pattern, 64, 64);
@@ -194,13 +242,41 @@ fn main() {
         g.finish();
     }
 
+    // Cone-program slot footprint: peak live set of the w16d2 cone with the
+    // kill-first scheduling pre-pass vs the plain lowering order (the
+    // ROADMAP's instruction-scheduling item, measured).
+    let mut slot_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let params: Vec<f64> = case.pattern.params().iter().map(|p| p.default).collect();
+        let cone =
+            Cone::build(&case.pattern, Window::square(TILE_TILED), DEPTH).expect("cone builds");
+        let cc = CompiledCone::compile(&cone, &params);
+        println!(
+            "{:<24} w{TILE_TILED} d{DEPTH} cone: {} instrs, slots {} scheduled vs {} linear ({:.1}% smaller)",
+            case.name,
+            cc.len(),
+            cc.slots(),
+            cc.slots_unscheduled(),
+            100.0 * (1.0 - cc.slots() as f64 / cc.slots_unscheduled() as f64),
+        );
+        slot_rows.push(format!(
+            "    {{\"name\": \"{}_w{TILE_TILED}_d{DEPTH}\", \"instructions\": {}, \"slots_scheduled\": {}, \"slots_linear\": {}}}",
+            case.name,
+            cc.len(),
+            cc.slots(),
+            cc.slots_unscheduled()
+        ));
+    }
+
     let mut json = format!(
         "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
     );
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&row.json(i + 1 == rows.len()));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"cone_slots\": [\n");
+    json.push_str(&slot_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the
     // trajectory file at the workspace root instead.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

@@ -18,6 +18,9 @@ pub enum FlowError {
     Exploration(String),
     /// Functional-simulation failure.
     Simulation(String),
+    /// Hardware co-simulation / certification failure: the architecture's
+    /// quantised execution or its golden vectors diverged.
+    Verification(String),
 }
 
 impl fmt::Display for FlowError {
@@ -29,6 +32,7 @@ impl fmt::Display for FlowError {
             FlowError::Estimation(m) => write!(f, "estimation failed: {m}"),
             FlowError::Exploration(m) => write!(f, "design-space exploration failed: {m}"),
             FlowError::Simulation(m) => write!(f, "simulation failed: {m}"),
+            FlowError::Verification(m) => write!(f, "architecture verification failed: {m}"),
         }
     }
 }
@@ -68,5 +72,11 @@ impl From<isl_dse::DseError> for FlowError {
 impl From<isl_sim::SimError> for FlowError {
     fn from(e: isl_sim::SimError) -> Self {
         FlowError::Simulation(e.to_string())
+    }
+}
+
+impl From<isl_cosim::CosimError> for FlowError {
+    fn from(e: isl_cosim::CosimError) -> Self {
+        FlowError::Verification(e.to_string())
     }
 }

@@ -1,15 +1,19 @@
 //! The end-to-end flow object.
 
 use isl_algorithms::Algorithm;
+use isl_cosim::CoSimulator;
 use isl_dse::{DesignSpace, Exploration, Explorer};
 use isl_estimate::{
     Architecture, AreaValidation, ScheduleModel, ThroughputEstimator, ThroughputReport, Workload,
 };
-use isl_fpga::{Device, SynthOptions, Synthesizer};
+use isl_fpga::{Device, FixedFormat, SynthOptions, Synthesizer};
 use isl_ir::{Cone, StencilPattern, Window};
-use isl_sim::{BorderMode, Simulator};
+use isl_sim::{BorderMode, FrameSet, Simulator};
 use isl_symexec::compile_str;
-use isl_vhdl::{fixed_package, generate_cone, generate_testbench, generate_wrapper, VhdlOptions};
+use isl_vhdl::{
+    check::verify_vectors, fixed_package, generate_cone, generate_testbench,
+    generate_vector_testbench, generate_wrapper, VectorFile, VhdlOptions,
+};
 
 use crate::error::FlowError;
 
@@ -267,6 +271,144 @@ impl IslFlow {
         let sim = self.simulator()?;
         Ok(sim.run_tiled(init, self.iterations, arch.window, arch.depth)?)
     }
+
+    // -- hardware co-simulation --------------------------------------------
+
+    /// Certify an explored architecture instance end to end on `init`:
+    ///
+    /// 1. the **compiled quantised tiled** run (fixed-point rounding after
+    ///    every operation, at `arch`'s exact window/depth decomposition) is
+    ///    checked bit-identical to the tree-walking quantised reference;
+    /// 2. the **compiled quantised cone-DAG** run — the hardware's actual
+    ///    multi-level datapath semantics — likewise;
+    /// 3. the bit-true **integer co-simulator** replays the decomposition
+    ///    on raw fixed-point words and records every cone firing as golden
+    ///    vectors, which must pass [`isl_vhdl::check::verify_vectors`]
+    ///    (independent re-derivation of every response word) with zero
+    ///    mismatches; the vector-file testbenches are generated and
+    ///    structurally checked along the way.
+    ///
+    /// Returns the evidence as an [`ArchitectureCertificate`] (vector files
+    /// included, ready to ship next to the VHDL bundle).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Verification`] on any divergence;
+    /// [`FlowError::Simulation`] for unsupported ranks, non-local borders or
+    /// mismatched frame sets.
+    pub fn verify_architecture(
+        &self,
+        init: &FrameSet,
+        arch: Architecture,
+    ) -> Result<ArchitectureCertificate, FlowError> {
+        let fmt = self.synth_options.format;
+        let q = isl_cosim::quantizer_of(fmt);
+        let sim = self.simulator()?;
+        let iters = self.iterations;
+        let (window, depth) = (arch.window, arch.depth);
+
+        let bitwise = |a: &FrameSet, b: &FrameSet, what: &str| -> Result<usize, FlowError> {
+            let mut n = 0;
+            for fi in 0..a.len() {
+                for (i, (x, y)) in a
+                    .frame(fi)
+                    .as_slice()
+                    .iter()
+                    .zip(b.frame(fi).as_slice())
+                    .enumerate()
+                {
+                    if x.to_bits() != y.to_bits() {
+                        return Err(FlowError::Verification(format!(
+                            "{what}: field {fi} element {i}: compiled {x} vs reference {y}"
+                        )));
+                    }
+                    n += 1;
+                }
+            }
+            Ok(n)
+        };
+
+        // 1) Quantised tiled semantics, compiled vs golden tree walk.
+        let tiled = sim.run_tiled_quantized(init, iters, window, depth, q)?;
+        let tiled_ref = sim.run_tiled_quantized_reference(init, iters, window, depth, q)?;
+        let mut quantized_elements = bitwise(&tiled, &tiled_ref, "quantised tiled")?;
+
+        // 2) Quantised cone-DAG semantics, compiled vs golden graph walk.
+        let dag = sim.run_cone_dag_quantized(init, iters, window, depth, q)?;
+        let dag_ref = sim.run_cone_dag_quantized_reference(init, iters, window, depth, q)?;
+        quantized_elements += bitwise(&dag, &dag_ref, "quantised cone-DAG")?;
+
+        // 3) Bit-true integer co-simulation + golden-vector certification.
+        let cosim = CoSimulator::new(&self.pattern, fmt)?.with_border(self.border);
+        let vector_files = cosim.golden_vectors(init, iters, window, depth)?;
+        let mut vector_records = 0;
+        let mut vector_words = 0;
+        for file in &vector_files {
+            let cone = self.build_cone(file.window, file.depth)?;
+            let report = verify_vectors(&cone, fmt, file)
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+            vector_records += report.records;
+            vector_words += report.words;
+            // The exchange works end to end: the file round-trips through
+            // its text form and drives a structurally valid testbench.
+            let reparsed = VectorFile::parse(&file.to_text())
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+            if &reparsed != file {
+                return Err(FlowError::Verification(
+                    "vector file text round-trip diverged".into(),
+                ));
+            }
+            let module = generate_cone(&cone, &VhdlOptions { format: fmt });
+            let tb = generate_vector_testbench(&module, file)
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+            isl_vhdl::check::balance_only(&tb)
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+        }
+
+        // Informative accuracy bound: how far the fixed-point hardware run
+        // drifted from the exact f64 run after the full iteration count.
+        let golden = sim.run(init, iters)?;
+        let fixed = cosim
+            .run_cone_levels(init, iters, window, depth)?
+            .dequantize(fmt);
+        let max_fixed_error = golden.max_abs_diff(&fixed);
+
+        Ok(ArchitectureCertificate {
+            arch,
+            iterations: iters,
+            format: fmt,
+            quantized_elements,
+            vector_files,
+            vector_records,
+            vector_words,
+            max_fixed_error,
+        })
+    }
+}
+
+/// Evidence that one architecture instance computes what the hardware will:
+/// returned by [`IslFlow::verify_architecture`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureCertificate {
+    /// The certified instance.
+    pub arch: Architecture,
+    /// Iterations of the certified run.
+    pub iterations: u32,
+    /// Fixed-point format of the datapath.
+    pub format: FixedFormat,
+    /// Frame elements compared bit-for-bit across the quantised compiled /
+    /// reference engine pairs (tiled + cone-DAG).
+    pub quantized_elements: usize,
+    /// Golden-vector files, one per distinct cone shape of the
+    /// decomposition — every firing of the run, certified mismatch-free.
+    pub vector_files: Vec<VectorFile>,
+    /// Cone firings certified across all vector files.
+    pub vector_records: usize,
+    /// Response words certified bit-for-bit.
+    pub vector_words: usize,
+    /// Largest |fixed-point − f64| deviation of the full run (the numeric
+    /// cost of the hardware datapath, measured — not assumed).
+    pub max_fixed_error: f64,
 }
 
 #[cfg(test)]
@@ -341,6 +483,25 @@ void blur(const float in[H][W], float out[H][W]) {
             .run(&init, flow.iterations())
             .unwrap();
         assert_eq!(by_arch, golden);
+    }
+
+    #[test]
+    fn verify_architecture_certifies_explored_point() {
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(2..=4, 1..=3, 2);
+        let result = flow.explore(&device, flow.workload(24, 18), &space).unwrap();
+        let best = result.fastest().unwrap();
+        let init = FrameSet::from_frames(vec![synthetic::noise(24, 18, 3)]).unwrap();
+        let cert = flow.verify_architecture(&init, best.arch).unwrap();
+        assert_eq!(cert.arch, best.arch);
+        assert!(cert.quantized_elements > 0);
+        assert!(cert.vector_records > 0);
+        assert!(cert.vector_words > 0);
+        assert!(!cert.vector_files.is_empty());
+        // A 6-iteration blur in Q8.10 stays within a small multiple of the
+        // quantisation step.
+        assert!(cert.max_fixed_error < 0.25, "{}", cert.max_fixed_error);
     }
 
     #[test]

@@ -61,11 +61,11 @@ mod error;
 mod flow;
 
 pub use error::FlowError;
-pub use flow::{IslFlow, VhdlBundle};
+pub use flow::{ArchitectureCertificate, IslFlow, VhdlBundle};
 
 /// Convenient single-import surface for flow users.
 pub mod prelude {
-    pub use crate::{FlowError, IslFlow, VhdlBundle};
+    pub use crate::{ArchitectureCertificate, FlowError, IslFlow, VhdlBundle};
     pub use isl_dse::{DesignPoint, DesignSpace, Exploration, Explorer};
     pub use isl_estimate::{
         Architecture, AreaEstimator, AreaValidation, ScheduleModel, ThroughputEstimator,
@@ -79,6 +79,7 @@ pub mod prelude {
 // Re-export the component crates for power users.
 pub use isl_algorithms as algorithms;
 pub use isl_baselines as baselines;
+pub use isl_cosim as cosim;
 pub use isl_dse as dse;
 pub use isl_estimate as estimate;
 pub use isl_fpga as fpga;

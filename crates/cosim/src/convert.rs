@@ -1,0 +1,72 @@
+//! The one place the software and hardware fixed-point types meet.
+//!
+//! `isl_sim::Quantizer` (the simulator's rounding rule) and
+//! `isl_fpga::FixedFormat` (the hardware format) describe the same thing —
+//! a signed fixed-point format of `width` total and `frac` fractional bits.
+//! Historically each crate carried its own copy "without creating a
+//! dependency"; this module is the sanctioned bridge, and its tests pin the
+//! two implementations to bit-identical rounding behaviour so they cannot
+//! drift again.
+
+use isl_fpga::FixedFormat;
+use isl_sim::Quantizer;
+
+/// The simulator-side rounding rule of a hardware format.
+///
+/// # Panics
+///
+/// Panics for `width == 64`: the simulator's quantiser works on `f64`
+/// frames and caps at 63 bits; no modelled device uses a 64-bit datapath.
+pub fn quantizer_of(fmt: FixedFormat) -> Quantizer {
+    Quantizer::new(fmt.width, fmt.frac)
+}
+
+/// The hardware format matching a simulator rounding rule.
+pub fn format_of(q: Quantizer) -> FixedFormat {
+    FixedFormat::new(q.width(), q.frac())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_lossless() {
+        for (w, f) in [(18, 10), (8, 4), (32, 16), (63, 20)] {
+            let fmt = FixedFormat::new(w, f);
+            let q = quantizer_of(fmt);
+            assert_eq!(format_of(q), fmt);
+            assert_eq!(q.width(), fmt.width);
+            assert_eq!(q.frac(), fmt.frac);
+        }
+    }
+
+    #[test]
+    fn rounding_rules_agree_bit_for_bit() {
+        // The property that makes the two types one definition: for every
+        // finite input, Quantizer::apply and FixedFormat::round_trip produce
+        // the same f64 (including at and beyond the saturation rails).
+        for (w, f) in [(18, 10), (8, 4), (12, 1), (24, 20)] {
+            let fmt = FixedFormat::new(w, f);
+            let q = quantizer_of(fmt);
+            let mut v = -2.0 * fmt.max_value().abs() - 1.0;
+            let step = fmt.resolution() * 0.37 + 1e-4;
+            while v < 2.0 * fmt.max_value().abs() + 1.0 {
+                let a = q.apply(v);
+                let b = fmt.round_trip(v);
+                assert_eq!(a.to_bits(), b.to_bits(), "Q{w}.{f} at {v}: {a} vs {b}");
+                v += step;
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_matches_apply() {
+        let fmt = FixedFormat::default();
+        let q = quantizer_of(fmt);
+        for i in -2000..2000 {
+            let v = i as f64 * 0.013;
+            assert_eq!(q.apply(v), fmt.dequantize(fmt.quantize(v)));
+        }
+    }
+}

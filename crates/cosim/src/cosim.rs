@@ -1,0 +1,557 @@
+//! The co-simulator: integer-domain execution of whole architecture runs,
+//! golden-vector generation and mismatch triage.
+
+use isl_fpga::FixedFormat;
+use isl_ir::{Cone, Leaf, Node, NodeId, StencilPattern, Window};
+use isl_sim::{BorderMode, CompiledCone, CompiledPattern, Frame, FrameSet};
+use isl_vhdl::codegen;
+use isl_vhdl::vectors::{VectorFile, VectorRecord};
+use isl_vhdl::VectorCheckError;
+
+use crate::error::CosimError;
+use crate::vm::{eval_cone_raw_traced, eval_kernel_raw, Fault};
+
+/// Frames of raw fixed-point words — the integer-domain mirror of
+/// [`isl_sim::FrameSet`]. One buffer per pattern field, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntFrameSet {
+    width: usize,
+    height: usize,
+    frames: Vec<Vec<i64>>,
+}
+
+impl IntFrameSet {
+    /// Load an `f64` frame set into the integer domain (round-to-nearest
+    /// with saturation per sample — the window-buffer load of the hardware).
+    pub fn quantize(fs: &FrameSet, fmt: FixedFormat) -> Self {
+        IntFrameSet {
+            width: fs.width(),
+            height: fs.height(),
+            frames: fs
+                .frames()
+                .iter()
+                .map(|f| f.as_slice().iter().map(|&v| fmt.quantize(v)).collect())
+                .collect(),
+        }
+    }
+
+    /// Convert back to real-unit frames.
+    pub fn dequantize(&self, fmt: FixedFormat) -> FrameSet {
+        FrameSet::from_frames(
+            self.frames
+                .iter()
+                .map(|data| {
+                    Frame::from_vec(
+                        self.width,
+                        self.height,
+                        data.iter().map(|&r| fmt.dequantize(r)).collect(),
+                    )
+                })
+                .collect(),
+        )
+        .expect("congruent frames")
+    }
+
+    /// Frame width in samples.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in samples.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the set has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Raw word of field `field` at in-bounds `(x, y)`.
+    pub fn word(&self, field: usize, x: usize, y: usize) -> i64 {
+        self.frames[field][y * self.width + x]
+    }
+
+    /// Border-resolved raw read at possibly-out-of-frame coordinates. The
+    /// border constant is quantised on entry, like any other loaded sample.
+    pub fn sample(&self, field: usize, x: i64, y: i64, border: BorderMode, fmt: FixedFormat) -> i64 {
+        let rx = border.resolve(x, self.width as i64);
+        let ry = border.resolve(y, self.height as i64);
+        match (rx, ry) {
+            (Some(rx), Some(ry)) => self.frames[field][ry as usize * self.width + rx as usize],
+            _ => fmt.quantize(
+                border
+                    .constant_value()
+                    .expect("resolve returns None only for Constant"),
+            ),
+        }
+    }
+}
+
+/// The first diverging instruction of a triaged firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrDivergence {
+    /// Instruction index in the compiled cone program.
+    pub instr: usize,
+    /// Human-readable rendering of the instruction.
+    pub op: String,
+    /// Result word of the clean reference VM.
+    pub expected: i64,
+    /// Result word under the fault hypothesis.
+    pub got: i64,
+}
+
+/// A triaged golden-vector mismatch: the first diverging firing (record,
+/// level, tile and port) and — when the co-simulator carries a fault
+/// hypothesis that reproduces the file — the first diverging instruction
+/// inside that firing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageReport {
+    /// Entity the vectors drive.
+    pub entity: String,
+    /// Record index in file order.
+    pub record: usize,
+    /// Decomposition level of the diverging firing.
+    pub level: u32,
+    /// Tile origin of the diverging firing, frame coordinates.
+    pub tile: (i64, i64),
+    /// First diverging output port.
+    pub port: String,
+    /// Raw word the independent checker derived.
+    pub expected: i64,
+    /// Raw word the file recorded.
+    pub got: i64,
+    /// First diverging instruction (present when the fault hypothesis
+    /// reproduces a divergence on this firing's stimulus).
+    pub divergence: Option<InstrDivergence>,
+}
+
+impl std::fmt::Display for TriageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first divergence: `{}` record {} (level {}, tile ({}, {})) port `{}`: expected {}, got {}",
+            self.entity, self.record, self.level, self.tile.0, self.tile.1, self.port,
+            self.expected, self.got
+        )?;
+        if let Some(d) = &self.divergence {
+            write!(
+                f,
+                "; instruction {} [{}]: {} -> {}",
+                d.instr, d.op, d.expected, d.got
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Bit-true co-simulator of one stencil pattern on one hardware format.
+///
+/// Runs whole frames ([`CoSimulator::run_frames`]) and cone-architecture
+/// decompositions ([`CoSimulator::run_cone_levels`]) entirely on raw `i64`
+/// words through the integer VM, generates per-firing golden-vector files
+/// ([`CoSimulator::golden_vectors`]) for the VHDL backend, and triages
+/// vector mismatches down to the instruction
+/// ([`CoSimulator::triage_vectors`]).
+#[derive(Debug, Clone)]
+pub struct CoSimulator<'p> {
+    pattern: &'p StencilPattern,
+    fmt: FixedFormat,
+    border: BorderMode,
+    params: Vec<f64>,
+    fault: Option<Fault>,
+}
+
+impl<'p> CoSimulator<'p> {
+    /// Wrap a validated pattern with default border (clamp) and default
+    /// parameter values.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] for invalid or rank-3 patterns.
+    pub fn new(pattern: &'p StencilPattern, fmt: FixedFormat) -> Result<Self, CosimError> {
+        pattern
+            .validate()
+            .map_err(|e| CosimError::Sim(e.to_string()))?;
+        if pattern.rank() > 2 {
+            return Err(CosimError::Sim(format!(
+                "cannot co-simulate rank-{} patterns (supported: 1, 2)",
+                pattern.rank()
+            )));
+        }
+        Ok(CoSimulator {
+            pattern,
+            fmt,
+            border: BorderMode::default(),
+            params: pattern.params().iter().map(|p| p.default).collect(),
+            fault: None,
+        })
+    }
+
+    /// Select the border mode.
+    pub fn with_border(mut self, border: BorderMode) -> Self {
+        self.border = border;
+        self
+    }
+
+    /// Override parameter values (by [`isl_ir::ParamId`] index).
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] when the length differs from the pattern's
+    /// parameter list.
+    pub fn with_params(mut self, params: Vec<f64>) -> Result<Self, CosimError> {
+        if params.len() != self.pattern.params().len() {
+            return Err(CosimError::Sim(format!(
+                "parameter vector has {} values but the pattern declares {}",
+                params.len(),
+                self.pattern.params().len()
+            )));
+        }
+        self.params = params;
+        Ok(self)
+    }
+
+    /// Inject a deliberate datapath fault (see [`Fault`]) into every cone
+    /// firing — the self-test hook that lets the triage machinery prove it
+    /// catches real divergence.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The hardware format.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// The pattern being co-simulated.
+    pub fn pattern(&self) -> &StencilPattern {
+        self.pattern
+    }
+
+    fn check(&self, init: &FrameSet) -> Result<(), CosimError> {
+        if init.len() != self.pattern.fields().len() {
+            return Err(CosimError::Sim(format!(
+                "frame set has {} frames but the pattern declares {} fields",
+                init.len(),
+                self.pattern.fields().len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// `iterations` whole-frame steps in the integer domain — the sibling
+    /// of [`isl_sim::Simulator::run`] on raw words, every operation through
+    /// the hardware datapath.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] on a frame-set mismatch.
+    pub fn run_frames(&self, init: &FrameSet, iterations: u32) -> Result<IntFrameSet, CosimError> {
+        self.check(init)?;
+        let cp = CompiledPattern::compile(self.pattern, &self.params, false);
+        let mut state = IntFrameSet::quantize(init, self.fmt);
+        let (w, h) = (state.width as i64, state.height as i64);
+        for _ in 0..iterations {
+            let mut next = state.clone();
+            for fi in 0..cp.field_count() {
+                let Some(kernel) = cp.kernel(fi) else {
+                    continue; // static field: buffer carried over
+                };
+                for y in 0..h {
+                    for x in 0..w {
+                        let v = eval_kernel_raw(kernel, self.fmt, |f, dx, dy| {
+                            state.sample(
+                                f as usize,
+                                x + i64::from(dx),
+                                y + i64::from(dy),
+                                self.border,
+                                self.fmt,
+                            )
+                        });
+                        next.frames[fi][(y * w + x) as usize] = v;
+                    }
+                }
+            }
+            state = next;
+        }
+        Ok(state)
+    }
+
+    /// Execute the cone-architecture decomposition (`iterations` split into
+    /// depth-`depth` levels plus a remainder level) entirely in the integer
+    /// domain: every window tile of every level runs through the integer
+    /// VM, borders resolved at each level's base inputs — exactly what the
+    /// generated hardware computes.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Cone`] for `depth == 0` or cone-construction failures;
+    /// [`CosimError::Sim`] on a frame-set mismatch.
+    pub fn run_cone_levels(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<IntFrameSet, CosimError> {
+        let (state, _) = self.cone_levels_impl(init, iterations, window, depth, false)?;
+        Ok(state)
+    }
+
+    /// Run the cone-architecture decomposition and record every cone firing
+    /// as a golden vector: the raw stimulus word of each data input port
+    /// and the raw response word of each output port, per window tile per
+    /// level. Returns one [`VectorFile`] per *distinct* cone shape (the
+    /// main depth, plus the remainder depth when `depth` does not divide
+    /// `iterations`), ready for [`isl_vhdl::check::verify_vectors`] and the
+    /// vector-file testbench mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoSimulator::run_cone_levels`].
+    pub fn golden_vectors(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Result<Vec<VectorFile>, CosimError> {
+        let (_, files) = self.cone_levels_impl(init, iterations, window, depth, true)?;
+        Ok(files)
+    }
+
+    fn cone_levels_impl(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        record: bool,
+    ) -> Result<(IntFrameSet, Vec<VectorFile>), CosimError> {
+        self.check(init)?;
+        if depth == 0 {
+            return Err(CosimError::Cone("cone depth must be at least 1".into()));
+        }
+        // The paper's decomposition — shared with the quantised engines so
+        // co-simulated levels correspond to simulated levels exactly.
+        let level_plan = isl_sim::level_depths(iterations, depth);
+        struct Shape {
+            cone: Cone,
+            cc: CompiledCone,
+            ports_in: Vec<String>,
+            file: VectorFile,
+        }
+        let mut shapes: Vec<(u32, Shape)> = Vec::new();
+        let mut state = IntFrameSet::quantize(init, self.fmt);
+        let (w, h) = (state.width as i64, state.height as i64);
+        let (tw, th) = (window.w as i64, window.h as i64);
+        for (li, &d) in level_plan.iter().enumerate() {
+            if !shapes.iter().any(|(sd, _)| *sd == d) {
+                let cone = Cone::build(self.pattern, window, d)?;
+                let cc = CompiledCone::compile_with(&cone, &self.params, false);
+                let (ports_in, ports_out) = cone_ports(&cone);
+                let file = VectorFile {
+                    entity: codegen::entity_name(&cone),
+                    format: self.fmt,
+                    window,
+                    depth: d,
+                    ports_in: ports_in.clone(),
+                    ports_out,
+                    records: Vec::new(),
+                };
+                shapes.push((
+                    d,
+                    Shape {
+                        cone,
+                        cc,
+                        ports_in,
+                        file,
+                    },
+                ));
+            }
+            let shape = &mut shapes
+                .iter_mut()
+                .find(|(sd, _)| *sd == d)
+                .expect("shape built above")
+                .1;
+            let mut next = state.clone();
+            let mut ty = 0;
+            while ty < h {
+                let mut tx = 0;
+                while tx < w {
+                    let read = |f: u16, dx: i32, dy: i32| {
+                        state.sample(
+                            f as usize,
+                            tx + i64::from(dx),
+                            ty + i64::from(dy),
+                            self.border,
+                            self.fmt,
+                        )
+                    };
+                    let (outs, _) = eval_cone_raw_traced(&shape.cc, self.fmt, read, self.fault);
+                    if record {
+                        let stimulus = stimulus_words(
+                            &shape.cone,
+                            &shape.ports_in,
+                            &self.params,
+                            self.fmt,
+                            &read,
+                        );
+                        shape.file.records.push(VectorRecord {
+                            level: li as u32,
+                            tile: (tx, ty),
+                            stimulus,
+                            response: outs.clone(),
+                        });
+                    }
+                    for (slot, v) in shape.cc.outputs().iter().zip(&outs) {
+                        let (ax, ay) = (tx + i64::from(slot.px), ty + i64::from(slot.py));
+                        if ax < w && ay < h {
+                            next.frames[slot.field as usize][(ay * w + ax) as usize] = *v;
+                        }
+                    }
+                    tx += tw;
+                }
+                ty += th;
+            }
+            state = next;
+        }
+        let files = shapes.into_iter().map(|(_, s)| s.file).collect();
+        Ok((state, files))
+    }
+
+    /// Locate the first diverging firing of `file` against the clean
+    /// integer reference — and, when this co-simulator carries a [`Fault`]
+    /// hypothesis that reproduces the divergence, the first diverging
+    /// instruction inside that firing. Returns `Ok(None)` when every word
+    /// checks out.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Incompatible`] when the file does not describe a cone
+    /// of this pattern; [`CosimError::Cone`] on construction failure.
+    pub fn triage_vectors(&self, file: &VectorFile) -> Result<Option<TriageReport>, CosimError> {
+        let cone = Cone::build(self.pattern, file.window, file.depth)?;
+        let mismatch = match isl_vhdl::check::verify_vectors(&cone, self.fmt, file) {
+            Ok(_) => return Ok(None),
+            Err(VectorCheckError::Incompatible(m)) => return Err(CosimError::Incompatible(m)),
+            Err(VectorCheckError::Mismatch(m)) => m,
+        };
+        // Replay the diverging firing's stimulus through the clean VM and
+        // through the fault hypothesis; the first trace divergence is the
+        // offending instruction.
+        let cc = CompiledCone::compile_with(&cone, &self.params, false);
+        let record = &file.records[mismatch.record];
+        let read = |f: u16, dx: i32, dy: i32| -> i64 {
+            let fid = isl_ir::FieldId::new(f);
+            let point = isl_ir::Point::d2(dx, dy);
+            let name = if self.pattern.field(fid).kind == isl_ir::FieldKind::Static {
+                codegen::static_port_name(fid, point)
+            } else {
+                codegen::input_port_name(fid, point)
+            };
+            file.input_column(&name)
+                .map(|c| record.stimulus[c])
+                .unwrap_or(0)
+        };
+        let divergence = self.fault.and_then(|fault| {
+            let (_, clean) = eval_cone_raw_traced(&cc, self.fmt, read, None);
+            let (_, faulty) = eval_cone_raw_traced(&cc, self.fmt, read, Some(fault));
+            clean
+                .iter()
+                .zip(&faulty)
+                .position(|(a, b)| a != b)
+                .map(|i| InstrDivergence {
+                    instr: i,
+                    op: format!("{:?}", cc.code()[i]),
+                    expected: clean[i],
+                    got: faulty[i],
+                })
+        });
+        Ok(Some(TriageReport {
+            entity: file.entity.clone(),
+            record: mismatch.record,
+            level: mismatch.level,
+            tile: mismatch.tile,
+            port: mismatch.port,
+            expected: mismatch.expected,
+            got: mismatch.got,
+            divergence,
+        }))
+    }
+}
+
+/// The data-port lists of a cone, in entity declaration order (parameters,
+/// dynamic inputs, static inputs; then outputs) — must match
+/// `isl_vhdl::codegen::generate_cone` exactly.
+fn cone_ports(cone: &Cone) -> (Vec<String>, Vec<String>) {
+    let graph = cone.graph();
+    let roots: Vec<NodeId> = cone.outputs().iter().map(|o| o.node).collect();
+    let mask = graph.reachable(&roots);
+    let mut param_ids: Vec<usize> = graph
+        .nodes()
+        .filter(|(id, _)| mask[id.index()])
+        .filter_map(|(_, n)| match n {
+            Node::Leaf(Leaf::Param(p)) => Some(p.index()),
+            _ => None,
+        })
+        .collect();
+    param_ids.sort_unstable();
+    param_ids.dedup();
+    let mut ports_in: Vec<String> = param_ids.into_iter().map(codegen::param_port_name).collect();
+    ports_in.extend(
+        cone.inputs()
+            .iter()
+            .map(|i| codegen::input_port_name(i.field, i.point)),
+    );
+    ports_in.extend(
+        cone.static_inputs()
+            .iter()
+            .map(|i| codegen::static_port_name(i.field, i.point)),
+    );
+    let ports_out = cone
+        .outputs()
+        .iter()
+        .map(|o| codegen::output_port_name(o.field, o.point))
+        .collect();
+    (ports_in, ports_out)
+}
+
+/// The stimulus row of one firing, aligned to `ports_in`: quantised
+/// parameter words, then the border-resolved dynamic and static input words
+/// the VM read.
+fn stimulus_words<R>(
+    cone: &Cone,
+    ports_in: &[String],
+    params: &[f64],
+    fmt: FixedFormat,
+    read: &R,
+) -> Vec<i64>
+where
+    R: Fn(u16, i32, i32) -> i64,
+{
+    let n_params = ports_in
+        .iter()
+        .filter(|p| p.starts_with("param_p"))
+        .count();
+    let mut words = Vec::with_capacity(ports_in.len());
+    for name in &ports_in[..n_params] {
+        let idx: usize = name
+            .strip_prefix("param_p")
+            .and_then(|s| s.parse().ok())
+            .expect("parameter port name");
+        words.push(fmt.quantize(params.get(idx).copied().unwrap_or(0.0)));
+    }
+    for inp in cone.inputs().iter().chain(cone.static_inputs()) {
+        words.push(read(inp.field.index() as u16, inp.point.x, inp.point.y));
+    }
+    debug_assert_eq!(words.len(), ports_in.len());
+    words
+}

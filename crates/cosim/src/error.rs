@@ -1,0 +1,40 @@
+//! Co-simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or running a co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CosimError {
+    /// The pattern cannot be co-simulated (invalid, wrong rank, frame
+    /// mismatch) — mirrors the functional simulator's constraints.
+    Sim(String),
+    /// Cone construction failed.
+    Cone(String),
+    /// A vector file does not describe the cone it was checked against.
+    Incompatible(String),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Sim(m) => write!(f, "co-simulation failed: {m}"),
+            CosimError::Cone(m) => write!(f, "cone construction failed: {m}"),
+            CosimError::Incompatible(m) => write!(f, "vector file incompatible: {m}"),
+        }
+    }
+}
+
+impl Error for CosimError {}
+
+impl From<isl_sim::SimError> for CosimError {
+    fn from(e: isl_sim::SimError) -> Self {
+        CosimError::Sim(e.to_string())
+    }
+}
+
+impl From<isl_ir::ConeError> for CosimError {
+    fn from(e: isl_ir::ConeError) -> Self {
+        CosimError::Cone(e.to_string())
+    }
+}

@@ -1,0 +1,86 @@
+//! # isl-cosim — bit-true hardware co-simulation
+//!
+//! The DAC 2013 flow's value proposition is that the *simulated* ISL and
+//! the *generated hardware* compute the same thing. This crate closes that
+//! loop executably, without an FPGA or a VHDL simulator in the container:
+//!
+//! * an **integer-domain fixed-point VM** ([`vm`]) — a sibling of
+//!   `isl_sim::vm` that executes the same [`isl_sim::CompiledPattern`] /
+//!   [`isl_sim::CompiledCone`] bytecode on raw `i64` words through the
+//!   hardware datapath ([`isl_fpga::FixedFormat::apply_unary`] /
+//!   [`apply_binary`](isl_fpga::FixedFormat::apply_binary)): saturating
+//!   adds, truncating widened multiplies and divides, non-restoring square
+//!   root — exactly the `isl_fixed_pkg` operations the VHDL backend emits.
+//!   Property tests pin it bit-identical to the independent fixed-point
+//!   graph interpreter ([`isl_fpga::eval_fixed`]);
+//! * a **co-simulator** ([`CoSimulator`]) that runs whole frames and full
+//!   cone-architecture decompositions (levels of depth-`d` cones, window by
+//!   window, borders resolved at each level's base — what the generated
+//!   hardware actually computes) entirely in the integer domain;
+//! * **golden-vector exchange** — [`CoSimulator::golden_vectors`] records
+//!   every cone firing of a run as raw stimulus/response words in the
+//!   [`isl_vhdl::vectors`] format; `isl_vhdl` replays them in a
+//!   vector-file testbench and certifies them word-for-word with
+//!   [`isl_vhdl::check::verify_vectors`];
+//! * **mismatch triage** — [`CoSimulator::triage_vectors`] pinpoints the
+//!   first diverging window, level and (under a [`Fault`] hypothesis) the
+//!   exact instruction, so a rounding bug anywhere in the datapath has a
+//!   street address instead of a frame-sized diff.
+//!
+//! ## The integer datapath contract
+//!
+//! One rule ties the layers together: **a value is a raw `i64` word of the
+//! design's [`FixedFormat`](isl_fpga::FixedFormat), and every operation is
+//! performed by the same function the synthesis model and the VHDL support
+//! package define** — quantise on load (round-to-nearest, saturate),
+//! saturate adds, truncate multiplies/divides after widening, comparisons
+//! produce fixed-point `1.0`, selects forward words untouched. The `f64`
+//! quantised engines (`run_quantized`, `run_tiled_quantized`,
+//! `run_cone_dag_quantized` in `isl-sim`) approximate this contract with
+//! round-to-nearest after every op; this crate *is* the contract, bit for
+//! bit. The conversions in [`convert`] (plus their lock-step property
+//! tests) keep `isl_sim::Quantizer` and `isl_fpga::FixedFormat` two views
+//! of the same definition.
+//!
+//! ```
+//! use isl_cosim::CoSimulator;
+//! use isl_fpga::FixedFormat;
+//! use isl_ir::{BinaryOp, Expr, FieldKind, Offset, StencilPattern, Window};
+//! use isl_sim::{Frame, FrameSet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = StencilPattern::new(2).with_name("blur");
+//! let f = p.add_field("f", FieldKind::Dynamic);
+//! let sum = Expr::sum([
+//!     Expr::input(f, Offset::d2(0, -1)),
+//!     Expr::input(f, Offset::d2(-1, 0)),
+//!     Expr::input(f, Offset::d2(1, 0)),
+//!     Expr::input(f, Offset::d2(0, 1)),
+//! ]);
+//! p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(4.0)))?;
+//!
+//! let cosim = CoSimulator::new(&p, FixedFormat::default())?;
+//! let init = FrameSet::from_frames(vec![Frame::from_fn(12, 12, |x, y| (x + y) as f64 / 8.0)])?;
+//! // Golden vectors for a window-4, depth-2 architecture over 4 iterations.
+//! let files = cosim.golden_vectors(&init, 4, Window::square(4), 2)?;
+//! for file in &files {
+//!     let cone = isl_ir::Cone::build(&p, file.window, file.depth)?;
+//!     let report = isl_vhdl::check::verify_vectors(&cone, FixedFormat::default(), file)?;
+//!     assert!(report.words > 0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod cosim;
+mod error;
+pub mod vm;
+
+pub use convert::{format_of, quantizer_of};
+pub use cosim::{CoSimulator, InstrDivergence, IntFrameSet, TriageReport};
+pub use error::CosimError;
+pub use vm::{eval_cone_raw, eval_cone_raw_traced, eval_kernel_raw, Fault};

@@ -1,0 +1,205 @@
+//! The integer-domain fixed-point VM.
+//!
+//! A sibling of `isl_sim::vm` that executes the *same* compiled bytecode —
+//! [`CompiledKernel`] / [`CompiledCone`] programs — on raw `i64` fixed-point
+//! words instead of `f64` samples. Every instruction goes through the
+//! integer datapath of [`FixedFormat::apply_unary`] /
+//! [`FixedFormat::apply_binary`]: saturating adds, truncating widened
+//! multiplies and divides, non-restoring square root — exactly the
+//! `isl_fixed_pkg` operations the VHDL backend emits. Programs must be
+//! lowered **without** constant folding (`compile_with(..., false)`) so
+//! that every operation node of the reference graph exists as one
+//! instruction and performs its own fixed-point arithmetic.
+//!
+//! The VM supports deliberate **fault injection** ([`Fault`]): XOR-ing a
+//! chosen instruction's result word. That is the hook the mismatch-triage
+//! machinery (and its tests) use to prove that a single-LSB rounding fault
+//! anywhere in a cone is caught and pinpointed.
+
+use isl_fpga::FixedFormat;
+use isl_sim::{CompiledCone, CompiledKernel, Instr};
+
+/// A deliberate single-instruction fault: after instruction `instr`
+/// executes, its result word is XOR-ed with `xor_mask`. Used to validate
+/// that the golden-vector check catches (and triage pinpoints) datapath
+/// divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Index of the instruction to corrupt.
+    pub instr: usize,
+    /// Mask XOR-ed onto the instruction's result word.
+    pub xor_mask: i64,
+}
+
+/// Execute one instruction on raw words. `value_of` resolves operand slots.
+#[inline]
+fn exec<F: Fn(u32) -> i64, R: Fn(u16, i32, i32) -> i64>(
+    fmt: FixedFormat,
+    instr: &Instr,
+    value_of: F,
+    read: &R,
+) -> i64 {
+    match *instr {
+        Instr::Const(v) => fmt.quantize(v),
+        Instr::Input { field, dx, dy } => read(field, dx, dy),
+        Instr::Unary { op, a } => fmt.apply_unary(op, value_of(a)),
+        Instr::Binary { op, a, b } => fmt.apply_binary(op, value_of(a), value_of(b)),
+        Instr::Select { c, t, e } => {
+            if value_of(c) != 0 {
+                value_of(t)
+            } else {
+                value_of(e)
+            }
+        }
+    }
+}
+
+/// Evaluate a compiled kernel at one element, on raw words. `read` supplies
+/// already-quantised input words (border resolution is the caller's job).
+pub fn eval_kernel_raw<R>(kernel: &CompiledKernel, fmt: FixedFormat, read: R) -> i64
+where
+    R: Fn(u16, i32, i32) -> i64,
+{
+    let code = kernel.code();
+    let mut regs = vec![0i64; code.len()];
+    for (i, instr) in code.iter().enumerate() {
+        regs[i] = exec(fmt, instr, |r| regs[r as usize], &read);
+    }
+    regs[kernel.result() as usize]
+}
+
+/// Evaluate a compiled cone program on raw words: one forward pass over the
+/// slot-allocated bytecode. Returns the raw response word of every output,
+/// in [`CompiledCone::outputs`] order.
+pub fn eval_cone_raw<R>(cc: &CompiledCone, fmt: FixedFormat, read: R) -> Vec<i64>
+where
+    R: Fn(u16, i32, i32) -> i64,
+{
+    eval_cone_raw_traced(cc, fmt, read, None).0
+}
+
+/// [`eval_cone_raw`] with an optional [`Fault`] and a full per-instruction
+/// trace: element `i` of the trace is the (post-fault) result word of
+/// instruction `i`. Comparing a clean and a faulty trace yields the first
+/// diverging instruction — the triage primitive.
+pub fn eval_cone_raw_traced<R>(
+    cc: &CompiledCone,
+    fmt: FixedFormat,
+    read: R,
+    fault: Option<Fault>,
+) -> (Vec<i64>, Vec<i64>)
+where
+    R: Fn(u16, i32, i32) -> i64,
+{
+    let code = cc.code();
+    let dst = cc.dst();
+    let mut slots = vec![0i64; cc.slots().max(1)];
+    let mut trace = Vec::with_capacity(code.len());
+    for (i, instr) in code.iter().enumerate() {
+        let mut v = exec(fmt, instr, |r| slots[r as usize], &read);
+        if let Some(f) = fault {
+            if f.instr == i {
+                v ^= f.xor_mask;
+            }
+        }
+        slots[dst[i] as usize] = v;
+        trace.push(v);
+    }
+    let outs = cc.outputs().iter().map(|o| slots[o.reg as usize]).collect();
+    (outs, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_fpga::eval_fixed;
+    use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Offset, StencilPattern, UnaryOp, Window};
+    use isl_sim::CompiledPattern;
+
+    fn heavy() -> StencilPattern {
+        // sqrt + divide + select: every datapath unit in one kernel.
+        let mut p = StencilPattern::new(1).with_name("heavy");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let gx = Expr::binary(
+            BinaryOp::Sub,
+            Expr::input(f, Offset::d1(1)),
+            Expr::input(f, Offset::d1(-1)),
+        );
+        let den = Expr::binary(
+            BinaryOp::Add,
+            Expr::constant(1.0),
+            Expr::unary(UnaryOp::Sqrt, Expr::binary(BinaryOp::Mul, gx.clone(), gx)),
+        );
+        let v = Expr::binary(BinaryOp::Div, Expr::input(f, Offset::ZERO), den);
+        p.set_update(
+            f,
+            Expr::select(
+                Expr::binary(BinaryOp::Gt, v.clone(), Expr::constant(0.25)),
+                v,
+                Expr::constant(0.25),
+            ),
+        )
+        .unwrap();
+        p
+    }
+
+    fn stimulus(f: u16, x: i32, y: i32) -> f64 {
+        ((x * 5 + y * 11 + f as i32 * 3).rem_euclid(17)) as f64 / 4.0 - 2.0
+    }
+
+    #[test]
+    fn cone_vm_matches_graph_interpreter_bitwise() {
+        let p = heavy();
+        let fmt = FixedFormat::default();
+        for (w, d) in [(1u32, 1u32), (3, 2), (4, 3)] {
+            let cone = Cone::build(&p, Window::line(w), d).unwrap();
+            let cc = CompiledCone::compile_with(&cone, &[], false);
+            let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
+            let got = eval_cone_raw(&cc, fmt, read_raw);
+            let want = eval_fixed(
+                &cone,
+                fmt,
+                |f, pt| stimulus(f.index() as u16, pt.x, pt.y),
+                &[],
+            );
+            assert_eq!(got.len(), want.len());
+            for (g, (_, pt, wv)) in got.iter().zip(&want) {
+                assert_eq!(fmt.dequantize(*g), *wv, "w{w} d{d} at ({}, {})", pt.x, pt.y);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_vm_matches_cone_vm_at_depth_one() {
+        let p = heavy();
+        let fmt = FixedFormat::default();
+        let cp = CompiledPattern::compile(&p, &[], false);
+        let kernel = cp.kernel(0).unwrap();
+        let cone = Cone::build(&p, Window::line(1), 1).unwrap();
+        let cc = CompiledCone::compile_with(&cone, &[], false);
+        let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
+        let by_kernel = eval_kernel_raw(kernel, fmt, read_raw);
+        let by_cone = eval_cone_raw(&cc, fmt, read_raw)[0];
+        assert_eq!(by_kernel, by_cone);
+    }
+
+    #[test]
+    fn fault_flips_exactly_from_its_instruction() {
+        let p = heavy();
+        let fmt = FixedFormat::default();
+        let cone = Cone::build(&p, Window::line(2), 2).unwrap();
+        let cc = CompiledCone::compile_with(&cone, &[], false);
+        let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
+        let (_, clean) = eval_cone_raw_traced(&cc, fmt, read_raw, None);
+        let k = cc.len() / 2;
+        let fault = Fault { instr: k, xor_mask: 1 };
+        let (_, faulty) = eval_cone_raw_traced(&cc, fmt, read_raw, Some(fault));
+        let first = clean
+            .iter()
+            .zip(&faulty)
+            .position(|(a, b)| a != b)
+            .expect("fault must perturb the trace");
+        assert_eq!(first, k);
+        assert_eq!(clean[k] ^ 1, faulty[k]);
+    }
+}

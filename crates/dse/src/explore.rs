@@ -262,7 +262,7 @@ impl<'d> Explorer<'d> {
             .flat_map(|&w| all_depths.iter().map(move |&d| (w, d)))
             .collect();
         let calib_cones: HashMap<(Window, u32), Cone> =
-            par_map(calib_shapes, self.threads, |(w, d)| {
+            par_map(calib_shapes.clone(), self.threads, |(w, d)| {
                 Cone::build(pattern, w, d)
                     .map(|c| ((w, d), c))
                     .map_err(|e| DseError::Estimate(e.to_string()))
@@ -274,19 +274,45 @@ impl<'d> Explorer<'d> {
         // shared cones are built with simplification on (the flow default);
         // under the ablation options the synthesiser needs raw cones, so
         // calibration falls back to building its own.
+        //
+        // The calibration syntheses are run here (not inside the estimator)
+        // so each report's techmap result is consumed **twice**: its
+        // `(registers, luts)` point feeds the α fit, and its mapped pipeline
+        // latency is kept for the facts pass below — those shapes previously
+        // re-walked the full cone graph a second time per sweep.
         let share_cones = self.synth_options.simplify;
-        let estimators: HashMap<u32, AreaEstimator> =
-            par_map(all_depths.clone(), self.threads, |d| {
-                if share_cones {
-                    let calib: Vec<&Cone> =
-                        calib_windows.iter().map(|w| &calib_cones[&(*w, d)]).collect();
-                    AreaEstimator::calibrate_with_cones(&synth, pattern, &calib).map(|e| (d, e))
-                } else {
-                    AreaEstimator::calibrate(&synth, pattern, d, &calib_windows).map(|e| (d, e))
-                }
+        let mut calib_latency: HashMap<(Window, u32), u32> = HashMap::new();
+        let estimators: HashMap<u32, AreaEstimator> = if share_cones {
+            let reports = par_map(calib_shapes, self.threads, |(w, d)| {
+                synth
+                    .synthesize_cone(pattern, &calib_cones[&(w, d)], 1)
+                    .map(|r| ((w, d), r))
+                    .map_err(EstimateError::from)
             })
             .into_iter()
-            .collect::<Result<_, EstimateError>>()?;
+            .collect::<Result<Vec<_>, EstimateError>>()?;
+            let size_reg = self.synth_options.format.width as f64;
+            let mut by_depth: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
+            for ((w, d), report) in reports {
+                calib_latency.insert((w, d), report.latency_cycles);
+                by_depth
+                    .entry(d)
+                    .or_default()
+                    .push((report.registers, report.luts as f64));
+            }
+            by_depth
+                .into_iter()
+                .map(|(d, points)| {
+                    AreaEstimator::from_synthesis_points(size_reg, points).map(|e| (d, e))
+                })
+                .collect::<Result<_, EstimateError>>()?
+        } else {
+            par_map(all_depths.clone(), self.threads, |d| {
+                AreaEstimator::calibrate(&synth, pattern, d, &calib_windows).map(|e| (d, e))
+            })
+            .into_iter()
+            .collect::<Result<_, EstimateError>>()?
+        };
         let calibration_syntheses = estimators.len() * calib_windows.len();
 
         struct ConeFacts {
@@ -295,7 +321,9 @@ impl<'d> Explorer<'d> {
             est_luts: f64,
         }
         // Facts per (side, depth): reuse a calibration cone when the shape
-        // matches, build transiently otherwise.
+        // matches, build transiently otherwise. Latencies of calibration
+        // shapes come from the synthesis reports above (the techmap already
+        // walked those graphs); only non-calibration shapes pay a walk.
         let shapes: Vec<(u32, u32)> = space
             .window_sides
             .iter()
@@ -313,11 +341,15 @@ impl<'d> Explorer<'d> {
                 }
             };
             let est = &estimators[&d];
+            let latency = calib_latency
+                .get(&(w, d))
+                .copied()
+                .unwrap_or_else(|| techmap::pipeline_latency(cone.graph(), fmt));
             Ok((
                 (side, d),
                 ConeFacts {
                     registers: cone.registers() as u64,
-                    latency: techmap::pipeline_latency(cone.graph(), fmt),
+                    latency,
                     est_luts: est.estimate(cone.registers() as u64),
                 },
             ))

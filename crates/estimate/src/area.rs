@@ -77,6 +77,28 @@ impl AreaEstimator {
                 .map_err(EstimateError::from)?;
             points.push((report.registers, report.luts as f64));
         }
+        Self::from_synthesis_points(size_reg, points)
+    }
+
+    /// Fit the model directly from already-synthesised `(registers, luts)`
+    /// calibration points. Callers that run the calibration syntheses
+    /// themselves — the design-space explorer, which also reuses each
+    /// report's mapped latency for its facts pass — feed the reports here
+    /// instead of paying a second synthesis per point.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::NotEnoughCalibration`] for fewer than two points;
+    /// [`EstimateError::DegenerateCalibration`] when the points do not vary
+    /// the register count.
+    pub fn from_synthesis_points(
+        size_reg: f64,
+        mut points: Vec<(u64, f64)>,
+    ) -> Result<Self, EstimateError> {
+        if points.len() < 2 {
+            return Err(EstimateError::NotEnoughCalibration(points.len()));
+        }
+        let syntheses_used = points.len();
         points.sort_by_key(|(r, _)| *r);
         let (reg0, a0) = points[0];
         let (reg_last, _) = points[points.len() - 1];
@@ -99,7 +121,7 @@ impl AreaEstimator {
             size_reg,
             anchor_area: a0,
             anchor_registers: reg0,
-            syntheses_used: cones.len(),
+            syntheses_used,
         })
     }
 

@@ -64,3 +64,4 @@ pub use device::Device;
 pub use numeric::FixedFormat;
 pub use quant::eval_fixed;
 pub use synth::{SynthError, SynthOptions, Synthesizer, SynthesisReport};
+pub use techmap::{map_graph, MappedGraph};

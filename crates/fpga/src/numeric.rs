@@ -1,6 +1,16 @@
 //! Fixed-point number formats for the hardware data path.
+//!
+//! Besides the format descriptor itself, this module is the **single
+//! definition of the integer datapath**: the raw-word operations
+//! ([`FixedFormat::apply_unary`], [`FixedFormat::apply_binary`]) that the
+//! generated VHDL's `isl_fixed_pkg` implements. The cone-level fixed-point
+//! interpreter ([`crate::quant::eval_fixed`]) and the bit-true co-simulation
+//! VM (`isl-cosim`) both execute through these functions, so "what the
+//! hardware computes" is written down exactly once.
 
 use std::fmt;
+
+use isl_ir::{BinaryOp, UnaryOp};
 
 /// A signed fixed-point format with `width` total bits, `frac` of which are
 /// fractional (Q notation: `Q(width-frac).frac`).
@@ -88,6 +98,108 @@ impl FixedFormat {
     pub fn round_trip(&self, v: f64) -> f64 {
         self.dequantize(self.quantize(v))
     }
+
+    // -- the integer datapath -----------------------------------------------
+    //
+    // Raw-word semantics of every operation the generated hardware performs:
+    // saturating add/sub/neg/abs, truncating (floor) multiply and divide with
+    // the same widening the VHDL uses, non-restoring integer square root, and
+    // comparisons that produce fixed-point `1.0`. `isl_fixed_pkg` and these
+    // functions must stay in lock-step; `quant::eval_fixed` and the
+    // `isl-cosim` VM both call them.
+
+    /// Saturate a raw word to the representable range.
+    pub fn saturate(&self, v: i64) -> i64 {
+        let max = (1i64 << (self.width - 1)) - 1;
+        let min = -(1i64 << (self.width - 1));
+        v.clamp(min, max)
+    }
+
+    /// The raw word for fixed-point `1.0` (comparison results).
+    pub fn one_raw(&self) -> i64 {
+        1i64 << self.frac
+    }
+
+    /// A unary operation on one raw word, exactly as the hardware datapath
+    /// performs it.
+    pub fn apply_unary(&self, op: UnaryOp, a: i64) -> i64 {
+        match op {
+            UnaryOp::Neg => self.saturate(-a),
+            UnaryOp::Abs => self.saturate(a.abs()),
+            UnaryOp::Sqrt => {
+                // Integer square root of `a << frac`, like fx_sqrt.
+                if a <= 0 {
+                    0
+                } else {
+                    isqrt((a as i128) << self.frac) as i64
+                }
+            }
+        }
+    }
+
+    /// A binary operation on raw words, exactly as the hardware datapath
+    /// performs it: widened truncating multiply/divide, divide-by-zero
+    /// yielding zero (like `fx_div`), comparisons producing fixed-point one.
+    pub fn apply_binary(&self, op: BinaryOp, a: i64, b: i64) -> i64 {
+        match op {
+            BinaryOp::Add => self.saturate(a + b),
+            BinaryOp::Sub => self.saturate(a - b),
+            BinaryOp::Mul => self.saturate(((a as i128 * b as i128) >> self.frac) as i64),
+            BinaryOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    self.saturate((((a as i128) << self.frac) / b as i128) as i64)
+                }
+            }
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Lt => {
+                if a < b {
+                    self.one_raw()
+                } else {
+                    0
+                }
+            }
+            BinaryOp::Le => {
+                if a <= b {
+                    self.one_raw()
+                } else {
+                    0
+                }
+            }
+            BinaryOp::Gt => {
+                if a > b {
+                    self.one_raw()
+                } else {
+                    0
+                }
+            }
+            BinaryOp::Ge => {
+                if a >= b {
+                    self.one_raw()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Integer square root (floor) for non-negative `i128`.
+pub(crate) fn isqrt(n: i128) -> i128 {
+    if n < 2 {
+        return n.max(0);
+    }
+    let mut x = (n as f64).sqrt() as i128;
+    // Newton touch-ups to correct float rounding.
+    while x > 0 && x * x > n {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    x
 }
 
 impl fmt::Display for FixedFormat {
@@ -141,5 +253,40 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(FixedFormat::default().to_string(), "Q8.10 (18b)");
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for n in 0..2000i128 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
+        }
+        assert_eq!(isqrt(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn integer_ops_match_hardware_shapes() {
+        let q = FixedFormat::new(8, 4); // Q4.4
+        let one = q.one_raw();
+        assert_eq!(one, 16);
+        // Saturating add at the rails.
+        assert_eq!(q.apply_binary(BinaryOp::Add, 120, 120), 127);
+        assert_eq!(q.apply_binary(BinaryOp::Sub, -120, 120), -128);
+        // Truncating multiply: 1.5 * 1.5 = 2.25 -> 36 exactly in Q4.4.
+        assert_eq!(q.apply_binary(BinaryOp::Mul, 24, 24), 36);
+        // Floor truncation: 0.0625 * 0.0625 floors to 0.
+        assert_eq!(q.apply_binary(BinaryOp::Mul, 1, 1), 0);
+        // Division by zero is zero, like fx_div.
+        assert_eq!(q.apply_binary(BinaryOp::Div, one, 0), 0);
+        assert_eq!(q.apply_binary(BinaryOp::Div, 32, 16), 32);
+        // Comparisons produce fixed-point booleans.
+        assert_eq!(q.apply_binary(BinaryOp::Lt, 1, 2), one);
+        assert_eq!(q.apply_binary(BinaryOp::Ge, 1, 2), 0);
+        // Unary.
+        assert_eq!(q.apply_unary(UnaryOp::Neg, 7), -7);
+        assert_eq!(q.apply_unary(UnaryOp::Abs, -7), 7);
+        // sqrt(4.0): raw 64 -> sqrt -> raw 32 (2.0).
+        assert_eq!(q.apply_unary(UnaryOp::Sqrt, 64), 32);
+        assert_eq!(q.apply_unary(UnaryOp::Sqrt, -3), 0);
     }
 }

@@ -7,8 +7,14 @@
 //! measurable quantity instead of a leap of faith. The generated testbenches
 //! assert against `f64` expectations with an LSB tolerance; the tests here
 //! justify that tolerance.
+//!
+//! The per-operation raw-word semantics live in [`crate::numeric`]
+//! ([`FixedFormat::apply_unary`] / [`FixedFormat::apply_binary`]); this
+//! module is the tree-walking graph interpreter over them. The bit-true
+//! co-simulation VM in `isl-cosim` executes lowered bytecode through the
+//! same functions and is property-tested bit-identical to this walk.
 
-use isl_ir::{BinaryOp, Cone, FieldId, Leaf, Node, Point, UnaryOp};
+use isl_ir::{Cone, FieldId, Leaf, Node, Point};
 
 use crate::numeric::FixedFormat;
 
@@ -28,12 +34,6 @@ where
 {
     let graph = cone.graph();
     let mut vals: Vec<i64> = Vec::with_capacity(graph.len());
-    let one = 1i64 << fmt.frac;
-    let sat = |v: i64| -> i64 {
-        let max = (1i64 << (fmt.width - 1)) - 1;
-        let min = -(1i64 << (fmt.width - 1));
-        v.clamp(min, max)
-    };
     for (_, node) in graph.nodes() {
         let v = match node {
             Node::Leaf(leaf) => match leaf {
@@ -45,66 +45,9 @@ where
                     fmt.quantize(params.get(p.index()).copied().unwrap_or(0.0))
                 }
             },
-            Node::Unary { op, arg } => {
-                let a = vals[arg.index()];
-                match op {
-                    UnaryOp::Neg => sat(-a),
-                    UnaryOp::Abs => sat(a.abs()),
-                    UnaryOp::Sqrt => {
-                        // Integer square root of a << frac, like fx_sqrt.
-                        if a <= 0 {
-                            0
-                        } else {
-                            isqrt((a as i128) << fmt.frac) as i64
-                        }
-                    }
-                }
-            }
+            Node::Unary { op, arg } => fmt.apply_unary(*op, vals[arg.index()]),
             Node::Binary { op, lhs, rhs } => {
-                let a = vals[lhs.index()];
-                let b = vals[rhs.index()];
-                match op {
-                    BinaryOp::Add => sat(a + b),
-                    BinaryOp::Sub => sat(a - b),
-                    BinaryOp::Mul => sat(((a as i128 * b as i128) >> fmt.frac) as i64),
-                    BinaryOp::Div => {
-                        if b == 0 {
-                            0
-                        } else {
-                            sat((((a as i128) << fmt.frac) / b as i128) as i64)
-                        }
-                    }
-                    BinaryOp::Min => a.min(b),
-                    BinaryOp::Max => a.max(b),
-                    BinaryOp::Lt => {
-                        if a < b {
-                            one
-                        } else {
-                            0
-                        }
-                    }
-                    BinaryOp::Le => {
-                        if a <= b {
-                            one
-                        } else {
-                            0
-                        }
-                    }
-                    BinaryOp::Gt => {
-                        if a > b {
-                            one
-                        } else {
-                            0
-                        }
-                    }
-                    BinaryOp::Ge => {
-                        if a >= b {
-                            one
-                        } else {
-                            0
-                        }
-                    }
-                }
+                fmt.apply_binary(*op, vals[lhs.index()], vals[rhs.index()])
             }
             Node::Select { cond, then_, else_ } => {
                 if vals[cond.index()] != 0 {
@@ -122,26 +65,10 @@ where
         .collect()
 }
 
-/// Integer square root (floor) for non-negative `i128`.
-fn isqrt(n: i128) -> i128 {
-    if n < 2 {
-        return n.max(0);
-    }
-    let mut x = (n as f64).sqrt() as i128;
-    // Newton touch-ups to correct float rounding.
-    while x > 0 && x * x > n {
-        x -= 1;
-    }
-    while (x + 1) * (x + 1) <= n {
-        x += 1;
-    }
-    x
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isl_ir::{Expr, FieldKind, Offset, StencilPattern, Window};
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset, StencilPattern, UnaryOp, Window};
 
     fn blur() -> StencilPattern {
         let mut p = StencilPattern::new(2).with_name("blur");
@@ -182,15 +109,6 @@ mod tests {
     fn stimulus(f: FieldId, p: Point) -> f64 {
         let i = (p.x + 7 * p.y + 13 * f.index() as i32).rem_euclid(23);
         i as f64 / 8.0 - 1.0
-    }
-
-    #[test]
-    fn isqrt_exact() {
-        for n in 0..2000i128 {
-            let r = isqrt(n);
-            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
-        }
-        assert_eq!(isqrt(1 << 40), 1 << 20);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use isl_ir::{Cone, ConeError, StencilPattern, Window};
 
 use crate::device::Device;
 use crate::numeric::FixedFormat;
-use crate::techmap::{map_node, ResourceCost};
+use crate::techmap::ResourceCost;
 
 /// Options controlling a synthesis run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -295,24 +295,25 @@ impl Synthesizer<'_> {
         let graph = cone.graph();
         let roots: Vec<_> = cone.outputs().iter().map(|o| o.node).collect();
         let mask = graph.reachable(&roots);
-        let mut total = ResourceCost::default();
-        let mut max_stage = 0.0f64;
-        for (id, _) in graph.nodes() {
-            if !mask[id.index()] {
-                continue;
-            }
-            let c = map_node(graph, id, self.options.format, self.device, self.options.use_dsp);
-            total.luts += c.luts;
-            total.ffs += c.ffs;
-            total.dsps += c.dsps;
-            max_stage = max_stage.max(c.stage_delay_ns);
-        }
-        // Latency: longest path measured in pipeline stages.
-        let latency = crate::techmap::pipeline_latency(graph, self.options.format);
+        // One traversal yields resources, the slowest stage *and* the
+        // pipeline latency (formerly a second full walk per shape).
+        let mapped = crate::techmap::map_graph(
+            graph,
+            Some(&mask),
+            self.options.format,
+            self.device,
+            self.options.use_dsp,
+        );
         MappedCone {
-            cost: total,
-            max_stage_delay: max_stage,
-            latency_cycles: latency,
+            cost: ResourceCost {
+                luts: mapped.luts,
+                ffs: mapped.ffs,
+                dsps: mapped.dsps,
+                stage_delay_ns: mapped.max_stage_delay_ns,
+                stages: 1,
+            },
+            max_stage_delay: mapped.max_stage_delay_ns,
+            latency_cycles: mapped.latency_cycles,
         }
     }
 }

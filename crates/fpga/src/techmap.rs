@@ -94,17 +94,81 @@ fn adder_cost(dev: &Device, width: u32) -> ResourceCost {
     }
 }
 
-/// Pipeline latency (in cycles) of a graph whose every operation is
-/// registered: the longest path measured in pipeline stages, with iterative
-/// units (divide, square root) contributing one stage per result bit.
-pub fn pipeline_latency(graph: &Graph, fmt: FixedFormat) -> u32 {
-    let latency = graph.longest_path(|n| match n.op_kind() {
+/// Per-node pipeline-stage weight used by the latency model: iterative units
+/// (divide, square root) contribute one stage per result bit (half for
+/// sqrt), every other operation one stage, leaves zero.
+fn latency_weight(n: &Node, fmt: FixedFormat) -> f64 {
+    match n.op_kind() {
         Some(isl_ir::OpKind::Binary(BinaryOp::Div)) => fmt.width as f64,
         Some(isl_ir::OpKind::Unary(UnaryOp::Sqrt)) => (fmt.width as f64 / 2.0).max(1.0),
         Some(_) => 1.0,
         None => 0.0,
-    });
+    }
+}
+
+/// Pipeline latency (in cycles) of a graph whose every operation is
+/// registered: the longest path measured in pipeline stages, with iterative
+/// units (divide, square root) contributing one stage per result bit.
+pub fn pipeline_latency(graph: &Graph, fmt: FixedFormat) -> u32 {
+    let latency = graph.longest_path(|n| latency_weight(n, fmt));
     (latency as u32).max(1)
+}
+
+/// The complete techmap result of one graph: resource totals, the slowest
+/// combinational stage, and the pipeline latency — everything the
+/// synthesiser and the scheduler need, from **one** traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MappedGraph {
+    /// Logic LUTs over all mapped (reachable) operations.
+    pub luts: u64,
+    /// Flip-flops over all mapped operations.
+    pub ffs: u64,
+    /// DSP blocks over all mapped operations.
+    pub dsps: u64,
+    /// Combinational delay of the slowest single pipeline stage, ns.
+    pub max_stage_delay_ns: f64,
+    /// Pipeline latency in cycles (identical to [`pipeline_latency`]).
+    pub latency_cycles: u32,
+}
+
+/// Map every node selected by `mask` (pass `None` to map all) in a single
+/// forward pass, accumulating resources, the slowest stage delay, and the
+/// longest weighted path in pipeline stages. Replaces the former
+/// resource-walk + [`pipeline_latency`] pair, which traversed the graph
+/// twice per cone shape — calibration-heavy DSE sweeps map thousands of
+/// shapes, so the second walk was pure overhead.
+pub fn map_graph(
+    graph: &Graph,
+    mask: Option<&[bool]>,
+    fmt: FixedFormat,
+    dev: &Device,
+    allow_dsp: bool,
+) -> MappedGraph {
+    let mut out = MappedGraph::default();
+    // Longest path is computed over *all* nodes (exactly like
+    // `Graph::longest_path`, so the latency stays byte-identical to
+    // `pipeline_latency`); resources only over the masked set.
+    let mut cp = vec![0.0f64; graph.len()];
+    let mut best = 0.0f64;
+    for (id, node) in graph.nodes() {
+        let inputs_max = node
+            .operands()
+            .iter()
+            .map(|o| cp[o.index()])
+            .fold(0.0, f64::max);
+        cp[id.index()] = inputs_max + latency_weight(node, fmt);
+        best = best.max(cp[id.index()]);
+        if mask.is_some_and(|m| !m[id.index()]) {
+            continue;
+        }
+        let c = map_node(graph, id, fmt, dev, allow_dsp);
+        out.luts += c.luts;
+        out.ffs += c.ffs;
+        out.dsps += c.dsps;
+        out.max_stage_delay_ns = out.max_stage_delay_ns.max(c.stage_delay_ns);
+    }
+    out.latency_cycles = (best as u32).max(1);
+    out
 }
 
 /// Map one operation node of `graph`. Leaves cost nothing (their registers

@@ -24,13 +24,17 @@ use std::collections::HashMap;
 
 use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Leaf, Node, NodeId, StencilPattern, UnaryOp};
 
-/// Index of an instruction; instruction `i` writes virtual register `i`.
-pub(crate) type Reg = u32;
+/// Index of an instruction (or, after slot allocation, of a value slot).
+/// In a [`CompiledKernel`] instruction `i` writes virtual register `i`.
+pub type Reg = u32;
 
-/// One bytecode instruction. Operands always reference earlier instructions,
-/// so a single forward pass evaluates the whole program.
+/// One bytecode instruction. Operands always reference earlier instructions
+/// (slots, for slot-allocated cone programs), so a single forward pass
+/// evaluates the whole program. Public so out-of-crate evaluators — the
+/// bit-true integer VM of `isl-cosim` — can execute the same programs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum Instr {
+#[allow(missing_docs)] // variant fields are documented on the variants
+pub enum Instr {
     /// A literal (folded constants and bound parameters included).
     Const(f64),
     /// Read field `field` at relative offset `(dx, dy)`.
@@ -131,6 +135,16 @@ impl CompiledKernel {
             .iter()
             .filter(|i| matches!(i, Instr::Input { .. }))
             .count()
+    }
+
+    /// The instruction buffer; instruction `i` writes register `i`.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Register holding the kernel's result.
+    pub fn result(&self) -> Reg {
+        self.result
     }
 }
 
@@ -324,6 +338,150 @@ fn allocate_slots(
     (code, dst, results, total as usize)
 }
 
+/// Operand registers of one instruction (≤ 3, with multiplicity).
+fn instr_operands(instr: Instr, out: &mut [Reg; 3]) -> usize {
+    match instr {
+        Instr::Const(_) | Instr::Input { .. } => 0,
+        Instr::Unary { a, .. } => {
+            out[0] = a;
+            1
+        }
+        Instr::Binary { a, b, .. } => {
+            out[0] = a;
+            out[1] = b;
+            2
+        }
+        Instr::Select { c, t, e } => {
+            out[0] = c;
+            out[1] = t;
+            out[2] = e;
+            3
+        }
+    }
+}
+
+/// Greedy consumer-clustering schedule: a list scheduler that, among the
+/// ready instructions, always emits the one that *kills* the most operand
+/// values (retires their slots), breaking ties towards the earliest
+/// original index — consumers are pulled right next to the producers whose
+/// values they free. The lowering order (memoised DFS from the first
+/// output) keeps shared subexpressions live from their first consumer to
+/// their last; kill-first scheduling retires them as early as the dataflow
+/// allows, which is what shrinks the linear-scan allocator's peak live
+/// set. Dataflow is untouched — only the order changes — so results stay
+/// bit-identical.
+///
+/// Expects dead-code-free input (every instruction reachable from a result).
+fn schedule_for_locality(code: &[Instr], results: &[Reg]) -> (Vec<Instr>, Vec<Reg>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = code.len();
+    // remaining[v]: unscheduled consumer slots of value v (+1 for results,
+    // which stay live to the end and are never killed).
+    let mut remaining: Vec<u32> = vec![0; n];
+    let mut pending: Vec<u8> = vec![0; n]; // unscheduled operand slots of i
+    let mut users: Vec<Vec<Reg>> = vec![Vec::new(); n];
+    let mut ops = [0 as Reg; 3];
+    for (i, &instr) in code.iter().enumerate() {
+        let k = instr_operands(instr, &mut ops);
+        pending[i] = k as u8;
+        for &op in &ops[..k] {
+            remaining[op as usize] += 1;
+            users[op as usize].push(i as Reg);
+        }
+    }
+    for &r in results {
+        remaining[r as usize] += 1;
+    }
+    // kills(i): distinct operands whose remaining count equals their
+    // multiplicity in i — scheduling i is their last use. Monotone
+    // non-decreasing as other consumers schedule, so stale (lower-scored)
+    // heap entries are safely superseded by re-pushes.
+    let kills = |i: usize, remaining: &[u32]| -> u8 {
+        let mut ops = [0 as Reg; 3];
+        let k = instr_operands(code[i], &mut ops);
+        let mut score = 0u8;
+        for j in 0..k {
+            if ops[..j].contains(&ops[j]) {
+                continue; // count each distinct operand once
+            }
+            let mult = ops[..k].iter().filter(|&&o| o == ops[j]).count() as u32;
+            if remaining[ops[j] as usize] == mult {
+                score += 1;
+            }
+        }
+        score
+    };
+    let mut heap: BinaryHeap<(u8, Reverse<Reg>)> = BinaryHeap::new();
+    for (i, &p) in pending.iter().enumerate() {
+        if p == 0 {
+            heap.push((kills(i, &remaining), Reverse(i as Reg)));
+        }
+    }
+    let mut order: Vec<Reg> = Vec::with_capacity(n);
+    let mut scheduled = vec![false; n];
+    while let Some((score, Reverse(i))) = heap.pop() {
+        let i = i as usize;
+        if scheduled[i] {
+            continue;
+        }
+        let now = kills(i, &remaining);
+        if now != score {
+            heap.push((now, Reverse(i as Reg)));
+            continue;
+        }
+        scheduled[i] = true;
+        order.push(i as Reg);
+        let k = instr_operands(code[i], &mut ops);
+        for &op in &ops[..k] {
+            remaining[op as usize] -= 1;
+            // A consumer's kill score can only flip once its operand is
+            // down to its last few uses (multiplicity ≤ 3); re-rank those
+            // consumers — at most a handful remain by then.
+            if remaining[op as usize] <= 3 {
+                for &u in &users[op as usize] {
+                    if !scheduled[u as usize] && pending[u as usize] == 0 {
+                        heap.push((kills(u as usize, &remaining), Reverse(u)));
+                    }
+                }
+            }
+        }
+        for &u in &users[i] {
+            let u = u as usize;
+            pending[u] -= 1;
+            if pending[u] == 0 {
+                heap.push((kills(u, &remaining), Reverse(u as Reg)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "input must be dead-code-free");
+    let mut remap = vec![0 as Reg; n];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old as usize] = new as Reg;
+    }
+    let fix = |r: Reg| remap[r as usize];
+    let mut out = vec![Instr::Const(0.0); n];
+    for &old in &order {
+        let mapped = match code[old as usize] {
+            i @ (Instr::Const(_) | Instr::Input { .. }) => i,
+            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
+            Instr::Binary { op, a, b } => Instr::Binary {
+                op,
+                a: fix(a),
+                b: fix(b),
+            },
+            Instr::Select { c, t, e } => Instr::Select {
+                c: fix(c),
+                t: fix(t),
+                e: fix(e),
+            },
+        };
+        out[remap[old as usize] as usize] = mapped;
+    }
+    let results = results.iter().map(|&r| fix(r)).collect();
+    (out, results)
+}
+
 /// Multi-root dead-code elimination: drop instructions unreachable from any
 /// of `results`, remapping operand registers and the results themselves.
 fn eliminate_dead_code_multi(code: Vec<Instr>, results: Vec<Reg>) -> (Vec<Instr>, Vec<Reg>) {
@@ -431,13 +589,17 @@ impl CompiledPattern {
 }
 
 /// One output element of a [`CompiledCone`] program: `field` at window-local
-/// `(px, py)`, produced in register `reg`.
+/// `(px, py)`, produced in slot `reg`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct ConeSlot {
-    pub(crate) field: u16,
-    pub(crate) px: i32,
-    pub(crate) py: i32,
-    pub(crate) reg: Reg,
+pub struct ConeSlot {
+    /// Dynamic field produced.
+    pub field: u16,
+    /// Window-local x of the output element.
+    pub px: i32,
+    /// Window-local y of the output element.
+    pub py: i32,
+    /// Value slot holding the result after the forward pass.
+    pub reg: Reg,
 }
 
 /// Signed bounding box of everything a cone program touches relative to its
@@ -485,23 +647,38 @@ pub struct CompiledCone {
     pub(crate) dst: Vec<Reg>,
     pub(crate) outputs: Vec<ConeSlot>,
     slots: usize,
+    slots_unscheduled: usize,
     reach: Reach,
 }
 
 impl CompiledCone {
-    /// Lower `cone` with `params` bound as constants.
+    /// Lower `cone` with `params` bound as constants and constant folding
+    /// enabled (the fast-path default).
     ///
     /// # Panics
     ///
     /// Panics on rank-3 cones (the frame engine is 1D/2D; the simulator
     /// rejects rank-3 patterns before this runs) or an unbound parameter.
     pub fn compile(cone: &Cone, params: &[f64]) -> Self {
+        Self::compile_with(cone, params, true)
+    }
+
+    /// [`CompiledCone::compile`] with explicit control over constant
+    /// folding. The quantised / bit-true engines compile with
+    /// `fold == false` so that **every** operation node of the cone graph —
+    /// the exact set the VHDL backend registers — survives as one
+    /// instruction and receives its own per-operation rounding.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledCone::compile`].
+    pub fn compile_with(cone: &Cone, params: &[f64], fold: bool) -> Self {
         let graph = cone.graph();
         let roots: Vec<NodeId> = cone.outputs().iter().map(|o| o.node).collect();
         let mask = graph.reachable(&roots);
         let mut b = Builder {
             params,
-            fold: true,
+            fold,
             code: Vec::new(),
             cse: HashMap::new(),
         };
@@ -549,7 +726,19 @@ impl CompiledCone {
             .map(|o| reg_of(&regs, o.node))
             .collect();
         let (code, result_regs) = eliminate_dead_code_multi(b.code, result_regs);
-        let (code, dst, result_regs, slots) = allocate_slots(code, result_regs);
+        // Scheduling pre-pass: greedy consumer clustering (depth-first from
+        // the outputs) shortens live ranges before linear-scan allocation.
+        // Keep whichever order needs fewer slots — clustering wins on wide
+        // cones whose level-interleaved order keeps whole levels live.
+        let (sched_code, sched_results) = schedule_for_locality(&code, &result_regs);
+        let (lin_code, lin_dst, lin_results, lin_slots) = allocate_slots(code, result_regs);
+        let (s_code, s_dst, s_results, s_slots) = allocate_slots(sched_code, sched_results);
+        let slots_unscheduled = lin_slots;
+        let (code, dst, result_regs, slots) = if s_slots < lin_slots {
+            (s_code, s_dst, s_results, s_slots)
+        } else {
+            (lin_code, lin_dst, lin_results, lin_slots)
+        };
         let outputs: Vec<ConeSlot> = cone
             .outputs()
             .iter()
@@ -588,6 +777,7 @@ impl CompiledCone {
             dst,
             outputs,
             slots,
+            slots_unscheduled,
             reach,
         }
     }
@@ -595,6 +785,28 @@ impl CompiledCone {
     /// Number of value slots the evaluator needs (peak live registers).
     pub fn slots(&self) -> usize {
         self.slots
+    }
+
+    /// Slots the program would need under the plain lowering order, without
+    /// the consumer-clustering scheduling pre-pass — `slots() /
+    /// slots_unscheduled()` measures what scheduling saved.
+    pub fn slots_unscheduled(&self) -> usize {
+        self.slots_unscheduled
+    }
+
+    /// The instruction buffer; instruction `i` writes slot `dst()[i]`.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Destination slot of each instruction (parallel to [`CompiledCone::code`]).
+    pub fn dst(&self) -> &[Reg] {
+        &self.dst
+    }
+
+    /// The output elements and the slots holding them.
+    pub fn outputs(&self) -> &[ConeSlot] {
+        &self.outputs
     }
 
     /// Number of instructions in the flattened program.
@@ -782,6 +994,37 @@ mod tests {
             let got = regs[slot.reg as usize];
             assert_eq!(got.to_bits(), wv.to_bits(), "({},{})", wp.x, wp.y);
         }
+    }
+
+    #[test]
+    fn scheduling_prepass_shrinks_cone_live_set() {
+        use isl_ir::{FieldKind, StencilPattern, Window};
+        // A wide 2D cone: the memoised-DFS lowering order keeps shared
+        // cross-output subexpressions live far longer than the dataflow
+        // requires; the kill-first schedule must do strictly better, and
+        // the compiler must never pick a worse order than linear.
+        let mut p = StencilPattern::new(2).with_name("jac");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))
+            .unwrap();
+        let cone = Cone::build(&p, Window::square(8), 2).unwrap();
+        let cc = CompiledCone::compile(&cone, &[]);
+        assert!(cc.slots() <= cc.slots_unscheduled());
+        assert!(
+            cc.slots() < cc.slots_unscheduled(),
+            "kill-first schedule should beat the lowering order: {} !< {}",
+            cc.slots(),
+            cc.slots_unscheduled()
+        );
+        // Results always stay live, so the peak can never drop below the
+        // output count (plus at least one working slot).
+        assert!(cc.slots() > cc.output_count());
     }
 
     #[test]

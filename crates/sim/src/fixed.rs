@@ -16,8 +16,13 @@ use crate::sim::Simulator;
 use crate::vm;
 
 /// A fixed-point rounding rule: signed, `width` total bits, `frac`
-/// fractional bits (mirrors `isl_fpga::FixedFormat` without creating a
-/// dependency between the crates).
+/// fractional bits.
+///
+/// This is the *same* format the hardware side describes as
+/// `isl_fpga::FixedFormat`; the `isl-cosim` crate provides the lossless
+/// conversions between the two (and property-tests that `apply` agrees
+/// bit-for-bit with `FixedFormat::round_trip`), so there is exactly one
+/// notion of "the hardware's rounding rule" across the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Quantizer {
     width: u32,
@@ -41,6 +46,16 @@ impl Quantizer {
         Quantizer::new(18, 10)
     }
 
+    /// Total bits, including sign.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Fractional bits.
+    pub fn frac(&self) -> u32 {
+        self.frac
+    }
+
     /// Quantisation step.
     pub fn resolution(&self) -> f64 {
         (2.0f64).powi(-(self.frac as i32))
@@ -52,7 +67,10 @@ impl Quantizer {
         let max_raw = ((1i64 << (self.width - 1)) - 1) as f64;
         let min_raw = (-(1i64 << (self.width - 1))) as f64;
         let raw = (v * scale).round().clamp(min_raw, max_raw);
-        raw / scale
+        // `+ 0.0` canonicalises -0.0 to +0.0: the raw-word domain has a
+        // single zero, and `FixedFormat::round_trip` (which co-simulation
+        // pins this function to, bit for bit) goes through that word.
+        raw / scale + 0.0
     }
 }
 
@@ -160,7 +178,7 @@ impl Simulator<'_> {
 
 /// Quantise every sample of every frame (loading into the fixed-point
 /// domain).
-fn quantize_set(init: &FrameSet, q: Quantizer) -> FrameSet {
+pub(crate) fn quantize_set(init: &FrameSet, q: Quantizer) -> FrameSet {
     FrameSet::from_frames(
         init.frames()
             .iter()

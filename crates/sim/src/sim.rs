@@ -7,6 +7,7 @@ use isl_ir::{Cone, FieldId, FieldKind, StencilPattern, Window};
 use crate::border::BorderMode;
 use crate::compile::{CompiledCone, CompiledPattern};
 use crate::error::SimError;
+use crate::fixed::Quantizer;
 use crate::frame::{Frame, FrameSet};
 use crate::vm;
 
@@ -302,11 +303,36 @@ impl<'p> Simulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<FrameSet, SimError> {
+        self.run_tiled_impl(init, iterations, window, depth, None)
+    }
+
+    /// Shared level loop of the exact and quantised tiled engines. With a
+    /// quantiser, the pattern is compiled fold-free (every intermediate
+    /// receives its own rounding) and the initial state is loaded into the
+    /// fixed-point domain.
+    fn run_tiled_impl(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        post: Option<Quantizer>,
+    ) -> Result<FrameSet, SimError> {
         self.check_tiled(init, depth)?;
-        let program = self.compiled();
+        let fold_free;
+        let program = match post {
+            Some(_) => {
+                fold_free = CompiledPattern::compile(self.pattern, &self.params, false);
+                &fold_free
+            }
+            None => self.compiled(),
+        };
         let r = self.pattern.radius() as i64;
         let (tw, th) = (window.w as i64, window.h as i64);
-        let mut state = init.clone();
+        let mut state = match post {
+            Some(q) => crate::fixed::quantize_set(init, q),
+            None => init.clone(),
+        };
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             let next = vm::tiled_level_compiled(
@@ -317,6 +343,7 @@ impl<'p> Simulator<'p> {
                 (tw, th),
                 d,
                 r,
+                post,
                 spare.take(),
             );
             spare = Some(std::mem::replace(&mut state, next));
@@ -342,7 +369,53 @@ impl<'p> Simulator<'p> {
         self.check_tiled(init, depth)?;
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
-            state = self.tiled_level(&state, window, d)?;
+            state = self.tiled_level(&state, window, d, None)?;
+        }
+        Ok(state)
+    }
+
+    /// [`Simulator::run_tiled`] with fixed-point rounding after every
+    /// operation at every level — the tiled cone architecture with the
+    /// hardware's numeric behaviour, so rounding is validated window by
+    /// window at the exact decomposition the DSE chose.
+    ///
+    /// Executes on the compiled engine, lowered **without** constant folding
+    /// so every intermediate of the update tree receives its own rounding —
+    /// bit-identical to [`Simulator::run_tiled_quantized_reference`], which
+    /// tests enforce.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_tiled`].
+    pub fn run_tiled_quantized(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        self.run_tiled_impl(init, iterations, window, depth, Some(q))
+    }
+
+    /// [`Simulator::run_tiled_quantized`] through the tree-walking
+    /// interpreter — the golden quantised cone-architecture semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_tiled`].
+    pub fn run_tiled_quantized_reference(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        self.check_tiled(init, depth)?;
+        let mut state = crate::fixed::quantize_set(init, q);
+        for d in level_depths(iterations, depth) {
+            state = self.tiled_level(&state, window, d, Some(q))?;
         }
         Ok(state)
     }
@@ -358,8 +431,15 @@ impl<'p> Simulator<'p> {
         Ok(())
     }
 
-    /// One reference level: apply depth-`d` cones over every window tile.
-    fn tiled_level(&self, state: &FrameSet, window: Window, d: u32) -> Result<FrameSet, SimError> {
+    /// One reference level: apply depth-`d` cones over every window tile
+    /// (with per-operation rounding when `post` is set).
+    fn tiled_level(
+        &self,
+        state: &FrameSet,
+        window: Window,
+        d: u32,
+        post: Option<Quantizer>,
+    ) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let r = self.pattern.radius() as i64;
         let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
@@ -377,7 +457,7 @@ impl<'p> Simulator<'p> {
         while ty < h {
             let mut tx = 0;
             while tx < w {
-                self.tile(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index)?;
+                self.tile(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index, post)?;
                 tx += tw;
             }
             ty += th;
@@ -396,6 +476,7 @@ impl<'p> Simulator<'p> {
         d: u32,
         r: i64,
         dyn_index: &[Option<usize>],
+        post: Option<Quantizer>,
     ) -> Result<(), SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let dyn_fields = self.pattern.dynamic_fields();
@@ -443,36 +524,38 @@ impl<'p> Simulator<'p> {
                 let update = self.pattern.update(*f).expect("validated pattern");
                 for yy in ny0..=ny1 {
                     for xx in nx0..=nx1 {
-                        let v = update.eval(
-                            &|rf: FieldId, o: isl_ir::Offset| {
-                                let (qx, qy) = (xx + o.dx as i64, yy + o.dy as i64);
-                                if self.pattern.field(rf).kind == FieldKind::Static {
-                                    return state.frame(rf.index()).sample(qx, qy, self.border);
+                        let read = |rf: FieldId, o: isl_ir::Offset| {
+                            let (qx, qy) = (xx + o.dx as i64, yy + o.dy as i64);
+                            if self.pattern.field(rf).kind == FieldKind::Static {
+                                return state.frame(rf.index()).sample(qx, qy, self.border);
+                            }
+                            // Border-resolve at absolute frame coordinates,
+                            // then look up in the previous level's buffer.
+                            // (Resolve y even for height-1 frames: a
+                            // rank-2 pattern can tap dy ≠ 0 there, and
+                            // the golden run border-resolves it.)
+                            let rx = self.border.resolve(qx, w);
+                            let ry = self.border.resolve(qy, h);
+                            match (rx, ry) {
+                                (Some(rx), Some(ry)) => {
+                                    debug_assert!(
+                                        rx >= px0 && rx <= px1 && ry >= py0 && ry <= py1,
+                                        "tile halo must cover border-resolved reads"
+                                    );
+                                    let di2 = dyn_index[rf.index()].expect("dynamic read");
+                                    bufs[di2][((ry - py0) as usize) * pbw + (rx - px0) as usize]
                                 }
-                                // Border-resolve at absolute frame coordinates,
-                                // then look up in the previous level's buffer.
-                                // (Resolve y even for height-1 frames: a
-                                // rank-2 pattern can tap dy ≠ 0 there, and
-                                // the golden run border-resolves it.)
-                                let rx = self.border.resolve(qx, w);
-                                let ry = self.border.resolve(qy, h);
-                                match (rx, ry) {
-                                    (Some(rx), Some(ry)) => {
-                                        debug_assert!(
-                                            rx >= px0 && rx <= px1 && ry >= py0 && ry <= py1,
-                                            "tile halo must cover border-resolved reads"
-                                        );
-                                        let di2 = dyn_index[rf.index()].expect("dynamic read");
-                                        bufs[di2][((ry - py0) as usize) * pbw + (rx - px0) as usize]
-                                    }
-                                    _ => self
-                                        .border
-                                        .constant_value()
-                                        .expect("non-resolving border is Constant"),
-                                }
-                            },
-                            &|p: isl_ir::ParamId| self.params[p.index()],
-                        );
+                                _ => self
+                                    .border
+                                    .constant_value()
+                                    .expect("non-resolving border is Constant"),
+                            }
+                        };
+                        let param = |p: isl_ir::ParamId| self.params[p.index()];
+                        let v = match post {
+                            Some(q) => update.eval_map(&read, &param, &|v| q.apply(v)),
+                            None => update.eval(&read, &param),
+                        };
                         new_bufs[di][((yy - ny0) as usize) * nbw + (xx - nx0) as usize] = v;
                     }
                 }
@@ -528,6 +611,21 @@ impl<'p> Simulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<FrameSet, SimError> {
+        self.run_cone_dag_impl(init, iterations, window, depth, None)
+    }
+
+    /// Shared level loop of the exact and quantised cone-DAG engines. With
+    /// a quantiser, cones are lowered fold-free (every graph operation
+    /// receives its own rounding) and the initial state is loaded into the
+    /// fixed-point domain.
+    fn run_cone_dag_impl(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        post: Option<Quantizer>,
+    ) -> Result<FrameSet, SimError> {
         self.check(init)?;
         if depth == 0 {
             return Err(SimError::Cone("cone depth must be at least 1".into()));
@@ -536,13 +634,19 @@ impl<'p> Simulator<'p> {
         // At most two distinct depths appear (the main one plus a possible
         // remainder); build and lower each exactly once.
         let mut programs: Vec<(u32, CompiledCone)> = Vec::new();
-        let mut state = init.clone();
+        let mut state = match post {
+            Some(q) => crate::fixed::quantize_set(init, q),
+            None => init.clone(),
+        };
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             if !programs.iter().any(|(pd, _)| *pd == d) {
                 let cone = Cone::build(self.pattern, window, d)
                     .map_err(|e| SimError::Cone(e.to_string()))?;
-                programs.push((d, CompiledCone::compile(&cone, &self.params)));
+                programs.push((
+                    d,
+                    CompiledCone::compile_with(&cone, &self.params, post.is_none()),
+                ));
             }
             let cc = &programs
                 .iter()
@@ -555,9 +659,61 @@ impl<'p> Simulator<'p> {
                 self.border,
                 self.threads,
                 (tw, th),
+                post,
                 spare.take(),
             );
             spare = Some(std::mem::replace(&mut state, next));
+        }
+        Ok(state)
+    }
+
+    /// [`Simulator::run_cone_dag`] with fixed-point rounding after every
+    /// operation of every cone — the exact numeric behaviour of the
+    /// generated hardware's multi-level datapath, window by window.
+    ///
+    /// Cones are lowered **without** constant folding so every operation
+    /// node of the cone graph (the set the VHDL registers) receives its own
+    /// rounding — bit-identical to
+    /// [`Simulator::run_cone_dag_quantized_reference`], which tests enforce.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_cone_dag`].
+    pub fn run_cone_dag_quantized(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        self.run_cone_dag_impl(init, iterations, window, depth, Some(q))
+    }
+
+    /// [`Simulator::run_cone_dag_quantized`] through a tree-walking graph
+    /// interpreter that rounds after every node — the golden quantised
+    /// hardware-datapath semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_cone_dag`].
+    pub fn run_cone_dag_quantized_reference(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        q: Quantizer,
+    ) -> Result<FrameSet, SimError> {
+        self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
+        let mut state = crate::fixed::quantize_set(init, q);
+        for d in level_depths(iterations, depth) {
+            let cone = Cone::build(self.pattern, window, d)
+                .map_err(|e| SimError::Cone(e.to_string()))?;
+            state = self.cone_level(&state, &cone, Some(q))?;
         }
         Ok(state)
     }
@@ -585,12 +741,17 @@ impl<'p> Simulator<'p> {
         for d in level_depths(iterations, depth) {
             let cone = Cone::build(self.pattern, window, d)
                 .map_err(|e| SimError::Cone(e.to_string()))?;
-            state = self.cone_level(&state, &cone)?;
+            state = self.cone_level(&state, &cone, None)?;
         }
         Ok(state)
     }
 
-    fn cone_level(&self, state: &FrameSet, cone: &Cone) -> Result<FrameSet, SimError> {
+    fn cone_level(
+        &self,
+        state: &FrameSet,
+        cone: &Cone,
+        post: Option<Quantizer>,
+    ) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let window = cone.window();
         let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
@@ -599,14 +760,15 @@ impl<'p> Simulator<'p> {
         while ty < h {
             let mut tx = 0;
             while tx < w {
-                let outs = cone.eval(
-                    |f, p| {
-                        state
-                            .frame(f.index())
-                            .sample(tx + p.x as i64, ty + p.y as i64, self.border)
-                    },
-                    &self.params,
-                );
+                let read = |f: isl_ir::FieldId, p: isl_ir::Point| {
+                    state
+                        .frame(f.index())
+                        .sample(tx + p.x as i64, ty + p.y as i64, self.border)
+                };
+                let outs = match post {
+                    Some(q) => eval_cone_graph_quantized(cone, read, &self.params, q),
+                    None => cone.eval(read, &self.params),
+                };
                 for (f, p, v) in outs {
                     let (ax, ay) = (tx + p.x as i64, ty + p.y as i64);
                     if ax < w && ay < h {
@@ -621,9 +783,54 @@ impl<'p> Simulator<'p> {
     }
 }
 
+/// Evaluate a cone's dataflow graph with `f64` semantics and fixed-point
+/// rounding after every node (selects forward unrounded, like the hardware
+/// mux) — the tree-walking golden reference of the quantised cone engine.
+fn eval_cone_graph_quantized<R>(
+    cone: &Cone,
+    read: R,
+    params: &[f64],
+    q: Quantizer,
+) -> Vec<(isl_ir::FieldId, isl_ir::Point, f64)>
+where
+    R: Fn(isl_ir::FieldId, isl_ir::Point) -> f64,
+{
+    use isl_ir::{Leaf, Node};
+    let graph = cone.graph();
+    let mut vals: Vec<f64> = Vec::with_capacity(graph.len());
+    for (_, node) in graph.nodes() {
+        let v = match node {
+            Node::Leaf(Leaf::Input { field, point }) | Node::Leaf(Leaf::Static { field, point }) => {
+                q.apply(read(*field, *point))
+            }
+            Node::Leaf(Leaf::Const(c)) => q.apply(c.value()),
+            Node::Leaf(Leaf::Param(p)) => q.apply(params[p.index()]),
+            Node::Unary { op, arg } => q.apply(op.apply(vals[arg.index()])),
+            Node::Binary { op, lhs, rhs } => {
+                q.apply(op.apply(vals[lhs.index()], vals[rhs.index()]))
+            }
+            Node::Select { cond, then_, else_ } => {
+                if vals[cond.index()] != 0.0 {
+                    vals[then_.index()]
+                } else {
+                    vals[else_.index()]
+                }
+            }
+        };
+        vals.push(v);
+    }
+    cone.outputs()
+        .iter()
+        .map(|o| (o.field, o.point, vals[o.node.index()]))
+        .collect()
+}
+
 /// Decompose `iterations` into cone levels of `depth` plus a remainder level
-/// — the paper's "additional specific core" for non-divisor depths.
-pub(crate) fn level_depths(iterations: u32, depth: u32) -> Vec<u32> {
+/// — the paper's "additional specific core" for non-divisor depths. Public
+/// because every consumer of the cone architecture (the quantised engines
+/// here, the bit-true co-simulator in `isl-cosim`) must agree on exactly
+/// this plan for their outputs to correspond level by level.
+pub fn level_depths(iterations: u32, depth: u32) -> Vec<u32> {
     let mut v = vec![depth; (iterations / depth) as usize];
     if !iterations.is_multiple_of(depth) {
         v.push(iterations % depth);

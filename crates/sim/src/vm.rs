@@ -537,7 +537,9 @@ where
 /// One compiled tiled level: apply depth-`d` cones of the pattern's kernels
 /// over every `window` tile of the frame — the engine behind
 /// [`crate::Simulator::run_tiled`]. Bit-identical to the tree-walking
-/// reference level for every local border mode and thread count.
+/// reference level for every local border mode and thread count. With
+/// `post` set, every non-select instruction's result is rounded — the
+/// engine behind [`crate::Simulator::run_tiled_quantized`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tiled_level_compiled(
     cp: &CompiledPattern,
@@ -547,6 +549,7 @@ pub(crate) fn tiled_level_compiled(
     (tw, th): (i64, i64),
     d: u32,
     r: i64,
+    post: Option<Quantizer>,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
@@ -582,6 +585,7 @@ pub(crate) fn tiled_level_compiled(
                     (d, r),
                     (&mut ping, &mut pong),
                     &mut scratch,
+                    post,
                     (slices, row0),
                 );
                 tx += tw;
@@ -607,6 +611,7 @@ fn tile_compiled(
     (d, r): (u32, i64),
     (ping, pong): (&mut [Vec<f64>], &mut [Vec<f64>]),
     scratch: &mut Scratch,
+    post: Option<Quantizer>,
     (slices, row0): (&mut [&mut [f64]], usize),
 ) {
     let (wi, hi) = (w as i64, h as i64);
@@ -647,7 +652,7 @@ fn tile_compiled(
                     oy: row0 as i64,
                     stride: w,
                 };
-                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, None, scratch);
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, post, scratch);
             } else {
                 let mut dst = RectOut {
                     data: &mut pong[di],
@@ -655,7 +660,7 @@ fn tile_compiled(
                     oy: ny0,
                     stride: nbw,
                 };
-                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, None, scratch);
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, post, scratch);
             }
         }
         if l < d {
@@ -673,13 +678,17 @@ fn tile_compiled(
 /// window — the engine behind [`crate::Simulator::run_cone_dag`]. Interior
 /// tiles run as structure-of-arrays lanes (one lane per tile); tiles whose
 /// reach crosses the frame edge run scalar with base-input border
-/// resolution, exactly like [`isl_ir::Cone::eval`].
+/// resolution, exactly like [`isl_ir::Cone::eval`]. With `post` set, every
+/// non-select instruction's lane is rounded — the engine behind
+/// [`crate::Simulator::run_cone_dag_quantized`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn cone_level_compiled(
     cc: &CompiledCone,
     state: &FrameSet,
     border: BorderMode,
     threads: usize,
     (tw, th): (i64, i64),
+    post: Option<Quantizer>,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
@@ -728,6 +737,7 @@ pub(crate) fn cone_level_compiled(
                 true,
                 &dyn_slot,
                 &mut scratch,
+                post,
                 (slices, row0),
             );
         }
@@ -741,6 +751,7 @@ pub(crate) fn cone_level_compiled(
                 false,
                 &dyn_slot,
                 &mut scratch,
+                post,
                 (slices, row0),
             );
         }
@@ -765,6 +776,7 @@ fn eval_cone_lanes(
     interior: bool,
     dyn_slot: &[Option<usize>],
     scratch: &mut [f64],
+    post: Option<Quantizer>,
     (slices, row0): (&mut [&mut [f64]], usize),
 ) {
     let n = chunk.len();
@@ -828,6 +840,16 @@ fn eval_cone_lanes(
                     } else {
                         scratch[e0 + k]
                     };
+                }
+            }
+        }
+        // Quantised execution: round every lane of a non-select result (a
+        // select forwards already-rounded branch values unchanged, like the
+        // interpreter and the hardware mux).
+        if !matches!(*instr, Instr::Select { .. }) {
+            if let Some(q) = post {
+                for v in &mut scratch[range(d)] {
+                    *v = q.apply(*v);
                 }
             }
         }

@@ -1,14 +1,26 @@
-//! Structural validation of generated VHDL.
+//! Structural validation of generated VHDL and golden-vector certification.
 //!
 //! Not a VHDL compiler — a disciplined checker for the shapes this backend
 //! emits, used by the test suite to guarantee that every generated design
 //! is internally consistent: one entity/architecture pair, balanced
 //! `begin`/`end`, all referenced identifiers declared, single driver per
 //! signal, and input ports never driven.
+//!
+//! [`verify_vectors`] extends the discipline to *numerics*: every response
+//! word of a golden-vector file is re-derived through the independent
+//! fixed-point graph interpreter ([`isl_fpga::eval_fixed`]) — a tree walk
+//! over the cone's dataflow graph, sharing no code with the bytecode VM
+//! that generated the file — and compared bit-for-bit.
 
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+
+use isl_fpga::{eval_fixed, FixedFormat};
+use isl_ir::Cone;
+
+use crate::codegen;
+use crate::vectors::VectorFile;
 
 /// Check failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,6 +253,201 @@ pub fn balance_only(code: &str) -> Result<(), CheckError> {
         )));
     }
     Ok(())
+}
+
+// -- golden-vector certification --------------------------------------------
+
+/// Summary of a successful [`verify_vectors`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorCheckReport {
+    /// Cone firings (vector records) checked.
+    pub records: usize,
+    /// Response words compared bit-for-bit.
+    pub words: usize,
+}
+
+/// Why a golden-vector file failed certification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VectorCheckError {
+    /// The file does not describe this cone (entity, shape, format or port
+    /// mismatch).
+    Incompatible(String),
+    /// A response word disagrees with the independent re-evaluation.
+    Mismatch(VectorMismatch),
+}
+
+/// The first diverging response word of a failed certification: which
+/// firing (record, level, tile), which output port, and both raw words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorMismatch {
+    /// Record index in file order.
+    pub record: usize,
+    /// Level of the architecture decomposition the firing belongs to.
+    pub level: u32,
+    /// Tile origin of the firing, frame coordinates.
+    pub tile: (i64, i64),
+    /// Output port that diverged.
+    pub port: String,
+    /// Raw word the checker derived.
+    pub expected: i64,
+    /// Raw word the file recorded.
+    pub got: i64,
+}
+
+impl fmt::Display for VectorCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorCheckError::Incompatible(m) => {
+                write!(f, "vector file incompatible with cone: {m}")
+            }
+            VectorCheckError::Mismatch(m) => write!(
+                f,
+                "vector mismatch at record {} (level {}, tile ({}, {})), port `{}`: expected {}, file has {}",
+                m.record, m.level, m.tile.0, m.tile.1, m.port, m.expected, m.got
+            ),
+        }
+    }
+}
+
+impl Error for VectorCheckError {}
+
+/// Certify a golden-vector file against `cone`: every record's stimulus is
+/// fed through the independent fixed-point graph interpreter
+/// ([`isl_fpga::eval_fixed`]) and every response word must match
+/// bit-for-bit. The first divergence is reported with its record, level,
+/// tile and port — enough for `isl-cosim`'s triage to pinpoint the
+/// offending instruction.
+///
+/// # Errors
+///
+/// [`VectorCheckError::Incompatible`] when the file does not describe this
+/// cone; [`VectorCheckError::Mismatch`] on the first diverging word.
+pub fn verify_vectors(
+    cone: &Cone,
+    fmt: FixedFormat,
+    file: &VectorFile,
+) -> Result<VectorCheckReport, VectorCheckError> {
+    let expect_entity = codegen::entity_name(cone);
+    if file.entity != expect_entity {
+        return Err(VectorCheckError::Incompatible(format!(
+            "file is for `{}`, cone is `{expect_entity}`",
+            file.entity
+        )));
+    }
+    if file.window != cone.window() || file.depth != cone.depth() {
+        return Err(VectorCheckError::Incompatible(format!(
+            "file shape w{} d{} vs cone w{} d{}",
+            file.window,
+            file.depth,
+            cone.window(),
+            cone.depth()
+        )));
+    }
+    if file.format != fmt {
+        return Err(VectorCheckError::Incompatible(format!(
+            "file format {} vs requested {fmt}",
+            file.format
+        )));
+    }
+    // Column of every input the cone will read; strict — a missing port
+    // means the file cannot drive this cone.
+    let mut in_cols: HashMap<String, usize> = HashMap::new();
+    for (i, name) in file.ports_in.iter().enumerate() {
+        in_cols.insert(name.clone(), i);
+    }
+    let col_of = |name: &str| -> Result<usize, VectorCheckError> {
+        in_cols
+            .get(name)
+            .copied()
+            .ok_or_else(|| VectorCheckError::Incompatible(format!("missing input port `{name}`")))
+    };
+    let dyn_cols: Vec<usize> = cone
+        .inputs()
+        .iter()
+        .map(|i| col_of(&codegen::input_port_name(i.field, i.point)))
+        .collect::<Result<_, _>>()?;
+    let static_cols: Vec<usize> = cone
+        .static_inputs()
+        .iter()
+        .map(|i| col_of(&codegen::static_port_name(i.field, i.point)))
+        .collect::<Result<_, _>>()?;
+    // Parameter columns, by ParamId index (absent params read as zero).
+    let param_cols: Vec<Option<usize>> = {
+        let max_param = file
+            .ports_in
+            .iter()
+            .filter_map(|p| p.strip_prefix("param_p").and_then(|s| s.parse::<usize>().ok()))
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        (0..max_param)
+            .map(|i| in_cols.get(&codegen::param_port_name(i)).copied())
+            .collect()
+    };
+    let out_cols: Vec<(usize, String)> = cone
+        .outputs()
+        .iter()
+        .map(|o| {
+            let name = codegen::output_port_name(o.field, o.point);
+            file.output_column(&name)
+                .map(|c| (c, name.clone()))
+                .ok_or(VectorCheckError::Incompatible(format!(
+                    "missing output port `{name}`"
+                )))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut words = 0usize;
+    for (ri, record) in file.records.iter().enumerate() {
+        // Value lookup in real units; eval_fixed re-quantises on entry,
+        // which round-trips raw words exactly.
+        let lookup: HashMap<(u16, i32, i32), f64> = cone
+            .inputs()
+            .iter()
+            .zip(&dyn_cols)
+            .chain(cone.static_inputs().iter().zip(&static_cols))
+            .map(|(inp, &c)| {
+                (
+                    (inp.field.index() as u16, inp.point.x, inp.point.y),
+                    fmt.dequantize(record.stimulus[c]),
+                )
+            })
+            .collect();
+        let params: Vec<f64> = param_cols
+            .iter()
+            .map(|c| c.map(|c| fmt.dequantize(record.stimulus[c])).unwrap_or(0.0))
+            .collect();
+        let outs = eval_fixed(
+            cone,
+            fmt,
+            |f, p| {
+                lookup
+                    .get(&(f.index() as u16, p.x, p.y))
+                    .copied()
+                    .unwrap_or(0.0)
+            },
+            &params,
+        );
+        for ((_, _, value), (col, name)) in outs.iter().zip(&out_cols) {
+            let expected = fmt.quantize(*value);
+            let got = record.response[*col];
+            words += 1;
+            if expected != got {
+                return Err(VectorCheckError::Mismatch(VectorMismatch {
+                    record: ri,
+                    level: record.level,
+                    tile: record.tile,
+                    port: name.clone(),
+                    expected,
+                    got,
+                }));
+            }
+        }
+    }
+    Ok(VectorCheckReport {
+        records: file.records.len(),
+        words,
+    })
 }
 
 /// Validate the support package: presence of `package` and `package body`

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use isl_fpga::FixedFormat;
-use isl_ir::{BinaryOp, Cone, Leaf, Node, NodeId, UnaryOp};
+use isl_ir::{BinaryOp, Cone, FieldId, Leaf, Node, NodeId, Point, UnaryOp};
 
 /// Options for VHDL generation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -74,21 +74,39 @@ fn coord(c: i32) -> String {
     }
 }
 
+/// The entity name a cone is generated under (its sanitised signature).
+/// Golden-vector files carry this name so a vector set and an entity can be
+/// matched without regenerating the VHDL.
+pub fn entity_name(cone: &Cone) -> String {
+    sanitize(&cone.signature().to_string())
+}
+
+/// Port name of a dynamic-field input element (`in_f{F}_x{X}_y{Y}`,
+/// negative coordinates rendered as `m{N}`).
+pub fn input_port_name(field: FieldId, point: Point) -> String {
+    format!("in_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y))
+}
+
+/// Port name of a static-field input element (`st_f{F}_x{X}_y{Y}`).
+pub fn static_port_name(field: FieldId, point: Point) -> String {
+    format!("st_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y))
+}
+
+/// Port name of a runtime parameter (`param_p{I}`).
+pub fn param_port_name(index: usize) -> String {
+    format!("param_p{index}")
+}
+
+/// Port name of an output element (`out_f{F}_x{X}_y{Y}`).
+pub fn output_port_name(field: FieldId, point: Point) -> String {
+    format!("out_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y))
+}
+
 fn leaf_port_name(leaf: &Leaf) -> Option<String> {
     match leaf {
-        Leaf::Input { field, point } => Some(format!(
-            "in_f{}_x{}_y{}",
-            field.index(),
-            coord(point.x),
-            coord(point.y)
-        )),
-        Leaf::Static { field, point } => Some(format!(
-            "st_f{}_x{}_y{}",
-            field.index(),
-            coord(point.x),
-            coord(point.y)
-        )),
-        Leaf::Param(p) => Some(format!("param_p{}", p.index())),
+        Leaf::Input { field, point } => Some(input_port_name(*field, *point)),
+        Leaf::Static { field, point } => Some(static_port_name(*field, *point)),
+        Leaf::Param(p) => Some(param_port_name(p.index())),
         Leaf::Const(_) => None,
     }
 }
@@ -227,12 +245,7 @@ pub fn generate_cone(cone: &Cone, options: &VhdlOptions) -> VhdlModule {
     }
     let mut out_port_names: Vec<(String, NodeId)> = Vec::new();
     for o in cone.outputs() {
-        let name = format!(
-            "out_f{}_x{}_y{}",
-            o.field.index(),
-            coord(o.point.x),
-            coord(o.point.y)
-        );
+        let name = output_port_name(o.field, o.point);
         ports.push(PortInfo {
             name: name.clone(),
             direction: PortDirection::Out,

@@ -14,6 +14,12 @@
 //!   against expected values computed by the IR evaluator in the same
 //!   fixed-point format — so the generated hardware is checkable in any
 //!   VHDL simulator without this library;
+//! * a **golden-vector exchange** ([`vectors`]): per-firing
+//!   stimulus/response files produced by the bit-true co-simulator
+//!   (`isl-cosim`), replayed by the vector-file testbench mode
+//!   ([`generate_vector_testbench`]) and certified word-for-word by
+//!   [`check::verify_vectors`] against the independent fixed-point graph
+//!   interpreter;
 //! * a **structural checker** ([`check`]) used by the test suite: balanced
 //!   `begin`/`end`, every referenced signal declared, every signal driven
 //!   exactly once, and pipeline stages consistent.
@@ -48,12 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod check;
-mod codegen;
+pub mod codegen;
 mod package;
 mod testbench;
+pub mod vectors;
 mod wrapper;
 
+pub use check::{verify_vectors, VectorCheckError, VectorCheckReport, VectorMismatch};
 pub use codegen::{generate_cone, PortDirection, PortInfo, VhdlModule, VhdlOptions};
 pub use package::fixed_package;
-pub use testbench::generate_testbench;
+pub use testbench::{generate_testbench, generate_vector_testbench};
+pub use vectors::{VectorError, VectorFile, VectorRecord};
 pub use wrapper::{generate_wrapper, validate_wrapper, VhdlWrapper};

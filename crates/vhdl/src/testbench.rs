@@ -1,4 +1,11 @@
 //! Testbench generation: self-checking stimulus for a generated cone.
+//!
+//! Two modes: the classic single-window smoke testbench
+//! ([`generate_testbench`], one synthetic stimulus, expectations from the
+//! `f64` IR evaluator with an LSB tolerance), and the **vector-file mode**
+//! ([`generate_vector_testbench`]) that replays a full golden-vector set
+//! from the bit-true co-simulator — every cone firing of an architecture
+//! run, asserted word-for-word.
 
 use std::fmt::Write as _;
 
@@ -6,6 +13,7 @@ use isl_fpga::FixedFormat;
 use isl_ir::{Cone, FieldId, Point};
 
 use crate::codegen::{PortDirection, VhdlModule};
+use crate::vectors::{VectorError, VectorFile};
 
 /// Deterministic stimulus value for an input port index.
 fn stimulus(i: usize) -> f64 {
@@ -34,16 +42,8 @@ pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) ->
 
     // Expected outputs via the IR evaluator: map (field, point) -> value.
     let lookup = |field: FieldId, point: Point| -> f64 {
-        // Reconstruct the port name exactly like codegen does.
-        let coord = |c: i32| {
-            if c < 0 {
-                format!("m{}", -c)
-            } else {
-                c.to_string()
-            }
-        };
-        let dynamic = format!("in_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y));
-        let static_ = format!("st_f{}_x{}_y{}", field.index(), coord(point.x), coord(point.y));
+        let dynamic = crate::codegen::input_port_name(field, point);
+        let static_ = crate::codegen::static_port_name(field, point);
         stim.iter()
             .find(|(n, _)| n == &dynamic || n == &static_)
             .map(|(_, v)| fmt.round_trip(*v))
@@ -94,19 +94,7 @@ pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) ->
     );
     tb.push_str("    assert out_valid = '1' report \"out_valid did not rise\" severity error;\n");
     for (field, point, value) in &expected {
-        let coord = |c: i32| {
-            if c < 0 {
-                format!("m{}", -c)
-            } else {
-                c.to_string()
-            }
-        };
-        let port = format!(
-            "out_f{}_x{}_y{}",
-            field.index(),
-            coord(point.x),
-            coord(point.y)
-        );
+        let port = crate::codegen::output_port_name(*field, *point);
         let q = fmt.quantize(*value);
         let _ = writeln!(
             tb,
@@ -116,6 +104,148 @@ pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) ->
     tb.push_str("    report \"testbench finished\" severity note;\n    wait;\n  end process stimulus;\n");
     let _ = writeln!(tb, "end architecture sim;");
     tb
+}
+
+/// Generate a vector-driven self-checking testbench: every record of
+/// `vectors` is applied to the DUT's data ports in sequence and every output
+/// port is asserted against the recorded response word.
+///
+/// The stimulus/response words live in VHDL constant arrays, so the
+/// testbench is self-contained — no file I/O in the simulator. Words are
+/// asserted with tolerance 0: the vectors were generated by the bit-true
+/// integer VM, which implements exactly the `isl_fixed_pkg` datapath.
+///
+/// # Errors
+///
+/// [`VectorError`] when the vector file's ports do not cover the module's
+/// data ports (wrong entity or stale file), when the file is empty, or when
+/// the format is wider than 31 bits (words are emitted as VHDL `integer`
+/// literals).
+pub fn generate_vector_testbench(
+    module: &VhdlModule,
+    vectors: &VectorFile,
+) -> Result<String, VectorError> {
+    if vectors.records.is_empty() {
+        return Err(VectorError("no records to replay".into()));
+    }
+    if vectors.format.width > 31 {
+        return Err(VectorError(format!(
+            "format {} too wide for integer literals (max 31 bits)",
+            vectors.format
+        )));
+    }
+    // Map each of the module's data ports onto a vector-file column.
+    let mut in_ports: Vec<(&str, usize)> = Vec::new(); // (port, stimulus column)
+    let mut out_ports: Vec<(&str, usize)> = Vec::new(); // (port, response column)
+    for p in module.ports.iter().filter(|p| !p.is_control) {
+        match p.direction {
+            PortDirection::In => in_ports.push((
+                &p.name,
+                vectors.input_column(&p.name).ok_or_else(|| {
+                    VectorError(format!("file has no stimulus for port `{}`", p.name))
+                })?,
+            )),
+            PortDirection::Out => out_ports.push((
+                &p.name,
+                vectors.output_column(&p.name).ok_or_else(|| {
+                    VectorError(format!("file has no response for port `{}`", p.name))
+                })?,
+            )),
+        }
+    }
+
+    let entity = &module.entity_name;
+    let n = vectors.records.len();
+    let (ni, no) = (in_ports.len(), out_ports.len());
+    if ni == 0 || no == 0 {
+        return Err(VectorError(format!(
+            "entity `{entity}` has {ni} data input / {no} output ports; a vector testbench needs at least one of each"
+        )));
+    }
+    let mut tb = String::new();
+    let _ = writeln!(
+        tb,
+        "-- Vector-driven testbench for `{entity}`: {n} recorded cone firings."
+    );
+    tb.push_str("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\nuse work.isl_fixed_pkg.all;\n\n");
+    let _ = writeln!(tb, "entity tb_{entity}_vec is\nend entity tb_{entity}_vec;");
+    tb.push('\n');
+    let _ = writeln!(tb, "architecture sim of tb_{entity}_vec is");
+    tb.push_str("  constant CLK_PERIOD : time := 10 ns;\n");
+    let _ = writeln!(tb, "  constant N_VECTORS  : integer := {n};");
+    tb.push_str("  type word_array is array (natural range <>) of integer;\n");
+    // Stimulus and response words, flattened record-major in *module port
+    // order* (not file order), so the replay loop indexes linearly. A
+    // single-element array must use named association — VHDL reads a
+    // one-element positional aggregate `(42)` as a parenthesised scalar.
+    let flat = |ports: &[(&str, usize)], words_of: &dyn Fn(usize) -> Vec<i64>| -> String {
+        let mut lits = Vec::with_capacity(n * ports.len());
+        for r in 0..n {
+            let words = words_of(r);
+            for &(_, col) in ports {
+                lits.push(words[col].to_string());
+            }
+        }
+        if lits.len() == 1 {
+            format!("0 => {}", lits[0])
+        } else {
+            lits.join(", ")
+        }
+    };
+    let _ = writeln!(
+        tb,
+        "  constant STIM : word_array(0 to {}) := ({});",
+        n * ni - 1,
+        flat(&in_ports, &|r| vectors.records[r].stimulus.clone())
+    );
+    let _ = writeln!(
+        tb,
+        "  constant RESP : word_array(0 to {}) := ({});",
+        n * no - 1,
+        flat(&out_ports, &|r| vectors.records[r].response.clone())
+    );
+    tb.push_str("  signal clk : std_logic := '0';\n  signal rst : std_logic := '1';\n");
+    tb.push_str("  signal in_valid, out_valid : std_logic := '0';\n");
+    for p in module.ports.iter().filter(|p| !p.is_control) {
+        let _ = writeln!(tb, "  signal {} : fixed_t := (others => '0');", p.name);
+    }
+    tb.push_str("begin\n");
+    tb.push_str("  clk <= not clk after CLK_PERIOD / 2;\n\n");
+    let _ = writeln!(tb, "  dut : entity work.{entity}");
+    tb.push_str("    port map (\n");
+    for (i, p) in module.ports.iter().enumerate() {
+        let sep = if i + 1 == module.ports.len() { "" } else { "," };
+        let _ = writeln!(tb, "      {} => {}{sep}", p.name, p.name);
+    }
+    tb.push_str("    );\n\n");
+    tb.push_str("  replay : process\n  begin\n");
+    tb.push_str("    wait for 2 * CLK_PERIOD;\n    rst <= '0';\n");
+    tb.push_str("    for v in 0 to N_VECTORS - 1 loop\n");
+    for (k, (name, _)) in in_ports.iter().enumerate() {
+        let _ = writeln!(
+            tb,
+            "      {name} <= to_signed(STIM(v * {ni} + {k}), DATA_WIDTH);"
+        );
+    }
+    tb.push_str("      in_valid <= '1';\n");
+    tb.push_str("      wait for CLK_PERIOD;\n");
+    tb.push_str("      in_valid <= '0';\n");
+    let _ = writeln!(
+        tb,
+        "      wait for {} * CLK_PERIOD;",
+        module.pipeline_stages + 2
+    );
+    tb.push_str("      assert out_valid = '1' report \"out_valid did not rise\" severity error;\n");
+    for (k, (name, _)) in out_ports.iter().enumerate() {
+        let _ = writeln!(
+            tb,
+            "      assert to_integer({name}) = RESP(v * {no} + {k})\n        report \"{name}: word mismatch at vector \" & integer'image(v) severity error;"
+        );
+    }
+    tb.push_str("    end loop;\n");
+    tb.push_str("    report \"vector testbench finished\" severity note;\n    wait;\n  end process replay;\n");
+    let _ = writeln!(tb, "end architecture sim;");
+    Ok(tb)
 }
 
 #[cfg(test)]

@@ -1,0 +1,335 @@
+//! Property tests for the bit-true co-simulation subsystem.
+//!
+//! Three layers of hardware/software equivalence, all bit-for-bit:
+//!
+//! 1. the **quantised compiled engines** (`run_tiled_quantized`,
+//!    `run_cone_dag_quantized`) against their tree-walking references, on
+//!    random patterns over every operator, borders, window shapes,
+//!    non-divisor depths and the worker-thread matrix `{1, 2, 4}`;
+//! 2. the **integer fixed-point VM** (`isl-cosim`) against the independent
+//!    fixed-point graph interpreter (`isl_fpga::eval_fixed`);
+//! 3. the **golden-vector exchange**: generated vectors certify cleanly,
+//!    survive a text round-trip, drive a structurally valid testbench —
+//!    and a deliberately injected rounding fault is caught and triaged to
+//!    the exact window, level and instruction.
+
+use isl_tests::arb::{
+    arb_border, arb_local_border, arb_pattern, arb_window, assert_bitwise_eq, frames_for,
+};
+use isl_tests::prop::{check, Rng};
+
+use isl_hls::cosim::{eval_cone_raw, quantizer_of, CoSimulator, Fault};
+use isl_hls::fpga::{eval_fixed, FixedFormat};
+use isl_hls::ir::Cone;
+use isl_hls::prelude::*;
+use isl_hls::sim::{CompiledCone, Quantizer};
+use isl_hls::vhdl::check::{verify_vectors, VectorCheckError};
+use isl_hls::vhdl::{generate_cone, generate_vector_testbench, VectorFile, VhdlOptions};
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 4];
+
+fn arb_quantizer(rng: &mut Rng) -> Quantizer {
+    let width = rng.u32_in(10, 26);
+    let frac = rng.u32_in(2, width - 4);
+    Quantizer::new(width, frac)
+}
+
+/// Compiled quantised tiled execution equals the tree-walking quantised
+/// tiled reference bit-for-bit: random patterns, local borders, window
+/// shapes, depths with remainders, random fixed-point formats, and every
+/// thread count of the matrix.
+#[test]
+fn quantized_tiled_matches_reference_bitwise() {
+    check("quantized_tiled_matches_reference_bitwise", 40, |rng| {
+        let pattern = arb_pattern(rng);
+        let border = arb_local_border(rng);
+        let (w, h) = (rng.usize_in(1, 20), rng.usize_in(1, 20));
+        let window = arb_window(rng);
+        let depth = rng.u32_in(1, 4);
+        let iters = rng.u32_in(1, 6);
+        let q = arb_quantizer(rng);
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let reference = Simulator::new(&pattern)
+            .expect("valid pattern")
+            .with_border(border)
+            .run_tiled_quantized_reference(&init, iters, window, depth, q)
+            .expect("reference runs");
+        for threads in THREAD_MATRIX {
+            let sim = Simulator::new(&pattern)
+                .expect("valid pattern")
+                .with_border(border)
+                .with_threads(threads);
+            let tiled = sim
+                .run_tiled_quantized(&init, iters, window, depth, q)
+                .expect("compiled quantised tiled runs");
+            assert_bitwise_eq(
+                &tiled,
+                &reference,
+                &format!(
+                    "{w}x{h} border {border} window {window} depth {depth} iters {iters} q {q:?} threads {threads}"
+                ),
+            );
+        }
+    });
+}
+
+/// Rounding commutes with the tiling: the quantised tiled run (any window,
+/// any depth, halo recompute included) is bit-identical to the quantised
+/// *whole-frame* run for local borders — every level recomputes exactly the
+/// same rounded words the frame-at-once engine produces.
+#[test]
+fn quantized_tiled_matches_quantized_whole_frame() {
+    check("quantized_tiled_matches_quantized_whole_frame", 32, |rng| {
+        let pattern = arb_pattern(rng);
+        let border = arb_local_border(rng);
+        let (w, h) = (rng.usize_in(1, 18), rng.usize_in(1, 18));
+        let window = arb_window(rng);
+        let depth = rng.u32_in(1, 4);
+        let iters = rng.u32_in(1, 5);
+        let q = arb_quantizer(rng);
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let sim = Simulator::new(&pattern)
+            .expect("valid pattern")
+            .with_border(border);
+        let whole = sim.run_quantized(&init, iters, q).expect("whole-frame runs");
+        let tiled = sim
+            .run_tiled_quantized(&init, iters, window, depth, q)
+            .expect("tiled runs");
+        assert_bitwise_eq(
+            &tiled,
+            &whole,
+            &format!("{w}x{h} border {border} window {window} depth {depth} iters {iters}"),
+        );
+    });
+}
+
+/// Compiled quantised cone-DAG execution equals the rounding graph walk
+/// bit-for-bit — any border (cones resolve borders at the base only), any
+/// window/depth, every thread count of the matrix.
+#[test]
+fn quantized_cone_dag_matches_reference_bitwise() {
+    check("quantized_cone_dag_matches_reference_bitwise", 32, |rng| {
+        let pattern = arb_pattern(rng);
+        let border = arb_border(rng);
+        let (w, h) = (rng.usize_in(1, 18), rng.usize_in(1, 18));
+        let window = arb_window(rng);
+        let depth = rng.u32_in(1, 3);
+        let iters = rng.u32_in(1, 5);
+        let q = arb_quantizer(rng);
+        let init = frames_for(&pattern, w, h, rng.u64());
+        let reference = Simulator::new(&pattern)
+            .expect("valid pattern")
+            .with_border(border)
+            .run_cone_dag_quantized_reference(&init, iters, window, depth, q)
+            .expect("reference runs");
+        for threads in THREAD_MATRIX {
+            let sim = Simulator::new(&pattern)
+                .expect("valid pattern")
+                .with_border(border)
+                .with_threads(threads);
+            let dag = sim
+                .run_cone_dag_quantized(&init, iters, window, depth, q)
+                .expect("compiled quantised cone dag runs");
+            assert_bitwise_eq(
+                &dag,
+                &reference,
+                &format!(
+                    "{w}x{h} border {border} window {window} depth {depth} iters {iters} threads {threads}"
+                ),
+            );
+        }
+    });
+}
+
+/// The integer fixed-point VM executes lowered cone bytecode bit-identical
+/// to the independent fixed-point graph interpreter, on random patterns and
+/// cone shapes — the two implementations share only the per-operation
+/// datapath functions, not the evaluation strategy.
+#[test]
+fn integer_vm_matches_graph_interpreter_bitwise() {
+    check("integer_vm_matches_graph_interpreter_bitwise", 48, |rng| {
+        let pattern = arb_pattern(rng);
+        let window = arb_window(rng);
+        let depth = rng.u32_in(1, 3);
+        let width = rng.u32_in(10, 30);
+        let fmt = FixedFormat::new(width, rng.u32_in(2, width - 4));
+        let params: Vec<f64> = pattern.params().iter().map(|p| p.default).collect();
+        let cone = Cone::build(&pattern, window, depth).expect("cone builds");
+        let cc = CompiledCone::compile_with(&cone, &params, false);
+        let seed = rng.u64();
+        let stim = move |f: u16, x: i32, y: i32| -> f64 {
+            let k = (x as i64 * 31 + y as i64 * 57 + f as i64 * 13) as u64 ^ seed;
+            ((k % 97) as f64) / 16.0 - 3.0
+        };
+        let got = eval_cone_raw(&cc, fmt, |f, x, y| fmt.quantize(stim(f, x, y)));
+        let want = eval_fixed(
+            &cone,
+            fmt,
+            |f, pt| stim(f.index() as u16, pt.x, pt.y),
+            &params,
+        );
+        assert_eq!(got.len(), want.len());
+        for ((g, (_, pt, wv)), slot) in got.iter().zip(&want).zip(cc.outputs()) {
+            assert_eq!(
+                fmt.dequantize(*g).to_bits(),
+                wv.to_bits(),
+                "window {window} depth {depth} {fmt} out ({}, {}) / slot ({}, {})",
+                pt.x,
+                pt.y,
+                slot.px,
+                slot.py
+            );
+        }
+    });
+}
+
+/// Golden vectors round-trip end to end on two real algorithms: generate →
+/// certify (zero mismatches) → serialise → parse → re-certify → replay in a
+/// structurally valid vector testbench.
+#[test]
+fn golden_vector_roundtrip_two_algorithms() {
+    for algo in [
+        isl_hls::algorithms::gaussian_igf(),
+        isl_hls::algorithms::chambolle(),
+    ] {
+        let (pattern, _) = algo.compile().expect("builtin compiles");
+        let fmt = FixedFormat::default();
+        let cosim = CoSimulator::new(&pattern, fmt).expect("co-simulator builds");
+        let init = frames_for(&pattern, 20, 16, 0xB17 ^ algo.name.len() as u64);
+        let files = cosim
+            .golden_vectors(&init, 5, Window::square(4), 2)
+            .expect("vectors generate");
+        // 5 iterations at depth 2 = two distinct shapes (main + remainder).
+        assert_eq!(files.len(), 2, "{}", algo.name);
+        for file in &files {
+            let cone = Cone::build(&pattern, file.window, file.depth).expect("cone builds");
+            let report = verify_vectors(&cone, fmt, file)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name));
+            assert_eq!(report.records, file.records.len());
+            assert!(report.words > 0);
+            // Text round-trip is lossless and re-certifies.
+            let reparsed = VectorFile::parse(&file.to_text()).expect("parses");
+            assert_eq!(&reparsed, file, "{}", algo.name);
+            verify_vectors(&cone, fmt, &reparsed).expect("reparsed file certifies");
+            // The vector testbench mode consumes the file.
+            let module = generate_cone(&cone, &VhdlOptions { format: fmt });
+            let tb = generate_vector_testbench(&module, file).expect("testbench generates");
+            assert!(tb.contains(&format!("entity tb_{}_vec is", module.entity_name)));
+            isl_hls::vhdl::check::balance_only(&tb).expect("testbench is balanced");
+        }
+    }
+}
+
+/// The co-simulator's integer run and the quantised f64 run bracket the
+/// same hardware: their outputs agree to within a couple of quantisation
+/// steps per operation (truncating vs round-to-nearest multiplies differ by
+/// at most one LSB each).
+#[test]
+fn integer_run_tracks_quantized_run() {
+    let algo = isl_hls::algorithms::gaussian_igf();
+    let (pattern, _) = algo.compile().expect("builtin compiles");
+    let fmt = FixedFormat::default();
+    let q = quantizer_of(fmt);
+    let init = frames_for(&pattern, 16, 12, 99);
+    let cosim = CoSimulator::new(&pattern, fmt).expect("co-simulator builds");
+    let fixed = cosim
+        .run_cone_levels(&init, 4, Window::square(4), 2)
+        .expect("integer run")
+        .dequantize(fmt);
+    let quantized = Simulator::new(&pattern)
+        .expect("valid")
+        .run_cone_dag_quantized(&init, 4, Window::square(4), 2, q)
+        .expect("quantised run");
+    let diff = fixed.max_abs_diff(&quantized);
+    assert!(
+        diff <= 64.0 * fmt.resolution(),
+        "integer vs quantised drift {diff}"
+    );
+}
+
+/// A deliberately injected single-LSB rounding fault anywhere in the cone
+/// datapath is caught by the golden-vector check and triaged to the exact
+/// window, level and instruction.
+#[test]
+fn injected_fault_is_caught_and_triaged() {
+    let algo = isl_hls::algorithms::gaussian_igf();
+    let (pattern, _) = algo.compile().expect("builtin compiles");
+    let fmt = FixedFormat::default();
+    let params: Vec<f64> = pattern.params().iter().map(|p| p.default).collect();
+    let cone = Cone::build(&pattern, Window::square(3), 2).expect("cone builds");
+    let cc = CompiledCone::compile_with(&cone, &params, false);
+    // Fault the last instruction: post-DCE it necessarily produces an
+    // output word, so the corruption cannot be masked downstream.
+    let fault = Fault {
+        instr: cc.len() - 1,
+        xor_mask: 1,
+    };
+    let init = frames_for(&pattern, 12, 9, 4242);
+    let clean = CoSimulator::new(&pattern, fmt).expect("builds");
+    let faulty = CoSimulator::new(&pattern, fmt).expect("builds").with_fault(fault);
+
+    let good = clean
+        .golden_vectors(&init, 4, Window::square(3), 2)
+        .expect("clean vectors");
+    let bad = faulty
+        .golden_vectors(&init, 4, Window::square(3), 2)
+        .expect("faulty vectors");
+    for file in &good {
+        let c = Cone::build(&pattern, file.window, file.depth).expect("cone");
+        verify_vectors(&c, fmt, file).expect("clean vectors certify");
+        assert!(clean.triage_vectors(file).expect("triage runs").is_none());
+    }
+    // The faulty main-shape file must fail certification...
+    let bad_main = bad.iter().find(|f| f.depth == 2).expect("main shape");
+    let c2 = Cone::build(&pattern, bad_main.window, bad_main.depth).expect("cone");
+    let err = verify_vectors(&c2, fmt, bad_main).expect_err("fault must be caught");
+    let VectorCheckError::Mismatch(m) = err else {
+        panic!("expected a mismatch, got {err}");
+    };
+    // ...at the very first firing (the fault hits every window).
+    assert_eq!((m.record, m.level), (0, 0));
+    // ...and triage pinpoints the injected instruction.
+    let report = faulty
+        .triage_vectors(bad_main)
+        .expect("triage runs")
+        .expect("divergence found");
+    assert_eq!(report.record, 0);
+    assert_eq!(report.level, 0);
+    assert_eq!(report.port, m.port);
+    // The report reads like a street address.
+    let text = report.to_string();
+    assert!(text.contains("instruction"), "{text}");
+    let div = report.divergence.expect("fault hypothesis reproduces");
+    assert_eq!(div.instr, fault.instr);
+    assert_eq!(div.expected ^ 1, div.got);
+}
+
+/// The flow-level acceptance gate: `verify_architecture` certifies
+/// gaussian-IGF and chambolle at their DSE-chosen (window, depth)
+/// decompositions — quantised compiled paths bit-identical to references,
+/// golden vectors mismatch-free.
+#[test]
+fn verify_architecture_certifies_igf_and_chambolle() {
+    for algo in [
+        isl_hls::algorithms::gaussian_igf(),
+        isl_hls::algorithms::chambolle(),
+    ] {
+        let flow = IslFlow::from_algorithm(&algo).expect("flow builds");
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(2..=5, 1..=3, 4);
+        let result = flow
+            .explore(&device, flow.workload(24, 18), &space)
+            .expect("explores");
+        let best = result.fastest().expect("feasible point");
+        let init = frames_for(flow.pattern(), 24, 18, 0x5EED ^ algo.name.len() as u64);
+        let cert = flow
+            .verify_architecture(&init, best.arch)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name));
+        assert_eq!(cert.arch, best.arch);
+        assert!(cert.quantized_elements > 0, "{}", algo.name);
+        assert!(cert.vector_records > 0, "{}", algo.name);
+        assert!(cert.vector_words > 0, "{}", algo.name);
+        assert!(!cert.vector_files.is_empty(), "{}", algo.name);
+        assert!(cert.max_fixed_error.is_finite(), "{}", algo.name);
+    }
+}
