@@ -268,6 +268,58 @@ fn main() {
         ));
     }
 
+    // Warm-vs-cold staged-session DSE: the artifact store memoises cones,
+    // compiled programs and calibration syntheses, so a repeated explore on
+    // one session reduces to pure enumeration arithmetic.
+    let device = Device::virtex6_xc6vlx760();
+    let space = DesignSpace::new(1..=6, 1..=4, 8);
+    let mut session_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let workload = Workload::image(SIZE as u32, SIZE as u32, ITERS);
+        let time_explores = |session: &IslSession| -> f64 {
+            let mut times: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(
+                        session.explore(&device, workload, &space).expect("explores"),
+                    );
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            times[2]
+        };
+        // Cold: a fresh session (empty store) per run.
+        let mut cold_times: Vec<f64> = (0..5)
+            .map(|_| {
+                let session = IslSession::from_pattern(case.pattern.clone(), ITERS);
+                let t0 = Instant::now();
+                std::hint::black_box(session.explore(&device, workload, &space).expect("explores"));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        cold_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cold = cold_times[2];
+        // Warm: one session, store populated by a first pass.
+        let session = IslSession::from_pattern(case.pattern.clone(), ITERS);
+        session.explore(&device, workload, &space).expect("explores");
+        let warm = time_explores(&session);
+        println!(
+            "session_dse_{:<16} cold {:>8.3} ms | warm {:>8.3} ms ({:>6.1}x)",
+            case.name,
+            cold * 1e3,
+            warm * 1e3,
+            cold / warm
+        );
+        session_rows.push(format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.1}}}",
+            case.name,
+            cold * 1e3,
+            warm * 1e3,
+            cold / warm
+        ));
+    }
+
     let mut json = format!(
         "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
     );
@@ -276,6 +328,8 @@ fn main() {
     }
     json.push_str("  ],\n  \"cone_slots\": [\n");
     json.push_str(&slot_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"session_dse\": [\n");
+    json.push_str(&session_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the
     // trajectory file at the workspace root instead.

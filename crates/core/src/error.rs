@@ -1,10 +1,53 @@
-//! The flow-level error type.
+//! The flow-level error type, with pipeline-stage context.
 
 use std::error::Error;
 use std::fmt;
 
+/// The stages of the staged pipeline API (see [`crate::IslSession`]).
+///
+/// Every error raised by a session method carries the stage it failed in
+/// (and, where one exists, the artifact key being produced), applied by one
+/// shared constructor — so a failure surfacing through the artifact store's
+/// cache path reads exactly like the same failure on a cold recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Parsing / dependency analysis (building the [`crate::IslSession`]).
+    Spec,
+    /// Cone decomposition of one architecture shape.
+    Decompose,
+    /// Area/latency estimation and α calibration.
+    Estimate,
+    /// Design-space exploration.
+    Explore,
+    /// Functional simulation.
+    Simulate,
+    /// VHDL generation / bundle assembly.
+    Synthesize,
+    /// Hardware co-simulation and certification.
+    Certify,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Spec => "spec",
+            Stage::Decompose => "decompose",
+            Stage::Estimate => "estimate",
+            Stage::Explore => "explore",
+            Stage::Simulate => "simulate",
+            Stage::Synthesize => "synthesize",
+            Stage::Certify => "certify",
+        })
+    }
+}
+
 /// Any failure along the HLS flow, tagged by phase.
+///
+/// Marked `#[non_exhaustive]`: the staged session API adds variants (and
+/// may add more), so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FlowError {
     /// Frontend / symbolic-execution failure (phase 1).
     Analysis(String),
@@ -21,6 +64,41 @@ pub enum FlowError {
     /// Hardware co-simulation / certification failure: the architecture's
     /// quantised execution or its golden vectors diverged.
     Verification(String),
+    /// Filesystem failure while exporting a bundle
+    /// ([`crate::VhdlBundle::write_to`]).
+    Io(String),
+}
+
+impl FlowError {
+    /// Attach uniform stage context to this error: `stage`, plus the
+    /// content key of the artifact being produced when there is one.
+    ///
+    /// Every session entry point funnels its failures through here —
+    /// whether the artifact store served a cached value, raced another
+    /// thread, or recomputed from cold, an identical failure produces an
+    /// identical message (the property `tests/tests/session_props.rs`
+    /// checks).
+    #[must_use]
+    pub fn at(self, stage: Stage, artifact: Option<&str>) -> FlowError {
+        let tag = match artifact {
+            Some(key) => format!("[{stage}: {key}] "),
+            None => format!("[{stage}] "),
+        };
+        self.map_message(|m| format!("{tag}{m}"))
+    }
+
+    fn map_message(self, f: impl FnOnce(String) -> String) -> FlowError {
+        match self {
+            FlowError::Analysis(m) => FlowError::Analysis(f(m)),
+            FlowError::Cone(m) => FlowError::Cone(f(m)),
+            FlowError::Synthesis(m) => FlowError::Synthesis(f(m)),
+            FlowError::Estimation(m) => FlowError::Estimation(f(m)),
+            FlowError::Exploration(m) => FlowError::Exploration(f(m)),
+            FlowError::Simulation(m) => FlowError::Simulation(f(m)),
+            FlowError::Verification(m) => FlowError::Verification(f(m)),
+            FlowError::Io(m) => FlowError::Io(f(m)),
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -33,6 +111,7 @@ impl fmt::Display for FlowError {
             FlowError::Exploration(m) => write!(f, "design-space exploration failed: {m}"),
             FlowError::Simulation(m) => write!(f, "simulation failed: {m}"),
             FlowError::Verification(m) => write!(f, "architecture verification failed: {m}"),
+            FlowError::Io(m) => write!(f, "bundle export failed: {m}"),
         }
     }
 }
@@ -78,5 +157,11 @@ impl From<isl_sim::SimError> for FlowError {
 impl From<isl_cosim::CosimError> for FlowError {
     fn from(e: isl_cosim::CosimError) -> Self {
         FlowError::Verification(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for FlowError {
+    fn from(e: std::io::Error) -> Self {
+        FlowError::Io(e.to_string())
     }
 }

@@ -1,173 +1,158 @@
-//! The end-to-end flow object.
+//! The pre-redesign flat flow object, kept as thin shims over the staged
+//! session API.
+//!
+//! **Deprecated in favour of [`IslSession`]** (see the
+//! [migration table](crate#migrating-from-islflow)): every method below
+//! delegates to one shared session, so existing callers keep compiling —
+//! and silently gain the artifact store (repeated calls stop rebuilding
+//! cones, recompiling programs and rerunning calibration syntheses).
 
 use isl_algorithms::Algorithm;
-use isl_cosim::CoSimulator;
-use isl_dse::{DesignSpace, Exploration, Explorer};
+use isl_dse::{DesignSpace, Exploration};
 use isl_estimate::{
-    Architecture, AreaValidation, ScheduleModel, ThroughputEstimator, ThroughputReport, Workload,
+    Architecture, AreaValidation, ScheduleModel, ThroughputReport, Workload,
 };
-use isl_fpga::{Device, FixedFormat, SynthOptions, Synthesizer};
+use isl_fpga::{Device, SynthOptions};
 use isl_ir::{Cone, StencilPattern, Window};
 use isl_sim::{BorderMode, FrameSet, Simulator};
-use isl_symexec::compile_str;
-use isl_vhdl::{
-    check::verify_vectors, fixed_package, generate_cone, generate_testbench,
-    generate_vector_testbench, generate_wrapper, VectorFile, VhdlOptions,
-};
 
 use crate::error::FlowError;
+use crate::session::{ArchitectureCertificate, IslSession, VhdlBundle};
 
-/// Everything needed to drop a cone into a VHDL project.
-#[derive(Debug, Clone, PartialEq)]
-pub struct VhdlBundle {
-    /// The fixed-point support package (`isl_fixed_pkg`).
-    pub package: String,
-    /// The cone entity + architecture.
-    pub entity: String,
-    /// The tile wrapper (serial window loader + fire/collect control).
-    pub wrapper: String,
-    /// A self-checking testbench (drives the bare cone).
-    pub testbench: String,
-    /// The entity name.
-    pub entity_name: String,
-    /// Pipeline depth, cycles.
-    pub pipeline_stages: u32,
-}
-
-/// The automatic HLS flow of the paper, end to end.
+/// The automatic HLS flow of the paper, end to end — the flat façade over
+/// one shared [`IslSession`].
 ///
-/// See the [crate-level documentation](crate) for a full example.
+/// **Deprecated**: prefer the staged session API ([`IslSession`]); this
+/// type remains so downstream code keeps compiling unchanged. Each shim is
+/// one delegation — consult the
+/// [migration table](crate#migrating-from-islflow) for the staged
+/// equivalent of every method.
 #[derive(Debug, Clone)]
 pub struct IslFlow {
-    pattern: StencilPattern,
-    iterations: u32,
-    border: BorderMode,
-    synth_options: SynthOptions,
-    schedule: ScheduleModel,
+    session: IslSession,
 }
 
 impl IslFlow {
     /// Phase 1: parse, analyse and symbolically execute a C kernel.
     ///
+    /// *Staged equivalent:* [`IslSession::from_source`].
+    ///
     /// # Errors
     ///
     /// [`FlowError::Analysis`] with the frontend/symexec diagnostic.
     pub fn from_source(source: &str) -> Result<Self, FlowError> {
-        let (pattern, info) = compile_str(source)?;
-        let border = info
-            .border
-            .as_deref()
-            .and_then(BorderMode::parse)
-            .unwrap_or_default();
         Ok(IslFlow {
-            pattern,
-            iterations: info.iterations.unwrap_or(1),
-            border,
-            synth_options: SynthOptions::default(),
-            schedule: ScheduleModel::default(),
+            session: IslSession::from_source(source)?,
         })
     }
 
     /// Build the flow from a built-in algorithm.
     ///
+    /// *Staged equivalent:* [`IslSession::from_algorithm`].
+    ///
     /// # Errors
     ///
     /// Same as [`IslFlow::from_source`].
     pub fn from_algorithm(algorithm: &Algorithm) -> Result<Self, FlowError> {
-        Self::from_source(algorithm.source)
+        Ok(IslFlow {
+            session: IslSession::from_algorithm(algorithm)?,
+        })
     }
 
     /// Build the flow from an already-extracted pattern.
+    ///
+    /// *Staged equivalent:* [`IslSession::from_pattern`].
     pub fn from_pattern(pattern: StencilPattern, iterations: u32) -> Self {
         IslFlow {
-            pattern,
-            iterations: iterations.max(1),
-            border: BorderMode::default(),
-            synth_options: SynthOptions::default(),
-            schedule: ScheduleModel::default(),
+            session: IslSession::from_pattern(pattern, iterations),
         }
+    }
+
+    /// The session this flow delegates to — the bridge for incremental
+    /// migration (all artifacts accumulated through the flat API are
+    /// visible to staged calls and vice versa).
+    pub fn session(&self) -> &IslSession {
+        &self.session
     }
 
     /// Override the border mode.
     pub fn with_border(mut self, border: BorderMode) -> Self {
-        self.border = border;
+        self.session = self.session.with_border(border);
         self
     }
 
     /// Override the iteration count.
     pub fn with_iterations(mut self, iterations: u32) -> Self {
-        self.iterations = iterations.max(1);
+        self.session = self.session.with_iterations(iterations);
         self
     }
 
     /// Override synthesis options (fixed-point format, sharing, jitter).
     pub fn with_synth_options(mut self, options: SynthOptions) -> Self {
-        self.synth_options = options;
+        self.session = self.session.with_synth_options(options);
         self
     }
 
     /// Override the schedule model.
     pub fn with_schedule(mut self, schedule: ScheduleModel) -> Self {
-        self.schedule = schedule;
+        self.session = self.session.with_schedule(schedule);
         self
     }
 
     /// The extracted stencil pattern.
     pub fn pattern(&self) -> &StencilPattern {
-        &self.pattern
+        self.session.pattern()
     }
 
     /// Iterations per frame (the paper's `N`).
     pub fn iterations(&self) -> u32 {
-        self.iterations
+        self.session.iterations()
     }
 
     /// Border mode used for simulation.
     pub fn border(&self) -> BorderMode {
-        self.border
+        self.session.border()
     }
 
     /// A workload for this ISL over `width`×`height` frames.
     pub fn workload(&self, width: u32, height: u32) -> Workload {
-        Workload::image(width, height, self.iterations)
+        self.session.workload(width, height)
     }
 
     // -- phase 2: cones and VHDL -------------------------------------------
 
     /// Build the cone of one output window and depth.
     ///
+    /// *Staged equivalent:* [`IslSession::decompose`] (or
+    /// [`IslSession::cone`] for the `Arc`-shared handle — this shim clones
+    /// the stored cone for signature compatibility).
+    ///
     /// # Errors
     ///
     /// [`FlowError::Cone`] on invalid depth/pattern.
     pub fn build_cone(&self, window: Window, depth: u32) -> Result<Cone, FlowError> {
-        Ok(Cone::build(&self.pattern, window, depth)?)
+        Ok((*self.session.cone(window, depth)?).clone())
     }
 
     /// Generate the complete VHDL bundle for one cone.
+    ///
+    /// *Staged equivalent:* [`IslSession::synthesize`] (and
+    /// [`crate::Certified::synthesize`] for a bundle that ships certified
+    /// golden vectors).
     ///
     /// # Errors
     ///
     /// [`FlowError::Cone`] on invalid depth/pattern.
     pub fn generate_vhdl(&self, window: Window, depth: u32) -> Result<VhdlBundle, FlowError> {
-        let cone = self.build_cone(window, depth)?;
-        let fmt = self.synth_options.format;
-        let module = generate_cone(&cone, &VhdlOptions { format: fmt });
-        let testbench = generate_testbench(&cone, &module, fmt);
-        let wrapper = generate_wrapper(&cone, &module);
-        Ok(VhdlBundle {
-            package: fixed_package(fmt),
-            entity_name: module.entity_name.clone(),
-            pipeline_stages: module.pipeline_stages,
-            entity: module.code,
-            wrapper: wrapper.code,
-            testbench,
-        })
+        Ok(self.session.synthesize(window, depth)?.into_bundle())
     }
 
     // -- phase 3: estimation -------------------------------------------------
 
     /// Validate the Eq. 1 area model over a window/depth grid on `device`
     /// (the Figure 5 / Figure 8 experiment).
+    ///
+    /// *Staged equivalent:* [`IslSession::validate_area_model`].
     ///
     /// # Errors
     ///
@@ -179,17 +164,13 @@ impl IslFlow {
         depths: &[u32],
         calibration_points: usize,
     ) -> Result<AreaValidation, FlowError> {
-        let synth = Synthesizer::with_options(device, self.synth_options);
-        Ok(AreaValidation::run(
-            &synth,
-            &self.pattern,
-            windows,
-            depths,
-            calibration_points,
-        )?)
+        self.session
+            .validate_area_model(device, windows, depths, calibration_points)
     }
 
     /// Estimate one architecture's throughput on `device`.
+    ///
+    /// *Staged equivalent:* [`IslSession::throughput`].
     ///
     /// # Errors
     ///
@@ -200,13 +181,13 @@ impl IslFlow {
         arch: Architecture,
         workload: Workload,
     ) -> Result<ThroughputReport, FlowError> {
-        let synth = Synthesizer::with_options(device, self.synth_options);
-        let est = ThroughputEstimator::with_schedule(&synth, self.schedule);
-        Ok(est.estimate(&self.pattern, arch, workload)?)
+        self.session.throughput(device, arch, workload)
     }
 
     /// Best throughput for a window/depth when the device is packed with as
     /// many cores as fit (the Figure 7 / Figure 10 experiment).
+    ///
+    /// *Staged equivalent:* [`IslSession::best_on_device`].
     ///
     /// # Errors
     ///
@@ -218,15 +199,17 @@ impl IslFlow {
         depth: u32,
         workload: Workload,
     ) -> Result<ThroughputReport, FlowError> {
-        let synth = Synthesizer::with_options(device, self.synth_options);
-        let est = ThroughputEstimator::with_schedule(&synth, self.schedule);
-        Ok(est.best_on_device(&self.pattern, window, depth, workload)?)
+        self.session.best_on_device(device, window, depth, workload)
     }
 
     // -- phase 4: exploration -------------------------------------------------
 
     /// Explore the design space and extract the Pareto set (the Figure 6 /
     /// Figure 9 experiment).
+    ///
+    /// *Staged equivalent:* [`IslSession::explore`] (which keeps the result
+    /// `Arc`-shared; this shim clones it out for signature compatibility).
+    /// For several workloads or devices, see [`IslSession::explore_many`].
     ///
     /// # Errors
     ///
@@ -237,27 +220,26 @@ impl IslFlow {
         workload: Workload,
         space: &DesignSpace,
     ) -> Result<Exploration, FlowError> {
-        let explorer = Explorer::new(device)
-            .with_synth_options(self.synth_options)
-            .with_schedule(self.schedule);
-        Ok(explorer.explore(&self.pattern, workload, space)?)
+        Ok((**self.session.explore(device, workload, space)?.exploration()).clone())
     }
 
     // -- simulation -------------------------------------------------------------
 
     /// A functional simulator for this ISL (golden / tiled / cone-DAG).
     ///
+    /// *Staged equivalent:* [`IslSession::simulator`].
+    ///
     /// # Errors
     ///
     /// [`FlowError::Simulation`] for unsupported ranks.
     pub fn simulator(&self) -> Result<Simulator<'_>, FlowError> {
-        Ok(Simulator::new(&self.pattern)?.with_border(self.border))
+        self.session.simulator()
     }
 
     /// Run this ISL's full iteration count on `init` through the compiled
-    /// tiled engine with the exact window/depth decomposition of `arch` —
-    /// i.e. simulate what the explored architecture instance computes.
-    /// Bit-identical to the golden run for local border modes.
+    /// tiled engine with the exact window/depth decomposition of `arch`.
+    ///
+    /// *Staged equivalent:* [`IslSession::run_architecture`].
     ///
     /// # Errors
     ///
@@ -265,31 +247,21 @@ impl IslFlow {
     /// or mismatched frame sets.
     pub fn run_architecture(
         &self,
-        init: &isl_sim::FrameSet,
+        init: &FrameSet,
         arch: Architecture,
-    ) -> Result<isl_sim::FrameSet, FlowError> {
-        let sim = self.simulator()?;
-        Ok(sim.run_tiled(init, self.iterations, arch.window, arch.depth)?)
+    ) -> Result<FrameSet, FlowError> {
+        self.session.run_architecture(init, arch)
     }
 
     // -- hardware co-simulation --------------------------------------------
 
-    /// Certify an explored architecture instance end to end on `init`:
+    /// Certify an explored architecture instance end to end on `init` (see
+    /// [`IslSession::certify`] for the three-step evidence).
     ///
-    /// 1. the **compiled quantised tiled** run (fixed-point rounding after
-    ///    every operation, at `arch`'s exact window/depth decomposition) is
-    ///    checked bit-identical to the tree-walking quantised reference;
-    /// 2. the **compiled quantised cone-DAG** run — the hardware's actual
-    ///    multi-level datapath semantics — likewise;
-    /// 3. the bit-true **integer co-simulator** replays the decomposition
-    ///    on raw fixed-point words and records every cone firing as golden
-    ///    vectors, which must pass [`isl_vhdl::check::verify_vectors`]
-    ///    (independent re-derivation of every response word) with zero
-    ///    mismatches; the vector-file testbenches are generated and
-    ///    structurally checked along the way.
-    ///
-    /// Returns the evidence as an [`ArchitectureCertificate`] (vector files
-    /// included, ready to ship next to the VHDL bundle).
+    /// *Staged equivalent:* [`IslSession::certify`] (which keeps the
+    /// certificate `Arc`-shared and stored; this shim clones it out for
+    /// signature compatibility). For batches, see
+    /// [`IslSession::verify_many`].
     ///
     /// # Errors
     ///
@@ -301,114 +273,8 @@ impl IslFlow {
         init: &FrameSet,
         arch: Architecture,
     ) -> Result<ArchitectureCertificate, FlowError> {
-        let fmt = self.synth_options.format;
-        let q = isl_cosim::quantizer_of(fmt);
-        let sim = self.simulator()?;
-        let iters = self.iterations;
-        let (window, depth) = (arch.window, arch.depth);
-
-        let bitwise = |a: &FrameSet, b: &FrameSet, what: &str| -> Result<usize, FlowError> {
-            let mut n = 0;
-            for fi in 0..a.len() {
-                for (i, (x, y)) in a
-                    .frame(fi)
-                    .as_slice()
-                    .iter()
-                    .zip(b.frame(fi).as_slice())
-                    .enumerate()
-                {
-                    if x.to_bits() != y.to_bits() {
-                        return Err(FlowError::Verification(format!(
-                            "{what}: field {fi} element {i}: compiled {x} vs reference {y}"
-                        )));
-                    }
-                    n += 1;
-                }
-            }
-            Ok(n)
-        };
-
-        // 1) Quantised tiled semantics, compiled vs golden tree walk.
-        let tiled = sim.run_tiled_quantized(init, iters, window, depth, q)?;
-        let tiled_ref = sim.run_tiled_quantized_reference(init, iters, window, depth, q)?;
-        let mut quantized_elements = bitwise(&tiled, &tiled_ref, "quantised tiled")?;
-
-        // 2) Quantised cone-DAG semantics, compiled vs golden graph walk.
-        let dag = sim.run_cone_dag_quantized(init, iters, window, depth, q)?;
-        let dag_ref = sim.run_cone_dag_quantized_reference(init, iters, window, depth, q)?;
-        quantized_elements += bitwise(&dag, &dag_ref, "quantised cone-DAG")?;
-
-        // 3) Bit-true integer co-simulation + golden-vector certification.
-        let cosim = CoSimulator::new(&self.pattern, fmt)?.with_border(self.border);
-        let vector_files = cosim.golden_vectors(init, iters, window, depth)?;
-        let mut vector_records = 0;
-        let mut vector_words = 0;
-        for file in &vector_files {
-            let cone = self.build_cone(file.window, file.depth)?;
-            let report = verify_vectors(&cone, fmt, file)
-                .map_err(|e| FlowError::Verification(e.to_string()))?;
-            vector_records += report.records;
-            vector_words += report.words;
-            // The exchange works end to end: the file round-trips through
-            // its text form and drives a structurally valid testbench.
-            let reparsed = VectorFile::parse(&file.to_text())
-                .map_err(|e| FlowError::Verification(e.to_string()))?;
-            if &reparsed != file {
-                return Err(FlowError::Verification(
-                    "vector file text round-trip diverged".into(),
-                ));
-            }
-            let module = generate_cone(&cone, &VhdlOptions { format: fmt });
-            let tb = generate_vector_testbench(&module, file)
-                .map_err(|e| FlowError::Verification(e.to_string()))?;
-            isl_vhdl::check::balance_only(&tb)
-                .map_err(|e| FlowError::Verification(e.to_string()))?;
-        }
-
-        // Informative accuracy bound: how far the fixed-point hardware run
-        // drifted from the exact f64 run after the full iteration count.
-        let golden = sim.run(init, iters)?;
-        let fixed = cosim
-            .run_cone_levels(init, iters, window, depth)?
-            .dequantize(fmt);
-        let max_fixed_error = golden.max_abs_diff(&fixed);
-
-        Ok(ArchitectureCertificate {
-            arch,
-            iterations: iters,
-            format: fmt,
-            quantized_elements,
-            vector_files,
-            vector_records,
-            vector_words,
-            max_fixed_error,
-        })
+        Ok((**self.session.certify(init, arch)?.certificate()).clone())
     }
-}
-
-/// Evidence that one architecture instance computes what the hardware will:
-/// returned by [`IslFlow::verify_architecture`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct ArchitectureCertificate {
-    /// The certified instance.
-    pub arch: Architecture,
-    /// Iterations of the certified run.
-    pub iterations: u32,
-    /// Fixed-point format of the datapath.
-    pub format: FixedFormat,
-    /// Frame elements compared bit-for-bit across the quantised compiled /
-    /// reference engine pairs (tiled + cone-DAG).
-    pub quantized_elements: usize,
-    /// Golden-vector files, one per distinct cone shape of the
-    /// decomposition — every firing of the run, certified mismatch-free.
-    pub vector_files: Vec<VectorFile>,
-    /// Cone firings certified across all vector files.
-    pub vector_records: usize,
-    /// Response words certified bit-for-bit.
-    pub vector_words: usize,
-    /// Largest |fixed-point − f64| deviation of the full run (the numeric
-    /// cost of the hardware datapath, measured — not assumed).
-    pub max_fixed_error: f64,
 }
 
 #[cfg(test)]
@@ -541,5 +407,37 @@ void blur(const float in[H][W], float out[H][W]) {
             .best_on_device(&device, Window::square(3), 2, flow.workload(256, 192))
             .unwrap();
         assert!(best.fps >= r.fps);
+    }
+
+    #[test]
+    fn explore_follows_workload_iterations() {
+        // The pre-redesign contract: the workload's iteration count wins
+        // over the spec's (the pragma says 6; the workload says 4 — the
+        // remainder depths of the calibration must follow the workload).
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(2..=3, 3..=3, 2);
+        let result = flow
+            .explore(&device, Workload::image(64, 48, 4), &space)
+            .unwrap();
+        assert!(!result.points().is_empty());
+    }
+
+    #[test]
+    fn shim_calls_share_the_session_store() {
+        // The deprecated façade delegates to one session: a second explore
+        // with identical inputs must do zero new cone builds or syntheses.
+        let flow = IslFlow::from_source(BLUR).unwrap();
+        let device = Device::virtex6_xc6vlx760();
+        let space = DesignSpace::new(1..=3, 1..=2, 2);
+        let a = flow.explore(&device, flow.workload(64, 48), &space).unwrap();
+        let warm = flow.session().store_stats();
+        let b = flow.explore(&device, flow.workload(64, 48), &space).unwrap();
+        assert_eq!(a.points(), b.points());
+        let hot = flow.session().store_stats();
+        assert_eq!(warm.cones.misses, hot.cones.misses);
+        assert_eq!(warm.syntheses.misses, hot.syntheses.misses);
+        assert_eq!(warm.calibrations.misses, hot.calibrations.misses);
+        assert!(hot.calibrations.hits > warm.calibrations.hits);
     }
 }

@@ -5,24 +5,38 @@
 //! (Nacci, Rana, Bruschi, Sciuto, Beretta, Atienza — DAC 2013).
 //!
 //! The flow (paper, Figure 2) takes a C kernel describing **one iteration**
-//! of an ISL and produces Pareto-optimal FPGA architectures:
+//! of an ISL and produces Pareto-optimal FPGA architectures. Since the
+//! staged-API redesign it is exposed as an explicit typed pipeline over an
+//! [`IslSession`]:
 //!
-//! 1. **Dependency analysis** — symbolic execution of the kernel extracts
-//!    the stencil pattern, verifying *domain narrowness* and *translational
-//!    invariance* (`isl-frontend`, `isl-symexec`);
-//! 2. **Cone identification** — multi-iteration compute modules ("cones")
-//!    are built by unrolling the dependencies with full register reuse
-//!    (`isl-ir`), and rendered to synthesizable VHDL (`isl-vhdl`);
-//! 3. **Performance and area estimation** — the incremental register-based
-//!    area model (Eq. 1, α calibrated from two syntheses) and an analytic
-//!    throughput schedule (`isl-estimate`, over the `isl-fpga` synthesis
-//!    simulator);
-//! 4. **Design space exploration** — exhaustive enumeration of (window ×
-//!    depth × cores) instances and Pareto extraction (`isl-dse`).
+//! ```text
+//! Spec (IslSession) → Decomposed → Estimated → Explored → Synthesized
+//!                                                       ↘ Certified
+//! ```
 //!
-//! Functional correctness of the whole architecture template is provable in
-//! simulation: window-by-window cone execution is bit-identical to the
-//! golden whole-frame iteration (`isl-sim`).
+//! 1. **Spec** — symbolic execution of the kernel extracts the stencil
+//!    pattern, verifying *domain narrowness* and *translational invariance*
+//!    (`isl-frontend`, `isl-symexec`);
+//! 2. **Decomposed** — multi-iteration compute modules ("cones") are built
+//!    by unrolling the dependencies with full register reuse (`isl-ir`);
+//! 3. **Estimated** — the incremental register-based area model (Eq. 1,
+//!    α calibrated from two syntheses per depth) and the analytic schedule
+//!    (`isl-estimate`, over the `isl-fpga` synthesis simulator);
+//! 4. **Explored** — exhaustive enumeration of (window × depth × cores)
+//!    instances and Pareto extraction (`isl-dse`);
+//! 5. **Synthesized** — synthesizable VHDL, packaged with testbenches (and,
+//!    after certification, golden-vector replays) into a [`VhdlBundle`];
+//! 6. **Certified** — bit-true hardware co-simulation evidence
+//!    ([`ArchitectureCertificate`], via `isl-cosim`).
+//!
+//! Every stage output is an immutable, `Arc`-shared handle backed by the
+//! session's concurrency-safe **artifact store** ([`ArtifactStore`]): built
+//! cones, compiled bytecode programs, calibration syntheses, golden vectors
+//! and certificates are keyed by content hashes, so later stages — and
+//! repeated or concurrent calls with the same inputs — reuse them instead
+//! of recomputing ([`IslSession::store_stats`] proves it). The batch
+//! surface ([`IslSession::explore_many`], [`IslSession::verify_many`]) fans
+//! request sets over the persistent worker pool against the same store.
 //!
 //! ## Quickstart
 //!
@@ -30,7 +44,7 @@
 //! use isl_hls::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let flow = IslFlow::from_source(r#"
+//! let session = IslSession::from_source(r#"
 //! #pragma isl iterations 10
 //! #pragma isl border clamp
 //! void blur(const float in[H][W], float out[H][W]) {
@@ -43,30 +57,76 @@
 //! // Explore architectures for 256x192 frames on a Virtex-6.
 //! let device = Device::virtex6_xc6vlx760();
 //! let space = DesignSpace::new(1..=4, 1..=2, 4);
-//! let result = flow.explore(&device, flow.workload(256, 192), &space)?;
-//! let best = result.fastest().expect("feasible points exist");
+//! let explored = session.explore(&device, session.workload(256, 192), &space)?;
+//! let best = explored.fastest().expect("feasible points exist");
 //! assert!(best.fps > 0.0);
 //!
-//! // Generate the VHDL for the chosen cone.
-//! let bundle = flow.generate_vhdl(best.arch.window, best.arch.depth)?;
-//! assert!(bundle.entity.contains("entity"));
+//! // Generate the VHDL for the fastest point.
+//! let synthesized = explored.synthesize_fastest()?;
+//! assert!(synthesized.bundle().entity.contains("entity"));
+//!
+//! // A second explore with the same inputs is served from the store.
+//! let again = session.explore(&device, session.workload(256, 192), &space)?;
+//! assert_eq!(explored.points(), again.points());
+//! assert!(session.store_stats().calibrations.hits > 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migrating from `IslFlow`
+//!
+//! [`IslFlow`] remains as a thin deprecated façade: every method delegates
+//! to one shared session, so old code keeps compiling (and now shares
+//! artifacts across calls for free). New code should use the staged API:
+//!
+//! | Old (`IslFlow`)                           | New (staged `IslSession`)                                   |
+//! |-------------------------------------------|-------------------------------------------------------------|
+//! | `IslFlow::from_source(src)?`              | `IslSession::from_source(src)?`                             |
+//! | `IslFlow::from_algorithm(&a)?`            | `IslSession::from_algorithm(&a)?`                           |
+//! | `IslFlow::from_pattern(p, n)`             | `IslSession::from_pattern(p, n)`                            |
+//! | `flow.with_border(b)` (etc.)              | `session.with_border(b)` (same builder set, plus `with_threads`) |
+//! | `flow.build_cone(w, d)?`                  | `session.decompose(w, d)?.main_cone()` (or `session.cone(w, d)?`) |
+//! | `flow.generate_vhdl(w, d)?`               | `session.synthesize(w, d)?.into_bundle()`                   |
+//! | `flow.validate_area_model(...)?`          | `session.validate_area_model(...)?`                         |
+//! | `flow.throughput(...)?` / `best_on_device`| `session.throughput(...)?` / `session.best_on_device(...)?` |
+//! | `flow.explore(dev, wl, space)?`           | `session.explore(dev, wl, space)?` (or `session.estimate(dev, space)?.explore(wl)?`) |
+//! | *(sweeping several workloads/devices)*    | `session.explore_many(&requests)`                           |
+//! | `flow.simulator()?`                       | `session.simulator()?`                                      |
+//! | `flow.run_architecture(init, arch)?`      | `session.run_architecture(init, arch)?`                     |
+//! | `flow.verify_architecture(init, arch)?`   | `session.certify(init, arch)?` (then `.certificate()`)      |
+//! | *(certifying a batch)*                    | `session.verify_many(&requests)`                            |
+//! | *(vectors next to the VHDL, by hand)*     | `session.certify(...)?.synthesize()?.write_to(dir)?` + `run_ghdl.sh` |
+//!
+//! Functional correctness of the whole architecture template is provable in
+//! simulation: window-by-window cone execution is bit-identical to the
+//! golden whole-frame iteration (`isl-sim`), and stage results served from
+//! the artifact store are property-tested bit-identical to cold recomputes
+//! (`tests/tests/session_props.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod flow;
+mod session;
+mod store;
 
-pub use error::FlowError;
-pub use flow::{ArchitectureCertificate, IslFlow, VhdlBundle};
+pub use error::{FlowError, Stage};
+pub use flow::IslFlow;
+pub use session::{
+    ArchitectureCertificate, Certified, Decomposed, Estimated, Explored, ExploreRequest,
+    IslSession, Synthesized, VectorSet, VerifyRequest, VhdlBundle,
+};
+pub use store::{ArtifactStore, StoreStats};
 
 /// Convenient single-import surface for flow users.
 pub mod prelude {
-    pub use crate::{ArchitectureCertificate, FlowError, IslFlow, VhdlBundle};
-    pub use isl_dse::{DesignPoint, DesignSpace, Exploration, Explorer};
+    pub use crate::{
+        ArchitectureCertificate, ArtifactStore, Certified, Decomposed, Estimated, Explored,
+        ExploreRequest, FlowError, IslFlow, IslSession, Stage, StoreStats, Synthesized, VectorSet,
+        VerifyRequest, VhdlBundle,
+    };
+    pub use isl_dse::{Calibration, DesignPoint, DesignSpace, Exploration, Explorer};
     pub use isl_estimate::{
         Architecture, AreaEstimator, AreaValidation, ScheduleModel, ThroughputEstimator,
         Workload,

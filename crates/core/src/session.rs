@@ -1,0 +1,1088 @@
+//! The staged pipeline API: typed [`IslSession`] stages over a shared
+//! [`ArtifactStore`].
+//!
+//! The paper's flow is a pipeline — stencil spec → cone decomposition →
+//! area/latency estimation → design-space exploration → VHDL → hardware
+//! certification — and this module makes the stages explicit:
+//!
+//! ```text
+//! Spec (IslSession) → Decomposed → Estimated → Explored → Synthesized
+//!                                                       ↘ Certified
+//! ```
+//!
+//! An [`IslSession`] owns one stencil spec plus one concurrency-safe
+//! [`ArtifactStore`]; every stage method returns an immutable, `Arc`-shared
+//! handle whose expensive contents (cones, compiled programs, calibration
+//! syntheses, golden vectors, certificates) live in the store. Later stages
+//! — and repeated calls with the same inputs, from any thread — reuse the
+//! stored artifacts instead of recomputing; [`IslSession::store_stats`]
+//! exposes the hit/miss counters that prove it.
+//!
+//! The batch surface ([`IslSession::explore_many`],
+//! [`IslSession::verify_many`]) fans independent requests over the
+//! persistent worker pool while all of them share one store, so a sweep
+//! over devices or workloads builds each cone shape once.
+//!
+//! The pre-redesign [`crate::IslFlow`] survives as a thin shim over a
+//! session (see the [migration table](crate#migrating-from-islflow)).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use isl_algorithms::Algorithm;
+use isl_cosim::CoSimulator;
+use isl_dse::{Calibration, DesignSpace, Exploration};
+use isl_estimate::{
+    Architecture, AreaValidation, ScheduleModel, ThroughputEstimator, ThroughputReport, Workload,
+};
+use isl_fpga::{Device, FixedFormat, SynthOptions, Synthesizer};
+use isl_ir::{Cone, StencilPattern, Window};
+use isl_sim::parallel::par_map;
+use isl_sim::{level_depths, BorderMode, FrameSet, Simulator};
+use isl_symexec::compile_str;
+use isl_vhdl::{
+    check::verify_vectors, fixed_package, generate_cone, generate_testbench,
+    generate_vector_testbench, generate_wrapper, VectorFile, VhdlOptions,
+};
+
+use crate::error::{FlowError, Stage};
+use crate::store::{ArtifactStore, CalibrationKey, RunKey, StoreStats};
+
+// ---------------------------------------------------------------------------
+// Bundles: what synthesize/certify hand to the outside world.
+// ---------------------------------------------------------------------------
+
+/// A golden-vector replay set shipped inside a [`VhdlBundle`]: the vector
+/// file and the matching vector-mode testbench (plus the entity code when
+/// the set drives a cone other than the bundle's main one — the remainder
+/// cone of a non-divisor decomposition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSet {
+    /// Entity the vectors drive.
+    pub entity_name: String,
+    /// Entity code, when this is not the bundle's main entity.
+    pub entity: Option<String>,
+    /// File name of the vector file (`<entity>.vectors`).
+    pub vectors_name: String,
+    /// Vector-file text (the line-oriented exchange format).
+    pub vectors: String,
+    /// File name of the vector testbench (`tb_<entity>_vec.vhd`).
+    pub testbench_name: String,
+    /// The self-checking vector-replay testbench.
+    pub testbench: String,
+}
+
+/// Everything needed to drop a cone into a VHDL project.
+///
+/// A bundle from [`IslSession::synthesize`] carries the support package,
+/// entity, wrapper and the classic single-window testbench; a bundle from
+/// [`Certified::synthesize`] additionally ships the certified golden-vector
+/// files and their replay testbenches ([`VhdlBundle::vectors`]), so an
+/// external GHDL/ModelSim run is one command: [`VhdlBundle::write_to`] a
+/// directory and execute the generated `run_ghdl.sh`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VhdlBundle {
+    /// The fixed-point support package (`isl_fixed_pkg`).
+    pub package: String,
+    /// The cone entity + architecture.
+    pub entity: String,
+    /// The tile wrapper (serial window loader + fire/collect control).
+    pub wrapper: String,
+    /// A self-checking testbench (drives the bare cone).
+    pub testbench: String,
+    /// The entity name.
+    pub entity_name: String,
+    /// Pipeline depth, cycles.
+    pub pipeline_stages: u32,
+    /// Certified golden-vector replay sets (empty unless the bundle came
+    /// through [`Certified::synthesize`]; certified shapes without stimulus
+    /// ports — constant-only cones — have nothing to replay and are
+    /// omitted).
+    pub vectors: Vec<VectorSet>,
+}
+
+impl VhdlBundle {
+    /// Every file of the bundle as `(file name, contents)`, in compile
+    /// order: package, entities, wrapper, testbenches, vector files, and
+    /// the `run_ghdl.sh` driver script.
+    pub fn files(&self) -> Vec<(String, String)> {
+        let mut files = vec![
+            ("isl_fixed_pkg.vhd".to_string(), self.package.clone()),
+            (format!("{}.vhd", self.entity_name), self.entity.clone()),
+        ];
+        for set in &self.vectors {
+            if let Some(entity) = &set.entity {
+                files.push((format!("{}.vhd", set.entity_name), entity.clone()));
+            }
+        }
+        files.push((format!("{}_tile.vhd", self.entity_name), self.wrapper.clone()));
+        files.push((format!("tb_{}.vhd", self.entity_name), self.testbench.clone()));
+        for set in &self.vectors {
+            files.push((set.vectors_name.clone(), set.vectors.clone()));
+            files.push((set.testbench_name.clone(), set.testbench.clone()));
+        }
+        files.push(("run_ghdl.sh".to_string(), self.ghdl_script()));
+        files
+    }
+
+    /// A shell script that analyses, elaborates and runs every shipped
+    /// testbench in GHDL (any VHDL-93 simulator accepts the same file
+    /// list) — the promised one-command external replay.
+    pub fn ghdl_script(&self) -> String {
+        let mut sources = vec![
+            "isl_fixed_pkg.vhd".to_string(),
+            format!("{}.vhd", self.entity_name),
+        ];
+        for set in &self.vectors {
+            if set.entity.is_some() {
+                sources.push(format!("{}.vhd", set.entity_name));
+            }
+        }
+        sources.push(format!("{}_tile.vhd", self.entity_name));
+        sources.push(format!("tb_{}.vhd", self.entity_name));
+        let mut benches = vec![format!("tb_{}", self.entity_name)];
+        for set in &self.vectors {
+            sources.push(set.testbench_name.clone());
+            benches.push(format!("tb_{}_vec", set.entity_name));
+        }
+        let mut script = String::from(
+            "#!/bin/sh\n# Replay every shipped testbench (self-checking: any assertion\n# failure stops the run with a non-zero exit).\nset -e\n",
+        );
+        script.push_str(&format!("ghdl -a --std=93 {}\n", sources.join(" ")));
+        for tb in &benches {
+            script.push_str(&format!("ghdl -e --std=93 {tb}\nghdl -r --std=93 {tb}\n"));
+        }
+        script.push_str("echo \"all testbenches passed\"\n");
+        script
+    }
+
+    /// Write every bundle file (and `run_ghdl.sh`) into `dir`, creating it
+    /// if needed. Returns the written paths.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] on filesystem failures.
+    pub fn write_to(&self, dir: &Path) -> Result<Vec<PathBuf>, FlowError> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (name, contents) in self.files() {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// Evidence that one architecture instance computes what the hardware will:
+/// returned by [`IslSession::certify`] (and the [`crate::IslFlow`] shim).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureCertificate {
+    /// The certified instance.
+    pub arch: Architecture,
+    /// Iterations of the certified run.
+    pub iterations: u32,
+    /// Fixed-point format of the datapath.
+    pub format: FixedFormat,
+    /// Frame elements compared bit-for-bit across the quantised compiled /
+    /// reference engine pairs (tiled + cone-DAG).
+    pub quantized_elements: usize,
+    /// Golden-vector files, one per distinct cone shape of the
+    /// decomposition — every firing of the run, certified mismatch-free.
+    pub vector_files: Vec<VectorFile>,
+    /// Cone firings certified across all vector files.
+    pub vector_records: usize,
+    /// Response words certified bit-for-bit.
+    pub vector_words: usize,
+    /// Largest |fixed-point − f64| deviation of the full run (the numeric
+    /// cost of the hardware datapath, measured — not assumed).
+    pub max_fixed_error: f64,
+}
+
+// ---------------------------------------------------------------------------
+// The session (the `Spec` stage).
+// ---------------------------------------------------------------------------
+
+/// The immutable stencil spec a session is anchored on.
+#[derive(Debug, Clone)]
+struct Spec {
+    pattern: StencilPattern,
+    fingerprint: u64,
+    iterations: u32,
+    border: BorderMode,
+    synth_options: SynthOptions,
+    schedule: ScheduleModel,
+    threads: usize,
+}
+
+/// A staged-pipeline session: one stencil spec, one shared
+/// [`ArtifactStore`].
+///
+/// Cloning a session is cheap and shares the store — hand clones to threads
+/// (all stage methods take `&self`) or keep one session per process and let
+/// every request reuse each other's artifacts. Builder-style `with_*`
+/// methods refine the spec without touching the store; store keys embed the
+/// options, so artifacts cached under previous settings are simply not
+/// matched.
+///
+/// See the [crate-level documentation](crate) for the full staged example
+/// and the migration table from the flat [`crate::IslFlow`] API.
+#[derive(Debug, Clone)]
+pub struct IslSession {
+    spec: Arc<Spec>,
+    store: Arc<ArtifactStore>,
+}
+
+impl IslSession {
+    /// Stage 1 (**Spec**): parse, analyse and symbolically execute a C
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Analysis`] with the frontend/symexec diagnostic.
+    pub fn from_source(source: &str) -> Result<Self, FlowError> {
+        let (pattern, info) = compile_str(source).map_err(|e| FlowError::from(e).at(Stage::Spec, None))?;
+        let border = info
+            .border
+            .as_deref()
+            .and_then(BorderMode::parse)
+            .unwrap_or_default();
+        Ok(Self::from_pattern(pattern, info.iterations.unwrap_or(1)).with_border(border))
+    }
+
+    /// Build the session from a built-in algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::from_source`].
+    pub fn from_algorithm(algorithm: &Algorithm) -> Result<Self, FlowError> {
+        Self::from_source(algorithm.source)
+    }
+
+    /// Build the session from an already-extracted pattern.
+    pub fn from_pattern(pattern: StencilPattern, iterations: u32) -> Self {
+        let fingerprint = pattern.fingerprint();
+        IslSession {
+            spec: Arc::new(Spec {
+                pattern,
+                fingerprint,
+                iterations: iterations.max(1),
+                border: BorderMode::default(),
+                synth_options: SynthOptions::default(),
+                schedule: ScheduleModel::default(),
+                threads: 0,
+            }),
+            store: Arc::new(ArtifactStore::new()),
+        }
+    }
+
+    /// Override the border mode.
+    pub fn with_border(mut self, border: BorderMode) -> Self {
+        Arc::make_mut(&mut self.spec).border = border;
+        self
+    }
+
+    /// Override the iteration count.
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        Arc::make_mut(&mut self.spec).iterations = iterations.max(1);
+        self
+    }
+
+    /// Override synthesis options (fixed-point format, sharing, jitter).
+    pub fn with_synth_options(mut self, options: SynthOptions) -> Self {
+        Arc::make_mut(&mut self.spec).synth_options = options;
+        self
+    }
+
+    /// Override the schedule model.
+    pub fn with_schedule(mut self, schedule: ScheduleModel) -> Self {
+        Arc::make_mut(&mut self.spec).schedule = schedule;
+        self
+    }
+
+    /// Cap the worker threads of engines and batch fans (0 = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        Arc::make_mut(&mut self.spec).threads = threads;
+        self
+    }
+
+    // -- spec accessors -----------------------------------------------------
+
+    /// The extracted stencil pattern.
+    pub fn pattern(&self) -> &StencilPattern {
+        &self.spec.pattern
+    }
+
+    /// Iterations per frame (the paper's `N`).
+    pub fn iterations(&self) -> u32 {
+        self.spec.iterations
+    }
+
+    /// Border mode used for simulation.
+    pub fn border(&self) -> BorderMode {
+        self.spec.border
+    }
+
+    /// Active synthesis options.
+    pub fn synth_options(&self) -> SynthOptions {
+        self.spec.synth_options
+    }
+
+    /// Active schedule model.
+    pub fn schedule(&self) -> ScheduleModel {
+        self.spec.schedule
+    }
+
+    /// A workload for this ISL over `width`×`height` frames.
+    pub fn workload(&self, width: u32, height: u32) -> Workload {
+        Workload::image(width, height, self.spec.iterations)
+    }
+
+    /// The shared artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Snapshot of the store's per-kind hit/miss counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    // -- shared infrastructure ---------------------------------------------
+
+    /// The cone of one shape, through the store (stage context applied
+    /// uniformly whether served or built).
+    fn cone_at(&self, stage: Stage, window: Window, depth: u32) -> Result<Arc<Cone>, FlowError> {
+        let key = format!("cone {}_w{window}_d{depth}", self.spec.pattern.name());
+        self.store
+            .cone(&self.spec.pattern, window, depth, true)
+            .map_err(|e| FlowError::from(e).at(stage, Some(&key)))
+    }
+
+    /// Stage 2 helper, public for shims and power users: the shared cone of
+    /// `(window, depth)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cone`] on invalid depth/pattern, tagged with the
+    /// decompose stage and the cone's key.
+    pub fn cone(&self, window: Window, depth: u32) -> Result<Arc<Cone>, FlowError> {
+        self.cone_at(Stage::Decompose, window, depth)
+    }
+
+    /// A synthesiser wired to the store's cone and report caches.
+    fn synthesizer<'d>(&self, device: &'d Device) -> Synthesizer<'d> {
+        Synthesizer::with_options(device, self.spec.synth_options)
+            .with_caches(self.store.cones().clone(), self.store.syntheses().clone())
+    }
+
+    /// An explorer wired to the store's caches.
+    fn explorer<'d>(&self, device: &'d Device) -> isl_dse::Explorer<'d> {
+        isl_dse::Explorer::new(device)
+            .with_synth_options(self.spec.synth_options)
+            .with_schedule(self.spec.schedule)
+            .with_threads(self.spec.threads)
+            .with_caches(self.store.cones().clone(), self.store.syntheses().clone())
+    }
+
+    /// A functional simulator wired to the store's compile caches (golden /
+    /// tiled / cone-DAG semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Simulation`] for unsupported ranks.
+    pub fn simulator(&self) -> Result<Simulator<'_>, FlowError> {
+        Ok(Simulator::new(&self.spec.pattern)
+            .map_err(|e| FlowError::from(e).at(Stage::Simulate, None))?
+            .with_border(self.spec.border)
+            .with_threads(self.spec.threads)
+            .with_program_cache(self.store.programs().clone())
+            .with_cone_cache(self.store.cones().clone()))
+    }
+
+    // -- stage 2: Decomposed -------------------------------------------------
+
+    /// Stage 2 (**Decomposed**): decompose this spec's iteration count into
+    /// levels of depth-`depth` cones over `window` and build (or fetch) the
+    /// cone of every distinct level depth.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cone`] on invalid depth/pattern.
+    pub fn decompose(&self, window: Window, depth: u32) -> Result<Decomposed, FlowError> {
+        let levels = if depth == 0 {
+            // Surface the error through the same path a cone build would.
+            return Err(self.cone_at(Stage::Decompose, window, depth).unwrap_err());
+        } else {
+            level_depths(self.spec.iterations, depth)
+        };
+        let mut cones: Vec<(u32, Arc<Cone>)> = Vec::new();
+        for &d in &levels {
+            if !cones.iter().any(|(cd, _)| *cd == d) {
+                cones.push((d, self.cone_at(Stage::Decompose, window, d)?));
+            }
+        }
+        Ok(Decomposed {
+            session: self.clone(),
+            window,
+            depth,
+            levels,
+            cones,
+        })
+    }
+
+    // -- stage 3: Estimated --------------------------------------------------
+
+    /// Stage 3 (**Estimated**): α-calibrate the area model and derive the
+    /// cone facts of every shape `space` can touch on `device` — the
+    /// expensive half of an exploration, stored and reused across repeated
+    /// calls, other workloads of the same iteration count, and threads.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Exploration`] on calibration failures.
+    pub fn estimate(&self, device: &Device, space: &DesignSpace) -> Result<Estimated, FlowError> {
+        self.estimate_for(device, space, self.spec.iterations)
+    }
+
+    /// [`IslSession::estimate`] for an explicit iteration count (the
+    /// remainder depths a calibration covers depend on it). Calibrations of
+    /// different iteration counts are distinct store entries.
+    fn estimate_for(
+        &self,
+        device: &Device,
+        space: &DesignSpace,
+        iterations: u32,
+    ) -> Result<Estimated, FlowError> {
+        let key = CalibrationKey::new(
+            self.spec.fingerprint,
+            device,
+            &self.spec.synth_options,
+            iterations,
+            space,
+        );
+        let artifact = key.describe();
+        let explorer = self.explorer(device);
+        let calibration = self
+            .store
+            .calibration(key, || {
+                explorer
+                    .calibrate(&self.spec.pattern, iterations, space)
+                    .map_err(FlowError::from)
+            })
+            .map_err(|e| e.at(Stage::Estimate, Some(&artifact)))?;
+        Ok(Estimated {
+            session: self.clone(),
+            device: device.clone(),
+            space: space.clone(),
+            calibration,
+        })
+    }
+
+    // -- stage 4: Explored ---------------------------------------------------
+
+    /// Stage 4 (**Explored**): explore the design space and extract the
+    /// Pareto set — an estimation stage followed by [`Estimated::explore`].
+    /// The calibration follows `workload`'s iteration count (which may
+    /// differ from the session's), exactly like the pre-redesign flat API.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Exploration`] when nothing is feasible.
+    pub fn explore(
+        &self,
+        device: &Device,
+        workload: Workload,
+        space: &DesignSpace,
+    ) -> Result<Explored, FlowError> {
+        self.estimate_for(device, space, workload.iterations)?
+            .explore(workload)
+    }
+
+    /// Fan a batch of exploration requests over the worker pool, all
+    /// sharing this session's store — cones and calibration syntheses of
+    /// one shape are shared across the whole batch (e.g. one workload on
+    /// many devices, or many frame sizes on one device). Requests that
+    /// race on an artifact nobody has built yet may each build it (first
+    /// insertion wins; results are unaffected). Results are in request
+    /// order, each independently `Ok` or `Err`.
+    pub fn explore_many(&self, requests: &[ExploreRequest<'_>]) -> Vec<Result<Explored, FlowError>> {
+        par_map(requests.to_vec(), self.spec.threads, |req| {
+            self.explore(req.device, req.workload, req.space)
+        })
+    }
+
+    // -- stage 5: Synthesized ------------------------------------------------
+
+    /// Stage 5 (**Synthesized**): generate the complete VHDL bundle for one
+    /// cone shape (no golden vectors — certify first and use
+    /// [`Certified::synthesize`] for a bundle that ships them).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Cone`] on invalid depth/pattern.
+    pub fn synthesize(&self, window: Window, depth: u32) -> Result<Synthesized, FlowError> {
+        let cone = self.cone_at(Stage::Synthesize, window, depth)?;
+        Ok(Synthesized {
+            session: self.clone(),
+            bundle: self.bundle_of(&cone, &[])?,
+        })
+    }
+
+    /// Assemble a bundle for `cone`, shipping `vectors` (entity code is
+    /// generated for vector shapes that differ from the main cone). Vector
+    /// files without stimulus ports (constant-only cones — certified
+    /// word-for-word but with nothing for a testbench to drive) are the
+    /// only ones skipped; every other failure propagates.
+    fn bundle_of(&self, cone: &Cone, vectors: &[VectorFile]) -> Result<VhdlBundle, FlowError> {
+        let fmt = self.spec.synth_options.format;
+        let module = generate_cone(cone, &VhdlOptions { format: fmt });
+        let testbench = generate_testbench(cone, &module, fmt);
+        let wrapper = generate_wrapper(cone, &module);
+        let mut sets = Vec::new();
+        for file in vectors {
+            if file.ports_in.is_empty() {
+                continue;
+            }
+            // Vector files of foreign shapes need their own entity; the
+            // cones come from the store (already built by certify).
+            let vcone = self.cone_at(Stage::Synthesize, file.window, file.depth)?;
+            let vmodule = generate_cone(&vcone, &VhdlOptions { format: fmt });
+            let tb = generate_vector_testbench(&vmodule, file)
+                .map_err(|e| FlowError::Verification(e.to_string()).at(Stage::Synthesize, None))?;
+            sets.push(VectorSet {
+                entity: (vmodule.entity_name != module.entity_name).then_some(vmodule.code),
+                entity_name: vmodule.entity_name,
+                vectors_name: format!("{}.vectors", file.entity),
+                vectors: file.to_text(),
+                testbench_name: format!("tb_{}_vec.vhd", file.entity),
+                testbench: tb,
+            });
+        }
+        Ok(VhdlBundle {
+            package: fixed_package(fmt),
+            entity_name: module.entity_name.clone(),
+            pipeline_stages: module.pipeline_stages,
+            entity: module.code,
+            wrapper: wrapper.code,
+            testbench,
+            vectors: sets,
+        })
+    }
+
+    // -- simulation ----------------------------------------------------------
+
+    /// Run this ISL's full iteration count on `init` through the compiled
+    /// tiled engine with the exact window/depth decomposition of `arch` —
+    /// i.e. simulate what the explored architecture instance computes.
+    /// Bit-identical to the golden run for local border modes.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Simulation`] for unsupported ranks, non-local borders,
+    /// or mismatched frame sets.
+    pub fn run_architecture(
+        &self,
+        init: &FrameSet,
+        arch: Architecture,
+    ) -> Result<FrameSet, FlowError> {
+        let sim = self.simulator()?;
+        sim.run_tiled(init, self.spec.iterations, arch.window, arch.depth)
+            .map_err(|e| FlowError::from(e).at(Stage::Simulate, None))
+    }
+
+    // -- estimation passthroughs ---------------------------------------------
+
+    /// Validate the Eq. 1 area model over a window/depth grid on `device`
+    /// (the Figure 5 / Figure 8 experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on calibration/synthesis failures.
+    pub fn validate_area_model(
+        &self,
+        device: &Device,
+        windows: &[Window],
+        depths: &[u32],
+        calibration_points: usize,
+    ) -> Result<AreaValidation, FlowError> {
+        let synth = self.synthesizer(device);
+        AreaValidation::run(&synth, &self.spec.pattern, windows, depths, calibration_points)
+            .map_err(|e| FlowError::from(e).at(Stage::Estimate, None))
+    }
+
+    /// Estimate one architecture's throughput on `device`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on infeasibility or bad parameters.
+    pub fn throughput(
+        &self,
+        device: &Device,
+        arch: Architecture,
+        workload: Workload,
+    ) -> Result<ThroughputReport, FlowError> {
+        let synth = self.synthesizer(device);
+        let est = ThroughputEstimator::with_schedule(&synth, self.spec.schedule);
+        est.estimate(&self.spec.pattern, arch, workload)
+            .map_err(|e| FlowError::from(e).at(Stage::Estimate, None))
+    }
+
+    /// Best throughput for a window/depth when the device is packed with as
+    /// many cores as fit (the Figure 7 / Figure 10 experiment).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Estimation`] on infeasibility.
+    pub fn best_on_device(
+        &self,
+        device: &Device,
+        window: Window,
+        depth: u32,
+        workload: Workload,
+    ) -> Result<ThroughputReport, FlowError> {
+        let synth = self.synthesizer(device);
+        let est = ThroughputEstimator::with_schedule(&synth, self.spec.schedule);
+        est.best_on_device(&self.spec.pattern, window, depth, workload)
+            .map_err(|e| FlowError::from(e).at(Stage::Estimate, None))
+    }
+
+    // -- stage 6: Certified ----------------------------------------------------
+
+    /// Stage 6 (**Certified**): certify an explored architecture instance
+    /// end to end on `init`:
+    ///
+    /// 1. the **compiled quantised tiled** run (fixed-point rounding after
+    ///    every operation, at `arch`'s exact window/depth decomposition) is
+    ///    checked bit-identical to the tree-walking quantised reference;
+    /// 2. the **compiled quantised cone-DAG** run — the hardware's actual
+    ///    multi-level datapath semantics — likewise;
+    /// 3. the bit-true **integer co-simulator** replays the decomposition
+    ///    on raw fixed-point words and records every cone firing as golden
+    ///    vectors, which must pass [`isl_vhdl::check::verify_vectors`]
+    ///    (independent re-derivation of every response word) with zero
+    ///    mismatches; the vector-file testbenches are generated and
+    ///    structurally checked along the way.
+    ///
+    /// The certificate (golden vectors included) is stored: repeating the
+    /// call — from any thread, any clone of this session — serves the
+    /// stored evidence, and [`Certified::synthesize`] packages the vectors
+    /// into a replayable [`VhdlBundle`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Verification`] on any divergence;
+    /// [`FlowError::Simulation`] for unsupported ranks, non-local borders or
+    /// mismatched frame sets.
+    pub fn certify(&self, init: &FrameSet, arch: Architecture) -> Result<Certified, FlowError> {
+        let key = RunKey::new(
+            self.spec.fingerprint,
+            init,
+            self.spec.synth_options.format,
+            self.spec.border,
+            self.spec.iterations,
+            arch.window,
+            arch.depth,
+        );
+        let artifact = key.describe();
+        let vector_key = key.clone();
+        let certificate = self
+            .store
+            .certificate(key, arch.cores, || self.certify_cold(init, arch, vector_key))
+            .map_err(|e| e.at(Stage::Certify, Some(&artifact)))?;
+        Ok(Certified {
+            session: self.clone(),
+            certificate,
+        })
+    }
+
+    /// Fan a batch of certification requests over the worker pool, sharing
+    /// the store (and therefore cones, compiled programs and golden-vector
+    /// sets) across all of them. Results are in request order.
+    pub fn verify_many(&self, requests: &[VerifyRequest<'_>]) -> Vec<Result<Certified, FlowError>> {
+        par_map(requests.to_vec(), self.spec.threads, |req| {
+            self.certify(req.init, req.arch)
+        })
+    }
+
+    /// The cold path of [`IslSession::certify`] — always recomputes; the
+    /// store guarantees a cached certificate came from exactly this code on
+    /// the same key. `vector_key` is the caller's run key (same content,
+    /// core count excluded by construction), reused so the frame set is
+    /// fingerprinted once.
+    fn certify_cold(
+        &self,
+        init: &FrameSet,
+        arch: Architecture,
+        vector_key: RunKey,
+    ) -> Result<ArchitectureCertificate, FlowError> {
+        let fmt = self.spec.synth_options.format;
+        let q = isl_cosim::quantizer_of(fmt);
+        let sim = self.simulator()?;
+        let iters = self.spec.iterations;
+        let (window, depth) = (arch.window, arch.depth);
+
+        let bitwise = |a: &FrameSet, b: &FrameSet, what: &str| -> Result<usize, FlowError> {
+            let mut n = 0;
+            for fi in 0..a.len() {
+                for (i, (x, y)) in a
+                    .frame(fi)
+                    .as_slice()
+                    .iter()
+                    .zip(b.frame(fi).as_slice())
+                    .enumerate()
+                {
+                    if x.to_bits() != y.to_bits() {
+                        return Err(FlowError::Verification(format!(
+                            "{what}: field {fi} element {i}: compiled {x} vs reference {y}"
+                        )));
+                    }
+                    n += 1;
+                }
+            }
+            Ok(n)
+        };
+
+        // 1) Quantised tiled semantics, compiled vs golden tree walk.
+        let tiled = sim.run_tiled_quantized(init, iters, window, depth, q)?;
+        let tiled_ref = sim.run_tiled_quantized_reference(init, iters, window, depth, q)?;
+        let mut quantized_elements = bitwise(&tiled, &tiled_ref, "quantised tiled")?;
+
+        // 2) Quantised cone-DAG semantics, compiled vs golden graph walk.
+        let dag = sim.run_cone_dag_quantized(init, iters, window, depth, q)?;
+        let dag_ref = sim.run_cone_dag_quantized_reference(init, iters, window, depth, q)?;
+        quantized_elements += bitwise(&dag, &dag_ref, "quantised cone-DAG")?;
+
+        // 3) Bit-true integer co-simulation + golden-vector certification.
+        // The vector set is itself a stored artifact (keyed without the
+        // core count — vectors are per-decomposition), so certifying the
+        // same decomposition at another core count replays the stored
+        // firings instead of re-running the co-simulator.
+        let cosim = CoSimulator::new(&self.spec.pattern, fmt)?.with_border(self.spec.border);
+        let vector_files = self
+            .store
+            .golden_vectors(vector_key, || {
+                cosim
+                    .golden_vectors(init, iters, window, depth)
+                    .map_err(FlowError::from)
+            })?;
+        let mut vector_records = 0;
+        let mut vector_words = 0;
+        for file in vector_files.iter() {
+            let cone = self.cone_at(Stage::Certify, file.window, file.depth)?;
+            let report = verify_vectors(&cone, fmt, file)
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+            vector_records += report.records;
+            vector_words += report.words;
+            // The exchange works end to end: the file round-trips through
+            // its text form and drives a structurally valid testbench.
+            let reparsed = VectorFile::parse(&file.to_text())
+                .map_err(|e| FlowError::Verification(e.to_string()))?;
+            if &reparsed != file {
+                return Err(FlowError::Verification(
+                    "vector file text round-trip diverged".into(),
+                ));
+            }
+            // A constant-only cone has no stimulus ports; its firings are
+            // still certified word-for-word above, but there is nothing for
+            // a replay testbench to drive.
+            if !file.ports_in.is_empty() {
+                let module = generate_cone(&cone, &VhdlOptions { format: fmt });
+                let tb = generate_vector_testbench(&module, file)
+                    .map_err(|e| FlowError::Verification(e.to_string()))?;
+                isl_vhdl::check::balance_only(&tb)
+                    .map_err(|e| FlowError::Verification(e.to_string()))?;
+            }
+        }
+
+        // Informative accuracy bound: how far the fixed-point hardware run
+        // drifted from the exact f64 run after the full iteration count.
+        let golden = sim.run(init, iters)?;
+        let fixed = cosim
+            .run_cone_levels(init, iters, window, depth)?
+            .dequantize(fmt);
+        let max_fixed_error = golden.max_abs_diff(&fixed);
+
+        Ok(ArchitectureCertificate {
+            arch,
+            iterations: iters,
+            format: fmt,
+            quantized_elements,
+            vector_files: (*vector_files).clone(),
+            vector_records,
+            vector_words,
+            max_fixed_error,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch requests.
+// ---------------------------------------------------------------------------
+
+/// One request of an [`IslSession::explore_many`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreRequest<'a> {
+    /// Target device.
+    pub device: &'a Device,
+    /// Frame workload (its iteration count must match the session's).
+    pub workload: Workload,
+    /// The design space to enumerate.
+    pub space: &'a DesignSpace,
+}
+
+/// One request of an [`IslSession::verify_many`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyRequest<'a> {
+    /// Initial frames to certify on.
+    pub init: &'a FrameSet,
+    /// The architecture instance to certify.
+    pub arch: Architecture,
+}
+
+// ---------------------------------------------------------------------------
+// Stage handles.
+// ---------------------------------------------------------------------------
+
+/// Stage 2 output: one architecture shape decomposed into cone levels, with
+/// every distinct cone `Arc`-shared out of the session store.
+#[derive(Debug, Clone)]
+pub struct Decomposed {
+    session: IslSession,
+    window: Window,
+    depth: u32,
+    levels: Vec<u32>,
+    cones: Vec<(u32, Arc<Cone>)>,
+}
+
+impl Decomposed {
+    /// The output window.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The requested (main) depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The level plan: the depth of every level, main levels first, the
+    /// remainder level (if any) last.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// The cone of one level depth, when that depth occurs in the plan.
+    pub fn cone(&self, depth: u32) -> Option<&Arc<Cone>> {
+        self.cones.iter().find(|(d, _)| *d == depth).map(|(_, c)| c)
+    }
+
+    /// The cone of the first level (the main cone of the decomposition).
+    pub fn main_cone(&self) -> &Arc<Cone> {
+        &self.cones[0].1
+    }
+
+    /// Total operation registers across the distinct cone shapes (the area
+    /// model's `Reg` inputs).
+    pub fn registers(&self) -> usize {
+        self.cones.iter().map(|(_, c)| c.registers()).sum()
+    }
+
+    /// Chain to stage 5: the VHDL bundle of the main cone.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::synthesize`].
+    pub fn synthesize(&self) -> Result<Synthesized, FlowError> {
+        self.session.synthesize(self.window, self.levels[0])
+    }
+}
+
+/// Stage 3 output: the calibrated estimation of one `(device, space)`
+/// combination, `Arc`-shared out of the session store.
+#[derive(Debug, Clone)]
+pub struct Estimated {
+    session: IslSession,
+    device: Device,
+    space: DesignSpace,
+    calibration: Arc<Calibration>,
+}
+
+impl Estimated {
+    /// The calibration handle (per-depth estimators + cone facts).
+    pub fn calibration(&self) -> &Arc<Calibration> {
+        &self.calibration
+    }
+
+    /// The device this estimation targets.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Nominal synthesis cost of this calibration (two per distinct depth,
+    /// the paper's "as low as two" per estimation curve). Actual runs may
+    /// be fewer: a store-served calibration reports its original cold-path
+    /// count, and the synthesis cache may have served individual reports —
+    /// see [`IslSession::store_stats`] for what really ran.
+    pub fn syntheses(&self) -> usize {
+        self.calibration.syntheses()
+    }
+
+    /// Chain to stage 4: enumerate `workload` against this calibration —
+    /// pure arithmetic, no cone builds, no syntheses.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Exploration`] when nothing is feasible or the
+    /// workload's iteration count differs from the session's.
+    pub fn explore(&self, workload: Workload) -> Result<Explored, FlowError> {
+        let exploration = self
+            .session
+            .explorer(&self.device)
+            .enumerate(&self.session.spec.pattern, workload, &self.space, &self.calibration)
+            .map_err(|e| {
+                FlowError::from(e).at(Stage::Explore, Some(&format!("on {}", self.device.name)))
+            })?;
+        Ok(Explored {
+            session: self.session.clone(),
+            device: self.device.clone(),
+            workload,
+            exploration: Arc::new(exploration),
+        })
+    }
+}
+
+/// Stage 4 output: an explored design space with its Pareto set.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    session: IslSession,
+    device: Device,
+    workload: Workload,
+    exploration: Arc<Exploration>,
+}
+
+impl Explored {
+    /// The full exploration (points, Pareto front, counters).
+    pub fn exploration(&self) -> &Arc<Exploration> {
+        &self.exploration
+    }
+
+    /// Every feasible evaluated point.
+    pub fn points(&self) -> &[isl_dse::DesignPoint] {
+        self.exploration.points()
+    }
+
+    /// The Pareto-optimal points, ascending by area.
+    pub fn pareto(&self) -> Vec<&isl_dse::DesignPoint> {
+        self.exploration.pareto()
+    }
+
+    /// The point with the highest frames-per-second.
+    pub fn fastest(&self) -> Option<&isl_dse::DesignPoint> {
+        self.exploration.fastest()
+    }
+
+    /// The feasible point with the smallest estimated area.
+    pub fn smallest(&self) -> Option<&isl_dse::DesignPoint> {
+        self.exploration.smallest()
+    }
+
+    /// The device this exploration targeted.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The workload this exploration costed.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Chain to stage 5: the VHDL bundle of the fastest explored point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::synthesize`].
+    pub fn synthesize_fastest(&self) -> Result<Synthesized, FlowError> {
+        let best = self.fastest().expect("explorations are non-empty");
+        self.session.synthesize(best.arch.window, best.arch.depth)
+    }
+
+    /// Chain to stage 6: certify the fastest explored point on `init`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::certify`].
+    pub fn certify_fastest(&self, init: &FrameSet) -> Result<Certified, FlowError> {
+        let best = self.fastest().expect("explorations are non-empty");
+        self.session.certify(init, best.arch)
+    }
+}
+
+/// Stage 5 output: a complete VHDL bundle.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    #[allow(dead_code)]
+    session: IslSession,
+    bundle: VhdlBundle,
+}
+
+impl Synthesized {
+    /// The assembled bundle.
+    pub fn bundle(&self) -> &VhdlBundle {
+        &self.bundle
+    }
+
+    /// Take the bundle out of the stage handle.
+    pub fn into_bundle(self) -> VhdlBundle {
+        self.bundle
+    }
+
+    /// Write the bundle (and its `run_ghdl.sh`) into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] on filesystem failures.
+    pub fn write_to(&self, dir: &Path) -> Result<Vec<PathBuf>, FlowError> {
+        self.bundle.write_to(dir)
+    }
+}
+
+/// Stage 6 output: a certified architecture instance, `Arc`-shared out of
+/// the session store.
+#[derive(Debug, Clone)]
+pub struct Certified {
+    session: IslSession,
+    certificate: Arc<ArchitectureCertificate>,
+}
+
+impl Certified {
+    /// The certification evidence.
+    pub fn certificate(&self) -> &Arc<ArchitectureCertificate> {
+        &self.certificate
+    }
+
+    /// The certified instance.
+    pub fn arch(&self) -> Architecture {
+        self.certificate.arch
+    }
+
+    /// Chain back to stage 5, consuming the stored vectors: the VHDL bundle
+    /// of the certified decomposition **with** the golden-vector files and
+    /// their replay testbenches — ready for a one-command external
+    /// GHDL/ModelSim run ([`VhdlBundle::write_to`] + `run_ghdl.sh`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::synthesize`].
+    pub fn synthesize(&self) -> Result<Synthesized, FlowError> {
+        let cert = &self.certificate;
+        let main_depth = level_depths(cert.iterations, cert.arch.depth)[0];
+        let cone = self
+            .session
+            .cone_at(Stage::Synthesize, cert.arch.window, main_depth)?;
+        Ok(Synthesized {
+            session: self.session.clone(),
+            bundle: self.session.bundle_of(&cone, &cert.vector_files)?,
+        })
+    }
+}

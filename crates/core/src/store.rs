@@ -1,0 +1,302 @@
+//! The session-wide artifact store.
+//!
+//! Every expensive artifact of the pipeline — built [`Cone`]s, compiled
+//! bytecode programs, calibration synthesis reports, DSE calibrations,
+//! co-simulation golden vectors and whole architecture certificates — is
+//! keyed by its **content**: the pattern's structural fingerprint plus
+//! every input that can change the value (shape, options, device, frame
+//! bits). All the underlying producers are deterministic, so a stored
+//! artifact is bit-identical to what a cold recompute would produce
+//! (property-tested in `tests/tests/session_props.rs`), and the store can
+//! hand out immutable `Arc`-shared handles freely — across stages, repeated
+//! calls and threads.
+//!
+//! The three lower-level caches ([`ConeCache`], [`SynthCache`],
+//! [`ProgramCache`]) are owned here and *shared into* the component crates
+//! (synthesiser, explorer, simulator), so reuse spans the whole pipeline:
+//! the cone the DSE facts pass built is the cone the VHDL backend renders
+//! and the cone-DAG engine lowers. Every cache counts hits and misses;
+//! [`ArtifactStore::stats`] is how the acceptance tests *prove* a warm pass
+//! did zero redundant work.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use isl_dse::Calibration;
+use isl_fpga::{FixedFormat, SynthCache, SynthOptions};
+use isl_ir::{CacheStats, Cone, ConeCache, Window};
+use isl_sim::{BorderMode, ProgramCache};
+use isl_vhdl::VectorFile;
+
+use crate::session::ArchitectureCertificate;
+
+/// One generic content-keyed map with hit/miss counters.
+#[derive(Debug)]
+struct CacheMap<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K, V> Default for CacheMap<K, V> {
+    fn default() -> Self {
+        CacheMap {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> CacheMap<K, V> {
+    /// Serve `key` from the map or produce it with `build` (outside the
+    /// lock) and store it. Racing builders each count a miss; the first
+    /// insertion wins. Errors are not cached.
+    fn get_or_build<E>(&self, key: K, build: impl FnOnce() -> Result<V, E>) -> Result<Arc<V>, E> {
+        if let Some(hit) = self.map.lock().expect("artifact store").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(build()?);
+        let mut map = self.map.lock().expect("artifact store");
+        Ok(Arc::clone(map.entry(key).or_insert(value)))
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The option bits that feed synthesis-derived artifact keys.
+type OptionBits = (FixedFormat, bool, bool, bool, bool);
+
+fn option_bits(o: &SynthOptions) -> OptionBits {
+    (
+        o.format,
+        o.inter_cone_sharing,
+        o.jitter,
+        o.simplify,
+        o.use_dsp,
+    )
+}
+
+/// Encode a border mode into hashable bits (the constant by bit pattern).
+fn border_bits(b: BorderMode) -> (u8, u64) {
+    match b {
+        BorderMode::Clamp => (0, 0),
+        BorderMode::Mirror => (1, 0),
+        BorderMode::Wrap => (2, 0),
+        BorderMode::Constant(c) => (3, c.to_bits()),
+    }
+}
+
+/// Identity of one DSE calibration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CalibrationKey {
+    pattern: u64,
+    device: String,
+    options: OptionBits,
+    iterations: u32,
+    sides: Vec<u32>,
+    depths: Vec<u32>,
+}
+
+impl CalibrationKey {
+    pub(crate) fn new(
+        pattern: u64,
+        device: &isl_fpga::Device,
+        options: &SynthOptions,
+        iterations: u32,
+        space: &isl_dse::DesignSpace,
+    ) -> Self {
+        CalibrationKey {
+            pattern,
+            device: device.name.clone(),
+            options: option_bits(options),
+            iterations,
+            sides: space.window_sides.clone(),
+            depths: space.depths.clone(),
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "calibration {:016x} on {} N={}",
+            self.pattern, self.device, self.iterations
+        )
+    }
+}
+
+/// Identity of one co-simulated run of one cone decomposition (golden
+/// vectors do not depend on the core count; certificates add it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct RunKey {
+    pattern: u64,
+    init: u64,
+    format: FixedFormat,
+    border: (u8, u64),
+    iterations: u32,
+    window: Window,
+    depth: u32,
+}
+
+impl RunKey {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pattern: u64,
+        init: &isl_sim::FrameSet,
+        format: FixedFormat,
+        border: BorderMode,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Self {
+        RunKey {
+            pattern,
+            init: init.fingerprint(),
+            format,
+            border: border_bits(border),
+            iterations,
+            window,
+            depth,
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "run {:016x}/{:016x} w{} d{} N={}",
+            self.pattern, self.init, self.window, self.depth, self.iterations
+        )
+    }
+}
+
+/// Per-kind hit/miss counters of an [`ArtifactStore`] — the observable
+/// evidence of reuse. `misses` only grow when something was actually built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Built cones (shared by DSE, synthesis probes, engines, VHDL).
+    pub cones: CacheStats,
+    /// Compiled bytecode programs (pattern kernels and cone programs).
+    pub programs: CacheStats,
+    /// Synthesis reports (calibration and probe syntheses).
+    pub syntheses: CacheStats,
+    /// DSE calibrations (estimators + cone facts per device/space).
+    pub calibrations: CacheStats,
+    /// Golden-vector sets of co-simulated decompositions.
+    pub vectors: CacheStats,
+    /// Architecture certificates.
+    pub certificates: CacheStats,
+}
+
+impl StoreStats {
+    /// Total artifacts built (cache misses) across every kind.
+    pub fn total_misses(&self) -> usize {
+        self.cones.misses
+            + self.programs.misses
+            + self.syntheses.misses
+            + self.calibrations.misses
+            + self.vectors.misses
+            + self.certificates.misses
+    }
+
+    /// Total lookups served from the store across every kind.
+    pub fn total_hits(&self) -> usize {
+        self.cones.hits
+            + self.programs.hits
+            + self.syntheses.hits
+            + self.calibrations.hits
+            + self.vectors.hits
+            + self.certificates.hits
+    }
+}
+
+/// The concurrency-safe artifact store one [`crate::IslSession`] owns (and
+/// all its clones share): every expensive artifact of the pipeline, keyed
+/// by content, served as immutable `Arc` handles, with per-kind hit/miss
+/// counters ([`ArtifactStore::stats`]) that make reuse provable.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    cones: ConeCache,
+    programs: ProgramCache,
+    synths: SynthCache,
+    calibrations: CacheMap<CalibrationKey, Calibration>,
+    vectors: CacheMap<RunKey, Vec<VectorFile>>,
+    certificates: CacheMap<(RunKey, u32), ArchitectureCertificate>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared cone store (handed to the synthesiser, explorer and
+    /// simulators).
+    pub fn cones(&self) -> &ConeCache {
+        &self.cones
+    }
+
+    /// The shared compiled-program store (handed to simulators).
+    pub fn programs(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// The shared synthesis-report store (handed to the synthesiser and
+    /// explorer).
+    pub fn syntheses(&self) -> &SynthCache {
+        &self.synths
+    }
+
+    /// One cone, via the shared cone store.
+    pub(crate) fn cone(
+        &self,
+        pattern: &isl_ir::StencilPattern,
+        window: Window,
+        depth: u32,
+        simplify: bool,
+    ) -> Result<Arc<Cone>, isl_ir::ConeError> {
+        self.cones.get_or_build(pattern, window, depth, simplify)
+    }
+
+    pub(crate) fn calibration<E>(
+        &self,
+        key: CalibrationKey,
+        build: impl FnOnce() -> Result<Calibration, E>,
+    ) -> Result<Arc<Calibration>, E> {
+        self.calibrations.get_or_build(key, build)
+    }
+
+    pub(crate) fn golden_vectors<E>(
+        &self,
+        key: RunKey,
+        build: impl FnOnce() -> Result<Vec<VectorFile>, E>,
+    ) -> Result<Arc<Vec<VectorFile>>, E> {
+        self.vectors.get_or_build(key, build)
+    }
+
+    pub(crate) fn certificate<E>(
+        &self,
+        key: RunKey,
+        cores: u32,
+        build: impl FnOnce() -> Result<ArchitectureCertificate, E>,
+    ) -> Result<Arc<ArchitectureCertificate>, E> {
+        self.certificates.get_or_build((key, cores), build)
+    }
+
+    /// Snapshot every hit/miss counter.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            cones: self.cones.stats(),
+            programs: self.programs.stats(),
+            syntheses: self.synths.stats(),
+            calibrations: self.calibrations.stats(),
+            vectors: self.vectors.stats(),
+            certificates: self.certificates.stats(),
+        }
+    }
+}

@@ -38,9 +38,9 @@
 //! quantised engines (`run_quantized`, `run_tiled_quantized`,
 //! `run_cone_dag_quantized` in `isl-sim`) approximate this contract with
 //! round-to-nearest after every op; this crate *is* the contract, bit for
-//! bit. The conversions in [`convert`] (plus their lock-step property
-//! tests) keep `isl_sim::Quantizer` and `isl_fpga::FixedFormat` two views
-//! of the same definition.
+//! bit. The conversions [`quantizer_of`] / [`format_of`] (plus their
+//! lock-step property tests) keep `isl_sim::Quantizer` and
+//! `isl_fpga::FixedFormat` two views of the same definition.
 //!
 //! ```
 //! use isl_cosim::CoSimulator;

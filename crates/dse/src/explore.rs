@@ -4,12 +4,13 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::ops::RangeInclusive;
+use std::sync::Arc;
 
 use isl_estimate::{
     schedule, AreaEstimator, Architecture, EstimateError, ScheduleModel, Workload,
 };
-use isl_fpga::{techmap, Device, SynthOptions, Synthesizer};
-use isl_ir::{Cone, StencilPattern, Window};
+use isl_fpga::{techmap, Device, SynthCache, SynthOptions, Synthesizer};
+use isl_ir::{Cone, ConeCache, StencilPattern, Window};
 use isl_sim::parallel::par_map;
 
 use crate::pareto::pareto_front;
@@ -162,6 +163,59 @@ impl From<EstimateError> for DseError {
     }
 }
 
+/// Everything the enumeration needs to know about one cone shape
+/// `(window side, depth)`: computed once by [`Explorer::calibrate`], read
+/// by every [`Explorer::enumerate`] over the same calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeFacts {
+    /// Operation registers of the cone (the paper's `Reg_i`).
+    pub registers: u64,
+    /// Pipeline latency of one cone pass, cycles.
+    pub latency: u32,
+    /// Estimated LUTs of one instance (Eq. 1).
+    pub est_luts: f64,
+}
+
+/// The pre-computed estimation stage of a design-space sweep: per-depth
+/// α-calibrated area estimators plus the [`ConeFacts`] of every shape the
+/// enumeration will touch.
+///
+/// Produced by [`Explorer::calibrate`]; consumed (possibly many times, for
+/// different workloads of the same iteration count, or shared `Arc`-style
+/// across threads) by [`Explorer::enumerate`]. Splitting the stages makes
+/// the expensive half — cone construction and calibration syntheses —
+/// explicitly reusable, which is what the flow-level artifact store keys on.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    iterations: u32,
+    estimators: HashMap<u32, AreaEstimator>,
+    facts: HashMap<(u32, u32), ConeFacts>,
+    syntheses: usize,
+}
+
+impl Calibration {
+    /// The iteration count this calibration was derived for (its remainder
+    /// depths depend on it; [`Explorer::enumerate`] enforces the match).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Synthesis runs the calibration consumed.
+    pub fn syntheses(&self) -> usize {
+        self.syntheses
+    }
+
+    /// The calibrated estimator of one depth, when that depth occurs.
+    pub fn estimator(&self, depth: u32) -> Option<&AreaEstimator> {
+        self.estimators.get(&depth)
+    }
+
+    /// The facts of one `(window side, depth)` shape, when covered.
+    pub fn facts(&self, side: u32, depth: u32) -> Option<&ConeFacts> {
+        self.facts.get(&(side, depth))
+    }
+}
+
 /// The design-space explorer for one target device.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -171,6 +225,7 @@ pub struct Explorer<'d> {
     synth_options: SynthOptions,
     schedule_model: ScheduleModel,
     threads: usize,
+    caches: Option<(ConeCache, SynthCache)>,
 }
 
 impl<'d> Explorer<'d> {
@@ -181,6 +236,39 @@ impl<'d> Explorer<'d> {
             synth_options: SynthOptions::default(),
             schedule_model: ScheduleModel::default(),
             threads: 0,
+            caches: None,
+        }
+    }
+
+    /// Attach shared artifact caches: built cones and calibration synthesis
+    /// reports are then served from (and stored into) the caches, so
+    /// repeated explorations — across workloads, core counts or whole
+    /// sessions — stop rebuilding the shapes they share. Results are
+    /// byte-identical with and without caches.
+    pub fn with_caches(mut self, cones: ConeCache, synths: SynthCache) -> Self {
+        self.caches = Some((cones, synths));
+        self
+    }
+
+    /// The synthesiser this explorer calibrates with (caches attached).
+    fn synthesizer(&self) -> Synthesizer<'d> {
+        let synth = Synthesizer::with_options(self.device, self.synth_options);
+        match &self.caches {
+            Some((cones, synths)) => synth.with_caches(cones.clone(), synths.clone()),
+            None => synth,
+        }
+    }
+
+    /// Build one simplified cone, through the shared cone cache when
+    /// attached.
+    fn cone(&self, pattern: &StencilPattern, w: Window, d: u32) -> Result<Arc<Cone>, DseError> {
+        match &self.caches {
+            Some((cones, _)) => cones
+                .get_or_build(pattern, w, d, true)
+                .map_err(|e| DseError::Estimate(e.to_string())),
+            None => Cone::build(pattern, w, d)
+                .map(Arc::new)
+                .map_err(|e| DseError::Estimate(e.to_string())),
         }
     }
 
@@ -211,6 +299,11 @@ impl<'d> Explorer<'d> {
     /// (α calibrated with two syntheses per distinct depth) and the analytic
     /// schedule; no per-point synthesis happens.
     ///
+    /// This is [`Explorer::calibrate`] followed by [`Explorer::enumerate`];
+    /// callers that sweep several workloads of one iteration count (or that
+    /// keep an artifact store across calls) run the stages explicitly and
+    /// reuse the [`Calibration`].
+    ///
     /// # Errors
     ///
     /// [`DseError::NothingFeasible`] when the whole space is infeasible;
@@ -221,7 +314,26 @@ impl<'d> Explorer<'d> {
         workload: Workload,
         space: &DesignSpace,
     ) -> Result<Exploration, DseError> {
-        let synth = Synthesizer::with_options(self.device, self.synth_options);
+        let calibration = self.calibrate(pattern, workload.iterations, space)?;
+        self.enumerate(pattern, workload, space, &calibration)
+    }
+
+    /// The estimation stage of a sweep: build (or fetch) the cones of every
+    /// shape the space can touch for `iterations`-deep runs, run the α
+    /// calibration syntheses (two per distinct depth), and derive the
+    /// [`ConeFacts`] every enumeration reads. All the expensive work of an
+    /// exploration happens here.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Estimate`] on cone-construction or calibration failures.
+    pub fn calibrate(
+        &self,
+        pattern: &StencilPattern,
+        iterations: u32,
+        space: &DesignSpace,
+    ) -> Result<Calibration, DseError> {
+        let synth = self.synthesizer();
         let fmt = self.synth_options.format;
 
         // Every depth that can appear: requested depths plus remainder
@@ -234,10 +346,10 @@ impl<'d> Explorer<'d> {
                 space
                     .depths
                     .iter()
-                    .map(|&d| workload.iterations % d)
+                    .map(|&d| iterations % d)
                     .filter(|&r| r > 0),
             )
-            .filter(|&d| d >= 1 && d <= workload.iterations)
+            .filter(|&d| d >= 1 && d <= iterations)
             .collect();
         all_depths.sort_unstable();
         all_depths.dedup();
@@ -261,11 +373,9 @@ impl<'d> Explorer<'d> {
             .iter()
             .flat_map(|&w| all_depths.iter().map(move |&d| (w, d)))
             .collect();
-        let calib_cones: HashMap<(Window, u32), Cone> =
+        let calib_cones: HashMap<(Window, u32), Arc<Cone>> =
             par_map(calib_shapes.clone(), self.threads, |(w, d)| {
-                Cone::build(pattern, w, d)
-                    .map(|c| ((w, d), c))
-                    .map_err(|e| DseError::Estimate(e.to_string()))
+                self.cone(pattern, w, d).map(|c| ((w, d), c))
             })
             .into_iter()
             .collect::<Result<_, DseError>>()?;
@@ -315,15 +425,12 @@ impl<'d> Explorer<'d> {
         };
         let calibration_syntheses = estimators.len() * calib_windows.len();
 
-        struct ConeFacts {
-            registers: u64,
-            latency: u32,
-            est_luts: f64,
-        }
         // Facts per (side, depth): reuse a calibration cone when the shape
-        // matches, build transiently otherwise. Latencies of calibration
-        // shapes come from the synthesis reports above (the techmap already
-        // walked those graphs); only non-calibration shapes pay a walk.
+        // matches, build transiently otherwise (through the shared cone
+        // cache when one is attached — then the session keeps the shape for
+        // later stages). Latencies of calibration shapes come from the
+        // synthesis reports above (the techmap already walked those
+        // graphs); only non-calibration shapes pay a walk.
         let shapes: Vec<(u32, u32)> = space
             .window_sides
             .iter()
@@ -331,14 +438,9 @@ impl<'d> Explorer<'d> {
             .collect();
         let facts: HashMap<(u32, u32), ConeFacts> = par_map(shapes, self.threads, |(side, d)| {
             let w = Window::square(side);
-            let built;
             let cone = match calib_cones.get(&(w, d)) {
-                Some(c) => c,
-                None => {
-                    built = Cone::build(pattern, w, d)
-                        .map_err(|e| DseError::Estimate(e.to_string()))?;
-                    &built
-                }
+                Some(c) => Arc::clone(c),
+                None => self.cone(pattern, w, d)?,
             };
             let est = &estimators[&d];
             let latency = calib_latency
@@ -358,6 +460,46 @@ impl<'d> Explorer<'d> {
         .collect::<Result<_, DseError>>()?;
         drop(calib_cones);
 
+        Ok(Calibration {
+            iterations,
+            estimators,
+            facts,
+            syntheses: calibration_syntheses,
+        })
+    }
+
+    /// The enumeration stage: cost every `(window, depth, cores)` instance
+    /// of `space` against a prepared [`Calibration`] and extract the Pareto
+    /// set. Pure arithmetic over the calibration's facts — no cone is built
+    /// and no synthesis runs, which is why a stored calibration makes warm
+    /// sweeps cheap.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Estimate`] when `calibration` does not cover `workload`'s
+    /// iteration count or a shape of `space`;
+    /// [`DseError::NothingFeasible`] when nothing fits the device.
+    pub fn enumerate(
+        &self,
+        pattern: &StencilPattern,
+        workload: Workload,
+        space: &DesignSpace,
+        calibration: &Calibration,
+    ) -> Result<Exploration, DseError> {
+        if workload.iterations != calibration.iterations {
+            return Err(DseError::Estimate(format!(
+                "calibration was derived for {} iterations, workload runs {}",
+                calibration.iterations, workload.iterations
+            )));
+        }
+        let facts = |side: u32, depth: u32| -> Result<&ConeFacts, DseError> {
+            calibration.facts(side, depth).ok_or_else(|| {
+                DseError::Estimate(format!(
+                    "calibration does not cover window side {side}, depth {depth}"
+                ))
+            })
+        };
+
         // Enumerate instances in parallel, one task per (side, depth) pair.
         // Pairs are mapped in input order and concatenated in that order, so
         // the point list — and therefore the Pareto front — is byte-identical
@@ -375,9 +517,9 @@ impl<'d> Explorer<'d> {
                     return Ok((points, 1));
                 }
                 let rem = workload.iterations % depth;
-                let main = &facts[&(side, depth)];
+                let main = facts(side, depth)?;
                 let (rem_luts, rem_latency) = if rem > 0 {
-                    let rf = &facts[&(side, rem)];
+                    let rf = facts(side, rem)?;
                     (rf.est_luts, Some(rf.latency))
                 } else {
                     (0.0, None)
@@ -433,7 +575,7 @@ impl<'d> Explorer<'d> {
         Ok(Exploration {
             points,
             pareto,
-            calibration_syntheses,
+            calibration_syntheses: calibration.syntheses,
             skipped_infeasible: skipped,
         })
     }
@@ -623,6 +765,53 @@ mod tests {
             assert_eq!(serial.pareto_indices(), par.pareto_indices());
             assert_eq!(serial.skipped_infeasible(), par.skipped_infeasible());
         }
+    }
+
+    #[test]
+    fn staged_and_cached_sweeps_are_byte_identical() {
+        let device = Device::virtex6_xc6vlx760();
+        let p = jacobi();
+        let space = DesignSpace::new(1..=5, 1..=3, 4);
+        let workload = Workload::image(128, 96, 7);
+        let plain = Explorer::new(&device).explore(&p, workload, &space).unwrap();
+
+        // Explicit stages: one calibration, reused for two enumerations.
+        let staged = Explorer::new(&device);
+        let calibration = staged.calibrate(&p, workload.iterations, &space).unwrap();
+        let a = staged.enumerate(&p, workload, &space, &calibration).unwrap();
+        let b = staged.enumerate(&p, workload, &space, &calibration).unwrap();
+        assert_eq!(plain.points(), a.points());
+        assert_eq!(a.points(), b.points());
+        assert_eq!(plain.pareto_indices(), a.pareto_indices());
+
+        // Shared caches change the work done, never the result.
+        let cones = ConeCache::new();
+        let synths = SynthCache::new();
+        let cached = Explorer::new(&device).with_caches(cones.clone(), synths.clone());
+        let c1 = cached.explore(&p, workload, &space).unwrap();
+        let warm_cone_misses = cones.stats().misses;
+        let warm_synth_misses = synths.stats().misses;
+        let c2 = cached.explore(&p, workload, &space).unwrap();
+        assert_eq!(plain.points(), c1.points());
+        assert_eq!(c1.points(), c2.points());
+        // Second sweep: zero new cone builds, zero new syntheses.
+        assert_eq!(cones.stats().misses, warm_cone_misses);
+        assert_eq!(synths.stats().misses, warm_synth_misses);
+        assert!(cones.stats().hits > 0);
+        assert!(synths.stats().hits > 0);
+    }
+
+    #[test]
+    fn enumerate_rejects_mismatched_calibration() {
+        let device = Device::virtex6_xc6vlx760();
+        let p = jacobi();
+        let space = DesignSpace::new(1..=3, 1..=2, 2);
+        let e = Explorer::new(&device);
+        let calibration = e.calibrate(&p, 8, &space).unwrap();
+        let err = e
+            .enumerate(&p, Workload::image(64, 64, 9), &space, &calibration)
+            .unwrap_err();
+        assert!(matches!(err, DseError::Estimate(_)));
     }
 
     #[test]

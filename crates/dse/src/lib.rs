@@ -41,5 +41,7 @@
 mod explore;
 mod pareto;
 
-pub use explore::{DesignPoint, DesignSpace, DseError, Exploration, Explorer};
+pub use explore::{
+    Calibration, ConeFacts, DesignPoint, DesignSpace, DseError, Exploration, Explorer,
+};
 pub use pareto::{dominates, pareto_front};

@@ -1,0 +1,223 @@
+//! Content-addressed memoization of synthesis runs.
+//!
+//! The synthesis simulator is deterministic: one
+//! `(device, options, pattern, window, depth, cones)` tuple always produces
+//! the same [`SynthesisReport`] value. [`SynthCache`]
+//! interns reports behind `Arc`s keyed by exactly that tuple (the pattern
+//! contributes its structural
+//! [fingerprint](isl_ir::StencilPattern::fingerprint)), so calibration
+//! syntheses — the dominant cost of large design-space sweeps — run once
+//! per distinct key no matter how many explorations, sessions or threads
+//! request them.
+//!
+//! Like [`isl_ir::ConeCache`], the cache is cheap to clone (clones share
+//! the map) and counts hits and misses so reuse is provable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use isl_ir::{CacheStats, StencilPattern, Window};
+
+use crate::device::Device;
+use crate::numeric::FixedFormat;
+use crate::synth::{SynthOptions, SynthesisReport};
+
+/// The full identity of one synthesis run — every input that can change the
+/// report. Construct with [`SynthKey::new`]; the key is the memoization
+/// contract of [`SynthCache`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SynthKey {
+    /// Structural fingerprint of the pattern.
+    pub pattern: u64,
+    /// Target part name (reports depend on every device parameter, but
+    /// parts are identified by name in this model).
+    pub device: String,
+    /// Fixed-point format.
+    pub format: FixedFormat,
+    /// Option bits: (inter_cone_sharing, jitter, simplify, use_dsp).
+    pub options: (bool, bool, bool, bool),
+    /// Output window of the cone shape.
+    pub window: Window,
+    /// Cone depth.
+    pub depth: u32,
+    /// Cone instances synthesised together.
+    pub cones: u32,
+}
+
+impl SynthKey {
+    /// Key of synthesising `cones` instances of `(window, depth)` of
+    /// `pattern` on `device` under `options`.
+    pub fn new(
+        device: &Device,
+        options: &SynthOptions,
+        pattern: &StencilPattern,
+        window: Window,
+        depth: u32,
+        cones: u32,
+    ) -> Self {
+        SynthKey {
+            pattern: pattern.fingerprint(),
+            device: device.name.clone(),
+            format: options.format,
+            options: (
+                options.inter_cone_sharing,
+                options.jitter,
+                options.simplify,
+                options.use_dsp,
+            ),
+            window,
+            depth,
+            cones,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SynthCacheInner {
+    map: Mutex<HashMap<SynthKey, Arc<SynthesisReport>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A concurrency-safe, content-keyed store of [`SynthesisReport`]s.
+///
+/// Attach one to a [`Synthesizer`](crate::Synthesizer) with
+/// [`Synthesizer::with_caches`](crate::Synthesizer::with_caches); every
+/// synthesis of the same key is then served from the store.
+#[derive(Debug, Clone, Default)]
+pub struct SynthCache {
+    inner: Arc<SynthCacheInner>,
+}
+
+impl SynthCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The report of `key`: served from the cache when present, produced by
+    /// `build` (outside the lock) and stored otherwise. Racing builders of
+    /// one key each count a miss; the first insertion wins.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns; build errors are not cached.
+    pub fn get_or_synthesize<E>(
+        &self,
+        key: SynthKey,
+        build: impl FnOnce() -> Result<SynthesisReport, E>,
+    ) -> Result<Arc<SynthesisReport>, E> {
+        if let Some(hit) = self.inner.map.lock().expect("synth cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(build()?);
+        let mut map = self.inner.map.lock().expect("synth cache");
+        Ok(Arc::clone(map.entry(key).or_insert(report)))
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct reports currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("synth cache").len()
+    }
+
+    /// Whether the cache holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Synthesizer;
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Mul, sum, Expr::constant(0.25)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn cached_report_is_identical_to_cold_synthesis() {
+        let dev = Device::virtex6_xc6vlx760();
+        let p = blur();
+        let cache = SynthCache::new();
+        let cached = Synthesizer::new(&dev)
+            .with_caches(isl_ir::ConeCache::new(), cache.clone())
+            .synthesize(&p, Window::square(3), 2, 2)
+            .unwrap();
+        let cold = Synthesizer::new(&dev)
+            .synthesize(&p, Window::square(3), 2, 2)
+            .unwrap();
+        assert_eq!(cached, cold);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn repeat_synthesis_hits() {
+        let dev = Device::virtex6_xc6vlx760();
+        let p = blur();
+        let cache = SynthCache::new();
+        let s = Synthesizer::new(&dev).with_caches(isl_ir::ConeCache::new(), cache.clone());
+        let a = s.synthesize(&p, Window::square(2), 1, 1).unwrap();
+        let b = s.synthesize(&p, Window::square(2), 1, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn fused_pair_cone_memoized_across_core_counts() {
+        // cones > 1 triggers the fused-pair sharing probe; with a cone cache
+        // the pair cone is built once for every core count of one shape.
+        let dev = Device::virtex6_xc6vlx760();
+        let p = blur();
+        let cones = isl_ir::ConeCache::new();
+        let s = Synthesizer::new(&dev).with_caches(cones.clone(), SynthCache::new());
+        for cores in 2..=6 {
+            s.synthesize(&p, Window::square(3), 2, cores).unwrap();
+        }
+        // Entries: the single cone + the fused pair — two builds total.
+        assert_eq!(cones.stats().misses, 2);
+        assert_eq!(cones.stats().hits, 2 * 5 - 2);
+    }
+
+    #[test]
+    fn option_changes_miss() {
+        let dev = Device::virtex6_xc6vlx760();
+        let p = blur();
+        let cache = SynthCache::new();
+        let a = Synthesizer::new(&dev).with_caches(isl_ir::ConeCache::new(), cache.clone());
+        let b = Synthesizer::with_options(
+            &dev,
+            SynthOptions {
+                jitter: false,
+                ..SynthOptions::default()
+            },
+        )
+        .with_caches(isl_ir::ConeCache::new(), cache.clone());
+        a.synthesize(&p, Window::square(2), 1, 1).unwrap();
+        b.synthesize(&p, Window::square(2), 1, 1).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -54,12 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod device;
 mod numeric;
 pub mod quant;
 mod synth;
 pub mod techmap;
 
+pub use cache::{SynthCache, SynthKey};
 pub use device::Device;
 pub use numeric::FixedFormat;
 pub use quant::eval_fixed;

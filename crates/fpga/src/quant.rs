@@ -8,7 +8,7 @@
 //! assert against `f64` expectations with an LSB tolerance; the tests here
 //! justify that tolerance.
 //!
-//! The per-operation raw-word semantics live in [`crate::numeric`]
+//! The per-operation raw-word semantics live on [`FixedFormat`]
 //! ([`FixedFormat::apply_unary`] / [`FixedFormat::apply_binary`]); this
 //! module is the tree-walking graph interpreter over them. The bit-true
 //! co-simulation VM in `isl-cosim` executes lowered bytecode through the

@@ -15,9 +15,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use isl_ir::{Cone, ConeError, StencilPattern, Window};
+use isl_ir::{Cone, ConeCache, ConeError, StencilPattern, Window};
 
+use crate::cache::{SynthCache, SynthKey};
 use crate::device::Device;
 use crate::numeric::FixedFormat;
 use crate::techmap::ResourceCost;
@@ -121,6 +123,8 @@ pub struct SynthesisReport {
 pub struct Synthesizer<'d> {
     device: &'d Device,
     options: SynthOptions,
+    cones: Option<ConeCache>,
+    reports: Option<SynthCache>,
 }
 
 impl<'d> Synthesizer<'d> {
@@ -129,12 +133,45 @@ impl<'d> Synthesizer<'d> {
         Synthesizer {
             device,
             options: SynthOptions::default(),
+            cones: None,
+            reports: None,
         }
     }
 
     /// Synthesiser with explicit options.
     pub fn with_options(device: &'d Device, options: SynthOptions) -> Self {
-        Synthesizer { device, options }
+        Synthesizer {
+            device,
+            options,
+            cones: None,
+            reports: None,
+        }
+    }
+
+    /// Attach shared artifact caches: built cones (including the fused-pair
+    /// cones of the inter-cone sharing probe, which are otherwise rebuilt
+    /// for every core count of one shape) and finished synthesis reports.
+    /// Both caches key on the full content identity — pattern fingerprint,
+    /// device, options, shape — so one pair of caches is safely shared
+    /// across patterns, devices and threads.
+    pub fn with_caches(mut self, cones: ConeCache, reports: SynthCache) -> Self {
+        self.cones = Some(cones);
+        self.reports = Some(reports);
+        self
+    }
+
+    /// Build (or fetch from the attached cone cache) the cone of one shape
+    /// under this synthesiser's `simplify` option.
+    fn cone(&self, pattern: &StencilPattern, window: Window, depth: u32) -> Result<Arc<Cone>, SynthError> {
+        match &self.cones {
+            Some(cache) => Ok(cache.get_or_build(pattern, window, depth, self.options.simplify)?),
+            None => Ok(Arc::new(Cone::build_with(
+                pattern,
+                window,
+                depth,
+                self.options.simplify,
+            )?)),
+        }
     }
 
     /// The target device.
@@ -161,8 +198,19 @@ impl<'d> Synthesizer<'d> {
         depth: u32,
         cones: u32,
     ) -> Result<SynthesisReport, SynthError> {
-        let cone = Cone::build_with(pattern, window, depth, self.options.simplify)?;
-        self.synthesize_cone(pattern, &cone, cones)
+        // Serve straight from the report cache when possible — then the
+        // cone is not even built.
+        if let Some(reports) = &self.reports {
+            let key = SynthKey::new(self.device, &self.options, pattern, window, depth, cones);
+            return reports
+                .get_or_synthesize(key, || {
+                    let cone = self.cone(pattern, window, depth)?;
+                    self.run_synthesis(pattern, &cone, cones)
+                })
+                .map(|r| (*r).clone());
+        }
+        let cone = self.cone(pattern, window, depth)?;
+        self.run_synthesis(pattern, &cone, cones)
     }
 
     /// [`Synthesizer::synthesize`] over an **already-built** cone, so callers
@@ -181,6 +229,31 @@ impl<'d> Synthesizer<'d> {
         cone: &Cone,
         cones: u32,
     ) -> Result<SynthesisReport, SynthError> {
+        if let Some(reports) = &self.reports {
+            let key = SynthKey::new(
+                self.device,
+                &self.options,
+                pattern,
+                cone.window(),
+                cone.depth(),
+                cones,
+            );
+            return reports
+                .get_or_synthesize(key, || self.run_synthesis(pattern, cone, cones))
+                .map(|r| (*r).clone());
+        }
+        self.run_synthesis(pattern, cone, cones)
+    }
+
+    /// The actual synthesis model — always recomputes; both cache paths and
+    /// the cache-free paths funnel here, so a cached report is by
+    /// construction the value a cold run would produce.
+    fn run_synthesis(
+        &self,
+        pattern: &StencilPattern,
+        cone: &Cone,
+        cones: u32,
+    ) -> Result<SynthesisReport, SynthError> {
         let window = cone.window();
         let depth = cone.depth();
         let single = self.map_cone(cone);
@@ -193,7 +266,7 @@ impl<'d> Synthesizer<'d> {
             } else {
                 Window::line(window.w * 2)
             };
-            let fused = Cone::build_with(pattern, fused_window, depth, self.options.simplify)?;
+            let fused = self.cone(pattern, fused_window, depth)?;
             let pair = self.map_cone(&fused);
             let shared_luts = (2 * single.cost.luts).saturating_sub(pair.cost.luts);
             let shared_ffs = (2 * single.cost.ffs).saturating_sub(pair.cost.ffs);

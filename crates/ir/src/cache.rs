@@ -1,0 +1,205 @@
+//! Content-addressed artifact caching for cone construction.
+//!
+//! Cone construction is deterministic: the cone of one `(pattern, window,
+//! depth, simplify)` quadruple is always the same value. [`ConeCache`]
+//! exploits that by interning built cones behind `Arc`s keyed by the
+//! pattern's structural [fingerprint](crate::StencilPattern::fingerprint),
+//! so every consumer of a shape — the synthesis simulator's fused-pair
+//! probes, the design-space explorer's facts pass, the simulator's cone-DAG
+//! engines, the VHDL backend — shares one build instead of repeating it.
+//!
+//! The cache is concurrency-safe (`Arc<Mutex<…>>` inside, cheap to clone,
+//! one shared instance per session) and counts hits and misses so callers
+//! can *prove* reuse happened (see the flow-level acceptance tests).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::cone::{Cone, ConeError};
+use crate::geometry::Window;
+use crate::pattern::StencilPattern;
+
+/// Hit/miss counters of one artifact cache, snapshotted by `stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to build (and then stored the result).
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// Identity of one cone build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConeKey {
+    pattern: u64,
+    window: Window,
+    depth: u32,
+    simplify: bool,
+}
+
+#[derive(Debug, Default)]
+struct ConeCacheInner {
+    map: Mutex<HashMap<ConeKey, Arc<Cone>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A concurrency-safe, content-keyed store of built [`Cone`]s.
+///
+/// Cloning is cheap and shares the underlying map — clone one cache into
+/// every component that builds cones and they will deduplicate work.
+///
+/// ```
+/// use isl_ir::{cache::ConeCache, StencilPattern, FieldKind, Expr, Offset, Window};
+/// let mut p = StencilPattern::new(1);
+/// let f = p.add_field("f", FieldKind::Dynamic);
+/// p.set_update(f, Expr::input(f, Offset::d1(-1))).unwrap();
+/// let cache = ConeCache::new();
+/// let a = cache.get_or_build(&p, Window::line(2), 1, true).unwrap();
+/// let b = cache.get_or_build(&p, Window::line(2), 1, true).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConeCache {
+    inner: Arc<ConeCacheInner>,
+}
+
+impl ConeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cone of `(pattern, window, depth, simplify)`: served from the
+    /// cache when present, built (and stored) otherwise.
+    ///
+    /// The expensive build runs *outside* the lock, so concurrent callers
+    /// never serialise on each other's construction; racing builders of the
+    /// same key each count a miss and the first insertion wins.
+    ///
+    /// # Errors
+    ///
+    /// The [`ConeError`] of [`Cone::build_with`].
+    pub fn get_or_build(
+        &self,
+        pattern: &StencilPattern,
+        window: Window,
+        depth: u32,
+        simplify: bool,
+    ) -> Result<Arc<Cone>, ConeError> {
+        let key = ConeKey {
+            pattern: pattern.fingerprint(),
+            window,
+            depth,
+            simplify,
+        };
+        if let Some(hit) = self.inner.map.lock().expect("cone cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Cone::build_with(pattern, window, depth, simplify)?);
+        let mut map = self.inner.map.lock().expect("cone cache");
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cones currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("cone cache").len()
+    }
+
+    /// Whether the cache holds no cones.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::geometry::Offset;
+    use crate::ops::BinaryOp;
+    use crate::pattern::FieldKind;
+
+    fn avg() -> StencilPattern {
+        let mut p = StencilPattern::new(1).with_name("avg");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d1(-1)),
+            Expr::input(f, Offset::d1(0)),
+            Expr::input(f, Offset::d1(1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(3.0)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn distinct_shapes_are_distinct_entries() {
+        let p = avg();
+        let cache = ConeCache::new();
+        cache.get_or_build(&p, Window::line(2), 1, true).unwrap();
+        cache.get_or_build(&p, Window::line(2), 2, true).unwrap();
+        cache.get_or_build(&p, Window::line(3), 1, true).unwrap();
+        cache.get_or_build(&p, Window::line(2), 1, false).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn different_patterns_do_not_collide() {
+        let a = avg();
+        let mut b = avg();
+        let f = crate::pattern::FieldId::new(0);
+        b.set_update(f, Expr::input(f, Offset::d1(1))).unwrap();
+        let cache = ConeCache::new();
+        let ca = cache.get_or_build(&a, Window::line(1), 1, true).unwrap();
+        let cb = cache.get_or_build(&b, Window::line(1), 1, true).unwrap();
+        assert_ne!(ca.registers(), cb.registers());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_cone_is_bit_identical_to_cold_build() {
+        let p = avg();
+        let cache = ConeCache::new();
+        let warm = cache.get_or_build(&p, Window::line(3), 2, true).unwrap();
+        let cold = Cone::build(&p, Window::line(3), 2).unwrap();
+        assert_eq!(warm.registers(), cold.registers());
+        assert_eq!(warm.inputs(), cold.inputs());
+        let read = |_f, pt: crate::geometry::Point| pt.x as f64 * 0.37;
+        let a = warm.eval(read, &[]);
+        let b = cold.eval(read, &[]);
+        for ((_, _, x), (_, _, y)) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let p = avg();
+        let cache = ConeCache::new();
+        assert!(cache.get_or_build(&p, Window::line(1), 0, true).is_err());
+        assert!(cache.is_empty());
+    }
+}

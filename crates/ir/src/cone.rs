@@ -94,6 +94,7 @@ impl From<PatternError> for ConeError {
 #[derive(Debug, Clone)]
 pub struct Cone {
     signature: ConeSignature,
+    simplified: bool,
     rank: usize,
     radius: u32,
     graph: Graph,
@@ -185,6 +186,7 @@ impl Cone {
                 window,
                 depth,
             },
+            simplified: simplify,
             rank: pattern.rank(),
             radius: pattern.radius(),
             graph,
@@ -200,6 +202,13 @@ impl Cone {
     /// Shape identity (algorithm, window, depth).
     pub fn signature(&self) -> &ConeSignature {
         &self.signature
+    }
+
+    /// Whether algebraic simplification was enabled during construction.
+    /// Part of the cone's cache identity: the same shape built with and
+    /// without simplification yields different graphs.
+    pub fn simplified(&self) -> bool {
+        self.simplified
     }
 
     /// Output window.

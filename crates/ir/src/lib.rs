@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod compose;
 mod cone;
 mod expr;
@@ -59,6 +60,7 @@ mod graph;
 mod ops;
 mod pattern;
 
+pub use cache::{CacheStats, ConeCache};
 pub use cone::{Cone, ConeError, ConeInput, ConeOutput, ConeSignature};
 pub use expr::Expr;
 pub use geometry::{Extent, Offset, Point, Window};

@@ -353,6 +353,110 @@ impl StencilPattern {
             _ => true,
         }
     }
+
+    /// A stable structural content hash of the pattern: rank, name, field
+    /// and parameter declarations, and every update expression (constants
+    /// hashed by bit pattern). Two patterns with equal fingerprints describe
+    /// the same computation for every downstream artifact — cones, compiled
+    /// programs, synthesis reports — which is what makes the fingerprint a
+    /// sound cache key for the content-addressed artifact stores
+    /// ([`crate::cache::ConeCache`] and the caches layered above it).
+    ///
+    /// The hash is FNV-1a over an explicit, tagged traversal — independent
+    /// of `std`'s unstable `Hasher` randomisation, so fingerprints are
+    /// reproducible across processes and builds.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat(self.rank as u64);
+        h.eat_str(&self.name);
+        for decl in &self.fields {
+            h.eat_str(&decl.name);
+            h.eat(match decl.kind {
+                FieldKind::Dynamic => 1,
+                FieldKind::Static => 2,
+            });
+        }
+        for p in &self.params {
+            h.eat_str(&p.name);
+            h.eat(p.default.to_bits());
+        }
+        for update in &self.updates {
+            match update {
+                None => h.eat(0),
+                Some(expr) => {
+                    h.eat(1);
+                    hash_expr(expr, &mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, kept explicit so fingerprints are stable across Rust releases.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) {
+        self.eat(s.len() as u64);
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Tagged structural fold of an expression into the fingerprint hasher.
+fn hash_expr(expr: &Expr, h: &mut Fnv) {
+    match expr {
+        Expr::Input { field, offset } => {
+            h.eat(2);
+            h.eat(field.index() as u64);
+            h.eat(offset.dx as u64);
+            h.eat(offset.dy as u64);
+            h.eat(offset.dz as u64);
+        }
+        Expr::Const(v) => {
+            h.eat(3);
+            h.eat(v.to_bits());
+        }
+        Expr::Param(p) => {
+            h.eat(4);
+            h.eat(p.index() as u64);
+        }
+        Expr::Unary { op, arg } => {
+            h.eat(5);
+            h.eat(*op as u64);
+            hash_expr(arg, h);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            h.eat(6);
+            h.eat(*op as u64);
+            hash_expr(lhs, h);
+            hash_expr(rhs, h);
+        }
+        Expr::Select { cond, then_, else_ } => {
+            h.eat(7);
+            hash_expr(cond, h);
+            hash_expr(then_, h);
+            hash_expr(else_, h);
+        }
+    }
 }
 
 impl fmt::Display for StencilPattern {

@@ -17,10 +17,12 @@
 //!   rule at software level;
 //! * **dead-code elimination** — registers orphaned by folding are dropped.
 //!
-//! Execution lives in [`crate::vm`]; the [`crate::Simulator`] compiles lazily
-//! and caches the program.
+//! Execution lives in the crate's VM module; the [`crate::Simulator`]
+//! compiles lazily and serves programs from a [`ProgramCache`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Leaf, Node, NodeId, StencilPattern, UnaryOp};
 
@@ -836,6 +838,128 @@ impl CompiledCone {
     /// The signed coordinate reach of the program around its tile origin.
     pub fn reach(&self) -> Reach {
         self.reach
+    }
+}
+
+/// Identity of one compiled program: which pattern (structural fingerprint),
+/// which parameter binding (bit patterns — NaN payloads and signed zeros
+/// distinguish), whether constants were folded, and — for cone programs —
+/// which cone shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProgramKey {
+    pattern: u64,
+    params: Vec<u64>,
+    fold: bool,
+    /// `None` for whole-pattern kernels; `Some((w, h, d, depth,
+    /// simplified))` for cones — the simplification flag is part of the
+    /// identity because it changes the built graph.
+    shape: Option<(u32, u32, u32, u32, bool)>,
+}
+
+impl ProgramKey {
+    fn of(pattern: &StencilPattern, params: &[f64], fold: bool, cone: Option<&Cone>) -> Self {
+        ProgramKey {
+            pattern: pattern.fingerprint(),
+            params: params.iter().map(|p| p.to_bits()).collect(),
+            fold,
+            shape: cone.map(|c| {
+                let w = c.window();
+                (w.w, w.h, w.d, c.depth(), c.simplified())
+            }),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProgramCacheInner {
+    patterns: Mutex<HashMap<ProgramKey, Arc<CompiledPattern>>>,
+    cones: Mutex<HashMap<ProgramKey, Arc<CompiledCone>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A concurrency-safe, content-keyed store of compiled bytecode programs —
+/// the simulator's compile-cache hook.
+///
+/// Every [`crate::Simulator`] owns one (so repeated runs on one simulator
+/// never recompile, exactly as before); sharing a cache across simulators
+/// with [`crate::Simulator::with_program_cache`] extends that guarantee to
+/// a whole session: one `(pattern, params, fold, shape)` identity is
+/// lowered at most once no matter how many simulators, engines or threads
+/// request it. Compilation is deterministic, so a cached program is
+/// bit-for-bit the program a cold compile would produce (property-tested in
+/// `tests/tests/session_props.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramCache {
+    inner: Arc<ProgramCacheInner>,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled whole-pattern program of `(pattern, params, fold)` —
+    /// served from the cache or compiled (outside the lock) and stored.
+    pub fn pattern_program(
+        &self,
+        pattern: &StencilPattern,
+        params: &[f64],
+        fold: bool,
+    ) -> Arc<CompiledPattern> {
+        let key = ProgramKey::of(pattern, params, fold, None);
+        if let Some(hit) = self.inner.patterns.lock().expect("program cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CompiledPattern::compile(pattern, params, fold));
+        let mut map = self.inner.patterns.lock().expect("program cache");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// The compiled cone program of `(pattern, cone shape, params, fold)` —
+    /// served from the cache or lowered (outside the lock) and stored.
+    /// `cone` must be the cone of `pattern` at its own window/depth; the
+    /// key derives from the pattern fingerprint plus the cone's shape and
+    /// simplification flag, which together determine the cone
+    /// (construction is deterministic).
+    pub fn cone_program(
+        &self,
+        pattern: &StencilPattern,
+        cone: &Cone,
+        params: &[f64],
+        fold: bool,
+    ) -> Arc<CompiledCone> {
+        let key = ProgramKey::of(pattern, params, fold, Some(cone));
+        if let Some(hit) = self.inner.cones.lock().expect("program cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CompiledCone::compile_with(cone, params, fold));
+        let mut map = self.inner.cones.lock().expect("program cache");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Snapshot the hit/miss counters (pattern and cone programs combined).
+    pub fn stats(&self) -> isl_ir::CacheStats {
+        isl_ir::CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct programs currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.patterns.lock().expect("program cache").len()
+            + self.inner.cones.lock().expect("program cache").len()
+    }
+
+    /// Whether no program has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

@@ -286,6 +286,31 @@ impl FrameSet {
         self.frames[0].height()
     }
 
+    /// A stable content hash of the whole set: shape plus the exact bit
+    /// pattern of every sample of every field (FNV-1a, reproducible across
+    /// processes). Two sets with equal fingerprints are bit-identical
+    /// inputs for every engine, which is what makes the fingerprint a sound
+    /// key for caching run artifacts — golden vectors, architecture
+    /// certificates — at the flow level.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.frames.len() as u64);
+        eat(self.width() as u64);
+        eat(self.height() as u64);
+        for frame in &self.frames {
+            for v in frame.as_slice() {
+                eat(v.to_bits());
+            }
+        }
+        h
+    }
+
     /// Largest absolute difference across all fields.
     ///
     /// # Panics

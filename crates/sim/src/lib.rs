@@ -140,7 +140,9 @@ pub mod synthetic;
 mod vm;
 
 pub use border::BorderMode;
-pub use compile::{CompiledCone, CompiledKernel, CompiledPattern, ConeSlot, Halo, Instr, Reach, Reg};
+pub use compile::{
+    CompiledCone, CompiledKernel, CompiledPattern, ConeSlot, Halo, Instr, ProgramCache, Reach, Reg,
+};
 pub use error::SimError;
 pub use fixed::Quantizer;
 pub use frame::{Frame, FrameSet};

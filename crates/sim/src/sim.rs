@@ -1,11 +1,11 @@
 //! Golden, tiled and cone-DAG execution of stencil patterns.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-use isl_ir::{Cone, FieldId, FieldKind, StencilPattern, Window};
+use isl_ir::{Cone, ConeCache, FieldId, FieldKind, StencilPattern, Window};
 
 use crate::border::BorderMode;
-use crate::compile::{CompiledCone, CompiledPattern};
+use crate::compile::{CompiledCone, CompiledPattern, ProgramCache};
 use crate::error::SimError;
 use crate::fixed::Quantizer;
 use crate::frame::{Frame, FrameSet};
@@ -33,7 +33,8 @@ pub struct Simulator<'p> {
     border: BorderMode,
     params: Vec<f64>,
     threads: usize,
-    compiled: OnceLock<CompiledPattern>,
+    programs: ProgramCache,
+    cones: Option<ConeCache>,
 }
 
 impl<'p> Simulator<'p> {
@@ -56,8 +57,40 @@ impl<'p> Simulator<'p> {
             border: BorderMode::default(),
             params: pattern.params().iter().map(|p| p.default).collect(),
             threads: 0,
-            compiled: OnceLock::new(),
+            programs: ProgramCache::new(),
+            cones: None,
         })
+    }
+
+    /// Share a compile cache with other simulators (and other sessions'
+    /// engines): every `(pattern, params, fold, cone shape)` identity is
+    /// then lowered at most once across all of them. The cache keys on
+    /// content, so attaching one cache to simulators of different patterns
+    /// or parameter bindings is safe.
+    pub fn with_program_cache(mut self, programs: ProgramCache) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    /// Share a cone store: the cone-DAG engines (compiled *and* reference)
+    /// then fetch their per-depth cones from `cones` instead of rebuilding
+    /// them per run.
+    pub fn with_cone_cache(mut self, cones: ConeCache) -> Self {
+        self.cones = Some(cones);
+        self
+    }
+
+    /// Build (or fetch from the attached cone store) the simplified cone of
+    /// one shape.
+    fn build_cone(&self, window: Window, depth: u32) -> Result<Arc<Cone>, SimError> {
+        match &self.cones {
+            Some(cache) => cache
+                .get_or_build(self.pattern, window, depth, true)
+                .map_err(|e| SimError::Cone(e.to_string())),
+            None => Cone::build(self.pattern, window, depth)
+                .map(Arc::new)
+                .map_err(|e| SimError::Cone(e.to_string())),
+        }
     }
 
     /// Select the border mode.
@@ -88,16 +121,15 @@ impl<'p> Simulator<'p> {
             });
         }
         self.params = params;
-        // Parameters are baked into the bytecode; drop any stale program.
-        self.compiled = OnceLock::new();
+        // Parameters are baked into the bytecode, but the program cache is
+        // keyed by the binding's bit patterns — no invalidation needed.
         Ok(self)
     }
 
     /// The compiled bytecode program for this pattern + parameter binding
-    /// (built on first use, cached afterwards).
-    pub fn compiled(&self) -> &CompiledPattern {
-        self.compiled
-            .get_or_init(|| CompiledPattern::compile(self.pattern, &self.params, true))
+    /// (built on first use, served from the program cache afterwards).
+    pub fn compiled(&self) -> Arc<CompiledPattern> {
+        self.programs.pattern_program(self.pattern, &self.params, true)
     }
 
     /// The pattern being simulated.
@@ -146,7 +178,7 @@ impl<'p> Simulator<'p> {
     pub fn step(&self, state: &FrameSet) -> Result<FrameSet, SimError> {
         self.check(state)?;
         let program = self.compiled();
-        Ok(vm::step_compiled(program, state, self.border, self.threads))
+        Ok(vm::step_compiled(&program, state, self.border, self.threads))
     }
 
     /// One whole-frame iteration through the tree-walking interpreter — the
@@ -220,7 +252,7 @@ impl<'p> Simulator<'p> {
         let mut spare: Option<FrameSet> = None;
         for _ in 0..iterations {
             let next =
-                vm::step_compiled_into(program, &state, self.border, self.threads, spare.take());
+                vm::step_compiled_into(&program, &state, self.border, self.threads, spare.take());
             spare = Some(std::mem::replace(&mut state, next));
         }
         Ok(state)
@@ -246,7 +278,7 @@ impl<'p> Simulator<'p> {
         let mut delta = f64::INFINITY;
         for i in 0..max_iterations {
             let next =
-                vm::step_compiled_into(program, &state, self.border, self.threads, spare.take());
+                vm::step_compiled_into(&program, &state, self.border, self.threads, spare.take());
             delta = self
                 .pattern
                 .dynamic_fields()
@@ -319,14 +351,11 @@ impl<'p> Simulator<'p> {
         post: Option<Quantizer>,
     ) -> Result<FrameSet, SimError> {
         self.check_tiled(init, depth)?;
-        let fold_free;
-        let program = match post {
-            Some(_) => {
-                fold_free = CompiledPattern::compile(self.pattern, &self.params, false);
-                &fold_free
-            }
-            None => self.compiled(),
-        };
+        // Quantised levels run fold-free (every intermediate receives its
+        // own rounding); both variants come from the program cache.
+        let program = self
+            .programs
+            .pattern_program(self.pattern, &self.params, post.is_none());
         let r = self.pattern.radius() as i64;
         let (tw, th) = (window.w as i64, window.h as i64);
         let mut state = match post {
@@ -336,7 +365,7 @@ impl<'p> Simulator<'p> {
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             let next = vm::tiled_level_compiled(
-                program,
+                &program,
                 &state,
                 self.border,
                 self.threads,
@@ -632,8 +661,8 @@ impl<'p> Simulator<'p> {
         }
         let (tw, th) = (window.w as i64, window.h as i64);
         // At most two distinct depths appear (the main one plus a possible
-        // remainder); build and lower each exactly once.
-        let mut programs: Vec<(u32, CompiledCone)> = Vec::new();
+        // remainder); fetch each from the program cache exactly once.
+        let mut programs: Vec<(u32, Arc<CompiledCone>)> = Vec::new();
         let mut state = match post {
             Some(q) => crate::fixed::quantize_set(init, q),
             None => init.clone(),
@@ -641,11 +670,11 @@ impl<'p> Simulator<'p> {
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             if !programs.iter().any(|(pd, _)| *pd == d) {
-                let cone = Cone::build(self.pattern, window, d)
-                    .map_err(|e| SimError::Cone(e.to_string()))?;
+                let cone = self.build_cone(window, d)?;
                 programs.push((
                     d,
-                    CompiledCone::compile_with(&cone, &self.params, post.is_none()),
+                    self.programs
+                        .cone_program(self.pattern, &cone, &self.params, post.is_none()),
                 ));
             }
             let cc = &programs
@@ -711,8 +740,7 @@ impl<'p> Simulator<'p> {
         }
         let mut state = crate::fixed::quantize_set(init, q);
         for d in level_depths(iterations, depth) {
-            let cone = Cone::build(self.pattern, window, d)
-                .map_err(|e| SimError::Cone(e.to_string()))?;
+            let cone = self.build_cone(window, d)?;
             state = self.cone_level(&state, &cone, Some(q))?;
         }
         Ok(state)
@@ -739,8 +767,7 @@ impl<'p> Simulator<'p> {
         }
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
-            let cone = Cone::build(self.pattern, window, d)
-                .map_err(|e| SimError::Cone(e.to_string()))?;
+            let cone = self.build_cone(window, d)?;
             state = self.cone_level(&state, &cone, None)?;
         }
         Ok(state)

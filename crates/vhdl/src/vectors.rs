@@ -130,9 +130,13 @@ impl VectorFile {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (key, rest) = line
-                .split_once(' ')
-                .ok_or_else(|| bad(&format!("line {}: bare keyword `{line}`", ln + 1)))?;
+            let (key, rest) = match line.split_once(' ') {
+                Some(kv) => kv,
+                // A cone with a constant-only update has no data ports at
+                // all: `in`/`out` headers legally carry an empty list.
+                None if line == "in" || line == "out" => (line, ""),
+                None => return Err(bad(&format!("line {}: bare keyword `{line}`", ln + 1))),
+            };
             match key {
                 "entity" => entity = Some(rest.trim().to_string()),
                 "format" => {
@@ -263,6 +267,28 @@ impl VectorFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_port_lists_round_trip() {
+        // A constant-only cone has no data input ports; the `in` header is
+        // then a bare keyword and must still round-trip.
+        let file = VectorFile {
+            entity: "const_w1x1_d1".into(),
+            format: FixedFormat::default(),
+            window: Window::line(1),
+            depth: 1,
+            ports_in: vec![],
+            ports_out: vec!["out_f0_x0_y0".into()],
+            records: vec![VectorRecord {
+                level: 0,
+                tile: (0, 0),
+                stimulus: vec![],
+                response: vec![512],
+            }],
+        };
+        let reparsed = VectorFile::parse(&file.to_text()).unwrap();
+        assert_eq!(reparsed, file);
+    }
 
     fn sample() -> VectorFile {
         VectorFile {

@@ -1,27 +1,33 @@
 //! Certify an explored architecture against the hardware datapath, end to
-//! end: DSE picks a (window, depth, cores) instance, `verify_architecture`
-//! proves the quantised engines bit-identical to their references and the
-//! golden vectors mismatch-free, and the vector file + vector testbench
-//! are written next to the VHDL so any external simulator can replay them.
+//! end, through the staged API: DSE picks a (window, depth, cores)
+//! instance, `certify` proves the quantised engines bit-identical to their
+//! references and the golden vectors mismatch-free, and
+//! `Certified::synthesize` packages vectors + replay testbenches + VHDL
+//! into one directory where an external simulator run is one command.
 
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
-use isl_hls::vhdl::{generate_cone, generate_vector_testbench, VhdlOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let algo = isl_hls::algorithms::gaussian_igf();
-    let flow = IslFlow::from_algorithm(&algo)?;
+    let session = IslSession::from_algorithm(&algo)?;
     let device = Device::virtex6_xc6vlx760();
     let space = DesignSpace::new(2..=6, 1..=3, 8);
-    let result = flow.explore(&device, flow.workload(48, 36), &space)?;
-    let best = result.fastest().expect("feasible points exist");
+
+    // Stages 3+4: estimate once, explore, pick the fastest instance.
+    let explored = session.explore(&device, session.workload(48, 36), &space)?;
+    let best = explored.fastest().expect("feasible points exist");
     println!(
         "== DSE picked: window {}, depth {}, {} cores",
         best.arch.window, best.arch.depth, best.arch.cores
     );
 
+    // Stage 6: certify — quantised engines bitwise + golden vectors
+    // word-for-word. The certificate (vectors included) lands in the
+    // session store.
     let init = FrameSet::from_frames(vec![synthetic::noise(48, 36, 7)])?;
-    let cert = flow.verify_architecture(&init, best.arch)?;
+    let certified = explored.certify_fastest(&init)?;
+    let cert = certified.certificate();
     println!(
         "== certified: {} quantised elements bit-identical, {} cone firings / {} words mismatch-free",
         cert.quantized_elements, cert.vector_records, cert.vector_words
@@ -31,23 +37,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cert.iterations, cert.max_fixed_error, cert.format
     );
 
+    // Stage 5, vectors included: the bundle consumes the stored vectors.
     let out = std::path::Path::new("target/cosim_verify");
-    std::fs::create_dir_all(out)?;
-    for file in &cert.vector_files {
-        let cone = flow.build_cone(file.window, file.depth)?;
-        let module = generate_cone(&cone, &VhdlOptions { format: cert.format });
-        let tb = generate_vector_testbench(&module, file)?;
-        let vec_path = out.join(format!("{}.vectors", file.entity));
-        let tb_path = out.join(format!("tb_{}_vec.vhd", file.entity));
-        std::fs::write(&vec_path, file.to_text())?;
-        std::fs::write(&tb_path, tb)?;
-        println!(
-            "   wrote {} ({} firings) and {}",
-            vec_path.display(),
-            file.records.len(),
-            tb_path.display()
-        );
+    let synthesized = certified.synthesize()?;
+    let paths = synthesized.write_to(out)?;
+    for path in &paths {
+        println!("   wrote {}", path.display());
     }
-    println!("Replay in any VHDL simulator: isl_fixed_pkg.vhd + entity + tb_*_vec.vhd.");
+    println!(
+        "Replay everything in one command: cd {} && sh run_ghdl.sh",
+        out.display()
+    );
+
+    // Certifying the same instance again is a pure store hit.
+    let again = explored.certify_fastest(&init)?;
+    assert_eq!(again.certificate(), certified.certificate());
+    let stats = session.store_stats();
+    println!(
+        "(store: {} hits / {} builds across cones, programs, syntheses, vectors, certificates)",
+        stats.total_hits(),
+        stats.total_misses()
+    );
     Ok(())
 }

@@ -1,4 +1,6 @@
-//! Quickstart: from a C stencil kernel to Pareto-optimal FPGA architectures.
+//! Quickstart: from a C stencil kernel to Pareto-optimal FPGA
+//! architectures, through the staged session API
+//! (`Spec → Decomposed → Estimated → Explored → Synthesized`).
 //!
 //! Run with `cargo run -p isl-examples --bin quickstart`.
 
@@ -19,15 +21,18 @@ void blur(const float in[H][W], float out[H][W]) {
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Phase 1: dependency analysis by symbolic execution.
-    let flow = IslFlow::from_source(KERNEL)?;
+    // Stage 1 (Spec): dependency analysis by symbolic execution. The
+    // session owns the artifact store every later stage reads and writes.
+    let session = IslSession::from_source(KERNEL)?;
     println!("== extracted stencil pattern ==");
-    println!("{}", flow.pattern());
-    println!("iterations per frame: {}", flow.iterations());
+    println!("{}", session.pattern());
+    println!("iterations per frame: {}", session.iterations());
 
-    // Phase 2: one cone, inspected.
-    let cone = flow.build_cone(Window::square(4), 2)?;
-    println!("\n== cone {} ==", cone.signature());
+    // Stage 2 (Decomposed): one architecture shape, its cones Arc-shared
+    // out of the store.
+    let decomposed = session.decompose(Window::square(4), 2)?;
+    let cone = decomposed.main_cone();
+    println!("\n== cone {} (levels {:?}) ==", cone.signature(), decomposed.levels());
     println!("  inputs (window + halo): {}", cone.inputs().len());
     println!("  outputs:                {}", cone.outputs().len());
     println!("  registers after reuse:  {}", cone.registers());
@@ -37,22 +42,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cone.tree_op_count() / cone.registers() as f64
     );
 
-    // Phases 3-4: explore architectures for 1024x768 frames on a Virtex-6.
+    // Stage 3 (Estimated): α calibration + cone facts for the space — the
+    // expensive half, stored and reusable across workloads.
     let device = Device::virtex6_xc6vlx760();
     let space = DesignSpace::new(1..=6, 1..=5, 8);
-    let result = flow.explore(&device, flow.workload(1024, 768), &space)?;
+    let estimated = session.estimate(&device, &space)?;
     println!(
-        "\n== design space: {} feasible points, {} on the Pareto front ==",
-        result.points().len(),
-        result.pareto().len()
+        "\n(alpha calibration used {} syntheses in total)",
+        estimated.syntheses()
     );
+
+    // Stage 4 (Explored): enumerate 1024x768 frames against the stored
+    // calibration — pure arithmetic from here.
+    let explored = estimated.explore(session.workload(1024, 768))?;
     println!(
-        "(alpha calibration used {} syntheses in total)",
-        result.calibration_syntheses()
+        "== design space: {} feasible points, {} on the Pareto front ==",
+        explored.points().len(),
+        explored.pareto().len()
     );
     println!("\n  window  depth  cores |      LUTs  time/frame        fps");
     println!("  --------------------------------------------------------");
-    for p in result.pareto() {
+    for p in explored.pareto() {
         println!(
             "  {:>6}  {:>5}  {:>5} | {:>9.0}  {:>9.2} ms  {:>8.1}",
             p.arch.window.to_string(),
@@ -64,9 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Generate VHDL for the fastest architecture.
-    let best = result.fastest().expect("space is feasible");
-    let bundle = flow.generate_vhdl(best.arch.window, best.arch.depth)?;
+    // Stage 5 (Synthesized): VHDL for the fastest architecture.
+    let synthesized = explored.synthesize_fastest()?;
+    let bundle = synthesized.bundle();
     println!(
         "\n== VHDL for the fastest point: entity `{}`, {} pipeline stages ==",
         bundle.entity_name, bundle.pipeline_stages
@@ -75,5 +85,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
     println!("  ...");
+
+    // The store makes repeats free: a second explore of the same inputs
+    // rebuilds nothing (the session serves every artifact from the store).
+    let before = session.store_stats();
+    let again = session.explore(&device, session.workload(1024, 768), &space)?;
+    let after = session.store_stats();
+    assert_eq!(explored.points(), again.points());
+    println!(
+        "\n== warm re-explore: {} store hits, {} new builds (cold pass built {}) ==",
+        after.total_hits() - before.total_hits(),
+        after.total_misses() - before.total_misses(),
+        before.total_misses(),
+    );
     Ok(())
 }

@@ -1,52 +1,61 @@
-//! Export a ready-to-simulate VHDL project for a chosen cone: support
-//! package, entity and self-checking testbench.
+//! Export a ready-to-simulate VHDL project for every built-in algorithm:
+//! support package, entity, wrapper, self-checking testbench — and, for
+//! the certified shape, the golden-vector files + replay testbenches, so
+//! an external simulator run is one command (`sh run_ghdl.sh`).
 //!
 //! Run with `cargo run -p isl-examples --bin vhdl_export` — files land in
-//! `target/vhdl_export/`.
+//! `target/vhdl_export/<algorithm>/`.
 
-use std::fs;
 use std::path::PathBuf;
 
 use isl_hls::algorithms::all;
 use isl_hls::prelude::*;
+use isl_hls::sim::synthetic;
 use isl_hls::vhdl::check;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = PathBuf::from("target/vhdl_export");
-    fs::create_dir_all(&out_dir)?;
+    let out_root = PathBuf::from("target/vhdl_export");
 
     for algo in all() {
-        let flow = IslFlow::from_algorithm(&algo)?;
-        let depth = flow.iterations().min(2);
-        let bundle = flow.generate_vhdl(Window::square(3), depth)?;
+        let session = IslSession::from_algorithm(&algo)?;
+        let depth = session.iterations().min(2);
+        let window = Window::square(3);
+
+        // Certify the shape on a small frame so the exported bundle ships
+        // replayable golden vectors next to the VHDL.
+        let init = FrameSet::from_frames(
+            (0..session.pattern().fields().len())
+                .map(|i| synthetic::noise(18, 12, 40 + i as u64))
+                .collect(),
+        )?;
+        let arch = Architecture::new(window, depth, 1);
+        let certified = session.certify(&init, arch)?;
+        let synthesized = certified.synthesize()?;
+        let bundle = synthesized.bundle();
 
         // The structural checker gates everything we write out.
         check::validate_package(&bundle.package)?;
         check::validate(&bundle.entity)?;
 
-        let pkg_path = out_dir.join("isl_fixed_pkg.vhd");
-        fs::write(&pkg_path, &bundle.package)?;
-        let entity_path = out_dir.join(format!("{}.vhd", bundle.entity_name));
-        fs::write(&entity_path, &bundle.entity)?;
-        let wrapper_path = out_dir.join(format!("{}_tile.vhd", bundle.entity_name));
-        fs::write(&wrapper_path, &bundle.wrapper)?;
-        let tb_path = out_dir.join(format!("tb_{}.vhd", bundle.entity_name));
-        fs::write(&tb_path, &bundle.testbench)?;
+        let out_dir = out_root.join(algo.name);
+        let paths = synthesized.write_to(&out_dir)?;
 
         println!(
-            "{:<10} -> {} ({} pipeline stages, {} lines of VHDL + {} lines of testbench)",
+            "{:<10} -> {} ({} pipeline stages, {} files incl. {} vector set(s), {} certified firings)",
             algo.name,
-            entity_path.display(),
+            out_dir.display(),
             bundle.pipeline_stages,
-            bundle.entity.lines().count(),
-            bundle.testbench.lines().count(),
+            paths.len(),
+            bundle.vectors.len(),
+            certified.certificate().vector_records,
         );
     }
 
     println!(
-        "\nCompile order: isl_fixed_pkg.vhd, then any entity, then its tb_*.vhd.\n\
-         Each testbench drives one stimulus window and asserts the outputs\n\
-         against values computed by the flow's own evaluator."
+        "\nEach directory is self-contained: `sh run_ghdl.sh` analyses the\n\
+         package, entities and testbenches and replays every certified\n\
+         golden-vector firing word-for-word (any VHDL-93 simulator accepts\n\
+         the same file list)."
     );
     Ok(())
 }
