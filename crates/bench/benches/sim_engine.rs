@@ -3,8 +3,10 @@
 //! all three execution semantics — golden whole-frame, tiled
 //! (cone-architecture) and cone-DAG — plus their **quantised** variants
 //! (fixed-point rounding after every operation, the hardware's numeric
-//! behaviour) and the cone-program slot footprint with and without the
-//! consumer-clustering scheduling pre-pass.
+//! behaviour), the cone-program slot footprint with and without the
+//! consumer-clustering scheduling pre-pass, warm-vs-cold staged-session
+//! DSE, and the precision **format search** (cold vs warm, searched vs
+//! default-format area).
 //!
 //! Always writes `BENCH_sim.json` at the workspace root with the measured
 //! times and speedups so the perf trajectory of the engine can be tracked
@@ -320,6 +322,92 @@ fn main() {
         ));
     }
 
+    // Precision format search: cold (every probe certified from scratch)
+    // vs warm (the stored outcome), and the area of the searched format vs
+    // the Q8.10/18-bit default through the width-parameterised techmap.
+    // Smaller frames than the engine cases — each probe is a full
+    // certification of the architecture at that format.
+    const FS_SIZE: usize = 64;
+    let fs_arch = Architecture::new(Window::square(8), DEPTH, 2);
+    let mut fs_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let fields = case.pattern.fields().len();
+        let init = FrameSet::from_frames(
+            (0..fields)
+                .map(|i| synthetic::noise(FS_SIZE, FS_SIZE, 21 + i as u64))
+                .collect(),
+        )
+        .expect("frames");
+        let budget_of = |session: &IslSession| {
+            ErrorBudget::max_abs(
+                session
+                    .certify(&init, fs_arch)
+                    .expect("certifies")
+                    .certificate()
+                    .max_quant_error,
+            )
+        };
+        let mut cold_times: Vec<f64> = (0..3)
+            .map(|_| {
+                let session = IslSession::from_pattern(case.pattern.clone(), ITERS);
+                let budget = budget_of(&session);
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    session
+                        .search_format(&device, &init, fs_arch, budget)
+                        .expect("searches"),
+                );
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        cold_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cold = cold_times[1];
+        let session = IslSession::from_pattern(case.pattern.clone(), ITERS);
+        let budget = budget_of(&session);
+        let searched = session
+            .search_format(&device, &init, fs_arch, budget)
+            .expect("searches");
+        let mut warm_times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    session
+                        .search_format(&device, &init, fs_arch, budget)
+                        .expect("searches"),
+                );
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        warm_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let warm = warm_times[2];
+        let outcome = searched.outcome();
+        println!(
+            "format_search_{:<16} cold {:>8.3} ms | warm {:>8.5} ms ({:>9.1}x) | {} {} LUT -> {} {} LUT ({:.1}% saved, {} probes)",
+            case.name,
+            cold * 1e3,
+            warm * 1e3,
+            cold / warm,
+            outcome.default_format,
+            outcome.default_area_luts,
+            outcome.chosen,
+            outcome.chosen_area_luts,
+            100.0 * searched.area_saving(),
+            searched.probes().len(),
+        );
+        fs_rows.push(format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.5}, \"speedup\": {:.1}, \"default_format\": \"{}\", \"searched_format\": \"{}\", \"default_area_luts\": {}, \"searched_area_luts\": {}, \"probes\": {}}}",
+            case.name,
+            cold * 1e3,
+            warm * 1e3,
+            cold / warm,
+            outcome.default_format,
+            outcome.chosen,
+            outcome.default_area_luts,
+            outcome.chosen_area_luts,
+            searched.probes().len()
+        ));
+    }
+
     let mut json = format!(
         "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
     );
@@ -330,6 +418,8 @@ fn main() {
     json.push_str(&slot_rows.join(",\n"));
     json.push_str("\n  ],\n  \"session_dse\": [\n");
     json.push_str(&session_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"format_search\": [\n");
+    json.push_str(&fs_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the
     // trajectory file at the workspace root instead.

@@ -20,6 +20,9 @@ pub enum Stage {
     Estimate,
     /// Design-space exploration.
     Explore,
+    /// Precision design-space exploration (certified fixed-point format
+    /// search).
+    FormatSearch,
     /// Functional simulation.
     Simulate,
     /// VHDL generation / bundle assembly.
@@ -35,6 +38,7 @@ impl fmt::Display for Stage {
             Stage::Decompose => "decompose",
             Stage::Estimate => "estimate",
             Stage::Explore => "explore",
+            Stage::FormatSearch => "format-search",
             Stage::Simulate => "simulate",
             Stage::Synthesize => "synthesize",
             Stage::Certify => "certify",
@@ -64,6 +68,10 @@ pub enum FlowError {
     /// Hardware co-simulation / certification failure: the architecture's
     /// quantised execution or its golden vectors diverged.
     Verification(String),
+    /// Precision format search failure: no certifiable fixed-point format
+    /// within the search's width cap meets the error budget (or the budget
+    /// itself is malformed).
+    Format(String),
     /// Filesystem failure while exporting a bundle
     /// ([`crate::VhdlBundle::write_to`]).
     Io(String),
@@ -96,6 +104,7 @@ impl FlowError {
             FlowError::Exploration(m) => FlowError::Exploration(f(m)),
             FlowError::Simulation(m) => FlowError::Simulation(f(m)),
             FlowError::Verification(m) => FlowError::Verification(f(m)),
+            FlowError::Format(m) => FlowError::Format(f(m)),
             FlowError::Io(m) => FlowError::Io(f(m)),
         }
     }
@@ -111,6 +120,7 @@ impl fmt::Display for FlowError {
             FlowError::Exploration(m) => write!(f, "design-space exploration failed: {m}"),
             FlowError::Simulation(m) => write!(f, "simulation failed: {m}"),
             FlowError::Verification(m) => write!(f, "architecture verification failed: {m}"),
+            FlowError::Format(m) => write!(f, "format search failed: {m}"),
             FlowError::Io(m) => write!(f, "bundle export failed: {m}"),
         }
     }

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! Spec (IslSession) → Decomposed → Estimated → Explored → Synthesized
-//!                                                       ↘ Certified
+//!                                                       ↘ Certified → FormatSearched
 //! ```
 //!
 //! 1. **Spec** — symbolic execution of the kernel extracts the stencil
@@ -27,7 +27,13 @@
 //! 5. **Synthesized** — synthesizable VHDL, packaged with testbenches (and,
 //!    after certification, golden-vector replays) into a [`VhdlBundle`];
 //! 6. **Certified** — bit-true hardware co-simulation evidence
-//!    ([`ArchitectureCertificate`], via `isl-cosim`).
+//!    ([`ArchitectureCertificate`], via `isl-cosim`);
+//! 7. **FormatSearched** — precision design-space exploration
+//!    ([`IslSession::search_format`]): binary-search the narrowest
+//!    certified fixed-point format within an [`ErrorBudget`], with every
+//!    probed format's golden vectors and certificate cached in the store,
+//!    and the area saving measured through the width-parameterised
+//!    technology mapper.
 //!
 //! Every stage output is an immutable, `Arc`-shared handle backed by the
 //! session's concurrency-safe **artifact store** ([`ArtifactStore`]): built
@@ -73,6 +79,37 @@
 //! # }
 //! ```
 //!
+//! ## Choosing an error budget
+//!
+//! [`IslSession::search_format`] needs an [`ErrorBudget`] — how much may
+//! the fixed-point hardware deviate from the exact (`f64`) run of the same
+//! cone decomposition? Guidance:
+//!
+//! * **Anchor on the default format.** Certify once at the session's
+//!   format (Q8.10/18-bit by default) and read
+//!   [`ArchitectureCertificate::max_quant_error`]: a budget equal to that
+//!   value asks the search for "the narrowest format at least as accurate
+//!   as the hand-chosen one" — for gaussian-IGF that already narrows 18
+//!   bits to 15 (and the searched format is *certified*, which the
+//!   hand-chosen one's accuracy never was).
+//! * **Or anchor on the workload.** For 8-bit imagery, half an output
+//!   grey level is `0.5 / 255 ≈ 2e-3` — max-abs budgets coarser than that
+//!   are invisible in the output; budget RMS an order of magnitude lower
+//!   ([`ErrorBudget::with_rms`]) to bound the average, not just the worst
+//!   pixel.
+//! * **Don't budget below the decomposition floor.** The budget bounds the
+//!   *quantisation* error (same-decomposition reference), which more
+//!   fractional bits always shrink. The gap between the decomposition and
+//!   the whole-frame golden run
+//!   ([`ArchitectureCertificate::max_fixed_error`], cone-base border
+//!   resolution at frame edges) is format-independent — no budget spent on
+//!   width buys it back.
+//! * **Tight budgets cost integer bits too.** When the widest probe misses
+//!   the budget, the search trades fractional for integer bits
+//!   (intermediate saturation — e.g. a squared gradient overflowing the
+//!   range — is also unfixable by resolution alone). Expect a `1e-9`
+//!   budget on Chambolle to come back ~Q9.34 rather than Q8.x.
+//!
 //! ## Migrating from `IslFlow`
 //!
 //! [`IslFlow`] remains as a thin deprecated façade: every method delegates
@@ -96,6 +133,7 @@
 //! | `flow.verify_architecture(init, arch)?`   | `session.certify(init, arch)?` (then `.certificate()`)      |
 //! | *(certifying a batch)*                    | `session.verify_many(&requests)`                            |
 //! | *(vectors next to the VHDL, by hand)*     | `session.certify(...)?.synthesize()?.write_to(dir)?` + `run_ghdl.sh` |
+//! | *(fixed-point format chosen by hand)*     | `session.search_format(dev, init, arch, budget)?` (new stage)        |
 //!
 //! Functional correctness of the whole architecture template is provable in
 //! simulation: window-by-window cone execution is bit-identical to the
@@ -114,17 +152,18 @@ mod store;
 pub use error::{FlowError, Stage};
 pub use flow::IslFlow;
 pub use session::{
-    ArchitectureCertificate, Certified, Decomposed, Estimated, Explored, ExploreRequest,
-    IslSession, Synthesized, VectorSet, VerifyRequest, VhdlBundle,
+    ArchitectureCertificate, Certified, Decomposed, ErrorBudget, Estimated, Explored,
+    ExploreRequest, FormatProbe, FormatSearchOutcome, FormatSearched, IslSession, Synthesized,
+    VectorSet, VerifyRequest, VhdlBundle,
 };
 pub use store::{ArtifactStore, StoreStats};
 
 /// Convenient single-import surface for flow users.
 pub mod prelude {
     pub use crate::{
-        ArchitectureCertificate, ArtifactStore, Certified, Decomposed, Estimated, Explored,
-        ExploreRequest, FlowError, IslFlow, IslSession, Stage, StoreStats, Synthesized, VectorSet,
-        VerifyRequest, VhdlBundle,
+        ArchitectureCertificate, ArtifactStore, Certified, Decomposed, ErrorBudget, Estimated,
+        Explored, ExploreRequest, FlowError, FormatProbe, FormatSearchOutcome, FormatSearched,
+        IslFlow, IslSession, Stage, StoreStats, Synthesized, VectorSet, VerifyRequest, VhdlBundle,
     };
     pub use isl_dse::{Calibration, DesignPoint, DesignSpace, Exploration, Explorer};
     pub use isl_estimate::{

@@ -46,7 +46,7 @@ use isl_vhdl::{
 };
 
 use crate::error::{FlowError, Stage};
-use crate::store::{ArtifactStore, CalibrationKey, RunKey, StoreStats};
+use crate::store::{ArtifactStore, CalibrationKey, RefKey, RunKey, SearchKey, StoreStats};
 
 // ---------------------------------------------------------------------------
 // Bundles: what synthesize/certify hand to the outside world.
@@ -194,9 +194,25 @@ pub struct ArchitectureCertificate {
     pub vector_records: usize,
     /// Response words certified bit-for-bit.
     pub vector_words: usize,
-    /// Largest |fixed-point − f64| deviation of the full run (the numeric
-    /// cost of the hardware datapath, measured — not assumed).
+    /// Largest |fixed-point − f64| deviation from the **whole-frame golden
+    /// run** (the end-to-end numeric cost of the hardware, measured — not
+    /// assumed). Includes the decomposition's cone-base border semantics,
+    /// so it has a format-independent floor at frame edges.
     pub max_fixed_error: f64,
+    /// Root-mean-square counterpart of
+    /// [`ArchitectureCertificate::max_fixed_error`].
+    pub rms_fixed_error: f64,
+    /// Largest |fixed-point − f64| deviation from the **exact-arithmetic
+    /// run of the same cone decomposition** — the pure cost of the
+    /// fixed-point format, with the decomposition's (format-independent)
+    /// border semantics factored out. Monotone non-increasing in the
+    /// fractional width, which is the axis [`crate::ErrorBudget`] bounds
+    /// and the format search binary-searches.
+    pub max_quant_error: f64,
+    /// Root-mean-square counterpart of
+    /// [`ArchitectureCertificate::max_quant_error`] (the second budget
+    /// axis).
+    pub rms_quant_error: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +307,16 @@ impl IslSession {
     /// Override synthesis options (fixed-point format, sharing, jitter).
     pub fn with_synth_options(mut self, options: SynthOptions) -> Self {
         Arc::make_mut(&mut self.spec).synth_options = options;
+        self
+    }
+
+    /// Override only the fixed-point format of the synthesis options — the
+    /// knob the format search turns. The returned session shares this
+    /// session's store, so artifacts probed under one format (cones are
+    /// format-independent; certificates and syntheses key on the format)
+    /// stay shared.
+    pub fn with_format(mut self, format: FixedFormat) -> Self {
+        Arc::make_mut(&mut self.spec).synth_options.format = format;
         self
     }
 
@@ -795,13 +821,20 @@ impl IslSession {
             }
         }
 
-        // Informative accuracy bound: how far the fixed-point hardware run
-        // drifted from the exact f64 run after the full iteration count.
-        let golden = sim.run(init, iters)?;
+        // Measured accuracy of the hardware datapath, on two references:
+        // the whole-frame golden run (end-to-end, includes the cone-base
+        // border semantics of the decomposition) and the exact-arithmetic
+        // run of the *same* decomposition (pure format cost — the monotone
+        // axis the format search budgets). Both are format-independent, so
+        // they are stored once per decomposition and shared by every
+        // format the search probes.
+        let refs = self.reference_runs(init, window, depth)?;
+        let (golden, exact_dag) = (&refs.0, &refs.1);
         let fixed = cosim
             .run_cone_levels(init, iters, window, depth)?
             .dequantize(fmt);
-        let max_fixed_error = golden.max_abs_diff(&fixed);
+        let metrics = isl_cosim::error_metrics(golden, &fixed);
+        let quant = isl_cosim::error_metrics(exact_dag, &fixed);
 
         Ok(ArchitectureCertificate {
             arch,
@@ -811,7 +844,248 @@ impl IslSession {
             vector_files: (*vector_files).clone(),
             vector_records,
             vector_words,
-            max_fixed_error,
+            max_fixed_error: metrics.max_abs,
+            rms_fixed_error: metrics.rms,
+            max_quant_error: quant.max_abs,
+            rms_quant_error: quant.rms,
+        })
+    }
+
+    /// The `(whole-frame golden, exact cone-DAG)` `f64` reference pair of
+    /// one decomposition over `init`, through the store — computed once
+    /// and shared by every format certified against it.
+    fn reference_runs(
+        &self,
+        init: &FrameSet,
+        window: Window,
+        depth: u32,
+    ) -> Result<Arc<(FrameSet, FrameSet)>, FlowError> {
+        let key = RefKey::new(
+            self.spec.fingerprint,
+            init,
+            self.spec.border,
+            self.spec.iterations,
+            window,
+            depth,
+        );
+        self.store.reference_runs(key, || {
+            let sim = self.simulator()?;
+            let golden = sim.run(init, self.spec.iterations)?;
+            let exact = sim.run_cone_dag(init, self.spec.iterations, window, depth)?;
+            Ok::<_, FlowError>((golden, exact))
+        })
+    }
+
+    // -- stage 7: FormatSearched ---------------------------------------------
+
+    /// Stage 7 (**FormatSearched**): precision design-space exploration —
+    /// find the narrowest certified [`FixedFormat`] whose measured error
+    /// against the exact-arithmetic (`f64`) run of the *same* cone
+    /// decomposition stays within `budget`, for `arch`'s decomposition
+    /// over `init`.
+    ///
+    /// The search fixes the integer bits from the measured dynamic range of
+    /// the reference run (plus one headroom bit, escalated when
+    /// intermediate saturation shows up in the widest probe) and
+    /// **binary-searches the fractional bits**: the quantisation error is
+    /// monotone non-increasing in `frac` at fixed integer width (up to
+    /// per-pixel rounding noise — saturation residue is frac-independent
+    /// and handled by the integer-bit escalation), which
+    /// `tests/tests/format_search_props.rs` property-tests.
+    /// Every probe is a full [`IslSession::certify`] at that format —
+    /// quantised engines bitwise-checked, golden vectors generated and
+    /// verified word-for-word — so each probed format's vectors and
+    /// [`ArchitectureCertificate`] land in the artifact store. Re-running
+    /// the search warm (same budget) serves the stored outcome; re-running
+    /// with a *different* budget re-drives the binary search but serves
+    /// every previously-probed format from the store (zero new quantised
+    /// builds for overlapping probes — observable in
+    /// [`IslSession::store_stats`]).
+    ///
+    /// `device` anchors the area axis: the outcome reports the synthesised
+    /// LUT area of `arch` at the chosen format vs. the session's default
+    /// format, both through the width-parameterised technology mapper, so
+    /// the saving feeds straight back into DSE
+    /// ([`FormatSearched::session`] + [`IslSession::explore`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Format`] when the budget is malformed or no format up
+    /// to `budget.max_width` bits meets it; [`FlowError::Verification`] /
+    /// [`FlowError::Simulation`] when a probe itself fails to certify.
+    pub fn search_format(
+        &self,
+        device: &Device,
+        init: &FrameSet,
+        arch: Architecture,
+        budget: ErrorBudget,
+    ) -> Result<FormatSearched, FlowError> {
+        budget
+            .validate()
+            .map_err(|e| e.at(Stage::FormatSearch, None))?;
+        let run_key = RunKey::new(
+            self.spec.fingerprint,
+            init,
+            self.spec.synth_options.format,
+            self.spec.border,
+            self.spec.iterations,
+            arch.window,
+            arch.depth,
+        );
+        let key = SearchKey::new(run_key, arch.cores, device, &self.spec.synth_options, &budget);
+        let artifact = key.describe();
+        let outcome = self
+            .store
+            .format_search(key, || self.search_format_cold(device, init, arch, budget))
+            .map_err(|e| e.at(Stage::FormatSearch, Some(&artifact)))?;
+        Ok(FormatSearched {
+            session: self.clone(),
+            outcome,
+        })
+    }
+
+    /// The cold path of [`IslSession::search_format`] — runs the actual
+    /// probes. Individual probe certificates, golden vectors and synthesis
+    /// reports still come from (and land in) the shared store, which is
+    /// what makes a re-search with a different budget incremental.
+    fn search_format_cold(
+        &self,
+        device: &Device,
+        init: &FrameSet,
+        arch: Architecture,
+        budget: ErrorBudget,
+    ) -> Result<FormatSearchOutcome, FlowError> {
+        // Dynamic range of the exact run fixes the starting integer bits:
+        // the smallest signed integer field covering every input and output
+        // sample, plus one headroom bit for intermediate growth inside a
+        // cone. The reference pair lands in the store, where every probe's
+        // certification reuses it.
+        let refs = self.reference_runs(init, arch.window, arch.depth)?;
+        let golden = &refs.0;
+        let mut maxabs = 0.0f64;
+        for fs in [init, golden] {
+            for frame in fs.frames().iter() {
+                for &v in frame.as_slice() {
+                    if v.is_finite() {
+                        maxabs = maxabs.max(v.abs());
+                    }
+                }
+            }
+        }
+        let mut int_bits = 2u32;
+        while int_bits < budget.max_width && (1u128 << (int_bits - 1)) as f64 <= maxabs {
+            int_bits += 1;
+        }
+        int_bits = (int_bits + 1).clamp(2, budget.max_width.saturating_sub(1).max(1));
+
+        let mut probes: Vec<FormatProbe> = Vec::new();
+        let probe = |fmt: FixedFormat| -> Result<FormatProbe, FlowError> {
+            let certified = self.clone().with_format(fmt).certify(init, arch)?;
+            let c = certified.certificate();
+            Ok(FormatProbe {
+                format: fmt,
+                max_abs_error: c.max_quant_error,
+                rms_error: c.rms_quant_error,
+                within_budget: budget.admits(c.max_quant_error, c.rms_quant_error),
+            })
+        };
+
+        // Widest candidate at the current integer width. When even the
+        // widest word misses the budget the error may be dominated by
+        // *intermediate saturation* (frame values fit, but e.g. a squared
+        // gradient overflows the integer range — a residual the fractional
+        // bits cannot buy back) — trade fractional for integer bits and
+        // retry while that keeps helping. A failure that escalation does
+        // not improve is quantisation-limited: the budget is unreachable
+        // at this width cap, and further escalations would only certify
+        // strictly worse formats.
+        let mut escalations = 0;
+        let unreachable_budget = |probes: &[FormatProbe]| -> FlowError {
+            let best = probes
+                .iter()
+                .min_by(|a, b| {
+                    a.max_abs_error
+                        .partial_cmp(&b.max_abs_error)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one probe ran");
+            FlowError::Format(format!(
+                "no certifiable format up to {} bits meets the budget \
+                 (best probe {}: max-abs {:.3e}, rms {:.3e}; \
+                 budget max-abs {:.3e}, rms {:.3e})",
+                budget.max_width,
+                best.format,
+                best.max_abs_error,
+                best.rms_error,
+                budget.max_abs,
+                budget.rms
+            ))
+        };
+        loop {
+            let p = probe(FixedFormat::new(budget.max_width, budget.max_width - int_bits))?;
+            // Strictly worse than the previous widest probe: the lost
+            // fractional bit cost more than the gained integer bit bought —
+            // quantisation-limited, stop. (Saturation-limited escalations
+            // plateau or improve: a fully saturated region can hold the
+            // max error exactly flat until the range clears it.)
+            let stalled = probes
+                .last()
+                .is_some_and(|prev| p.max_abs_error > prev.max_abs_error);
+            probes.push(p);
+            if p.within_budget {
+                break;
+            }
+            escalations += 1;
+            if stalled || int_bits + 1 >= budget.max_width || escalations > 16 {
+                return Err(unreachable_budget(&probes));
+            }
+            int_bits += 1;
+        }
+
+        // Binary-search the smallest fractional width that still meets the
+        // budget (the widest probe above is the known-pass upper bound).
+        let mut lo = 0u32;
+        let mut hi = budget.max_width - int_bits;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let p = probe(FixedFormat::new(int_bits + mid, mid))?;
+            probes.push(p);
+            if p.within_budget {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let chosen = FixedFormat::new(int_bits + hi, hi);
+        // `hi` is always a probed, passing frac, so this certify is served
+        // from the store.
+        let certificate = Arc::clone(
+            self.clone()
+                .with_format(chosen)
+                .certify(init, arch)?
+                .certificate(),
+        );
+
+        // The area axis: synthesise `arch` at the chosen and the default
+        // format through the width-parameterised techmap (reports come
+        // from / land in the shared synthesis cache).
+        let area_of = |fmt: FixedFormat| -> Result<u64, FlowError> {
+            let opts = SynthOptions { format: fmt, ..self.spec.synth_options };
+            Synthesizer::with_options(device, opts)
+                .with_caches(self.store.cones().clone(), self.store.syntheses().clone())
+                .synthesize(&self.spec.pattern, arch.window, arch.depth, arch.cores)
+                .map(|r| r.luts)
+                .map_err(FlowError::from)
+        };
+        let default_format = self.spec.synth_options.format;
+        Ok(FormatSearchOutcome {
+            budget,
+            chosen,
+            default_format,
+            default_area_luts: area_of(default_format)?,
+            chosen_area_luts: area_of(chosen)?,
+            probes,
+            certificate,
         })
     }
 }
@@ -1084,5 +1358,187 @@ impl Certified {
             session: self.session.clone(),
             bundle: self.session.bundle_of(&cone, &cert.vector_files)?,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 7: precision design-space exploration.
+// ---------------------------------------------------------------------------
+
+/// The accuracy contract a format search optimises against: bounds on the
+/// measured deviation of the certified fixed-point run from the
+/// **exact-arithmetic (`f64`) run of the same cone decomposition**
+/// ([`ArchitectureCertificate::max_quant_error`] /
+/// [`ArchitectureCertificate::rms_quant_error`]), plus the widest word the
+/// search may probe. Budgeting against the same-decomposition reference
+/// isolates the precision axis: the decomposition's cone-base border
+/// semantics is format-independent, so its contribution (visible in
+/// [`ArchitectureCertificate::max_fixed_error`]) cannot be bought back
+/// with more bits.
+///
+/// See the crate-level [choosing an error budget](crate#choosing-an-error-budget)
+/// notes for how to pick the bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Bound on the largest `|fixed − exact|` deviation over the full run.
+    pub max_abs: f64,
+    /// Bound on the RMS deviation (`f64::INFINITY` leaves it unbounded).
+    pub rms: f64,
+    /// Widest total word the search may probe, `4..=54`. 54 bits is the
+    /// widest format whose raw words round-trip *exactly* through the
+    /// `f64`-mediated golden-vector verification (`f64` carries 53 mantissa
+    /// bits); the raw [`FixedFormat`] datapath itself rails correctly up to
+    /// 64 bits, which the numeric regression tests pin separately.
+    pub max_width: u32,
+}
+
+impl ErrorBudget {
+    /// The widest certifiable word: beyond 54 bits, raw words no longer
+    /// round-trip exactly through `f64` and word-for-word vector
+    /// certification stops being meaningful.
+    pub const MAX_WIDTH: u32 = 54;
+
+    /// A budget bounding only the max-abs error, probing up to the full
+    /// certifiable width range.
+    pub fn max_abs(bound: f64) -> Self {
+        ErrorBudget {
+            max_abs: bound,
+            rms: f64::INFINITY,
+            max_width: Self::MAX_WIDTH,
+        }
+    }
+
+    /// Additionally bound the RMS error.
+    pub fn with_rms(mut self, rms: f64) -> Self {
+        self.rms = rms;
+        self
+    }
+
+    /// Cap the widest word the search may probe (e.g. the DSP granularity
+    /// of the target part).
+    pub fn with_max_width(mut self, max_width: u32) -> Self {
+        self.max_width = max_width;
+        self
+    }
+
+    /// Whether a measured `(max_abs, rms)` error pair meets the budget.
+    /// NaN errors never do.
+    pub fn admits(&self, max_abs: f64, rms: f64) -> bool {
+        max_abs <= self.max_abs && rms <= self.rms
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), FlowError> {
+        if self.max_abs.is_nan() || self.max_abs <= 0.0 {
+            return Err(FlowError::Format(format!(
+                "max-abs budget must be positive, got {}",
+                self.max_abs
+            )));
+        }
+        if self.rms.is_nan() || self.rms <= 0.0 {
+            return Err(FlowError::Format(format!(
+                "rms budget must be positive (or infinite), got {}",
+                self.rms
+            )));
+        }
+        if !(4..=Self::MAX_WIDTH).contains(&self.max_width) {
+            return Err(FlowError::Format(format!(
+                "max width must be in 4..={}, got {}",
+                Self::MAX_WIDTH,
+                self.max_width
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One probed format of a search: the measured error of its certified run
+/// and the budget verdict. Probes are recorded in probe order (widest
+/// first, then the binary-search sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatProbe {
+    /// The probed format.
+    pub format: FixedFormat,
+    /// Measured max-abs error of the certified run at this format.
+    pub max_abs_error: f64,
+    /// Measured RMS error of the certified run at this format.
+    pub rms_error: f64,
+    /// Whether this format meets the budget.
+    pub within_budget: bool,
+}
+
+/// The stored result of one format search (an [`crate::ArtifactStore`]
+/// artifact kind with its own hit/miss counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatSearchOutcome {
+    /// The budget the search ran against.
+    pub budget: ErrorBudget,
+    /// The narrowest certified format meeting the budget.
+    pub chosen: FixedFormat,
+    /// The session's format before the search (the comparison baseline).
+    pub default_format: FixedFormat,
+    /// Synthesised LUT area of the architecture at the default format.
+    pub default_area_luts: u64,
+    /// Synthesised LUT area at the chosen format — strictly lower than
+    /// [`FormatSearchOutcome::default_area_luts`] whenever the chosen word
+    /// is strictly narrower (the width-parameterised techmap scales every
+    /// operator with the operand width).
+    pub chosen_area_luts: u64,
+    /// Every probed format with its measured errors, in probe order.
+    pub probes: Vec<FormatProbe>,
+    /// The certificate of the chosen format (bitwise engine checks +
+    /// word-for-word golden vectors, like any [`IslSession::certify`]).
+    pub certificate: Arc<ArchitectureCertificate>,
+}
+
+/// Stage 7 output: a completed precision search, `Arc`-shared out of the
+/// session store.
+#[derive(Debug, Clone)]
+pub struct FormatSearched {
+    session: IslSession,
+    outcome: Arc<FormatSearchOutcome>,
+}
+
+impl FormatSearched {
+    /// The full stored outcome (probes, areas, certificate).
+    pub fn outcome(&self) -> &Arc<FormatSearchOutcome> {
+        &self.outcome
+    }
+
+    /// The narrowest certified format meeting the budget.
+    pub fn format(&self) -> FixedFormat {
+        self.outcome.chosen
+    }
+
+    /// Every probed format with its measured errors.
+    pub fn probes(&self) -> &[FormatProbe] {
+        &self.outcome.probes
+    }
+
+    /// The certificate of the chosen format.
+    pub fn certificate(&self) -> &Arc<ArchitectureCertificate> {
+        &self.outcome.certificate
+    }
+
+    /// The certified architecture instance the search probed.
+    pub fn arch(&self) -> Architecture {
+        self.outcome.certificate.arch
+    }
+
+    /// Fraction of the default format's LUT area the searched format saves
+    /// (`0.0` when the search could not narrow the word).
+    pub fn area_saving(&self) -> f64 {
+        if self.outcome.default_area_luts == 0 {
+            return 0.0;
+        }
+        1.0 - self.outcome.chosen_area_luts as f64 / self.outcome.default_area_luts as f64
+    }
+
+    /// Chain back into the pipeline: a session whose synthesis options
+    /// carry the **chosen format**, sharing this session's store — explore
+    /// with it and the Pareto front is costed at the searched width; its
+    /// [`IslSession::synthesize`] emits an `isl_fixed_pkg` declaring the
+    /// searched word.
+    pub fn session(&self) -> IslSession {
+        self.session.clone().with_format(self.outcome.chosen)
     }
 }

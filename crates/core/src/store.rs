@@ -2,7 +2,8 @@
 //!
 //! Every expensive artifact of the pipeline — built [`Cone`]s, compiled
 //! bytecode programs, calibration synthesis reports, DSE calibrations,
-//! co-simulation golden vectors and whole architecture certificates — is
+//! co-simulation golden vectors, whole architecture certificates and
+//! precision format-search outcomes — is
 //! keyed by its **content**: the pattern's structural fingerprint plus
 //! every input that can change the value (shape, options, device, frame
 //! bits). All the underlying producers are deterministic, so a stored
@@ -26,10 +27,10 @@ use std::sync::{Arc, Mutex};
 use isl_dse::Calibration;
 use isl_fpga::{FixedFormat, SynthCache, SynthOptions};
 use isl_ir::{CacheStats, Cone, ConeCache, Window};
-use isl_sim::{BorderMode, ProgramCache};
+use isl_sim::{BorderMode, FrameSet, ProgramCache};
 use isl_vhdl::VectorFile;
 
-use crate::session::ArchitectureCertificate;
+use crate::session::{ArchitectureCertificate, ErrorBudget, FormatSearchOutcome};
 
 /// One generic content-keyed map with hit/miss counters.
 #[derive(Debug)]
@@ -175,6 +176,82 @@ impl RunKey {
     }
 }
 
+/// Identity of the format-independent `f64` reference runs of one
+/// decomposition (the whole-frame golden run and the exact-arithmetic
+/// cone-DAG run): [`RunKey`] minus the fixed-point format. Certification
+/// measures every probed format against the same pair, so a format search
+/// computes it once instead of once per probe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct RefKey {
+    pattern: u64,
+    init: u64,
+    border: (u8, u64),
+    iterations: u32,
+    window: Window,
+    depth: u32,
+}
+
+impl RefKey {
+    pub(crate) fn new(
+        pattern: u64,
+        init: &FrameSet,
+        border: BorderMode,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+    ) -> Self {
+        RefKey {
+            pattern,
+            init: init.fingerprint(),
+            border: border_bits(border),
+            iterations,
+            window,
+            depth,
+        }
+    }
+}
+
+/// Identity of one precision format search: the certified run it probes
+/// (pattern, frames, border, decomposition, cores), the device and
+/// non-format synthesis options its area axis is computed under, the
+/// session's default format (the search reports area relative to it), and
+/// the budget (by bit pattern). The probed formats themselves are *not*
+/// part of the key — they are the search's output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SearchKey {
+    run: RunKey,
+    cores: u32,
+    device: String,
+    options: OptionBits,
+    budget: (u64, u64, u32),
+}
+
+impl SearchKey {
+    pub(crate) fn new(
+        run: RunKey,
+        cores: u32,
+        device: &isl_fpga::Device,
+        options: &SynthOptions,
+        budget: &ErrorBudget,
+    ) -> Self {
+        SearchKey {
+            run,
+            cores,
+            device: device.name.clone(),
+            options: option_bits(options),
+            budget: (
+                budget.max_abs.to_bits(),
+                budget.rms.to_bits(),
+                budget.max_width,
+            ),
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
+        format!("format search over {} on {}", self.run.describe(), self.device)
+    }
+}
+
 /// Per-kind hit/miss counters of an [`ArtifactStore`] — the observable
 /// evidence of reuse. `misses` only grow when something was actually built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -191,6 +268,11 @@ pub struct StoreStats {
     pub vectors: CacheStats,
     /// Architecture certificates.
     pub certificates: CacheStats,
+    /// Format-independent `f64` reference-run pairs (golden + exact
+    /// cone-DAG) shared by every certification of one decomposition.
+    pub references: CacheStats,
+    /// Precision format-search outcomes.
+    pub searches: CacheStats,
 }
 
 impl StoreStats {
@@ -202,6 +284,8 @@ impl StoreStats {
             + self.calibrations.misses
             + self.vectors.misses
             + self.certificates.misses
+            + self.references.misses
+            + self.searches.misses
     }
 
     /// Total lookups served from the store across every kind.
@@ -212,6 +296,16 @@ impl StoreStats {
             + self.calibrations.hits
             + self.vectors.hits
             + self.certificates.hits
+            + self.references.hits
+            + self.searches.hits
+    }
+
+    /// Misses of the artifact kinds a *quantised build* produces — compiled
+    /// programs, golden-vector sets and certificates. The format-search
+    /// acceptance criterion ("a warm re-search performs zero redundant
+    /// quantised builds") is an assertion that this number does not move.
+    pub fn quantized_build_misses(&self) -> usize {
+        self.programs.misses + self.vectors.misses + self.certificates.misses
     }
 }
 
@@ -227,6 +321,8 @@ pub struct ArtifactStore {
     calibrations: CacheMap<CalibrationKey, Calibration>,
     vectors: CacheMap<RunKey, Vec<VectorFile>>,
     certificates: CacheMap<(RunKey, u32), ArchitectureCertificate>,
+    references: CacheMap<RefKey, (FrameSet, FrameSet)>,
+    searches: CacheMap<SearchKey, FormatSearchOutcome>,
 }
 
 impl ArtifactStore {
@@ -288,6 +384,24 @@ impl ArtifactStore {
         self.certificates.get_or_build((key, cores), build)
     }
 
+    /// The `(whole-frame golden, exact cone-DAG)` reference pair of one
+    /// decomposition — shared by every certification probing it.
+    pub(crate) fn reference_runs<E>(
+        &self,
+        key: RefKey,
+        build: impl FnOnce() -> Result<(FrameSet, FrameSet), E>,
+    ) -> Result<Arc<(FrameSet, FrameSet)>, E> {
+        self.references.get_or_build(key, build)
+    }
+
+    pub(crate) fn format_search<E>(
+        &self,
+        key: SearchKey,
+        build: impl FnOnce() -> Result<FormatSearchOutcome, E>,
+    ) -> Result<Arc<FormatSearchOutcome>, E> {
+        self.searches.get_or_build(key, build)
+    }
+
     /// Snapshot every hit/miss counter.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -297,6 +411,8 @@ impl ArtifactStore {
             calibrations: self.calibrations.stats(),
             vectors: self.vectors.stats(),
             certificates: self.certificates.stats(),
+            references: self.references.stats(),
+            searches: self.searches.stats(),
         }
     }
 }

@@ -93,6 +93,57 @@ impl IntFrameSet {
     }
 }
 
+/// Numeric deviation of a fixed-point run from its `f64` reference — the
+/// per-probe measurement of the precision design-space exploration (one
+/// [`ErrorMetrics`] per probed [`FixedFormat`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorMetrics {
+    /// Largest `|fixed − reference|` over every sample of every field.
+    pub max_abs: f64,
+    /// Root-mean-square error over every sample of every field.
+    pub rms: f64,
+    /// Samples compared.
+    pub samples: usize,
+}
+
+/// Measure how far a (dequantised) fixed-point run drifted from its `f64`
+/// reference: the max-abs and RMS error over every sample of every field.
+///
+/// A non-finite deviation (the `f64` reference diverged to NaN/∞ — the
+/// integer domain itself cannot) reports as `f64::INFINITY` on both
+/// metrics: deterministic, equal across runs (`NaN` would poison the
+/// stored certificate's equality), and inadmissible under every budget.
+///
+/// # Panics
+///
+/// Panics when the two sets differ in field count or frame shape (they are
+/// two runs of one workload by construction).
+pub fn error_metrics(reference: &FrameSet, fixed: &FrameSet) -> ErrorMetrics {
+    assert_eq!(reference.len(), fixed.len(), "field count mismatch");
+    let mut max_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut samples = 0usize;
+    for (a, b) in reference.frames().iter().zip(fixed.frames()) {
+        assert!(
+            a.width() == b.width() && a.height() == b.height(),
+            "frame shape mismatch"
+        );
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            let d = (x - y).abs();
+            let d = if d.is_nan() { f64::INFINITY } else { d };
+            max_abs = max_abs.max(d);
+            sum_sq += d * d;
+            samples += 1;
+        }
+    }
+    let rms = if samples == 0 {
+        0.0
+    } else {
+        (sum_sq / samples as f64).sqrt()
+    };
+    ErrorMetrics { max_abs, rms, samples }
+}
+
 /// The first diverging instruction of a triaged firing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstrDivergence {

@@ -22,6 +22,10 @@
 //!   [`isl_vhdl::vectors`] format; `isl_vhdl` replays them in a
 //!   vector-file testbench and certifies them word-for-word with
 //!   [`isl_vhdl::check::verify_vectors`];
+//! * **error metrics** — [`error_metrics`] measures the max-abs / RMS
+//!   drift of a dequantised fixed-point run from its `f64` reference; the
+//!   flow-level *format search* evaluates one [`ErrorMetrics`] per probed
+//!   format against its error budget;
 //! * **mismatch triage** — [`CoSimulator::triage_vectors`] pinpoints the
 //!   first diverging window, level and (under a [`Fault`] hypothesis) the
 //!   exact instruction, so a rounding bug anywhere in the datapath has a
@@ -81,6 +85,8 @@ mod error;
 pub mod vm;
 
 pub use convert::{format_of, quantizer_of};
-pub use cosim::{CoSimulator, InstrDivergence, IntFrameSet, TriageReport};
+pub use cosim::{
+    error_metrics, CoSimulator, ErrorMetrics, InstrDivergence, IntFrameSet, TriageReport,
+};
 pub use error::CosimError;
 pub use vm::{eval_cone_raw, eval_cone_raw_traced, eval_kernel_raw, Fault};

@@ -13,7 +13,6 @@ use isl_fpga::{techmap, Device, SynthCache, SynthOptions, Synthesizer};
 use isl_ir::{Cone, ConeCache, StencilPattern, Window};
 use isl_sim::parallel::par_map;
 
-use crate::pareto::pareto_front;
 
 /// The grid of architecture instances to enumerate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -447,12 +446,21 @@ impl<'d> Explorer<'d> {
                 .get(&(w, d))
                 .copied()
                 .unwrap_or_else(|| techmap::pipeline_latency(cone.graph(), fmt));
+            let est_luts = est.estimate(cone.registers() as u64);
+            // NaN stops here, at the estimation boundary, with the shape
+            // that produced it — not as a panic inside the Pareto sort.
+            if est_luts.is_nan() {
+                return Err(DseError::Estimate(format!(
+                    "estimated area of window {side}x{side}, depth {d} is NaN \
+                     (degenerate calibration)"
+                )));
+            }
             Ok((
                 (side, d),
                 ConeFacts {
                     registers: cone.registers() as u64,
                     latency,
-                    est_luts: est.estimate(cone.registers() as u64),
+                    est_luts,
                 },
             ))
         })
@@ -546,6 +554,12 @@ impl<'d> Explorer<'d> {
                         self.schedule_model,
                         self.device,
                     )?;
+                    if outcome.time_per_frame_s.is_nan() || outcome.fps.is_nan() {
+                        return Err(DseError::Estimate(format!(
+                            "schedule of window {side}x{side}, depth {depth}, \
+                             {cores} cores produced a NaN time"
+                        )));
+                    }
                     points.push(DesignPoint {
                         arch,
                         estimated_luts: est_total,
@@ -571,7 +585,16 @@ impl<'d> Explorer<'d> {
             .iter()
             .map(|p| (p.estimated_luts, p.time_per_frame_s))
             .collect();
-        let pareto = pareto_front(&coords);
+        // Belt and braces: the guards above reject NaN as it is produced;
+        // should a cost slip through regardless, report the offending point
+        // instead of panicking in the sweep's final sort.
+        let pareto = crate::pareto::pareto_front_checked(&coords).map_err(|i| {
+            DseError::Estimate(format!(
+                "non-numeric cost for window {}, depth {}, {} cores: area {}, time {} s",
+                points[i].arch.window, points[i].arch.depth, points[i].arch.cores,
+                coords[i].0, coords[i].1
+            ))
+        })?;
         Ok(Exploration {
             points,
             pareto,
@@ -799,6 +822,34 @@ mod tests {
         assert_eq!(synths.stats().misses, warm_synth_misses);
         assert!(cones.stats().hits > 0);
         assert!(synths.stats().hits > 0);
+    }
+
+    #[test]
+    fn nan_cost_is_an_error_not_a_panic() {
+        // A calibration whose facts carry a NaN area (what a degenerate
+        // α fit produces) must surface as DseError::Estimate from the
+        // enumeration — never as the old `expect("area/time must not be
+        // NaN")` panic inside the Pareto sort.
+        let device = Device::virtex6_xc6vlx760();
+        let p = jacobi();
+        let space = DesignSpace::new(2..=2, 1..=1, 1);
+        let e = Explorer::new(&device);
+        let good = e.calibrate(&p, 4, &space).unwrap();
+        let mut facts = good.facts.clone();
+        for f in facts.values_mut() {
+            f.est_luts = f64::NAN;
+        }
+        let poisoned = Calibration {
+            iterations: good.iterations,
+            estimators: good.estimators.clone(),
+            facts,
+            syntheses: good.syntheses,
+        };
+        let err = e
+            .enumerate(&p, Workload::image(64, 64, 4), &space, &poisoned)
+            .unwrap_err();
+        assert!(matches!(err, DseError::Estimate(_)), "{err}");
+        assert!(err.to_string().contains("NaN") || err.to_string().contains("non-numeric"));
     }
 
     #[test]

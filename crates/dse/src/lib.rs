@@ -44,4 +44,4 @@ mod pareto;
 pub use explore::{
     Calibration, ConeFacts, DesignPoint, DesignSpace, DseError, Exploration, Explorer,
 };
-pub use pareto::{dominates, pareto_front};
+pub use pareto::{dominates, pareto_front, pareto_front_checked};

@@ -10,6 +10,13 @@ pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
 /// minimising both coordinates. Duplicate coordinates keep their first
 /// occurrence. The result is sorted by ascending area.
 ///
+/// # Panics
+///
+/// Panics when any coordinate is NaN. Callers whose costs come from
+/// estimation (which can produce NaN on degenerate calibrations) should use
+/// [`pareto_front_checked`] and surface the error at the estimation
+/// boundary instead.
+///
 /// ```
 /// use isl_dse::pareto_front;
 /// let pts = [(1.0, 9.0), (2.0, 5.0), (3.0, 6.0), (4.0, 1.0)];
@@ -25,24 +32,34 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
     });
     let mut front = Vec::new();
     let mut best_time = f64::INFINITY;
-    let mut last_area = f64::NEG_INFINITY;
     for &i in &idx {
-        let (area, time) = points[i];
+        let (_, time) = points[i];
+        // After the (area, time) sort, the first point of an equal-area run
+        // has that run's best time; every later member fails `time <
+        // best_time`, so equal-area duplicates collapse to their first
+        // occurrence with no further check.
         if time < best_time {
-            // A point with the same area as the previous front member but a
-            // worse time was already filtered by `time < best_time`; a point
-            // with the same area and the same time is a duplicate — skip it.
-            if area == last_area {
-                // Same area, strictly better time cannot happen after the
-                // sort (time ascending within equal area), so skip.
-                continue;
-            }
             front.push(i);
             best_time = time;
-            last_area = area;
         }
     }
     front
+}
+
+/// [`pareto_front`] with NaN coordinates reported instead of panicking:
+/// returns the index of the first point with a NaN area or time as the
+/// error. This is the entry point for costs that come out of estimation —
+/// a sweep over thousands of points must fail with *which* point was
+/// non-numeric, not die in a sort comparator.
+///
+/// # Errors
+///
+/// `Err(i)` when `points[i]` has a NaN coordinate.
+pub fn pareto_front_checked(points: &[(f64, f64)]) -> Result<Vec<usize>, usize> {
+    if let Some(i) = points.iter().position(|p| p.0.is_nan() || p.1.is_nan()) {
+        return Err(i);
+    }
+    Ok(pareto_front(points))
 }
 
 #[cfg(test)]
@@ -99,6 +116,16 @@ mod tests {
     fn single_point() {
         assert_eq!(pareto_front(&[(3.0, 3.0)]), vec![0]);
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn checked_front_reports_nan_index() {
+        let pts = [(1.0, 2.0), (f64::NAN, 1.0), (3.0, 0.5)];
+        assert_eq!(pareto_front_checked(&pts), Err(1));
+        let pts = [(1.0, 2.0), (2.0, f64::NAN)];
+        assert_eq!(pareto_front_checked(&pts), Err(1));
+        let pts = [(1.0, 9.0), (2.0, 5.0), (3.0, 6.0), (4.0, 1.0)];
+        assert_eq!(pareto_front_checked(&pts), Ok(vec![0, 1, 3]));
     }
 
     #[test]

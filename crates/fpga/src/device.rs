@@ -30,6 +30,12 @@ pub struct Device {
     pub carry_per_bit_ns: f64,
     /// DSP block combinational delay, ns.
     pub dsp_delay_ns: f64,
+    /// Native operand width of one DSP multiplier block, bits (18 for the
+    /// Xilinx 18×18 generation modelled here). Multiplies wider than this
+    /// tile across several blocks; the techmap charges `⌈w/g⌉²` DSPs plus
+    /// the recombination adders instead of assuming every multiply fits one
+    /// block.
+    pub dsp_input_bits: u32,
     /// Register clock-to-out plus setup, ns.
     pub ff_overhead_ns: f64,
     /// Hard frequency cap (clock tree limit), MHz.
@@ -56,6 +62,7 @@ impl Device {
             routing_delay_ns: 1.2,
             carry_per_bit_ns: 0.05,
             dsp_delay_ns: 3.4,
+            dsp_input_bits: 18,
             ff_overhead_ns: 0.8,
             fmax_cap_mhz: 100.0,
             offchip_bandwidth_mbs: 6_400.0,
@@ -77,6 +84,7 @@ impl Device {
             routing_delay_ns: 2.2,
             carry_per_bit_ns: 0.09,
             dsp_delay_ns: 5.5,
+            dsp_input_bits: 18,
             ff_overhead_ns: 1.2,
             fmax_cap_mhz: 66.0,
             offchip_bandwidth_mbs: 1_600.0,
@@ -98,6 +106,7 @@ impl Device {
             routing_delay_ns: 1.6,
             carry_per_bit_ns: 0.07,
             dsp_delay_ns: 4.2,
+            dsp_input_bits: 18,
             ff_overhead_ns: 1.0,
             fmax_cap_mhz: 80.0,
             offchip_bandwidth_mbs: 800.0,

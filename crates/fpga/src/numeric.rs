@@ -62,23 +62,43 @@ impl FixedFormat {
         (2.0f64).powi(-(self.frac as i32))
     }
 
+    /// Largest raw word. Computed in `i128`: at `width = 64` the textbook
+    /// `(1i64 << 63) - 1` overflows `i64` (a debug panic, wrapped rails in
+    /// release) — the bug that made the wide end of the format-search range
+    /// unusable.
+    pub fn max_raw(&self) -> i64 {
+        ((1i128 << (self.width - 1)) - 1) as i64
+    }
+
+    /// Smallest raw word (see [`FixedFormat::max_raw`] for why `i128`).
+    pub fn min_raw(&self) -> i64 {
+        (-(1i128 << (self.width - 1))) as i64
+    }
+
     /// Largest representable value.
     pub fn max_value(&self) -> f64 {
-        let max_raw = (1i64 << (self.width - 1)) - 1;
-        max_raw as f64 * self.resolution()
+        self.max_raw() as f64 * self.resolution()
     }
 
     /// Smallest representable value.
     pub fn min_value(&self) -> f64 {
-        let min_raw = -(1i64 << (self.width - 1));
-        min_raw as f64 * self.resolution()
+        self.min_raw() as f64 * self.resolution()
     }
 
     /// Round-to-nearest quantisation with saturation, returning the raw
     /// two's-complement value.
+    ///
+    /// **NaN contract:** a NaN input quantises to raw `0` (the hardware has
+    /// no NaN to propagate — zero is the deterministic, documented choice;
+    /// the simulator-side `isl_sim::Quantizer::apply` applies the same
+    /// rule). `±inf` saturates to the rails like any other out-of-range
+    /// value.
     pub fn quantize(&self, v: f64) -> i64 {
-        let max_raw = (1i64 << (self.width - 1)) - 1;
-        let min_raw = -(1i64 << (self.width - 1));
+        if v.is_nan() {
+            return 0;
+        }
+        let max_raw = self.max_raw();
+        let min_raw = self.min_raw();
         let scaled = (v * (1u64 << self.frac) as f64).round();
         if scaled >= max_raw as f64 {
             max_raw
@@ -110,28 +130,36 @@ impl FixedFormat {
 
     /// Saturate a raw word to the representable range.
     pub fn saturate(&self, v: i64) -> i64 {
-        let max = (1i64 << (self.width - 1)) - 1;
-        let min = -(1i64 << (self.width - 1));
-        v.clamp(min, max)
+        v.clamp(self.min_raw(), self.max_raw())
     }
 
-    /// The raw word for fixed-point `1.0` (comparison results).
+    /// Saturate a widened intermediate back to the rails. Every datapath
+    /// operation funnels its `i128` result through here — at wide widths
+    /// the old `as i64` casts wrapped (and `-a` / `a.abs()` panicked on
+    /// `i64::MIN` in debug builds) before the rails were even consulted.
+    fn saturate_wide(&self, v: i128) -> i64 {
+        v.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+
+    /// The raw word for fixed-point `1.0` (comparison results), saturated:
+    /// a format with `frac >= width - 1` cannot represent `1.0` and yields
+    /// the positive rail instead of a wrapped (negative) word.
     pub fn one_raw(&self) -> i64 {
-        1i64 << self.frac
+        self.saturate_wide(1i128 << self.frac)
     }
 
     /// A unary operation on one raw word, exactly as the hardware datapath
     /// performs it.
     pub fn apply_unary(&self, op: UnaryOp, a: i64) -> i64 {
         match op {
-            UnaryOp::Neg => self.saturate(-a),
-            UnaryOp::Abs => self.saturate(a.abs()),
+            UnaryOp::Neg => self.saturate_wide(-(a as i128)),
+            UnaryOp::Abs => self.saturate_wide((a as i128).abs()),
             UnaryOp::Sqrt => {
                 // Integer square root of `a << frac`, like fx_sqrt.
                 if a <= 0 {
                     0
                 } else {
-                    isqrt((a as i128) << self.frac) as i64
+                    self.saturate_wide(isqrt((a as i128) << self.frac))
                 }
             }
         }
@@ -142,14 +170,14 @@ impl FixedFormat {
     /// yielding zero (like `fx_div`), comparisons producing fixed-point one.
     pub fn apply_binary(&self, op: BinaryOp, a: i64, b: i64) -> i64 {
         match op {
-            BinaryOp::Add => self.saturate(a + b),
-            BinaryOp::Sub => self.saturate(a - b),
-            BinaryOp::Mul => self.saturate(((a as i128 * b as i128) >> self.frac) as i64),
+            BinaryOp::Add => self.saturate_wide(a as i128 + b as i128),
+            BinaryOp::Sub => self.saturate_wide(a as i128 - b as i128),
+            BinaryOp::Mul => self.saturate_wide((a as i128 * b as i128) >> self.frac),
             BinaryOp::Div => {
                 if b == 0 {
                     0
                 } else {
-                    self.saturate((((a as i128) << self.frac) / b as i128) as i64)
+                    self.saturate_wide(((a as i128) << self.frac) / b as i128)
                 }
             }
             BinaryOp::Min => a.min(b),
@@ -262,6 +290,71 @@ mod tests {
             assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
         }
         assert_eq!(isqrt(1 << 40), 1 << 20);
+    }
+
+    #[test]
+    fn wide_width_rails_do_not_overflow() {
+        // Regression: at widths 63 and 64 (the wide end the format search
+        // probes) the old `(1i64 << (width - 1)) - 1` rails overflowed i64 —
+        // a panic in debug builds, silently wrapped rails in release.
+        for width in [62u32, 63, 64] {
+            let q = FixedFormat::new(width, 10);
+            assert!(q.max_raw() > 0, "width {width}");
+            assert!(q.min_raw() < 0, "width {width}");
+            assert_eq!(q.saturate(i64::MAX), q.max_raw());
+            assert_eq!(q.saturate(i64::MIN), q.min_raw());
+            assert_eq!(q.quantize(1e300), q.max_raw());
+            assert_eq!(q.quantize(-1e300), q.min_raw());
+            assert_eq!(q.quantize(f64::INFINITY), q.max_raw());
+            assert_eq!(q.round_trip(1.0), 1.0);
+            assert_eq!(q.round_trip(-2.5), -2.5);
+            assert!(q.max_value() > 0.0 && q.min_value() < 0.0);
+        }
+        let q64 = FixedFormat::new(64, 10);
+        assert_eq!(q64.max_raw(), i64::MAX);
+        assert_eq!(q64.min_raw(), i64::MIN);
+    }
+
+    #[test]
+    fn wide_width_datapath_saturates_instead_of_panicking() {
+        let q = FixedFormat::new(64, 10);
+        // Neg/Abs on i64::MIN used to panic (`-i64::MIN` / `i64::MIN.abs()`
+        // overflow); the datapath must saturate to the positive rail.
+        assert_eq!(q.apply_unary(UnaryOp::Neg, i64::MIN), i64::MAX);
+        assert_eq!(q.apply_unary(UnaryOp::Abs, i64::MIN), i64::MAX);
+        assert_eq!(q.apply_unary(UnaryOp::Neg, i64::MAX), i64::MIN + 1);
+        // Saturating add/sub at the full-i64 rails.
+        assert_eq!(q.apply_binary(BinaryOp::Add, i64::MAX, i64::MAX), i64::MAX);
+        assert_eq!(q.apply_binary(BinaryOp::Sub, i64::MIN, i64::MAX), i64::MIN);
+        // Widened multiply/divide results beyond i64 saturate, not wrap.
+        let w63 = FixedFormat::new(63, 0);
+        let big = w63.max_raw();
+        assert_eq!(w63.apply_binary(BinaryOp::Mul, big, big), big);
+        assert_eq!(w63.apply_binary(BinaryOp::Mul, big, -big), w63.min_raw());
+        let deep = FixedFormat::new(63, 40);
+        assert_eq!(deep.apply_binary(BinaryOp::Div, deep.max_raw(), 1), deep.max_raw());
+        // Sqrt of the rail stays on the rails.
+        assert!(q.apply_unary(UnaryOp::Sqrt, i64::MAX) <= q.max_raw());
+    }
+
+    #[test]
+    fn one_raw_saturates_when_one_is_unrepresentable() {
+        // Q1.7 in 8 bits cannot hold 1.0: the comparison constant must be
+        // the positive rail, not the wrapped (negative) `1 << 7`.
+        let q = FixedFormat::new(8, 7);
+        assert_eq!(q.one_raw(), q.max_raw());
+        assert!(q.one_raw() > 0);
+        // Ordinary formats are untouched.
+        assert_eq!(FixedFormat::default().one_raw(), 1 << 10);
+    }
+
+    #[test]
+    fn nan_quantizes_to_zero() {
+        // The documented NaN contract: raw 0, deterministically.
+        for q in [FixedFormat::default(), FixedFormat::new(64, 10), FixedFormat::new(8, 4)] {
+            assert_eq!(q.quantize(f64::NAN), 0);
+            assert_eq!(q.round_trip(f64::NAN), 0.0);
+        }
     }
 
     #[test]

@@ -286,13 +286,16 @@ impl<'d> Synthesizer<'d> {
             )
         };
 
-        // DSP budget: multipliers beyond the device's DSP blocks spill to
-        // LUT arrays (the tool maps what fits to DSPs and the rest to
-        // fabric, so area grows smoothly past the limit).
+        // DSP budget: multiplier blocks beyond the device's DSP capacity
+        // spill to LUT arrays (the tool maps what fits to DSPs and the rest
+        // to fabric, so area grows smoothly past the limit). One spilled
+        // block re-implements its own operand tile — at most the device's
+        // DSP granularity wide, narrower when the data width is.
         let (total_luts, total_dsps) = if total_dsps > self.device.dsps {
-            let lut_per_mul = (self.options.format.width as u64).pow(2) / 2;
+            let tile = self.options.format.width.min(self.device.dsp_input_bits) as u64;
+            let lut_per_block = (tile * tile) / 2;
             let excess = total_dsps - self.device.dsps;
-            (total_luts + excess * lut_per_mul, self.device.dsps)
+            (total_luts + excess * lut_per_block, self.device.dsps)
         } else {
             (total_luts, total_dsps)
         };

@@ -7,8 +7,10 @@
 //!   canonical signed digit (CSD / non-adjacent form) recoding of the
 //!   constant — so a Gaussian kernel tap `×2` is free and `×√2 ≈ Q10
 //!   constant` costs a handful of adders;
-//! * general multiplications take a DSP block (up to 18×18), falling back to
-//!   LUT arrays when DSPs run out;
+//! * general multiplications take DSP blocks — one per
+//!   `dsp_input_bits`-wide operand tile, `⌈w/g⌉²` for wide words
+//!   ([`dsp_blocks_for_width`]) — falling back to LUT arrays when DSPs run
+//!   out;
 //! * division and square root become pipelined iterative arrays (one
 //!   subtract-compare stage per result bit);
 //! * every operation's result is registered (one pipeline stage), which is
@@ -91,6 +93,68 @@ fn adder_cost(dev: &Device, width: u32) -> ResourceCost {
         dsps: 0,
         stage_delay_ns: adder_delay(dev, width),
         stages: 1,
+    }
+}
+
+/// DSP blocks a `w`-bit general multiply occupies on `dev`: `⌈w/g⌉²` for a
+/// DSP granularity of `g` input bits (schoolbook tiling of the partial
+/// products). The old model hardcoded "one DSP if `w <= 18`, else fall back
+/// to fabric" — precision-aware DSE sweeps word widths, so the block count
+/// must follow the operand width.
+///
+/// ```
+/// use isl_fpga::techmap::dsp_blocks_for_width;
+/// use isl_fpga::Device;
+/// let dev = Device::virtex6_xc6vlx760(); // 18-bit DSP inputs
+/// assert_eq!(dsp_blocks_for_width(12, &dev), 1);
+/// assert_eq!(dsp_blocks_for_width(18, &dev), 1);
+/// assert_eq!(dsp_blocks_for_width(24, &dev), 4);  // 2x2 tiles
+/// assert_eq!(dsp_blocks_for_width(54, &dev), 9);  // 3x3 tiles
+/// ```
+pub fn dsp_blocks_for_width(width: u32, dev: &Device) -> u64 {
+    let g = dev.dsp_input_bits.max(2);
+    let tiles = width.div_ceil(g).max(1) as u64;
+    tiles * tiles
+}
+
+/// A general (both-operands-variable) multiply of `w` bits on DSP blocks:
+/// one block when the operands fit the device granularity, a tiled array of
+/// [`dsp_blocks_for_width`] blocks with carry-chain recombination adders
+/// otherwise.
+fn dsp_mul_cost(dev: &Device, w: u32) -> ResourceCost {
+    let wu = w as u64;
+    let blocks = dsp_blocks_for_width(w, dev);
+    if blocks == 1 {
+        return ResourceCost {
+            luts: 0,
+            ffs: wu,
+            dsps: 1,
+            stage_delay_ns: dev.dsp_delay_ns,
+            stages: 1,
+        };
+    }
+    // Recombining `blocks` shifted partial products needs `blocks - 1`
+    // double-width adders, arranged as a ⌈log₂ blocks⌉-deep tree.
+    let levels = (64 - (blocks - 1).leading_zeros()).max(1);
+    ResourceCost {
+        luts: (blocks - 1) * 2 * wu,
+        ffs: wu,
+        dsps: blocks,
+        stage_delay_ns: dev.dsp_delay_ns + adder_delay(dev, 2 * w) * levels as f64,
+        stages: 1 + levels,
+    }
+}
+
+/// A general multiply of `w` bits on fabric (no DSPs): a LUT partial-product
+/// array, quadratic in the operand width.
+fn lut_mul_cost(dev: &Device, w: u32) -> ResourceCost {
+    let wu = w as u64;
+    ResourceCost {
+        luts: wu * wu / 2,
+        ffs: wu,
+        dsps: 0,
+        stage_delay_ns: adder_delay(dev, w) * (32 - w.leading_zeros()).max(1) as f64 * 0.5,
+        stages: 2,
     }
 }
 
@@ -238,24 +302,10 @@ pub fn map_node(
                             stages: 1,
                         };
                     }
-                    if allow_dsp && w <= 18 {
-                        ResourceCost {
-                            luts: 0,
-                            ffs: wu,
-                            dsps: 1,
-                            stage_delay_ns: dev.dsp_delay_ns,
-                            stages: 1,
-                        }
+                    if allow_dsp {
+                        dsp_mul_cost(dev, w)
                     } else {
-                        ResourceCost {
-                            luts: wu * wu / 2,
-                            ffs: wu,
-                            dsps: 0,
-                            stage_delay_ns: adder_delay(dev, w)
-                                * (32 - w.leading_zeros()).max(1) as f64
-                                * 0.5,
-                            stages: 2,
-                        }
+                        lut_mul_cost(dev, w)
                     }
                 }
                 BinaryOp::Div => {
@@ -416,6 +466,44 @@ mod tests {
         let c = map_node(&g, s, fmt, &dev, true);
         assert!(c.luts > fmt.width as u64 * 10);
         assert!(c.stages > 1);
+    }
+
+    #[test]
+    fn wide_multiplies_tile_across_dsps() {
+        let (mut g, a, b, dev, _) = setup();
+        let m = g.binary(BinaryOp::Mul, a, b);
+        let narrow = map_node(&g, m, FixedFormat::new(16, 8), &dev, true);
+        let at_grain = map_node(&g, m, FixedFormat::new(18, 10), &dev, true);
+        let wide = map_node(&g, m, FixedFormat::new(32, 16), &dev, true);
+        let huge = map_node(&g, m, FixedFormat::new(54, 20), &dev, true);
+        assert_eq!(narrow.dsps, 1);
+        assert_eq!(at_grain.dsps, 1);
+        assert_eq!(wide.dsps, 4);
+        assert_eq!(huge.dsps, 9);
+        // Tiled multiplies pay recombination adders and extra delay.
+        assert_eq!(at_grain.luts, 0);
+        assert!(wide.luts > 0);
+        assert!(wide.stage_delay_ns > at_grain.stage_delay_ns);
+        assert!(huge.stages > wide.stages);
+    }
+
+    #[test]
+    fn mapped_area_is_monotone_in_width() {
+        // The axis the format search optimises: for one graph on one
+        // device, a strictly narrower word maps to strictly fewer LUTs
+        // (fabric path) and never more DSPs.
+        let (mut g, a, b, dev, _) = setup();
+        let s = g.binary(BinaryOp::Add, a, b);
+        let m = g.binary(BinaryOp::Mul, s, b);
+        let _ = g.binary(BinaryOp::Div, m, a);
+        let mapped = |w: u32| map_graph(&g, None, FixedFormat::new(w, w / 2), &dev, false);
+        let mut prev = mapped(8);
+        for w in [10u32, 14, 18, 24, 32, 48, 63] {
+            let cur = mapped(w);
+            assert!(cur.luts > prev.luts, "width {w}: {} !> {}", cur.luts, prev.luts);
+            assert!(cur.ffs > prev.ffs, "width {w}");
+            prev = cur;
+        }
     }
 
     #[test]

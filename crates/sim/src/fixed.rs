@@ -62,7 +62,14 @@ impl Quantizer {
     }
 
     /// Round-to-nearest with saturation, back in real units.
+    ///
+    /// **NaN contract:** NaN maps to `0.0` — the same documented rule as
+    /// `isl_fpga::FixedFormat::quantize` (raw word 0), so the two
+    /// implementations agree on *every* input, not just finite ones.
     pub fn apply(&self, v: f64) -> f64 {
+        if v.is_nan() {
+            return 0.0;
+        }
         let scale = (1u64 << self.frac) as f64;
         let max_raw = ((1i64 << (self.width - 1)) - 1) as f64;
         let min_raw = (-(1i64 << (self.width - 1))) as f64;

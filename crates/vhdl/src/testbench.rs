@@ -106,6 +106,17 @@ pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) ->
     tb
 }
 
+/// Two's-complement bit-string literal of `word` in a `width`-bit format —
+/// how vector words wider than VHDL's 32-bit `integer` are emitted.
+fn bit_string_literal(word: i64, width: u32) -> String {
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    format!("\"{:0w$b}\"", (word as u64) & mask, w = width as usize)
+}
+
 /// Generate a vector-driven self-checking testbench: every record of
 /// `vectors` is applied to the DUT's data ports in sequence and every output
 /// port is asserted against the recorded response word.
@@ -114,13 +125,15 @@ pub fn generate_testbench(cone: &Cone, module: &VhdlModule, fmt: FixedFormat) ->
 /// testbench is self-contained — no file I/O in the simulator. Words are
 /// asserted with tolerance 0: the vectors were generated by the bit-true
 /// integer VM, which implements exactly the `isl_fixed_pkg` datapath.
+/// Formats up to 31 bits use `integer` word arrays (readable decimal
+/// literals); wider formats — which the precision format search probes up
+/// to 63 bits — switch to `fixed_t` arrays of two's-complement bit-string
+/// literals, since the words no longer fit VHDL's 32-bit `integer`.
 ///
 /// # Errors
 ///
 /// [`VectorError`] when the vector file's ports do not cover the module's
-/// data ports (wrong entity or stale file), when the file is empty, or when
-/// the format is wider than 31 bits (words are emitted as VHDL `integer`
-/// literals).
+/// data ports (wrong entity or stale file), or when the file is empty.
 pub fn generate_vector_testbench(
     module: &VhdlModule,
     vectors: &VectorFile,
@@ -128,12 +141,8 @@ pub fn generate_vector_testbench(
     if vectors.records.is_empty() {
         return Err(VectorError("no records to replay".into()));
     }
-    if vectors.format.width > 31 {
-        return Err(VectorError(format!(
-            "format {} too wide for integer literals (max 31 bits)",
-            vectors.format
-        )));
-    }
+    let wide = vectors.format.width > 31;
+    let word_width = vectors.format.width;
     // Map each of the module's data ports onto a vector-file column.
     let mut in_ports: Vec<(&str, usize)> = Vec::new(); // (port, stimulus column)
     let mut out_ports: Vec<(&str, usize)> = Vec::new(); // (port, response column)
@@ -173,7 +182,11 @@ pub fn generate_vector_testbench(
     let _ = writeln!(tb, "architecture sim of tb_{entity}_vec is");
     tb.push_str("  constant CLK_PERIOD : time := 10 ns;\n");
     let _ = writeln!(tb, "  constant N_VECTORS  : integer := {n};");
-    tb.push_str("  type word_array is array (natural range <>) of integer;\n");
+    if wide {
+        tb.push_str("  type word_array is array (natural range <>) of fixed_t;\n");
+    } else {
+        tb.push_str("  type word_array is array (natural range <>) of integer;\n");
+    }
     // Stimulus and response words, flattened record-major in *module port
     // order* (not file order), so the replay loop indexes linearly. A
     // single-element array must use named association — VHDL reads a
@@ -183,7 +196,11 @@ pub fn generate_vector_testbench(
         for r in 0..n {
             let words = words_of(r);
             for &(_, col) in ports {
-                lits.push(words[col].to_string());
+                if wide {
+                    lits.push(bit_string_literal(words[col], word_width));
+                } else {
+                    lits.push(words[col].to_string());
+                }
             }
         }
         if lits.len() == 1 {
@@ -222,10 +239,14 @@ pub fn generate_vector_testbench(
     tb.push_str("    wait for 2 * CLK_PERIOD;\n    rst <= '0';\n");
     tb.push_str("    for v in 0 to N_VECTORS - 1 loop\n");
     for (k, (name, _)) in in_ports.iter().enumerate() {
-        let _ = writeln!(
-            tb,
-            "      {name} <= to_signed(STIM(v * {ni} + {k}), DATA_WIDTH);"
-        );
+        if wide {
+            let _ = writeln!(tb, "      {name} <= STIM(v * {ni} + {k});");
+        } else {
+            let _ = writeln!(
+                tb,
+                "      {name} <= to_signed(STIM(v * {ni} + {k}), DATA_WIDTH);"
+            );
+        }
     }
     tb.push_str("      in_valid <= '1';\n");
     tb.push_str("      wait for CLK_PERIOD;\n");
@@ -237,10 +258,17 @@ pub fn generate_vector_testbench(
     );
     tb.push_str("      assert out_valid = '1' report \"out_valid did not rise\" severity error;\n");
     for (k, (name, _)) in out_ports.iter().enumerate() {
-        let _ = writeln!(
-            tb,
-            "      assert to_integer({name}) = RESP(v * {no} + {k})\n        report \"{name}: word mismatch at vector \" & integer'image(v) severity error;"
-        );
+        if wide {
+            let _ = writeln!(
+                tb,
+                "      assert {name} = RESP(v * {no} + {k})\n        report \"{name}: word mismatch at vector \" & integer'image(v) severity error;"
+            );
+        } else {
+            let _ = writeln!(
+                tb,
+                "      assert to_integer({name}) = RESP(v * {no} + {k})\n        report \"{name}: word mismatch at vector \" & integer'image(v) severity error;"
+            );
+        }
     }
     tb.push_str("    end loop;\n");
     tb.push_str("    report \"vector testbench finished\" severity note;\n    wait;\n  end process replay;\n");
@@ -267,6 +295,61 @@ mod tests {
         let cone = Cone::build(&p, Window::line(2), 2).unwrap();
         let m = generate_cone(&cone, &VhdlOptions::default());
         (cone, m)
+    }
+
+    #[test]
+    fn bit_string_literals_are_exact_twos_complement() {
+        assert_eq!(bit_string_literal(5, 4), "\"0101\"");
+        assert_eq!(bit_string_literal(-1, 4), "\"1111\"");
+        assert_eq!(bit_string_literal(-2, 3), "\"110\"");
+        assert_eq!(bit_string_literal(i64::MAX, 64).len(), 66);
+        assert_eq!(bit_string_literal(i64::MIN, 64), format!("\"1{}\"", "0".repeat(63)));
+    }
+
+    #[test]
+    fn wide_format_vector_testbench_uses_bit_strings() {
+        use crate::vectors::{VectorFile, VectorRecord};
+        let (_, m) = module();
+        let fmt = FixedFormat::new(40, 32);
+        let ports_in: Vec<String> = m
+            .ports
+            .iter()
+            .filter(|p| !p.is_control && matches!(p.direction, PortDirection::In))
+            .map(|p| p.name.clone())
+            .collect();
+        let ports_out: Vec<String> = m
+            .ports
+            .iter()
+            .filter(|p| !p.is_control && matches!(p.direction, PortDirection::Out))
+            .map(|p| p.name.clone())
+            .collect();
+        let record = VectorRecord {
+            level: 0,
+            tile: (0, 0),
+            stimulus: vec![1 << 33; ports_in.len()],
+            response: vec![-(1 << 34); ports_out.len()],
+        };
+        let file = VectorFile {
+            entity: m.entity_name.clone(),
+            window: isl_ir::Window::line(2),
+            depth: 2,
+            format: fmt,
+            ports_in,
+            ports_out,
+            records: vec![record],
+        };
+        // Words beyond VHDL's 32-bit integer: the testbench must switch to
+        // fixed_t bit-string arrays (the old path errored out here).
+        let tb = generate_vector_testbench(&m, &file).unwrap();
+        assert!(tb.contains("array (natural range <>) of fixed_t"));
+        assert!(!tb.contains("to_signed(STIM"));
+        assert!(tb.contains(&bit_string_literal(1 << 33, 40)));
+        crate::check::balance_only(&tb).unwrap();
+        // Narrow formats keep the readable integer arrays.
+        let narrow = VectorFile { format: FixedFormat::default(), ..file };
+        let tb = generate_vector_testbench(&m, &narrow).unwrap();
+        assert!(tb.contains("array (natural range <>) of integer"));
+        assert!(tb.contains("to_signed(STIM"));
     }
 
     #[test]

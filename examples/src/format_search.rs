@@ -1,0 +1,90 @@
+//! Precision design-space exploration: search the narrowest certified
+//! fixed-point format within an error budget, then feed the searched
+//! format back into DSE.
+//!
+//! ```sh
+//! cargo run --release -p isl-examples --bin format_search
+//! ```
+
+use isl_hls::prelude::*;
+use isl_hls::sim::synthetic;
+
+fn main() -> Result<(), FlowError> {
+    let device = Device::virtex6_xc6vlx760();
+    for algo in [
+        isl_hls::algorithms::gaussian_igf(),
+        isl_hls::algorithms::chambolle(),
+    ] {
+        let session = IslSession::from_algorithm(&algo)?;
+        let fields = session.pattern().fields().len();
+        let init = FrameSet::from_frames(
+            (0..fields)
+                .map(|i| synthetic::noise(48, 36, 11 + i as u64))
+                .collect(),
+        )
+        .expect("congruent frames");
+        let arch = Architecture::new(Window::square(4), 2, 2);
+
+        // Anchor the budget on the default format's measured accuracy: ask
+        // for the narrowest certified format at least as accurate as the
+        // hand-chosen Q8.10.
+        let baseline = session.certify(&init, arch)?;
+        let budget = ErrorBudget::max_abs(baseline.certificate().max_quant_error);
+        let searched = session.search_format(&device, &init, arch, budget)?;
+        println!(
+            "{:<10} default {} ({} LUT) -> searched {} ({} LUT, {:.1}% saved) in {} probes",
+            algo.name,
+            searched.outcome().default_format,
+            searched.outcome().default_area_luts,
+            searched.format(),
+            searched.outcome().chosen_area_luts,
+            100.0 * searched.area_saving(),
+            searched.probes().len(),
+        );
+        for p in searched.probes() {
+            println!(
+                "  probe {:<14} max-abs {:.3e} rms {:.3e} {}",
+                p.format.to_string(),
+                p.max_abs_error,
+                p.rms_error,
+                if p.within_budget { "pass" } else { "fail" },
+            );
+        }
+
+        // The searched format flows back into the pipeline: explore with it
+        // and the Pareto front is costed at the searched width; the emitted
+        // isl_fixed_pkg declares the searched word.
+        let tuned = searched.session();
+        let space = DesignSpace::new(2..=5, 1..=3, 4);
+        let explored = tuned.explore(&device, tuned.workload(256, 192), &space)?;
+        let best = explored.fastest().expect("feasible points exist");
+        println!(
+            "  re-explored at {}: fastest {} cores w{} -> {:.1} fps, {:.0} LUT",
+            searched.format(),
+            best.arch.cores,
+            best.arch.window,
+            best.fps,
+            best.estimated_luts,
+        );
+        let bundle = tuned.synthesize(best.arch.window, best.arch.depth)?;
+        assert!(bundle
+            .bundle()
+            .package
+            .contains(&format!("DATA_WIDTH : integer := {}", searched.format().width)));
+
+        // A warm re-search is a store lookup; probing again builds nothing.
+        let stats = session.store_stats();
+        let again = session.search_format(&device, &init, arch, budget)?;
+        assert_eq!(again.format(), searched.format());
+        assert_eq!(
+            session.store_stats().quantized_build_misses(),
+            stats.quantized_build_misses(),
+            "warm re-search must not rebuild quantised artifacts"
+        );
+        println!(
+            "  warm re-search served from the store (searches: {:?})",
+            session.store_stats().searches
+        );
+    }
+    Ok(())
+}
