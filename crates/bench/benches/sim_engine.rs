@@ -2,11 +2,18 @@
 //! of the bytecode VM work: gaussian IGF and Chambolle at 256×256, through
 //! all three execution semantics — golden whole-frame, tiled
 //! (cone-architecture) and cone-DAG — plus their **quantised** variants
-//! (fixed-point rounding after every operation, the hardware's numeric
-//! behaviour), the cone-program slot footprint with and without the
-//! consumer-clustering scheduling pre-pass, warm-vs-cold staged-session
-//! DSE, and the precision **format search** (cold vs warm, searched vs
-//! default-format area).
+//! (the raw-word fixed-point datapath of the generated hardware), the
+//! cone-program slot footprint with and without the consumer-clustering
+//! scheduling pre-pass, warm-vs-cold staged-session DSE, and the precision
+//! **format search** (cold vs warm, searched vs default-format area).
+//!
+//! A **frames** section scales the float-vs-quantised comparison to
+//! production sizes — 1080p and 4K single frames plus a multi-frame 1080p
+//! streaming run, for both case-study patterns — reporting Melem/s
+//! throughput and the quantised/float time ratio (every engine case also
+//! carries its Melem/s). Set
+//! `ISL_BENCH_FAST=1` to shrink the frames section to a 1080p smoke case
+//! (CI uses this).
 //!
 //! Always writes `BENCH_sim.json` at the workspace root with the measured
 //! times and speedups so the perf trajectory of the engine can be tracked
@@ -79,31 +86,40 @@ struct Row {
     interpreted_ms: f64,
     compiled_1t_ms: f64,
     compiled_auto_ms: f64,
+    /// Frame elements processed by one run (width × height × iterations).
+    elems: f64,
 }
 
 impl Row {
+    /// Melem/s of the compiled engine at auto threads.
+    fn throughput_melem_s(&self) -> f64 {
+        self.elems / (self.compiled_auto_ms * 1e-3) / 1e6
+    }
+
     fn json(&self, last: bool) -> String {
         format!(
-            "    {{\"name\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_1t_ms\": {:.3}, \"compiled_auto_ms\": {:.3}, \"speedup_1t\": {:.2}, \"speedup_auto\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_1t_ms\": {:.3}, \"compiled_auto_ms\": {:.3}, \"speedup_1t\": {:.2}, \"speedup_auto\": {:.2}, \"throughput_melem_s\": {:.1}}}{}\n",
             self.name,
             self.interpreted_ms,
             self.compiled_1t_ms,
             self.compiled_auto_ms,
             self.interpreted_ms / self.compiled_1t_ms,
             self.interpreted_ms / self.compiled_auto_ms,
+            self.throughput_melem_s(),
             if last { "" } else { "," }
         )
     }
 
     fn print(&self) {
         println!(
-            "{:<24} interpreted {:>8.2} ms | compiled(1t) {:>7.2} ms ({:>5.1}x) | compiled(auto) {:>7.2} ms ({:>5.1}x)",
+            "{:<24} interpreted {:>8.2} ms | compiled(1t) {:>7.2} ms ({:>5.1}x) | compiled(auto) {:>7.2} ms ({:>5.1}x, {:>7.1} Melem/s)",
             self.name,
             self.interpreted_ms,
             self.compiled_1t_ms,
             self.interpreted_ms / self.compiled_1t_ms,
             self.compiled_auto_ms,
             self.interpreted_ms / self.compiled_auto_ms,
+            self.throughput_melem_s(),
         );
     }
 }
@@ -114,6 +130,7 @@ fn measure(
     reference: impl Fn(&Simulator<'_>) -> FrameSet,
     compiled: impl Fn(&Simulator<'_>) -> FrameSet,
     pattern: &StencilPattern,
+    elems: f64,
 ) -> Row {
     let interp = Simulator::new(pattern).expect("valid").with_threads(1);
     let compiled1 = Simulator::new(pattern).expect("valid").with_threads(1);
@@ -128,6 +145,7 @@ fn measure(
         interpreted_ms: t_interp * 1e3,
         compiled_1t_ms: t_vm1 * 1e3,
         compiled_auto_ms: t_vmn * 1e3,
+        elems,
     }
 }
 
@@ -136,6 +154,7 @@ fn main() {
     let cases = cases();
     let tiled_window = Window::square(TILE_TILED);
     let cone_window = Window::square(TILE_CONE);
+    let case_elems = (SIZE * SIZE) as f64 * ITERS as f64;
     let mut rows: Vec<Row> = Vec::new();
     for case in &cases {
         // Golden whole-frame semantics: tree-walk vs bytecode VM.
@@ -144,6 +163,7 @@ fn main() {
             |s| s.run_reference(&case.init, ITERS).expect("runs"),
             |s| s.run(&case.init, ITERS).expect("runs"),
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
@@ -161,6 +181,7 @@ fn main() {
                     .expect("runs")
             },
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
@@ -177,19 +198,21 @@ fn main() {
                     .expect("runs")
             },
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
 
-        // Quantised semantics (fixed-point rounding after every op): the
-        // hardware-faithful numeric mode, interpreted vs compiled, through
-        // all three execution paths.
+        // Quantised semantics (the raw-word fixed-point datapath of the
+        // generated hardware): interpreted vs compiled, through all three
+        // execution paths.
         let q = Quantizer::q18_10();
         let row = measure(
             format!("quantized_{}", case.name),
             |s| s.run_quantized_reference(&case.init, ITERS, q).expect("runs"),
             |s| s.run_quantized(&case.init, ITERS, q).expect("runs"),
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
@@ -205,6 +228,7 @@ fn main() {
                     .expect("runs")
             },
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
@@ -220,6 +244,7 @@ fn main() {
                     .expect("runs")
             },
             &case.pattern,
+            case_elems,
         );
         row.print();
         rows.push(row);
@@ -242,6 +267,64 @@ fn main() {
             })
         });
         g.finish();
+    }
+
+    // Production-size frames: the float vs quantised compiled engines at
+    // 1080p and 4K, plus a multi-frame 1080p streaming run — the
+    // camera-pipeline shape the paper's architecture targets. The headline
+    // number is the quantised/float time ratio: with rounding fused into
+    // branch-free lane kernels the raw-word datapath should cost a small
+    // constant factor, not an order of magnitude. Fast mode (CI) keeps a
+    // single short 1080p smoke case.
+    let fast = std::env::var("ISL_BENCH_FAST").is_ok_and(|v| v == "1");
+    let frame_shapes: Vec<(&str, usize, usize, u32, u32)> = if fast {
+        vec![("frames_1080p", 1920, 1080, 2, 1)]
+    } else {
+        vec![
+            ("frames_1080p", 1920, 1080, ITERS, 1),
+            ("frames_4k", 3840, 2160, ITERS, 1),
+            ("stream_1080p_x8", 1920, 1080, ITERS, 8),
+        ]
+    };
+    let mut frame_rows: Vec<String> = Vec::new();
+    let q = Quantizer::q18_10();
+    // Both case-study patterns run at every production shape; fast mode
+    // keeps the single-field gaussian smoke case only.
+    let frame_cases: Vec<&Case> = if fast { vec![&cases[0]] } else { cases.iter().collect() };
+    for case in frame_cases {
+        let short = case.name.trim_end_matches("_256");
+        for &(shape, w, h, iters, frames) in &frame_shapes {
+            let name = format!("{shape}_{short}");
+            let init = small_for(&case.pattern, w, h);
+            let sim = Simulator::new(&case.pattern).expect("valid").with_threads(0);
+            let stream = |run: &dyn Fn(&FrameSet) -> FrameSet| -> FrameSet {
+                let mut last = run(&init);
+                for _ in 1..frames {
+                    last = run(&init);
+                }
+                last
+            };
+            let (t_float, _) = time_runs(|| stream(&|f| sim.run(f, iters).expect("runs")));
+            let (t_quant, _) =
+                time_runs(|| stream(&|f| sim.run_quantized(f, iters, q).expect("runs")));
+            let elems = (w * h) as f64 * iters as f64 * frames as f64;
+            let ratio = t_quant / t_float;
+            println!(
+                "{name:<30} {w}x{h} x{frames} frame(s), {iters} iters: float {:>8.2} ms ({:>7.1} Melem/s) | quantized {:>8.2} ms ({:>7.1} Melem/s) | ratio {ratio:.2}x",
+                t_float * 1e3,
+                elems / t_float / 1e6,
+                t_quant * 1e3,
+                elems / t_quant / 1e6,
+            );
+            frame_rows.push(format!(
+                "    {{\"name\": \"{name}\", \"pattern\": \"{}\", \"width\": {w}, \"height\": {h}, \"iterations\": {iters}, \"frames\": {frames}, \"float_ms\": {:.3}, \"quantized_ms\": {:.3}, \"float_melem_s\": {:.1}, \"quantized_melem_s\": {:.1}, \"quantized_over_float\": {ratio:.2}}}",
+                case.name,
+                t_float * 1e3,
+                t_quant * 1e3,
+                elems / t_float / 1e6,
+                elems / t_quant / 1e6,
+            ));
+        }
     }
 
     // Cone-program slot footprint: peak live set of the w16d2 cone with the
@@ -414,7 +497,9 @@ fn main() {
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&row.json(i + 1 == rows.len()));
     }
-    json.push_str("  ],\n  \"cone_slots\": [\n");
+    json.push_str("  ],\n  \"frames\": [\n");
+    json.push_str(&frame_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"cone_slots\": [\n");
     json.push_str(&slot_rows.join(",\n"));
     json.push_str("\n  ],\n  \"session_dse\": [\n");
     json.push_str(&session_rows.join(",\n"));

@@ -4,19 +4,16 @@
 //! `isl_fpga::FixedFormat` (the hardware format) describe the same thing —
 //! a signed fixed-point format of `width` total and `frac` fractional bits.
 //! Historically each crate carried its own copy "without creating a
-//! dependency"; this module is the sanctioned bridge, and its tests pin the
-//! two implementations to bit-identical rounding behaviour so they cannot
-//! drift again.
+//! dependency"; today `Quantizer` *wraps* a `FixedFormat`, so the two
+//! cannot drift — this module is the sanctioned bridge between the names,
+//! and its tests pin the rounding behaviour to stay bit-identical.
 
 use isl_fpga::FixedFormat;
 use isl_sim::Quantizer;
 
-/// The simulator-side rounding rule of a hardware format.
-///
-/// # Panics
-///
-/// Panics for `width == 64`: the simulator's quantiser works on `f64`
-/// frames and caps at 63 bits; no modelled device uses a 64-bit datapath.
+/// The simulator-side rounding rule of a hardware format. Total — since the
+/// simulator's quantised engines run in the raw word domain, every hardware
+/// format up to and including 64 bits has a simulator counterpart.
 pub fn quantizer_of(fmt: FixedFormat) -> Quantizer {
     Quantizer::new(fmt.width, fmt.frac)
 }

@@ -93,8 +93,12 @@ where
 {
     let code = cc.code();
     let dst = cc.dst();
+    let capture = cc.capture();
+    let retire = cc.retire();
     let mut slots = vec![0i64; cc.slots().max(1)];
     let mut trace = Vec::with_capacity(code.len());
+    let mut outs = vec![0i64; cc.outputs().len()];
+    let mut next_retire = 0usize;
     for (i, instr) in code.iter().enumerate() {
         let mut v = exec(fmt, instr, |r| slots[r as usize], &read);
         if let Some(f) = fault {
@@ -104,8 +108,15 @@ where
         }
         slots[dst[i] as usize] = v;
         trace.push(v);
+        // Outputs retire at their defining instruction (their slot may be
+        // reused afterwards); capture the post-fault word as it streams by.
+        while next_retire < retire.len() && capture[retire[next_retire] as usize] as usize == i {
+            let oi = retire[next_retire] as usize;
+            outs[oi] = slots[cc.outputs()[oi].reg as usize];
+            next_retire += 1;
+        }
     }
-    let outs = cc.outputs().iter().map(|o| slots[o.reg as usize]).collect();
+    debug_assert_eq!(next_retire, outs.len(), "every output must retire");
     (outs, trace)
 }
 

@@ -165,6 +165,324 @@ impl FixedFormat {
         }
     }
 
+    /// Lane-wise [`FixedFormat::apply_unary`] over a span of raw words:
+    /// `dst[i] = apply_unary(op, a[i])` for every lane.
+    ///
+    /// The per-op rounding/saturation dispatch is resolved once per span,
+    /// not once per word: rails and shift amounts are hoisted out of the
+    /// loop and each lane body is branch-poor (saturation via overflow
+    /// flags and clamps), so the compiler can vectorise. The scalar
+    /// functions remain the semantic definition; the in-module tests pin
+    /// every span kernel bit-identical to its scalar twin, including at the
+    /// `i64::MIN`/`i64::MAX` rails and width 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` and `dst` differ in length.
+    pub fn unary_span(&self, op: UnaryOp, a: &[i64], dst: &mut [i64]) {
+        assert_eq!(a.len(), dst.len(), "span length mismatch");
+        let (lo, hi) = (self.min_raw(), self.max_raw());
+        match op {
+            UnaryOp::Neg => {
+                // checked_neg is None only for i64::MIN, whose negation
+                // saturates to the positive rail — same as saturate_wide.
+                for (d, &x) in dst.iter_mut().zip(a) {
+                    *d = x.checked_neg().map_or(hi, |v| v.clamp(lo, hi));
+                }
+            }
+            UnaryOp::Abs => {
+                for (d, &x) in dst.iter_mut().zip(a) {
+                    *d = x.checked_abs().map_or(hi, |v| v.clamp(lo, hi));
+                }
+            }
+            UnaryOp::Sqrt => {
+                let frac = self.frac;
+                if self.width + frac <= 63 {
+                    // `x << frac` fits in 63 bits: run the integer square
+                    // root in native u64 arithmetic (float-seeded, off-by-
+                    // one corrected) — no i128 soft-math in the lane loop.
+                    // Non-positive words clamp to zero up front (n = 0
+                    // yields r = 0), keeping the lane branch-free outside
+                    // the rarely-taken correction steps.
+                    for (d, &x) in dst.iter_mut().zip(a) {
+                        let n = (x.max(0) as u64) << frac;
+                        let mut r = (n as f64).sqrt() as u64;
+                        while r > 0 && r * r > n {
+                            r -= 1;
+                        }
+                        while (r + 1) * (r + 1) <= n {
+                            r += 1;
+                        }
+                        *d = (r as i64).min(hi);
+                    }
+                } else {
+                    for (d, &x) in dst.iter_mut().zip(a) {
+                        *d = if x <= 0 {
+                            0
+                        } else {
+                            self.saturate_wide(isqrt((x as i128) << frac))
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane-wise [`FixedFormat::apply_binary`] over spans of raw words:
+    /// `dst[i] = apply_binary(op, a[i], b[i])` for every lane. See
+    /// [`FixedFormat::unary_span`] for the kernel contract.
+    ///
+    /// Add/sub saturate branch-free (`saturating_add` then a rail clamp —
+    /// an `i64` overflow means the true sum lies past the rails in the same
+    /// direction, so the result is identical to the widened path on *every*
+    /// input). Multiply and divide take a **single-width `i64` lane** when
+    /// the format is narrow enough that in-format operands cannot overflow
+    /// it (products at `width <= 32`, shifted dividends at
+    /// `width + frac <= 63`), falling back to the `i128`-widened scalar
+    /// path at wide formats.
+    ///
+    /// The narrow lanes assume **in-format operands** — raw words produced
+    /// by [`FixedFormat::quantize`] or by a previous kernel of the same
+    /// format, which is every word the simulation engines ever make.
+    /// Out-of-format words still yield deterministic (wrapping) results but
+    /// may then diverge from the widened scalar datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a`, `b` and `dst` differ in length.
+    pub fn binary_span(&self, op: BinaryOp, a: &[i64], b: &[i64], dst: &mut [i64]) {
+        assert_eq!(a.len(), dst.len(), "span length mismatch");
+        assert_eq!(b.len(), dst.len(), "span length mismatch");
+        let (lo, hi) = (self.min_raw(), self.max_raw());
+        let lanes = dst.iter_mut().zip(a.iter().zip(b));
+        match op {
+            BinaryOp::Add => {
+                for (d, (&x, &y)) in lanes {
+                    *d = x.saturating_add(y).clamp(lo, hi);
+                }
+            }
+            BinaryOp::Sub => {
+                for (d, (&x, &y)) in lanes {
+                    *d = x.saturating_sub(y).clamp(lo, hi);
+                }
+            }
+            BinaryOp::Mul => {
+                let frac = self.frac;
+                if self.width <= 32 {
+                    // In-format products fit i64 (|x·y| <= 2^(2·width-2)):
+                    // one single-width multiply per lane, no widening.
+                    for (d, (&x, &y)) in lanes {
+                        *d = (x.wrapping_mul(y) >> frac).clamp(lo, hi);
+                    }
+                } else {
+                    let (wlo, whi) = (lo as i128, hi as i128);
+                    for (d, (&x, &y)) in lanes {
+                        *d = ((x as i128 * y as i128) >> frac).clamp(wlo, whi) as i64;
+                    }
+                }
+            }
+            BinaryOp::Div => {
+                let frac = self.frac;
+                if self.width + self.frac <= 52 {
+                    // In-format words and shifted dividends are f64-exact:
+                    // divide in f64 (truncating cast rounds toward zero,
+                    // like the hardware) and repair the at-most-off-by-one
+                    // float rounding with exact integer remainder checks.
+                    // Far cheaper than a 64-bit `idiv` per lane, and
+                    // provably bit-identical.
+                    for (d, (&x, &y)) in lanes {
+                        *d = if y == 0 {
+                            0
+                        } else {
+                            let v = x << frac;
+                            let mut q = (v as f64 / y as f64) as i64;
+                            let r = v - q * y;
+                            if r != 0 {
+                                let toward = if (v < 0) == (y < 0) { 1 } else { -1 };
+                                if (r < 0) != (v < 0) {
+                                    // A remainder against the dividend's
+                                    // sign means the quotient overshot.
+                                    q -= toward;
+                                } else if r.unsigned_abs() >= y.unsigned_abs() {
+                                    // A full divisor left over: one short.
+                                    q += toward;
+                                }
+                            }
+                            q.clamp(lo, hi)
+                        };
+                    }
+                } else if self.width + self.frac <= 63 {
+                    // In-format shifted dividends fit i64
+                    // (|x << frac| <= 2^(width-1+frac)); wrapping_div keeps
+                    // the out-of-format edge (i64::MIN / -1) total.
+                    for (d, (&x, &y)) in lanes {
+                        *d = if y == 0 {
+                            0
+                        } else {
+                            (x << frac).wrapping_div(y).clamp(lo, hi)
+                        };
+                    }
+                } else {
+                    let (wlo, whi) = (lo as i128, hi as i128);
+                    for (d, (&x, &y)) in lanes {
+                        *d = if y == 0 {
+                            0
+                        } else {
+                            (((x as i128) << frac) / y as i128).clamp(wlo, whi) as i64
+                        };
+                    }
+                }
+            }
+            BinaryOp::Min => {
+                for (d, (&x, &y)) in lanes {
+                    *d = x.min(y);
+                }
+            }
+            BinaryOp::Max => {
+                for (d, (&x, &y)) in lanes {
+                    *d = x.max(y);
+                }
+            }
+            BinaryOp::Lt => {
+                let one = self.one_raw();
+                for (d, (&x, &y)) in lanes {
+                    *d = if x < y { one } else { 0 };
+                }
+            }
+            BinaryOp::Le => {
+                let one = self.one_raw();
+                for (d, (&x, &y)) in lanes {
+                    *d = if x <= y { one } else { 0 };
+                }
+            }
+            BinaryOp::Gt => {
+                let one = self.one_raw();
+                for (d, (&x, &y)) in lanes {
+                    *d = if x > y { one } else { 0 };
+                }
+            }
+            BinaryOp::Ge => {
+                let one = self.one_raw();
+                for (d, (&x, &y)) in lanes {
+                    *d = if x >= y { one } else { 0 };
+                }
+            }
+        }
+    }
+
+    /// Lane-wise [`FixedFormat::apply_binary`] with a **constant** right
+    /// operand — the specialisations a known word enables. A multiply by a
+    /// positive power-of-two word becomes a pure shift pair; a divide by
+    /// any non-zero constant loses its per-lane hardware divider — a
+    /// branch-free toward-zero shift for power-of-two magnitudes, a
+    /// Granlund–Montgomery reciprocal multiply otherwise. These are the
+    /// hot constants of stencil kernels (×2, ×4, ÷16, ÷λ). Returns `true`
+    /// when a specialised kernel ran; callers must fall back to
+    /// [`FixedFormat::binary_span`] over a constant-filled span on `false`.
+    /// Bit-identical to that fallback on in-format operands (the span
+    /// contract of [`FixedFormat::binary_span`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` and `dst` differ in length.
+    pub fn binary_span_const(&self, op: BinaryOp, a: &[i64], c: i64, dst: &mut [i64]) -> bool {
+        assert_eq!(a.len(), dst.len(), "span length mismatch");
+        let (lo, hi) = (self.min_raw(), self.max_raw());
+        let pow2 = c > 0 && (c as u64).is_power_of_two();
+        match op {
+            BinaryOp::Mul if pow2 && self.width <= 32 => {
+                // x·2^t >> frac as shifts (wrapping_mul by a power of two
+                // *is* a left shift; in-format words never clip bits under
+                // the width gate).
+                let t = c.trailing_zeros();
+                let frac = self.frac;
+                for (d, &x) in dst.iter_mut().zip(a) {
+                    *d = ((x << t) >> frac).clamp(lo, hi);
+                }
+                true
+            }
+            BinaryOp::Div if self.width + self.frac <= 63 => {
+                let frac = self.frac;
+                if c == 0 {
+                    // The datapath's divide-by-zero contract: raw zero.
+                    dst.fill(0);
+                } else if pow2 {
+                    // (x << frac) / 2^j with truncation toward zero: add
+                    // the sign-selected bias, then arithmetic-shift — no
+                    // divider.
+                    let j = c.trailing_zeros();
+                    let bias = c - 1;
+                    for (d, &x) in dst.iter_mut().zip(a) {
+                        let v = x << frac;
+                        *d = ((v + ((v >> 63) & bias)) >> j).clamp(lo, hi);
+                    }
+                } else if c.unsigned_abs().is_power_of_two() {
+                    // Negative divisor of power-of-two magnitude:
+                    // truncation commutes with the sign, so shift on the
+                    // magnitude and negate.
+                    let div = c.unsigned_abs();
+                    let j = div.trailing_zeros();
+                    let bias = (div - 1) as i64;
+                    for (d, &x) in dst.iter_mut().zip(a) {
+                        let v = x << frac;
+                        let q = (v + ((v >> 63) & bias)) >> j;
+                        *d = (-q).clamp(lo, hi);
+                    }
+                } else {
+                    // General constant: Granlund–Montgomery round-down
+                    // reciprocal on magnitudes. `div >= 3` and not a power
+                    // of two here, so `m` fits in a u64; the round-down
+                    // quotient is at most one short and a single fixup
+                    // restores exact truncation toward zero — no per-lane
+                    // divide. Fully branch-free: the fixup is a setcc add
+                    // and the sign is re-applied with a mask, so lanes of
+                    // mixed-sign data cost no mispredictions.
+                    let div = c.unsigned_abs();
+                    let l = 63 - div.leading_zeros();
+                    let m = ((1u128 << (64 + l)) / div as u128) as u64;
+                    let flip = -(i64::from(c < 0));
+                    for (d, &x) in dst.iter_mut().zip(a) {
+                        let v = x << frac;
+                        let s = v >> 63;
+                        let n = ((v ^ s) - s) as u64;
+                        let mut q = (((n as u128 * m as u128) >> 64) as u64) >> l;
+                        q += u64::from(n - q * div >= div);
+                        let t = s ^ flip;
+                        *d = ((q as i64 ^ t) - t).clamp(lo, hi);
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lane-wise [`FixedFormat::quantize`]: load an `f64` span into raw
+    /// words (the window-buffer load of the hardware), rails hoisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` differ in length.
+    pub fn quantize_span(&self, src: &[f64], dst: &mut [i64]) {
+        assert_eq!(src.len(), dst.len(), "span length mismatch");
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = self.quantize(v);
+        }
+    }
+
+    /// Lane-wise [`FixedFormat::dequantize`]: raw words back to real units.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` and `dst` differ in length.
+    pub fn dequantize_span(&self, src: &[i64], dst: &mut [f64]) {
+        assert_eq!(src.len(), dst.len(), "span length mismatch");
+        let res = self.resolution();
+        for (d, &r) in dst.iter_mut().zip(src) {
+            *d = r as f64 * res;
+        }
+    }
+
     /// A binary operation on raw words, exactly as the hardware datapath
     /// performs it: widened truncating multiply/divide, divide-by-zero
     /// yielding zero (like `fx_div`), comparisons producing fixed-point one.
@@ -354,6 +672,171 @@ mod tests {
         for q in [FixedFormat::default(), FixedFormat::new(64, 10), FixedFormat::new(8, 4)] {
             assert_eq!(q.quantize(f64::NAN), 0);
             assert_eq!(q.round_trip(f64::NAN), 0.0);
+        }
+    }
+
+    /// Deterministic mix of adversarial **in-format** raw words for a
+    /// format: the rails, their neighbourhoods and LCG-scattered words, all
+    /// saturated to the format (the span-kernel contract — at width 64 that
+    /// still includes the full `i64::MIN`/`i64::MAX` extremes).
+    fn probe_words(q: FixedFormat) -> Vec<i64> {
+        let mut words: Vec<i64> = [
+            0,
+            1,
+            -1,
+            q.one_raw(),
+            -q.one_raw(),
+            q.max_raw(),
+            q.min_raw(),
+            q.max_raw().saturating_sub(1),
+            q.min_raw().saturating_add(1),
+            i64::MAX,
+            i64::MIN,
+            i64::MIN + 1,
+        ]
+        .into_iter()
+        .map(|w| q.saturate(w))
+        .collect();
+        let mut s: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..104 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            words.push(q.saturate(s as i64));
+        }
+        words
+    }
+
+    #[test]
+    fn span_kernels_match_scalar_datapath_bitwise() {
+        use BinaryOp::*;
+        use UnaryOp::*;
+        // The satellite widths: byte, DSP-native, odd mid, past-f64-mantissa,
+        // and both full-rail extremes.
+        for (w, f) in [(8, 4), (18, 10), (31, 13), (54, 30), (63, 40), (64, 10), (8, 7), (64, 63)]
+        {
+            let q = FixedFormat::new(w, f);
+            let a = probe_words(q);
+            let mut b = probe_words(q);
+            b.rotate_left(7);
+            let mut dst = vec![0i64; a.len()];
+            for op in [Neg, Abs, Sqrt] {
+                q.unary_span(op, &a, &mut dst);
+                for (i, (&x, &d)) in a.iter().zip(&dst).enumerate() {
+                    assert_eq!(d, q.apply_unary(op, x), "{q} {op:?} lane {i} word {x}");
+                }
+            }
+            for op in [Add, Sub, Mul, Div, Min, Max, Lt, Le, Gt, Ge] {
+                q.binary_span(op, &a, &b, &mut dst);
+                for (i, ((&x, &y), &d)) in a.iter().zip(&b).zip(&dst).enumerate() {
+                    assert_eq!(
+                        d,
+                        q.apply_binary(op, x, y),
+                        "{q} {op:?} lane {i} words {x}, {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_operand_spans_match_scalar_datapath_bitwise() {
+        use BinaryOp::*;
+        // Whenever the const-operand kernel claims an (op, c) pair, its
+        // lanes must equal the scalar datapath exactly; the power-of-two
+        // hot path must actually engage for the convolution constants.
+        for (w, f) in [(8, 4), (18, 10), (31, 13), (54, 30), (63, 40), (64, 10), (8, 7)] {
+            let q = FixedFormat::new(w, f);
+            let a = probe_words(q);
+            let mut dst = vec![0i64; a.len()];
+            let consts = [
+                0,
+                1,
+                -1,
+                2,
+                3,
+                q.one_raw(),
+                q.saturate(q.one_raw() << 1),
+                q.saturate(q.one_raw() << 2),
+                q.quantize(16.0),
+                q.max_raw(),
+                q.min_raw(),
+            ];
+            for op in [Add, Sub, Mul, Div, Min, Max, Lt, Le, Gt, Ge] {
+                for c in consts {
+                    if !q.binary_span_const(op, &a, c, &mut dst) {
+                        continue;
+                    }
+                    for (i, (&x, &d)) in a.iter().zip(&dst).enumerate() {
+                        assert_eq!(
+                            d,
+                            q.apply_binary(op, x, c),
+                            "{q} {op:?} lane {i} word {x} const {c}"
+                        );
+                    }
+                }
+            }
+            // The point of the kernel: ×2 and ÷16 take the shift path in
+            // DSP-scale formats.
+            if q.width <= 32 && q.frac + 4 < q.width {
+                let sixteen = q.quantize(16.0);
+                assert!(q.binary_span_const(Mul, &a, q.saturate(q.one_raw() << 1), &mut dst));
+                assert!(q.binary_span_const(Div, &a, sixteen, &mut dst));
+            }
+        }
+    }
+
+    #[test]
+    fn division_lanes_are_exact_exhaustively() {
+        use BinaryOp::Div;
+        // Width 8 is small enough to check every raw operand pair: the f64
+        // fast path with remainder fixup and every const-divisor kernel
+        // (shift, negative power of two, reciprocal multiply, zero) must
+        // equal the i128 definition on all of them.
+        for frac in [1, 4, 7] {
+            let q = FixedFormat::new(8, frac);
+            let xs: Vec<i64> = (q.min_raw()..=q.max_raw()).collect();
+            let mut dst = vec![0i64; xs.len()];
+            for y in q.min_raw()..=q.max_raw() {
+                let ys = vec![y; xs.len()];
+                q.binary_span(Div, &xs, &ys, &mut dst);
+                for (&x, &d) in xs.iter().zip(&dst) {
+                    assert_eq!(d, q.apply_binary(Div, x, y), "{q} span {x}/{y}");
+                }
+                assert!(q.binary_span_const(Div, &xs, y, &mut dst));
+                for (&x, &d) in xs.iter().zip(&dst) {
+                    assert_eq!(d, q.apply_binary(Div, x, y), "{q} const {x}/{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_spans_match_scalar() {
+        for (w, f) in [(8, 4), (18, 10), (54, 30), (64, 10)] {
+            let q = FixedFormat::new(w, f);
+            let vals: Vec<f64> = vec![
+                0.0,
+                -0.0,
+                1.0,
+                -1.5,
+                1e300,
+                -1e300,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                q.max_value(),
+                q.min_value(),
+                0.3,
+            ];
+            let mut raw = vec![0i64; vals.len()];
+            q.quantize_span(&vals, &mut raw);
+            for (&v, &r) in vals.iter().zip(&raw) {
+                assert_eq!(r, q.quantize(v), "{q} at {v}");
+            }
+            let mut back = vec![0.0f64; raw.len()];
+            q.dequantize_span(&raw, &mut back);
+            for (&r, &v) in raw.iter().zip(&back) {
+                assert_eq!(v.to_bits(), q.dequantize(r).to_bits(), "{q} raw {r}");
+            }
         }
     }
 

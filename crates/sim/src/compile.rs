@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use isl_fpga::FixedFormat;
 use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Leaf, Node, NodeId, StencilPattern, UnaryOp};
 
 /// Index of an instruction (or, after slot allocation, of a value slot).
@@ -49,6 +50,30 @@ pub enum Instr {
     Select { c: Reg, t: Reg, e: Reg },
 }
 
+/// One instruction of a **quantised** program: the same shape as [`Instr`],
+/// but every value is a raw fixed-point word (`i64`) of one
+/// [`FixedFormat`], and every operation carries the hardware's
+/// rounding/saturation semantics
+/// ([`FixedFormat::apply_unary`]/[`FixedFormat::apply_binary`]) — resolved
+/// at **compile time** into the program variant, so the evaluators run
+/// branch-free saturating lane kernels with no per-op rounding dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are documented on the variants
+pub enum QInstr {
+    /// A literal raw word (constants and bound parameters, pre-quantised).
+    Const(i64),
+    /// Read field `field` at relative offset `(dx, dy)` (words are
+    /// quantised at frame load, so a read needs no conversion).
+    Input { field: u16, dx: i32, dy: i32 },
+    /// Fixed-point unary operation on register `a`.
+    Unary { op: UnaryOp, a: Reg },
+    /// Fixed-point binary operation on registers `a`, `b` (saturating
+    /// add/sub, truncating widened mul/div — the `isl_fpga` datapath).
+    Binary { op: BinaryOp, a: Reg, b: Reg },
+    /// `regs[c] != 0 ? regs[t] : regs[e]` on raw words.
+    Select { c: Reg, t: Reg, e: Reg },
+}
+
 /// Structural key used for common-subexpression elimination (constants are
 /// keyed by bit pattern so `-0.0`/`0.0` and NaNs are kept distinct).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +83,114 @@ enum Key {
     Unary(UnaryOp, Reg),
     Binary(BinaryOp, Reg, Reg),
     Select(Reg, Reg, Reg),
+}
+
+/// Operand access and operand rewriting, shared by the `f64` and quantised
+/// instruction sets so the compiler passes (dead-code elimination, kill-first
+/// scheduling, linear-scan slot allocation) are written once.
+trait Bytecode: Copy {
+    /// Write the operand registers (≤ 3, with multiplicity) into `out`,
+    /// returning how many there are.
+    fn operands(&self, out: &mut [Reg; 3]) -> usize;
+    /// The same instruction with every operand register rewritten.
+    fn remap(self, fix: impl Fn(Reg) -> Reg) -> Self;
+    /// The `(field, dx, dy)` of an input tap, if this is one (drives halo
+    /// and reach computation generically).
+    fn tap(&self) -> Option<(u16, i32, i32)>;
+}
+
+impl Bytecode for Instr {
+    fn operands(&self, out: &mut [Reg; 3]) -> usize {
+        match *self {
+            Instr::Const(_) | Instr::Input { .. } => 0,
+            Instr::Unary { a, .. } => {
+                out[0] = a;
+                1
+            }
+            Instr::Binary { a, b, .. } => {
+                out[0] = a;
+                out[1] = b;
+                2
+            }
+            Instr::Select { c, t, e } => {
+                out[0] = c;
+                out[1] = t;
+                out[2] = e;
+                3
+            }
+        }
+    }
+
+    fn remap(self, fix: impl Fn(Reg) -> Reg) -> Self {
+        match self {
+            Instr::Const(_) | Instr::Input { .. } => self,
+            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
+            Instr::Binary { op, a, b } => Instr::Binary {
+                op,
+                a: fix(a),
+                b: fix(b),
+            },
+            Instr::Select { c, t, e } => Instr::Select {
+                c: fix(c),
+                t: fix(t),
+                e: fix(e),
+            },
+        }
+    }
+
+    fn tap(&self) -> Option<(u16, i32, i32)> {
+        match *self {
+            Instr::Input { field, dx, dy } => Some((field, dx, dy)),
+            _ => None,
+        }
+    }
+}
+
+impl Bytecode for QInstr {
+    fn operands(&self, out: &mut [Reg; 3]) -> usize {
+        match *self {
+            QInstr::Const(_) | QInstr::Input { .. } => 0,
+            QInstr::Unary { a, .. } => {
+                out[0] = a;
+                1
+            }
+            QInstr::Binary { a, b, .. } => {
+                out[0] = a;
+                out[1] = b;
+                2
+            }
+            QInstr::Select { c, t, e } => {
+                out[0] = c;
+                out[1] = t;
+                out[2] = e;
+                3
+            }
+        }
+    }
+
+    fn remap(self, fix: impl Fn(Reg) -> Reg) -> Self {
+        match self {
+            QInstr::Const(_) | QInstr::Input { .. } => self,
+            QInstr::Unary { op, a } => QInstr::Unary { op, a: fix(a) },
+            QInstr::Binary { op, a, b } => QInstr::Binary {
+                op,
+                a: fix(a),
+                b: fix(b),
+            },
+            QInstr::Select { c, t, e } => QInstr::Select {
+                c: fix(c),
+                t: fix(t),
+                e: fix(e),
+            },
+        }
+    }
+
+    fn tap(&self) -> Option<(u16, i32, i32)> {
+        match *self {
+            QInstr::Input { field, dx, dy } => Some((field, dx, dy)),
+            _ => None,
+        }
+    }
 }
 
 /// Per-side halo of a kernel: how far reads reach beyond the centre element.
@@ -268,36 +401,32 @@ fn eliminate_dead_code(code: Vec<Instr>, result: Reg) -> (Vec<Instr>, Reg) {
 /// indices, the destination slot of each instruction, the result slots, and
 /// the total slot count (peak liveness).
 ///
+/// Allocation is **retiring**: a result does *not* pin its slot to the end
+/// of the program — its value is captured (streamed to its destination) the
+/// instant its defining instruction executes, so its slot frees at its last
+/// *consumer* like any other value. `results` therefore come back as `(slot,
+/// capture)` pairs, where `capture` is the index of the defining
+/// instruction: evaluators must read `slot` immediately after executing
+/// instruction `capture`, before any later instruction can reuse it. This
+/// is what lets wide cones (hundreds of outputs) run in a live set far
+/// below their output count.
+///
 /// An instruction's destination slot is always distinct from its operand
 /// slots (operands are live *at* the instruction, so their slots cannot be
 /// on the free list when the destination is assigned) — evaluators may rely
 /// on this for aliasing-free in-place execution.
-fn allocate_slots(
-    code: Vec<Instr>,
-    results: Vec<Reg>,
-) -> (Vec<Instr>, Vec<Reg>, Vec<Reg>, usize) {
+type SlotAllocation<I> = (Vec<I>, Vec<Reg>, Vec<(Reg, Reg)>, usize);
+
+fn allocate_slots<I: Bytecode>(code: Vec<I>, results: Vec<Reg>) -> SlotAllocation<I> {
     let n = code.len();
-    // Last consumer of each instruction's value (itself if never consumed);
-    // results stay live to the end.
+    // Last consumer of each instruction's value (itself if never consumed).
     let mut last_use: Vec<usize> = (0..n).collect();
+    let mut ops = [0 as Reg; 3];
     for (i, instr) in code.iter().enumerate() {
-        let mut touch = |r: Reg| last_use[r as usize] = i;
-        match *instr {
-            Instr::Const(_) | Instr::Input { .. } => {}
-            Instr::Unary { a, .. } => touch(a),
-            Instr::Binary { a, b, .. } => {
-                touch(a);
-                touch(b);
-            }
-            Instr::Select { c, t, e } => {
-                touch(c);
-                touch(t);
-                touch(e);
-            }
+        let k = instr.operands(&mut ops);
+        for &r in &ops[..k] {
+            last_use[r as usize] = i;
         }
-    }
-    for &r in &results {
-        last_use[r as usize] = usize::MAX;
     }
     let mut frees: Vec<Vec<Reg>> = vec![Vec::new(); n];
     for (r, &lu) in last_use.iter().enumerate() {
@@ -317,49 +446,16 @@ fn allocate_slots(
             free.push(slot_of[r as usize]);
         }
     }
-    let fix = |r: Reg| slot_of[r as usize];
     let code = code
         .into_iter()
-        .map(|instr| match instr {
-            Instr::Const(_) | Instr::Input { .. } => instr,
-            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
-            Instr::Binary { op, a, b } => Instr::Binary {
-                op,
-                a: fix(a),
-                b: fix(b),
-            },
-            Instr::Select { c, t, e } => Instr::Select {
-                c: fix(c),
-                t: fix(t),
-                e: fix(e),
-            },
-        })
+        .map(|instr| instr.remap(|r| slot_of[r as usize]))
         .collect();
     let dst = slot_of.clone();
-    let results = results.into_iter().map(fix).collect();
+    let results = results
+        .into_iter()
+        .map(|r| (slot_of[r as usize], r))
+        .collect();
     (code, dst, results, total as usize)
-}
-
-/// Operand registers of one instruction (≤ 3, with multiplicity).
-fn instr_operands(instr: Instr, out: &mut [Reg; 3]) -> usize {
-    match instr {
-        Instr::Const(_) | Instr::Input { .. } => 0,
-        Instr::Unary { a, .. } => {
-            out[0] = a;
-            1
-        }
-        Instr::Binary { a, b, .. } => {
-            out[0] = a;
-            out[1] = b;
-            2
-        }
-        Instr::Select { c, t, e } => {
-            out[0] = c;
-            out[1] = t;
-            out[2] = e;
-            3
-        }
-    }
 }
 
 /// Greedy consumer-clustering schedule: a list scheduler that, among the
@@ -374,26 +470,27 @@ fn instr_operands(instr: Instr, out: &mut [Reg; 3]) -> usize {
 /// bit-identical.
 ///
 /// Expects dead-code-free input (every instruction reachable from a result).
-fn schedule_for_locality(code: &[Instr], results: &[Reg]) -> (Vec<Instr>, Vec<Reg>) {
+///
+/// Results get no extra liveness credit here: under retiring allocation
+/// ([`allocate_slots`]) an output is captured at its defining instruction,
+/// so for scheduling purposes it dies at its last consumer like any other
+/// value.
+fn schedule_for_locality<I: Bytecode>(code: &[I], results: &[Reg]) -> (Vec<I>, Vec<Reg>) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let n = code.len();
-    // remaining[v]: unscheduled consumer slots of value v (+1 for results,
-    // which stay live to the end and are never killed).
+    // remaining[v]: unscheduled consumer slots of value v.
     let mut remaining: Vec<u32> = vec![0; n];
     let mut pending: Vec<u8> = vec![0; n]; // unscheduled operand slots of i
     let mut users: Vec<Vec<Reg>> = vec![Vec::new(); n];
     let mut ops = [0 as Reg; 3];
-    for (i, &instr) in code.iter().enumerate() {
-        let k = instr_operands(instr, &mut ops);
+    for (i, instr) in code.iter().enumerate() {
+        let k = instr.operands(&mut ops);
         pending[i] = k as u8;
         for &op in &ops[..k] {
             remaining[op as usize] += 1;
             users[op as usize].push(i as Reg);
         }
-    }
-    for &r in results {
-        remaining[r as usize] += 1;
     }
     // kills(i): distinct operands whose remaining count equals their
     // multiplicity in i — scheduling i is their last use. Monotone
@@ -401,7 +498,7 @@ fn schedule_for_locality(code: &[Instr], results: &[Reg]) -> (Vec<Instr>, Vec<Re
     // heap entries are safely superseded by re-pushes.
     let kills = |i: usize, remaining: &[u32]| -> u8 {
         let mut ops = [0 as Reg; 3];
-        let k = instr_operands(code[i], &mut ops);
+        let k = code[i].operands(&mut ops);
         let mut score = 0u8;
         for j in 0..k {
             if ops[..j].contains(&ops[j]) {
@@ -434,7 +531,7 @@ fn schedule_for_locality(code: &[Instr], results: &[Reg]) -> (Vec<Instr>, Vec<Re
         }
         scheduled[i] = true;
         order.push(i as Reg);
-        let k = instr_operands(code[i], &mut ops);
+        let k = code[i].operands(&mut ops);
         for &op in &ops[..k] {
             remaining[op as usize] -= 1;
             // A consumer's kill score can only flip once its operand is
@@ -461,52 +558,29 @@ fn schedule_for_locality(code: &[Instr], results: &[Reg]) -> (Vec<Instr>, Vec<Re
     for (new, &old) in order.iter().enumerate() {
         remap[old as usize] = new as Reg;
     }
-    let fix = |r: Reg| remap[r as usize];
-    let mut out = vec![Instr::Const(0.0); n];
-    for &old in &order {
-        let mapped = match code[old as usize] {
-            i @ (Instr::Const(_) | Instr::Input { .. }) => i,
-            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
-            Instr::Binary { op, a, b } => Instr::Binary {
-                op,
-                a: fix(a),
-                b: fix(b),
-            },
-            Instr::Select { c, t, e } => Instr::Select {
-                c: fix(c),
-                t: fix(t),
-                e: fix(e),
-            },
-        };
-        out[remap[old as usize] as usize] = mapped;
-    }
-    let results = results.iter().map(|&r| fix(r)).collect();
+    let out = order
+        .iter()
+        .map(|&old| code[old as usize].remap(|r| remap[r as usize]))
+        .collect();
+    let results = results.iter().map(|&r| remap[r as usize]).collect();
     (out, results)
 }
 
 /// Multi-root dead-code elimination: drop instructions unreachable from any
 /// of `results`, remapping operand registers and the results themselves.
-fn eliminate_dead_code_multi(code: Vec<Instr>, results: Vec<Reg>) -> (Vec<Instr>, Vec<Reg>) {
+fn eliminate_dead_code_multi<I: Bytecode>(code: Vec<I>, results: Vec<Reg>) -> (Vec<I>, Vec<Reg>) {
     let mut live = vec![false; code.len()];
     for &r in &results {
         live[r as usize] = true;
     }
+    let mut ops = [0 as Reg; 3];
     for (i, instr) in code.iter().enumerate().rev() {
         if !live[i] {
             continue;
         }
-        match *instr {
-            Instr::Const(_) | Instr::Input { .. } => {}
-            Instr::Unary { a, .. } => live[a as usize] = true,
-            Instr::Binary { a, b, .. } => {
-                live[a as usize] = true;
-                live[b as usize] = true;
-            }
-            Instr::Select { c, t, e } => {
-                live[c as usize] = true;
-                live[t as usize] = true;
-                live[e as usize] = true;
-            }
+        let k = instr.operands(&mut ops);
+        for &r in &ops[..k] {
+            live[r as usize] = true;
         }
     }
     let mut remap = vec![0 as Reg; code.len()];
@@ -515,26 +589,95 @@ fn eliminate_dead_code_multi(code: Vec<Instr>, results: Vec<Reg>) -> (Vec<Instr>
         if !live[i] {
             continue;
         }
-        let fix = |r: Reg| remap[r as usize];
-        let mapped = match instr {
-            Instr::Const(_) | Instr::Input { .. } => instr,
-            Instr::Unary { op, a } => Instr::Unary { op, a: fix(a) },
-            Instr::Binary { op, a, b } => Instr::Binary {
-                op,
-                a: fix(a),
-                b: fix(b),
-            },
-            Instr::Select { c, t, e } => Instr::Select {
-                c: fix(c),
-                t: fix(t),
-                e: fix(e),
-            },
-        };
+        let mapped = instr.remap(|r| remap[r as usize]);
         remap[i] = out.len() as Reg;
         out.push(mapped);
     }
     let results = results.into_iter().map(|r| remap[r as usize]).collect();
     (out, results)
+}
+
+/// Quantise a fold-free `f64` program into a [`QInstr`] program of one
+/// [`FixedFormat`]: constants and bound parameters become raw words
+/// ([`FixedFormat::quantize`]), operations become their fixed-point
+/// counterparts, constant subexpressions are folded **with the fixed-point
+/// operations themselves** (compile-time evaluation is bit-identical to
+/// runtime evaluation — both are `FixedFormat::apply_*`), selects on
+/// constant conditions take the lazy branch like the interpreter, and
+/// common subexpressions are re-interned on raw words (distinct `f64`
+/// constants can collapse onto one word). Finishes with multi-root
+/// dead-code elimination.
+fn quantize_code(
+    code: &[Instr],
+    results: &[Reg],
+    fmt: FixedFormat,
+) -> (Vec<QInstr>, Vec<Reg>) {
+    #[derive(PartialEq, Eq, Hash)]
+    enum QKey {
+        Const(i64),
+        Input(u16, i32, i32),
+        Unary(UnaryOp, Reg),
+        Binary(BinaryOp, Reg, Reg),
+        Select(Reg, Reg, Reg),
+    }
+    let mut out: Vec<QInstr> = Vec::with_capacity(code.len());
+    let mut cse: HashMap<QKey, Reg> = HashMap::new();
+    // map[i]: the quantised register holding f64 instruction i's value.
+    let mut map: Vec<Reg> = vec![0; code.len()];
+    for (i, instr) in code.iter().enumerate() {
+        let const_of = |r: Reg, out: &[QInstr]| match out[r as usize] {
+            QInstr::Const(v) => Some(v),
+            _ => None,
+        };
+        let (key, qi) = match *instr {
+            Instr::Const(v) => {
+                let w = fmt.quantize(v);
+                (QKey::Const(w), QInstr::Const(w))
+            }
+            Instr::Input { field, dx, dy } => (
+                QKey::Input(field, dx, dy),
+                QInstr::Input { field, dx, dy },
+            ),
+            Instr::Unary { op, a } => {
+                let a = map[a as usize];
+                match const_of(a, &out) {
+                    Some(ca) => {
+                        let w = fmt.apply_unary(op, ca);
+                        (QKey::Const(w), QInstr::Const(w))
+                    }
+                    None => (QKey::Unary(op, a), QInstr::Unary { op, a }),
+                }
+            }
+            Instr::Binary { op, a, b } => {
+                let (a, b) = (map[a as usize], map[b as usize]);
+                match (const_of(a, &out), const_of(b, &out)) {
+                    (Some(ca), Some(cb)) => {
+                        let w = fmt.apply_binary(op, ca, cb);
+                        (QKey::Const(w), QInstr::Const(w))
+                    }
+                    _ => (QKey::Binary(op, a, b), QInstr::Binary { op, a, b }),
+                }
+            }
+            Instr::Select { c, t, e } => {
+                let (c, t, e) = (map[c as usize], map[t as usize], map[e as usize]);
+                match const_of(c, &out) {
+                    // Mirror the interpreter's lazy branch choice.
+                    Some(cc) => {
+                        map[i] = if cc != 0 { t } else { e };
+                        continue;
+                    }
+                    None => (QKey::Select(c, t, e), QInstr::Select { c, t, e }),
+                }
+            }
+        };
+        map[i] = *cse.entry(key).or_insert_with(|| {
+            let r = Reg::try_from(out.len()).expect("program exceeds u32 registers");
+            out.push(qi);
+            r
+        });
+    }
+    let results = results.iter().map(|&r| map[r as usize]).collect();
+    eliminate_dead_code_multi(out, results)
 }
 
 /// The compiled programs of every dynamic field of one pattern, with one
@@ -592,7 +735,7 @@ impl CompiledPattern {
 
 /// One output element of a [`CompiledCone`] program: `field` at window-local
 /// `(px, py)`, produced in slot `reg`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConeSlot {
     /// Dynamic field produced.
     pub field: u16,
@@ -648,9 +791,151 @@ pub struct CompiledCone {
     /// Destination slot of each instruction (parallel to `code`).
     pub(crate) dst: Vec<Reg>,
     pub(crate) outputs: Vec<ConeSlot>,
+    pub(crate) capture: Vec<Reg>,
+    pub(crate) retire: Vec<u32>,
     slots: usize,
     slots_unscheduled: usize,
     reach: Reach,
+}
+
+/// Everything [`finish_cone`] produces for one lowered cone program —
+/// shared between the `f64` and quantised cone compilers.
+struct ConeParts<I> {
+    code: Vec<I>,
+    dst: Vec<Reg>,
+    outputs: Vec<ConeSlot>,
+    capture: Vec<Reg>,
+    retire: Vec<u32>,
+    slots: usize,
+    slots_unscheduled: usize,
+    reach: Reach,
+}
+
+/// Walk `cone`'s hash-consed graph and lower every node reachable from an
+/// output into SSA bytecode (instruction `i` writes register `i`), with
+/// parameters bound, CSE across the whole cone and — when `fold` is set —
+/// constant subexpressions evaluated at compile time. Returns the dead-code-
+/// free program and one result register per cone output.
+fn lower_cone(cone: &Cone, params: &[f64], fold: bool) -> (Vec<Instr>, Vec<Reg>) {
+    let graph = cone.graph();
+    let roots: Vec<NodeId> = cone.outputs().iter().map(|o| o.node).collect();
+    let mask = graph.reachable(&roots);
+    let mut b = Builder {
+        params,
+        fold,
+        code: Vec::new(),
+        cse: HashMap::new(),
+    };
+    // NodeIds are dense and topologically ordered, so one forward pass
+    // sees every operand before its users.
+    let mut regs: Vec<Option<Reg>> = vec![None; graph.len()];
+    let reg_of = |regs: &[Option<Reg>], id: NodeId| -> Reg {
+        regs[id.index()].expect("graph ids are topologically ordered")
+    };
+    for (id, node) in graph.nodes() {
+        if !mask[id.index()] {
+            continue;
+        }
+        let r = match node {
+            Node::Leaf(Leaf::Input { field, point })
+            | Node::Leaf(Leaf::Static { field, point }) => {
+                assert!(point.z == 0, "the compiled cone engine supports rank 1 and 2 only");
+                let f = u16::try_from(field.index()).expect("field id fits u16");
+                b.input(f, point.x, point.y)
+            }
+            Node::Leaf(Leaf::Const(c)) => b.constant(c.value()),
+            Node::Leaf(Leaf::Param(p)) => b.constant(params[p.index()]),
+            Node::Unary { op, arg } => {
+                let a = reg_of(&regs, *arg);
+                b.unary(*op, a)
+            }
+            Node::Binary { op, lhs, rhs } => {
+                let (a, bb) = (reg_of(&regs, *lhs), reg_of(&regs, *rhs));
+                b.binary(*op, a, bb)
+            }
+            Node::Select { cond, then_, else_ } => {
+                let (c, t, e) = (
+                    reg_of(&regs, *cond),
+                    reg_of(&regs, *then_),
+                    reg_of(&regs, *else_),
+                );
+                b.select(c, t, e)
+            }
+        };
+        regs[id.index()] = Some(r);
+    }
+    let result_regs: Vec<Reg> = cone
+        .outputs()
+        .iter()
+        .map(|o| reg_of(&regs, o.node))
+        .collect();
+    eliminate_dead_code_multi(b.code, result_regs)
+}
+
+/// Schedule, slot-allocate and package one lowered cone program. Runs the
+/// kill-first scheduling pre-pass, keeps whichever order allocates fewer
+/// slots, and derives the capture points and retirement order of the
+/// outputs plus the program's coordinate reach.
+fn finish_cone<I: Bytecode>(code: Vec<I>, result_regs: Vec<Reg>, cone: &Cone) -> ConeParts<I> {
+    // Scheduling pre-pass: greedy consumer clustering (depth-first from
+    // the outputs) shortens live ranges before linear-scan allocation.
+    // Keep whichever order needs fewer slots — clustering wins on wide
+    // cones whose level-interleaved order keeps whole levels live.
+    let (sched_code, sched_results) = schedule_for_locality(&code, &result_regs);
+    let (lin_code, lin_dst, lin_results, lin_slots) = allocate_slots(code, result_regs);
+    let (s_code, s_dst, s_results, s_slots) = allocate_slots(sched_code, sched_results);
+    let slots_unscheduled = lin_slots;
+    let (code, dst, result_regs, slots) = if s_slots < lin_slots {
+        (s_code, s_dst, s_results, s_slots)
+    } else {
+        (lin_code, lin_dst, lin_results, lin_slots)
+    };
+    let outputs: Vec<ConeSlot> = cone
+        .outputs()
+        .iter()
+        .zip(&result_regs)
+        .map(|(o, &(reg, _))| ConeSlot {
+            field: u16::try_from(o.field.index()).expect("field id fits u16"),
+            px: o.point.x,
+            py: o.point.y,
+            reg,
+        })
+        .collect();
+    let capture: Vec<Reg> = result_regs.iter().map(|&(_, c)| c).collect();
+    let mut retire: Vec<u32> = (0..outputs.len() as u32).collect();
+    retire.sort_by_key(|&k| capture[k as usize]);
+    // Reach: every tap plus every output point, so interior tiles can
+    // skip both read and write bounds handling.
+    let mut reach = Reach {
+        min_dx: 0,
+        max_dx: 0,
+        min_dy: 0,
+        max_dy: 0,
+    };
+    let mut touch = |x: i32, y: i32| {
+        reach.min_dx = reach.min_dx.min(x);
+        reach.max_dx = reach.max_dx.max(x);
+        reach.min_dy = reach.min_dy.min(y);
+        reach.max_dy = reach.max_dy.max(y);
+    };
+    for instr in &code {
+        if let Some((_, dx, dy)) = instr.tap() {
+            touch(dx, dy);
+        }
+    }
+    for o in &outputs {
+        touch(o.px, o.py);
+    }
+    ConeParts {
+        code,
+        dst,
+        outputs,
+        capture,
+        retire,
+        slots,
+        slots_unscheduled,
+        reach,
+    }
 }
 
 impl CompiledCone {
@@ -675,112 +960,17 @@ impl CompiledCone {
     ///
     /// Same as [`CompiledCone::compile`].
     pub fn compile_with(cone: &Cone, params: &[f64], fold: bool) -> Self {
-        let graph = cone.graph();
-        let roots: Vec<NodeId> = cone.outputs().iter().map(|o| o.node).collect();
-        let mask = graph.reachable(&roots);
-        let mut b = Builder {
-            params,
-            fold,
-            code: Vec::new(),
-            cse: HashMap::new(),
-        };
-        // NodeIds are dense and topologically ordered, so one forward pass
-        // sees every operand before its users.
-        let mut regs: Vec<Option<Reg>> = vec![None; graph.len()];
-        let reg_of = |regs: &[Option<Reg>], id: NodeId| -> Reg {
-            regs[id.index()].expect("graph ids are topologically ordered")
-        };
-        for (id, node) in graph.nodes() {
-            if !mask[id.index()] {
-                continue;
-            }
-            let r = match node {
-                Node::Leaf(Leaf::Input { field, point })
-                | Node::Leaf(Leaf::Static { field, point }) => {
-                    assert!(point.z == 0, "the compiled cone engine supports rank 1 and 2 only");
-                    let f = u16::try_from(field.index()).expect("field id fits u16");
-                    b.input(f, point.x, point.y)
-                }
-                Node::Leaf(Leaf::Const(c)) => b.constant(c.value()),
-                Node::Leaf(Leaf::Param(p)) => b.constant(params[p.index()]),
-                Node::Unary { op, arg } => {
-                    let a = reg_of(&regs, *arg);
-                    b.unary(*op, a)
-                }
-                Node::Binary { op, lhs, rhs } => {
-                    let (a, bb) = (reg_of(&regs, *lhs), reg_of(&regs, *rhs));
-                    b.binary(*op, a, bb)
-                }
-                Node::Select { cond, then_, else_ } => {
-                    let (c, t, e) = (
-                        reg_of(&regs, *cond),
-                        reg_of(&regs, *then_),
-                        reg_of(&regs, *else_),
-                    );
-                    b.select(c, t, e)
-                }
-            };
-            regs[id.index()] = Some(r);
-        }
-        let result_regs: Vec<Reg> = cone
-            .outputs()
-            .iter()
-            .map(|o| reg_of(&regs, o.node))
-            .collect();
-        let (code, result_regs) = eliminate_dead_code_multi(b.code, result_regs);
-        // Scheduling pre-pass: greedy consumer clustering (depth-first from
-        // the outputs) shortens live ranges before linear-scan allocation.
-        // Keep whichever order needs fewer slots — clustering wins on wide
-        // cones whose level-interleaved order keeps whole levels live.
-        let (sched_code, sched_results) = schedule_for_locality(&code, &result_regs);
-        let (lin_code, lin_dst, lin_results, lin_slots) = allocate_slots(code, result_regs);
-        let (s_code, s_dst, s_results, s_slots) = allocate_slots(sched_code, sched_results);
-        let slots_unscheduled = lin_slots;
-        let (code, dst, result_regs, slots) = if s_slots < lin_slots {
-            (s_code, s_dst, s_results, s_slots)
-        } else {
-            (lin_code, lin_dst, lin_results, lin_slots)
-        };
-        let outputs: Vec<ConeSlot> = cone
-            .outputs()
-            .iter()
-            .zip(result_regs)
-            .map(|(o, reg)| ConeSlot {
-                field: u16::try_from(o.field.index()).expect("field id fits u16"),
-                px: o.point.x,
-                py: o.point.y,
-                reg,
-            })
-            .collect();
-        // Reach: every tap plus every output point, so interior tiles can
-        // skip both read and write bounds handling.
-        let mut reach = Reach {
-            min_dx: 0,
-            max_dx: 0,
-            min_dy: 0,
-            max_dy: 0,
-        };
-        let mut touch = |x: i32, y: i32| {
-            reach.min_dx = reach.min_dx.min(x);
-            reach.max_dx = reach.max_dx.max(x);
-            reach.min_dy = reach.min_dy.min(y);
-            reach.max_dy = reach.max_dy.max(y);
-        };
-        for instr in &code {
-            if let Instr::Input { dx, dy, .. } = *instr {
-                touch(dx, dy);
-            }
-        }
-        for o in &outputs {
-            touch(o.px, o.py);
-        }
+        let (code, result_regs) = lower_cone(cone, params, fold);
+        let p = finish_cone(code, result_regs, cone);
         CompiledCone {
-            code,
-            dst,
-            outputs,
-            slots,
-            slots_unscheduled,
-            reach,
+            code: p.code,
+            dst: p.dst,
+            outputs: p.outputs,
+            capture: p.capture,
+            retire: p.retire,
+            slots: p.slots,
+            slots_unscheduled: p.slots_unscheduled,
+            reach: p.reach,
         }
     }
 
@@ -806,9 +996,30 @@ impl CompiledCone {
         &self.dst
     }
 
-    /// The output elements and the slots holding them.
+    /// The output elements and the slots holding them **at their capture
+    /// points** (see [`CompiledCone::capture`]).
     pub fn outputs(&self) -> &[ConeSlot] {
         &self.outputs
+    }
+
+    /// Capture point of each output (parallel to
+    /// [`CompiledCone::outputs`]): the index of the instruction that
+    /// defines output `k`'s value. Slot allocation is **retiring** —
+    /// outputs do not pin their slots to the end of the pass — so an
+    /// evaluator must read `outputs()[k].reg` immediately after executing
+    /// instruction `capture()[k]`, before a later instruction reuses the
+    /// slot. Walking [`CompiledCone::retire`] alongside the instruction
+    /// stream does this with one comparison per instruction.
+    pub fn capture(&self) -> &[Reg] {
+        &self.capture
+    }
+
+    /// Output indices sorted by capture point: as the evaluator executes
+    /// instruction `i`, every output `k` at the front of this list with
+    /// `capture()[k] == i` retires (is streamed to its destination) before
+    /// the next instruction runs.
+    pub fn retire(&self) -> &[u32] {
+        &self.retire
     }
 
     /// Number of instructions in the flattened program.
@@ -833,6 +1044,353 @@ impl CompiledCone {
             .iter()
             .filter(|i| matches!(i, Instr::Input { .. }))
             .count()
+    }
+
+    /// The signed coordinate reach of the program around its tile origin.
+    pub fn reach(&self) -> Reach {
+        self.reach
+    }
+}
+
+/// The compiled **quantised** update program of one dynamic field: a
+/// [`QInstr`] buffer over raw `i64` words of one [`FixedFormat`], with the
+/// rounding/saturation rule fused into the instructions at compile time.
+///
+/// Built from the fold-free `f64` lowering of the update expression (every
+/// intermediate of the reference tree exists and receives the hardware's
+/// per-operation rounding), then constant-folded **in the fixed-point
+/// domain** — safe precisely because compile-time evaluation uses the same
+/// `FixedFormat::apply_*` functions the evaluator would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedKernel {
+    pub(crate) code: Vec<QInstr>,
+    pub(crate) result: Reg,
+    halo: Halo,
+    fmt: FixedFormat,
+}
+
+impl QuantizedKernel {
+    /// Quantise `expr`'s fold-free lowering into a `fmt` program.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledKernel::compile`].
+    pub fn compile(expr: &Expr, params: &[f64], fmt: FixedFormat) -> Self {
+        let k = CompiledKernel::compile(expr, params, false);
+        let (code, results) = quantize_code(&k.code, &[k.result], fmt);
+        let result = results[0];
+        let halo = quantized_halo(&code);
+        QuantizedKernel {
+            code,
+            result,
+            halo,
+            fmt,
+        }
+    }
+
+    /// Number of instructions in the flattened program.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (never: even a constant emits one
+    /// instruction).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The per-side read reach of this kernel.
+    pub fn halo(&self) -> Halo {
+        self.halo
+    }
+
+    /// The fixed-point format fused into the program.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// The instruction buffer; instruction `i` writes register `i`.
+    pub fn code(&self) -> &[QInstr] {
+        &self.code
+    }
+
+    /// Register holding the kernel's result.
+    pub fn result(&self) -> Reg {
+        self.result
+    }
+}
+
+/// The per-side read reach of a quantised program.
+fn quantized_halo(code: &[QInstr]) -> Halo {
+    let mut halo = Halo::default();
+    for instr in code {
+        if let Some((_, dx, dy)) = instr.tap() {
+            halo.left = halo.left.max(dx.unsigned_abs() * u32::from(dx < 0));
+            halo.right = halo.right.max(dx.unsigned_abs() * u32::from(dx > 0));
+            halo.up = halo.up.max(dy.unsigned_abs() * u32::from(dy < 0));
+            halo.down = halo.down.max(dy.unsigned_abs() * u32::from(dy > 0));
+        }
+    }
+    halo
+}
+
+/// **All** dynamic-field updates of one pattern lowered into a single
+/// fold-free quantised program with cross-field common-subexpression
+/// elimination — the multi-output counterpart of [`QuantizedKernel`].
+///
+/// Field updates of one stencil routinely share work: gradients, norms and
+/// parameter quotients appear in every component's update (Chambolle's `px`
+/// and `py` kernels share the divergence, both gradient taps, the norm's
+/// `sqrt` and all three `÷λ` divides). Lowering every update through one
+/// hash-consing builder dedupes those subexpressions, so the whole-frame
+/// engine evaluates them once per pixel instead of once per field.
+///
+/// Bit-identical to evaluating each field's [`QuantizedKernel`] separately:
+/// CSE only merges *exactly equal* operations on *exactly equal* operands,
+/// and every instruction applies the same `FixedFormat` rounding either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedStep {
+    pub(crate) code: Vec<QInstr>,
+    /// `(field index, result register)` of every dynamic field, in field
+    /// order.
+    pub(crate) outputs: Vec<(u16, Reg)>,
+    halo: Halo,
+    fmt: FixedFormat,
+}
+
+impl QuantizedStep {
+    /// Lower every dynamic update of `pattern` fold-free into one program,
+    /// quantise into `fmt` with all result registers as roots.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledPattern::compile`].
+    pub fn compile(pattern: &StencilPattern, params: &[f64], fmt: FixedFormat) -> Self {
+        let mut b = Builder {
+            params,
+            fold: false,
+            code: Vec::new(),
+            cse: HashMap::new(),
+        };
+        let mut fields = Vec::new();
+        let mut roots = Vec::new();
+        for (i, decl) in pattern.fields().iter().enumerate() {
+            if matches!(decl.kind, FieldKind::Dynamic) {
+                let update = pattern
+                    .update(isl_ir::FieldId::new(i as u16))
+                    .expect("validated pattern has updates for dynamic fields");
+                fields.push(i as u16);
+                roots.push(b.lower(update));
+            }
+        }
+        let (code, results) = quantize_code(&b.code, &roots, fmt);
+        let halo = quantized_halo(&code);
+        QuantizedStep {
+            code,
+            outputs: fields.into_iter().zip(results).collect(),
+            halo,
+            fmt,
+        }
+    }
+
+    /// Number of instructions in the fused program.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (only for patterns with no dynamic
+    /// fields, which validation rejects).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The per-side read reach across all fused updates.
+    pub fn halo(&self) -> Halo {
+        self.halo
+    }
+
+    /// The fixed-point format fused into the program.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// The instruction buffer; instruction `i` writes register `i`.
+    pub fn code(&self) -> &[QInstr] {
+        &self.code
+    }
+
+    /// `(field index, result register)` per dynamic field, in field order.
+    pub fn outputs(&self) -> &[(u16, Reg)] {
+        &self.outputs
+    }
+}
+
+/// The compiled quantised programs of every dynamic field of one pattern —
+/// the fixed-point counterpart of [`CompiledPattern`], with the
+/// [`FixedFormat`] carried by the program itself so a mismatched quantiser
+/// between compile time and run time is unrepresentable.
+///
+/// Carries both views of the same step: per-field [`QuantizedKernel`]s
+/// (what the tiled engine evaluates level by level) and the fused
+/// cross-field [`QuantizedStep`] (what the whole-frame engine evaluates
+/// once per pixel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedPattern {
+    kernels: Vec<Option<QuantizedKernel>>,
+    fused: QuantizedStep,
+    fmt: FixedFormat,
+}
+
+impl QuantizedPattern {
+    /// Compile every dynamic field's update of `pattern` into `fmt`
+    /// programs with `params` bound.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledPattern::compile`].
+    pub fn compile(pattern: &StencilPattern, params: &[f64], fmt: FixedFormat) -> Self {
+        let kernels = pattern
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| match decl.kind {
+                FieldKind::Static => None,
+                FieldKind::Dynamic => {
+                    let update = pattern
+                        .update(isl_ir::FieldId::new(i as u16))
+                        .expect("validated pattern has updates for dynamic fields");
+                    Some(QuantizedKernel::compile(update, params, fmt))
+                }
+            })
+            .collect();
+        let fused = QuantizedStep::compile(pattern, params, fmt);
+        QuantizedPattern { kernels, fused, fmt }
+    }
+
+    /// The kernel of field `i`, or `None` for static fields.
+    pub fn kernel(&self, i: usize) -> Option<&QuantizedKernel> {
+        self.kernels.get(i).and_then(|k| k.as_ref())
+    }
+
+    /// The fused multi-output program over all dynamic fields.
+    pub fn fused(&self) -> &QuantizedStep {
+        &self.fused
+    }
+
+    /// Number of fields (dynamic and static) the program covers.
+    pub fn field_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The fixed-point format fused into the programs.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// Total instructions across all dynamic fields.
+    pub fn total_instructions(&self) -> usize {
+        self.kernels
+            .iter()
+            .flatten()
+            .map(QuantizedKernel::len)
+            .sum()
+    }
+}
+
+/// A whole cone level lowered to one flat **quantised** bytecode program —
+/// the fixed-point counterpart of [`CompiledCone`], over raw `i64` words of
+/// one [`FixedFormat`] with rounding fused at compile time, slot-allocated
+/// with the same retiring discipline (outputs captured at their defining
+/// instructions, see [`CompiledCone::capture`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedCone {
+    pub(crate) code: Vec<QInstr>,
+    /// Destination slot of each instruction (parallel to `code`).
+    pub(crate) dst: Vec<Reg>,
+    pub(crate) outputs: Vec<ConeSlot>,
+    pub(crate) capture: Vec<Reg>,
+    pub(crate) retire: Vec<u32>,
+    slots: usize,
+    fmt: FixedFormat,
+    reach: Reach,
+}
+
+impl QuantizedCone {
+    /// Lower `cone` fold-free (every graph operation node — the exact set
+    /// the VHDL backend registers — survives as one instruction), quantise
+    /// into `fmt`, schedule and slot-allocate.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledCone::compile`].
+    pub fn compile(cone: &Cone, params: &[f64], fmt: FixedFormat) -> Self {
+        let (code, result_regs) = lower_cone(cone, params, false);
+        let (qcode, qresults) = quantize_code(&code, &result_regs, fmt);
+        let p = finish_cone(qcode, qresults, cone);
+        QuantizedCone {
+            code: p.code,
+            dst: p.dst,
+            outputs: p.outputs,
+            capture: p.capture,
+            retire: p.retire,
+            slots: p.slots,
+            fmt,
+            reach: p.reach,
+        }
+    }
+
+    /// Number of value slots the evaluator needs (peak live registers).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The instruction buffer; instruction `i` writes slot `dst()[i]`.
+    pub fn code(&self) -> &[QInstr] {
+        &self.code
+    }
+
+    /// Destination slot of each instruction (parallel to
+    /// [`QuantizedCone::code`]).
+    pub fn dst(&self) -> &[Reg] {
+        &self.dst
+    }
+
+    /// The output elements and the slots holding them at their capture
+    /// points.
+    pub fn outputs(&self) -> &[ConeSlot] {
+        &self.outputs
+    }
+
+    /// Capture point of each output — see [`CompiledCone::capture`].
+    pub fn capture(&self) -> &[Reg] {
+        &self.capture
+    }
+
+    /// Output indices sorted by capture point — see
+    /// [`CompiledCone::retire`].
+    pub fn retire(&self) -> &[u32] {
+        &self.retire
+    }
+
+    /// The fixed-point format fused into the program.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// Number of instructions in the flattened program.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty (never: every output emits at least
+    /// one instruction).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Number of output elements (`dynamic fields × window area`).
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
     }
 
     /// The signed coordinate reach of the program around its tile origin.
@@ -874,6 +1432,8 @@ impl ProgramKey {
 struct ProgramCacheInner {
     patterns: Mutex<HashMap<ProgramKey, Arc<CompiledPattern>>>,
     cones: Mutex<HashMap<ProgramKey, Arc<CompiledCone>>>,
+    qpatterns: Mutex<HashMap<(ProgramKey, FixedFormat), Arc<QuantizedPattern>>>,
+    qcones: Mutex<HashMap<(ProgramKey, FixedFormat), Arc<QuantizedCone>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -943,6 +1503,48 @@ impl ProgramCache {
         Arc::clone(map.entry(key).or_insert(built))
     }
 
+    /// The quantised whole-pattern program of `(pattern, params, fmt)` —
+    /// served from the cache or compiled (outside the lock) and stored.
+    /// Quantised programs always lower fold-free, so `fold` is not part of
+    /// the identity; the fixed-point format is.
+    pub fn quantized_pattern_program(
+        &self,
+        pattern: &StencilPattern,
+        params: &[f64],
+        fmt: FixedFormat,
+    ) -> Arc<QuantizedPattern> {
+        let key = (ProgramKey::of(pattern, params, false, None), fmt);
+        if let Some(hit) = self.inner.qpatterns.lock().expect("program cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(QuantizedPattern::compile(pattern, params, fmt));
+        let mut map = self.inner.qpatterns.lock().expect("program cache");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// The quantised cone program of `(pattern, cone shape, params, fmt)` —
+    /// served from the cache or lowered (outside the lock) and stored.
+    /// Same contract as [`ProgramCache::cone_program`].
+    pub fn quantized_cone_program(
+        &self,
+        pattern: &StencilPattern,
+        cone: &Cone,
+        params: &[f64],
+        fmt: FixedFormat,
+    ) -> Arc<QuantizedCone> {
+        let key = (ProgramKey::of(pattern, params, false, Some(cone)), fmt);
+        if let Some(hit) = self.inner.qcones.lock().expect("program cache").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(QuantizedCone::compile(cone, params, fmt));
+        let mut map = self.inner.qcones.lock().expect("program cache");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
     /// Snapshot the hit/miss counters (pattern and cone programs combined).
     pub fn stats(&self) -> isl_ir::CacheStats {
         isl_ir::CacheStats {
@@ -955,6 +1557,8 @@ impl ProgramCache {
     pub fn len(&self) -> usize {
         self.inner.patterns.lock().expect("program cache").len()
             + self.inner.cones.lock().expect("program cache").len()
+            + self.inner.qpatterns.lock().expect("program cache").len()
+            + self.inner.qcones.lock().expect("program cache").len()
     }
 
     /// Whether no program has been cached yet.
@@ -1092,8 +1696,12 @@ mod tests {
         };
         let want = cone.eval(read, &[]);
         // Evaluate the program by hand with the same read function
-        // (operands and destinations name allocated slots).
+        // (operands and destinations name allocated slots). Allocation is
+        // retiring, so each output must be captured the moment its defining
+        // instruction executes — walking the capture-sorted retire list.
         let mut regs = vec![0.0; cc.slots()];
+        let mut outs = vec![0.0; cc.outputs.len()];
+        let mut next = 0usize;
         for (i, instr) in cc.code.iter().enumerate() {
             regs[cc.dst[i] as usize] = match *instr {
                 Instr::Const(v) => v,
@@ -1110,12 +1718,17 @@ mod tests {
                     }
                 }
             };
+            while next < cc.retire.len() && cc.capture[cc.retire[next] as usize] as usize == i {
+                let k = cc.retire[next] as usize;
+                outs[k] = regs[cc.outputs[k].reg as usize];
+                next += 1;
+            }
         }
+        assert_eq!(next, cc.outputs.len(), "every output must retire");
         assert_eq!(cc.outputs.len(), want.len());
-        for (slot, (wf, wp, wv)) in cc.outputs.iter().zip(&want) {
+        for ((slot, &got), (wf, wp, wv)) in cc.outputs.iter().zip(&outs).zip(&want) {
             assert_eq!(slot.field as usize, wf.index());
             assert_eq!((slot.px, slot.py), (wp.x, wp.y));
-            let got = regs[slot.reg as usize];
             assert_eq!(got.to_bits(), wv.to_bits(), "({},{})", wp.x, wp.y);
         }
     }
@@ -1139,16 +1752,35 @@ mod tests {
             .unwrap();
         let cone = Cone::build(&p, Window::square(8), 2).unwrap();
         let cc = CompiledCone::compile(&cone, &[]);
-        assert!(cc.slots() <= cc.slots_unscheduled());
+        // The compiler must never pick a worse order than the lowering order.
+        // (Retiring allocation already frees an output's slot at its capture
+        // point, which removes most of the register pressure the kill-first
+        // schedule used to win back, so equality is acceptable here.)
         assert!(
-            cc.slots() < cc.slots_unscheduled(),
-            "kill-first schedule should beat the lowering order: {} !< {}",
+            cc.slots() <= cc.slots_unscheduled(),
+            "kill-first schedule must not lose to the lowering order: {} !<= {}",
             cc.slots(),
             cc.slots_unscheduled()
         );
-        // Results always stay live, so the peak can never drop below the
-        // output count (plus at least one working slot).
-        assert!(cc.slots() > cc.output_count());
+        // Retiring allocation frees an output's slot once its value has been
+        // captured, so the peak live set of this 64-output cone drops below
+        // the output count — the old "outputs pinned until the end" floor.
+        assert!(
+            cc.slots() < cc.output_count(),
+            "retiring allocation should beat the output-count floor: {} !< {}",
+            cc.slots(),
+            cc.output_count()
+        );
+        // Every output must have a capture point inside the program, and the
+        // retire order must be capture-sorted.
+        assert_eq!(cc.capture().len(), cc.output_count());
+        assert_eq!(cc.retire().len(), cc.output_count());
+        for w in cc.retire().windows(2) {
+            assert!(cc.capture()[w[0] as usize] <= cc.capture()[w[1] as usize]);
+        }
+        for &c in cc.capture() {
+            assert!((c as usize) < cc.len());
+        }
     }
 
     #[test]

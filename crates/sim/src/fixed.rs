@@ -4,29 +4,32 @@
 //! The per-cone fixed-point evaluator in `isl-fpga` answers "how far is one
 //! cone pass from `f64`?"; this module answers the system-level question —
 //! after `N` iterations over a whole frame, how much error has the hardware
-//! data path accumulated? The quantiser applies round-to-nearest with
-//! saturation after *every* operation, like the generated VHDL.
+//! data path accumulated? Execution runs entirely in the **raw word
+//! domain** on [`crate::compile::QuantizedPattern`] programs: the rounding
+//! rule is fused into every instruction at compile time (saturating
+//! fixed-point add/sub, truncating widened mul/div — the exact
+//! `isl_fpga::FixedFormat` datapath the generated VHDL implements), so
+//! there is no per-op rounding hook and no way to run a program with the
+//! wrong quantiser.
 
+use isl_fpga::FixedFormat;
 use isl_ir::{FieldId, FieldKind};
 
-use crate::compile::CompiledPattern;
 use crate::error::SimError;
-use crate::frame::{Frame, FrameSet};
+use crate::frame::FrameSet;
+use crate::qvm::{self, WordSet};
 use crate::sim::Simulator;
-use crate::vm;
 
 /// A fixed-point rounding rule: signed, `width` total bits, `frac`
 /// fractional bits.
 ///
-/// This is the *same* format the hardware side describes as
-/// `isl_fpga::FixedFormat`; the `isl-cosim` crate provides the lossless
-/// conversions between the two (and property-tests that `apply` agrees
-/// bit-for-bit with `FixedFormat::round_trip`), so there is exactly one
-/// notion of "the hardware's rounding rule" across the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// This is a thin wrapper around `isl_fpga::FixedFormat` — the *single*
+/// definition of the hardware's numeric behaviour across the workspace
+/// (the `isl-cosim` crate property-tests the agreement). [`Quantizer::apply`]
+/// is exactly `FixedFormat::round_trip`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Quantizer {
-    width: u32,
-    frac: u32,
+    fmt: FixedFormat,
 }
 
 impl Quantizer {
@@ -34,11 +37,11 @@ impl Quantizer {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < width <= 63` and `frac < width`.
+    /// Panics unless `0 < width <= 64` and `frac < width`.
     pub fn new(width: u32, frac: u32) -> Self {
-        assert!(width > 0 && width <= 63, "width must be in 1..=63");
-        assert!(frac < width, "frac must leave at least the sign bit");
-        Quantizer { width, frac }
+        Quantizer {
+            fmt: FixedFormat::new(width, frac),
+        }
     }
 
     /// The default hardware format (Q8.10 in 18 bits).
@@ -48,46 +51,49 @@ impl Quantizer {
 
     /// Total bits, including sign.
     pub fn width(&self) -> u32 {
-        self.width
+        self.fmt.width
     }
 
     /// Fractional bits.
     pub fn frac(&self) -> u32 {
-        self.frac
+        self.fmt.frac
+    }
+
+    /// The underlying hardware format.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
     }
 
     /// Quantisation step.
     pub fn resolution(&self) -> f64 {
-        (2.0f64).powi(-(self.frac as i32))
+        self.fmt.resolution()
     }
 
-    /// Round-to-nearest with saturation, back in real units.
+    /// Round-to-nearest with saturation, back in real units — exactly
+    /// `FixedFormat::round_trip` (NaN maps to `0.0`, the raw word 0).
     ///
-    /// **NaN contract:** NaN maps to `0.0` — the same documented rule as
-    /// `isl_fpga::FixedFormat::quantize` (raw word 0), so the two
-    /// implementations agree on *every* input, not just finite ones.
+    /// Lossy above 53 significant bits: this is the `f64`-domain view of
+    /// the format, for loading and inspecting frames. The engines
+    /// themselves never leave the raw word domain.
     pub fn apply(&self, v: f64) -> f64 {
-        if v.is_nan() {
-            return 0.0;
-        }
-        let scale = (1u64 << self.frac) as f64;
-        let max_raw = ((1i64 << (self.width - 1)) - 1) as f64;
-        let min_raw = (-(1i64 << (self.width - 1))) as f64;
-        let raw = (v * scale).round().clamp(min_raw, max_raw);
-        // `+ 0.0` canonicalises -0.0 to +0.0: the raw-word domain has a
-        // single zero, and `FixedFormat::round_trip` (which co-simulation
-        // pins this function to, bit for bit) goes through that word.
-        raw / scale + 0.0
+        self.fmt.round_trip(v)
+    }
+}
+
+impl From<FixedFormat> for Quantizer {
+    fn from(fmt: FixedFormat) -> Self {
+        Quantizer { fmt }
     }
 }
 
 impl Simulator<'_> {
-    /// Run `iterations` whole-frame steps with fixed-point rounding after
-    /// every operation — the frame-scale analogue of the generated hardware.
+    /// Run `iterations` whole-frame steps in fixed point — the frame-scale
+    /// analogue of the generated hardware.
     ///
-    /// Executes on the compiled bytecode engine, lowered **without** constant
-    /// folding so every intermediate value of the reference expression tree
-    /// still exists and receives its own rounding — bit-identical to
+    /// Executes on the compiled **quantised** bytecode engine: the pattern
+    /// is lowered fold-free (every intermediate of the reference expression
+    /// tree survives as one instruction), then every instruction becomes a
+    /// branch-free saturating lane kernel over raw words — bit-identical to
     /// [`Simulator::run_quantized_reference`], which tests enforce.
     ///
     /// # Errors
@@ -105,25 +111,22 @@ impl Simulator<'_> {
                 got: init.len(),
             });
         }
-        let mut state = quantize_set(init, q);
-        let program = CompiledPattern::compile(self.pattern(), self.params(), false);
-        let mut spare: Option<FrameSet> = None;
+        let fmt = q.format();
+        let program =
+            self.program_cache()
+                .quantized_pattern_program(self.pattern(), self.params(), fmt);
+        let mut state = WordSet::quantize(init, fmt);
+        let mut spare: Option<WordSet> = None;
         for _ in 0..iterations {
-            let next = vm::step_quantized(
-                &program,
-                &state,
-                self.border(),
-                q,
-                self.threads(),
-                spare.take(),
-            );
+            let next =
+                qvm::step_quantized(&program, &state, self.border(), self.threads(), spare.take());
             spare = Some(std::mem::replace(&mut state, next));
         }
-        Ok(state)
+        Ok(state.dequantize(fmt))
     }
 
-    /// [`Simulator::run_quantized`] through the tree-walking interpreter —
-    /// the golden reference for the quantised engine.
+    /// [`Simulator::run_quantized`] through the tree-walking interpreter in
+    /// the raw word domain — the golden reference for the quantised engine.
     ///
     /// # Errors
     ///
@@ -134,71 +137,62 @@ impl Simulator<'_> {
         iterations: u32,
         q: Quantizer,
     ) -> Result<FrameSet, SimError> {
-        let mut state = quantize_set(init, q);
-        for _ in 0..iterations {
-            state = self.step_quantized(&state, q)?;
-        }
-        Ok(state)
-    }
-
-    fn step_quantized(&self, state: &FrameSet, q: Quantizer) -> Result<FrameSet, SimError> {
-        // Mirror Simulator::step, with the post-op rounding hook.
-        if state.len() != self.pattern().fields().len() {
+        if init.len() != self.pattern().fields().len() {
             return Err(SimError::FieldCountMismatch {
                 expected: self.pattern().fields().len(),
-                got: state.len(),
+                got: init.len(),
             });
         }
+        let fmt = q.format();
+        let mut state = WordSet::quantize(init, fmt);
+        for _ in 0..iterations {
+            state = self.step_quantized_raw(&state, fmt);
+        }
+        Ok(state.dequantize(fmt))
+    }
+
+    /// One tree-walking whole-frame step over raw words (mirrors
+    /// [`Simulator::step_reference`] with `FixedFormat` node semantics).
+    fn step_quantized_raw(&self, state: &WordSet, fmt: FixedFormat) -> WordSet {
         let (w, h) = (state.width(), state.height());
         let border = self.border();
-        let mut next = Vec::with_capacity(state.len());
+        let braw = qvm::border_raw(border, fmt);
+        let mut next = Vec::with_capacity(self.pattern().fields().len());
         for (i, decl) in self.pattern().fields().iter().enumerate() {
             let fid = FieldId::new(i as u16);
             match decl.kind {
-                FieldKind::Static => next.push(state.frame_arc(i)),
+                FieldKind::Static => next.push(state.words_arc(i)),
                 FieldKind::Dynamic => {
                     let update = self.pattern().update(fid).expect("validated pattern");
-                    let mut out = Frame::new(w, h);
+                    let mut out = vec![0i64; w * h];
                     for y in 0..h {
                         for x in 0..w {
-                            let v = update.eval_map(
-                                &|f: FieldId, o: isl_ir::Offset| {
-                                    state.frame(f.index()).sample(
-                                        x as i64 + o.dx as i64,
-                                        y as i64 + o.dy as i64,
-                                        border,
-                                    )
-                                },
-                                &|p: isl_ir::ParamId| self.param_value(p),
-                                &|v| q.apply(v),
-                            );
-                            out.set(x, y, v);
+                            let read = |f: FieldId, o: isl_ir::Offset| {
+                                state.sample(
+                                    f.index(),
+                                    x as i64 + o.dx as i64,
+                                    y as i64 + o.dy as i64,
+                                    border,
+                                    braw,
+                                )
+                            };
+                            let param = |p: isl_ir::ParamId| self.param_value(p);
+                            out[y * w + x] = qvm::eval_expr_raw(update, &read, &param, fmt);
                         }
                     }
                     next.push(std::sync::Arc::new(out));
                 }
             }
         }
-        Ok(FrameSet::from_shared(next).expect("shapes preserved"))
+        WordSet::from_shared(w, h, next)
     }
-}
-
-/// Quantise every sample of every frame (loading into the fixed-point
-/// domain).
-pub(crate) fn quantize_set(init: &FrameSet, q: Quantizer) -> FrameSet {
-    FrameSet::from_frames(
-        init.frames()
-            .iter()
-            .map(|f| Frame::from_fn(f.width(), f.height(), |x, y| q.apply(f.get(x, y))))
-            .collect(),
-    )
-    .expect("shapes preserved")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::border::BorderMode;
+    use crate::frame::Frame;
     use crate::synthetic;
     use isl_ir::{BinaryOp, Expr, Offset, StencilPattern};
 

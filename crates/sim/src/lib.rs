@@ -67,15 +67,38 @@
 //!   [`Simulator::with_threads`] (default: one per core, automatically
 //!   serial for tiny frames).
 //!
+//! ## The quantised datapath
+//!
 //! Every execution semantics also has a **quantised** variant —
 //! [`Simulator::run_quantized`], [`Simulator::run_tiled_quantized`],
-//! [`Simulator::run_cone_dag_quantized`] — that applies fixed-point
-//! rounding ([`Quantizer`]) after every operation, the numeric behaviour
-//! of the generated hardware, so rounding is validated window-by-window at
-//! the exact decomposition the DSE chose. (The bit-true raw-word datapath —
-//! truncating multiplies, saturating adds — lives one level further down,
-//! in the `isl-cosim` crate's integer VM, which executes the same compiled
-//! bytecode on `i64` words.)
+//! [`Simulator::run_cone_dag_quantized`] — that runs entirely in the **raw
+//! word domain** of a hardware fixed-point format
+//! ([`Quantizer`] / [`isl_fpga::FixedFormat`]): frames are quantised once
+//! on entry, every instruction is a saturating integer operation
+//! (`i128`-widened truncating multiply/divide, saturating add/sub — exactly
+//! the datapath the generated VHDL implements), and words dequantise once
+//! on exit. Three design decisions make this both fast and trustworthy:
+//!
+//! * **Rounding is fused at compile time.** [`compile`] lowers the pattern
+//!   (fold-free, so every node of the reference expression tree survives)
+//!   into a dedicated quantised program ([`QuantizedPattern`] /
+//!   [`QuantizedCone`]) whose instructions *are* the rounding rule — there
+//!   is no per-op `Option<Quantizer>` hook, so running a program with a
+//!   mismatched quantiser is unrepresentable, and the inner loops carry no
+//!   rounding branches.
+//! * **Lane kernels are shared with the hardware model.** The span-wise
+//!   saturating kernels (`FixedFormat::unary_span` / `binary_span` in
+//!   `isl-fpga`) are the *single* bit-true definition of the datapath:
+//!   this crate's three quantised engines (whole-frame rect evaluator,
+//!   tiled halo-buffer path, cone SoA lanes — mirroring the `f64` planes
+//!   above) and the `isl-cosim` integer VM all execute them, so a property
+//!   test of any engine against the tree-walking raw-word references
+//!   transitively pins the others.
+//! * **Cone outputs retire as they stream.** Slot allocation lets an
+//!   output's register die at its defining instruction; evaluators scatter
+//!   each output to its destination frame the moment it is produced, so the
+//!   live set of a wide cone stays below its output count and SoA lane
+//!   scratch shrinks accordingly.
 //!
 //! The tree-walking interpreters survive as [`Simulator::step_reference`] /
 //! [`Simulator::run_reference`] / [`Simulator::run_quantized_reference`] /
@@ -135,13 +158,15 @@ mod error;
 mod fixed;
 mod frame;
 pub mod parallel;
+mod qvm;
 mod sim;
 pub mod synthetic;
 mod vm;
 
 pub use border::BorderMode;
 pub use compile::{
-    CompiledCone, CompiledKernel, CompiledPattern, ConeSlot, Halo, Instr, ProgramCache, Reach, Reg,
+    CompiledCone, CompiledKernel, CompiledPattern, ConeSlot, Halo, Instr, ProgramCache, QInstr,
+    QuantizedCone, QuantizedKernel, QuantizedPattern, QuantizedStep, Reach, Reg,
 };
 pub use error::SimError;
 pub use fixed::Quantizer;

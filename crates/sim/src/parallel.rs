@@ -298,9 +298,10 @@ where
 /// # Panics
 ///
 /// Panics if `out.len()` is not a multiple of `width`.
-pub fn for_each_row_band<F>(out: &mut [f64], width: usize, threads: usize, f: F)
+pub fn for_each_row_band<T, F>(out: &mut [T], width: usize, threads: usize, f: F)
 where
-    F: Fn(usize, &mut [f64]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(
         width > 0 && out.len().is_multiple_of(width),

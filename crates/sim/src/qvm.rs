@@ -1,0 +1,825 @@
+//! The quantised (raw fixed-point word) execution engines.
+//!
+//! Mirrors [`crate::vm`] in the **integer domain**: state is held as raw
+//! fixed-point words (`i64`), and every arithmetic instruction is one of
+//! `isl_fpga::FixedFormat`'s saturating/truncating lane kernels
+//! ([`FixedFormat::unary_span`] / [`FixedFormat::binary_span`]) — the same
+//! single bit-true definition the co-simulation VM executes scalar-wise.
+//! There is no per-op rounding hook anywhere in this module: rounding *is*
+//! the arithmetic, fused at compile time by
+//! [`crate::compile::QuantizedPattern`] / [`crate::compile::QuantizedCone`],
+//! so the engines are branch-free over structure-of-arrays spans exactly
+//! like their `f64` counterparts.
+//!
+//! Three engines, mirroring the `f64` trio:
+//!
+//! * [`step_quantized`] — whole-frame rect evaluation (interior spans +
+//!   scalar border strips) of the **fused** multi-output program
+//!   ([`crate::compile::QuantizedStep`]), so subexpressions shared between
+//!   field updates are computed once per pixel, not once per field;
+//! * [`tiled_level_quantized`] — the tiled cone-architecture level over
+//!   ping/pong halo buffers;
+//! * [`cone_level_quantized`] — cone-DAG tiles as SoA lanes with streaming
+//!   output retirement (outputs scatter the moment their defining
+//!   instruction executes, so the scratch tracks the live set, not the
+//!   output count).
+//!
+//! Frames enter through [`WordSet::quantize`] (one `FixedFormat::quantize`
+//! per sample — including the border constant, pre-quantised once per pass)
+//! and leave through [`WordSet::dequantize`]; in between, *everything* is
+//! integer. `f64` cannot round-trip raw words wider than 53 bits, which is
+//! exactly why the state lives in words rather than floats.
+
+use std::sync::Arc;
+
+use isl_fpga::FixedFormat;
+use isl_ir::{Expr, FieldId, Offset, ParamId};
+
+use crate::border::BorderMode;
+use crate::compile::{QInstr, QuantizedCone, QuantizedKernel, QuantizedPattern, QuantizedStep};
+use crate::frame::{Frame, FrameSet};
+use crate::parallel::for_each_task;
+use crate::vm::{dyn_slot_map, split_bands, tile_banding, LANE_SCRATCH, SPAN};
+
+// -- word-domain state ------------------------------------------------------
+
+/// A frame set in the raw fixed-point word domain: one `i64` word per
+/// sample, row-major, `Arc`-shared so static fields pass through levels
+/// without copies and retiring buffers recycle exactly like [`FrameSet`].
+#[derive(Debug, Clone)]
+pub(crate) struct WordSet {
+    width: usize,
+    height: usize,
+    frames: Vec<Arc<Vec<i64>>>,
+}
+
+impl WordSet {
+    /// Load a `f64` frame set into `fmt`'s word domain (round-to-nearest
+    /// with saturation per sample — the hardware's input conversion).
+    pub(crate) fn quantize(init: &FrameSet, fmt: FixedFormat) -> Self {
+        let frames = init
+            .frames()
+            .iter()
+            .map(|f| {
+                let mut w = vec![0i64; f.len()];
+                fmt.quantize_span(f.as_slice(), &mut w);
+                Arc::new(w)
+            })
+            .collect();
+        WordSet {
+            width: init.width(),
+            height: init.height(),
+            frames,
+        }
+    }
+
+    /// Convert back to real units. Lossy above 53 significant bits — the
+    /// reason the run itself stays in words.
+    pub(crate) fn dequantize(&self, fmt: FixedFormat) -> FrameSet {
+        FrameSet::from_frames(
+            self.frames
+                .iter()
+                .map(|w| {
+                    let mut f = vec![0.0; w.len()];
+                    fmt.dequantize_span(w, &mut f);
+                    Frame::from_vec(self.width, self.height, f)
+                })
+                .collect(),
+        )
+        .expect("shapes preserved")
+    }
+
+    /// Assemble from already-shared word buffers (the tree-walking
+    /// references use this to pass static fields through unchanged).
+    pub(crate) fn from_shared(width: usize, height: usize, frames: Vec<Arc<Vec<i64>>>) -> Self {
+        debug_assert!(frames.iter().all(|f| f.len() == width * height));
+        WordSet { width, height, frames }
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    pub(crate) fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The word buffer of field `i`.
+    pub(crate) fn words(&self, i: usize) -> &[i64] {
+        &self.frames[i]
+    }
+
+    /// The shared word buffer of field `i`.
+    pub(crate) fn words_arc(&self, i: usize) -> Arc<Vec<i64>> {
+        Arc::clone(&self.frames[i])
+    }
+
+    /// Number of fields.
+    pub(crate) fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Border-resolved read of field `i` at `(x, y)` with the pre-quantised
+    /// border constant `border_raw`.
+    pub(crate) fn sample(&self, i: usize, x: i64, y: i64, border: BorderMode, border_raw: i64) -> i64 {
+        WordView::frame(&self.frames[i], self.width).sample(
+            x,
+            y,
+            self.width as i64,
+            self.height as i64,
+            border,
+            border_raw,
+        )
+    }
+}
+
+/// The quantised border constant of a pass: [`BorderMode::Constant`] values
+/// enter the word domain once, not per read.
+pub(crate) fn border_raw(border: BorderMode, fmt: FixedFormat) -> i64 {
+    border.constant_value().map_or(0, |c| fmt.quantize(c))
+}
+
+// -- source views -----------------------------------------------------------
+
+/// [`crate::vm::SrcView`]'s integer twin: a row-major word buffer whose
+/// first sample sits at frame coordinate `(ox, oy)`.
+#[derive(Clone, Copy)]
+struct WordView<'a> {
+    data: &'a [i64],
+    ox: i64,
+    oy: i64,
+    stride: usize,
+}
+
+impl<'a> WordView<'a> {
+    fn frame(data: &'a [i64], stride: usize) -> Self {
+        WordView { data, ox: 0, oy: 0, stride }
+    }
+
+    fn buffer(data: &'a [i64], ox: i64, oy: i64, stride: usize) -> Self {
+        WordView { data, ox, oy, stride }
+    }
+
+    #[inline]
+    fn get(&self, x: i64, y: i64) -> i64 {
+        let idx = (y - self.oy) as usize * self.stride + (x - self.ox) as usize;
+        self.data[idx]
+    }
+
+    fn sample(&self, x: i64, y: i64, w: i64, h: i64, border: BorderMode, border_raw: i64) -> i64 {
+        match (border.resolve(x, w), border.resolve(y, h)) {
+            (Some(rx), Some(ry)) => self.get(rx, ry),
+            _ => border_raw,
+        }
+    }
+}
+
+/// Reusable per-worker scratch of the quantised rect evaluator.
+#[derive(Default)]
+struct ScratchQ {
+    lanes: Vec<i64>,
+    regs: Vec<i64>,
+}
+
+impl ScratchQ {
+    fn ensure(&mut self, instrs: usize) {
+        self.lanes.resize(instrs.max(1) * SPAN, 0);
+        self.regs.resize(instrs.max(1), 0);
+    }
+}
+
+/// The destination of a quantised rect evaluation.
+struct RectOutQ<'a> {
+    data: &'a mut [i64],
+    ox: i64,
+    oy: i64,
+    stride: usize,
+}
+
+// -- whole-frame stepping ---------------------------------------------------
+
+/// One quantised whole-frame step — the engine behind
+/// [`crate::Simulator::run_quantized`]. The rounding rule lives inside the
+/// program (`qp`), so a mismatched quantiser between compile and run is
+/// unrepresentable.
+///
+/// Evaluates the pattern's **fused** multi-output program
+/// ([`QuantizedPattern::fused`]) rather than one kernel per field: all
+/// dynamic fields of a row band are produced in a single pass over the
+/// instruction stream, with cross-field common subexpressions (gradients,
+/// norms, parameter quotients) computed once per pixel.
+pub(crate) fn step_quantized(
+    qp: &QuantizedPattern,
+    state: &WordSet,
+    border: BorderMode,
+    threads: usize,
+    recycle: Option<WordSet>,
+) -> WordSet {
+    let (w, h) = (state.width(), state.height());
+    let braw = border_raw(border, qp.format());
+    let step = qp.fused();
+    let dyn_fields: Vec<usize> = step.outputs().iter().map(|&(f, _)| f as usize).collect();
+    let t = tile_banding(h, 1, threads, w * h * step.len());
+    let srcs: Vec<WordView<'_>> = state.frames.iter().map(|f| WordView::frame(f, w)).collect();
+    banded_level_q(state, &dyn_fields, 1, t, recycle, |row0, slices| {
+        let rows = slices[0].len() / w;
+        let mut scratch = ScratchQ::default();
+        eval_rect_step_q(
+            step,
+            &srcs,
+            (w, h),
+            border,
+            braw,
+            (row0 as i64, (row0 + rows) as i64 - 1),
+            slices,
+            row0 as i64,
+            &mut scratch,
+        );
+    })
+}
+
+/// Reclaim uniquely-owned word buffers of a retiring set (double buffering).
+fn reclaim(recycle: Option<WordSet>, w: usize, h: usize) -> Vec<Option<Vec<i64>>> {
+    match recycle {
+        None => Vec::new(),
+        Some(ws) => ws
+            .frames
+            .into_iter()
+            .map(|arc| Arc::try_unwrap(arc).ok().filter(|v| v.len() == w * h))
+            .collect(),
+    }
+}
+
+// -- rect evaluation --------------------------------------------------------
+
+/// Integer twin of [`crate::vm::eval_rect`]: interior spans through the
+/// format's lane kernels, border pixels scalar through `apply_unary` /
+/// `apply_binary` — bit-identical by construction (the lane kernels are
+/// property-tested against the scalar ops element-wise).
+#[allow(clippy::too_many_arguments)]
+fn eval_rect_q(
+    kernel: &QuantizedKernel,
+    srcs: &[WordView<'_>],
+    (w, h): (usize, usize),
+    border: BorderMode,
+    braw: i64,
+    (rx0, ry0, rx1, ry1): (i64, i64, i64, i64),
+    dst: &mut RectOutQ<'_>,
+    scratch: &mut ScratchQ,
+) {
+    let fmt = kernel.format();
+    let halo = kernel.halo();
+    let xlo = rx0.max(i64::from(halo.left));
+    let xhi = rx1.min(w as i64 - 1 - i64::from(halo.right));
+    let ylo = ry0.max(i64::from(halo.up));
+    let yhi = ry1.min(h as i64 - 1 - i64::from(halo.down));
+    scratch.ensure(kernel.len());
+    let res = kernel.result as usize;
+    for y in ry0..=ry1 {
+        let row = ((y - dst.oy) as usize) * dst.stride;
+        let at = |x: i64| row + (x - dst.ox) as usize;
+        if (ylo..=yhi).contains(&y) && xlo <= xhi {
+            for x in rx0..xlo {
+                eval_pixel_q(&kernel.code, fmt, srcs, border, braw, (w, h), x, y, &mut scratch.regs);
+                dst.data[at(x)] = scratch.regs[res];
+            }
+            let mut x0 = xlo;
+            while x0 <= xhi {
+                let len = (xhi - x0 + 1).min(SPAN as i64) as usize;
+                eval_span_q(&kernel.code, fmt, srcs, y, x0, len, &mut scratch.lanes);
+                dst.data[at(x0)..at(x0) + len]
+                    .copy_from_slice(&scratch.lanes[res * len..(res + 1) * len]);
+                x0 += len as i64;
+            }
+            for x in (xhi + 1)..=rx1 {
+                eval_pixel_q(&kernel.code, fmt, srcs, border, braw, (w, h), x, y, &mut scratch.regs);
+                dst.data[at(x)] = scratch.regs[res];
+            }
+        } else {
+            for x in rx0..=rx1 {
+                eval_pixel_q(&kernel.code, fmt, srcs, border, braw, (w, h), x, y, &mut scratch.regs);
+                dst.data[at(x)] = scratch.regs[res];
+            }
+        }
+    }
+}
+
+/// Multi-output twin of [`eval_rect_q`] for the fused whole-frame program:
+/// one instruction-stream pass per span writes **every** dynamic field's
+/// band. Always covers full rows (`x ∈ [0, w)`) of a band anchored at row
+/// `oy`; `outs[k]` is the band of the `k`-th entry of `step.outputs()`.
+#[allow(clippy::too_many_arguments)]
+fn eval_rect_step_q(
+    step: &QuantizedStep,
+    srcs: &[WordView<'_>],
+    (w, h): (usize, usize),
+    border: BorderMode,
+    braw: i64,
+    (ry0, ry1): (i64, i64),
+    outs: &mut [&mut [i64]],
+    oy: i64,
+    scratch: &mut ScratchQ,
+) {
+    let fmt = step.format();
+    let halo = step.halo();
+    let xlo = i64::from(halo.left);
+    let xhi = w as i64 - 1 - i64::from(halo.right);
+    let ylo = ry0.max(i64::from(halo.up));
+    let yhi = ry1.min(h as i64 - 1 - i64::from(halo.down));
+    scratch.ensure(step.len());
+    for y in ry0..=ry1 {
+        let row = ((y - oy) as usize) * w;
+        if (ylo..=yhi).contains(&y) && xlo <= xhi {
+            for x in 0..xlo {
+                pixel_step_q(step, fmt, srcs, border, braw, (w, h), x, y, row, outs, scratch);
+            }
+            let mut x0 = xlo;
+            while x0 <= xhi {
+                let len = (xhi - x0 + 1).min(SPAN as i64) as usize;
+                eval_span_q(step.code(), fmt, srcs, y, x0, len, &mut scratch.lanes);
+                let at = row + x0 as usize;
+                for (out, &(_, res)) in outs.iter_mut().zip(step.outputs()) {
+                    let res = res as usize;
+                    out[at..at + len].copy_from_slice(&scratch.lanes[res * len..(res + 1) * len]);
+                }
+                x0 += len as i64;
+            }
+            for x in (xhi + 1)..w as i64 {
+                pixel_step_q(step, fmt, srcs, border, braw, (w, h), x, y, row, outs, scratch);
+            }
+        } else {
+            for x in 0..w as i64 {
+                pixel_step_q(step, fmt, srcs, border, braw, (w, h), x, y, row, outs, scratch);
+            }
+        }
+    }
+}
+
+/// One border pixel of the fused program: evaluate all registers once,
+/// scatter every output field's result register.
+#[allow(clippy::too_many_arguments)]
+fn pixel_step_q(
+    step: &QuantizedStep,
+    fmt: FixedFormat,
+    srcs: &[WordView<'_>],
+    border: BorderMode,
+    braw: i64,
+    (w, h): (usize, usize),
+    x: i64,
+    y: i64,
+    row: usize,
+    outs: &mut [&mut [i64]],
+    scratch: &mut ScratchQ,
+) {
+    eval_pixel_q(step.code(), fmt, srcs, border, braw, (w, h), x, y, &mut scratch.regs);
+    for (out, &(_, res)) in outs.iter_mut().zip(step.outputs()) {
+        out[row + x as usize] = scratch.regs[res as usize];
+    }
+}
+
+/// Evaluate a quantised program (single- or multi-output) over the
+/// statically in-bounds span `[x0, x0 + len)` of row `y`, one format lane
+/// kernel per instruction; callers read result registers out of `scratch`.
+fn eval_span_q(
+    code: &[QInstr],
+    fmt: FixedFormat,
+    srcs: &[WordView<'_>],
+    y: i64,
+    x0: i64,
+    len: usize,
+    scratch: &mut [i64],
+) {
+    for (i, instr) in code.iter().enumerate() {
+        let (prev, cur) = scratch.split_at_mut(i * len);
+        let dst = &mut cur[..len];
+        let lane = |r: u32| &prev[r as usize * len..(r as usize + 1) * len];
+        match *instr {
+            QInstr::Const(v) => dst.fill(v),
+            QInstr::Input { field, dx, dy } => {
+                let s = &srcs[field as usize];
+                let base = (y + i64::from(dy) - s.oy) * s.stride as i64
+                    + (x0 + i64::from(dx) - s.ox);
+                let base = usize::try_from(base).expect("interior read in bounds");
+                dst.copy_from_slice(&s.data[base..base + len]);
+            }
+            QInstr::Unary { op, a } => fmt.unary_span(op, lane(a), dst),
+            QInstr::Binary { op, a, b } => {
+                // Kernel registers are instruction indices, so a constant
+                // right operand is visible here — power-of-two multiplies
+                // and divides drop to shift kernels, bit-identically.
+                let done = matches!(code[b as usize], QInstr::Const(c)
+                    if fmt.binary_span_const(op, lane(a), c, dst));
+                if !done {
+                    fmt.binary_span(op, lane(a), lane(b), dst);
+                }
+            }
+            QInstr::Select { c, t, e } => {
+                let (c, t, e) = (lane(c), lane(t), lane(e));
+                for k in 0..len {
+                    dst[k] = if c[k] != 0 { t[k] } else { e[k] };
+                }
+            }
+        }
+    }
+}
+
+/// Scalar per-pixel evaluation with full border resolution; callers read
+/// result registers out of `regs`.
+#[allow(clippy::too_many_arguments)]
+fn eval_pixel_q(
+    code: &[QInstr],
+    fmt: FixedFormat,
+    srcs: &[WordView<'_>],
+    border: BorderMode,
+    braw: i64,
+    (w, h): (usize, usize),
+    x: i64,
+    y: i64,
+    regs: &mut [i64],
+) {
+    for (i, instr) in code.iter().enumerate() {
+        regs[i] = match *instr {
+            QInstr::Const(c) => c,
+            QInstr::Input { field, dx, dy } => srcs[field as usize].sample(
+                x + i64::from(dx),
+                y + i64::from(dy),
+                w as i64,
+                h as i64,
+                border,
+                braw,
+            ),
+            QInstr::Unary { op, a } => fmt.apply_unary(op, regs[a as usize]),
+            QInstr::Binary { op, a, b } => {
+                fmt.apply_binary(op, regs[a as usize], regs[b as usize])
+            }
+            QInstr::Select { c, t, e } => {
+                if regs[c as usize] != 0 {
+                    regs[t as usize]
+                } else {
+                    regs[e as usize]
+                }
+            }
+        };
+    }
+}
+
+// -- tiled (cone-architecture) level execution ------------------------------
+
+/// Shared frame of the quantised tile-banded level executors — the integer
+/// twin of `vm::banded_level`.
+fn banded_level_q<F>(
+    state: &WordSet,
+    dyn_fields: &[usize],
+    th: usize,
+    t: usize,
+    recycle: Option<WordSet>,
+    band_fn: F,
+) -> WordSet
+where
+    F: Fn(usize, &mut [&mut [i64]]) + Sync,
+{
+    let (w, h) = (state.width(), state.height());
+    let mut recycled = reclaim(recycle, w, h);
+    let mut outs: Vec<Vec<i64>> = dyn_fields
+        .iter()
+        .map(|&i| {
+            recycled
+                .get_mut(i)
+                .and_then(Option::take)
+                .unwrap_or_else(|| vec![0i64; w * h])
+        })
+        .collect();
+    let rows_per_band = h.div_ceil(th).div_ceil(t) * th;
+    let bands = split_bands(outs.iter_mut().map(Vec::as_mut_slice).collect(), w, rows_per_band);
+    for_each_task(bands, t, |(row0, mut slices)| band_fn(row0, &mut slices));
+    let mut next: Vec<Arc<Vec<i64>>> = state.frames.to_vec();
+    for (&fi, data) in dyn_fields.iter().zip(outs) {
+        next[fi] = Arc::new(data);
+    }
+    WordSet {
+        width: w,
+        height: h,
+        frames: next,
+    }
+}
+
+/// One quantised tiled level — the engine behind
+/// [`crate::Simulator::run_tiled_quantized`]. Integer twin of
+/// [`crate::vm::tiled_level_compiled`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tiled_level_quantized(
+    qp: &QuantizedPattern,
+    state: &WordSet,
+    border: BorderMode,
+    threads: usize,
+    (tw, th): (i64, i64),
+    d: u32,
+    r: i64,
+    recycle: Option<WordSet>,
+) -> WordSet {
+    let (w, h) = (state.width(), state.height());
+    let braw = border_raw(border, qp.format());
+    let (dyn_fields, dyn_slot) = dyn_slot_map(
+        qp.field_count(),
+        (0..qp.field_count()).filter(|&i| qp.kernel(i).is_some()),
+    );
+    let work = w * h * qp.total_instructions() * d as usize;
+    let t = tile_banding(h, th as usize, threads, work);
+    banded_level_q(state, &dyn_fields, th as usize, t, recycle, |row0, slices| {
+        let max_halo = r * i64::from(d.saturating_sub(1));
+        let cap = ((tw + 2 * max_halo) * (th + 2 * max_halo)) as usize;
+        let mut ping: Vec<Vec<i64>> = dyn_fields.iter().map(|_| vec![0i64; cap]).collect();
+        let mut pong = ping.clone();
+        let mut scratch = ScratchQ::default();
+        let rows = slices[0].len() / w;
+        let mut ty = row0 as i64;
+        while ty < (row0 + rows) as i64 {
+            let mut tx = 0;
+            while tx < w as i64 {
+                tile_quantized(
+                    qp,
+                    &dyn_fields,
+                    &dyn_slot,
+                    state,
+                    border,
+                    braw,
+                    (tx, ty),
+                    (tw, th),
+                    (d, r),
+                    (&mut ping, &mut pong),
+                    &mut scratch,
+                    (slices, row0),
+                );
+                tx += tw;
+            }
+            ty += th;
+        }
+    })
+}
+
+/// Compute one tile through `d` quantised levels over ping/pong word halo
+/// buffers; the top level writes straight into the caller's output band.
+#[allow(clippy::too_many_arguments)]
+fn tile_quantized(
+    qp: &QuantizedPattern,
+    dyn_fields: &[usize],
+    dyn_slot: &[Option<usize>],
+    state: &WordSet,
+    border: BorderMode,
+    braw: i64,
+    (tx, ty): (i64, i64),
+    (tw, th): (i64, i64),
+    (d, r): (u32, i64),
+    (ping, pong): (&mut [Vec<i64>], &mut [Vec<i64>]),
+    scratch: &mut ScratchQ,
+    (slices, row0): (&mut [&mut [i64]], usize),
+) {
+    let (w, h) = (state.width(), state.height());
+    let (wi, hi) = (w as i64, h as i64);
+    let rect = |l: u32| -> (i64, i64, i64, i64) {
+        let halo = r * i64::from(d - l);
+        (
+            (tx - halo).max(0),
+            (ty - halo).max(0),
+            (tx + tw - 1 + halo).min(wi - 1),
+            (ty + th - 1 + halo).min(hi - 1),
+        )
+    };
+    let mut prev_rect = rect(0);
+    for l in 1..=d {
+        let (nx0, ny0, nx1, ny1) = rect(l);
+        let nbw = (nx1 - nx0 + 1) as usize;
+        let (px0, py0, px1, _py1) = prev_rect;
+        let pbw = (px1 - px0 + 1) as usize;
+        for (di, &fi) in dyn_fields.iter().enumerate() {
+            let kernel = qp.kernel(fi).expect("dynamic field has a kernel");
+            let srcs: Vec<WordView<'_>> = state
+                .frames
+                .iter()
+                .enumerate()
+                .map(|(f, frame)| match dyn_slot[f] {
+                    Some(ds) if l > 1 => WordView::buffer(&ping[ds], px0, py0, pbw),
+                    _ => WordView::frame(frame, w),
+                })
+                .collect();
+            if l == d {
+                let mut dst = RectOutQ {
+                    data: &mut *slices[di],
+                    ox: 0,
+                    oy: row0 as i64,
+                    stride: w,
+                };
+                eval_rect_q(kernel, &srcs, (w, h), border, braw, (nx0, ny0, nx1, ny1), &mut dst, scratch);
+            } else {
+                let mut dst = RectOutQ {
+                    data: &mut pong[di],
+                    ox: nx0,
+                    oy: ny0,
+                    stride: nbw,
+                };
+                eval_rect_q(kernel, &srcs, (w, h), border, braw, (nx0, ny0, nx1, ny1), &mut dst, scratch);
+            }
+        }
+        if l < d {
+            for (a, b) in ping.iter_mut().zip(pong.iter_mut()) {
+                std::mem::swap(a, b);
+            }
+            prev_rect = (nx0, ny0, nx1, ny1);
+        }
+    }
+}
+
+// -- cone-DAG level execution -----------------------------------------------
+
+/// One quantised cone-DAG level — the engine behind
+/// [`crate::Simulator::run_cone_dag_quantized`]. Integer twin of
+/// [`crate::vm::cone_level_compiled`], including the streaming output
+/// retirement.
+pub(crate) fn cone_level_quantized(
+    qc: &QuantizedCone,
+    state: &WordSet,
+    border: BorderMode,
+    threads: usize,
+    (tw, th): (i64, i64),
+    recycle: Option<WordSet>,
+) -> WordSet {
+    let (w, h) = (state.width(), state.height());
+    let braw = border_raw(border, qc.format());
+    let (dyn_fields, dyn_slot) =
+        dyn_slot_map(state.frames.len(), qc.outputs.iter().map(|s| s.field as usize));
+    let tiles_x = w.div_ceil(tw as usize);
+    let work = tiles_x * h.div_ceil(th as usize) * qc.len();
+    let t = tile_banding(h, th as usize, threads, work);
+    let reach = qc.reach();
+    let lanes_cap = (LANE_SCRATCH / qc.slots().max(1)).clamp(1, 512);
+    banded_level_q(state, &dyn_fields, th as usize, t, recycle, |row0, slices| {
+        let rows = slices[0].len() / w;
+        let mut interior: Vec<(i64, i64)> = Vec::new();
+        let mut edge: Vec<(i64, i64)> = Vec::new();
+        let mut ty = row0 as i64;
+        while ty < (row0 + rows) as i64 {
+            let y_in =
+                ty + i64::from(reach.min_dy) >= 0 && ty + i64::from(reach.max_dy) < h as i64;
+            for k in 0..tiles_x as i64 {
+                let tx = k * tw;
+                if y_in
+                    && tx + i64::from(reach.min_dx) >= 0
+                    && tx + i64::from(reach.max_dx) < w as i64
+                {
+                    interior.push((tx, ty));
+                } else {
+                    edge.push((tx, ty));
+                }
+            }
+            ty += th;
+        }
+        let mut scratch = vec![0i64; qc.slots() * lanes_cap];
+        for chunk in interior.chunks(lanes_cap) {
+            eval_cone_lanes_q(qc, state, border, braw, chunk, true, &dyn_slot, &mut scratch, (slices, row0));
+        }
+        for chunk in edge.chunks(lanes_cap) {
+            eval_cone_lanes_q(qc, state, border, braw, chunk, false, &dyn_slot, &mut scratch, (slices, row0));
+        }
+    })
+}
+
+/// Evaluate the quantised cone program for every tile of `chunk` at once —
+/// integer twin of `vm::eval_cone_lanes`, with the same streaming output
+/// retirement (outputs scatter at their capture instruction, before their
+/// slot can be reused).
+#[allow(clippy::too_many_arguments)]
+fn eval_cone_lanes_q(
+    qc: &QuantizedCone,
+    state: &WordSet,
+    border: BorderMode,
+    braw: i64,
+    chunk: &[(i64, i64)],
+    interior: bool,
+    dyn_slot: &[Option<usize>],
+    scratch: &mut [i64],
+    (slices, row0): (&mut [&mut [i64]], usize),
+) {
+    let (w, h) = (state.width(), state.height());
+    let fmt = qc.format();
+    let n = chunk.len();
+    let read_origin: Vec<i64> = chunk.iter().map(|&(tx, ty)| ty * w as i64 + tx).collect();
+    let write_origin: Vec<i64> = chunk
+        .iter()
+        .map(|&(tx, ty)| (ty - row0 as i64) * w as i64 + tx)
+        .collect();
+    let range = |s: u32| s as usize * n..s as usize * n + n;
+    let mut next_retire = 0usize;
+    for (i, instr) in qc.code.iter().enumerate() {
+        let d = qc.dst[i];
+        match *instr {
+            QInstr::Const(v) => scratch[range(d)].fill(v),
+            QInstr::Input { field, dx, dy } => {
+                let dst = &mut scratch[range(d)];
+                if interior {
+                    let src = state.words(field as usize);
+                    let off = i64::from(dy) * w as i64 + i64::from(dx);
+                    for (d, &o) in dst.iter_mut().zip(&read_origin) {
+                        *d = src[(o + off) as usize];
+                    }
+                } else {
+                    let f = WordView::frame(state.words(field as usize), w);
+                    for (d, &(tx, ty)) in dst.iter_mut().zip(chunk) {
+                        *d = f.sample(
+                            tx + i64::from(dx),
+                            ty + i64::from(dy),
+                            w as i64,
+                            h as i64,
+                            border,
+                            braw,
+                        );
+                    }
+                }
+            }
+            QInstr::Unary { op, a } => {
+                let [dst, a] = scratch
+                    .get_disjoint_mut([range(d), range(a)])
+                    .expect("dst slot distinct from operands");
+                fmt.unary_span(op, a, dst);
+            }
+            QInstr::Binary { op, a, b } => {
+                if a == b {
+                    let [dst, a] = scratch
+                        .get_disjoint_mut([range(d), range(a)])
+                        .expect("dst slot distinct from operands");
+                    let a = &*a;
+                    fmt.binary_span(op, a, a, dst);
+                } else {
+                    let [dst, a, b] = scratch
+                        .get_disjoint_mut([range(d), range(a), range(b)])
+                        .expect("dst slot distinct from operands");
+                    fmt.binary_span(op, a, b, dst);
+                }
+            }
+            QInstr::Select { c, t, e } => {
+                let (c0, t0, e0, d0) =
+                    (c as usize * n, t as usize * n, e as usize * n, d as usize * n);
+                for k in 0..n {
+                    scratch[d0 + k] = if scratch[c0 + k] != 0 {
+                        scratch[t0 + k]
+                    } else {
+                        scratch[e0 + k]
+                    };
+                }
+            }
+        }
+        while next_retire < qc.retire.len()
+            && qc.capture[qc.retire[next_retire] as usize] as usize == i
+        {
+            let slot = &qc.outputs[qc.retire[next_retire] as usize];
+            next_retire += 1;
+            let di = dyn_slot[slot.field as usize].expect("output field is dynamic");
+            let src = &scratch[range(slot.reg)];
+            let off = i64::from(slot.py) * w as i64 + i64::from(slot.px);
+            if interior {
+                for (&v, &o) in src.iter().zip(&write_origin) {
+                    slices[di][(o + off) as usize] = v;
+                }
+            } else {
+                for (k, &(tx, ty)) in chunk.iter().enumerate() {
+                    let (ax, ay) = (tx + i64::from(slot.px), ty + i64::from(slot.py));
+                    if ax < w as i64 && ay < h as i64 {
+                        slices[di][(ay as usize - row0) * w + ax as usize] = src[k];
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next_retire, qc.outputs.len(), "every output must retire");
+}
+
+// -- tree-walking raw reference ---------------------------------------------
+
+/// Evaluate an update expression in the raw word domain — the tree-walking
+/// golden reference of the quantised engines. Every node is one
+/// `FixedFormat` operation: leaves quantise (`Const` / `Param`) or read
+/// already-quantised words (`Input`); operators are the saturating
+/// fixed-point datapath; a select forwards one branch's word unchanged.
+pub(crate) fn eval_expr_raw<R, P>(e: &Expr, read: &R, param: &P, fmt: FixedFormat) -> i64
+where
+    R: Fn(FieldId, Offset) -> i64,
+    P: Fn(ParamId) -> f64,
+{
+    match e {
+        Expr::Input { field, offset } => read(*field, *offset),
+        Expr::Const(c) => fmt.quantize(*c),
+        Expr::Param(p) => fmt.quantize(param(*p)),
+        Expr::Unary { op, arg } => fmt.apply_unary(*op, eval_expr_raw(arg, read, param, fmt)),
+        Expr::Binary { op, lhs, rhs } => fmt.apply_binary(
+            *op,
+            eval_expr_raw(lhs, read, param, fmt),
+            eval_expr_raw(rhs, read, param, fmt),
+        ),
+        Expr::Select { cond, then_, else_ } => {
+            if eval_expr_raw(cond, read, param, fmt) != 0 {
+                eval_expr_raw(then_, read, param, fmt)
+            } else {
+                eval_expr_raw(else_, read, param, fmt)
+            }
+        }
+    }
+}

@@ -4,11 +4,14 @@ use std::sync::Arc;
 
 use isl_ir::{Cone, ConeCache, FieldId, FieldKind, StencilPattern, Window};
 
+use isl_fpga::FixedFormat;
+
 use crate::border::BorderMode;
 use crate::compile::{CompiledCone, CompiledPattern, ProgramCache};
 use crate::error::SimError;
 use crate::fixed::Quantizer;
 use crate::frame::{Frame, FrameSet};
+use crate::qvm::{self, WordSet};
 use crate::vm;
 
 /// Result of a fixed-point run ([`Simulator::run_until_converged`]).
@@ -155,6 +158,12 @@ impl<'p> Simulator<'p> {
     /// The configured worker-thread cap (0 = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The attached program cache (crate-internal: the quantised entry
+    /// points in [`crate::fixed`] fetch their programs through it).
+    pub(crate) fn program_cache(&self) -> &ProgramCache {
+        &self.programs
     }
 
     fn check(&self, state: &FrameSet) -> Result<(), SimError> {
@@ -335,33 +344,11 @@ impl<'p> Simulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<FrameSet, SimError> {
-        self.run_tiled_impl(init, iterations, window, depth, None)
-    }
-
-    /// Shared level loop of the exact and quantised tiled engines. With a
-    /// quantiser, the pattern is compiled fold-free (every intermediate
-    /// receives its own rounding) and the initial state is loaded into the
-    /// fixed-point domain.
-    fn run_tiled_impl(
-        &self,
-        init: &FrameSet,
-        iterations: u32,
-        window: Window,
-        depth: u32,
-        post: Option<Quantizer>,
-    ) -> Result<FrameSet, SimError> {
         self.check_tiled(init, depth)?;
-        // Quantised levels run fold-free (every intermediate receives its
-        // own rounding); both variants come from the program cache.
-        let program = self
-            .programs
-            .pattern_program(self.pattern, &self.params, post.is_none());
+        let program = self.programs.pattern_program(self.pattern, &self.params, true);
         let r = self.pattern.radius() as i64;
         let (tw, th) = (window.w as i64, window.h as i64);
-        let mut state = match post {
-            Some(q) => crate::fixed::quantize_set(init, q),
-            None => init.clone(),
-        };
+        let mut state = init.clone();
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             let next = vm::tiled_level_compiled(
@@ -372,7 +359,6 @@ impl<'p> Simulator<'p> {
                 (tw, th),
                 d,
                 r,
-                post,
                 spare.take(),
             );
             spare = Some(std::mem::replace(&mut state, next));
@@ -398,20 +384,19 @@ impl<'p> Simulator<'p> {
         self.check_tiled(init, depth)?;
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
-            state = self.tiled_level(&state, window, d, None)?;
+            state = self.tiled_level(&state, window, d)?;
         }
         Ok(state)
     }
 
-    /// [`Simulator::run_tiled`] with fixed-point rounding after every
-    /// operation at every level — the tiled cone architecture with the
-    /// hardware's numeric behaviour, so rounding is validated window by
-    /// window at the exact decomposition the DSE chose.
+    /// [`Simulator::run_tiled`] in fixed point — the tiled cone
+    /// architecture with the hardware's numeric behaviour, so rounding is
+    /// validated window by window at the exact decomposition the DSE chose.
     ///
-    /// Executes on the compiled engine, lowered **without** constant folding
-    /// so every intermediate of the update tree receives its own rounding —
-    /// bit-identical to [`Simulator::run_tiled_quantized_reference`], which
-    /// tests enforce.
+    /// Executes on the quantised bytecode engine: levels are lowered
+    /// fold-free, quantised into `q`'s format at compile time, and run as
+    /// saturating lane kernels over raw words — bit-identical to
+    /// [`Simulator::run_tiled_quantized_reference`], which tests enforce.
     ///
     /// # Errors
     ///
@@ -424,11 +409,34 @@ impl<'p> Simulator<'p> {
         depth: u32,
         q: Quantizer,
     ) -> Result<FrameSet, SimError> {
-        self.run_tiled_impl(init, iterations, window, depth, Some(q))
+        self.check_tiled(init, depth)?;
+        let fmt = q.format();
+        let program = self
+            .programs
+            .quantized_pattern_program(self.pattern, &self.params, fmt);
+        let r = self.pattern.radius() as i64;
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut state = WordSet::quantize(init, fmt);
+        let mut spare: Option<WordSet> = None;
+        for d in level_depths(iterations, depth) {
+            let next = qvm::tiled_level_quantized(
+                &program,
+                &state,
+                self.border,
+                self.threads,
+                (tw, th),
+                d,
+                r,
+                spare.take(),
+            );
+            spare = Some(std::mem::replace(&mut state, next));
+        }
+        Ok(state.dequantize(fmt))
     }
 
     /// [`Simulator::run_tiled_quantized`] through the tree-walking
-    /// interpreter — the golden quantised cone-architecture semantics.
+    /// interpreter in the raw word domain — the golden quantised
+    /// cone-architecture semantics.
     ///
     /// # Errors
     ///
@@ -442,11 +450,12 @@ impl<'p> Simulator<'p> {
         q: Quantizer,
     ) -> Result<FrameSet, SimError> {
         self.check_tiled(init, depth)?;
-        let mut state = crate::fixed::quantize_set(init, q);
+        let fmt = q.format();
+        let mut state = WordSet::quantize(init, fmt);
         for d in level_depths(iterations, depth) {
-            state = self.tiled_level(&state, window, d, Some(q))?;
+            state = self.tiled_level_raw(&state, window, d, fmt)?;
         }
-        Ok(state)
+        Ok(state.dequantize(fmt))
     }
 
     fn check_tiled(&self, init: &FrameSet, depth: u32) -> Result<(), SimError> {
@@ -460,14 +469,12 @@ impl<'p> Simulator<'p> {
         Ok(())
     }
 
-    /// One reference level: apply depth-`d` cones over every window tile
-    /// (with per-operation rounding when `post` is set).
+    /// One reference level: apply depth-`d` cones over every window tile.
     fn tiled_level(
         &self,
         state: &FrameSet,
         window: Window,
         d: u32,
-        post: Option<Quantizer>,
     ) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let r = self.pattern.radius() as i64;
@@ -486,7 +493,7 @@ impl<'p> Simulator<'p> {
         while ty < h {
             let mut tx = 0;
             while tx < w {
-                self.tile(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index, post)?;
+                self.tile(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index)?;
                 tx += tw;
             }
             ty += th;
@@ -505,7 +512,6 @@ impl<'p> Simulator<'p> {
         d: u32,
         r: i64,
         dyn_index: &[Option<usize>],
-        post: Option<Quantizer>,
     ) -> Result<(), SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let dyn_fields = self.pattern.dynamic_fields();
@@ -581,10 +587,7 @@ impl<'p> Simulator<'p> {
                             }
                         };
                         let param = |p: isl_ir::ParamId| self.params[p.index()];
-                        let v = match post {
-                            Some(q) => update.eval_map(&read, &param, &|v| q.apply(v)),
-                            None => update.eval(&read, &param),
-                        };
+                        let v = update.eval(&read, &param);
                         new_bufs[di][((yy - ny0) as usize) * nbw + (xx - nx0) as usize] = v;
                     }
                 }
@@ -605,6 +608,143 @@ impl<'p> Simulator<'p> {
                         yy as usize,
                         bufs[di][((yy - fy0) as usize) * fbw + (xx - fx0) as usize],
                     );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One quantised reference level in the raw word domain — mirrors
+    /// [`Simulator::tiled_level`] with `FixedFormat` node semantics.
+    fn tiled_level_raw(
+        &self,
+        state: &WordSet,
+        window: Window,
+        d: u32,
+        fmt: FixedFormat,
+    ) -> Result<WordSet, SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let r = self.pattern.radius() as i64;
+        let mut next: Vec<Arc<Vec<i64>>> = (0..state.len()).map(|i| state.words_arc(i)).collect();
+        let dyn_fields = self.pattern.dynamic_fields();
+        let (_, dyn_index) = vm::dyn_slot_map(
+            self.pattern.fields().len(),
+            dyn_fields.iter().map(|f| f.index()),
+        );
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            while tx < w {
+                self.tile_raw(state, &mut next, (tx, ty), (tw, th), d, r, &dyn_index, fmt)?;
+                tx += tw;
+            }
+            ty += th;
+        }
+        Ok(WordSet::from_shared(
+            state.width(),
+            state.height(),
+            next,
+        ))
+    }
+
+    /// Compute one tile through `d` raw-word levels — mirrors
+    /// [`Simulator::tile`] with every node one `FixedFormat` operation.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_raw(
+        &self,
+        state: &WordSet,
+        next: &mut [Arc<Vec<i64>>],
+        (tx, ty): (i64, i64),
+        (tw, th): (i64, i64),
+        d: u32,
+        r: i64,
+        dyn_index: &[Option<usize>],
+        fmt: FixedFormat,
+    ) -> Result<(), SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let braw = qvm::border_raw(self.border, fmt);
+        let dyn_fields = self.pattern.dynamic_fields();
+
+        let rect = |l: u32| -> (i64, i64, i64, i64) {
+            let halo = r * (d - l) as i64;
+            let x0 = (tx - halo).max(0);
+            let y0 = if h > 1 { (ty - halo).max(0) } else { 0 };
+            let x1 = (tx + tw - 1 + halo).min(w - 1);
+            let y1 = if h > 1 { (ty + th - 1 + halo).min(h - 1) } else { 0 };
+            (x0, y0, x1, y1)
+        };
+
+        // Level-0 buffers: verbatim word copies of the current state.
+        let (x0, y0, x1, y1) = rect(0);
+        let (bw, bh) = ((x1 - x0 + 1) as usize, (y1 - y0 + 1) as usize);
+        let mut bufs: Vec<Vec<i64>> = dyn_fields
+            .iter()
+            .map(|f| {
+                let fr = state.words(f.index());
+                let mut b = vec![0i64; bw * bh];
+                for yy in 0..bh as i64 {
+                    for xx in 0..bw as i64 {
+                        b[(yy * bw as i64 + xx) as usize] =
+                            fr[((y0 + yy) * w + x0 + xx) as usize];
+                    }
+                }
+                b
+            })
+            .collect();
+        let mut buf_rect = (x0, y0, x1, y1);
+
+        for l in 1..=d {
+            let (nx0, ny0, nx1, ny1) = rect(l);
+            let (nbw, nbh) = ((nx1 - nx0 + 1) as usize, (ny1 - ny0 + 1) as usize);
+            let mut new_bufs: Vec<Vec<i64>> = dyn_fields
+                .iter()
+                .map(|_| vec![0i64; nbw * nbh])
+                .collect();
+            let (px0, py0, px1, py1) = buf_rect;
+            let pbw = (px1 - px0 + 1) as usize;
+            for (di, f) in dyn_fields.iter().enumerate() {
+                let update = self.pattern.update(*f).expect("validated pattern");
+                for yy in ny0..=ny1 {
+                    for xx in nx0..=nx1 {
+                        let read = |rf: FieldId, o: isl_ir::Offset| {
+                            let (qx, qy) = (xx + o.dx as i64, yy + o.dy as i64);
+                            if self.pattern.field(rf).kind == FieldKind::Static {
+                                return state.sample(rf.index(), qx, qy, self.border, braw);
+                            }
+                            let rx = self.border.resolve(qx, w);
+                            let ry = self.border.resolve(qy, h);
+                            match (rx, ry) {
+                                (Some(rx), Some(ry)) => {
+                                    debug_assert!(
+                                        rx >= px0 && rx <= px1 && ry >= py0 && ry <= py1,
+                                        "tile halo must cover border-resolved reads"
+                                    );
+                                    let di2 = dyn_index[rf.index()].expect("dynamic read");
+                                    bufs[di2][((ry - py0) as usize) * pbw + (rx - px0) as usize]
+                                }
+                                _ => braw,
+                            }
+                        };
+                        let param = |p: isl_ir::ParamId| self.params[p.index()];
+                        let v = qvm::eval_expr_raw(update, &read, &param, fmt);
+                        new_bufs[di][((yy - ny0) as usize) * nbw + (xx - nx0) as usize] = v;
+                    }
+                }
+            }
+            bufs = new_bufs;
+            buf_rect = (nx0, ny0, nx1, ny1);
+        }
+
+        // Commit the top level into the output word buffers.
+        let (fx0, fy0, fx1, fy1) = buf_rect;
+        let fbw = (fx1 - fx0 + 1) as usize;
+        for (di, f) in dyn_fields.iter().enumerate() {
+            let out = Arc::make_mut(&mut next[f.index()]);
+            for yy in fy0..=fy1 {
+                for xx in fx0..=fx1 {
+                    out[(yy * w + xx) as usize] =
+                        bufs[di][((yy - fy0) as usize) * fbw + (xx - fx0) as usize];
                 }
             }
         }
@@ -640,21 +780,6 @@ impl<'p> Simulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<FrameSet, SimError> {
-        self.run_cone_dag_impl(init, iterations, window, depth, None)
-    }
-
-    /// Shared level loop of the exact and quantised cone-DAG engines. With
-    /// a quantiser, cones are lowered fold-free (every graph operation
-    /// receives its own rounding) and the initial state is loaded into the
-    /// fixed-point domain.
-    fn run_cone_dag_impl(
-        &self,
-        init: &FrameSet,
-        iterations: u32,
-        window: Window,
-        depth: u32,
-        post: Option<Quantizer>,
-    ) -> Result<FrameSet, SimError> {
         self.check(init)?;
         if depth == 0 {
             return Err(SimError::Cone("cone depth must be at least 1".into()));
@@ -663,10 +788,7 @@ impl<'p> Simulator<'p> {
         // At most two distinct depths appear (the main one plus a possible
         // remainder); fetch each from the program cache exactly once.
         let mut programs: Vec<(u32, Arc<CompiledCone>)> = Vec::new();
-        let mut state = match post {
-            Some(q) => crate::fixed::quantize_set(init, q),
-            None => init.clone(),
-        };
+        let mut state = init.clone();
         let mut spare: Option<FrameSet> = None;
         for d in level_depths(iterations, depth) {
             if !programs.iter().any(|(pd, _)| *pd == d) {
@@ -674,7 +796,7 @@ impl<'p> Simulator<'p> {
                 programs.push((
                     d,
                     self.programs
-                        .cone_program(self.pattern, &cone, &self.params, post.is_none()),
+                        .cone_program(self.pattern, &cone, &self.params, true),
                 ));
             }
             let cc = &programs
@@ -688,7 +810,6 @@ impl<'p> Simulator<'p> {
                 self.border,
                 self.threads,
                 (tw, th),
-                post,
                 spare.take(),
             );
             spare = Some(std::mem::replace(&mut state, next));
@@ -696,13 +817,13 @@ impl<'p> Simulator<'p> {
         Ok(state)
     }
 
-    /// [`Simulator::run_cone_dag`] with fixed-point rounding after every
-    /// operation of every cone — the exact numeric behaviour of the
-    /// generated hardware's multi-level datapath, window by window.
+    /// [`Simulator::run_cone_dag`] in fixed point — the exact numeric
+    /// behaviour of the generated hardware's multi-level datapath, window
+    /// by window.
     ///
     /// Cones are lowered **without** constant folding so every operation
-    /// node of the cone graph (the set the VHDL registers) receives its own
-    /// rounding — bit-identical to
+    /// node of the cone graph (the set the VHDL registers) survives as one
+    /// saturating fixed-point instruction — bit-identical to
     /// [`Simulator::run_cone_dag_quantized_reference`], which tests enforce.
     ///
     /// # Errors
@@ -716,11 +837,44 @@ impl<'p> Simulator<'p> {
         depth: u32,
         q: Quantizer,
     ) -> Result<FrameSet, SimError> {
-        self.run_cone_dag_impl(init, iterations, window, depth, Some(q))
+        self.check(init)?;
+        if depth == 0 {
+            return Err(SimError::Cone("cone depth must be at least 1".into()));
+        }
+        let fmt = q.format();
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut programs: Vec<(u32, Arc<crate::compile::QuantizedCone>)> = Vec::new();
+        let mut state = WordSet::quantize(init, fmt);
+        let mut spare: Option<WordSet> = None;
+        for d in level_depths(iterations, depth) {
+            if !programs.iter().any(|(pd, _)| *pd == d) {
+                let cone = self.build_cone(window, d)?;
+                programs.push((
+                    d,
+                    self.programs
+                        .quantized_cone_program(self.pattern, &cone, &self.params, fmt),
+                ));
+            }
+            let qc = &programs
+                .iter()
+                .find(|(pd, _)| *pd == d)
+                .expect("program built above")
+                .1;
+            let next = qvm::cone_level_quantized(
+                qc,
+                &state,
+                self.border,
+                self.threads,
+                (tw, th),
+                spare.take(),
+            );
+            spare = Some(std::mem::replace(&mut state, next));
+        }
+        Ok(state.dequantize(fmt))
     }
 
     /// [`Simulator::run_cone_dag_quantized`] through a tree-walking graph
-    /// interpreter that rounds after every node — the golden quantised
+    /// interpreter in the raw word domain — the golden quantised
     /// hardware-datapath semantics.
     ///
     /// # Errors
@@ -738,12 +892,13 @@ impl<'p> Simulator<'p> {
         if depth == 0 {
             return Err(SimError::Cone("cone depth must be at least 1".into()));
         }
-        let mut state = crate::fixed::quantize_set(init, q);
+        let fmt = q.format();
+        let mut state = WordSet::quantize(init, fmt);
         for d in level_depths(iterations, depth) {
             let cone = self.build_cone(window, d)?;
-            state = self.cone_level(&state, &cone, Some(q))?;
+            state = self.cone_level_raw(&state, &cone, fmt)?;
         }
-        Ok(state)
+        Ok(state.dequantize(fmt))
     }
 
     /// [`Simulator::run_cone_dag`] through [`Cone::eval`]'s tree-walking
@@ -768,17 +923,12 @@ impl<'p> Simulator<'p> {
         let mut state = init.clone();
         for d in level_depths(iterations, depth) {
             let cone = self.build_cone(window, d)?;
-            state = self.cone_level(&state, &cone, None)?;
+            state = self.cone_level(&state, &cone)?;
         }
         Ok(state)
     }
 
-    fn cone_level(
-        &self,
-        state: &FrameSet,
-        cone: &Cone,
-        post: Option<Quantizer>,
-    ) -> Result<FrameSet, SimError> {
+    fn cone_level(&self, state: &FrameSet, cone: &Cone) -> Result<FrameSet, SimError> {
         let (w, h) = (state.width() as i64, state.height() as i64);
         let window = cone.window();
         let mut next: Vec<Arc<Frame>> = state.frames().to_vec();
@@ -792,11 +942,7 @@ impl<'p> Simulator<'p> {
                         .frame(f.index())
                         .sample(tx + p.x as i64, ty + p.y as i64, self.border)
                 };
-                let outs = match post {
-                    Some(q) => eval_cone_graph_quantized(cone, read, &self.params, q),
-                    None => cone.eval(read, &self.params),
-                };
-                for (f, p, v) in outs {
+                for (f, p, v) in cone.eval(read, &self.params) {
                     let (ax, ay) = (tx + p.x as i64, ty + p.y as i64);
                     if ax < w && ay < h {
                         Arc::make_mut(&mut next[f.index()]).set(ax as usize, ay as usize, v);
@@ -808,36 +954,77 @@ impl<'p> Simulator<'p> {
         }
         Ok(FrameSet::from_shared(next).expect("shapes preserved"))
     }
+
+    /// One cone level over raw words — the tree-walking golden reference of
+    /// the quantised cone engine.
+    fn cone_level_raw(
+        &self,
+        state: &WordSet,
+        cone: &Cone,
+        fmt: FixedFormat,
+    ) -> Result<WordSet, SimError> {
+        let (w, h) = (state.width() as i64, state.height() as i64);
+        let braw = qvm::border_raw(self.border, fmt);
+        let window = cone.window();
+        let mut next: Vec<Arc<Vec<i64>>> =
+            (0..state.len()).map(|i| state.words_arc(i)).collect();
+        let (tw, th) = (window.w as i64, window.h as i64);
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            while tx < w {
+                let read = |f: isl_ir::FieldId, p: isl_ir::Point| {
+                    state.sample(
+                        f.index(),
+                        tx + p.x as i64,
+                        ty + p.y as i64,
+                        self.border,
+                        braw,
+                    )
+                };
+                for (f, p, v) in eval_cone_graph_raw(cone, read, &self.params, fmt) {
+                    let (ax, ay) = (tx + p.x as i64, ty + p.y as i64);
+                    if ax < w && ay < h {
+                        Arc::make_mut(&mut next[f.index()])[(ay * w + ax) as usize] = v;
+                    }
+                }
+                tx += tw;
+            }
+            ty += th;
+        }
+        Ok(WordSet::from_shared(w as usize, h as usize, next))
+    }
 }
 
-/// Evaluate a cone's dataflow graph with `f64` semantics and fixed-point
-/// rounding after every node (selects forward unrounded, like the hardware
-/// mux) — the tree-walking golden reference of the quantised cone engine.
-fn eval_cone_graph_quantized<R>(
+/// Evaluate a cone's dataflow graph in the raw word domain: every node is
+/// one saturating `FixedFormat` operation (selects forward words unrounded,
+/// like the hardware mux) — the tree-walking golden reference of the
+/// quantised cone engine.
+fn eval_cone_graph_raw<R>(
     cone: &Cone,
     read: R,
     params: &[f64],
-    q: Quantizer,
-) -> Vec<(isl_ir::FieldId, isl_ir::Point, f64)>
+    fmt: FixedFormat,
+) -> Vec<(isl_ir::FieldId, isl_ir::Point, i64)>
 where
-    R: Fn(isl_ir::FieldId, isl_ir::Point) -> f64,
+    R: Fn(isl_ir::FieldId, isl_ir::Point) -> i64,
 {
     use isl_ir::{Leaf, Node};
     let graph = cone.graph();
-    let mut vals: Vec<f64> = Vec::with_capacity(graph.len());
+    let mut vals: Vec<i64> = Vec::with_capacity(graph.len());
     for (_, node) in graph.nodes() {
         let v = match node {
             Node::Leaf(Leaf::Input { field, point }) | Node::Leaf(Leaf::Static { field, point }) => {
-                q.apply(read(*field, *point))
+                read(*field, *point)
             }
-            Node::Leaf(Leaf::Const(c)) => q.apply(c.value()),
-            Node::Leaf(Leaf::Param(p)) => q.apply(params[p.index()]),
-            Node::Unary { op, arg } => q.apply(op.apply(vals[arg.index()])),
+            Node::Leaf(Leaf::Const(c)) => fmt.quantize(c.value()),
+            Node::Leaf(Leaf::Param(p)) => fmt.quantize(params[p.index()]),
+            Node::Unary { op, arg } => fmt.apply_unary(*op, vals[arg.index()]),
             Node::Binary { op, lhs, rhs } => {
-                q.apply(op.apply(vals[lhs.index()], vals[rhs.index()]))
+                fmt.apply_binary(*op, vals[lhs.index()], vals[rhs.index()])
             }
             Node::Select { cond, then_, else_ } => {
-                if vals[cond.index()] != 0.0 {
+                if vals[cond.index()] != 0 {
                     vals[then_.index()]
                 } else {
                     vals[else_.index()]

@@ -40,22 +40,21 @@ use isl_ir::BinaryOp;
 
 use crate::border::BorderMode;
 use crate::compile::{CompiledCone, CompiledKernel, CompiledPattern, Instr};
-use crate::fixed::Quantizer;
 use crate::frame::{Frame, FrameSet};
 use crate::parallel::{effective_threads, for_each_row_band, for_each_task};
 
 /// Row-span width of the structure-of-arrays scratch (bounds scratch memory
 /// at `instructions × SPAN × 8` bytes per worker).
-const SPAN: usize = 512;
+pub(crate) const SPAN: usize = 512;
 
 /// Cap on the structure-of-arrays scratch of the cone-lane evaluator, in
-/// `f64` values (`live slots × lanes` must fit; at most 512 KiB per worker,
-/// sized to stay L2-resident).
-const LANE_SCRATCH: usize = 1 << 16;
+/// scratch values (`live slots × lanes` must fit; at most 512 KiB per
+/// worker, sized to stay L2-resident).
+pub(crate) const LANE_SCRATCH: usize = 1 << 16;
 
 /// Below this many pixel-instructions a step runs serially even in auto
 /// thread mode — even pool dispatch cost would dominate.
-const PARALLEL_WORK_THRESHOLD: usize = 100_000;
+pub(crate) const PARALLEL_WORK_THRESHOLD: usize = 100_000;
 
 // -- source views -----------------------------------------------------------
 
@@ -141,7 +140,7 @@ pub(crate) fn step_compiled(
     border: BorderMode,
     threads: usize,
 ) -> FrameSet {
-    step_impl(cp, state, border, threads, None, None)
+    step_impl(cp, state, border, threads, None)
 }
 
 /// [`step_compiled`] with a retiring frame set whose uniquely-owned dynamic
@@ -154,22 +153,7 @@ pub(crate) fn step_compiled_into(
     threads: usize,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
-    step_impl(cp, state, border, threads, None, recycle)
-}
-
-/// One compiled whole-frame step with fixed-point rounding after every
-/// non-select instruction — the engine behind
-/// [`crate::Simulator::run_quantized`]. Compile the pattern with
-/// `fold == false` so every intermediate of the reference tree still exists.
-pub(crate) fn step_quantized(
-    cp: &CompiledPattern,
-    state: &FrameSet,
-    border: BorderMode,
-    q: Quantizer,
-    threads: usize,
-    recycle: Option<FrameSet>,
-) -> FrameSet {
-    step_impl(cp, state, border, threads, Some(q), recycle)
+    step_impl(cp, state, border, threads, recycle)
 }
 
 /// Reclaim the sample storage of every frame of `recycle` that is not shared
@@ -195,7 +179,6 @@ fn step_impl(
     state: &FrameSet,
     border: BorderMode,
     threads: usize,
-    post: Option<Quantizer>,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
@@ -207,7 +190,7 @@ fn step_impl(
             None => next.push(state.frame_arc(i)),
             Some(k) => {
                 let reuse = recycled.get_mut(i).and_then(Option::take);
-                let data = eval_field(k, &frames, w, h, border, threads, post, reuse);
+                let data = eval_field(k, &frames, w, h, border, threads, reuse);
                 next.push(Arc::new(Frame::from_vec(w, h, data)));
             }
         }
@@ -217,7 +200,6 @@ fn step_impl(
 
 /// Evaluate one kernel over the full frame, returning the output samples
 /// (into `reuse`'s storage when provided).
-#[allow(clippy::too_many_arguments)]
 fn eval_field(
     kernel: &CompiledKernel,
     frames: &[&Frame],
@@ -225,7 +207,6 @@ fn eval_field(
     h: usize,
     border: BorderMode,
     threads: usize,
-    post: Option<Quantizer>,
     reuse: Option<Vec<f64>>,
 ) -> Vec<f64> {
     let threads = if threads == 0 && w * h * kernel.len() < PARALLEL_WORK_THRESHOLD {
@@ -252,7 +233,6 @@ fn eval_field(
             border,
             (0, y0 as i64, w as i64 - 1, (y0 + rows) as i64 - 1),
             &mut dst,
-            post,
             &mut scratch,
         );
     });
@@ -266,7 +246,6 @@ fn eval_field(
 /// absolute frame coordinates, writing into `dst`. The interior portion of
 /// the rect (where every tap is statically in-frame) runs as vectorised
 /// row spans; the rest falls back to per-pixel evaluation.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_rect(
     kernel: &CompiledKernel,
     srcs: &[SrcView<'_>],
@@ -274,7 +253,6 @@ pub(crate) fn eval_rect(
     border: BorderMode,
     (rx0, ry0, rx1, ry1): (i64, i64, i64, i64),
     dst: &mut RectOut<'_>,
-    post: Option<Quantizer>,
     scratch: &mut Scratch,
 ) {
     let halo = kernel.halo();
@@ -290,12 +268,12 @@ pub(crate) fn eval_rect(
         if (ylo..=yhi).contains(&y) && xlo <= xhi {
             for x in rx0..xlo {
                 dst.data[at(x)] =
-                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs);
             }
             let mut x0 = xlo;
             while x0 <= xhi {
                 let len = (xhi - x0 + 1).min(SPAN as i64) as usize;
-                eval_span(kernel, srcs, y, x0, len, &mut scratch.lanes, post);
+                eval_span(kernel, srcs, y, x0, len, &mut scratch.lanes);
                 let res = kernel.result as usize;
                 dst.data[at(x0)..at(x0) + len]
                     .copy_from_slice(&scratch.lanes[res * len..(res + 1) * len]);
@@ -303,12 +281,12 @@ pub(crate) fn eval_rect(
             }
             for x in (xhi + 1)..=rx1 {
                 dst.data[at(x)] =
-                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs);
             }
         } else {
             for x in rx0..=rx1 {
                 dst.data[at(x)] =
-                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs, post);
+                    eval_pixel(kernel, srcs, border, (w, h), x, y, &mut scratch.regs);
             }
         }
     }
@@ -323,13 +301,11 @@ fn eval_span(
     x0: i64,
     len: usize,
     scratch: &mut [f64],
-    post: Option<Quantizer>,
 ) {
     for (i, instr) in kernel.code.iter().enumerate() {
         let (prev, cur) = scratch.split_at_mut(i * len);
         let dst = &mut cur[..len];
         let lane = |r: u32| &prev[r as usize * len..(r as usize + 1) * len];
-        let mut rounded = true;
         match *instr {
             Instr::Const(v) => dst.fill(v),
             Instr::Input { field, dx, dy } => {
@@ -342,19 +318,9 @@ fn eval_span(
             Instr::Unary { op, a } => unary_span(op, lane(a), dst),
             Instr::Binary { op, a, b } => binary_span(op, lane(a), lane(b), dst),
             Instr::Select { c, t, e } => {
-                // The interpreter applies no rounding hook to a select — it
-                // forwards one already-rounded branch value unchanged.
-                rounded = false;
                 let (c, t, e) = (lane(c), lane(t), lane(e));
                 for k in 0..len {
                     dst[k] = if c[k] != 0.0 { t[k] } else { e[k] };
-                }
-            }
-        }
-        if rounded {
-            if let Some(q) = post {
-                for v in dst.iter_mut() {
-                    *v = q.apply(*v);
                 }
             }
         }
@@ -398,7 +364,6 @@ fn binary_span(op: BinaryOp, a: &[f64], b: &[f64], dst: &mut [f64]) {
 
 /// Per-pixel program evaluation with full border resolution — used for the
 /// border strips and for rects with no interior at all.
-#[allow(clippy::too_many_arguments)]
 fn eval_pixel(
     kernel: &CompiledKernel,
     srcs: &[SrcView<'_>],
@@ -407,35 +372,26 @@ fn eval_pixel(
     x: i64,
     y: i64,
     regs: &mut [f64],
-    post: Option<Quantizer>,
 ) -> f64 {
     for (i, instr) in kernel.code.iter().enumerate() {
-        let (v, rounded) = match *instr {
-            Instr::Const(c) => (c, true),
-            Instr::Input { field, dx, dy } => (
-                srcs[field as usize].sample(
-                    x + i64::from(dx),
-                    y + i64::from(dy),
-                    w as i64,
-                    h as i64,
-                    border,
-                ),
-                true,
+        regs[i] = match *instr {
+            Instr::Const(c) => c,
+            Instr::Input { field, dx, dy } => srcs[field as usize].sample(
+                x + i64::from(dx),
+                y + i64::from(dy),
+                w as i64,
+                h as i64,
+                border,
             ),
-            Instr::Unary { op, a } => (op.apply(regs[a as usize]), true),
-            Instr::Binary { op, a, b } => (op.apply(regs[a as usize], regs[b as usize]), true),
-            Instr::Select { c, t, e } => (
+            Instr::Unary { op, a } => op.apply(regs[a as usize]),
+            Instr::Binary { op, a, b } => op.apply(regs[a as usize], regs[b as usize]),
+            Instr::Select { c, t, e } => {
                 if regs[c as usize] != 0.0 {
                     regs[t as usize]
                 } else {
                     regs[e as usize]
-                },
-                false,
-            ),
-        };
-        regs[i] = match (post, rounded) {
-            (Some(q), true) => q.apply(v),
-            _ => v,
+                }
+            }
         };
     }
     regs[kernel.result as usize]
@@ -464,11 +420,11 @@ pub(crate) fn dyn_slot_map(
 /// Split each buffer of `bufs` (all the same length, `width`-sample rows)
 /// into aligned bands of at most `rows_per_band` rows. Returns
 /// `(first_row, per-buffer band slices)` per band.
-fn split_bands(
-    mut bufs: Vec<&mut [f64]>,
+pub(crate) fn split_bands<T>(
+    mut bufs: Vec<&mut [T]>,
     width: usize,
     rows_per_band: usize,
-) -> Vec<(usize, Vec<&mut [f64]>)> {
+) -> Vec<(usize, Vec<&mut [T]>)> {
     let mut out = Vec::new();
     let mut row0 = 0;
     while bufs.first().is_some_and(|b| !b.is_empty()) {
@@ -488,7 +444,7 @@ fn split_bands(
 }
 
 /// Concurrency for a tile-banded pass: contiguous bands of whole tile rows.
-fn tile_banding(h: usize, th: usize, threads: usize, work: usize) -> usize {
+pub(crate) fn tile_banding(h: usize, th: usize, threads: usize, work: usize) -> usize {
     let threads = if threads == 0 && work < PARALLEL_WORK_THRESHOLD {
         1
     } else {
@@ -537,9 +493,7 @@ where
 /// One compiled tiled level: apply depth-`d` cones of the pattern's kernels
 /// over every `window` tile of the frame — the engine behind
 /// [`crate::Simulator::run_tiled`]. Bit-identical to the tree-walking
-/// reference level for every local border mode and thread count. With
-/// `post` set, every non-select instruction's result is rounded — the
-/// engine behind [`crate::Simulator::run_tiled_quantized`].
+/// reference level for every local border mode and thread count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tiled_level_compiled(
     cp: &CompiledPattern,
@@ -549,7 +503,6 @@ pub(crate) fn tiled_level_compiled(
     (tw, th): (i64, i64),
     d: u32,
     r: i64,
-    post: Option<Quantizer>,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
@@ -585,7 +538,6 @@ pub(crate) fn tiled_level_compiled(
                     (d, r),
                     (&mut ping, &mut pong),
                     &mut scratch,
-                    post,
                     (slices, row0),
                 );
                 tx += tw;
@@ -611,7 +563,6 @@ fn tile_compiled(
     (d, r): (u32, i64),
     (ping, pong): (&mut [Vec<f64>], &mut [Vec<f64>]),
     scratch: &mut Scratch,
-    post: Option<Quantizer>,
     (slices, row0): (&mut [&mut [f64]], usize),
 ) {
     let (wi, hi) = (w as i64, h as i64);
@@ -652,7 +603,7 @@ fn tile_compiled(
                     oy: row0 as i64,
                     stride: w,
                 };
-                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, post, scratch);
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, scratch);
             } else {
                 let mut dst = RectOut {
                     data: &mut pong[di],
@@ -660,7 +611,7 @@ fn tile_compiled(
                     oy: ny0,
                     stride: nbw,
                 };
-                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, post, scratch);
+                eval_rect(kernel, &srcs, (w, h), border, (nx0, ny0, nx1, ny1), &mut dst, scratch);
             }
         }
         if l < d {
@@ -678,17 +629,13 @@ fn tile_compiled(
 /// window — the engine behind [`crate::Simulator::run_cone_dag`]. Interior
 /// tiles run as structure-of-arrays lanes (one lane per tile); tiles whose
 /// reach crosses the frame edge run scalar with base-input border
-/// resolution, exactly like [`isl_ir::Cone::eval`]. With `post` set, every
-/// non-select instruction's lane is rounded — the engine behind
-/// [`crate::Simulator::run_cone_dag_quantized`].
-#[allow(clippy::too_many_arguments)]
+/// resolution, exactly like [`isl_ir::Cone::eval`].
 pub(crate) fn cone_level_compiled(
     cc: &CompiledCone,
     state: &FrameSet,
     border: BorderMode,
     threads: usize,
     (tw, th): (i64, i64),
-    post: Option<Quantizer>,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
     let (w, h) = (state.width(), state.height());
@@ -737,7 +684,6 @@ pub(crate) fn cone_level_compiled(
                 true,
                 &dyn_slot,
                 &mut scratch,
-                post,
                 (slices, row0),
             );
         }
@@ -751,7 +697,6 @@ pub(crate) fn cone_level_compiled(
                 false,
                 &dyn_slot,
                 &mut scratch,
-                post,
                 (slices, row0),
             );
         }
@@ -766,6 +711,14 @@ pub(crate) fn cone_level_compiled(
 /// [`isl_ir::Cone::eval`]) and scatters clip to the frame. The arithmetic
 /// instructions are identical — and amortised across the chunk — either
 /// way.
+///
+/// Outputs **stream to their destinations as they retire**: slot allocation
+/// frees an output's slot right after its defining instruction (see
+/// [`CompiledCone::retire`]), so each output lane is scattered the moment it
+/// is produced, walking the capture-sorted retire list alongside the
+/// instruction loop. That is what shrinks the live set — and the scratch —
+/// below the output count, letting far more lanes fit in the L2-sized
+/// scratch budget.
 #[allow(clippy::too_many_arguments)]
 fn eval_cone_lanes(
     cc: &CompiledCone,
@@ -776,7 +729,6 @@ fn eval_cone_lanes(
     interior: bool,
     dyn_slot: &[Option<usize>],
     scratch: &mut [f64],
-    post: Option<Quantizer>,
     (slices, row0): (&mut [&mut [f64]], usize),
 ) {
     let n = chunk.len();
@@ -791,6 +743,7 @@ fn eval_cone_lanes(
     // destination slot is never one of its operand slots, so the disjoint
     // borrows below cannot fail.
     let range = |s: u32| s as usize * n..s as usize * n + n;
+    let mut next_retire = 0usize;
     for (i, instr) in cc.code.iter().enumerate() {
         let d = cc.dst[i];
         match *instr {
@@ -843,34 +796,30 @@ fn eval_cone_lanes(
                 }
             }
         }
-        // Quantised execution: round every lane of a non-select result (a
-        // select forwards already-rounded branch values unchanged, like the
-        // interpreter and the hardware mux).
-        if !matches!(*instr, Instr::Select { .. }) {
-            if let Some(q) = post {
-                for v in &mut scratch[range(d)] {
-                    *v = q.apply(*v);
+        // Stream every output defined by this instruction to its destination
+        // before its slot can be reused.
+        while next_retire < cc.retire.len() && cc.capture[cc.retire[next_retire] as usize] as usize == i
+        {
+            let slot = &cc.outputs[cc.retire[next_retire] as usize];
+            next_retire += 1;
+            let di = dyn_slot[slot.field as usize].expect("output field is dynamic");
+            let src = &scratch[range(slot.reg)];
+            let off = i64::from(slot.py) * w as i64 + i64::from(slot.px);
+            if interior {
+                for (&v, &o) in src.iter().zip(&write_origin) {
+                    slices[di][(o + off) as usize] = v;
+                }
+            } else {
+                for (k, &(tx, ty)) in chunk.iter().enumerate() {
+                    let (ax, ay) = (tx + i64::from(slot.px), ty + i64::from(slot.py));
+                    if ax < w as i64 && ay < h as i64 {
+                        slices[di][(ay as usize - row0) * w + ax as usize] = src[k];
+                    }
                 }
             }
         }
     }
-    for slot in &cc.outputs {
-        let di = dyn_slot[slot.field as usize].expect("output field is dynamic");
-        let src = &scratch[range(slot.reg)];
-        let off = i64::from(slot.py) * w as i64 + i64::from(slot.px);
-        if interior {
-            for (&v, &o) in src.iter().zip(&write_origin) {
-                slices[di][(o + off) as usize] = v;
-            }
-        } else {
-            for (k, &(tx, ty)) in chunk.iter().enumerate() {
-                let (ax, ay) = (tx + i64::from(slot.px), ty + i64::from(slot.py));
-                if ax < w as i64 && ay < h as i64 {
-                    slices[di][(ay as usize - row0) * w + ax as usize] = src[k];
-                }
-            }
-        }
-    }
+    debug_assert_eq!(next_retire, cc.outputs.len(), "every output must retire");
 }
 
 #[cfg(test)]

@@ -220,10 +220,10 @@ fn golden_vector_roundtrip_two_algorithms() {
     }
 }
 
-/// The co-simulator's integer run and the quantised f64 run bracket the
-/// same hardware: their outputs agree to within a couple of quantisation
-/// steps per operation (truncating vs round-to-nearest multiplies differ by
-/// at most one LSB each).
+/// The co-simulator's integer run and the simulator's quantised run are the
+/// *same* hardware, twice: since the quantised engines moved into the raw
+/// word domain, both sides execute the identical saturating/truncating
+/// datapath and must agree bit for bit — no drift allowance at all.
 #[test]
 fn integer_run_tracks_quantized_run() {
     let algo = isl_hls::algorithms::gaussian_igf();
@@ -240,11 +240,7 @@ fn integer_run_tracks_quantized_run() {
         .expect("valid")
         .run_cone_dag_quantized(&init, 4, Window::square(4), 2, q)
         .expect("quantised run");
-    let diff = fixed.max_abs_diff(&quantized);
-    assert!(
-        diff <= 64.0 * fmt.resolution(),
-        "integer vs quantised drift {diff}"
-    );
+    assert_bitwise_eq(&fixed, &quantized, "cosim integer vs sim quantised");
 }
 
 /// A deliberately injected single-LSB rounding fault anywhere in the cone
