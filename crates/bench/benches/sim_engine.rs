@@ -4,8 +4,10 @@
 //! (cone-architecture) and cone-DAG — plus their **quantised** variants
 //! (the raw-word fixed-point datapath of the generated hardware), the
 //! cone-program slot footprint with and without the consumer-clustering
-//! scheduling pre-pass, warm-vs-cold staged-session DSE, and the precision
-//! **format search** (cold vs warm, searched vs default-format area).
+//! scheduling pre-pass, warm-vs-cold staged-session DSE, the precision
+//! **format search** (cold vs warm, searched vs default-format area), and
+//! the **fault-injection campaign** sweep rate (faults/s of the exhaustive
+//! stuck-at + bit-flip campaign over the w8 d2 decomposition).
 //!
 //! A **frames** section scales the float-vs-quantised comparison to
 //! production sizes — 1080p and 4K single frames plus a multi-frame 1080p
@@ -23,6 +25,7 @@ use std::time::Instant;
 
 use isl_bench::harness::Criterion;
 use isl_hls::algorithms::{chambolle, gaussian_igf};
+use isl_hls::cosim::{CoSimulator, MaskSchedule};
 use isl_hls::ir::Cone;
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
@@ -491,6 +494,55 @@ fn main() {
         ));
     }
 
+    // Fault-injection campaign throughput: the reliability subsystem's
+    // exhaustive stuck-at + bit-flip sweep over every instruction of the
+    // w8 d2 cone decomposition — faults-per-second is the number that
+    // bounds how often CI can afford the full campaign. A campaign runs
+    // for tens of seconds and is fully deterministic, so one timed run is
+    // the measurement (median-of-N would multiply minutes for noise that
+    // sits far below the reading). Fast mode shrinks the frame and keeps
+    // the single-LSB schedule; the full run uses the standard three-mask
+    // schedule of the default format.
+    let (fc_size, fc_iters) = if fast { (32usize, 2u32) } else { (48usize, 4u32) };
+    let fc_window = Window::square(8);
+    let fc_fmt = FixedFormat::default();
+    let fc_schedule = if fast {
+        MaskSchedule::lsb()
+    } else {
+        MaskSchedule::standard(fc_fmt)
+    };
+    let mut fc_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let init = small_for(&case.pattern, fc_size, fc_size);
+        let cosim = CoSimulator::new(&case.pattern, fc_fmt).expect("valid");
+        let t0 = Instant::now();
+        let report = cosim
+            .fault_campaign(&init, fc_iters, fc_window, DEPTH, &fc_schedule)
+            .expect("campaign runs");
+        let t = t0.elapsed().as_secs_f64();
+        println!(
+            "fault_campaign_{:<16} w8 d{DEPTH} {fc_size}x{fc_size}: {} faults over {} instrs in {:>8.2} ms ({:>7.1} faults/s) | detected {:.1}% ({:.1}% of active)",
+            case.name,
+            report.faults,
+            report.instructions,
+            t * 1e3,
+            report.faults as f64 / t,
+            100.0 * report.detection_rate(),
+            100.0 * report.active_detection_rate(),
+        );
+        fc_rows.push(format!(
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"faults\": {}, \"campaign_ms\": {:.3}, \"faults_per_s\": {:.1}, \"detection_pct\": {:.1}, \"active_detection_pct\": {:.1}, \"triaged\": {}}}",
+            case.name,
+            report.instructions,
+            report.faults,
+            t * 1e3,
+            report.faults as f64 / t,
+            100.0 * report.detection_rate(),
+            100.0 * report.active_detection_rate(),
+            report.triaged
+        ));
+    }
+
     let mut json = format!(
         "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
     );
@@ -505,6 +557,8 @@ fn main() {
     json.push_str(&session_rows.join(",\n"));
     json.push_str("\n  ],\n  \"format_search\": [\n");
     json.push_str(&fs_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"fault_campaign\": [\n");
+    json.push_str(&fc_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the
     // trajectory file at the workspace root instead.

@@ -1359,6 +1359,38 @@ impl Certified {
             bundle: self.session.bundle_of(&cone, &cert.vector_files)?,
         })
     }
+
+    /// Quantify the certificate's *detection power*: sweep every
+    /// instruction of the certified decomposition's cone programs against
+    /// `schedule`'s fault models (bit-flips, stuck-ats) on `init`, replay
+    /// the recorded golden stimuli under each fault, and report how many
+    /// injected faults the golden-vector check would catch — detected /
+    /// masked / silent counts, per-level breakdown and detection latency,
+    /// each detection triaged to instruction granularity
+    /// ([`isl_cosim::FaultCoverageReport`]).
+    ///
+    /// Certification proves the clean datapath computes the right words;
+    /// the campaign measures how loudly that proof fails when a bit
+    /// breaks — the reliability number to quote next to the certificate.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Verification`] / [`FlowError::Simulation`] via the
+    /// cosim campaign driver (frame-set mismatch, cone construction).
+    pub fn fault_campaign(
+        &self,
+        init: &FrameSet,
+        schedule: &isl_cosim::MaskSchedule,
+    ) -> Result<isl_cosim::FaultCoverageReport, FlowError> {
+        let cert = &self.certificate;
+        let spec = &self.session.spec;
+        let cosim = CoSimulator::new(&spec.pattern, cert.format)
+            .map_err(|e| FlowError::from(e).at(Stage::Certify, None))?
+            .with_border(spec.border);
+        cosim
+            .fault_campaign(init, cert.iterations, cert.arch.window, cert.arch.depth, schedule)
+            .map_err(|e| FlowError::from(e).at(Stage::Certify, None))
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,556 @@
+//! Fault-injection campaigns over whole cone programs.
+//!
+//! A campaign answers the reliability question certification cannot: *if a
+//! datapath bit breaks, does the golden-vector check notice?* The driver
+//! sweeps **every instruction** of an architecture's compiled cone programs
+//! against a [`MaskSchedule`] of [`FaultModel`]s (transient bit-flips,
+//! stuck-at-0, stuck-at-1), replays the recorded clean stimuli of a real
+//! run under each fault, and classifies every injected fault:
+//!
+//! * **detected** — some firing's output word diverges from the clean
+//!   golden response; the firing index is the *detection latency in
+//!   windows*, and the firing's level localises it in the architecture
+//!   decomposition. Each detection is confirmed at instruction granularity
+//!   by [`CoSimulator::triage_vectors`] on a reconstructed faulty vector
+//!   file;
+//! * **masked** — the fault corrupts the instruction's result word in at
+//!   least one firing, but the corruption never reaches an output (logical
+//!   masking in the cone DAG);
+//! * **silent** — the fault never changes the instruction's result on the
+//!   campaign's stimuli (a stuck-at that agrees with the value it would
+//!   force), so no test could observe it.
+//!
+//! The sweep is replay-based, not rerun-based: the clean run's per-firing
+//! stimulus/response words are recorded once
+//! ([`CoSimulator::golden_vectors`]) and every fault replays individual
+//! firings through [`eval_cone_raw_traced`] with early exit at the first
+//! detection — the cost per fault is a handful of cone evaluations, not a
+//! whole-frame co-simulation.
+
+use isl_fpga::FixedFormat;
+use isl_ir::{Cone, Window};
+use isl_sim::{CompiledCone, FrameSet};
+use isl_vhdl::vectors::VectorFile;
+
+use crate::cosim::{replay_read, CoSimulator, TriageOutcome};
+use crate::error::CosimError;
+use crate::vm::{eval_cone_raw_traced, Fault, FaultModel};
+
+/// Which corruptions a campaign injects at every instruction: a set of bit
+/// masks crossed with the enabled fault-model kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskSchedule {
+    masks: Vec<i64>,
+    bit_flip: bool,
+    stuck_at: bool,
+}
+
+impl MaskSchedule {
+    /// The standard schedule for a format: single-bit masks at the LSB, the
+    /// lowest integer bit and the sign bit (deduplicated for narrow words),
+    /// all three fault models.
+    pub fn standard(fmt: FixedFormat) -> Self {
+        let mut bits = vec![0u32, fmt.frac.min(fmt.width - 1), fmt.width - 1];
+        bits.sort_unstable();
+        bits.dedup();
+        MaskSchedule {
+            masks: bits.into_iter().map(|b| 1i64 << b).collect(),
+            bit_flip: true,
+            stuck_at: true,
+        }
+    }
+
+    /// A minimal schedule: a single-LSB mask, all three fault models — the
+    /// cheapest sweep that still exercises every instruction and every
+    /// model kind (used by the CI smoke shard).
+    pub fn lsb() -> Self {
+        MaskSchedule {
+            masks: vec![1],
+            bit_flip: true,
+            stuck_at: true,
+        }
+    }
+
+    /// An explicit mask list, all three fault models.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] when `masks` is empty or contains a zero mask
+    /// (a zero mask corrupts nothing under any model).
+    pub fn with_masks(masks: Vec<i64>) -> Result<Self, CosimError> {
+        if masks.is_empty() || masks.contains(&0) {
+            return Err(CosimError::Sim(
+                "mask schedule needs at least one non-zero mask".into(),
+            ));
+        }
+        Ok(MaskSchedule {
+            masks,
+            bit_flip: true,
+            stuck_at: true,
+        })
+    }
+
+    /// Restrict to transient bit-flips only.
+    pub fn bit_flip_only(mut self) -> Self {
+        self.bit_flip = true;
+        self.stuck_at = false;
+        self
+    }
+
+    /// Restrict to stuck-at models only.
+    pub fn stuck_at_only(mut self) -> Self {
+        self.bit_flip = false;
+        self.stuck_at = true;
+        self
+    }
+
+    /// Every fault model of the schedule (mask × kind cross product).
+    pub fn models(&self) -> Vec<FaultModel> {
+        let mut out = Vec::new();
+        for &mask in &self.masks {
+            if self.bit_flip {
+                out.push(FaultModel::BitFlip { mask });
+            }
+            if self.stuck_at {
+                out.push(FaultModel::StuckAt0 { mask });
+                out.push(FaultModel::StuckAt1 { mask });
+            }
+        }
+        out
+    }
+}
+
+/// Per-model-kind classification counts of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCoverage {
+    /// Model kind name (`bit-flip`, `stuck-at-0`, `stuck-at-1`).
+    pub model: String,
+    /// Faults injected under this kind.
+    pub faults: usize,
+    /// Faults whose corruption reached an output word.
+    pub detected: usize,
+    /// Faults that perturbed an instruction result but never an output.
+    pub masked: usize,
+    /// Faults that never perturbed any instruction result.
+    pub silent: usize,
+}
+
+/// Detections whose *first* diverging firing belongs to one decomposition
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelDetections {
+    /// Level index of the architecture decomposition.
+    pub level: u32,
+    /// Faults first detected at this level.
+    pub detected: usize,
+}
+
+/// One detected fault of the report's sample: where it was injected, where
+/// it was first observed, and whether triage confirmed the instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedFault {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Cone depth of the program the fault lives in (the main shape, or
+    /// the remainder shape of a non-divisor decomposition).
+    pub shape_depth: u32,
+    /// Opcode mnemonic of the faulted instruction.
+    pub opcode: String,
+    /// Firing (vector-record) index of the first diverging output word —
+    /// the detection latency in windows.
+    pub latency: usize,
+    /// Decomposition level of the first diverging firing.
+    pub level: u32,
+    /// Whether [`CoSimulator::triage_vectors`] pinned the reconstructed
+    /// faulty vector file back to exactly this instruction.
+    pub triaged: bool,
+}
+
+/// Coverage evidence of one fault campaign: classification counts, the
+/// per-model and per-level breakdowns, and detection-latency statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCoverageReport {
+    /// Entity name of the main cone shape.
+    pub entity: String,
+    /// Architecture window.
+    pub window: Window,
+    /// Architecture cone depth.
+    pub depth: u32,
+    /// Iterations of the campaign run.
+    pub iterations: u32,
+    /// Hardware format.
+    pub format: FixedFormat,
+    /// Instructions swept, summed over the distinct cone shapes.
+    pub instructions: usize,
+    /// Faults injected (instructions × schedule models).
+    pub faults: usize,
+    /// Faults whose corruption reached an output word.
+    pub detected: usize,
+    /// Faults that perturbed a result word but never an output.
+    pub masked: usize,
+    /// Faults that never perturbed any result word on these stimuli.
+    pub silent: usize,
+    /// Detections confirmed at instruction granularity by triage.
+    pub triaged: usize,
+    /// Classification split by fault-model kind.
+    pub by_model: Vec<ModelCoverage>,
+    /// First-detection counts per decomposition level.
+    pub by_level: Vec<LevelDetections>,
+    /// Mean detection latency over detected faults, in windows.
+    pub mean_latency: f64,
+    /// Largest detection latency, in windows.
+    pub max_latency: usize,
+    /// A bounded sample of detected faults (first
+    /// [`FaultCoverageReport::SAMPLE_CAP`], in sweep order).
+    pub sample: Vec<DetectedFault>,
+}
+
+impl FaultCoverageReport {
+    /// Cap on the detected-fault sample kept in the report.
+    pub const SAMPLE_CAP: usize = 32;
+
+    /// Detected fraction of all injected faults, `0..=1`.
+    pub fn detection_rate(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / self.faults as f64
+    }
+
+    /// Detected fraction of the faults that actually perturbed a result
+    /// word (silent faults excluded — no observer could catch them).
+    pub fn active_detection_rate(&self) -> f64 {
+        let active = self.faults - self.silent;
+        if active == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / active as f64
+    }
+}
+
+impl std::fmt::Display for FaultCoverageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fault campaign `{}` w{} d{} x{} iters, {}: {} instructions, {} faults",
+            self.entity,
+            self.window,
+            self.depth,
+            self.iterations,
+            self.format,
+            self.instructions,
+            self.faults,
+        )?;
+        writeln!(
+            f,
+            "  detected {} ({:.1}% of all, {:.1}% of active) | masked {} | silent {} | triaged {}/{}",
+            self.detected,
+            100.0 * self.detection_rate(),
+            100.0 * self.active_detection_rate(),
+            self.masked,
+            self.silent,
+            self.triaged,
+            self.detected,
+        )?;
+        for m in &self.by_model {
+            writeln!(
+                f,
+                "  {:<11} {} faults: {} detected / {} masked / {} silent",
+                m.model, m.faults, m.detected, m.masked, m.silent
+            )?;
+        }
+        write!(
+            f,
+            "  latency: mean {:.2} windows, max {} windows",
+            self.mean_latency, self.max_latency
+        )
+    }
+}
+
+/// Internal per-shape campaign state: the compiled program, the shape's
+/// vector file and the clean per-record instruction traces.
+struct ShapeRun<'f> {
+    file: &'f VectorFile,
+    cc: CompiledCone,
+    traces: Vec<Vec<i64>>,
+}
+
+impl CoSimulator<'_> {
+    /// Run a full fault-injection campaign over the cone-architecture
+    /// decomposition `(window, depth)` on `init`: record the clean run's
+    /// golden vectors, then inject every model of `schedule` at **every
+    /// instruction** of every distinct cone shape, replay the recorded
+    /// stimuli under each fault and classify it (see the [module
+    /// docs](crate::campaign)). Every detection is confirmed at
+    /// instruction granularity through [`CoSimulator::triage_vectors`].
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::Sim`] when this co-simulator already carries a fault
+    /// hypothesis (the campaign owns fault injection) or on a frame-set
+    /// mismatch; [`CosimError::Cone`] on cone-construction failures.
+    pub fn fault_campaign(
+        &self,
+        init: &FrameSet,
+        iterations: u32,
+        window: Window,
+        depth: u32,
+        schedule: &MaskSchedule,
+    ) -> Result<FaultCoverageReport, CosimError> {
+        if self.fault.is_some() {
+            return Err(CosimError::Sim(
+                "fault campaign requires a clean co-simulator (drop with_fault)".into(),
+            ));
+        }
+        let models = schedule.models();
+        if models.is_empty() {
+            return Err(CosimError::Sim("mask schedule has no models".into()));
+        }
+        let files = self.golden_vectors(init, iterations, window, depth)?;
+        let fmt = self.format();
+
+        // Clean replay per shape: compiled program + per-record traces. The
+        // replayed outputs must reproduce the recorded responses exactly —
+        // anything else means the file and the program drifted apart.
+        let mut shapes = Vec::with_capacity(files.len());
+        for file in &files {
+            let cone = Cone::build(self.pattern(), file.window, file.depth)?;
+            let cc = CompiledCone::compile_with(&cone, &self.params, false);
+            let mut traces = Vec::with_capacity(file.records.len());
+            for (ri, record) in file.records.iter().enumerate() {
+                let read = replay_read(self.pattern(), file, ri);
+                let (outs, trace) = eval_cone_raw_traced(&cc, fmt, &read, None);
+                if outs != record.response {
+                    return Err(CosimError::Sim(format!(
+                        "clean replay of `{}` record {ri} disagrees with its recorded response",
+                        file.entity
+                    )));
+                }
+                traces.push(trace);
+            }
+            shapes.push(ShapeRun { file, cc, traces });
+        }
+
+        let mut report = FaultCoverageReport {
+            entity: files
+                .iter()
+                .max_by_key(|f| f.depth)
+                .map(|f| f.entity.clone())
+                .unwrap_or_default(),
+            window,
+            depth,
+            iterations,
+            format: fmt,
+            instructions: shapes.iter().map(|s| s.cc.len()).sum(),
+            faults: 0,
+            detected: 0,
+            masked: 0,
+            silent: 0,
+            triaged: 0,
+            by_model: models
+                .iter()
+                .map(|m| m.name())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .map(|name| ModelCoverage {
+                    model: name.to_string(),
+                    faults: 0,
+                    detected: 0,
+                    masked: 0,
+                    silent: 0,
+                })
+                .collect(),
+            by_level: Vec::new(),
+            mean_latency: 0.0,
+            max_latency: 0,
+            sample: Vec::new(),
+        };
+        let mut latency_sum = 0usize;
+
+        for shape in &shapes {
+            for instr in 0..shape.cc.len() {
+                let (opcode, _, _) =
+                    crate::cosim::InstrDivergence::describe(&shape.cc.code()[instr]);
+                for model in &models {
+                    let fault = Fault {
+                        instr,
+                        model: *model,
+                    };
+                    report.faults += 1;
+                    let mc = report
+                        .by_model
+                        .iter_mut()
+                        .find(|m| m.model == model.name())
+                        .expect("model row built above");
+                    mc.faults += 1;
+
+                    // Silent check from the clean traces alone: the first
+                    // record where the model would actually change the
+                    // faulted instruction's result word.
+                    let first_active = shape
+                        .traces
+                        .iter()
+                        .position(|t| model.apply(t[instr]) != t[instr]);
+                    let Some(first_active) = first_active else {
+                        report.silent += 1;
+                        mc.silent += 1;
+                        continue;
+                    };
+
+                    // Replay firings from the first active record; the
+                    // first output divergence is the detection.
+                    let mut detection: Option<(usize, Vec<i64>)> = None;
+                    for ri in first_active..shape.file.records.len() {
+                        let read = replay_read(self.pattern(), shape.file, ri);
+                        let (outs, _) =
+                            eval_cone_raw_traced(&shape.cc, fmt, &read, Some(fault));
+                        if outs != shape.file.records[ri].response {
+                            detection = Some((ri, outs));
+                            break;
+                        }
+                    }
+                    let Some((latency, faulty_outs)) = detection else {
+                        report.masked += 1;
+                        mc.masked += 1;
+                        continue;
+                    };
+                    report.detected += 1;
+                    mc.detected += 1;
+                    latency_sum += latency;
+                    report.max_latency = report.max_latency.max(latency);
+                    let level = shape.file.records[latency].level;
+                    match report.by_level.iter_mut().find(|l| l.level == level) {
+                        Some(l) => l.detected += 1,
+                        None => report.by_level.push(LevelDetections { level, detected: 1 }),
+                    }
+
+                    // Triage confirmation: rebuild the faulty vector file up
+                    // to the detection and let the triage machinery pin the
+                    // divergence back to the injected instruction.
+                    let mut faulty_file = VectorFile {
+                        entity: shape.file.entity.clone(),
+                        format: shape.file.format,
+                        window: shape.file.window,
+                        depth: shape.file.depth,
+                        ports_in: shape.file.ports_in.clone(),
+                        ports_out: shape.file.ports_out.clone(),
+                        records: shape.file.records[..=latency].to_vec(),
+                    };
+                    faulty_file.records[latency].response = faulty_outs;
+                    let triaged = match self
+                        .clone()
+                        .with_fault(fault)
+                        .triage_vectors(&faulty_file)?
+                    {
+                        TriageOutcome::Diverged(r) => {
+                            r.record == latency
+                                && r.divergence.as_ref().is_some_and(|d| d.instr == instr)
+                        }
+                        TriageOutcome::NoDivergence => false,
+                    };
+                    if triaged {
+                        report.triaged += 1;
+                    }
+                    if report.sample.len() < FaultCoverageReport::SAMPLE_CAP {
+                        report.sample.push(DetectedFault {
+                            fault,
+                            shape_depth: shape.file.depth,
+                            opcode: opcode.clone(),
+                            latency,
+                            level,
+                            triaged,
+                        });
+                    }
+                }
+            }
+        }
+        report.by_level.sort_by_key(|l| l.level);
+        report.mean_latency = if report.detected == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / report.detected as f64
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isl_ir::{BinaryOp, Expr, FieldKind, Offset, StencilPattern};
+    use isl_sim::{Frame, FrameSet};
+
+    fn blur() -> StencilPattern {
+        let mut p = StencilPattern::new(2).with_name("blur");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        let sum = Expr::sum([
+            Expr::input(f, Offset::d2(0, -1)),
+            Expr::input(f, Offset::d2(-1, 0)),
+            Expr::input(f, Offset::d2(1, 0)),
+            Expr::input(f, Offset::d2(0, 1)),
+        ]);
+        p.set_update(f, Expr::binary(BinaryOp::Div, sum, Expr::constant(4.0)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn campaign_classifies_every_fault() {
+        let p = blur();
+        let fmt = FixedFormat::default();
+        let cosim = CoSimulator::new(&p, fmt).unwrap();
+        let init = FrameSet::from_frames(vec![Frame::from_fn(8, 6, |x, y| {
+            ((x * 3 + y * 5) % 13) as f64 / 4.0 - 1.5
+        })])
+        .unwrap();
+        let schedule = MaskSchedule::lsb();
+        let report = cosim
+            .fault_campaign(&init, 3, Window::square(3), 2, &schedule)
+            .unwrap();
+        assert_eq!(
+            report.faults,
+            report.detected + report.masked + report.silent
+        );
+        assert_eq!(report.faults, report.instructions * 3);
+        assert!(report.detected > 0, "{report}");
+        // Every detection is pinned back to its instruction.
+        assert_eq!(report.triaged, report.detected, "{report}");
+        assert!(!report.by_level.is_empty());
+        assert_eq!(
+            report.by_level.iter().map(|l| l.detected).sum::<usize>(),
+            report.detected
+        );
+        let by_model: usize = report.by_model.iter().map(|m| m.faults).sum();
+        assert_eq!(by_model, report.faults);
+    }
+
+    #[test]
+    fn bit_flips_are_never_silent() {
+        let p = blur();
+        let fmt = FixedFormat::default();
+        let cosim = CoSimulator::new(&p, fmt).unwrap();
+        let init = FrameSet::from_frames(vec![Frame::from_fn(6, 5, |x, y| {
+            (x as f64 - y as f64) / 3.0
+        })])
+        .unwrap();
+        let schedule = MaskSchedule::lsb().bit_flip_only();
+        let report = cosim
+            .fault_campaign(&init, 2, Window::square(2), 1, &schedule)
+            .unwrap();
+        assert_eq!(report.silent, 0, "{report}");
+        assert_eq!(report.faults, report.instructions);
+    }
+
+    #[test]
+    fn campaign_rejects_faulty_cosim() {
+        let p = blur();
+        let cosim = CoSimulator::new(&p, FixedFormat::default())
+            .unwrap()
+            .with_fault(Fault::bit_flip(0, 1));
+        let init = FrameSet::from_frames(vec![Frame::new(4, 4)]).unwrap();
+        let err = cosim
+            .fault_campaign(&init, 1, Window::square(2), 1, &MaskSchedule::lsb())
+            .unwrap_err();
+        assert!(matches!(err, CosimError::Sim(_)));
+    }
+}

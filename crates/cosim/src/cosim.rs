@@ -149,12 +149,73 @@ pub fn error_metrics(reference: &FrameSet, fixed: &FrameSet) -> ErrorMetrics {
 pub struct InstrDivergence {
     /// Instruction index in the compiled cone program.
     pub instr: usize,
+    /// Short opcode mnemonic (`const`, `input`, `add`, `sqrt`, `select`,
+    /// ...) — the instruction *kind*, stable across renderings.
+    pub opcode: String,
     /// Human-readable rendering of the instruction.
     pub op: String,
+    /// For `input` instructions, the source field and stencil offset the
+    /// instruction reads (e.g. `field 1 @ (0, -1)`); `None` for
+    /// non-input instructions.
+    pub source: Option<String>,
     /// Result word of the clean reference VM.
     pub expected: i64,
     /// Result word under the fault hypothesis.
     pub got: i64,
+}
+
+impl InstrDivergence {
+    /// Describe a compiled-cone instruction: `(opcode, render, source)`.
+    pub(crate) fn describe(instr: &isl_sim::Instr) -> (String, String, Option<String>) {
+        use isl_sim::Instr as I;
+        let opcode = match instr {
+            I::Const(_) => "const".to_string(),
+            I::Input { .. } => "input".to_string(),
+            I::Unary { op, .. } => format!("{op:?}").to_ascii_lowercase(),
+            I::Binary { op, .. } => format!("{op:?}").to_ascii_lowercase(),
+            I::Select { .. } => "select".to_string(),
+        };
+        let source = match instr {
+            I::Input { field, dx, dy } => Some(format!("field {field} @ ({dx}, {dy})")),
+            _ => None,
+        };
+        (opcode, format!("{instr:?}"), source)
+    }
+}
+
+/// Outcome of [`CoSimulator::triage_vectors`]: either every response word of
+/// the file checked out, or the first divergence with its full triage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriageOutcome {
+    /// Every record of the vector file matched the independent
+    /// re-derivation bit for bit.
+    NoDivergence,
+    /// The file diverges; the report localises the first diverging firing
+    /// (and, under a reproducing fault hypothesis, the instruction).
+    Diverged(TriageReport),
+}
+
+impl TriageOutcome {
+    /// `true` when every word checked out.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TriageOutcome::NoDivergence)
+    }
+
+    /// The triage report, when the file diverged.
+    pub fn report(&self) -> Option<&TriageReport> {
+        match self {
+            TriageOutcome::NoDivergence => None,
+            TriageOutcome::Diverged(r) => Some(r),
+        }
+    }
+
+    /// Consume the outcome into its report, when the file diverged.
+    pub fn into_report(self) -> Option<TriageReport> {
+        match self {
+            TriageOutcome::NoDivergence => None,
+            TriageOutcome::Diverged(r) => Some(r),
+        }
+    }
 }
 
 /// A triaged golden-vector mismatch: the first diverging firing (record,
@@ -193,9 +254,12 @@ impl std::fmt::Display for TriageReport {
         if let Some(d) = &self.divergence {
             write!(
                 f,
-                "; instruction {} [{}]: {} -> {}",
-                d.instr, d.op, d.expected, d.got
+                "; instruction {} `{}` [{}]: {} -> {}",
+                d.instr, d.opcode, d.op, d.expected, d.got
             )?;
+            if let Some(src) = &d.source {
+                write!(f, " (reads {src})")?;
+            }
         }
         Ok(())
     }
@@ -214,8 +278,8 @@ pub struct CoSimulator<'p> {
     pattern: &'p StencilPattern,
     fmt: FixedFormat,
     border: BorderMode,
-    params: Vec<f64>,
-    fault: Option<Fault>,
+    pub(crate) params: Vec<f64>,
+    pub(crate) fault: Option<Fault>,
 }
 
 impl<'p> CoSimulator<'p> {
@@ -481,17 +545,17 @@ impl<'p> CoSimulator<'p> {
     /// Locate the first diverging firing of `file` against the clean
     /// integer reference — and, when this co-simulator carries a [`Fault`]
     /// hypothesis that reproduces the divergence, the first diverging
-    /// instruction inside that firing. Returns `Ok(None)` when every word
-    /// checks out.
+    /// instruction inside that firing. Returns
+    /// [`TriageOutcome::NoDivergence`] when every word checks out.
     ///
     /// # Errors
     ///
     /// [`CosimError::Incompatible`] when the file does not describe a cone
     /// of this pattern; [`CosimError::Cone`] on construction failure.
-    pub fn triage_vectors(&self, file: &VectorFile) -> Result<Option<TriageReport>, CosimError> {
+    pub fn triage_vectors(&self, file: &VectorFile) -> Result<TriageOutcome, CosimError> {
         let cone = Cone::build(self.pattern, file.window, file.depth)?;
         let mismatch = match isl_vhdl::check::verify_vectors(&cone, self.fmt, file) {
-            Ok(_) => return Ok(None),
+            Ok(_) => return Ok(TriageOutcome::NoDivergence),
             Err(VectorCheckError::Incompatible(m)) => return Err(CosimError::Incompatible(m)),
             Err(VectorCheckError::Mismatch(m)) => m,
         };
@@ -499,34 +563,27 @@ impl<'p> CoSimulator<'p> {
         // through the fault hypothesis; the first trace divergence is the
         // offending instruction.
         let cc = CompiledCone::compile_with(&cone, &self.params, false);
-        let record = &file.records[mismatch.record];
-        let read = |f: u16, dx: i32, dy: i32| -> i64 {
-            let fid = isl_ir::FieldId::new(f);
-            let point = isl_ir::Point::d2(dx, dy);
-            let name = if self.pattern.field(fid).kind == isl_ir::FieldKind::Static {
-                codegen::static_port_name(fid, point)
-            } else {
-                codegen::input_port_name(fid, point)
-            };
-            file.input_column(&name)
-                .map(|c| record.stimulus[c])
-                .unwrap_or(0)
-        };
+        let read = replay_read(self.pattern, file, mismatch.record);
         let divergence = self.fault.and_then(|fault| {
-            let (_, clean) = eval_cone_raw_traced(&cc, self.fmt, read, None);
-            let (_, faulty) = eval_cone_raw_traced(&cc, self.fmt, read, Some(fault));
+            let (_, clean) = eval_cone_raw_traced(&cc, self.fmt, &read, None);
+            let (_, faulty) = eval_cone_raw_traced(&cc, self.fmt, &read, Some(fault));
             clean
                 .iter()
                 .zip(&faulty)
                 .position(|(a, b)| a != b)
-                .map(|i| InstrDivergence {
-                    instr: i,
-                    op: format!("{:?}", cc.code()[i]),
-                    expected: clean[i],
-                    got: faulty[i],
+                .map(|i| {
+                    let (opcode, op, source) = InstrDivergence::describe(&cc.code()[i]);
+                    InstrDivergence {
+                        instr: i,
+                        opcode,
+                        op,
+                        source,
+                        expected: clean[i],
+                        got: faulty[i],
+                    }
                 })
         });
-        Ok(Some(TriageReport {
+        Ok(TriageOutcome::Diverged(TriageReport {
             entity: file.entity.clone(),
             record: mismatch.record,
             level: mismatch.level,
@@ -536,6 +593,29 @@ impl<'p> CoSimulator<'p> {
             got: mismatch.got,
             divergence,
         }))
+    }
+}
+
+/// A read closure that replays record `ri` of a vector file: every
+/// field/offset read resolves to the recorded stimulus word of the matching
+/// input port (absent ports read as zero — the cone never reads them).
+pub(crate) fn replay_read<'f>(
+    pattern: &'f StencilPattern,
+    file: &'f VectorFile,
+    ri: usize,
+) -> impl Fn(u16, i32, i32) -> i64 + 'f {
+    let record = &file.records[ri];
+    move |f: u16, dx: i32, dy: i32| -> i64 {
+        let fid = isl_ir::FieldId::new(f);
+        let point = isl_ir::Point::d2(dx, dy);
+        let name = if pattern.field(fid).kind == isl_ir::FieldKind::Static {
+            codegen::static_port_name(fid, point)
+        } else {
+            codegen::input_port_name(fid, point)
+        };
+        file.input_column(&name)
+            .map(|c| record.stimulus[c])
+            .unwrap_or(0)
     }
 }
 

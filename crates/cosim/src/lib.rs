@@ -28,8 +28,16 @@
 //!   format against its error budget;
 //! * **mismatch triage** — [`CoSimulator::triage_vectors`] pinpoints the
 //!   first diverging window, level and (under a [`Fault`] hypothesis) the
-//!   exact instruction, so a rounding bug anywhere in the datapath has a
-//!   street address instead of a frame-sized diff.
+//!   exact instruction — opcode and source field included — so a rounding
+//!   bug anywhere in the datapath has a street address instead of a
+//!   frame-sized diff;
+//! * **fault-injection campaigns** — [`Fault`] carries a [`FaultModel`]
+//!   (transient bit-flip, stuck-at-0, stuck-at-1 on any instruction's
+//!   result word), and [`CoSimulator::fault_campaign`] sweeps every
+//!   instruction × a [`MaskSchedule`] over whole cone programs, replaying
+//!   the recorded golden stimuli under each fault and classifying it as
+//!   detected / masked / silent into a [`FaultCoverageReport`] — the
+//!   quantified answer to "would certification notice a broken bit?".
 //!
 //! ## The integer datapath contract
 //!
@@ -79,14 +87,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod convert;
 mod cosim;
 mod error;
 pub mod vm;
 
+pub use campaign::{
+    DetectedFault, FaultCoverageReport, LevelDetections, MaskSchedule, ModelCoverage,
+};
 pub use convert::{format_of, quantizer_of};
 pub use cosim::{
-    error_metrics, CoSimulator, ErrorMetrics, InstrDivergence, IntFrameSet, TriageReport,
+    error_metrics, CoSimulator, ErrorMetrics, InstrDivergence, IntFrameSet, TriageOutcome,
+    TriageReport,
 };
 pub use error::CosimError;
-pub use vm::{eval_cone_raw, eval_cone_raw_traced, eval_kernel_raw, Fault};
+pub use vm::{eval_cone_raw, eval_cone_raw_traced, eval_kernel_raw, Fault, FaultModel};

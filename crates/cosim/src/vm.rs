@@ -11,24 +11,111 @@
 //! that every operation node of the reference graph exists as one
 //! instruction and performs its own fixed-point arithmetic.
 //!
-//! The VM supports deliberate **fault injection** ([`Fault`]): XOR-ing a
-//! chosen instruction's result word. That is the hook the mismatch-triage
-//! machinery (and its tests) use to prove that a single-LSB rounding fault
-//! anywhere in a cone is caught and pinpointed.
+//! The VM supports deliberate **fault injection** ([`Fault`]): corrupting a
+//! chosen instruction's result word under one of the classic gate-level
+//! [`FaultModel`]s (transient bit-flip, stuck-at-0, stuck-at-1). That is the
+//! hook the mismatch-triage machinery uses to prove that a single-LSB
+//! rounding fault anywhere in a cone is caught and pinpointed, and the
+//! primitive the fault-campaign driver ([`crate::campaign`]) sweeps over
+//! whole cone programs.
 
 use isl_fpga::FixedFormat;
 use isl_sim::{CompiledCone, CompiledKernel, Instr};
 
+/// How a faulted instruction's result word is corrupted — the three classic
+/// gate-level fault models, each over an explicit bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Transient upset: the masked bits are inverted (`v ^ mask`).
+    BitFlip {
+        /// Bits to invert.
+        mask: i64,
+    },
+    /// Permanent stuck-at-0: the masked bits are forced low (`v & !mask`).
+    StuckAt0 {
+        /// Bits forced to 0.
+        mask: i64,
+    },
+    /// Permanent stuck-at-1: the masked bits are forced high (`v | mask`).
+    StuckAt1 {
+        /// Bits forced to 1.
+        mask: i64,
+    },
+}
+
+impl FaultModel {
+    /// Apply the corruption to a result word.
+    #[inline]
+    pub fn apply(self, v: i64) -> i64 {
+        match self {
+            FaultModel::BitFlip { mask } => v ^ mask,
+            FaultModel::StuckAt0 { mask } => v & !mask,
+            FaultModel::StuckAt1 { mask } => v | mask,
+        }
+    }
+
+    /// Short human-readable name of the model kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::BitFlip { .. } => "bit-flip",
+            FaultModel::StuckAt0 { .. } => "stuck-at-0",
+            FaultModel::StuckAt1 { .. } => "stuck-at-1",
+        }
+    }
+
+    /// The bit mask the model operates on.
+    pub fn mask(self) -> i64 {
+        match self {
+            FaultModel::BitFlip { mask }
+            | FaultModel::StuckAt0 { mask }
+            | FaultModel::StuckAt1 { mask } => mask,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(mask {:#x})", self.name(), self.mask())
+    }
+}
+
 /// A deliberate single-instruction fault: after instruction `instr`
-/// executes, its result word is XOR-ed with `xor_mask`. Used to validate
+/// executes, its result word is corrupted under `model`. Used to validate
 /// that the golden-vector check catches (and triage pinpoints) datapath
-/// divergence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// divergence, and as the unit of work of a fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fault {
     /// Index of the instruction to corrupt.
     pub instr: usize,
-    /// Mask XOR-ed onto the instruction's result word.
-    pub xor_mask: i64,
+    /// Corruption applied to the instruction's result word.
+    pub model: FaultModel,
+}
+
+impl Fault {
+    /// A transient bit-flip of `mask` on instruction `instr` — the
+    /// historical single-XOR fault.
+    pub fn bit_flip(instr: usize, mask: i64) -> Self {
+        Fault {
+            instr,
+            model: FaultModel::BitFlip { mask },
+        }
+    }
+
+    /// A stuck-at-0 of `mask` on instruction `instr`.
+    pub fn stuck_at_0(instr: usize, mask: i64) -> Self {
+        Fault {
+            instr,
+            model: FaultModel::StuckAt0 { mask },
+        }
+    }
+
+    /// A stuck-at-1 of `mask` on instruction `instr`.
+    pub fn stuck_at_1(instr: usize, mask: i64) -> Self {
+        Fault {
+            instr,
+            model: FaultModel::StuckAt1 { mask },
+        }
+    }
 }
 
 /// Execute one instruction on raw words. `value_of` resolves operand slots.
@@ -103,7 +190,7 @@ where
         let mut v = exec(fmt, instr, |r| slots[r as usize], &read);
         if let Some(f) = fault {
             if f.instr == i {
-                v ^= f.xor_mask;
+                v = f.model.apply(v);
             }
         }
         slots[dst[i] as usize] = v;
@@ -203,7 +290,7 @@ mod tests {
         let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
         let (_, clean) = eval_cone_raw_traced(&cc, fmt, read_raw, None);
         let k = cc.len() / 2;
-        let fault = Fault { instr: k, xor_mask: 1 };
+        let fault = Fault::bit_flip(k, 1);
         let (_, faulty) = eval_cone_raw_traced(&cc, fmt, read_raw, Some(fault));
         let first = clean
             .iter()
@@ -212,5 +299,45 @@ mod tests {
             .expect("fault must perturb the trace");
         assert_eq!(first, k);
         assert_eq!(clean[k] ^ 1, faulty[k]);
+    }
+
+    #[test]
+    fn fault_models_corrupt_as_specified() {
+        let p = heavy();
+        let fmt = FixedFormat::default();
+        let cone = Cone::build(&p, Window::line(2), 2).unwrap();
+        let cc = CompiledCone::compile_with(&cone, &[], false);
+        let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
+        let (_, clean) = eval_cone_raw_traced(&cc, fmt, read_raw, None);
+        let k = cc.len() / 3;
+        let mask = 0b101;
+        for (fault, expect) in [
+            (Fault::bit_flip(k, mask), clean[k] ^ mask),
+            (Fault::stuck_at_0(k, mask), clean[k] & !mask),
+            (Fault::stuck_at_1(k, mask), clean[k] | mask),
+        ] {
+            let (_, faulty) = eval_cone_raw_traced(&cc, fmt, read_raw, Some(fault));
+            assert_eq!(faulty[k], expect, "{}", fault.model);
+        }
+    }
+
+    #[test]
+    fn stuck_at_matching_bits_is_silent_at_the_faulted_instruction() {
+        // A stuck-at that agrees with the clean value leaves the result word
+        // untouched — the "silent fault" class a campaign must distinguish.
+        let p = heavy();
+        let fmt = FixedFormat::default();
+        let cone = Cone::build(&p, Window::line(1), 1).unwrap();
+        let cc = CompiledCone::compile_with(&cone, &[], false);
+        let read_raw = |f: u16, x: i32, y: i32| fmt.quantize(stimulus(f, x, y));
+        let (_, clean) = eval_cone_raw_traced(&cc, fmt, read_raw, None);
+        let k = cc.len() - 1;
+        let fault = if clean[k] & 1 == 1 {
+            Fault::stuck_at_1(k, 1)
+        } else {
+            Fault::stuck_at_0(k, 1)
+        };
+        let (_, faulty) = eval_cone_raw_traced(&cc, fmt, read_raw, Some(fault));
+        assert_eq!(clean, faulty);
     }
 }

@@ -64,6 +64,6 @@ pub mod techmap;
 pub use cache::{SynthCache, SynthKey};
 pub use device::Device;
 pub use numeric::FixedFormat;
-pub use quant::eval_fixed;
+pub use quant::{eval_fixed, eval_fixed_raw};
 pub use synth::{SynthError, SynthOptions, Synthesizer, SynthesisReport};
 pub use techmap::{map_graph, MappedGraph};

@@ -32,18 +32,41 @@ pub fn eval_fixed<R>(
 where
     R: Fn(FieldId, Point) -> f64,
 {
+    let params_raw: Vec<i64> = params.iter().map(|&p| fmt.quantize(p)).collect();
+    eval_fixed_raw(cone, fmt, |f, p| fmt.quantize(read(f, p)), &params_raw)
+        .into_iter()
+        .map(|(f, p, v)| (f, p, fmt.dequantize(v)))
+        .collect()
+}
+
+/// Evaluate `cone` entirely in the **raw-word domain**: `read` supplies
+/// already-quantised input words, `params` likewise, and each output is
+/// returned as a raw word.
+///
+/// This is the exact form for any width — nothing round-trips through
+/// `f64`, so 63- and 64-bit datapaths (whose raw words exceed `f64`'s
+/// 53-bit mantissa) evaluate bit-for-bit. Golden-vector certification
+/// must use this entry point; [`eval_fixed`] is the convenience wrapper
+/// for callers that live in real units.
+pub fn eval_fixed_raw<R>(
+    cone: &Cone,
+    fmt: FixedFormat,
+    read: R,
+    params: &[i64],
+) -> Vec<(FieldId, Point, i64)>
+where
+    R: Fn(FieldId, Point) -> i64,
+{
     let graph = cone.graph();
     let mut vals: Vec<i64> = Vec::with_capacity(graph.len());
     for (_, node) in graph.nodes() {
         let v = match node {
             Node::Leaf(leaf) => match leaf {
                 Leaf::Input { field, point } | Leaf::Static { field, point } => {
-                    fmt.quantize(read(*field, *point))
+                    read(*field, *point)
                 }
                 Leaf::Const(c) => fmt.quantize(c.value()),
-                Leaf::Param(p) => {
-                    fmt.quantize(params.get(p.index()).copied().unwrap_or(0.0))
-                }
+                Leaf::Param(p) => params.get(p.index()).copied().unwrap_or(0),
             },
             Node::Unary { op, arg } => fmt.apply_unary(*op, vals[arg.index()]),
             Node::Binary { op, lhs, rhs } => {
@@ -61,7 +84,7 @@ where
     }
     cone.outputs()
         .iter()
-        .map(|o| (o.field, o.point, fmt.dequantize(vals[o.node.index()])))
+        .map(|o| (o.field, o.point, vals[o.node.index()]))
         .collect()
 }
 
@@ -109,6 +132,41 @@ mod tests {
     fn stimulus(f: FieldId, p: Point) -> f64 {
         let i = (p.x + 7 * p.y + 13 * f.index() as i32).rem_euclid(23);
         i as f64 / 8.0 - 1.0
+    }
+
+    #[test]
+    fn raw_eval_is_exact_past_f64_mantissa_width() {
+        // At width 63 the raw words of even modest values exceed 2^53, so
+        // any path that detours through f64 rounds them. The raw walk must
+        // reproduce apply_binary's arithmetic word for word.
+        let mut p = StencilPattern::new(1).with_name("mul1");
+        let f = p.add_field("f", FieldKind::Dynamic);
+        p.set_update(
+            f,
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::input(f, Offset::d1(0)),
+                Expr::input(f, Offset::d1(1)),
+            ),
+        )
+        .unwrap();
+        let cone = Cone::build(&p, Window::line(1), 1).unwrap();
+        let fmt = FixedFormat::new(63, 31);
+        // Two raw words with dense low bits, far beyond f64's mantissa.
+        let words = [(1i64 << 60) | 0x5A5A_5A5Ai64, (3i64 << 29) | 0x33i64];
+        let read = |_f: FieldId, pt: Point| words[pt.x.unsigned_abs() as usize % 2];
+        let out = eval_fixed_raw(&cone, fmt, read, &[]);
+        let inputs = cone.inputs();
+        let expect = fmt.apply_binary(
+            BinaryOp::Mul,
+            read(f, inputs[0].point),
+            read(f, inputs[1].point),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2, expect);
+        // The f64 round trip really would have lost these words — guard
+        // that the test is non-vacuous.
+        assert_ne!(fmt.quantize(fmt.dequantize(words[0])), words[0]);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum ErrorKind {
     },
     /// A semantic-analysis violation (signature, loop structure, ...).
     Semantic(String),
+    /// Expression or statement nesting beyond the parser's depth budget
+    /// (protects against stack exhaustion on adversarial input).
+    NestingTooDeep,
 }
 
 /// An error with its source location.
@@ -61,6 +64,9 @@ impl fmt::Display for FrontendError {
                 write!(f, "{}: expected {expected}, found {got}", self.span)
             }
             ErrorKind::Semantic(msg) => write!(f, "{}: {msg}", self.span),
+            ErrorKind::NestingTooDeep => {
+                write!(f, "{}: expression or statement nesting too deep", self.span)
+            }
         }
     }
 }

@@ -14,18 +14,40 @@ use crate::token::{Span, Token, TokenKind};
 /// Returns a located [`FrontendError`] on lexical or syntactic problems.
 pub fn parse(source: &str) -> Result<Kernel, FrontendError> {
     let (tokens, pragmas) = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let mut kernel = p.kernel()?;
     kernel.pragmas = pragmas;
     Ok(kernel)
 }
 
+/// Recursion budget shared by statement and expression nesting. Each
+/// syntactic nesting level costs a handful of recursive-descent frames, so
+/// this bounds native stack use long before exhaustion — adversarial
+/// `((((...` input gets [`ErrorKind::NestingTooDeep`] instead of a crash.
+const MAX_NESTING: u32 = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<(), FrontendError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(FrontendError::new(
+                ErrorKind::NestingTooDeep,
+                self.peek().span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -157,6 +179,13 @@ impl Parser {
     // -- statements -------------------------------------------------------
 
     fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.exit();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, FrontendError> {
         match self.peek_kind() {
             TokenKind::KwFor => self.for_stmt(),
             TokenKind::KwIf => self.if_stmt(),
@@ -334,7 +363,10 @@ impl Parser {
     // -- expressions (precedence climbing) ---------------------------------
 
     fn expr(&mut self) -> Result<ExprAst, FrontendError> {
-        self.ternary()
+        self.enter()?;
+        let r = self.ternary();
+        self.exit();
+        r
     }
 
     fn ternary(&mut self) -> Result<ExprAst, FrontendError> {
@@ -342,7 +374,12 @@ impl Parser {
         if self.eat(&TokenKind::Question) {
             let then_ = self.expr()?;
             self.expect(TokenKind::Colon)?;
-            let else_ = self.ternary()?;
+            // Right-associative chains recurse here without passing through
+            // `expr`, so they spend nesting budget of their own.
+            self.enter()?;
+            let else_ = self.ternary();
+            self.exit();
+            let else_ = else_?;
             Ok(ExprAst::Ternary {
                 cond: Box::new(cond),
                 then_: Box::new(then_),
@@ -439,6 +476,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<ExprAst, FrontendError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.exit();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<ExprAst, FrontendError> {
         match self.peek_kind() {
             TokenKind::Minus => {
                 self.bump();
@@ -640,5 +684,46 @@ void step(const float in[H][W], float out[H][W]) {
     fn wrong_loop_condition_variable_rejected() {
         let src = "void f(float a[N]) { for (int i = 0; j < N; i++) ; }";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_crash() {
+        // Each of these once blew the native stack; now they must come back
+        // as a located NestingTooDeep error.
+        let cases = [
+            format!(
+                "void f(float a[N]) {{ float t = {}1.0{}; }}",
+                "(".repeat(100_000),
+                ")".repeat(100_000)
+            ),
+            format!("void f(float a[N]) {{ float t = {}1.0; }}", "!".repeat(100_000)),
+            format!(
+                "void f(float a[N]) {{ float t = {}1.0; }}",
+                "1.0 ? 1.0 : ".repeat(100_000)
+            ),
+            format!(
+                "void f(float a[N]) {{ {} {} }}",
+                "{".repeat(100_000),
+                "}".repeat(100_000)
+            ),
+            format!(
+                "void f(float a[N]) {{ {} ; }}",
+                "if (1.0)".repeat(100_000)
+            ),
+        ];
+        for src in &cases {
+            let err = parse(src).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::NestingTooDeep, "{}", &src[..60]);
+        }
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let src = format!(
+            "void f(float a[N]) {{ float t = {}1.0{}; }}",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        parse(&src).unwrap();
     }
 }

@@ -1,0 +1,181 @@
+//! `isl-fuzz` — the reliability subsystem's command line.
+//!
+//! ```text
+//! isl-fuzz diff     --iters 1000 --seed 1 [--corpus-dir DIR] [--shrink-budget 300]
+//! isl-fuzz replay   <entry.c> [...]
+//! isl-fuzz mutate   --iters 2000 --seed 1
+//! isl-fuzz campaign [--fast]
+//! ```
+//!
+//! * `diff` — seeded differential campaign over all execution semantics;
+//!   exits non-zero if any mismatch survives, after shrinking and printing
+//!   (and optionally persisting) each counterexample.
+//! * `mutate` — frontend robustness campaign over mangled kernel sources;
+//!   exits non-zero on any panic.
+//! * `campaign` — full stuck-at + bit-flip fault-injection campaigns over
+//!   the DSE-chosen architectures of the paper's two case studies, printing
+//!   the quantified coverage reports.
+
+use std::process::ExitCode;
+
+use isl_fuzz::{run_campaign, fuzz_frontend};
+use isl_hls::prelude::*;
+use isl_hls::FlowError;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match arg_value(args, name) {
+        None => Ok(default),
+        Some(v) => {
+            let (digits, radix) = match v.strip_prefix("0x") {
+                Some(h) => (h, 16),
+                None => (v.as_str(), 10),
+            };
+            u64::from_str_radix(digits, radix).map_err(|e| format!("bad {name} `{v}`: {e}"))
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let iters = parse_u64(args, "--iters", 1000)? as usize;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let budget = parse_u64(args, "--shrink-budget", 300)? as usize;
+    let corpus_dir = arg_value(args, "--corpus-dir");
+
+    println!("differential campaign: {iters} iterations, seed {seed:#x}");
+    let report = run_campaign(iters, seed, budget);
+    println!(
+        "  {} agreed ({} cross-checks), {} rejected by the frontend, {} mismatches",
+        report.agreed,
+        report.checks,
+        report.rejected,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!("\n==== MISMATCH {} ====\n{}", f.name, f.to_text());
+        if let Some(dir) = &corpus_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.c", f.name));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+            std::fs::write(&path, f.to_text())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("(persisted to {})", path.display());
+        }
+    }
+    Ok(if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("replay needs at least one corpus entry path".into());
+    }
+    let mut clean = true;
+    for path in args {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let entry = isl_fuzz::CorpusEntry::parse(path, &text)?;
+        match isl_fuzz::run_differential(&entry.source, &entry.config) {
+            isl_fuzz::DiffOutcome::Agree { checks } => {
+                println!("{path}: agree ({checks} cross-checks)");
+            }
+            isl_fuzz::DiffOutcome::CompileError(e) => {
+                println!("{path}: rejected by the frontend: {e}");
+                clean = false;
+            }
+            isl_fuzz::DiffOutcome::Mismatch(m) => {
+                println!("{path}: MISMATCH in `{}`:\n  {}", m.check, m.detail);
+                clean = false;
+            }
+        }
+    }
+    Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_mutate(args: &[String]) -> Result<ExitCode, String> {
+    let iters = parse_u64(args, "--iters", 2000)? as usize;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let seeds: Vec<&str> = vec![
+        isl_algorithms::gaussian::SOURCE,
+        isl_algorithms::chambolle::SOURCE,
+        isl_algorithms::heat::SOURCE,
+        isl_algorithms::jacobi::SOURCE,
+    ];
+    println!("frontend mutation campaign: {iters} iterations, seed {seed:#x}");
+    let report = fuzz_frontend(&seeds, iters, seed);
+    println!(
+        "  {} compiled, {} rejected with structured errors, {} panics",
+        report.compiled,
+        report.rejected,
+        report.panics.len()
+    );
+    for p in &report.panics {
+        println!("\n==== PANIC: {} ====\n{}", p.message, p.source);
+    }
+    Ok(if report.panics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, FlowError> {
+    let fast = args.iter().any(|a| a == "--fast");
+    let device = Device::virtex6_xc6vlx760();
+    let space = DesignSpace::new(2..=5, 1..=3, 4);
+    let (w, h) = if fast { (16, 12) } else { (24, 18) };
+
+    for algo in [isl_algorithms::gaussian_igf(), isl_algorithms::chambolle()] {
+        let flow = IslFlow::from_algorithm(&algo)?;
+        let explored = flow
+            .session()
+            .explore(&device, flow.workload(w, h), &space)?;
+        let best = explored.fastest().expect("explorations are non-empty");
+        let init = isl_fuzz::frames_for(flow.pattern(), w as usize, h as usize, 0x5EED);
+        let certified = explored.certify_fastest(&init)?;
+        let fmt = certified.certificate().format;
+        let schedule = if fast {
+            isl_hls::cosim::MaskSchedule::lsb()
+        } else {
+            isl_hls::cosim::MaskSchedule::standard(fmt)
+        };
+        println!(
+            "== {} — DSE-chosen architecture w{} d{}, format {fmt} ==",
+            algo.name, best.arch.window, best.arch.depth
+        );
+        let report = certified.fault_campaign(&init, &schedule)?;
+        println!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: isl-fuzz <diff|mutate|campaign> [options]";
+    let Some(cmd) = args.first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result: Result<ExitCode, String> = match cmd.as_str() {
+        "diff" => cmd_diff(rest),
+        "replay" => cmd_replay(rest),
+        "mutate" => cmd_mutate(rest),
+        "campaign" => cmd_campaign(rest).map_err(|e| e.to_string()),
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("isl-fuzz: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The replayable regression corpus.
+//!
+//! Every mismatch the fuzzer ever finds is persisted as a plain `.c` file
+//! whose first line is a `// fuzz:` header encoding the exact
+//! [`DiffConfig`] that exposed it. The CI regression test replays every
+//! entry through all execution semantics on every run, so a fixed bug
+//! stays fixed.
+//!
+//! ```text
+//! // fuzz: width=18 frac=10 border=mirror window=4x3 depth=3 threads=2 frames=9x7 iters=5 seed=0x5eed
+//! #pragma isl iterations 5
+//! void fuzzed(const float a[H][W], float a_out[H][W]) { ... }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use isl_sim::BorderMode;
+
+use crate::diff::DiffConfig;
+
+/// One corpus entry: a kernel plus the configuration that exposed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// File stem the entry was loaded from (or will be saved under).
+    pub name: String,
+    /// The configuration to replay at.
+    pub config: DiffConfig,
+    /// Kernel source (without the header line).
+    pub source: String,
+}
+
+fn border_str(b: BorderMode) -> String {
+    match b {
+        BorderMode::Clamp => "clamp".into(),
+        BorderMode::Mirror => "mirror".into(),
+        BorderMode::Wrap => "wrap".into(),
+        BorderMode::Constant(v) => format!("constant:{v}"),
+    }
+}
+
+fn parse_border(s: &str) -> Result<BorderMode, String> {
+    match s {
+        "clamp" => Ok(BorderMode::Clamp),
+        "mirror" => Ok(BorderMode::Mirror),
+        "wrap" => Ok(BorderMode::Wrap),
+        _ => match s.strip_prefix("constant:") {
+            Some(v) => v
+                .parse::<f64>()
+                .map(BorderMode::Constant)
+                .map_err(|e| format!("bad constant border `{s}`: {e}")),
+            None => Err(format!("unknown border mode `{s}`")),
+        },
+    }
+}
+
+impl CorpusEntry {
+    /// Serialise as header line + source.
+    pub fn to_text(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "// fuzz: width={} frac={} border={} window={}x{} depth={} threads={} frames={}x{} iters={} seed={:#x}",
+            c.width,
+            c.frac,
+            border_str(c.border),
+            c.window.w,
+            c.window.h,
+            c.depth,
+            c.threads,
+            c.frame_w,
+            c.frame_h,
+            c.iterations,
+            c.frame_seed,
+        );
+        out.push_str(&self.source);
+        out
+    }
+
+    /// Parse an entry back from its on-disk text.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed or missing header field.
+    pub fn parse(name: &str, text: &str) -> Result<CorpusEntry, String> {
+        let (header, source) = text
+            .split_once('\n')
+            .ok_or_else(|| "empty corpus file".to_string())?;
+        let fields = header
+            .strip_prefix("// fuzz:")
+            .ok_or_else(|| format!("`{name}`: first line is not a `// fuzz:` header"))?;
+        let mut config = DiffConfig::small();
+        let mut seen_width = false;
+        for kv in fields.split_whitespace() {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("`{name}`: malformed field `{kv}`"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                let (digits, radix) = match v.strip_prefix("0x") {
+                    Some(h) => (h, 16),
+                    None => (v, 10),
+                };
+                u64::from_str_radix(digits, radix)
+                    .map_err(|e| format!("`{name}`: bad value `{v}` for `{key}`: {e}"))
+            };
+            let pair = |v: &str, sep: char| -> Result<(u64, u64), String> {
+                let (a, b) = v
+                    .split_once(sep)
+                    .ok_or_else(|| format!("`{name}`: bad pair `{v}` for `{key}`"))?;
+                Ok((num(a)?, num(b)?))
+            };
+            match key {
+                "width" => {
+                    config.width = num(value)? as u32;
+                    seen_width = true;
+                }
+                "frac" => config.frac = num(value)? as u32,
+                "border" => config.border = parse_border(value).map_err(|e| format!("`{name}`: {e}"))?,
+                "window" => {
+                    let (w, h) = pair(value, 'x')?;
+                    config.window = isl_ir::Window::rect(w as u32, h as u32);
+                }
+                "depth" => config.depth = num(value)? as u32,
+                "threads" => config.threads = num(value)? as usize,
+                "frames" => {
+                    let (w, h) = pair(value, 'x')?;
+                    config.frame_w = w as usize;
+                    config.frame_h = h as usize;
+                }
+                "iters" => config.iterations = num(value)? as u32,
+                "seed" => config.frame_seed = num(value)?,
+                other => return Err(format!("`{name}`: unknown field `{other}`")),
+            }
+        }
+        if !seen_width {
+            return Err(format!("`{name}`: header missing `width`"));
+        }
+        Ok(CorpusEntry {
+            name: name.to_string(),
+            config,
+            source: source.to_string(),
+        })
+    }
+}
+
+/// Load every `.c` entry of a corpus directory, sorted by file name.
+///
+/// # Errors
+///
+/// I/O failures and malformed headers, with the offending path named.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = rd
+        .filter_map(Result::ok)
+        .map(|d| d.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("corpus-entry")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        entries.push(CorpusEntry::parse(&name, &text)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let entry = CorpusEntry {
+            name: "t".into(),
+            config: DiffConfig {
+                width: 31,
+                frac: 20,
+                border: BorderMode::Constant(0.25),
+                window: isl_ir::Window::rect(4, 3),
+                depth: 3,
+                threads: 2,
+                frame_w: 9,
+                frame_h: 7,
+                iterations: 5,
+                frame_seed: 0xDEAD_BEEF,
+            },
+            source: "void k() {}\n".into(),
+        };
+        let text = entry.to_text();
+        let back = CorpusEntry::parse("t", &text).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn all_border_modes_round_trip() {
+        for b in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Wrap,
+            BorderMode::Constant(-1.5),
+        ] {
+            assert_eq!(parse_border(&border_str(b)).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(CorpusEntry::parse("x", "void k() {}\n").is_err());
+        assert!(CorpusEntry::parse("x", "// fuzz: frac=3\nvoid k() {}\n").is_err());
+    }
+}

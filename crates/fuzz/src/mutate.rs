@@ -1,0 +1,165 @@
+//! Frontend robustness fuzzing: mutated and mangled source text.
+//!
+//! The differential fuzzer only ever feeds the frontend *mostly valid*
+//! programs. This module attacks from the other side: it takes real kernel
+//! sources, applies byte- and token-level mutations (flips, deletions,
+//! duplications, dictionary splices, truncations) and asserts the frontend
+//! **returns** for every input — a structured [`isl_frontend::FrontendError`]
+//! or [`isl_symexec::SymExecError`] is fine, a panic is a finding.
+//!
+//! Caveat: `catch_unwind` cannot catch stack exhaustion, so unguarded
+//! parser recursion would abort the process rather than show up in the
+//! report — that failure mode is closed structurally by the parser's
+//! nesting budget (`ErrorKind::NestingTooDeep`) and pinned by the frontend
+//! unit tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::Rng;
+
+/// Tokens spliced into mutated sources: the grammar's own keywords plus
+/// values chosen to stress numeric edges.
+const DICTIONARY: [&str; 24] = [
+    "for", "if", "else", "(", ")", "[", "]", "{", "}", ";", "float", "int",
+    "void", "#pragma isl iterations 3", "?", ":", "+", "-", "*", "/",
+    "1e308", "4294967296", "0.0f", "!",
+];
+
+/// A panicking input, preserved verbatim for triage.
+#[derive(Debug, Clone)]
+pub struct PanicCase {
+    /// The exact source text that made the frontend panic.
+    pub source: String,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+/// Outcome tally of one mutation campaign.
+#[derive(Debug, Clone, Default)]
+pub struct MutationReport {
+    /// Inputs attempted.
+    pub iterations: usize,
+    /// Inputs the full pipeline accepted.
+    pub compiled: usize,
+    /// Inputs rejected with a structured error.
+    pub rejected: usize,
+    /// Inputs that made the frontend panic — always a bug.
+    pub panics: Vec<PanicCase>,
+}
+
+fn mutate_once(rng: &mut Rng, src: &mut String) {
+    let bytes = src.len();
+    match rng.below(5) {
+        0 if bytes > 0 => {
+            // Flip one byte to a random printable character.
+            let pos = rng.below(bytes);
+            let ch = (0x20 + rng.below(0x5f)) as u8;
+            let mut b = std::mem::take(src).into_bytes();
+            b[pos] = ch;
+            *src = String::from_utf8_lossy(&b).into_owned();
+        }
+        1 if bytes > 2 => {
+            // Delete a short range.
+            let start = rng.below(bytes - 1);
+            let len = 1 + rng.below((bytes - start).min(16));
+            let mut b = std::mem::take(src).into_bytes();
+            b.drain(start..start + len);
+            *src = String::from_utf8_lossy(&b).into_owned();
+        }
+        2 if bytes > 2 => {
+            // Duplicate a short range in place.
+            let start = rng.below(bytes - 1);
+            let len = 1 + rng.below((bytes - start).min(16));
+            let chunk: Vec<u8> = src.as_bytes()[start..start + len].to_vec();
+            let mut b = std::mem::take(src).into_bytes();
+            b.splice(start..start, chunk);
+            *src = String::from_utf8_lossy(&b).into_owned();
+        }
+        3 => {
+            // Splice a dictionary token at a random byte position.
+            let tok = *rng.pick(&DICTIONARY);
+            let pos = if bytes == 0 { 0 } else { rng.below(bytes) };
+            let mut b = std::mem::take(src).into_bytes();
+            b.splice(pos..pos, tok.bytes());
+            *src = String::from_utf8_lossy(&b).into_owned();
+        }
+        _ if bytes > 1 => {
+            // Truncate (byte-wise; lossy re-validation repairs any split
+            // multi-byte character).
+            let keep = rng.below(bytes);
+            let mut b = std::mem::take(src).into_bytes();
+            b.truncate(keep);
+            *src = String::from_utf8_lossy(&b).into_owned();
+        }
+        _ => {}
+    }
+}
+
+/// Run `iterations` mutated inputs derived from `seeds` through the full
+/// frontend (`lex` → `parse` → `analyze` → symbolic execution).
+///
+/// The default panic hook is silenced for the duration of the campaign so
+/// a million rejections do not flood stderr; it is restored before
+/// returning.
+pub fn fuzz_frontend(seeds: &[&str], iterations: usize, seed: u64) -> MutationReport {
+    assert!(!seeds.is_empty(), "need at least one seed source");
+    let mut rng = Rng::new(seed);
+    let mut report = MutationReport::default();
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    for _ in 0..iterations {
+        let mut src = seeds[rng.below(seeds.len())].to_string();
+        for _ in 0..1 + rng.below(4) {
+            mutate_once(&mut rng, &mut src);
+        }
+        report.iterations += 1;
+        match catch_unwind(AssertUnwindSafe(|| isl_symexec::compile_str(&src))) {
+            Ok(Ok(_)) => report.compiled += 1,
+            Ok(Err(_)) => report.rejected += 1,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                report.panics.push(PanicCase { source: src, message });
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_campaign_finds_no_panics_in_the_frontend() {
+        let seeds: Vec<&str> = vec![
+            isl_algorithms::gaussian::SOURCE,
+            isl_algorithms::chambolle::SOURCE,
+        ];
+        let report = fuzz_frontend(&seeds, 300, 0xF00D);
+        assert_eq!(report.iterations, 300);
+        assert_eq!(
+            report.compiled + report.rejected,
+            300,
+            "frontend panicked on: {:?}",
+            report.panics.first().map(|p| &p.message)
+        );
+        assert!(report.panics.is_empty());
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let seeds = vec!["void k(const float a[N], float a_out[N]) { }"];
+        let a = fuzz_frontend(&seeds, 50, 7);
+        let b = fuzz_frontend(&seeds, 50, 7);
+        assert_eq!(a.compiled, b.compiled);
+        assert_eq!(a.rejected, b.rejected);
+    }
+}

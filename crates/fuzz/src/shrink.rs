@@ -1,0 +1,393 @@
+//! Automatic minimisation of failing fuzz cases.
+//!
+//! A raw counterexample from the generator is noise: a dozen statements,
+//! deep expressions, a big frame. The shrinker reduces it along three axes
+//! while re-checking after every candidate edit that the *same kind* of
+//! failure still reproduces:
+//!
+//! 1. **statement delta-debugging** — parse the source with the real
+//!    frontend, delete one statement at a time from the AST, re-print with
+//!    the frontend's pretty-printer;
+//! 2. **operand simplification** — replace expression nodes by one of
+//!    their children or a literal, innermost-last;
+//! 3. **configuration shrinking** — fewer iterations, depth 1, one thread,
+//!    the smallest window, halved frames.
+//!
+//! All passes are budgeted by *re-check count*, so a pathological case
+//! cannot stall a campaign; the result is whatever the budget reached —
+//! shrinking is best-effort by design.
+
+use isl_frontend::{ast, parse};
+
+use crate::diff::{run_differential, DiffConfig, DiffOutcome};
+
+/// Shrink `source`/`cfg` as far as `budget` re-checks allow, preserving
+/// the property "still produces a differential mismatch".
+pub fn shrink(source: &str, cfg: &DiffConfig, budget: usize) -> (String, DiffConfig) {
+    let mut fails = |src: &str, c: &DiffConfig| {
+        matches!(run_differential(src, c), DiffOutcome::Mismatch(_))
+    };
+    shrink_with(source, cfg, budget, &mut fails)
+}
+
+/// Shrink against an arbitrary failure predicate (exposed for tests and
+/// for shrinking against a *specific* mismatch rather than any).
+pub fn shrink_with(
+    source: &str,
+    cfg: &DiffConfig,
+    budget: usize,
+    fails: &mut dyn FnMut(&str, &DiffConfig) -> bool,
+) -> (String, DiffConfig) {
+    let mut remaining = budget;
+    let mut best_src = source.to_string();
+    let mut best_cfg = *cfg;
+
+    let mut check = |src: &str, c: &DiffConfig, remaining: &mut usize| -> bool {
+        if *remaining == 0 {
+            return false;
+        }
+        *remaining -= 1;
+        fails(src, c)
+    };
+
+    // Pass 1+2: AST-level surgery, iterated to a fixed point.
+    loop {
+        let mut progressed = false;
+
+        // Statement deletion.
+        let mut k = 0;
+        loop {
+            if remaining == 0 {
+                break;
+            }
+            let Some(mut kernel) = reparse(&best_src) else { break };
+            let mut kk = k;
+            if !remove_nth_stmt(&mut kernel.body, &mut kk) {
+                break; // scanned past the last statement
+            }
+            let text = kernel.to_string();
+            if check(&text, &best_cfg, &mut remaining) {
+                best_src = text;
+                progressed = true;
+                // Indices shifted left; `k` now names the next statement.
+            } else {
+                k += 1;
+            }
+        }
+
+        // Expression simplification: replace each node by a child or a
+        // literal.
+        let mut slot = 0;
+        while let Some(kernel) = reparse(&best_src) {
+            let total: usize = exprs_of(&kernel).iter().map(|e| expr_size(e)).sum();
+            if slot >= total || remaining == 0 {
+                break;
+            }
+            let candidates = {
+                let mut k2 = kernel.clone();
+                let node = nth_expr_mut(&mut k2, slot).expect("slot < total");
+                replacement_candidates(node)
+            };
+            let mut replaced = false;
+            for cand in candidates {
+                let mut k2 = kernel.clone();
+                *nth_expr_mut(&mut k2, slot).expect("slot < total") = cand;
+                let text = k2.to_string();
+                if text != best_src && check(&text, &best_cfg, &mut remaining) {
+                    best_src = text;
+                    progressed = true;
+                    replaced = true;
+                    break;
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if !replaced {
+                slot += 1;
+            }
+        }
+
+        if !progressed || remaining == 0 {
+            break;
+        }
+    }
+
+    // Pass 3: configuration shrinking — each accepted candidate tweaks one
+    // axis of the *current* best, iterated until nothing is accepted.
+    loop {
+        let mut progressed = false;
+        for c in config_candidates(&best_cfg) {
+            if remaining == 0 {
+                break;
+            }
+            if check(&best_src, &c, &mut remaining) {
+                best_cfg = c;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed || remaining == 0 {
+            break;
+        }
+    }
+
+    (best_src, best_cfg)
+}
+
+fn reparse(src: &str) -> Option<ast::Kernel> {
+    parse(src).ok()
+}
+
+fn config_candidates(cfg: &DiffConfig) -> Vec<DiffConfig> {
+    let mut out = Vec::new();
+    let mut it = cfg.iterations;
+    while it > 1 {
+        it -= 1;
+        out.push(DiffConfig { iterations: it, ..*cfg });
+    }
+    if cfg.depth > 1 {
+        out.push(DiffConfig { depth: 1, ..*cfg });
+    }
+    if cfg.threads > 1 {
+        out.push(DiffConfig { threads: 1, ..*cfg });
+    }
+    if cfg.window != isl_ir::Window::square(2) {
+        out.push(DiffConfig { window: isl_ir::Window::square(2), ..*cfg });
+    }
+    if cfg.frame_w > 5 || cfg.frame_h > 4 {
+        out.push(DiffConfig {
+            frame_w: (cfg.frame_w / 2).max(5),
+            frame_h: (cfg.frame_h / 2).max(4),
+            ..*cfg
+        });
+    }
+    out
+}
+
+// -- statement surgery -----------------------------------------------------
+
+/// Delete the `k`-th (depth-first) statement held in a block vector.
+/// Returns `false` when fewer than `k + 1` such statements exist.
+fn remove_nth_stmt(stmts: &mut Vec<ast::Stmt>, k: &mut usize) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        if *k == 0 {
+            stmts.remove(i);
+            return true;
+        }
+        *k -= 1;
+        let removed = match &mut stmts[i] {
+            ast::Stmt::Block(b) => remove_nth_stmt(b, k),
+            ast::Stmt::For { body, .. } => remove_in_stmt(body, k),
+            ast::Stmt::If { then_, else_, .. } => {
+                remove_in_stmt(then_, k)
+                    || else_.as_mut().is_some_and(|e| remove_in_stmt(e, k))
+            }
+            _ => false,
+        };
+        if removed {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn remove_in_stmt(s: &mut ast::Stmt, k: &mut usize) -> bool {
+    match s {
+        ast::Stmt::Block(b) => remove_nth_stmt(b, k),
+        ast::Stmt::For { body, .. } => remove_in_stmt(body, k),
+        ast::Stmt::If { then_, else_, .. } => {
+            remove_in_stmt(then_, k) || else_.as_mut().is_some_and(|e| remove_in_stmt(e, k))
+        }
+        _ => false,
+    }
+}
+
+// -- expression surgery ----------------------------------------------------
+
+/// Value-position expressions of a kernel (index expressions are left
+/// alone — they must stay in `loop-var ± constant` form).
+fn exprs_of(k: &ast::Kernel) -> Vec<&ast::ExprAst> {
+    let mut out = Vec::new();
+    fn walk<'a>(s: &'a ast::Stmt, out: &mut Vec<&'a ast::ExprAst>) {
+        match s {
+            ast::Stmt::Decl { value, .. } => out.push(value),
+            ast::Stmt::Assign { value, .. } => out.push(value),
+            ast::Stmt::If { cond, then_, else_, .. } => {
+                out.push(cond);
+                walk(then_, out);
+                if let Some(e) = else_ {
+                    walk(e, out);
+                }
+            }
+            ast::Stmt::For { body, .. } => walk(body, out),
+            ast::Stmt::Block(b) => b.iter().for_each(|s| walk(s, out)),
+        }
+    }
+    k.body.iter().for_each(|s| walk(s, &mut out));
+    out
+}
+
+fn exprs_of_mut(k: &mut ast::Kernel) -> Vec<&mut ast::ExprAst> {
+    let mut out = Vec::new();
+    fn walk<'a>(s: &'a mut ast::Stmt, out: &mut Vec<&'a mut ast::ExprAst>) {
+        match s {
+            ast::Stmt::Decl { value, .. } => out.push(value),
+            ast::Stmt::Assign { value, .. } => out.push(value),
+            ast::Stmt::If { cond, then_, else_, .. } => {
+                out.push(cond);
+                walk(then_, out);
+                if let Some(e) = else_ {
+                    walk(e, out);
+                }
+            }
+            ast::Stmt::For { body, .. } => walk(body, out),
+            ast::Stmt::Block(b) => b.iter_mut().for_each(|s| walk(s, out)),
+        }
+    }
+    k.body.iter_mut().for_each(|s| walk(s, &mut out));
+    out
+}
+
+/// Node count of an expression tree (subscript subtrees excluded, matching
+/// the surgery walk).
+fn expr_size(e: &ast::ExprAst) -> usize {
+    1 + match e {
+        ast::ExprAst::Unary { arg, .. } => expr_size(arg),
+        ast::ExprAst::Binary { lhs, rhs, .. } => expr_size(lhs) + expr_size(rhs),
+        ast::ExprAst::Call { args, .. } => args.iter().map(expr_size).sum(),
+        ast::ExprAst::Ternary { cond, then_, else_ } => {
+            expr_size(cond) + expr_size(then_) + expr_size(else_)
+        }
+        _ => 0,
+    }
+}
+
+/// The `slot`-th value-position expression node of the kernel, depth-first
+/// across statements (size-directed descent keeps the borrow checker
+/// happy).
+fn nth_expr_mut(k: &mut ast::Kernel, mut slot: usize) -> Option<&mut ast::ExprAst> {
+    for root in exprs_of_mut(k) {
+        let size = expr_size(root);
+        if slot < size {
+            return Some(nth_in_expr(root, slot));
+        }
+        slot -= size;
+    }
+    None
+}
+
+fn nth_in_expr(e: &mut ast::ExprAst, k: usize) -> &mut ast::ExprAst {
+    if k == 0 {
+        return e;
+    }
+    let mut k = k - 1;
+    match e {
+        ast::ExprAst::Unary { arg, .. } => nth_in_expr(arg, k),
+        ast::ExprAst::Binary { lhs, rhs, .. } => {
+            let ls = expr_size(lhs);
+            if k < ls {
+                nth_in_expr(lhs, k)
+            } else {
+                nth_in_expr(rhs, k - ls)
+            }
+        }
+        ast::ExprAst::Call { args, .. } => {
+            for a in args.iter_mut() {
+                let s = expr_size(a);
+                if k < s {
+                    return nth_in_expr(a, k);
+                }
+                k -= s;
+            }
+            unreachable!("slot within expr_size but past all children")
+        }
+        ast::ExprAst::Ternary { cond, then_, else_ } => {
+            let (cs, ts) = (expr_size(cond), expr_size(then_));
+            if k < cs {
+                nth_in_expr(cond, k)
+            } else if k < cs + ts {
+                nth_in_expr(then_, k - cs)
+            } else {
+                nth_in_expr(else_, k - cs - ts)
+            }
+        }
+        _ => unreachable!("leaf reached with slot remaining"),
+    }
+}
+
+/// Smaller stand-ins for a node, most structure-preserving first.
+fn replacement_candidates(e: &ast::ExprAst) -> Vec<ast::ExprAst> {
+    let mut out = Vec::new();
+    match e {
+        ast::ExprAst::Unary { arg, .. } => out.push((**arg).clone()),
+        ast::ExprAst::Binary { lhs, rhs, .. } => {
+            out.push((**lhs).clone());
+            out.push((**rhs).clone());
+        }
+        ast::ExprAst::Call { args, .. } => out.extend(args.iter().cloned()),
+        ast::ExprAst::Ternary { then_, else_, .. } => {
+            out.push((**then_).clone());
+            out.push((**else_).clone());
+        }
+        _ => {}
+    }
+    if !matches!(e, ast::ExprAst::Num(_)) {
+        out.push(ast::ExprAst::Num(1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAT: &str = r#"
+#pragma isl iterations 4
+void fat(const float a[H][W], float a_out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float t0 = a[y][x-1] * 0.5f;
+            float t1 = fminf(a[y-1][x], a[y+1][x]);
+            float t2 = t0 + t1;
+            a_out[y][x] = (t2 + a[y][x] * 2.0f) / 4.0f;
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn shrinks_statements_while_preserving_the_predicate() {
+        // "Fails" whenever the kernel still compiles and mentions t0: the
+        // shrinker must keep t0 alive but drop the unrelated t1 path.
+        let mut fails = |src: &str, _: &DiffConfig| {
+            src.contains("t0") && isl_symexec::compile_str(src).is_ok()
+        };
+        let cfg = DiffConfig::small();
+        let (out, _) = shrink_with(FAT, &cfg, 400, &mut fails);
+        assert!(out.contains("t0"));
+        assert!(out.len() < FAT.len(), "no shrinking happened:\n{out}");
+        assert!(!out.contains("fminf"), "dead fminf survived:\n{out}");
+    }
+
+    #[test]
+    fn shrinks_config_axes() {
+        let mut fails = |_: &str, _: &DiffConfig| true;
+        let cfg = DiffConfig { iterations: 5, depth: 3, threads: 4, ..DiffConfig::small() };
+        let (_, c) = shrink_with(FAT, &cfg, 400, &mut fails);
+        assert_eq!(c.iterations, 1);
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn budget_zero_is_identity() {
+        let mut fails = |_: &str, _: &DiffConfig| true;
+        let cfg = DiffConfig::small();
+        let (out, c) = shrink_with(FAT, &cfg, 0, &mut fails);
+        assert_eq!(out, FAT);
+        assert_eq!(c, cfg);
+    }
+}

@@ -157,6 +157,7 @@ pub mod compile;
 mod error;
 mod fixed;
 mod frame;
+pub mod harness;
 pub mod parallel;
 mod qvm;
 mod sim;

@@ -52,6 +52,12 @@ pub enum SymExecErrorKind {
     /// The extracted pattern failed `StencilPattern` validation (e.g.
     /// domain-narrowness bound exceeded).
     InvalidPattern,
+    /// A symbolic data expression grew beyond the node budget (e.g.
+    /// repeated self-referential assignment in an unrolled loop doubles
+    /// the expression every trip).
+    SymbolicBlowup,
+    /// A stencil offset's magnitude is beyond any plausible halo.
+    OffsetTooLarge,
 }
 
 impl fmt::Display for SymExecErrorKind {
@@ -75,6 +81,8 @@ impl fmt::Display for SymExecErrorKind {
             SymExecErrorKind::BadBound => "unclassifiable loop bound",
             SymExecErrorKind::UnknownIdent => "unknown identifier",
             SymExecErrorKind::InvalidPattern => "extracted pattern is invalid",
+            SymExecErrorKind::SymbolicBlowup => "symbolic expression too large",
+            SymExecErrorKind::OffsetTooLarge => "stencil offset too large",
         };
         f.write_str(s)
     }

@@ -13,6 +13,23 @@ use crate::value::{IndexVal, SymValue};
 /// "exponential growth of the number of symbols" (Section 3.2) at bay.
 const MAX_UNROLL: i64 = 64;
 
+/// Total statements the executor will run before refusing. [`MAX_UNROLL`]
+/// bounds one loop, but nested constant loops multiply, so an overall step
+/// budget is what actually guarantees termination in bounded time.
+const MAX_STEPS: u64 = 100_000;
+
+/// Node budget for any *stored* symbolic data expression. Repeated
+/// self-referential assignment (`t = t + t` inside an unrolled loop)
+/// doubles the tree per trip; this converts that exponential blowup into
+/// an error. The cap also bounds expression depth, keeping the recursive
+/// consumers of [`Expr`] (evaluation, compilation, drop) stack-safe.
+const MAX_EXPR_NODES: usize = 4096;
+
+/// Largest stencil-offset magnitude accepted along any axis — far beyond
+/// any plausible halo, but small enough that the narrowing to [`Offset`]'s
+/// `i32` components can never truncate silently.
+const MAX_OFFSET: i64 = 64;
+
 /// Symbolically execute one iteration of `kernel` and extract its
 /// [`StencilPattern`].
 ///
@@ -49,6 +66,7 @@ pub fn extract(kernel: &Kernel, info: &KernelInfo) -> Result<StencilPattern, Sym
         bound_now: [false; 3],
         axes_ever: [false; 3],
         outputs: vec![None; info.fields.len()],
+        steps: 0,
     };
     for stmt in &kernel.body {
         exec.exec(stmt)?;
@@ -99,6 +117,36 @@ struct Executor<'k> {
     /// Axes bound at any point (loop-nest completeness check).
     axes_ever: [bool; 3],
     outputs: Vec<Option<Expr>>,
+    /// Statements executed so far, across all unrolled loop trips.
+    steps: u64,
+}
+
+/// Count nodes of `e` iteratively, stopping as soon as `cap` is exceeded —
+/// the trees this guards against are exactly the ones a recursive walk
+/// could not survive.
+fn expr_nodes_capped(e: &Expr, cap: usize) -> usize {
+    let mut stack = vec![e];
+    let mut n = 0usize;
+    while let Some(e) = stack.pop() {
+        n += 1;
+        if n > cap {
+            return n;
+        }
+        match e {
+            Expr::Input { .. } | Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Unary { arg, .. } => stack.push(arg),
+            Expr::Binary { lhs, rhs, .. } => {
+                stack.push(lhs);
+                stack.push(rhs);
+            }
+            Expr::Select { cond, then_, else_ } => {
+                stack.push(cond);
+                stack.push(then_);
+                stack.push(else_);
+            }
+        }
+    }
+    n
 }
 
 impl Executor<'_> {
@@ -113,6 +161,14 @@ impl Executor<'_> {
     // -- statements ---------------------------------------------------------
 
     fn exec(&mut self, stmt: &Stmt) -> Result<(), SymExecError> {
+        self.steps += 1;
+        if self.steps > MAX_STEPS {
+            return Err(SymExecError::new(
+                K::TripTooLarge,
+                format!("kernel executes more than {MAX_STEPS} statements (nested unrolled loops?)"),
+                Span::default(),
+            ));
+        }
         match stmt {
             Stmt::Block(stmts) => {
                 for s in stmts {
@@ -120,8 +176,9 @@ impl Executor<'_> {
                 }
                 Ok(())
             }
-            Stmt::Decl { name, value, .. } => {
+            Stmt::Decl { name, value, span } => {
                 let v = self.eval(value)?;
+                self.budget_value(&v, *span)?;
                 self.env.insert(name.clone(), v);
                 Ok(())
             }
@@ -144,6 +201,7 @@ impl Executor<'_> {
                     ));
                 }
                 let v = self.eval(value)?;
+                self.budget_value(&v, *span)?;
                 self.env.insert(name.clone(), v);
                 Ok(())
             }
@@ -182,6 +240,7 @@ impl Executor<'_> {
                 }
                 let v = self.eval(value)?;
                 let expr = self.to_data(v, *span)?;
+                self.budget_expr(&expr, *span)?;
                 if self.outputs[fi].is_some() {
                     return Err(SymExecError::new(
                         K::DoubleWrite,
@@ -321,6 +380,7 @@ impl Executor<'_> {
                         let e = self.to_data(ev.clone(), span)?;
                         SymValue::Data(Expr::select(ce.clone(), t, e))
                     };
+                    self.budget_value(&merged, span)?;
                     self.env.insert(name.clone(), merged);
                 }
                 // Merge outputs.
@@ -500,8 +560,18 @@ impl Executor<'_> {
                     span,
                 ));
             }
+            if off.unsigned_abs() > MAX_OFFSET as u64 {
+                return Err(SymExecError::new(
+                    K::OffsetTooLarge,
+                    format!(
+                        "subscript {p} of `{array}` reaches {off} elements from the loop point; limit is ±{MAX_OFFSET}"
+                    ),
+                    span,
+                ));
+            }
             per_axis[axis] = off;
         }
+        // The bound above makes this narrowing lossless by construction.
         let to_i32 = |v: i64| v as i32;
         Ok(Offset::d3(
             to_i32(per_axis[0]),
@@ -752,6 +822,27 @@ impl Executor<'_> {
                 format!("unsupported call `{other}` (supported: sqrtf, fabsf, fminf, fmaxf, hypotf)"),
                 span,
             )),
+        }
+    }
+
+    /// Enforce [`MAX_EXPR_NODES`] on a data expression about to be stored.
+    fn budget_expr(&self, e: &Expr, span: Span) -> Result<(), SymExecError> {
+        if expr_nodes_capped(e, MAX_EXPR_NODES) > MAX_EXPR_NODES {
+            return Err(SymExecError::new(
+                K::SymbolicBlowup,
+                format!(
+                    "symbolic expression exceeds {MAX_EXPR_NODES} nodes (self-referential accumulation in an unrolled loop?)"
+                ),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn budget_value(&self, v: &SymValue, span: Span) -> Result<(), SymExecError> {
+        match v {
+            SymValue::Data(e) => self.budget_expr(e, span),
+            _ => Ok(()),
         }
     }
 
@@ -1117,6 +1208,64 @@ void blur(const float in[N], float out[N]) {
             }",
         );
         assert_eq!(k, SymExecErrorKind::UnsupportedOp);
+    }
+
+    #[test]
+    fn self_doubling_accumulator_rejected() {
+        // `t = t + t` doubles the symbolic tree every unrolled trip; without
+        // the node budget this exhausts memory instead of erroring.
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    float t = in[i];
+                    for (int k = 0; k < 60; k++) t = t + t;
+                    out[i] = t;
+                }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::SymbolicBlowup);
+    }
+
+    #[test]
+    fn nested_constant_loops_hit_step_budget() {
+        // Each loop is within MAX_UNROLL, but the nest multiplies: the step
+        // budget has to catch it, in bounded time.
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) {
+                    float t = 0.0f;
+                    for (int a = 0; a < 60; a++)
+                      for (int b = 0; b < 60; b++)
+                        for (int c = 0; c < 60; c++)
+                          t = 0.0f;
+                    out[i] = t + in[i];
+                }
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::TripTooLarge);
+    }
+
+    #[test]
+    fn huge_offset_rejected_not_truncated() {
+        // 2^32 narrows to 0 as i32 — before the bound this was silently
+        // accepted as a centre read.
+        let k = err_kind(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[i + 4294967296];
+            }",
+        );
+        assert_eq!(k, SymExecErrorKind::OffsetTooLarge);
+    }
+
+    #[test]
+    fn halo_sized_offsets_still_accepted() {
+        let (p, _) = compile_str(
+            "void f(const float in[N], float out[N]) {
+                for (int i = 0; i < N; i++) out[i] = in[i - 8] + in[i + 8];
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.radius(), 8);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! [`verify_vectors`] extends the discipline to *numerics*: every response
 //! word of a golden-vector file is re-derived through the independent
-//! fixed-point graph interpreter ([`isl_fpga::eval_fixed`]) — a tree walk
+//! fixed-point graph interpreter ([`isl_fpga::eval_fixed_raw`]) — a tree walk
 //! over the cone's dataflow graph, sharing no code with the bytecode VM
 //! that generated the file — and compared bit-for-bit.
 
@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
-use isl_fpga::{eval_fixed, FixedFormat};
+use isl_fpga::{eval_fixed_raw, FixedFormat};
 use isl_ir::Cone;
 
 use crate::codegen;
@@ -313,7 +313,8 @@ impl Error for VectorCheckError {}
 
 /// Certify a golden-vector file against `cone`: every record's stimulus is
 /// fed through the independent fixed-point graph interpreter
-/// ([`isl_fpga::eval_fixed`]) and every response word must match
+/// ([`isl_fpga::eval_fixed_raw`], in the raw-word domain so widths past
+/// `f64`'s mantissa stay exact) and every response word must match
 /// bit-for-bit. The first divergence is reported with its record, level,
 /// tile and port — enough for `isl-cosim`'s triage to pinpoint the
 /// offending instruction.
@@ -399,9 +400,10 @@ pub fn verify_vectors(
 
     let mut words = 0usize;
     for (ri, record) in file.records.iter().enumerate() {
-        // Value lookup in real units; eval_fixed re-quantises on entry,
-        // which round-trips raw words exactly.
-        let lookup: HashMap<(u16, i32, i32), f64> = cone
+        // Raw-word lookup: stimulus words drive the evaluation directly.
+        // Dequantising first would round words wider than f64's mantissa
+        // (width > 53) and break bit-exact certification.
+        let lookup: HashMap<(u16, i32, i32), i64> = cone
             .inputs()
             .iter()
             .zip(&dyn_cols)
@@ -409,27 +411,27 @@ pub fn verify_vectors(
             .map(|(inp, &c)| {
                 (
                     (inp.field.index() as u16, inp.point.x, inp.point.y),
-                    fmt.dequantize(record.stimulus[c]),
+                    record.stimulus[c],
                 )
             })
             .collect();
-        let params: Vec<f64> = param_cols
+        let params: Vec<i64> = param_cols
             .iter()
-            .map(|c| c.map(|c| fmt.dequantize(record.stimulus[c])).unwrap_or(0.0))
+            .map(|c| c.map(|c| record.stimulus[c]).unwrap_or(0))
             .collect();
-        let outs = eval_fixed(
+        let outs = eval_fixed_raw(
             cone,
             fmt,
             |f, p| {
                 lookup
                     .get(&(f.index() as u16, p.x, p.y))
                     .copied()
-                    .unwrap_or(0.0)
+                    .unwrap_or(0)
             },
             &params,
         );
         for ((_, _, value), (col, name)) in outs.iter().zip(&out_cols) {
-            let expected = fmt.quantize(*value);
+            let expected = *value;
             let got = record.response[*col];
             words += 1;
             if expected != got {

@@ -1,0 +1,6 @@
+// crash fixture: a subscript past i32 must be OffsetTooLarge, not a silent truncation
+void k(const float a[N], float a_out[N]) {
+    for (int x = 0; x < N; x++) {
+        a_out[x] = a[x + 4294967296];
+    }
+}

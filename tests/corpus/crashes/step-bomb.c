@@ -1,0 +1,14 @@
+// crash fixture: a 60x60x60 constant loop nest must hit the step budget
+void k(const float a[N], float a_out[N]) {
+    for (int x = 0; x < N; x++) {
+        float t = a[x];
+        for (int i = 0; i < 60; i++) {
+            for (int j = 0; j < 60; j++) {
+                for (int m = 0; m < 60; m++) {
+                    t = t + 1.0f;
+                }
+            }
+        }
+        a_out[x] = t;
+    }
+}

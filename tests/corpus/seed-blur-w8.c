@@ -1,0 +1,9 @@
+// fuzz: width=8 frac=5 border=mirror window=3x4 depth=3 threads=2 frames=9x7 iters=4 seed=0x11
+#pragma isl iterations 4
+void blur(const float a[H][W], float a_out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            a_out[y][x] = (a[y][x] + a[y][x - 1] + a[y - 1][x] + a[y][x + 1] + a[y + 1][x]) / 8.0f;
+        }
+    }
+}

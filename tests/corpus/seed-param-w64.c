@@ -1,0 +1,12 @@
+// fuzz: width=64 frac=32 border=clamp window=5x3 depth=4 threads=4 frames=12x9 iters=6 seed=0x44
+#pragma isl iterations 6
+#pragma isl param tau 0.25
+void guided(const float a[H][W], float a_out[H][W], const float g[H][W], float tau) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float t0 = a[y][x] + tau * (g[y][x] - a[y][x]);
+            float t1 = (a[y - 1][x] + a[y + 1][x] + a[y][x - 1] + a[y][x + 1]) / 4.0f;
+            a_out[y][x] = t0 * 0.5f + t1 * 0.5f;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// fuzz: width=54 frac=30 border=wrap window=4x1 depth=2 threads=1 frames=11x1 iters=5 seed=0x33
+#pragma isl iterations 5
+void smooth1d(const float a[N], float a_out[N]) {
+    for (int x = 0; x < N; x++) {
+        a_out[x] = (a[x - 2] + 2.0f * a[x - 1] + 3.0f * a[x] + 2.0f * a[x + 1] + a[x + 2]) / 16.0f;
+    }
+}

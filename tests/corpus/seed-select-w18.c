@@ -1,0 +1,14 @@
+// fuzz: width=18 frac=12 border=mirror window=2x5 depth=3 threads=2 frames=8x10 iters=4 seed=0x55
+#pragma isl iterations 4
+void clampdiff(const float a[H][W], float a_out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float d = a[y][x + 1] - a[y][x - 1];
+            float m = fabsf(d) / (fabsf(a[y][x]) + 0.5f);
+            if (m < 0.125f) {
+                d = 0.0f;
+            }
+            a_out[y][x] = ((d > 0.0f) ? a[y][x] + sqrtf(fabsf(d)) : a[y][x] - m) * 0.5f;
+        }
+    }
+}

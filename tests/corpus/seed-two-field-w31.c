@@ -1,0 +1,12 @@
+// fuzz: width=31 frac=20 border=constant:0.25 window=4x2 depth=2 threads=4 frames=10x8 iters=5 seed=0x22
+#pragma isl iterations 5
+void coupled(const float a[H][W], float a_out[H][W], const float b[H][W], float b_out[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            float t0 = fminf(a[y][x - 1], b[y - 1][x]);
+            float t1 = fmaxf(a[y][x + 1], b[y + 1][x]);
+            a_out[y][x] = (t0 + b[y][x] * 0.5f) / 2.0f;
+            b_out[y][x] = (t1 - a[y][x] * 0.25f) / 4.0f;
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// fuzz: width=63 frac=31 border=wrap window=2x2 depth=1 threads=1 frames=5x4 iters=5 seed=0x73dd883e2b65c92e
+// Found by the differential fuzzer (seed 0x15cf022, iteration 17): at
+// width 63 the raw response words exceed f64's 53-bit mantissa, and
+// verify_vectors used to dequantise stimuli to f64 before re-evaluating —
+// certifying golden vectors against a rounded shadow of themselves. The
+// checker now evaluates in the raw-word domain (eval_fixed_raw).
+#pragma isl iterations 4
+void fuzzed(const float a[H][W], float a_out[H][W], const float g[H][W]) {
+    for (int y = 0; y < H; y++) {
+        for (int x = 0; x < W; x++) {
+            a_out[y][x] = ((a[y][x] + 1.0f) * (1.0f + a[y + 1][x - 1]));
+        }
+    }
+}

@@ -256,10 +256,7 @@ fn injected_fault_is_caught_and_triaged() {
     let cc = CompiledCone::compile_with(&cone, &params, false);
     // Fault the last instruction: post-DCE it necessarily produces an
     // output word, so the corruption cannot be masked downstream.
-    let fault = Fault {
-        instr: cc.len() - 1,
-        xor_mask: 1,
-    };
+    let fault = Fault::bit_flip(cc.len() - 1, 1);
     let init = frames_for(&pattern, 12, 9, 4242);
     let clean = CoSimulator::new(&pattern, fmt).expect("builds");
     let faulty = CoSimulator::new(&pattern, fmt).expect("builds").with_fault(fault);
@@ -273,7 +270,7 @@ fn injected_fault_is_caught_and_triaged() {
     for file in &good {
         let c = Cone::build(&pattern, file.window, file.depth).expect("cone");
         verify_vectors(&c, fmt, file).expect("clean vectors certify");
-        assert!(clean.triage_vectors(file).expect("triage runs").is_none());
+        assert!(clean.triage_vectors(file).expect("triage runs").is_clean());
     }
     // The faulty main-shape file must fail certification...
     let bad_main = bad.iter().find(|f| f.depth == 2).expect("main shape");
@@ -288,6 +285,7 @@ fn injected_fault_is_caught_and_triaged() {
     let report = faulty
         .triage_vectors(bad_main)
         .expect("triage runs")
+        .into_report()
         .expect("divergence found");
     assert_eq!(report.record, 0);
     assert_eq!(report.level, 0);
@@ -298,6 +296,9 @@ fn injected_fault_is_caught_and_triaged() {
     let div = report.divergence.expect("fault hypothesis reproduces");
     assert_eq!(div.instr, fault.instr);
     assert_eq!(div.expected ^ 1, div.got);
+    // The typed divergence names the instruction kind it localised to.
+    assert!(!div.opcode.is_empty());
+    assert!(!div.op.is_empty());
 }
 
 /// The flow-level acceptance gate: `verify_architecture` certifies
