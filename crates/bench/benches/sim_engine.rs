@@ -544,7 +544,11 @@ fn main() {
     }
 
     let mut json = format!(
-        "{{\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
+        "{{\n  \"meta\": {{\"git_commit\": \"{}\", \"rustc\": \"{}\", \"cores\": {}, \"timestamp_utc\": \"{}\"}},\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
+        capture("git", &["rev-parse", "--short=12", "HEAD"]),
+        capture("rustc", &["--version"]),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        utc_timestamp(),
     );
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&row.json(i + 1 == rows.len()));
@@ -573,4 +577,37 @@ fn small_for(pattern: &StencilPattern, w: usize, h: usize) -> FrameSet {
     let n = pattern.fields().len();
     FrameSet::from_frames((0..n).map(|i| synthetic::noise(w, h, 7 + i as u64)).collect())
         .expect("frames")
+}
+
+/// First line of `cmd`'s stdout, or `"unknown"` — run metadata must never
+/// fail the bench (e.g. a source tarball without `.git`).
+fn capture(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .and_then(|s| s.lines().next().map(str::trim).map(String::from))
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The current UTC time as `YYYY-MM-DDTHH:MM:SSZ`, from the Unix clock
+/// alone (civil-from-days conversion; no date dependency).
+fn utc_timestamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (h, m, s) = ((secs / 3600) % 24, (secs / 60) % 60, secs % 60);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}Z")
 }

@@ -148,6 +148,7 @@ mod error;
 mod flow;
 mod session;
 mod store;
+mod telemetry;
 
 pub use error::{FlowError, Stage};
 pub use flow::IslFlow;
@@ -157,13 +158,15 @@ pub use session::{
     VectorSet, VerifyRequest, VhdlBundle,
 };
 pub use store::{ArtifactStore, StoreStats};
+pub use telemetry::TelemetryReport;
 
 /// Convenient single-import surface for flow users.
 pub mod prelude {
     pub use crate::{
         ArchitectureCertificate, ArtifactStore, Certified, Decomposed, ErrorBudget, Estimated,
         Explored, ExploreRequest, FlowError, FormatProbe, FormatSearchOutcome, FormatSearched,
-        IslFlow, IslSession, Stage, StoreStats, Synthesized, VectorSet, VerifyRequest, VhdlBundle,
+        IslFlow, IslSession, Stage, StoreStats, Synthesized, TelemetryReport, VectorSet,
+        VerifyRequest, VhdlBundle,
     };
     pub use isl_dse::{Calibration, DesignPoint, DesignSpace, Exploration, Explorer};
     pub use isl_estimate::{
@@ -186,4 +189,5 @@ pub use isl_frontend as frontend;
 pub use isl_ir as ir;
 pub use isl_sim as sim;
 pub use isl_symexec as symexec;
+pub use isl_telemetry;
 pub use isl_vhdl as vhdl;

@@ -47,6 +47,7 @@ use isl_vhdl::{
 
 use crate::error::{FlowError, Stage};
 use crate::store::{ArtifactStore, CalibrationKey, RefKey, RunKey, SearchKey, StoreStats};
+use crate::telemetry::TelemetryReport;
 
 // ---------------------------------------------------------------------------
 // Bundles: what synthesize/certify hand to the outside world.
@@ -257,6 +258,7 @@ impl IslSession {
     ///
     /// [`FlowError::Analysis`] with the frontend/symexec diagnostic.
     pub fn from_source(source: &str) -> Result<Self, FlowError> {
+        let _span = isl_telemetry::span("stage", "Spec");
         let (pattern, info) = compile_str(source).map_err(|e| FlowError::from(e).at(Stage::Spec, None))?;
         let border = info
             .border
@@ -273,6 +275,34 @@ impl IslSession {
     /// Same as [`IslSession::from_source`].
     pub fn from_algorithm(algorithm: &Algorithm) -> Result<Self, FlowError> {
         Self::from_source(algorithm.source)
+    }
+
+    /// [`IslSession::from_source`] under observation: start a fresh global
+    /// telemetry run ([`isl_telemetry::start`]) *before* parsing, so the
+    /// Spec stage itself is on the record, then pull the evidence any time
+    /// with [`IslSession::telemetry_report`].
+    ///
+    /// Telemetry is **process-global** (one collector, like the `log`
+    /// crate): this resets whatever a previous run recorded, every session
+    /// in the process contributes to the same record, and collection stays
+    /// enabled until [`isl_telemetry::set_enabled`]`(false)`. Disabled-mode
+    /// probes cost one relaxed atomic load, so leaving instrumented code
+    /// paths compiled in is free in production.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IslSession::from_source`].
+    pub fn with_telemetry(source: &str) -> Result<Self, FlowError> {
+        isl_telemetry::start();
+        Self::from_source(source)
+    }
+
+    /// The observability evidence recorded since telemetry started: the
+    /// global span/counter/gauge snapshot fused with this session's store
+    /// counters. See [`TelemetryReport`] for the three sink formats (JSON
+    /// run report, Chrome trace event file, human summary).
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        TelemetryReport::new(isl_telemetry::snapshot(), self.store.stats())
     }
 
     /// Build the session from an already-extracted pattern.
@@ -379,6 +409,7 @@ impl IslSession {
     /// The cone of one shape, through the store (stage context applied
     /// uniformly whether served or built).
     fn cone_at(&self, stage: Stage, window: Window, depth: u32) -> Result<Arc<Cone>, FlowError> {
+        let _span = isl_telemetry::span!("artifact", "cone w{} d{}", window, depth);
         let key = format!("cone {}_w{window}_d{depth}", self.spec.pattern.name());
         self.store
             .cone(&self.spec.pattern, window, depth, true)
@@ -436,6 +467,7 @@ impl IslSession {
     ///
     /// [`FlowError::Cone`] on invalid depth/pattern.
     pub fn decompose(&self, window: Window, depth: u32) -> Result<Decomposed, FlowError> {
+        let _span = isl_telemetry::span("stage", "Decomposed");
         let levels = if depth == 0 {
             // Surface the error through the same path a cone build would.
             return Err(self.cone_at(Stage::Decompose, window, depth).unwrap_err());
@@ -480,6 +512,7 @@ impl IslSession {
         space: &DesignSpace,
         iterations: u32,
     ) -> Result<Estimated, FlowError> {
+        let _span = isl_telemetry::span("stage", "Estimated");
         let key = CalibrationKey::new(
             self.spec.fingerprint,
             device,
@@ -548,6 +581,7 @@ impl IslSession {
     ///
     /// [`FlowError::Cone`] on invalid depth/pattern.
     pub fn synthesize(&self, window: Window, depth: u32) -> Result<Synthesized, FlowError> {
+        let _span = isl_telemetry::span("stage", "Synthesized");
         let cone = self.cone_at(Stage::Synthesize, window, depth)?;
         Ok(Synthesized {
             session: self.clone(),
@@ -701,6 +735,7 @@ impl IslSession {
     /// [`FlowError::Simulation`] for unsupported ranks, non-local borders or
     /// mismatched frame sets.
     pub fn certify(&self, init: &FrameSet, arch: Architecture) -> Result<Certified, FlowError> {
+        let _span = isl_telemetry::span("stage", "Certified");
         let key = RunKey::new(
             self.spec.fingerprint,
             init,
@@ -770,6 +805,7 @@ impl IslSession {
         };
 
         // 1) Quantised tiled semantics, compiled vs golden tree walk.
+        let span_q = isl_telemetry::span("certify", "quantised engine checks");
         let tiled = sim.run_tiled_quantized(init, iters, window, depth, q)?;
         let tiled_ref = sim.run_tiled_quantized_reference(init, iters, window, depth, q)?;
         let mut quantized_elements = bitwise(&tiled, &tiled_ref, "quantised tiled")?;
@@ -778,6 +814,7 @@ impl IslSession {
         let dag = sim.run_cone_dag_quantized(init, iters, window, depth, q)?;
         let dag_ref = sim.run_cone_dag_quantized_reference(init, iters, window, depth, q)?;
         quantized_elements += bitwise(&dag, &dag_ref, "quantised cone-DAG")?;
+        drop(span_q);
 
         // 3) Bit-true integer co-simulation + golden-vector certification.
         // The vector set is itself a stored artifact (keyed without the
@@ -792,6 +829,7 @@ impl IslSession {
                     .golden_vectors(init, iters, window, depth)
                     .map_err(FlowError::from)
             })?;
+        let span_v = isl_telemetry::span("certify", "vector verify");
         let mut vector_records = 0;
         let mut vector_words = 0;
         for file in vector_files.iter() {
@@ -820,6 +858,8 @@ impl IslSession {
                     .map_err(|e| FlowError::Verification(e.to_string()))?;
             }
         }
+
+        drop(span_v);
 
         // Measured accuracy of the hardware datapath, on two references:
         // the whole-frame golden run (end-to-end, includes the cone-base
@@ -920,6 +960,7 @@ impl IslSession {
         arch: Architecture,
         budget: ErrorBudget,
     ) -> Result<FormatSearched, FlowError> {
+        let _span = isl_telemetry::span("stage", "FormatSearched");
         budget
             .validate()
             .map_err(|e| e.at(Stage::FormatSearch, None))?;
@@ -980,6 +1021,7 @@ impl IslSession {
 
         let mut probes: Vec<FormatProbe> = Vec::new();
         let probe = |fmt: FixedFormat| -> Result<FormatProbe, FlowError> {
+            let _span = isl_telemetry::span!("search", "probe {}", fmt);
             let certified = self.clone().with_format(fmt).certify(init, arch)?;
             let c = certified.certificate();
             Ok(FormatProbe {
@@ -1210,6 +1252,7 @@ impl Estimated {
     /// [`FlowError::Exploration`] when nothing is feasible or the
     /// workload's iteration count differs from the session's.
     pub fn explore(&self, workload: Workload) -> Result<Explored, FlowError> {
+        let _span = isl_telemetry::span("stage", "Explored");
         let exploration = self
             .session
             .explorer(&self.device)
@@ -1349,6 +1392,7 @@ impl Certified {
     ///
     /// Same as [`IslSession::synthesize`].
     pub fn synthesize(&self) -> Result<Synthesized, FlowError> {
+        let _span = isl_telemetry::span("stage", "Synthesized");
         let cert = &self.certificate;
         let main_depth = level_depths(cert.iterations, cert.arch.depth)[0];
         let cone = self

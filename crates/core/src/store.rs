@@ -307,6 +307,35 @@ impl StoreStats {
     pub fn quantized_build_misses(&self) -> usize {
         self.programs.misses + self.vectors.misses + self.certificates.misses
     }
+
+    /// `(kind name, counters)` rows in declaration order — the iteration
+    /// the `Display` impl and the telemetry run report share.
+    pub fn rows(&self) -> [(&'static str, CacheStats); 8] {
+        [
+            ("cones", self.cones),
+            ("programs", self.programs),
+            ("syntheses", self.syntheses),
+            ("calibrations", self.calibrations),
+            ("vectors", self.vectors),
+            ("certificates", self.certificates),
+            ("references", self.references),
+            ("searches", self.searches),
+        ]
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    /// One aligned line per cache kind, e.g.
+    /// `cones          hits     12   misses      3`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (name, s)) in self.rows().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name:<13} hits {:>6}   misses {:>6}", s.hits, s.misses)?;
+        }
+        Ok(())
+    }
 }
 
 /// The concurrency-safe artifact store one [`crate::IslSession`] owns (and

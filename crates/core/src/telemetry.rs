@@ -1,0 +1,247 @@
+//! Run-level observability: the [`TelemetryReport`] a session emits after
+//! an instrumented run.
+//!
+//! Telemetry is process-global and **off by default** (the disabled path is
+//! one relaxed atomic load per probe site). Start an observed run with
+//! [`crate::IslSession::with_telemetry`] — which resets the collector and
+//! enables it before parsing, so even the Spec stage is on the record —
+//! then pull the evidence with [`crate::IslSession::telemetry_report`]:
+//!
+//! ```
+//! use isl_hls::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let session = IslSession::with_telemetry(r#"
+//! #pragma isl iterations 4
+//! void blur(const float in[H][W], float out[H][W]) {
+//!     for (int y = 0; y < H; y++)
+//!         for (int x = 0; x < W; x++)
+//!             out[y][x] = (in[y-1][x] + in[y+1][x]) * 0.5f;
+//! }
+//! "#)?;
+//! let _cone = session.cone(Window::square(2), 2)?;
+//! let report = session.telemetry_report();
+//! assert!(report.to_json().contains("\"caches\""));
+//! isl_telemetry::set_enabled(false);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The report fuses the global [`isl_telemetry::Snapshot`] (spans,
+//! counters, gauges, per-thread lanes) with the session's own
+//! [`StoreStats`], and renders three ways: a structured JSON run report
+//! ([`TelemetryReport::to_json`]), a Chrome trace-event file loadable in
+//! Perfetto or `chrome://tracing` ([`TelemetryReport::chrome_trace`]), and
+//! a human summary (`Display`).
+
+use std::fmt;
+
+use isl_telemetry::{gauge_json, GaugeStat, Snapshot, SpanTotal};
+
+use crate::store::StoreStats;
+
+/// The observability evidence of one instrumented run: the global telemetry
+/// [`Snapshot`] plus the session's artifact-store counters, taken together
+/// by [`crate::IslSession::telemetry_report`].
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    snapshot: Snapshot,
+    store: StoreStats,
+}
+
+/// The pool gauges the run report always carries, present even when the
+/// run never left the serial fast path (a one-core box spawns no workers).
+const POOL_GAUGES: [(&str, &str); 3] = [
+    ("queue_depth", "pool.queue_depth"),
+    ("park_us", "pool.park_us"),
+    ("batch_us", "pool.batch_us"),
+];
+
+impl TelemetryReport {
+    pub(crate) fn new(snapshot: Snapshot, store: StoreStats) -> Self {
+        TelemetryReport { snapshot, store }
+    }
+
+    /// The raw global snapshot the report was taken from.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The session's store counters at report time.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store
+    }
+
+    /// Aggregated wall time of the pipeline stages (category `"stage"`),
+    /// in execution order — `Spec` through `FormatSearched` for a full
+    /// run.
+    pub fn stages(&self) -> Vec<SpanTotal> {
+        self.snapshot.span_totals_for("stage")
+    }
+
+    /// The value of one counter (0 when it never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The statistics of one gauge (all-zero when it never sampled).
+    pub fn gauge(&self, name: &str) -> GaugeStat {
+        self.snapshot
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, g)| *g)
+            .unwrap_or_default()
+    }
+
+    /// The structured JSON run report.
+    ///
+    /// Top-level keys: `"stages"` (per-stage wall time, execution order),
+    /// `"caches"` (hit/miss per artifact kind), `"pool"` (queue depth,
+    /// park time, batch time, task counts — the gauge keys are always
+    /// present, zeroed when the pool never went parallel), and
+    /// `"telemetry"` (the full snapshot: every span category, counter,
+    /// gauge and lane). Parses with any JSON parser, including
+    /// [`isl_telemetry::json::parse`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        out.push_str("{\n  \"stages\": [");
+        let stages = self.stages();
+        for (i, t) in stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"count\": {}, \"total_us\": {}}}",
+                isl_telemetry::json::escape(&t.name),
+                t.count,
+                t.total_us
+            ));
+        }
+        if !stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"caches\": {");
+        for (i, (name, s)) in self.store.rows().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{name}\": {{\"hits\": {}, \"misses\": {}}}",
+                s.hits, s.misses
+            ));
+        }
+        out.push_str("\n  },\n  \"pool\": {");
+        for (key, gauge) in POOL_GAUGES {
+            out.push_str(&format!("\n    \"{key}\": {},", gauge_json(self.gauge(gauge))));
+        }
+        out.push_str(&format!(
+            "\n    \"batches\": {},\n    \"tasks\": {},\n    \"caller_tasks\": {},",
+            self.counter("pool.batches"),
+            self.counter("pool.tasks"),
+            self.counter("pool.caller.tasks"),
+        ));
+        out.push_str("\n    \"worker_tasks\": {");
+        let workers = self.worker_tasks();
+        for (i, (w, n)) in workers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{w}\": {n}"));
+        }
+        out.push_str("}\n  },\n  \"telemetry\": ");
+        out.push_str(&self.snapshot.to_json());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The Chrome trace-event export of the run — load the file in
+    /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`; one lane per
+    /// worker thread, nested spans per stage.
+    pub fn chrome_trace(&self) -> String {
+        self.snapshot.chrome_trace()
+    }
+
+    /// `(worker index, tasks run)` rows recovered from the
+    /// `pool.worker.<i>.tasks` counters, sorted by index.
+    fn worker_tasks(&self) -> Vec<(u64, u64)> {
+        let mut rows: Vec<(u64, u64)> = self
+            .snapshot
+            .counters
+            .iter()
+            .filter_map(|(n, v)| {
+                let idx = n.strip_prefix("pool.worker.")?.strip_suffix(".tasks")?;
+                Some((idx.parse().ok()?, *v))
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline stages:")?;
+        let stages = self.stages();
+        if stages.is_empty() {
+            writeln!(f, "  (none recorded)")?;
+        }
+        for t in &stages {
+            writeln!(
+                f,
+                "  {:<14} {:>4} × {:>10.3} ms total",
+                t.name,
+                t.count,
+                t.total_us as f64 / 1000.0
+            )?;
+        }
+        writeln!(f, "artifact store:")?;
+        for line in self.store.to_string().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        let (qd, park, batch) = (
+            self.gauge("pool.queue_depth"),
+            self.gauge("pool.park_us"),
+            self.gauge("pool.batch_us"),
+        );
+        writeln!(
+            f,
+            "worker pool: {} batches, {} tasks ({} on caller), queue depth max {}, \
+             park mean {:.0} µs, batch mean {:.0} µs",
+            self.counter("pool.batches"),
+            self.counter("pool.tasks"),
+            self.counter("pool.caller.tasks"),
+            qd.max,
+            park.mean(),
+            batch.mean()
+        )?;
+        write!(f, "{}", self.snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_keeps_pool_keys() {
+        let report = TelemetryReport::new(Snapshot::default(), StoreStats::default());
+        let json = report.to_json();
+        for key in ["queue_depth", "park_us", "batch_us", "caller_tasks"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
+        let parsed = isl_telemetry::json::parse(&json).expect("report parses");
+        let pool = parsed.get("pool").expect("pool object");
+        assert_eq!(
+            pool.get("batches").and_then(|v| v.as_num()),
+            Some(0.0),
+            "zeroed batches"
+        );
+        assert!(report.to_string().contains("worker pool"));
+    }
+}

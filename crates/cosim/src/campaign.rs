@@ -297,6 +297,7 @@ impl CoSimulator<'_> {
         depth: u32,
         schedule: &MaskSchedule,
     ) -> Result<FaultCoverageReport, CosimError> {
+        let _span = isl_telemetry::span("cosim", "fault campaign");
         if self.fault.is_some() {
             return Err(CosimError::Sim(
                 "fault campaign requires a clean co-simulator (drop with_fault)".into(),
@@ -470,6 +471,13 @@ impl CoSimulator<'_> {
         } else {
             latency_sum as f64 / report.detected as f64
         };
+        if isl_telemetry::enabled() {
+            isl_telemetry::add("campaign.faults", report.faults as u64);
+            isl_telemetry::add("campaign.detected", report.detected as u64);
+            isl_telemetry::add("campaign.masked", report.masked as u64);
+            isl_telemetry::add("campaign.silent", report.silent as u64);
+            isl_telemetry::add("campaign.triaged", report.triaged as u64);
+        }
         Ok(report)
     }
 }

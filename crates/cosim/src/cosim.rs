@@ -438,6 +438,7 @@ impl<'p> CoSimulator<'p> {
         window: Window,
         depth: u32,
     ) -> Result<Vec<VectorFile>, CosimError> {
+        let _span = isl_telemetry::span("cosim", "golden vectors");
         let (_, files) = self.cone_levels_impl(init, iterations, window, depth, true)?;
         Ok(files)
     }

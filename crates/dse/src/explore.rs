@@ -332,6 +332,7 @@ impl<'d> Explorer<'d> {
         iterations: u32,
         space: &DesignSpace,
     ) -> Result<Calibration, DseError> {
+        let _span = isl_telemetry::span("dse", "calibrate");
         let synth = self.synthesizer();
         let fmt = self.synth_options.format;
 
@@ -494,6 +495,7 @@ impl<'d> Explorer<'d> {
         space: &DesignSpace,
         calibration: &Calibration,
     ) -> Result<Exploration, DseError> {
+        let _span = isl_telemetry::span("dse", "enumerate");
         if workload.iterations != calibration.iterations {
             return Err(DseError::Estimate(format!(
                 "calibration was derived for {} iterations, workload runs {}",

@@ -181,6 +181,7 @@ impl FixedFormat {
     /// Panics when `a` and `dst` differ in length.
     pub fn unary_span(&self, op: UnaryOp, a: &[i64], dst: &mut [i64]) {
         assert_eq!(a.len(), dst.len(), "span length mismatch");
+        isl_telemetry::add("lane.unary", dst.len() as u64);
         let (lo, hi) = (self.min_raw(), self.max_raw());
         match op {
             UnaryOp::Neg => {
@@ -253,6 +254,7 @@ impl FixedFormat {
     pub fn binary_span(&self, op: BinaryOp, a: &[i64], b: &[i64], dst: &mut [i64]) {
         assert_eq!(a.len(), dst.len(), "span length mismatch");
         assert_eq!(b.len(), dst.len(), "span length mismatch");
+        isl_telemetry::add("lane.binary", dst.len() as u64);
         let (lo, hi) = (self.min_raw(), self.max_raw());
         let lanes = dst.iter_mut().zip(a.iter().zip(b));
         match op {
@@ -391,6 +393,7 @@ impl FixedFormat {
         let pow2 = c > 0 && (c as u64).is_power_of_two();
         match op {
             BinaryOp::Mul if pow2 && self.width <= 32 => {
+                isl_telemetry::add("lane.binary_const", dst.len() as u64);
                 // x·2^t >> frac as shifts (wrapping_mul by a power of two
                 // *is* a left shift; in-format words never clip bits under
                 // the width gate).
@@ -402,6 +405,7 @@ impl FixedFormat {
                 true
             }
             BinaryOp::Div if self.width + self.frac <= 63 => {
+                isl_telemetry::add("lane.binary_const", dst.len() as u64);
                 let frac = self.frac;
                 if c == 0 {
                     // The datapath's divide-by-zero contract: raw zero.
@@ -465,6 +469,7 @@ impl FixedFormat {
     /// Panics when `src` and `dst` differ in length.
     pub fn quantize_span(&self, src: &[f64], dst: &mut [i64]) {
         assert_eq!(src.len(), dst.len(), "span length mismatch");
+        isl_telemetry::add("lane.quantize", dst.len() as u64);
         for (d, &v) in dst.iter_mut().zip(src) {
             *d = self.quantize(v);
         }
@@ -477,6 +482,7 @@ impl FixedFormat {
     /// Panics when `src` and `dst` differ in length.
     pub fn dequantize_span(&self, src: &[i64], dst: &mut [f64]) {
         assert_eq!(src.len(), dst.len(), "span length mismatch");
+        isl_telemetry::add("lane.dequantize", dst.len() as u64);
         let res = self.resolution();
         for (d, &r) in dst.iter_mut().zip(src) {
             *d = r as f64 * res;

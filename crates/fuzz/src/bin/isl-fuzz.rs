@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! isl-fuzz diff     --iters 1000 --seed 1 [--corpus-dir DIR] [--shrink-budget 300]
+//!                   [--progress-every 100]
 //! isl-fuzz replay   <entry.c> [...]
 //! isl-fuzz mutate   --iters 2000 --seed 1
 //! isl-fuzz campaign [--fast]
@@ -9,16 +10,24 @@
 //!
 //! * `diff` — seeded differential campaign over all execution semantics;
 //!   exits non-zero if any mismatch survives, after shrinking and printing
-//!   (and optionally persisting) each counterexample.
+//!   (and optionally persisting) each counterexample. A progress line
+//!   (iters/s, cross-checks, corpus size) goes to stderr every
+//!   `--progress-every` iterations (0 silences it).
 //! * `mutate` — frontend robustness campaign over mangled kernel sources;
 //!   exits non-zero on any panic.
 //! * `campaign` — full stuck-at + bit-flip fault-injection campaigns over
 //!   the DSE-chosen architectures of the paper's two case studies, printing
 //!   the quantified coverage reports.
+//!
+//! Every subcommand also accepts the global observability flags
+//! `--telemetry <out.json>` (structured run report: spans, counters,
+//! gauges) and `--trace <out.trace.json>` (Chrome trace-event file,
+//! loadable in Perfetto / `chrome://tracing`); either one enables the
+//! telemetry collector for the run.
 
 use std::process::ExitCode;
 
-use isl_fuzz::{run_campaign, fuzz_frontend};
+use isl_fuzz::fuzz_frontend;
 use isl_hls::prelude::*;
 use isl_hls::FlowError;
 
@@ -45,10 +54,16 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let iters = parse_u64(args, "--iters", 1000)? as usize;
     let seed = parse_u64(args, "--seed", 1)?;
     let budget = parse_u64(args, "--shrink-budget", 300)? as usize;
+    let every = parse_u64(args, "--progress-every", 100)? as usize;
     let corpus_dir = arg_value(args, "--corpus-dir");
 
     println!("differential campaign: {iters} iterations, seed {seed:#x}");
-    let report = run_campaign(iters, seed, budget);
+    let report = isl_fuzz::run_campaign_with_progress(iters, seed, budget, every, |p| {
+        eprintln!(
+            "  [{}/{}] {:.0} iters/s, {} cross-checks, {} rejected, corpus {}",
+            p.iteration, p.iterations, p.iters_per_sec, p.checks, p.rejected, p.corpus_size
+        );
+    });
     println!(
         "  {} agreed ({} cross-checks), {} rejected by the frontend, {} mismatches",
         report.agreed,
@@ -156,9 +171,41 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, FlowError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Remove the flag `name` and its value from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    args.remove(i);
+    (i < args.len()).then(|| args.remove(i))
+}
+
+/// Write the telemetry sinks requested by the global `--telemetry` /
+/// `--trace` flags.
+fn write_telemetry(
+    telemetry_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    let snapshot = isl_telemetry::snapshot();
+    if let Some(path) = telemetry_out {
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("telemetry run report written to {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, snapshot.chrome_trace())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: isl-fuzz <diff|mutate|campaign> [options]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: isl-fuzz <diff|mutate|campaign> [options] \
+                 [--telemetry out.json] [--trace out.trace.json]";
+    let telemetry_out = take_flag(&mut args, "--telemetry");
+    let trace_out = take_flag(&mut args, "--trace");
+    if telemetry_out.is_some() || trace_out.is_some() {
+        isl_telemetry::start();
+    }
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -171,6 +218,8 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest).map_err(|e| e.to_string()),
         other => Err(format!("unknown command `{other}`\n{usage}")),
     };
+    let result = result
+        .and_then(|code| write_telemetry(telemetry_out.as_deref(), trace_out.as_deref()).map(|()| code));
     match result {
         Ok(code) => code,
         Err(msg) => {

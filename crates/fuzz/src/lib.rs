@@ -77,22 +77,72 @@ pub struct DiffCampaignReport {
     pub failures: Vec<CorpusEntry>,
 }
 
+/// A progress sample of a running differential campaign, handed to the
+/// [`run_campaign_with_progress`] callback every `every` iterations (and
+/// once more at the end of the run).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffProgress {
+    /// Iterations completed so far.
+    pub iteration: usize,
+    /// Iterations the campaign will run in total.
+    pub iterations: usize,
+    /// Campaign throughput since the start, iterations per second.
+    pub iters_per_sec: f64,
+    /// Cross-checks that ran so far.
+    pub checks: usize,
+    /// Programs the frontend rejected so far.
+    pub rejected: usize,
+    /// Mismatches found (the growth of the failure corpus) so far.
+    pub corpus_size: usize,
+}
+
 /// Run a seeded differential campaign: generate, execute, cross-check and
 /// (on mismatch) shrink, `iterations` times.
 ///
 /// `shrink_budget` bounds the re-check count spent minimising each
 /// failure; pass 0 to keep raw counterexamples.
 pub fn run_campaign(iterations: usize, seed: u64, shrink_budget: usize) -> DiffCampaignReport {
+    run_campaign_with_progress(iterations, seed, shrink_budget, 0, |_| {})
+}
+
+/// [`run_campaign`] with a progress feed: `on_progress` is called with a
+/// [`DiffProgress`] sample every `every` completed iterations and once at
+/// the end of the run (`every == 0` reports only the final sample).
+///
+/// With telemetry enabled ([`isl_telemetry::enabled`]) the loop also
+/// feeds the global collector: one `fuzz.iters` count per iteration,
+/// `fuzz.checks` per cross-check, and a `fuzz.corpus` counter that grows
+/// with every minimised mismatch, all under a `("fuzz", "diff campaign")`
+/// span.
+pub fn run_campaign_with_progress(
+    iterations: usize,
+    seed: u64,
+    shrink_budget: usize,
+    every: usize,
+    mut on_progress: impl FnMut(&DiffProgress),
+) -> DiffCampaignReport {
+    let _span = isl_telemetry::span("fuzz", "diff campaign");
+    let start = std::time::Instant::now();
     let mut rng = Rng::new(seed);
     let mut report = DiffCampaignReport::default();
+    let progress = |report: &DiffCampaignReport| DiffProgress {
+        iteration: report.iterations,
+        iterations,
+        iters_per_sec: report.iterations as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        checks: report.checks,
+        rejected: report.rejected,
+        corpus_size: report.failures.len(),
+    };
     for i in 0..iterations {
         let source = generate(&mut rng);
         let config = DiffConfig::sample(&mut rng);
         report.iterations += 1;
+        isl_telemetry::add("fuzz.iters", 1);
         match run_differential(&source, &config) {
             DiffOutcome::Agree { checks } => {
                 report.agreed += 1;
                 report.checks += checks;
+                isl_telemetry::add("fuzz.checks", checks as u64);
             }
             DiffOutcome::CompileError(_) => report.rejected += 1,
             DiffOutcome::Mismatch(_) => {
@@ -106,8 +156,16 @@ pub fn run_campaign(iterations: usize, seed: u64, shrink_budget: usize) -> DiffC
                     config: cfg,
                     source: src,
                 });
+                isl_telemetry::add("fuzz.corpus", 1);
             }
         }
+        if every > 0 && report.iterations % every == 0 {
+            on_progress(&progress(&report));
+        }
+    }
+    // Final sample, unless the last loop iteration just emitted it.
+    if every == 0 || iterations == 0 || !iterations.is_multiple_of(every) {
+        on_progress(&progress(&report));
     }
     report
 }

@@ -1474,6 +1474,7 @@ impl ProgramCache {
             return Arc::clone(hit);
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let _span = isl_telemetry::span("compile", "pattern f64");
         let built = Arc::new(CompiledPattern::compile(pattern, params, fold));
         let mut map = self.inner.patterns.lock().expect("program cache");
         Arc::clone(map.entry(key).or_insert(built))
@@ -1498,6 +1499,7 @@ impl ProgramCache {
             return Arc::clone(hit);
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let _span = isl_telemetry::span("compile", "cone f64");
         let built = Arc::new(CompiledCone::compile_with(cone, params, fold));
         let mut map = self.inner.cones.lock().expect("program cache");
         Arc::clone(map.entry(key).or_insert(built))
@@ -1519,6 +1521,7 @@ impl ProgramCache {
             return Arc::clone(hit);
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let _span = isl_telemetry::span("compile", "pattern q");
         let built = Arc::new(QuantizedPattern::compile(pattern, params, fmt));
         let mut map = self.inner.qpatterns.lock().expect("program cache");
         Arc::clone(map.entry(key).or_insert(built))
@@ -1540,6 +1543,7 @@ impl ProgramCache {
             return Arc::clone(hit);
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let _span = isl_telemetry::span("compile", "cone q");
         let built = Arc::new(QuantizedCone::compile(cone, params, fmt));
         let mut map = self.inner.qcones.lock().expect("program cache");
         Arc::clone(map.entry(key).or_insert(built))

@@ -158,6 +158,7 @@ mod error;
 mod fixed;
 mod frame;
 pub mod harness;
+mod metrics;
 pub mod parallel;
 mod qvm;
 mod sim;

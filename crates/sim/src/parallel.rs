@@ -175,17 +175,31 @@ impl WorkerPool {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("isl-sim-worker-{i}"))
-                .spawn(move || loop {
-                    let job = {
-                        let mut queue = shared.queue.lock().expect("pool queue");
-                        loop {
-                            if let Some(job) = queue.pop_front() {
-                                break job;
+                .spawn(move || {
+                    let tasks_key = format!("pool.worker.{i}.tasks");
+                    loop {
+                        let park_us;
+                        let job = {
+                            let mut queue = shared.queue.lock().expect("pool queue");
+                            let mut parked_at = None;
+                            loop {
+                                if let Some(job) = queue.pop_front() {
+                                    park_us = parked_at
+                                        .map(|t: std::time::Instant| t.elapsed().as_micros() as u64);
+                                    break job;
+                                }
+                                if parked_at.is_none() && isl_telemetry::enabled() {
+                                    parked_at = Some(std::time::Instant::now());
+                                }
+                                queue = shared.work_ready.wait(queue).expect("pool wait");
                             }
-                            queue = shared.work_ready.wait(queue).expect("pool wait");
+                        };
+                        if let Some(us) = park_us {
+                            isl_telemetry::sample("pool.park_us", us);
                         }
-                    };
-                    run_job(job);
+                        isl_telemetry::add(&tasks_key, 1);
+                        run_job(job);
+                    }
                 })
                 .expect("spawn pool worker");
         }
@@ -218,13 +232,19 @@ impl WorkerPool {
         if self.workers == 0 || tasks == 1 {
             // Serial fast path on the caller's own thread: the closure
             // cannot outlive this frame, so no latch (and no catch) needed.
+            if isl_telemetry::enabled() {
+                isl_telemetry::add("pool.batches", 1);
+                isl_telemetry::add("pool.tasks", tasks as u64);
+                isl_telemetry::add("pool.caller.tasks", tasks as u64);
+            }
             for i in 0..tasks {
                 f(i);
             }
             return;
         }
+        let batch_start = isl_telemetry::enabled().then(std::time::Instant::now);
         let latch = Latch::new(tasks);
-        {
+        let queue_depth = {
             let mut queue = self.shared.queue.lock().expect("pool queue");
             for index in 0..tasks {
                 queue.push_back(Job {
@@ -233,6 +253,10 @@ impl WorkerPool {
                     latch: Arc::clone(&latch),
                 });
             }
+            batch_start.map(|_| queue.len() as u64)
+        };
+        if let Some(depth) = queue_depth {
+            isl_telemetry::sample("pool.queue_depth", depth);
         }
         // Wake only as many workers as there are jobs for — a full
         // notify_all would stampede every parked worker through the queue
@@ -247,8 +271,17 @@ impl WorkerPool {
         // batch would couple its runtime into this caller's latency). This
         // also guarantees progress regardless of what the workers are busy
         // with, so nested `execute` calls cannot deadlock.
-        while self.shared.run_one_of(&latch) {}
+        let mut caller_tasks = 0u64;
+        while self.shared.run_one_of(&latch) {
+            caller_tasks += 1;
+        }
         latch.wait();
+        if let Some(t0) = batch_start {
+            isl_telemetry::add("pool.batches", 1);
+            isl_telemetry::add("pool.tasks", tasks as u64);
+            isl_telemetry::add("pool.caller.tasks", caller_tasks);
+            isl_telemetry::sample("pool.batch_us", t0.elapsed().as_micros() as u64);
+        }
     }
 }
 

@@ -215,6 +215,7 @@ pub(crate) fn step_quantized(
     threads: usize,
     recycle: Option<WordSet>,
 ) -> WordSet {
+    let _span = isl_telemetry::span("engine", "frame step q");
     let (w, h) = (state.width(), state.height());
     let braw = border_raw(border, qp.format());
     let step = qp.fused();
@@ -267,6 +268,9 @@ fn eval_rect_q(
     dst: &mut RectOutQ<'_>,
     scratch: &mut ScratchQ,
 ) {
+    if isl_telemetry::enabled() {
+        crate::metrics::tally_qinstrs(&kernel.code, ((rx1 - rx0 + 1) * (ry1 - ry0 + 1)) as u64);
+    }
     let fmt = kernel.format();
     let halo = kernel.halo();
     let xlo = rx0.max(i64::from(halo.left));
@@ -320,6 +324,9 @@ fn eval_rect_step_q(
     oy: i64,
     scratch: &mut ScratchQ,
 ) {
+    if isl_telemetry::enabled() {
+        crate::metrics::tally_qinstrs(step.code(), (w as i64 * (ry1 - ry0 + 1)) as u64);
+    }
     let fmt = step.format();
     let halo = step.halo();
     let xlo = i64::from(halo.left);
@@ -517,6 +524,7 @@ pub(crate) fn tiled_level_quantized(
     r: i64,
     recycle: Option<WordSet>,
 ) -> WordSet {
+    let _span = isl_telemetry::span("engine", "tiled level q");
     let (w, h) = (state.width(), state.height());
     let braw = border_raw(border, qp.format());
     let (dyn_fields, dyn_slot) = dyn_slot_map(
@@ -643,6 +651,7 @@ pub(crate) fn cone_level_quantized(
     (tw, th): (i64, i64),
     recycle: Option<WordSet>,
 ) -> WordSet {
+    let _span = isl_telemetry::span("engine", "cone level q");
     let (w, h) = (state.width(), state.height());
     let braw = border_raw(border, qc.format());
     let (dyn_fields, dyn_slot) =
@@ -702,6 +711,9 @@ fn eval_cone_lanes_q(
     let (w, h) = (state.width(), state.height());
     let fmt = qc.format();
     let n = chunk.len();
+    if isl_telemetry::enabled() {
+        crate::metrics::tally_qinstrs(&qc.code, n as u64);
+    }
     let read_origin: Vec<i64> = chunk.iter().map(|&(tx, ty)| ty * w as i64 + tx).collect();
     let write_origin: Vec<i64> = chunk
         .iter()

@@ -181,6 +181,7 @@ fn step_impl(
     threads: usize,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
+    let _span = isl_telemetry::span("engine", "frame step f64");
     let (w, h) = (state.width(), state.height());
     let frames: Vec<&Frame> = state.frames().iter().map(Arc::as_ref).collect();
     let mut recycled = reclaim(recycle, w, h);
@@ -255,6 +256,9 @@ pub(crate) fn eval_rect(
     dst: &mut RectOut<'_>,
     scratch: &mut Scratch,
 ) {
+    if isl_telemetry::enabled() {
+        crate::metrics::tally_instrs(&kernel.code, ((rx1 - rx0 + 1) * (ry1 - ry0 + 1)) as u64);
+    }
     let halo = kernel.halo();
     // Frame-interior coordinate range clipped to the rect (inclusive).
     let xlo = rx0.max(i64::from(halo.left));
@@ -505,6 +509,7 @@ pub(crate) fn tiled_level_compiled(
     r: i64,
     recycle: Option<FrameSet>,
 ) -> FrameSet {
+    let _span = isl_telemetry::span("engine", "tiled level f64");
     let (w, h) = (state.width(), state.height());
     let (dyn_fields, dyn_slot) = dyn_slot_map(
         cp.field_count(),
@@ -638,6 +643,7 @@ pub(crate) fn cone_level_compiled(
     (tw, th): (i64, i64),
     recycle: Option<FrameSet>,
 ) -> FrameSet {
+    let _span = isl_telemetry::span("engine", "cone level f64");
     let (w, h) = (state.width(), state.height());
     let (dyn_fields, dyn_slot) =
         dyn_slot_map(state.len(), cc.outputs.iter().map(|s| s.field as usize));
@@ -732,6 +738,9 @@ fn eval_cone_lanes(
     (slices, row0): (&mut [&mut [f64]], usize),
 ) {
     let n = chunk.len();
+    if isl_telemetry::enabled() {
+        crate::metrics::tally_instrs(&cc.code, n as u64);
+    }
     // Per-lane linear origins: read side in frame space, write side in
     // band space. One add per lane per gather/scatter afterwards.
     let read_origin: Vec<i64> = chunk.iter().map(|&(tx, ty)| ty * w as i64 + tx).collect();

@@ -1,0 +1,510 @@
+//! # isl-telemetry — structured tracing, metrics and profiling
+//!
+//! An always-compiled, cheap-when-disabled instrumentation layer for the
+//! staged HLS pipeline, the simulation engines, the worker pool and the
+//! reliability subsystem. Zero dependencies (the build is offline), no
+//! `unsafe`, and the **disabled path is a single branch on a
+//! `static AtomicBool`** — instrumentation left in hot code costs one
+//! relaxed load per call site when telemetry is off.
+//!
+//! ## Model
+//!
+//! * **Spans** — RAII intervals ([`span()`] / the [`span!`] macro) recorded
+//!   per *lane* (a small sequential id assigned to each OS thread on first
+//!   use, with the thread's name captured for trace export). A thread-local
+//!   stack tracks nesting depth, so spans nest naturally across the staged
+//!   pipeline (`Spec → … → FormatSearched`) and across worker-pool threads.
+//! * **Counters** — named monotonic `AtomicU64`s ([`add`]): engine
+//!   op-class histograms, lane-kernel element counts, fuzzer iterations,
+//!   fault-campaign sweeps. Registered on first use; a thread-local cache
+//!   makes repeated adds lock-free.
+//! * **Gauges** — named `(count, sum, max)` statistics ([`sample`]): worker
+//!   pool queue depth, park time, batch wall time — anything where the
+//!   distribution matters more than the total.
+//!
+//! ## Sinks
+//!
+//! A [`Snapshot`] ([`snapshot`]) carries everything recorded since the last
+//! [`reset`], with three renderings:
+//!
+//! * [`Snapshot::to_json`] — a structured **run report** (span totals by
+//!   category, counters, gauges, lanes);
+//! * [`Snapshot::chrome_trace`] — **Chrome trace-event JSON** loadable in
+//!   Perfetto / `chrome://tracing`, one lane per thread, `ph:"X"` complete
+//!   events with microsecond timestamps;
+//! * `Display` — a human summary for terminals and CI logs.
+//!
+//! The staged API wraps this as `IslSession::with_telemetry()` /
+//! `TelemetryReport` (which merges the artifact-store cache statistics into
+//! the run report); `isl-fuzz` exposes `--telemetry out.json --trace
+//! out.trace.json` on every subcommand.
+//!
+//! State is **process-global** (like the `log` crate's): enabling telemetry
+//! observes every instrumented subsystem at once, which is exactly what a
+//! run report wants. [`reset`] zeroes counters and drops recorded spans so
+//! consecutive runs don't bleed into each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod report;
+
+pub use report::{gauge_json, SpanTotal};
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The global gate.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently collecting. This is the branch every
+/// instrumented call site pays when disabled — a single relaxed atomic
+/// load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off (recorded data is kept either way).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Start a fresh collection run: [`reset`] everything recorded so far and
+/// enable collection.
+pub fn start() {
+    reset();
+    set_enabled(true);
+}
+
+/// Drop every recorded span, zero every counter and gauge, and clear the
+/// dropped-event tally. Thread lane ids and names are kept (they identify
+/// OS threads, which persist across runs).
+pub fn reset() {
+    collector().events.lock().expect("telemetry events").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    for c in counters().lock().expect("telemetry counters").values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in gauges().lock().expect("telemetry gauges").values() {
+        g.count.store(0, Ordering::Relaxed);
+        g.sum.store(0, Ordering::Relaxed);
+        g.max.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time base and lanes.
+// ---------------------------------------------------------------------------
+
+/// Microseconds since the process-wide telemetry epoch (first use).
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LANE: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The calling thread's lane id (assigned sequentially on first use; the
+/// thread's name is registered for trace export at the same moment).
+pub fn lane_id() -> u64 {
+    LANE.with(|l| {
+        if l.get() == 0 {
+            let id = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+            l.set(id);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{id}"));
+            collector()
+                .threads
+                .lock()
+                .expect("telemetry threads")
+                .push((id, name));
+        }
+        l.get()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The collector.
+// ---------------------------------------------------------------------------
+
+/// One recorded span interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Grouping category (e.g. `"stage"`, `"engine"`, `"artifact"`).
+    pub cat: &'static str,
+    /// Human-readable span name (e.g. `"Explored"`, `"cone w4x4 d2"`).
+    pub name: Cow<'static, str>,
+    /// Start, microseconds since the telemetry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Lane (thread) the span ran on.
+    pub lane: u64,
+    /// Nesting depth on its lane at entry (0 = top level).
+    pub depth: u32,
+}
+
+/// Cap on buffered span events — beyond this, spans are counted as dropped
+/// instead of growing without bound (128 Ki events ≈ 10 MiB).
+const MAX_EVENTS: usize = 128 * 1024;
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+struct Collector {
+    events: Mutex<Vec<SpanEvent>>,
+    threads: Mutex<Vec<(u64, String)>>,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        events: Mutex::new(Vec::new()),
+        threads: Mutex::new(Vec::new()),
+    })
+}
+
+/// An in-flight span: records a [`SpanEvent`] when dropped. Created by
+/// [`span()`] / [`span!`]; hold it in a local (`let _span = …`) for the
+/// region being measured.
+#[derive(Debug)]
+pub struct SpanGuard {
+    cat: &'static str,
+    name: Cow<'static, str>,
+    start_us: u64,
+    lane: u64,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_us = now_us().saturating_sub(self.start_us);
+        let mut events = collector().events.lock().expect("telemetry events");
+        if events.len() >= MAX_EVENTS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(SpanEvent {
+            cat: self.cat,
+            name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            start_us: self.start_us,
+            dur_us,
+            lane: self.lane,
+            depth: self.depth,
+        });
+    }
+}
+
+/// Open a span of `cat`/`name` on the calling thread's lane. Returns `None`
+/// (and does nothing) when telemetry is disabled — bind the result anyway;
+/// dropping the `Option` closes the span.
+pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    let lane = lane_id();
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    Some(SpanGuard {
+        cat,
+        name: name.into(),
+        start_us: now_us(),
+        lane,
+        depth,
+    })
+}
+
+/// Open a span with a formatted name, paying the formatting only when
+/// telemetry is enabled:
+///
+/// ```
+/// let _span = isl_telemetry::span!("artifact", "cone w{}x{} d{}", 4, 4, 2);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:literal) => {
+        $crate::span($cat, $name)
+    };
+    ($cat:expr, $fmt:literal, $($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::span($cat, format!($fmt, $($arg)*))
+        } else {
+            None
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+// ---------------------------------------------------------------------------
+
+type CounterMap = Mutex<HashMap<String, Arc<AtomicU64>>>;
+
+fn counters() -> &'static CounterMap {
+    static COUNTERS: OnceLock<CounterMap> = OnceLock::new();
+    COUNTERS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A `(count, sum, max)` statistic.
+#[derive(Debug, Default)]
+struct Gauge {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+type GaugeMap = Mutex<HashMap<String, Arc<Gauge>>>;
+
+fn gauges() -> &'static GaugeMap {
+    static GAUGES: OnceLock<GaugeMap> = OnceLock::new();
+    GAUGES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static COUNTER_CACHE: RefCell<HashMap<String, Arc<AtomicU64>>> =
+        RefCell::new(HashMap::new());
+    static GAUGE_CACHE: RefCell<HashMap<String, Arc<Gauge>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Add `delta` to the counter `name` (registered on first use). No-op when
+/// telemetry is disabled. Repeated adds from one thread are lock-free after
+/// the first ([`reset`] zeroes values in place, so caches stay valid).
+pub fn add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    COUNTER_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(c) = cache.get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let c = Arc::clone(
+            counters()
+                .lock()
+                .expect("telemetry counters")
+                .entry(name.to_owned())
+                .or_default(),
+        );
+        c.fetch_add(delta, Ordering::Relaxed);
+        cache.insert(name.to_owned(), c);
+    });
+}
+
+/// Record one observation of the gauge `name` (count/sum/max statistic).
+/// No-op when telemetry is disabled.
+pub fn sample(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    GAUGE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let g = match cache.get(name) {
+            Some(g) => g,
+            None => {
+                let g = Arc::clone(
+                    gauges()
+                        .lock()
+                        .expect("telemetry gauges")
+                        .entry(name.to_owned())
+                        .or_default(),
+                );
+                cache.insert(name.to_owned(), g);
+                cache.get(name).expect("just inserted")
+            }
+        };
+        g.count.fetch_add(1, Ordering::Relaxed);
+        g.sum.fetch_add(value, Ordering::Relaxed);
+        g.max.fetch_max(value, Ordering::Relaxed);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+/// The recorded statistics of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeStat {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl GaugeStat {
+    /// Mean observed value (0 when nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything recorded since the last [`reset`]: raw span events, counter
+/// and gauge values (zero entries omitted), and the lane → thread-name
+/// registry. See [`Snapshot::to_json`], [`Snapshot::chrome_trace`] and the
+/// `Display` impl for the three sink formats.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Every recorded span, in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge statistics, sorted by name.
+    pub gauges: Vec<(String, GaugeStat)>,
+    /// Lane id → thread name, in lane-assignment order.
+    pub threads: Vec<(u64, String)>,
+    /// Spans dropped because the event buffer was full.
+    pub dropped_spans: u64,
+}
+
+/// Snapshot the current telemetry state (cheap copies of everything
+/// recorded; collection continues unaffected).
+pub fn snapshot() -> Snapshot {
+    let spans = collector().events.lock().expect("telemetry events").clone();
+    let mut counter_rows: Vec<(String, u64)> = counters()
+        .lock()
+        .expect("telemetry counters")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .filter(|(_, v)| *v != 0)
+        .collect();
+    counter_rows.sort();
+    let mut gauge_rows: Vec<(String, GaugeStat)> = gauges()
+        .lock()
+        .expect("telemetry gauges")
+        .iter()
+        .map(|(k, g)| {
+            (
+                k.clone(),
+                GaugeStat {
+                    count: g.count.load(Ordering::Relaxed),
+                    sum: g.sum.load(Ordering::Relaxed),
+                    max: g.max.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .filter(|(_, g)| g.count != 0)
+        .collect();
+    gauge_rows.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        spans,
+        counters: counter_rows,
+        gauges: gauge_rows,
+        threads: collector().threads.lock().expect("telemetry threads").clone(),
+        dropped_spans: DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global; unit tests here serialise on one
+    // lock so `cargo test` threading cannot interleave their state.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = lock();
+        reset();
+        set_enabled(false);
+        {
+            let _s = span("test", "invisible");
+            add("test.counter", 5);
+            sample("test.gauge", 9);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_on_one_lane() {
+        let _l = lock();
+        start();
+        {
+            let _outer = span("test", "outer");
+            let _inner = span("test", "inner");
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let outer = snap.spans.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = snap.spans.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.lane, inner.lane);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+        reset();
+    }
+
+    #[test]
+    fn reset_zeroes_counters_in_place() {
+        let _l = lock();
+        start();
+        add("test.reset", 3);
+        reset();
+        add("test.reset", 4);
+        set_enabled(false);
+        let snap = snapshot();
+        let v = snap
+            .counters
+            .iter()
+            .find(|(k, _)| k == "test.reset")
+            .map(|(_, v)| *v);
+        assert_eq!(v, Some(4));
+        reset();
+    }
+
+    #[test]
+    fn gauge_statistics() {
+        let _l = lock();
+        start();
+        sample("test.g", 2);
+        sample("test.g", 10);
+        sample("test.g", 6);
+        set_enabled(false);
+        let snap = snapshot();
+        let g = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "test.g")
+            .map(|(_, g)| *g)
+            .expect("gauge recorded");
+        assert_eq!(g.count, 3);
+        assert_eq!(g.sum, 18);
+        assert_eq!(g.max, 10);
+        assert!((g.mean() - 6.0).abs() < 1e-12);
+        reset();
+    }
+}

@@ -1,0 +1,345 @@
+//! Snapshot sinks: span aggregation, the structured JSON run report, the
+//! Chrome trace-event export and the human `Display` summary.
+
+use crate::json::escape_into;
+use crate::{GaugeStat, Snapshot};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Aggregated wall time of every span sharing one `(category, name)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTotal {
+    /// Span category (e.g. `"stage"`).
+    pub cat: &'static str,
+    /// Span name (e.g. `"Explored"`).
+    pub name: String,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+    /// Earliest start, microseconds since the epoch (ordering key).
+    pub first_start_us: u64,
+}
+
+impl Snapshot {
+    /// Aggregate spans by `(category, name)`, ordered by category then
+    /// first start time — so pipeline stages come out in execution order.
+    pub fn span_totals(&self) -> Vec<SpanTotal> {
+        let mut index: HashMap<(&'static str, &str), usize> = HashMap::new();
+        let mut totals: Vec<SpanTotal> = Vec::new();
+        for s in &self.spans {
+            match index.get(&(s.cat, s.name.as_ref())) {
+                Some(&i) => {
+                    let t = &mut totals[i];
+                    t.count += 1;
+                    t.total_us += s.dur_us;
+                    t.first_start_us = t.first_start_us.min(s.start_us);
+                }
+                None => {
+                    index.insert((s.cat, s.name.as_ref()), totals.len());
+                    totals.push(SpanTotal {
+                        cat: s.cat,
+                        name: s.name.clone().into_owned(),
+                        count: 1,
+                        total_us: s.dur_us,
+                        first_start_us: s.start_us,
+                    });
+                }
+            }
+        }
+        totals.sort_by(|a, b| {
+            a.cat
+                .cmp(b.cat)
+                .then(a.first_start_us.cmp(&b.first_start_us))
+        });
+        totals
+    }
+
+    /// Totals restricted to one category, in first-start order.
+    pub fn span_totals_for(&self, cat: &str) -> Vec<SpanTotal> {
+        self.span_totals()
+            .into_iter()
+            .filter(|t| t.cat == cat)
+            .collect()
+    }
+
+    /// The structured JSON run report: span totals grouped by category,
+    /// all counters, all gauges (count/sum/max/mean), the lane registry
+    /// and the dropped-span tally. Always valid JSON ([`crate::json::parse`]
+    /// accepts it).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"spans\": {");
+        let totals = self.span_totals();
+        let mut cats: Vec<&'static str> = totals.iter().map(|t| t.cat).collect();
+        cats.dedup();
+        for (ci, cat) in cats.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            escape_into(&mut out, cat);
+            out.push_str(": [");
+            let mut first = true;
+            for t in totals.iter().filter(|t| t.cat == *cat) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n      {\"name\": ");
+                escape_into(&mut out, &t.name);
+                let _ = write!(
+                    out,
+                    ", \"count\": {}, \"total_us\": {}}}",
+                    t.count, t.total_us
+                );
+            }
+            out.push_str("\n    ]");
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            escape_into(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}}}",
+                g.count,
+                g.sum,
+                g.max,
+                g.mean()
+            );
+        }
+        out.push_str("\n  },\n  \"lanes\": {");
+        for (i, (lane, name)) in self.threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{lane}\": ");
+            escape_into(&mut out, name);
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"dropped_spans\": {}\n}}\n",
+            self.dropped_spans
+        );
+        out
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` flavour),
+    /// loadable in Perfetto or `chrome://tracing`: one `thread_name`
+    /// metadata record per lane, then one `ph:"X"` complete event per span
+    /// with microsecond `ts`/`dur`, `pid` 1 and `tid` = lane id — worker
+    /// threads each get their own swimlane.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        out.push_str(
+            "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \
+             \"args\": {\"name\": \"isl-hls\"}}",
+        );
+        for (lane, name) in &self.threads {
+            let _ = write!(
+                out,
+                ",\n  {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {lane}, \
+                 \"args\": {{\"name\": "
+            );
+            escape_into(&mut out, name);
+            out.push_str("}}");
+        }
+        for (lane, _) in &self.threads {
+            let _ = write!(
+                out,
+                ",\n  {{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, \
+                 \"tid\": {lane}, \"args\": {{\"sort_index\": {lane}}}}}"
+            );
+        }
+        for s in &self.spans {
+            let _ = write!(
+                out,
+                ",\n  {{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                 \"cat\": ",
+                s.lane, s.start_us, s.dur_us
+            );
+            escape_into(&mut out, s.cat);
+            out.push_str(", \"name\": ");
+            escape_into(&mut out, &s.name);
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry snapshot")?;
+        let totals = self.span_totals();
+        let mut cats: Vec<&'static str> = totals.iter().map(|t| t.cat).collect();
+        cats.dedup();
+        for cat in cats {
+            writeln!(f, "  [{cat}]")?;
+            for t in totals.iter().filter(|t| t.cat == cat) {
+                writeln!(
+                    f,
+                    "    {:<32} {:>8.3} ms  x{}",
+                    t.name,
+                    t.total_us as f64 / 1000.0,
+                    t.count
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "  [counters]")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "    {name:<40} {value:>14}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "  [gauges]")?;
+            for (name, g) in &self.gauges {
+                writeln!(
+                    f,
+                    "    {:<40} n={:<8} mean={:<12.2} max={}",
+                    name,
+                    g.count,
+                    g.mean(),
+                    g.max
+                )?;
+            }
+        }
+        if !self.threads.is_empty() {
+            writeln!(f, "  [lanes]")?;
+            for (lane, name) in &self.threads {
+                writeln!(f, "    {lane:>3}  {name}")?;
+            }
+        }
+        if self.dropped_spans > 0 {
+            writeln!(f, "  dropped spans: {}", self.dropped_spans)?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a gauge row (used by downstream run-report writers that need to
+/// emit pool metrics even when no samples were recorded).
+pub fn gauge_json(g: GaugeStat) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}}}",
+        g.count,
+        g.sum,
+        g.max,
+        g.mean()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::SpanEvent;
+    use std::borrow::Cow;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanEvent {
+                    cat: "stage",
+                    name: Cow::Borrowed("Spec"),
+                    start_us: 0,
+                    dur_us: 10,
+                    lane: 1,
+                    depth: 0,
+                },
+                SpanEvent {
+                    cat: "stage",
+                    name: Cow::Borrowed("Explored"),
+                    start_us: 12,
+                    dur_us: 90,
+                    lane: 1,
+                    depth: 0,
+                },
+                SpanEvent {
+                    cat: "engine",
+                    name: Cow::Owned("compile \"q\"".to_owned()),
+                    start_us: 20,
+                    dur_us: 5,
+                    lane: 2,
+                    depth: 1,
+                },
+            ],
+            counters: vec![("op.add".to_owned(), 42)],
+            gauges: vec![(
+                "pool.queue_depth".to_owned(),
+                GaugeStat {
+                    count: 3,
+                    sum: 6,
+                    max: 4,
+                },
+            )],
+            threads: vec![(1, "main".to_owned()), (2, "isl-sim-worker-0".to_owned())],
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn run_report_parses_and_aggregates() {
+        let snap = sample_snapshot();
+        let v = json::parse(&snap.to_json()).expect("run report is valid JSON");
+        let stages = v
+            .get("spans")
+            .and_then(|s| s.get("stage"))
+            .and_then(json::Value::as_arr)
+            .expect("stage array");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            stages[0].get("name").and_then(json::Value::as_str),
+            Some("Spec")
+        );
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("op.add")).and_then(json::Value::as_num),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_parses_with_lanes() {
+        let snap = sample_snapshot();
+        let v = json::parse(&snap.chrome_trace()).expect("trace is valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents");
+        // 1 process_name + 2 thread_name + 2 sort_index + 3 spans.
+        assert_eq!(events.len(), 8);
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        assert!(xs
+            .iter()
+            .any(|e| e.get("tid").and_then(json::Value::as_num) == Some(2.0)));
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let text = sample_snapshot().to_string();
+        assert!(text.contains("Explored"));
+        assert!(text.contains("op.add"));
+        assert!(text.contains("pool.queue_depth"));
+        assert!(text.contains("isl-sim-worker-0"));
+    }
+}

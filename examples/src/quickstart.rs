@@ -98,5 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after.total_misses() - before.total_misses(),
         before.total_misses(),
     );
+
+    // Per-cache breakdown of the whole run (`StoreStats` is `Display`).
+    println!("\n== artifact store, per cache ==\n{after}");
     Ok(())
 }

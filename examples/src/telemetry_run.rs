@@ -1,0 +1,71 @@
+//! One fully observed pipeline run: gaussian IGF through
+//! Spec → Decomposed → Estimated → Explored → Synthesized → Certified →
+//! FormatSearched with telemetry enabled, emitting all three sinks — the
+//! human summary to stdout, and optionally the structured JSON run report
+//! and the Perfetto-loadable Chrome trace:
+//!
+//! ```text
+//! cargo run -p isl-examples --bin telemetry_run -- \
+//!     [--telemetry out.json] [--trace out.trace.json]
+//! ```
+
+use isl_hls::prelude::*;
+use isl_hls::sim::synthetic;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algo = isl_hls::algorithms::gaussian_igf();
+
+    // `with_telemetry` starts the global collector *before* parsing, so
+    // the Spec stage is the first span on the record.
+    let session = IslSession::with_telemetry(algo.source)?;
+    let device = Device::virtex6_xc6vlx760();
+    let space = DesignSpace::new(2..=5, 1..=3, 4);
+    let (w, h) = (24u32, 18u32);
+
+    // Stages 2–5: decompose one shape explicitly, explore the space,
+    // synthesize the fastest point.
+    let explored = session.explore(&device, session.workload(w, h), &space)?;
+    let best = explored.fastest().expect("feasible points exist");
+    session.decompose(best.arch.window, best.arch.depth)?;
+    explored.synthesize_fastest()?;
+
+    // Stages 6–7: certify the fastest point, then search the narrowest
+    // format at least as accurate as the default.
+    let init = FrameSet::from_frames(
+        (0..session.pattern().fields().len())
+            .map(|i| synthetic::noise(w as usize, h as usize, 0x5EED + i as u64))
+            .collect(),
+    )?;
+    let certified = explored.certify_fastest(&init)?;
+    let budget = ErrorBudget::max_abs(certified.certificate().max_quant_error);
+    let searched = session.search_format(&device, &init, best.arch, budget)?;
+    println!(
+        "{}: w{} d{} at {} ({} probes)\n",
+        algo.name,
+        best.arch.window,
+        best.arch.depth,
+        searched.format(),
+        searched.probes().len()
+    );
+
+    // The three sinks.
+    let report = session.telemetry_report();
+    println!("{report}");
+    if let Some(path) = arg_value(&args, "--telemetry") {
+        std::fs::write(&path, report.to_json())?;
+        eprintln!("telemetry run report written to {path}");
+    }
+    if let Some(path) = arg_value(&args, "--trace") {
+        std::fs::write(&path, report.chrome_trace())?;
+        eprintln!("chrome trace written to {path} (load in ui.perfetto.dev)");
+    }
+    isl_hls::isl_telemetry::set_enabled(false);
+    Ok(())
+}
