@@ -17,6 +17,11 @@
 //! `ISL_BENCH_FAST=1` to shrink the frames section to a 1080p smoke case
 //! (CI uses this).
 //!
+//! A **persistence** section measures the disk tier end to end — cold
+//! process vs store flush/load vs warm-disk open vs warm-memory — and the
+//! served round-trip latency of a warm certify at 1/4/16 concurrent
+//! clients through an in-process `isl-serve` server.
+//!
 //! Always writes `BENCH_sim.json` at the workspace root with the measured
 //! times and speedups so the perf trajectory of the engine can be tracked
 //! across commits.
@@ -543,6 +548,153 @@ fn main() {
         ));
     }
 
+    // Persistence: the disk tier measured end to end — cold process
+    // (empty store file, everything built), the store flush and load wall
+    // times, a warm-disk open (fresh session replaying the file) and the
+    // warm-memory re-explore, then the served round-trip latency of a
+    // warm certify at 1/4/16 concurrent clients through `isl-serve`.
+    let mut persist_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let workload = Workload::image(SIZE as u32, SIZE as u32, ITERS);
+        let path = std::env::temp_dir().join(format!("isl-bench-{}.islstore", case.name));
+
+        // Cold process: empty file + fresh session per run.
+        let mut cold_times: Vec<f64> = (0..3)
+            .map(|_| {
+                std::fs::remove_file(&path).ok();
+                let session = IslSession::from_pattern(case.pattern.clone(), ITERS)
+                    .with_persistent_store(&path)
+                    .expect("opens");
+                let t0 = Instant::now();
+                std::hint::black_box(session.explore(&device, workload, &space).expect("explores"));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        cold_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cold = cold_times[1];
+
+        // Flush: dirty store → atomically published file.
+        std::fs::remove_file(&path).ok();
+        let writer = IslSession::from_pattern(case.pattern.clone(), ITERS)
+            .with_persistent_store(&path)
+            .expect("opens");
+        writer.explore(&device, workload, &space).expect("explores");
+        let t0 = Instant::now();
+        let bytes = writer.checkpoint().expect("flushes");
+        let flush = t0.elapsed().as_secs_f64();
+        drop(writer);
+
+        // Warm-disk open (load) + first explore from disk artifacts, then
+        // the warm-memory re-explore on the same session.
+        let t0 = Instant::now();
+        let reader = IslSession::from_pattern(case.pattern.clone(), ITERS)
+            .with_persistent_store(&path)
+            .expect("opens");
+        let load = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        std::hint::black_box(reader.explore(&device, workload, &space).expect("explores"));
+        let warm_disk = t0.elapsed().as_secs_f64();
+        let mut mem_times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(reader.explore(&device, workload, &space).expect("explores"));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        mem_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let warm_mem = mem_times[2];
+        assert_eq!(reader.store_stats().calibrations.misses, 0, "disk tier missed");
+        println!(
+            "persistence_{:<16} cold {:>8.3} ms | flush {:>7.3} ms ({bytes} B) | load {:>7.3} ms | warm-disk {:>7.3} ms ({:>6.1}x) | warm-mem {:>7.3} ms",
+            case.name,
+            cold * 1e3,
+            flush * 1e3,
+            load * 1e3,
+            warm_disk * 1e3,
+            cold / warm_disk,
+            warm_mem * 1e3,
+        );
+        persist_rows.push(format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"flush_ms\": {:.3}, \"flush_bytes\": {bytes}, \"load_ms\": {:.3}, \"warm_disk_ms\": {:.3}, \"warm_memory_ms\": {:.3}, \"disk_speedup\": {:.1}}}",
+            case.name,
+            cold * 1e3,
+            flush * 1e3,
+            load * 1e3,
+            warm_disk * 1e3,
+            warm_mem * 1e3,
+            cold / warm_disk
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Service round-trip latency: a warm certify against an in-process
+    // `isl-serve` server at 1/4/16 concurrent clients (fast mode: 1/4).
+    let serve_state = std::env::temp_dir().join("isl-bench-serve-state");
+    std::fs::remove_dir_all(&serve_state).ok();
+    let handle = isl_serve::Server::start(isl_serve::ServeConfig {
+        state_dir: Some(serve_state.clone()),
+        batch_window: std::time::Duration::from_millis(1),
+        ..isl_serve::ServeConfig::default()
+    })
+    .expect("serve binds");
+    let addr = handle.addr();
+    let served_certify = || isl_serve::Request {
+        op: isl_serve::Op::Certify,
+        algo: "igf".into(),
+        width: 48,
+        height: 32,
+        seed: 1,
+        window: 2,
+        depth: 1,
+        cores: 1,
+        ..isl_serve::Request::default()
+    };
+    // One cold call warms the service; everything after measures serving.
+    isl_serve::Client::connect(addr)
+        .expect("connects")
+        .request(served_certify())
+        .expect("answers");
+    let serve_clients: &[usize] = if fast { &[1, 4] } else { &[1, 4, 16] };
+    let calls_per_client = if fast { 5 } else { 20 };
+    let mut serve_rows: Vec<String> = Vec::new();
+    for &n in serve_clients {
+        let threads: Vec<_> = (0..n)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = isl_serve::Client::connect(addr).expect("connects");
+                    (0..calls_per_client)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            client.request(served_certify()).expect("answers");
+                            t0.elapsed().as_secs_f64()
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p50 = lat[lat.len() / 2];
+        let p95 = lat[(lat.len() * 95 / 100).min(lat.len() - 1)];
+        println!(
+            "serve_round_trip_c{n:<3} warm certify: p50 {:>7.3} ms | p95 {:>7.3} ms ({} calls)",
+            p50 * 1e3,
+            p95 * 1e3,
+            lat.len(),
+        );
+        serve_rows.push(format!(
+            "    {{\"clients\": {n}, \"calls\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+            lat.len(),
+            p50 * 1e3,
+            p95 * 1e3
+        ));
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&serve_state).ok();
+
     let mut json = format!(
         "{{\n  \"meta\": {{\"git_commit\": \"{}\", \"rustc\": \"{}\", \"cores\": {}, \"timestamp_utc\": \"{}\"}},\n  \"frame\": [{SIZE}, {SIZE}],\n  \"iterations\": {ITERS},\n  \"tiled_window\": {TILE_TILED},\n  \"cone_dag_window\": {TILE_CONE},\n  \"cone_depth\": {DEPTH},\n  \"cases\": [\n",
         capture("git", &["rev-parse", "--short=12", "HEAD"]),
@@ -563,6 +715,10 @@ fn main() {
     json.push_str(&fs_rows.join(",\n"));
     json.push_str("\n  ],\n  \"fault_campaign\": [\n");
     json.push_str(&fc_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"persistence\": [\n");
+    json.push_str(&persist_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"serve_latency\": [\n");
+    json.push_str(&serve_rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
     // cargo runs benches with the package directory as cwd; anchor the
     // trajectory file at the workspace root instead.

@@ -134,6 +134,8 @@
 //! | *(certifying a batch)*                    | `session.verify_many(&requests)`                            |
 //! | *(vectors next to the VHDL, by hand)*     | `session.certify(...)?.synthesize()?.write_to(dir)?` + `run_ghdl.sh` |
 //! | *(fixed-point format chosen by hand)*     | `session.search_format(dev, init, arch, budget)?` (new stage)        |
+//! | *(artifacts die with the process)*        | `session.with_persistent_store(path)?` (on-disk tier; see `isl-persist`) |
+//! | *(store flushed only at drop)*            | `session.checkpoint()?` (explicit durable flush)            |
 //!
 //! Functional correctness of the whole architecture template is provable in
 //! simulation: window-by-window cone execution is bit-identical to the
@@ -146,6 +148,7 @@
 
 mod error;
 mod flow;
+mod persist;
 mod session;
 mod store;
 mod telemetry;

@@ -362,6 +362,51 @@ impl IslSession {
         self
     }
 
+    /// Back this session's artifact store with the on-disk record file at
+    /// `path` (creating it when absent): persisted calibrations, synthesis
+    /// reports, golden vectors, certificates, reference runs and
+    /// format-search outcomes are served warm across process restarts —
+    /// bit-identical to cold recomputes, with the reuse observable as
+    /// [`StoreStats`] disk hits instead of fresh builds. Artifacts already
+    /// cached in memory by this session are kept.
+    ///
+    /// Corrupt or version-mismatched files are not errors: bad records
+    /// degrade to cold builds and are counted in
+    /// [`StoreStats::load_skipped_corrupt`]. The store flushes on drop;
+    /// call [`IslSession::checkpoint`] to flush durably at a known point.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] when the file exists but cannot be read.
+    pub fn with_persistent_store(mut self, path: impl AsRef<Path>) -> Result<Self, FlowError> {
+        self.store = Arc::new(ArtifactStore::open_persistent(path.as_ref())?);
+        Ok(self)
+    }
+
+    /// Cap the persistent store file size in bytes; the flush path evicts
+    /// least-recently-used records down to the budget. No-op without
+    /// [`IslSession::with_persistent_store`], or when the store is already
+    /// shared with clones of this session (set the budget at build time,
+    /// right after [`IslSession::with_persistent_store`]).
+    pub fn with_store_byte_budget(mut self, byte_budget: u64) -> Self {
+        if let Some(store) = Arc::get_mut(&mut self.store) {
+            *store = std::mem::take(store).with_byte_budget(byte_budget);
+        }
+        self
+    }
+
+    /// Durably flush the persistent store now (atomic write-then-rename;
+    /// readers of the file never observe a partial write). Returns the
+    /// bytes written — 0 when the store is clean or purely in-memory.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] from the underlying write or rename; the previous
+    /// file is untouched on failure.
+    pub fn checkpoint(&self) -> Result<u64, FlowError> {
+        self.store.checkpoint()
+    }
+
     // -- spec accessors -----------------------------------------------------
 
     /// The extracted stencil pattern.
@@ -562,8 +607,9 @@ impl IslSession {
     /// sharing this session's store — cones and calibration syntheses of
     /// one shape are shared across the whole batch (e.g. one workload on
     /// many devices, or many frame sizes on one device). Requests that
-    /// race on an artifact nobody has built yet may each build it (first
-    /// insertion wins; results are unaffected). Results are in request
+    /// race on an artifact nobody has built yet build it exactly once:
+    /// the first claims the build and the rest block for the result
+    /// (single-flight — the waiters count as hits). Results are in request
     /// order, each independently `Ok` or `Err`.
     pub fn explore_many(&self, requests: &[ExploreRequest<'_>]) -> Vec<Result<Explored, FlowError>> {
         par_map(requests.to_vec(), self.spec.threads, |req| {

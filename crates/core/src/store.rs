@@ -21,8 +21,9 @@
 //! did zero redundant work.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use isl_dse::Calibration;
 use isl_fpga::{FixedFormat, SynthCache, SynthOptions};
@@ -30,12 +31,26 @@ use isl_ir::{CacheStats, Cone, ConeCache, Window};
 use isl_sim::{BorderMode, FrameSet, ProgramCache};
 use isl_vhdl::VectorFile;
 
+use crate::error::FlowError;
+use crate::persist::DiskTier;
 use crate::session::{ArchitectureCertificate, ErrorBudget, FormatSearchOutcome};
 
-/// One generic content-keyed map with hit/miss counters.
+/// One entry of a [`CacheMap`]: either the finished artifact or a marker
+/// that exactly one thread is building it right now.
+#[derive(Debug)]
+enum Slot<V> {
+    Building,
+    Ready(Arc<V>),
+}
+
+/// One generic content-keyed map with hit/miss counters and
+/// **single-flight** builds: concurrent requests for one missing key elect
+/// exactly one builder; the rest block on the condvar and are served the
+/// builder's artifact (counted as hits — they computed nothing).
 #[derive(Debug)]
 struct CacheMap<K, V> {
-    map: Mutex<HashMap<K, Arc<V>>>,
+    state: Mutex<HashMap<K, Slot<V>>>,
+    ready: Condvar,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -43,26 +58,81 @@ struct CacheMap<K, V> {
 impl<K, V> Default for CacheMap<K, V> {
     fn default() -> Self {
         CacheMap {
-            map: Mutex::new(HashMap::new()),
+            state: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
     }
 }
 
-impl<K: std::hash::Hash + Eq + Clone, V> CacheMap<K, V> {
-    /// Serve `key` from the map or produce it with `build` (outside the
-    /// lock) and store it. Racing builders each count a miss; the first
-    /// insertion wins. Errors are not cached.
-    fn get_or_build<E>(&self, key: K, build: impl FnOnce() -> Result<V, E>) -> Result<Arc<V>, E> {
-        if let Some(hit) = self.map.lock().expect("artifact store").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+/// Removes a `Building` marker (and wakes waiters) if the builder exits
+/// without publishing — an error or a panic. Waiters then re-elect.
+struct BuildGuard<'a, K: std::hash::Hash + Eq + Clone, V> {
+    cache: &'a CacheMap<K, V>,
+    key: K,
+    armed: bool,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Drop for BuildGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = self.cache.state.lock().expect("artifact store");
+            if matches!(map.get(&self.key), Some(Slot::Building)) {
+                map.remove(&self.key);
+            }
+            drop(map);
+            self.cache.ready.notify_all();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(build()?);
-        let mut map = self.map.lock().expect("artifact store");
-        Ok(Arc::clone(map.entry(key).or_insert(value)))
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> CacheMap<K, V> {
+    /// Serve `key` from the map or produce it with `produce` (outside the
+    /// lock, single-flight) and store it. `produce` reports whether it
+    /// *built* the value (`true`) or sourced it from elsewhere — the disk
+    /// tier — (`false`); only genuine builds count as misses, so the miss
+    /// counters keep meaning "something was actually computed". Errors are
+    /// not cached; waiters of a failed build re-elect a builder.
+    fn get_or_build<E>(
+        &self,
+        key: K,
+        produce: impl FnOnce() -> Result<(V, bool), E>,
+    ) -> Result<Arc<V>, E> {
+        {
+            let mut map = self.state.lock().expect("artifact store");
+            loop {
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(v));
+                    }
+                    Some(Slot::Building) => {
+                        map = self.ready.wait(map).expect("artifact store");
+                    }
+                    None => {
+                        map.insert(key.clone(), Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = BuildGuard { cache: self, key, armed: true };
+        match produce() {
+            Ok((value, built)) => {
+                if built {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let arc = Arc::new(value);
+                let mut map = self.state.lock().expect("artifact store");
+                map.insert(guard.key.clone(), Slot::Ready(Arc::clone(&arc)));
+                guard.armed = false;
+                drop(map);
+                self.ready.notify_all();
+                Ok(arc)
+            }
+            Err(e) => Err(e), // guard drop clears the marker and notifies
+        }
     }
 
     fn stats(&self) -> CacheStats {
@@ -99,12 +169,12 @@ fn border_bits(b: BorderMode) -> (u8, u64) {
 /// Identity of one DSE calibration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CalibrationKey {
-    pattern: u64,
-    device: String,
-    options: OptionBits,
-    iterations: u32,
-    sides: Vec<u32>,
-    depths: Vec<u32>,
+    pub(crate) pattern: u64,
+    pub(crate) device: String,
+    pub(crate) options: OptionBits,
+    pub(crate) iterations: u32,
+    pub(crate) sides: Vec<u32>,
+    pub(crate) depths: Vec<u32>,
 }
 
 impl CalibrationKey {
@@ -137,13 +207,13 @@ impl CalibrationKey {
 /// vectors do not depend on the core count; certificates add it).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct RunKey {
-    pattern: u64,
-    init: u64,
-    format: FixedFormat,
-    border: (u8, u64),
-    iterations: u32,
-    window: Window,
-    depth: u32,
+    pub(crate) pattern: u64,
+    pub(crate) init: u64,
+    pub(crate) format: FixedFormat,
+    pub(crate) border: (u8, u64),
+    pub(crate) iterations: u32,
+    pub(crate) window: Window,
+    pub(crate) depth: u32,
 }
 
 impl RunKey {
@@ -183,12 +253,12 @@ impl RunKey {
 /// computes it once instead of once per probe.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct RefKey {
-    pattern: u64,
-    init: u64,
-    border: (u8, u64),
-    iterations: u32,
-    window: Window,
-    depth: u32,
+    pub(crate) pattern: u64,
+    pub(crate) init: u64,
+    pub(crate) border: (u8, u64),
+    pub(crate) iterations: u32,
+    pub(crate) window: Window,
+    pub(crate) depth: u32,
 }
 
 impl RefKey {
@@ -219,11 +289,11 @@ impl RefKey {
 /// part of the key — they are the search's output.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct SearchKey {
-    run: RunKey,
-    cores: u32,
-    device: String,
-    options: OptionBits,
-    budget: (u64, u64, u32),
+    pub(crate) run: RunKey,
+    pub(crate) cores: u32,
+    pub(crate) device: String,
+    pub(crate) options: OptionBits,
+    pub(crate) budget: (u64, u64, u32),
 }
 
 impl SearchKey {
@@ -273,6 +343,18 @@ pub struct StoreStats {
     pub references: CacheStats,
     /// Precision format-search outcomes.
     pub searches: CacheStats,
+    /// Artifacts served from the persistent disk tier (decoded, not
+    /// recomputed). Zero when the store has no disk tier.
+    pub disk_hits: usize,
+    /// Disk-tier lookups that found no record (the artifact was built
+    /// cold). Zero when the store has no disk tier.
+    pub disk_misses: usize,
+    /// Corrupt disk records skipped — framing/checksum failures at load
+    /// plus payloads that failed their codec. Corruption degrades to a
+    /// cold build, never a panic.
+    pub load_skipped_corrupt: usize,
+    /// Size of the persistent store file at the last load or flush, bytes.
+    pub bytes_on_disk: u64,
 }
 
 impl StoreStats {
@@ -326,7 +408,8 @@ impl StoreStats {
 
 impl std::fmt::Display for StoreStats {
     /// One aligned line per cache kind, e.g.
-    /// `cones          hits     12   misses      3`.
+    /// `cones          hits     12   misses      3`, closed by the disk
+    /// tier's counters.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (i, (name, s)) in self.rows().iter().enumerate() {
             if i > 0 {
@@ -334,6 +417,12 @@ impl std::fmt::Display for StoreStats {
             }
             write!(f, "{name:<13} hits {:>6}   misses {:>6}", s.hits, s.misses)?;
         }
+        writeln!(f)?;
+        write!(
+            f,
+            "{:<13} hits {:>6}   misses {:>6}   corrupt {:>4}   bytes {:>9}",
+            "disk", self.disk_hits, self.disk_misses, self.load_skipped_corrupt, self.bytes_on_disk
+        )?;
         Ok(())
     }
 }
@@ -342,6 +431,13 @@ impl std::fmt::Display for StoreStats {
 /// all its clones share): every expensive artifact of the pipeline, keyed
 /// by content, served as immutable `Arc` handles, with per-kind hit/miss
 /// counters ([`ArtifactStore::stats`]) that make reuse provable.
+///
+/// A store opened with [`ArtifactStore::open_persistent`] additionally
+/// carries a **disk tier**: on a memory miss the persistent record file is
+/// consulted first (a decoded artifact is a `disk_hit`, not a build), cold
+/// builds are written back, and [`ArtifactStore::checkpoint`] — also run
+/// on drop — publishes the file atomically. Corrupt records degrade to
+/// cold builds with counted skips, never a panic.
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
     cones: ConeCache,
@@ -352,12 +448,81 @@ pub struct ArtifactStore {
     certificates: CacheMap<(RunKey, u32), ArchitectureCertificate>,
     references: CacheMap<RefKey, (FrameSet, FrameSet)>,
     searches: CacheMap<SearchKey, FormatSearchOutcome>,
+    disk: Option<DiskTier>,
+}
+
+impl Drop for ArtifactStore {
+    /// Best-effort flush of the disk tier when the last session handle
+    /// goes away. Failures are reported on stderr (a drop cannot return
+    /// them); call [`ArtifactStore::checkpoint`] explicitly to observe
+    /// flush errors.
+    fn drop(&mut self) {
+        if self.disk.is_some() {
+            if let Err(e) = self.checkpoint() {
+                eprintln!("isl-hls: persistent store flush failed on drop: {e}");
+            }
+        }
+    }
 }
 
 impl ArtifactStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A store backed by the persistent record file at `path` (created on
+    /// first checkpoint if missing): previously persisted artifacts are
+    /// served instead of recomputed, and new builds are written back at
+    /// [`ArtifactStore::checkpoint`] / drop. Synthesis reports persisted
+    /// by an earlier process are pre-seeded into the synthesis cache.
+    ///
+    /// A version-mismatched file is discarded wholesale; corrupt records
+    /// are skipped and counted ([`StoreStats::load_skipped_corrupt`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] when the file exists but cannot be read.
+    pub fn open_persistent(path: impl AsRef<Path>) -> Result<Self, FlowError> {
+        let tier = DiskTier::open(path.as_ref())?;
+        let mut store = ArtifactStore::new();
+        tier.seed_syntheses(&store.synths);
+        store.disk = Some(tier);
+        Ok(store)
+    }
+
+    /// Cap the persistent file size, in bytes; checkpoints evict the
+    /// least-recently-used records down to the budget before writing.
+    /// No-op on a store without a disk tier.
+    pub fn with_byte_budget(mut self, byte_budget: u64) -> Self {
+        if let Some(tier) = self.disk.take() {
+            self.disk = Some(tier.with_byte_budget(byte_budget));
+        }
+        self
+    }
+
+    /// Whether this store carries a persistent disk tier.
+    pub fn is_persistent(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Flush the disk tier: sync the synthesis-report cache into it and
+    /// publish the record file atomically (write-then-rename). A store
+    /// without a disk tier, or with nothing new, writes nothing. Returns
+    /// the bytes written (0 when clean).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Io`] on filesystem failures; the previous file is
+    /// untouched.
+    pub fn checkpoint(&self) -> Result<u64, FlowError> {
+        match &self.disk {
+            Some(tier) => {
+                tier.sync_syntheses(&self.synths);
+                tier.flush()
+            }
+            None => Ok(0),
+        }
     }
 
     /// The shared cone store (handed to the synthesiser, explorer and
@@ -388,12 +553,39 @@ impl ArtifactStore {
         self.cones.get_or_build(pattern, window, depth, simplify)
     }
 
+    /// Disk-then-build producer: consult the disk tier first (a decoded
+    /// artifact is *not* a build), fall back to `build` and write the
+    /// result back. The `bool` feeds the memory cache's miss counter.
+    fn disk_or_build<V, E>(
+        &self,
+        fetch: impl FnOnce(&DiskTier) -> Option<V>,
+        put: impl FnOnce(&DiskTier, &V),
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        if let Some(tier) = &self.disk {
+            if let Some(value) = fetch(tier) {
+                return Ok((value, false));
+            }
+        }
+        let value = build()?;
+        if let Some(tier) = &self.disk {
+            put(tier, &value);
+        }
+        Ok((value, true))
+    }
+
     pub(crate) fn calibration<E>(
         &self,
         key: CalibrationKey,
         build: impl FnOnce() -> Result<Calibration, E>,
     ) -> Result<Arc<Calibration>, E> {
-        self.calibrations.get_or_build(key, build)
+        self.calibrations.get_or_build(key.clone(), || {
+            self.disk_or_build(
+                |t| t.fetch_calibration(&key),
+                |t, v| t.put_calibration(&key, v),
+                build,
+            )
+        })
     }
 
     pub(crate) fn golden_vectors<E>(
@@ -401,7 +593,13 @@ impl ArtifactStore {
         key: RunKey,
         build: impl FnOnce() -> Result<Vec<VectorFile>, E>,
     ) -> Result<Arc<Vec<VectorFile>>, E> {
-        self.vectors.get_or_build(key, build)
+        self.vectors.get_or_build(key.clone(), || {
+            self.disk_or_build(
+                |t| t.fetch_vectors(&key),
+                |t, v| t.put_vectors(&key, v),
+                build,
+            )
+        })
     }
 
     pub(crate) fn certificate<E>(
@@ -410,7 +608,13 @@ impl ArtifactStore {
         cores: u32,
         build: impl FnOnce() -> Result<ArchitectureCertificate, E>,
     ) -> Result<Arc<ArchitectureCertificate>, E> {
-        self.certificates.get_or_build((key, cores), build)
+        self.certificates.get_or_build((key.clone(), cores), || {
+            self.disk_or_build(
+                |t| t.fetch_certificate(&key, cores),
+                |t, v| t.put_certificate(&key, cores, v),
+                build,
+            )
+        })
     }
 
     /// The `(whole-frame golden, exact cone-DAG)` reference pair of one
@@ -420,7 +624,13 @@ impl ArtifactStore {
         key: RefKey,
         build: impl FnOnce() -> Result<(FrameSet, FrameSet), E>,
     ) -> Result<Arc<(FrameSet, FrameSet)>, E> {
-        self.references.get_or_build(key, build)
+        self.references.get_or_build(key.clone(), || {
+            self.disk_or_build(
+                |t| t.fetch_references(&key),
+                |t, v| t.put_references(&key, v),
+                build,
+            )
+        })
     }
 
     pub(crate) fn format_search<E>(
@@ -428,11 +638,18 @@ impl ArtifactStore {
         key: SearchKey,
         build: impl FnOnce() -> Result<FormatSearchOutcome, E>,
     ) -> Result<Arc<FormatSearchOutcome>, E> {
-        self.searches.get_or_build(key, build)
+        self.searches.get_or_build(key.clone(), || {
+            self.disk_or_build(
+                |t| t.fetch_search(&key),
+                |t, v| t.put_search(&key, v),
+                build,
+            )
+        })
     }
 
-    /// Snapshot every hit/miss counter.
+    /// Snapshot every hit/miss counter (disk tier included).
     pub fn stats(&self) -> StoreStats {
+        let disk = self.disk.as_ref().map(DiskTier::stats).unwrap_or_default();
         StoreStats {
             cones: self.cones.stats(),
             programs: self.programs.stats(),
@@ -442,6 +659,10 @@ impl ArtifactStore {
             certificates: self.certificates.stats(),
             references: self.references.stats(),
             searches: self.searches.stats(),
+            disk_hits: disk.hits as usize,
+            disk_misses: disk.misses as usize,
+            load_skipped_corrupt: disk.skipped_corrupt as usize,
+            bytes_on_disk: disk.bytes_on_disk,
         }
     }
 }

@@ -213,6 +213,41 @@ impl Calibration {
     pub fn facts(&self, side: u32, depth: u32) -> Option<&ConeFacts> {
         self.facts.get(&(side, depth))
     }
+
+    /// Every calibrated `(depth, estimator)` pair, sorted by depth — a
+    /// deterministic enumeration for the persistence codec.
+    pub fn estimators(&self) -> Vec<(u32, &AreaEstimator)> {
+        let mut out: Vec<_> = self.estimators.iter().map(|(d, e)| (*d, e)).collect();
+        out.sort_by_key(|(d, _)| *d);
+        out
+    }
+
+    /// Every covered `((side, depth), facts)` entry, sorted by shape — the
+    /// deterministic counterpart of [`Calibration::estimators`].
+    pub fn all_facts(&self) -> Vec<((u32, u32), ConeFacts)> {
+        let mut out: Vec<_> = self.facts.iter().map(|(k, f)| (*k, *f)).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Reassemble a calibration from its exact parts — the inverse of
+    /// [`Calibration::estimators`] + [`Calibration::all_facts`], used by
+    /// the persistence codec to round-trip stored calibrations
+    /// bit-identically. Not a calibration entry point: nothing is
+    /// synthesised here.
+    pub fn from_parts(
+        iterations: u32,
+        syntheses: usize,
+        estimators: Vec<(u32, AreaEstimator)>,
+        facts: Vec<((u32, u32), ConeFacts)>,
+    ) -> Self {
+        Calibration {
+            iterations,
+            estimators: estimators.into_iter().collect(),
+            facts: facts.into_iter().collect(),
+            syntheses,
+        }
+    }
 }
 
 /// The design-space explorer for one target device.

@@ -125,6 +125,38 @@ impl AreaEstimator {
         })
     }
 
+    /// Reassemble an estimator from its exact parts — the inverse of
+    /// [`AreaEstimator::parts`], used by the persistence codec to
+    /// round-trip calibrations bit-identically through disk. Not a
+    /// calibration entry point: no fitting happens here.
+    pub fn from_parts(
+        alpha: f64,
+        size_reg: f64,
+        anchor_area: f64,
+        anchor_registers: u64,
+        syntheses_used: usize,
+    ) -> Self {
+        AreaEstimator {
+            alpha,
+            size_reg,
+            anchor_area,
+            anchor_registers,
+            syntheses_used,
+        }
+    }
+
+    /// Every field of the model, in [`AreaEstimator::from_parts`] order:
+    /// `(alpha, size_reg, anchor_area, anchor_registers, syntheses_used)`.
+    pub fn parts(&self) -> (f64, f64, f64, u64, usize) {
+        (
+            self.alpha,
+            self.size_reg,
+            self.anchor_area,
+            self.anchor_registers,
+            self.syntheses_used,
+        )
+    }
+
     /// The calibrated logic-reuse factor α.
     pub fn alpha(&self) -> f64 {
         self.alpha

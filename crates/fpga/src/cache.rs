@@ -118,6 +118,32 @@ impl SynthCache {
         Ok(Arc::clone(map.entry(key).or_insert(report)))
     }
 
+    /// Every stored `(key, report)` pair, sorted by key — a deterministic
+    /// enumeration for the persistence layer's flush path.
+    pub fn entries(&self) -> Vec<(SynthKey, Arc<SynthesisReport>)> {
+        let map = self.inner.map.lock().expect("synth cache");
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        drop(map);
+        out.sort_by(|(a, _), (b, _)| {
+            (&a.pattern, &a.device, a.format.width, a.format.frac, &a.options, a.window, a.depth, a.cones)
+                .cmp(&(&b.pattern, &b.device, b.format.width, b.format.frac, &b.options, b.window, b.depth, b.cones))
+        });
+        out
+    }
+
+    /// Pre-load a report without touching the hit/miss counters — the
+    /// persistence layer's warm-open path (disk-loaded reports are neither
+    /// hits nor misses until something asks for them). An existing entry
+    /// for the key is kept.
+    pub fn seed(&self, key: SynthKey, report: SynthesisReport) {
+        self.inner
+            .map
+            .lock()
+            .expect("synth cache")
+            .entry(key)
+            .or_insert_with(|| Arc::new(report));
+    }
+
     /// Snapshot the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

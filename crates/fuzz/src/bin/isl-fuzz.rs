@@ -6,6 +6,9 @@
 //! isl-fuzz replay   <entry.c> [...]
 //! isl-fuzz mutate   --iters 2000 --seed 1
 //! isl-fuzz campaign [--fast]
+//! isl-fuzz persist  --iters 500 --seed 1 [--corpus-dir DIR]
+//!                   [--shrink-budget 2000] [--write-fixtures DIR]
+//!                   [--replay-dir DIR]
 //! ```
 //!
 //! * `diff` — seeded differential campaign over all execution semantics;
@@ -18,6 +21,11 @@
 //! * `campaign` — full stuck-at + bit-flip fault-injection campaigns over
 //!   the DSE-chosen architectures of the paper's two case studies, printing
 //!   the quantified coverage reports.
+//! * `persist` — fuzz the `isl-persist` on-disk store format: round-trip
+//!   random record sets, then bit-flip / splice / truncate the saved
+//!   images, asserting every load returns with honest survivors and
+//!   counted skips (never a panic). `--write-fixtures DIR` regenerates
+//!   the canonical corruption fixtures; `--replay-dir DIR` replays them.
 //!
 //! Every subcommand also accepts the global observability flags
 //! `--telemetry <out.json>` (structured run report: spans, counters,
@@ -171,6 +179,52 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, FlowError> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_persist(args: &[String]) -> Result<ExitCode, String> {
+    if let Some(dir) = arg_value(args, "--write-fixtures") {
+        let written = isl_fuzz::persist::write_fixtures(std::path::Path::new(&dir))?;
+        println!("wrote {} fixtures + MANIFEST.txt to {dir}", written.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(dir) = arg_value(args, "--replay-dir") {
+        let names = isl_fuzz::replay_fixtures(std::path::Path::new(&dir))?;
+        for n in &names {
+            println!("{dir}/{n}: loads clean, survivors and skips match the manifest");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let iters = parse_u64(args, "--iters", 500)? as usize;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let budget = parse_u64(args, "--shrink-budget", 2000)? as usize;
+    let corpus_dir = arg_value(args, "--corpus-dir");
+
+    println!("persistence campaign: {iters} iterations, seed {seed:#x}");
+    let report = isl_fuzz::run_persist_campaign(iters, seed, budget);
+    println!(
+        "  {} round trips, {} version invalidations, {} corrupted loads \
+         ({} records skipped and counted), {} violations",
+        report.round_trips,
+        report.invalidations,
+        report.attacks,
+        report.records_skipped,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!("\n==== VIOLATION {} ====\n{} ({} bytes)", f.name, f.detail, f.image.len());
+        if let Some(dir) = &corpus_dir {
+            let path = std::path::Path::new(dir).join(format!("{}.islstore", f.name));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+            std::fs::write(&path, &f.image)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("(persisted to {})", path.display());
+        }
+    }
+    Ok(if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// Remove the flag `name` and its value from `args`, returning the value.
 fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
     let i = args.iter().position(|a| a == name)?;
@@ -199,7 +253,7 @@ fn write_telemetry(
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: isl-fuzz <diff|mutate|campaign> [options] \
+    let usage = "usage: isl-fuzz <diff|mutate|campaign|persist> [options] \
                  [--telemetry out.json] [--trace out.trace.json]";
     let telemetry_out = take_flag(&mut args, "--telemetry");
     let trace_out = take_flag(&mut args, "--trace");
@@ -216,6 +270,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "mutate" => cmd_mutate(rest),
         "campaign" => cmd_campaign(rest).map_err(|e| e.to_string()),
+        "persist" => cmd_persist(rest),
         other => Err(format!("unknown command `{other}`\n{usage}")),
     };
     let result = result

@@ -41,6 +41,17 @@
 //! panics are findings. The frontend's nesting budget and the symbolic
 //! executor's step/size/offset budgets exist because of this campaign.
 //!
+//! ## 4. Persistence-format fuzzing
+//!
+//! [`run_persist_campaign`] attacks the `isl-persist` on-disk store
+//! format: random record sets are round-tripped bit-identically, version
+//! bumps must invalidate wholesale, and saved images are corrupted with
+//! bit flips, garbage runs, truncation and duplicated regions — every
+//! load must *return* (panics are findings), every surviving record must
+//! be one that was really written, and everything else must be counted
+//! as skipped. Violations are shrunk by byte-range delta-debugging; the
+//! canonical corruption fixtures live in `tests/corpus/persist/`.
+//!
 //! Everything is deterministic from a 64-bit seed ([`Rng`] wraps the same
 //! SplitMix64 that generates workload frames), so any finding replays
 //! exactly from its reported seed.
@@ -52,6 +63,7 @@ pub mod corpus;
 pub mod diff;
 pub mod gen;
 pub mod mutate;
+pub mod persist;
 pub mod rng;
 pub mod shrink;
 
@@ -59,6 +71,9 @@ pub use corpus::{load_dir, CorpusEntry};
 pub use diff::{frames_for, run_differential, DiffConfig, DiffOutcome, Mismatch, WIDTH_LADDER};
 pub use gen::generate;
 pub use mutate::{fuzz_frontend, MutationReport, PanicCase};
+pub use persist::{
+    replay_fixtures, run_persist_campaign, PersistCampaignReport, PersistFailure,
+};
 pub use rng::Rng;
 pub use shrink::{shrink, shrink_with};
 

@@ -1,0 +1,676 @@
+//! The record file format and the mutable [`DiskStore`] over it.
+//!
+//! See the [crate-level documentation](crate) for the byte-level layout,
+//! the versioning contract and the eviction policy. This module owns the
+//! mechanics: checksummed framing, resynchronising corrupt-tolerant
+//! decode, atomic publication and the LRU byte budget.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File magic: the first four bytes of every store file.
+pub const FILE_MAGIC: [u8; 4] = *b"ISLP";
+
+/// Container format version. Bumping it (a layout change in *this* module)
+/// invalidates every existing store file wholesale.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Per-record sync marker. Decode resynchronises on this word after a
+/// corrupt record, so one flipped byte costs one record, not the file.
+pub const REC_MAGIC: [u8; 4] = *b"\xC0\xDE\x0D\x0A";
+
+/// Fixed per-record framing overhead: magic + body length + checksum.
+pub const RECORD_OVERHEAD: usize = 4 + 4 + 8;
+
+const MAX_BODY: usize = 1 << 30;
+
+/// FNV-1a over `bytes` — the per-record checksum. Stable, dependency-free
+/// and byte-order-independent; corruption detection, not cryptography.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// One stored record: an opaque `(kind, key) → value` binding plus the
+/// logical access stamp the LRU byte budget orders evictions by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Artifact-kind discriminant (the codec layered on top assigns them).
+    pub kind: u8,
+    /// Logical access stamp: larger = more recently used.
+    pub stamp: u64,
+    /// Encoded content key.
+    pub key: Vec<u8>,
+    /// Encoded artifact payload.
+    pub value: Vec<u8>,
+}
+
+impl RawRecord {
+    /// Bytes this record occupies on disk, framing included.
+    pub fn disk_size(&self) -> usize {
+        RECORD_OVERHEAD + 1 + 8 + 4 + self.key.len() + self.value.len()
+    }
+}
+
+/// What one [`load_bytes`]/[`DiskStore::open`] observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Records that decoded cleanly (duplicate keys resolved last-wins).
+    pub records: Vec<RawRecord>,
+    /// Corrupt records skipped (bad magic runs, bad lengths, checksum
+    /// mismatches). Never a panic: corruption degrades to a cold cache.
+    pub skipped_corrupt: usize,
+    /// Whether a version mismatch invalidated the file wholesale.
+    pub invalidated: bool,
+    /// Size of the file the records came from, bytes.
+    pub bytes_on_disk: u64,
+}
+
+/// Encode a whole store file: header then every record, framed and
+/// checksummed. The inverse of [`load_bytes`].
+pub fn save_bytes(app_version: u64, records: &[RawRecord]) -> Vec<u8> {
+    let total: usize = records.iter().map(RawRecord::disk_size).sum();
+    let mut out = Vec::with_capacity(16 + total);
+    out.extend_from_slice(&FILE_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&app_version.to_le_bytes());
+    for rec in records {
+        let mut body = Vec::with_capacity(1 + 8 + 4 + rec.key.len() + rec.value.len());
+        body.push(rec.kind);
+        body.extend_from_slice(&rec.stamp.to_le_bytes());
+        body.extend_from_slice(&(rec.key.len() as u32).to_le_bytes());
+        body.extend_from_slice(&rec.key);
+        body.extend_from_slice(&rec.value);
+        out.extend_from_slice(&REC_MAGIC);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let sum = fnv1a(&body);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&sum.to_le_bytes());
+    }
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes.get(at..at + 8).map(|b| {
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    })
+}
+
+/// Scan forward from `from` for the next [`REC_MAGIC`], the resync point
+/// after a corrupt record.
+fn next_magic(bytes: &[u8], from: usize) -> Option<usize> {
+    (from..bytes.len().saturating_sub(REC_MAGIC.len() - 1))
+        .find(|&i| bytes[i..i + 4] == REC_MAGIC)
+}
+
+/// Decode a store file image. **Never panics on hostile bytes** — the
+/// persist fuzz mode bit-flips real files through here. Corrupt records
+/// are skipped and counted; a header whose magic or version does not match
+/// `app_version` yields an empty, `invalidated` report (the wholesale
+/// invalidation contract).
+pub fn load_bytes(bytes: &[u8], app_version: u64) -> LoadReport {
+    let mut report = LoadReport {
+        bytes_on_disk: bytes.len() as u64,
+        ..LoadReport::default()
+    };
+    if bytes.len() < 16
+        || bytes[..4] != FILE_MAGIC
+        || read_u32(bytes, 4) != Some(FORMAT_VERSION)
+        || read_u64(bytes, 8) != Some(app_version)
+    {
+        report.invalidated = true;
+        return report;
+    }
+    let mut by_key: HashMap<(u8, Vec<u8>), usize> = HashMap::new();
+    let mut pos = 16usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_OVERHEAD || bytes[pos..pos + 4] != REC_MAGIC {
+            // Not a record start: corruption (or trailing garbage). Count
+            // one skip for the whole run and resync at the next marker.
+            report.skipped_corrupt += 1;
+            match next_magic(bytes, pos + 1) {
+                Some(next) => {
+                    pos = next;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let body_len = read_u32(bytes, pos + 4).unwrap_or(u32::MAX) as usize;
+        let body_at = pos + 8;
+        let ok = body_len <= MAX_BODY
+            && body_at + body_len + 8 <= bytes.len()
+            && read_u64(bytes, body_at + body_len)
+                == Some(fnv1a(&bytes[body_at..body_at + body_len]));
+        if !ok {
+            report.skipped_corrupt += 1;
+            match next_magic(bytes, pos + 1) {
+                Some(next) => pos = next,
+                None => break,
+            }
+            continue;
+        }
+        let body = &bytes[body_at..body_at + body_len];
+        pos = body_at + body_len + 8;
+        // Body layout: kind u8, stamp u64, key_len u32, key, value. The
+        // checksum passed, so an inconsistent key_len still means a codec
+        // mismatch — treat it as corruption, not a panic.
+        if body.len() < 13 {
+            report.skipped_corrupt += 1;
+            continue;
+        }
+        let kind = body[0];
+        let stamp = read_u64(body, 1).expect("13-byte minimum checked");
+        let key_len = read_u32(body, 9).expect("13-byte minimum checked") as usize;
+        if 13 + key_len > body.len() {
+            report.skipped_corrupt += 1;
+            continue;
+        }
+        let key = body[13..13 + key_len].to_vec();
+        let value = body[13 + key_len..].to_vec();
+        let rec = RawRecord { kind, stamp, key: key.clone(), value };
+        match by_key.entry((kind, key)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                report.records[*e.get()] = rec;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(report.records.len());
+                report.records.push(rec);
+            }
+        }
+    }
+    report
+}
+
+/// Drop least-recently-stamped records until the encoded file fits
+/// `byte_budget` (header included). Returns how many records were evicted.
+/// A budget smaller than the header alone evicts everything.
+pub fn evict_lru(records: &mut Vec<RawRecord>, byte_budget: u64) -> usize {
+    let mut total: u64 = 16 + records.iter().map(|r| r.disk_size() as u64).sum::<u64>();
+    if total <= byte_budget {
+        return 0;
+    }
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| records[i].stamp);
+    let mut drop_idx = Vec::new();
+    for i in order {
+        if total <= byte_budget {
+            break;
+        }
+        total -= records[i].disk_size() as u64;
+        drop_idx.push(i);
+    }
+    let evicted = drop_idx.len();
+    drop_idx.sort_unstable_by(|a, b| b.cmp(a));
+    for i in drop_idx {
+        records.swap_remove(i);
+    }
+    evicted
+}
+
+/// Counters of one [`DiskStore`] — the disk tier's side of the pipeline's
+/// hit/miss evidence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Lookups served from a loaded record.
+    pub hits: u64,
+    /// Lookups that found no record (the artifact must be built cold).
+    pub misses: u64,
+    /// Corrupt records skipped: framing/checksum failures at load plus
+    /// records whose payload later failed to decode.
+    pub skipped_corrupt: u64,
+    /// Size of the store file at the last load or flush, bytes.
+    pub bytes_on_disk: u64,
+    /// Records currently held.
+    pub records: u64,
+    /// Records evicted by the LRU byte budget across all flushes.
+    pub evicted: u64,
+    /// Whether the on-disk file was invalidated wholesale by a version
+    /// mismatch at open.
+    pub invalidated: bool,
+}
+
+/// What one [`DiskStore::flush`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Records written.
+    pub records: usize,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Records evicted by the byte budget before writing.
+    pub evicted: usize,
+    /// Whether anything was written at all (`false` = store was clean).
+    pub wrote: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<(u8, Vec<u8>), (u64, Vec<u8>)>,
+    clock: u64,
+    dirty: bool,
+    evicted: u64,
+}
+
+/// A mutable, thread-safe `(kind, key) → value` store over one record
+/// file: load at [`open`](DiskStore::open), mutate in memory, publish
+/// atomically at [`flush`](DiskStore::flush).
+///
+/// The store is byte-oriented — it knows nothing about the artifacts
+/// themselves. The pipeline layers codecs on top and owns the `kind`
+/// discriminants and the `app_version` (its codec version).
+#[derive(Debug)]
+pub struct DiskStore {
+    path: PathBuf,
+    app_version: u64,
+    byte_budget: Option<u64>,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    skipped: AtomicU64,
+    bytes_on_disk: AtomicU64,
+    invalidated: bool,
+}
+
+impl DiskStore {
+    /// Open (or create) the store at `path` under codec version
+    /// `app_version`, loading whatever survives the corruption checks. A
+    /// missing file is an empty store; a version-mismatched file is an
+    /// empty store with [`DiskStats::invalidated`] set; corrupt records
+    /// are skipped and counted. None of these are errors — only real I/O
+    /// failures (permissions, unreadable directory) are.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the file exists but cannot be read.
+    pub fn open(path: impl AsRef<Path>, app_version: u64) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let report = match std::fs::read(&path) {
+            Ok(bytes) => load_bytes(&bytes, app_version),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => LoadReport::default(),
+            Err(e) => return Err(e),
+        };
+        let mut inner = Inner::default();
+        for rec in &report.records {
+            inner.clock = inner.clock.max(rec.stamp + 1);
+        }
+        for rec in report.records {
+            inner
+                .map
+                .insert((rec.kind, rec.key), (rec.stamp, rec.value));
+        }
+        Ok(DiskStore {
+            path,
+            app_version,
+            byte_budget: None,
+            inner: Mutex::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            skipped: AtomicU64::new(report.skipped_corrupt as u64),
+            bytes_on_disk: AtomicU64::new(report.bytes_on_disk),
+            invalidated: report.invalidated,
+        })
+    }
+
+    /// Cap the encoded file size; [`flush`](DiskStore::flush) evicts
+    /// least-recently-used records down to the budget before writing.
+    pub fn with_byte_budget(mut self, byte_budget: u64) -> Self {
+        self.byte_budget = Some(byte_budget);
+        self
+    }
+
+    /// The file this store publishes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The codec version the store was opened under.
+    pub fn app_version(&self) -> u64 {
+        self.app_version
+    }
+
+    /// Look `(kind, key)` up, refreshing its LRU stamp on a hit. Counts a
+    /// hit or a miss either way.
+    pub fn lookup(&self, kind: u8, key: &[u8]) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("disk store");
+        let clock = inner.clock;
+        let found = match inner.map.get_mut(&(kind, key.to_vec())) {
+            Some((stamp, value)) => {
+                *stamp = clock;
+                Some(value.clone())
+            }
+            None => None,
+        };
+        match found {
+            Some(value) => {
+                inner.clock += 1;
+                inner.dirty = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Bind `(kind, key)` to `value` with a fresh stamp (replacing any
+    /// previous binding) and mark the store dirty.
+    pub fn insert(&self, kind: u8, key: Vec<u8>, value: Vec<u8>) {
+        let mut inner = self.inner.lock().expect("disk store");
+        let stamp = inner.clock;
+        inner.clock += 1;
+        inner.map.insert((kind, key), (stamp, value));
+        inner.dirty = true;
+    }
+
+    /// Drop a record whose payload failed to decode, counting it as
+    /// corrupt: the caller falls back to a cold build and the bad bytes
+    /// are not republished at the next flush.
+    pub fn discard_corrupt(&self, kind: u8, key: &[u8]) {
+        let mut inner = self.inner.lock().expect("disk store");
+        if inner.map.remove(&(kind, key.to_vec())).is_some() {
+            inner.dirty = true;
+        }
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether `(kind, key)` is bound, without touching stamps or
+    /// counters — a neutral probe for write-if-absent sync paths.
+    pub fn contains(&self, kind: u8, key: &[u8]) -> bool {
+        self.inner
+            .lock()
+            .expect("disk store")
+            .map
+            .contains_key(&(kind, key.to_vec()))
+    }
+
+    /// Every `(key, value)` of `kind`, sorted by key, without touching
+    /// stamps or counters — the persistence layer's warm-open enumeration
+    /// (loaded records are neither hits nor misses until requested).
+    pub fn entries_of_kind(&self, kind: u8) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.lock().expect("disk store");
+        let mut out: Vec<_> = inner
+            .map
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|((_, key), (_, value))| (key.clone(), value.clone()))
+            .collect();
+        drop(inner);
+        out.sort();
+        out
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("disk store").map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether an in-memory mutation has not been flushed yet.
+    pub fn is_dirty(&self) -> bool {
+        self.inner.lock().expect("disk store").dirty
+    }
+
+    /// Publish the current state atomically: encode every record, apply
+    /// the LRU byte budget, write to a sibling temp file and `rename` it
+    /// over `path`. A clean store writes nothing. Readers never observe a
+    /// partial file — they see the old store or the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the temp write, sync or rename; the previous
+    /// file is untouched on failure.
+    pub fn flush(&self) -> io::Result<FlushReport> {
+        let mut inner = self.inner.lock().expect("disk store");
+        if !inner.dirty {
+            return Ok(FlushReport::default());
+        }
+        let mut records: Vec<RawRecord> = inner
+            .map
+            .iter()
+            .map(|((kind, key), (stamp, value))| RawRecord {
+                kind: *kind,
+                stamp: *stamp,
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect();
+        // Deterministic record order (by kind, then key) so identical
+        // stores produce identical files.
+        records.sort_by(|a, b| (a.kind, &a.key).cmp(&(b.kind, &b.key)));
+        let evicted = match self.byte_budget {
+            Some(budget) => evict_lru(&mut records, budget),
+            None => 0,
+        };
+        if evicted > 0 {
+            let keep: std::collections::HashSet<(u8, &[u8])> = records
+                .iter()
+                .map(|r| (r.kind, r.key.as_slice()))
+                .collect();
+            inner
+                .map
+                .retain(|(kind, key), _| keep.contains(&(*kind, key.as_slice())));
+            inner.evicted += evicted as u64;
+        }
+        let bytes = save_bytes(self.app_version, &records);
+        let tmp = self.path.with_extension(format!("tmp.{}", std::process::id()));
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&tmp, &bytes)?;
+        let result = std::fs::rename(&tmp, &self.path);
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        inner.dirty = false;
+        self.bytes_on_disk.store(bytes.len() as u64, Ordering::Relaxed);
+        Ok(FlushReport {
+            records: records.len(),
+            bytes: bytes.len() as u64,
+            evicted,
+            wrote: true,
+        })
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> DiskStats {
+        let inner = self.inner.lock().expect("disk store");
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            skipped_corrupt: self.skipped.load(Ordering::Relaxed),
+            bytes_on_disk: self.bytes_on_disk.load(Ordering::Relaxed),
+            records: inner.map.len() as u64,
+            evicted: inner.evicted,
+            invalidated: self.invalidated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: u8, stamp: u64, key: &[u8], value: &[u8]) -> RawRecord {
+        RawRecord {
+            kind,
+            stamp,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let records = vec![
+            rec(1, 0, b"alpha", b"payload-a"),
+            rec(2, 1, b"beta", &[0u8; 100]),
+            rec(1, 2, b"", b""),
+        ];
+        let bytes = save_bytes(7, &records);
+        let report = load_bytes(&bytes, 7);
+        assert_eq!(report.records, records);
+        assert_eq!(report.skipped_corrupt, 0);
+        assert!(!report.invalidated);
+        assert_eq!(report.bytes_on_disk, bytes.len() as u64);
+    }
+
+    #[test]
+    fn version_bump_invalidates_wholesale() {
+        let bytes = save_bytes(7, &[rec(1, 0, b"k", b"v")]);
+        let report = load_bytes(&bytes, 8);
+        assert!(report.invalidated);
+        assert!(report.records.is_empty());
+        assert_eq!(report.skipped_corrupt, 0);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_survivable() {
+        let records = vec![
+            rec(1, 0, b"alpha", b"payload-a"),
+            rec(2, 1, b"beta", b"payload-b"),
+            rec(3, 2, b"gamma", b"payload-c"),
+        ];
+        let clean = save_bytes(3, &records);
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x41;
+            let report = load_bytes(&bytes, 3); // must not panic
+            if report.invalidated {
+                assert!(i < 16, "only a header flip may invalidate (flip at {i})");
+                continue;
+            }
+            // Whatever survives must be one of the original records.
+            for r in &report.records {
+                assert!(
+                    records.contains(r) || report.skipped_corrupt > 0,
+                    "flip at {i} fabricated a record"
+                );
+            }
+            assert!(
+                report.records.len() + report.skipped_corrupt >= records.len() - 1,
+                "flip at {i} lost more than one record silently"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_skipped_and_counted() {
+        let records = vec![
+            rec(1, 0, b"first", b"aaaa"),
+            rec(1, 1, b"second", b"bbbb"),
+            rec(1, 2, b"third", b"cccc"),
+        ];
+        let mut bytes = save_bytes(1, &records);
+        // Flip one payload byte of the middle record (its checksum breaks).
+        let mid = 16 + records[0].disk_size() + RECORD_OVERHEAD + 14;
+        bytes[mid] ^= 0xFF;
+        let report = load_bytes(&bytes, 1);
+        assert_eq!(report.skipped_corrupt, 1);
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records.contains(&records[0]));
+        assert!(report.records.contains(&records[2]));
+    }
+
+    #[test]
+    fn truncated_file_keeps_prefix() {
+        let records = vec![rec(1, 0, b"keep", b"x"), rec(1, 1, b"lost", b"y")];
+        let bytes = save_bytes(1, &records);
+        let cut = &bytes[..bytes.len() - 5];
+        let report = load_bytes(cut, 1);
+        assert_eq!(report.records, vec![records[0].clone()]);
+        assert_eq!(report.skipped_corrupt, 1);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let records = vec![rec(1, 0, b"k", b"old"), rec(1, 5, b"k", b"new")];
+        let bytes = save_bytes(1, &records);
+        let report = load_bytes(&bytes, 1);
+        assert_eq!(report.records, vec![rec(1, 5, b"k", b"new")]);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest_stamps_first() {
+        let mut records = vec![
+            rec(1, 10, b"newest", &[0u8; 64]),
+            rec(1, 1, b"oldest", &[0u8; 64]),
+            rec(1, 5, b"middle", &[0u8; 64]),
+        ];
+        let full: u64 = 16 + records.iter().map(|r| r.disk_size() as u64).sum::<u64>();
+        let one = records[0].disk_size() as u64;
+        let evicted = evict_lru(&mut records, full - one);
+        assert_eq!(evicted, 1);
+        assert!(records.iter().all(|r| r.key != b"oldest"));
+        let evicted = evict_lru(&mut records, 0);
+        assert_eq!(evicted, 2);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn disk_store_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("isl-persist-test-{}", std::process::id()));
+        let path = dir.join("store.islstore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let store = DiskStore::open(&path, 9).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.lookup(1, b"k"), None);
+        store.insert(1, b"k".to_vec(), b"v".to_vec());
+        let flushed = store.flush().unwrap();
+        assert!(flushed.wrote);
+        assert_eq!(flushed.records, 1);
+        // Clean flush is a no-op.
+        assert!(!store.flush().unwrap().wrote);
+
+        let reopened = DiskStore::open(&path, 9).unwrap();
+        assert_eq!(reopened.lookup(1, b"k"), Some(b"v".to_vec()));
+        let stats = reopened.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert!(stats.bytes_on_disk > 0);
+
+        // Version bump: wholesale invalidation, not an error.
+        let bumped = DiskStore::open(&path, 10).unwrap();
+        assert!(bumped.is_empty());
+        assert!(bumped.stats().invalidated);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discard_corrupt_counts_and_removes() {
+        let dir = std::env::temp_dir().join(format!("isl-persist-disc-{}", std::process::id()));
+        let path = dir.join("store.islstore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let store = DiskStore::open(&path, 1).unwrap();
+        store.insert(4, b"bad".to_vec(), b"undecodable".to_vec());
+        store.discard_corrupt(4, b"bad");
+        assert_eq!(store.lookup(4, b"bad"), None);
+        assert_eq!(store.stats().skipped_corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,120 @@
+//! `isl-served` — the HLS service's command line.
+//!
+//! ```text
+//! isl-served serve [--addr 127.0.0.1:7878] [--state-dir DIR]
+//!                  [--timeout-ms 120000] [--batch-ms 5] [--threads N]
+//! isl-served call  --addr HOST:PORT --op OP [--algo NAME] [--device NAME]
+//!                  [--width W] [--height H] [--seed S]
+//!                  [--max-side N] [--max-depth N] [--max-cores N]
+//!                  [--window N] [--depth N] [--cores N]
+//!                  [--max-abs X] [--max-width N]
+//! ```
+//!
+//! * `serve` — run the service in the foreground until a client sends the
+//!   `shutdown` op (or the process is killed; persistent stores are
+//!   checkpointed after every batch, so even `kill -9` answers warm after
+//!   a restart).
+//! * `call` — one request against a running service; prints the response
+//!   line's `result` JSON to stdout and exits non-zero on any error. Ops:
+//!   `ping`, `stats`, `explore`, `certify`, `search_format`, `shutdown`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use isl_serve::protocol::value_to_json;
+use isl_serve::{Client, Op, Request, ServeConfig, Server};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match arg_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {name} `{v}`: {e}")),
+    }
+}
+
+fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    match arg_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {name} `{v}`: {e}")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let cfg = ServeConfig {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        state_dir: arg_value(args, "--state-dir").map(Into::into),
+        request_timeout: Duration::from_millis(parse_u64(args, "--timeout-ms", 120_000)?),
+        batch_window: Duration::from_millis(parse_u64(args, "--batch-ms", 5)?),
+        threads: parse_u64(args, "--threads", 0)? as usize,
+    };
+    let state = cfg
+        .state_dir
+        .as_ref()
+        .map_or("memory only".to_string(), |d| d.display().to_string());
+    let handle = Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("isl-served listening on {} (state: {state})", handle.addr());
+    handle.join(); // until a client sends the shutdown op
+    println!("isl-served: drained and flushed, bye");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_call(args: &[String]) -> Result<ExitCode, String> {
+    let addr = arg_value(args, "--addr").ok_or("call needs --addr HOST:PORT")?;
+    let op = arg_value(args, "--op").ok_or("call needs --op")?;
+    let op = Op::parse(&op).ok_or_else(|| format!("unknown op `{op}`"))?;
+    let d = Request::default();
+    let request = Request {
+        id: 0, // assigned by the client
+        op,
+        algo: arg_value(args, "--algo").unwrap_or(d.algo),
+        device: arg_value(args, "--device").unwrap_or(d.device),
+        width: parse_u64(args, "--width", u64::from(d.width))? as u32,
+        height: parse_u64(args, "--height", u64::from(d.height))? as u32,
+        seed: parse_u64(args, "--seed", d.seed)?,
+        max_side: parse_u64(args, "--max-side", u64::from(d.max_side))? as u32,
+        max_depth: parse_u64(args, "--max-depth", u64::from(d.max_depth))? as u32,
+        max_cores: parse_u64(args, "--max-cores", u64::from(d.max_cores))? as u32,
+        window: parse_u64(args, "--window", u64::from(d.window))? as u32,
+        depth: parse_u64(args, "--depth", u64::from(d.depth))? as u32,
+        cores: parse_u64(args, "--cores", u64::from(d.cores))? as u32,
+        max_abs: parse_f64(args, "--max-abs", d.max_abs)?,
+        rms: parse_f64(args, "--rms", d.rms)?,
+        max_width: parse_u64(args, "--max-width", u64::from(d.max_width))? as u32,
+    };
+    let timeout = Duration::from_millis(parse_u64(args, "--timeout-ms", 300_000)?);
+    let mut client = Client::connect(&addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?
+        .with_timeout(timeout)
+        .map_err(|e| format!("timeout: {e}"))?;
+    let value = client.request(request).map_err(|e| e.to_string())?;
+    println!("{}", value_to_json(&value));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  isl-served serve [--addr A] [--state-dir D] [--timeout-ms N] [--batch-ms N] [--threads N]\n  isl-served call --addr A --op OP [request flags]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("call") => cmd_call(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("isl-served: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A small synchronous client for the `isl-served` protocol.
+//!
+//! One [`Client`] is one connection; requests are answered in order.
+//! Responses come back as parsed [`Value`]s plus a typed
+//! [`RemoteStats`] view of the `stats` op — the evidence CI and the
+//! property tests assert warm restarts on.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use isl_telemetry::json::Value;
+
+use crate::protocol::{parse_response, Op, Request};
+
+/// Client-side failure: transport, protocol or a server-reported error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The bytes on the wire were not a protocol response.
+    Protocol(String),
+    /// The server answered `ok: false` with this message.
+    Remote(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Protocol(e) => write!(f, "protocol: {e}"),
+            ServeError::Remote(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The `stats` op decoded into counters. `*_misses` count artifacts
+/// actually built by the service process; a warm restart keeps
+/// [`RemoteStats::build_misses`] at zero while `disk_hits` grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Cones built.
+    pub cone_misses: u64,
+    /// Bytecode programs compiled.
+    pub program_misses: u64,
+    /// Synthesis reports produced.
+    pub synthesis_misses: u64,
+    /// DSE calibrations computed.
+    pub calibration_misses: u64,
+    /// Golden-vector sets co-simulated.
+    pub vector_misses: u64,
+    /// Certificates computed.
+    pub certificate_misses: u64,
+    /// Lookups served from the in-memory store, all kinds.
+    pub total_hits: u64,
+    /// Artifacts decoded from the persistent disk tier.
+    pub disk_hits: u64,
+    /// Disk lookups that fell through to a cold build.
+    pub disk_misses: u64,
+    /// Corrupt disk records skipped (load + decode).
+    pub corrupt: u64,
+    /// Persistent store file size, bytes.
+    pub bytes_on_disk: u64,
+}
+
+impl RemoteStats {
+    /// Artifacts this process actually computed (every kind of build
+    /// miss). Zero across a whole explore→certify→search replay is the
+    /// warm-restart acceptance criterion.
+    pub fn build_misses(&self) -> u64 {
+        self.cone_misses
+            + self.program_misses
+            + self.synthesis_misses
+            + self.calibration_misses
+            + self.vector_misses
+            + self.certificate_misses
+    }
+
+    /// Decode the `stats` result object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing counter.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let counter = |kind: &str, field: &str| -> Result<u64, String> {
+            v.get(kind)
+                .and_then(|k| k.get(field))
+                .and_then(Value::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("stats missing {kind}.{field}"))
+        };
+        Ok(RemoteStats {
+            cone_misses: counter("cones", "misses")?,
+            program_misses: counter("programs", "misses")?,
+            synthesis_misses: counter("syntheses", "misses")?,
+            calibration_misses: counter("calibrations", "misses")?,
+            vector_misses: counter("vectors", "misses")?,
+            certificate_misses: counter("certificates", "misses")?,
+            total_hits: v
+                .get("total_hits")
+                .and_then(Value::as_num)
+                .map(|n| n as u64)
+                .ok_or("stats missing total_hits")?,
+            disk_hits: counter("disk", "hits")?,
+            disk_misses: counter("disk", "misses")?,
+            corrupt: counter("disk", "corrupt")?,
+            bytes_on_disk: counter("disk", "bytes")?,
+        })
+    }
+}
+
+/// One connection to an `isl-served` instance.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to the service at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from connect/clone.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Bound how long a single [`Client::call`] may block on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from `set_read_timeout`.
+    pub fn with_timeout(self, timeout: Duration) -> std::io::Result<Self> {
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        Ok(self)
+    }
+
+    /// Send `request` (id assigned by the client) and wait for its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on transport failure, a non-protocol reply, a
+    /// mismatched id, or a server-reported error.
+    pub fn call(&mut self, mut request: Request) -> Result<Value, ServeError> {
+        self.next_id += 1;
+        request.id = self.next_id;
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ServeError::Protocol("connection closed".into()));
+        }
+        let (id, result) = parse_response(response.trim()).map_err(ServeError::Protocol)?;
+        if id != self.next_id {
+            return Err(ServeError::Protocol(format!(
+                "response id {id} for request {}",
+                self.next_id
+            )));
+        }
+        result.map_err(ServeError::Remote)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.call(Request { op: Op::Ping, ..Request::default() })
+            .map(|_| ())
+    }
+
+    /// The store counters of `algo`'s session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; also a protocol error when the counters are
+    /// missing from the result.
+    pub fn stats(&mut self, algo: &str) -> Result<RemoteStats, ServeError> {
+        let v = self.call(Request {
+            op: Op::Stats,
+            algo: algo.into(),
+            ..Request::default()
+        })?;
+        RemoteStats::from_value(&v).map_err(ServeError::Protocol)
+    }
+
+    /// Run `request` as-is (op and parameters chosen by the caller).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn request(&mut self, request: Request) -> Result<Value, ServeError> {
+        self.call(request)
+    }
+
+    /// Ask the service to shut down gracefully (drain + flush).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.call(Request { op: Op::Shutdown, ..Request::default() })
+            .map(|_| ())
+    }
+}

@@ -22,8 +22,11 @@ void blur(const float in[H][W], float out[H][W]) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage 1 (Spec): dependency analysis by symbolic execution. The
-    // session owns the artifact store every later stage reads and writes.
-    let session = IslSession::from_source(KERNEL)?;
+    // session owns the artifact store every later stage reads and writes —
+    // here backed by a persistent file, so artifacts outlive the process.
+    let store = std::env::temp_dir().join("isl-quickstart.islstore");
+    std::fs::remove_file(&store).ok();
+    let session = IslSession::from_source(KERNEL)?.with_persistent_store(&store)?;
     println!("== extracted stencil pattern ==");
     println!("{}", session.pattern());
     println!("iterations per frame: {}", session.iterations());
@@ -46,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // expensive half, stored and reusable across workloads.
     let device = Device::virtex6_xc6vlx760();
     let space = DesignSpace::new(1..=6, 1..=5, 8);
+    let cold_start = std::time::Instant::now();
     let estimated = session.estimate(&device, &space)?;
+    let cold_estimate = cold_start.elapsed();
     println!(
         "\n(alpha calibration used {} syntheses in total)",
         estimated.syntheses()
@@ -101,5 +106,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-cache breakdown of the whole run (`StoreStats` is `Display`).
     println!("\n== artifact store, per cache ==\n{after}");
+
+    // The disk tier makes *restarts* nearly free too: flush, then open a
+    // brand-new session on the same file — a stand-in for a second
+    // process — and replay the expensive calibration from disk.
+    let flushed = session.checkpoint()?;
+    let warm_start = std::time::Instant::now();
+    let second = IslSession::from_source(KERNEL)?.with_persistent_store(&store)?;
+    let replayed = second.explore(&device, second.workload(1024, 768), &space)?;
+    let warm_estimate = warm_start.elapsed();
+    assert_eq!(explored.points(), replayed.points());
+    let disk = second.store_stats();
+    println!("\n== cold process vs warm disk ==");
+    println!("  cold calibration:        {:>8.1} ms", cold_estimate.as_secs_f64() * 1e3);
+    println!(
+        "  warm-disk replay:        {:>8.1} ms  ({:.0}x, {} bytes on disk, {flushed} flushed)",
+        warm_estimate.as_secs_f64() * 1e3,
+        cold_estimate.as_secs_f64() / warm_estimate.as_secs_f64().max(1e-9),
+        disk.bytes_on_disk,
+    );
+    println!(
+        "  second process built     {} artifacts (disk hits {}, corrupt skips {})",
+        disk.total_misses(),
+        disk.disk_hits,
+        disk.load_skipped_corrupt,
+    );
+    std::fs::remove_file(&store).ok();
     Ok(())
 }
