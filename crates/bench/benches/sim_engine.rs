@@ -536,7 +536,7 @@ fn main() {
             100.0 * report.active_detection_rate(),
         );
         fc_rows.push(format!(
-            "    {{\"name\": \"{}\", \"instructions\": {}, \"faults\": {}, \"campaign_ms\": {:.3}, \"faults_per_s\": {:.1}, \"detection_pct\": {:.1}, \"active_detection_pct\": {:.1}, \"triaged\": {}}}",
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"faults\": {}, \"campaign_ms\": {:.3}, \"faults_per_s\": {:.1}, \"detection_pct\": {:.1}, \"active_detection_pct\": {:.1}, \"triaged\": {}, \"predicted_silent\": {}}}",
             case.name,
             report.instructions,
             report.faults,
@@ -544,7 +544,92 @@ fn main() {
             report.faults as f64 / t,
             100.0 * report.detection_rate(),
             100.0 * report.active_detection_rate(),
-            report.triaged
+            report.triaged,
+            report.predicted_silent
+        ));
+    }
+
+    // Static analysis: the abstract interpreter and the bytecode verifier
+    // over the same w8 d2 cone the campaigns sweep — instructions/second
+    // is the cost of gating a probe or classifying a fault statically, and
+    // must stay orders of magnitude above the certification work it
+    // prunes. The pruning columns run the saturating-band format searches
+    // of the property suite and report how many full certification probes
+    // the range proof skipped, and what the whole gated search cost.
+    let mut sa_rows: Vec<String> = Vec::new();
+    for case in &cases {
+        let params: Vec<f64> = case.pattern.params().iter().map(|p| p.default).collect();
+        let cone = Cone::build(&case.pattern, Window::square(8), DEPTH).expect("cone builds");
+        let cc = CompiledCone::compile_with(&cone, &params, true);
+        let fmt = FixedFormat::default();
+        let full = isl_hls::analyze::WordRange::full(fmt);
+        let reps = if fast { 20u32 } else { 100 };
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(
+                isl_hls::analyze::Analysis::of_cone(&cc, fmt, full).expect("analyses"),
+            );
+        }
+        let analyze_t = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            isl_hls::analyze::verify_cone(&cc).expect("verifies");
+        }
+        let verify_t = t0.elapsed().as_secs_f64() / reps as f64;
+
+        // The saturating-band search: three-digit inputs overflow the
+        // early escalation widths of the Gaussian's 16x pre-normalisation
+        // sum; Chambolle's internal 1/lambda = 10x gain overflows on unit
+        // noise. Every statically-doomed escalation probe skips its full
+        // certification.
+        let fields = case.pattern.fields().len();
+        let sat_init = FrameSet::from_frames(
+            (0..fields)
+                .map(|i| {
+                    let noise = synthetic::noise(20, 14, 11 + i as u64);
+                    if case.name.starts_with("gaussian") {
+                        Frame::from_fn(20, 14, |x, y| 100.0 + 100.0 * noise.get(x, y))
+                    } else {
+                        noise
+                    }
+                })
+                .collect(),
+        )
+        .expect("frames");
+        let sat_arch = Architecture::new(Window::square(4), DEPTH, 1);
+        let session = IslSession::from_pattern(case.pattern.clone(), ITERS);
+        let t0 = Instant::now();
+        let searched = session
+            .search_format(&device, &sat_init, sat_arch, ErrorBudget::max_abs(1e-3))
+            .expect("searches");
+        let search_t = t0.elapsed().as_secs_f64();
+        let pruned = session.store_stats().analysis_pruned_probes;
+
+        println!(
+            "static_analysis_{:<15} {} instrs: analyze {:>7.3} ms ({:>9.0} instrs/s) | verify {:>7.3} ms ({:>9.0} instrs/s) | saturating search {:>8.2} ms, {} of {} probes pruned -> {}",
+            case.name,
+            cc.len(),
+            analyze_t * 1e3,
+            cc.len() as f64 / analyze_t,
+            verify_t * 1e3,
+            cc.len() as f64 / verify_t,
+            search_t * 1e3,
+            pruned,
+            searched.probes().len(),
+            searched.format(),
+        );
+        sa_rows.push(format!(
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"analyze_ms\": {:.4}, \"analyzed_instrs_per_s\": {:.0}, \"verify_ms\": {:.4}, \"verified_instrs_per_s\": {:.0}, \"saturating_search_ms\": {:.3}, \"probes\": {}, \"probes_pruned\": {}, \"searched_format\": \"{}\"}}",
+            case.name,
+            cc.len(),
+            analyze_t * 1e3,
+            cc.len() as f64 / analyze_t,
+            verify_t * 1e3,
+            cc.len() as f64 / verify_t,
+            search_t * 1e3,
+            searched.probes().len(),
+            pruned,
+            searched.format(),
         ));
     }
 
@@ -715,6 +800,8 @@ fn main() {
     json.push_str(&fs_rows.join(",\n"));
     json.push_str("\n  ],\n  \"fault_campaign\": [\n");
     json.push_str(&fc_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"static_analysis\": [\n");
+    json.push_str(&sa_rows.join(",\n"));
     json.push_str("\n  ],\n  \"persistence\": [\n");
     json.push_str(&persist_rows.join(",\n"));
     json.push_str("\n  ],\n  \"serve_latency\": [\n");

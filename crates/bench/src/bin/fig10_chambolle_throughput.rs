@@ -6,6 +6,8 @@
 //! area-granularity effect the estimation flow is built to expose. Headline:
 //! ~24 fps at 1024x768.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{compare, rule, throughput_sweep};
 use isl_hls::algorithms::chambolle;
 use isl_hls::prelude::*;

@@ -4,6 +4,8 @@
 //! Paper: maximum estimation error 6.58 %, average 2.93 %, with α calibrated
 //! from two syntheses per curve.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{area_validation, compare, rule};
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::prelude::*;

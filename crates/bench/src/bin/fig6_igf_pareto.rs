@@ -4,6 +4,8 @@
 //! Paper: the space holds a few hundreds of solutions; the Pareto knee sits
 //! in the tens-of-milliseconds region.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::rule;
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::prelude::*;

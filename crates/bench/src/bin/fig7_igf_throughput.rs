@@ -6,6 +6,8 @@
 //! ~110 fps; curves are non-monotone in the window size because smaller
 //! cones sometimes pack the device better.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{compare, rule, throughput_sweep};
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::prelude::*;

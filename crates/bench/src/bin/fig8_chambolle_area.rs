@@ -2,6 +2,8 @@
 //!
 //! Paper: maximum estimation error 6.36 %, average 2.19 %.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{area_validation, compare, rule};
 use isl_hls::algorithms::chambolle;
 use isl_hls::prelude::*;

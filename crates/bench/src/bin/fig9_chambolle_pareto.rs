@@ -1,5 +1,7 @@
 //! Figure 9 — Chambolle Pareto curve: time-per-frame vs kLUTs, 1024x768.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::rule;
 use isl_hls::algorithms::chambolle;
 use isl_hls::prelude::*;

@@ -12,6 +12,8 @@
 //! 4. **calibration depth**: accuracy of Eq. 1 with 2 vs 4 syntheses
 //!    ("the higher the number, the more accurate the estimation").
 
+#![forbid(unsafe_code)]
+
 use isl_bench::rule;
 use isl_hls::algorithms::{chambolle, gaussian_igf};
 use isl_hls::prelude::*;

@@ -8,6 +8,8 @@
 //!   memory;
 //! * the cone flow is "orders of magnitude" faster.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{best_fps, compare, rule};
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::baselines::{CommercialHls, HlsFailure};

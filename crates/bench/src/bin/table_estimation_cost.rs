@@ -8,6 +8,8 @@
 //! whole grid against the two-syntheses-per-depth calibration the flow
 //! actually performs, and against the measured wall-clock of the estimator.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use isl_bench::{area_validation, rule};

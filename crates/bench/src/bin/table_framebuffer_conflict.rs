@@ -7,6 +7,8 @@
 //! memories at each iteration". The cone architecture's on-chip requirement
 //! is frame-size independent.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::rule;
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::baselines::FrameBufferModel;

@@ -5,6 +5,8 @@
 //! * the paper's automatic flow: 24 fps at 1024x768, 72 fps at 512x512 —
 //!   "comparable results" for zero manual effort.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{best_fps, compare, rule};
 use isl_hls::algorithms::chambolle;
 use isl_hls::baselines::published_references;

@@ -6,6 +6,8 @@
 //! * the paper's flow on the *same* Virtex-II Pro: up to 35 fps at Full-HD;
 //! * the paper's flow on a Virtex-6: 110 fps at 1024x768.
 
+#![forbid(unsafe_code)]
+
 use isl_bench::{best_fps, compare, rule};
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::baselines::published_references;

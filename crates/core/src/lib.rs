@@ -183,6 +183,7 @@ pub mod prelude {
 
 // Re-export the component crates for power users.
 pub use isl_algorithms as algorithms;
+pub use isl_analyze as analyze;
 pub use isl_baselines as baselines;
 pub use isl_cosim as cosim;
 pub use isl_dse as dse;

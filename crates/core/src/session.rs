@@ -38,7 +38,7 @@ use isl_estimate::{
 use isl_fpga::{Device, FixedFormat, SynthOptions, Synthesizer};
 use isl_ir::{Cone, StencilPattern, Window};
 use isl_sim::parallel::par_map;
-use isl_sim::{level_depths, BorderMode, FrameSet, Simulator};
+use isl_sim::{level_depths, BorderMode, CompiledCone, FrameSet, Simulator};
 use isl_symexec::compile_str;
 use isl_vhdl::{
     check::verify_vectors, fixed_package, generate_cone, generate_testbench,
@@ -230,6 +230,12 @@ struct Spec {
     synth_options: SynthOptions,
     schedule: ScheduleModel,
     threads: usize,
+    /// Consult the `isl-analyze` saturation certificates during
+    /// `search_format` to route statically-doomed escalation probes
+    /// through the cheap error-measurement-only path. Outside every store
+    /// key on purpose: probe results are bit-identical either way, only
+    /// the work performed differs.
+    static_analysis: bool,
 }
 
 /// A staged-pipeline session: one stencil spec, one shared
@@ -307,6 +313,9 @@ impl IslSession {
 
     /// Build the session from an already-extracted pattern.
     pub fn from_pattern(pattern: StencilPattern, iterations: u32) -> Self {
+        // Every compile this session triggers is bytecode-verified in
+        // debug builds (first install wins; cheap when already set).
+        isl_analyze::install_debug_verifier();
         let fingerprint = pattern.fingerprint();
         IslSession {
             spec: Arc::new(Spec {
@@ -317,6 +326,7 @@ impl IslSession {
                 synth_options: SynthOptions::default(),
                 schedule: ScheduleModel::default(),
                 threads: 0,
+                static_analysis: true,
             }),
             store: Arc::new(ArtifactStore::new()),
         }
@@ -359,6 +369,18 @@ impl IslSession {
     /// Cap the worker threads of engines and batch fans (0 = one per core).
     pub fn with_threads(mut self, threads: usize) -> Self {
         Arc::make_mut(&mut self.spec).threads = threads;
+        self
+    }
+
+    /// Enable or disable the `isl-analyze` saturation certificates inside
+    /// [`IslSession::search_format`] (default **on**). With analysis on,
+    /// an escalation probe whose width the analyzer proves may-saturating
+    /// skips its full certification and only measures the quantisation
+    /// error — the returned [`FormatSearchOutcome`] is bit-identical
+    /// either way (the property suite asserts it), and every skipped
+    /// probe is counted in [`StoreStats::analysis_pruned_probes`].
+    pub fn with_static_analysis(mut self, enabled: bool) -> Self {
+        Arc::make_mut(&mut self.spec).static_analysis = enabled;
         self
     }
 
@@ -1078,6 +1100,52 @@ impl IslSession {
             })
         };
 
+        // Static saturation gate (`isl-analyze`): the fold-free cone
+        // program of this decomposition — the exact instruction set the
+        // bit-true engines execute — abstractly interpreted per candidate
+        // format over the measured value box. `may_saturate == false` is a
+        // proof; `true` flags the escalation probe as statically doomed,
+        // and the probe is then served by `light_probe`, which measures
+        // only the quantisation error the probe reports — the same
+        // `run_cone_levels` + `error_metrics` numbers `certify` records,
+        // bit-identically — and skips the full certification (quantised
+        // engine cross-checks, golden vectors, testbench). The verdict
+        // only ever picks between two bit-identical ways of computing the
+        // probe, so an over- or under-approximate gate costs work, never
+        // correctness.
+        let sat_gate = if self.spec.static_analysis {
+            let cone = self.cone_at(Stage::FormatSearch, arch.window, arch.depth)?;
+            let params: Vec<f64> =
+                self.spec.pattern.params().iter().map(|p| p.default).collect();
+            Some(CompiledCone::compile_with(&cone, &params, false))
+        } else {
+            None
+        };
+        let may_saturate = |fmt: FixedFormat| -> bool {
+            sat_gate.as_ref().is_some_and(|cc| {
+                let input =
+                    isl_analyze::WordRange::new(fmt.quantize(-maxabs), fmt.quantize(maxabs));
+                isl_analyze::Analysis::of_cone(cc, fmt, input)
+                    .map(|a| a.may_saturate())
+                    .unwrap_or(false)
+            })
+        };
+        let light_probe = |fmt: FixedFormat| -> Result<FormatProbe, FlowError> {
+            let _span = isl_telemetry::span!("search", "light probe {}", fmt);
+            let cosim =
+                CoSimulator::new(&self.spec.pattern, fmt)?.with_border(self.spec.border);
+            let fixed = cosim
+                .run_cone_levels(init, self.spec.iterations, arch.window, arch.depth)?
+                .dequantize(fmt);
+            let quant = isl_cosim::error_metrics(&refs.1, &fixed);
+            Ok(FormatProbe {
+                format: fmt,
+                max_abs_error: quant.max_abs,
+                rms_error: quant.rms,
+                within_budget: budget.admits(quant.max_abs, quant.rms),
+            })
+        };
+
         // Widest candidate at the current integer width. When even the
         // widest word misses the budget the error may be dominated by
         // *intermediate saturation* (frame values fit, but e.g. a squared
@@ -1110,7 +1178,27 @@ impl IslSession {
             ))
         };
         loop {
-            let p = probe(FixedFormat::new(budget.max_width, budget.max_width - int_bits))?;
+            let fmt_w = FixedFormat::new(budget.max_width, budget.max_width - int_bits);
+            // A statically may-saturating escalation width gets the light
+            // probe; when it fails the budget (the overwhelmingly common
+            // outcome the proof predicts) the full certification was pure
+            // waste and is skipped — counted in
+            // `StoreStats::analysis_pruned_probes`. The rare flagged probe
+            // that still lands in budget re-runs in full, preserving the
+            // invariant that every passing probe holds a store-served
+            // certificate.
+            let p = if may_saturate(fmt_w) {
+                let lp = light_probe(fmt_w)?;
+                if lp.within_budget {
+                    probe(fmt_w)?
+                } else {
+                    self.store.note_pruned_probe();
+                    isl_telemetry::add("search.pruned_probes", 1);
+                    lp
+                }
+            } else {
+                probe(fmt_w)?
+            };
             // Strictly worse than the previous widest probe: the lost
             // fractional bit cost more than the gained integer bit bought —
             // quantisation-limited, stop. (Saturation-limited escalations

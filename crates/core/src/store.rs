@@ -355,6 +355,12 @@ pub struct StoreStats {
     pub load_skipped_corrupt: usize,
     /// Size of the persistent store file at the last load or flush, bytes.
     pub bytes_on_disk: u64,
+    /// Format-search escalation probes whose full certification was
+    /// skipped because the `isl-analyze` abstract interpreter proved the
+    /// width statically may-saturating and the cheap error measurement
+    /// confirmed the budget miss. Probe results stay bit-identical; this
+    /// counts avoided work only.
+    pub analysis_pruned_probes: usize,
 }
 
 impl StoreStats {
@@ -423,6 +429,12 @@ impl std::fmt::Display for StoreStats {
             "{:<13} hits {:>6}   misses {:>6}   corrupt {:>4}   bytes {:>9}",
             "disk", self.disk_hits, self.disk_misses, self.load_skipped_corrupt, self.bytes_on_disk
         )?;
+        writeln!(f)?;
+        write!(
+            f,
+            "{:<13} pruned probes {:>4}",
+            "analysis", self.analysis_pruned_probes
+        )?;
         Ok(())
     }
 }
@@ -449,6 +461,8 @@ pub struct ArtifactStore {
     references: CacheMap<RefKey, (FrameSet, FrameSet)>,
     searches: CacheMap<SearchKey, FormatSearchOutcome>,
     disk: Option<DiskTier>,
+    /// See [`StoreStats::analysis_pruned_probes`].
+    pruned_probes: AtomicUsize,
 }
 
 impl Drop for ArtifactStore {
@@ -663,6 +677,13 @@ impl ArtifactStore {
             disk_misses: disk.misses as usize,
             load_skipped_corrupt: disk.skipped_corrupt as usize,
             bytes_on_disk: disk.bytes_on_disk,
+            analysis_pruned_probes: self.pruned_probes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Count one escalation probe whose full certification the static
+    /// analyzer's saturation proof made skippable.
+    pub(crate) fn note_pruned_probe(&self) {
+        self.pruned_probes.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -190,6 +190,13 @@ pub struct FaultCoverageReport {
     pub masked: usize,
     /// Faults that never perturbed any result word on these stimuli.
     pub silent: usize,
+    /// Of the silent faults, how many the `isl-analyze` known-bits
+    /// abstraction **predicted** silent — and therefore classified without
+    /// scanning or replaying a single stimulus. Statically predicted
+    /// silence is a proof over *all* in-format stimuli, so
+    /// `predicted_silent <= silent` always (the property suite asserts
+    /// the subset relation against the measured outcomes).
+    pub predicted_silent: usize,
     /// Detections confirmed at instruction granularity by triage.
     pub triaged: usize,
     /// Classification split by fault-model kind.
@@ -243,12 +250,14 @@ impl std::fmt::Display for FaultCoverageReport {
         )?;
         writeln!(
             f,
-            "  detected {} ({:.1}% of all, {:.1}% of active) | masked {} | silent {} | triaged {}/{}",
+            "  detected {} ({:.1}% of all, {:.1}% of active) | masked {} | silent {} \
+             ({} proven statically) | triaged {}/{}",
             self.detected,
             100.0 * self.detection_rate(),
             100.0 * self.active_detection_rate(),
             self.masked,
             self.silent,
+            self.predicted_silent,
             self.triaged,
             self.detected,
         )?;
@@ -268,11 +277,30 @@ impl std::fmt::Display for FaultCoverageReport {
 }
 
 /// Internal per-shape campaign state: the compiled program, the shape's
-/// vector file and the clean per-record instruction traces.
+/// vector file, the clean per-record instruction traces, and the static
+/// per-instruction facts (when the slot program lifts cleanly — it always
+/// does for compiler-produced programs; `None` merely disables prediction).
 struct ShapeRun<'f> {
     file: &'f VectorFile,
     cc: CompiledCone,
     traces: Vec<Vec<i64>>,
+    analysis: Option<isl_analyze::Analysis>,
+}
+
+/// Is `fault` provably silent on every in-format stimulus, by the static
+/// facts alone? A stuck-at on bits the abstraction knows to already hold
+/// the stuck value cannot change any produced word; a bit flip always
+/// changes the word, so it is never statically silent (it may still be
+/// dynamically silent on stimuli that never exercise the instruction —
+/// that remains the trace scan's job).
+fn predicted_silent(analysis: Option<&isl_analyze::Analysis>, fault: &Fault) -> bool {
+    let Some(a) = analysis else { return false };
+    let v = a.value(fault.instr);
+    match fault.model {
+        FaultModel::BitFlip { .. } => false,
+        FaultModel::StuckAt0 { mask } => v.always_zero(mask),
+        FaultModel::StuckAt1 { mask } => v.always_one(mask),
+    }
 }
 
 impl CoSimulator<'_> {
@@ -329,7 +357,19 @@ impl CoSimulator<'_> {
                 }
                 traces.push(trace);
             }
-            shapes.push(ShapeRun { file, cc, traces });
+            // Static facts over the full in-format input range: every
+            // stimulus word in a vector file was produced by `quantize`
+            // or by the datapath itself, so `[min_raw, max_raw]` is a
+            // sound input assumption and the per-instruction known bits
+            // hold for *every* record this campaign replays.
+            let analysis =
+                isl_analyze::Analysis::of_cone(&cc, fmt, isl_analyze::WordRange::full(fmt)).ok();
+            shapes.push(ShapeRun {
+                file,
+                cc,
+                traces,
+                analysis,
+            });
         }
 
         let mut report = FaultCoverageReport {
@@ -347,6 +387,7 @@ impl CoSimulator<'_> {
             detected: 0,
             masked: 0,
             silent: 0,
+            predicted_silent: 0,
             triaged: 0,
             by_model: models
                 .iter()
@@ -384,6 +425,28 @@ impl CoSimulator<'_> {
                         .find(|m| m.model == model.name())
                         .expect("model row built above");
                     mc.faults += 1;
+
+                    // Statically proven silence: the known-bits facts show
+                    // the stuck-at mask cannot change this instruction's
+                    // word on any in-format stimulus — classify without
+                    // touching a single trace. (In debug builds the scan
+                    // re-runs anyway and must agree: the prediction is a
+                    // proof, the measurement its cross-validation.)
+                    if predicted_silent(shape.analysis.as_ref(), &fault) {
+                        debug_assert!(
+                            shape
+                                .traces
+                                .iter()
+                                .all(|t| model.apply(t[instr]) == t[instr]),
+                            "statically predicted-silent fault was active: {} at instr {instr}",
+                            model.name()
+                        );
+                        report.silent += 1;
+                        report.predicted_silent += 1;
+                        mc.silent += 1;
+                        isl_telemetry::add("campaign.predicted_silent", 1);
+                        continue;
+                    }
 
                     // Silent check from the clean traces alone: the first
                     // record where the model would actually change the

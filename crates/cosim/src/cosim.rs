@@ -290,6 +290,9 @@ impl<'p> CoSimulator<'p> {
     ///
     /// [`CosimError::Sim`] for invalid or rank-3 patterns.
     pub fn new(pattern: &'p StencilPattern, fmt: FixedFormat) -> Result<Self, CosimError> {
+        // Every cone/kernel this co-simulator compiles is bytecode-verified
+        // in debug builds (idempotent; first install wins).
+        isl_analyze::install_debug_verifier();
         pattern
             .validate()
             .map_err(|e| CosimError::Sim(e.to_string()))?;

@@ -63,7 +63,7 @@ pub mod techmap;
 
 pub use cache::{SynthCache, SynthKey};
 pub use device::Device;
-pub use numeric::FixedFormat;
+pub use numeric::{isqrt_wide, FixedFormat};
 pub use quant::{eval_fixed, eval_fixed_raw};
 pub use synth::{SynthError, SynthOptions, Synthesizer, SynthesisReport};
 pub use techmap::{map_graph, MappedGraph};

@@ -137,8 +137,20 @@ impl FixedFormat {
     /// operation funnels its `i128` result through here — at wide widths
     /// the old `as i64` casts wrapped (and `-a` / `a.abs()` panicked on
     /// `i64::MIN` in debug builds) before the rails were even consulted.
-    fn saturate_wide(&self, v: i128) -> i64 {
+    ///
+    /// Public because `isl-analyze` transfers interval endpoints through
+    /// the *same* clamp the datapath uses: the abstract interpreter's
+    /// soundness contract is "endpoint arithmetic in `i128`, then this
+    /// function", never a reimplementation of the rails.
+    pub fn saturate_wide(&self, v: i128) -> i64 {
         v.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+
+    /// Does the widened intermediate `v` lie outside the rails? The static
+    /// analyzer's "may saturate" verdict is exactly "some point of the
+    /// abstract pre-saturation interval satisfies this predicate".
+    pub fn saturates_wide(&self, v: i128) -> bool {
+        v < self.min_raw() as i128 || v > self.max_raw() as i128
     }
 
     /// The raw word for fixed-point `1.0` (comparison results), saturated:
@@ -536,6 +548,15 @@ impl FixedFormat {
             }
         }
     }
+}
+
+/// Integer square root (floor) on the widened intermediate type, exactly
+/// the routine [`FixedFormat::apply_unary`] uses for `Sqrt`. Public so the
+/// `isl-analyze` interval transfer for `Sqrt` maps endpoints through the
+/// *same* function the datapath evaluates (monotonicity of `isqrt` makes
+/// endpoint mapping sound).
+pub fn isqrt_wide(n: i128) -> i128 {
+    isqrt(n)
 }
 
 /// Integer square root (floor) for non-negative `i128`.

@@ -4,6 +4,7 @@
 //! isl-fuzz diff     --iters 1000 --seed 1 [--corpus-dir DIR] [--shrink-budget 300]
 //!                   [--progress-every 100]
 //! isl-fuzz replay   <entry.c> [...]
+//! isl-fuzz analyze  [--corpus-dir DIR]
 //! isl-fuzz mutate   --iters 2000 --seed 1
 //! isl-fuzz campaign [--fast]
 //! isl-fuzz persist  --iters 500 --seed 1 [--corpus-dir DIR]
@@ -16,6 +17,14 @@
 //!   (and optionally persisting) each counterexample. A progress line
 //!   (iters/s, cross-checks, corpus size) goes to stderr every
 //!   `--progress-every` iterations (0 silences it).
+//! * `analyze` — replays the checked-in corpus through the `isl-analyze`
+//!   bytecode verifier: every program form (f64 kernels, quantized kernels,
+//!   fused step, folded and unfolded cones, quantized cone) is compiled at
+//!   the entry's recorded configuration and checked for def-before-use,
+//!   CSE congruence, DCE soundness and slot-interference freedom; the
+//!   quantized cone is additionally pushed through the abstract
+//!   interpreter. Exits non-zero on any finding. This is the CI gate that
+//!   keeps the verifier sound over real compiler output.
 //! * `mutate` — frontend robustness campaign over mangled kernel sources;
 //!   exits non-zero on any panic.
 //! * `campaign` — full stuck-at + bit-flip fault-injection campaigns over
@@ -32,6 +41,8 @@
 //! gauges) and `--trace <out.trace.json>` (Chrome trace-event file,
 //! loadable in Perfetto / `chrome://tracing`); either one enables the
 //! telemetry collector for the run.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -120,6 +131,101 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Compile every program form of one corpus entry at its recorded
+/// configuration and run the bytecode verifier over each. Returns
+/// `(programs, instructions)` verified, or the first finding.
+fn verify_entry(entry: &isl_fuzz::CorpusEntry) -> Result<(usize, usize), String> {
+    let (pattern, _info) = isl_symexec::compile_str(&entry.source)
+        .map_err(|e| format!("frontend rejected corpus entry: {e}"))?;
+    let cfg = &entry.config;
+    let fmt = cfg.format();
+    let params: Vec<f64> = pattern.params().iter().map(|p| p.default).collect();
+    let window = if pattern.rank() == 1 {
+        isl_ir::Window::line(cfg.window.w)
+    } else {
+        cfg.window
+    };
+
+    let mut programs = 0usize;
+    let mut instrs = 0usize;
+
+    let compiled = isl_sim::CompiledPattern::compile(&pattern, &params, true);
+    let quantized = isl_sim::QuantizedPattern::compile(&pattern, &params, fmt);
+    for i in 0..pattern.fields().len() {
+        if let Some(k) = compiled.kernel(i) {
+            isl_analyze::verify_kernel(k).map_err(|e| format!("f64 kernel {i}: {e}"))?;
+            programs += 1;
+            instrs += k.len();
+        }
+        if let Some(k) = quantized.kernel(i) {
+            isl_analyze::verify_quantized_kernel(k)
+                .map_err(|e| format!("quantized kernel {i}: {e}"))?;
+            programs += 1;
+            instrs += k.len();
+        }
+    }
+    isl_analyze::verify_step(quantized.fused()).map_err(|e| format!("fused step: {e}"))?;
+    programs += 1;
+    instrs += quantized.fused().len();
+
+    // Cone construction can legitimately reject a window/depth combination
+    // (reach constraints); that is a frontend contract, not a bytecode bug.
+    if let Ok(cone) = isl_ir::Cone::build(&pattern, window, cfg.depth) {
+        for fold in [false, true] {
+            let cc = isl_sim::CompiledCone::compile_with(&cone, &params, fold);
+            isl_analyze::verify_cone(&cc)
+                .map_err(|e| format!("cone (fold={fold}): {e}"))?;
+            programs += 1;
+            instrs += cc.len();
+        }
+        let qc = isl_sim::QuantizedCone::compile(&cone, &params, fmt);
+        isl_analyze::verify_quantized_cone(&qc).map_err(|e| format!("quantized cone: {e}"))?;
+        let analysis =
+            isl_analyze::Analysis::of_quantized_cone(&qc, isl_analyze::WordRange::full(fmt))
+                .map_err(|e| format!("abstract interpretation of quantized cone: {e}"))?;
+        if analysis.is_empty() {
+            return Err("abstract interpretation produced no facts".into());
+        }
+        programs += 1;
+        instrs += qc.len();
+    }
+
+    Ok((programs, instrs))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let dir = arg_value(args, "--corpus-dir").unwrap_or_else(|| "tests/corpus".into());
+    let entries = isl_fuzz::load_dir(std::path::Path::new(&dir))?;
+    if entries.is_empty() {
+        return Err(format!("no corpus entries found in {dir}"));
+    }
+    println!("bytecode verification over {} corpus entries in {dir}", entries.len());
+    let mut findings = 0usize;
+    let mut programs = 0usize;
+    let mut instrs = 0usize;
+    for entry in &entries {
+        match verify_entry(entry) {
+            Ok((p, n)) => {
+                programs += p;
+                instrs += n;
+                println!("  {}: {p} programs clean ({n} instructions)", entry.name);
+            }
+            Err(e) => {
+                findings += 1;
+                println!("  {}: FINDING: {e}", entry.name);
+            }
+        }
+    }
+    println!(
+        "  total: {programs} programs, {instrs} instructions verified, {findings} findings"
+    );
+    Ok(if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_mutate(args: &[String]) -> Result<ExitCode, String> {
@@ -253,8 +359,9 @@ fn write_telemetry(
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: isl-fuzz <diff|mutate|campaign|persist> [options] \
+    let usage = "usage: isl-fuzz <diff|replay|analyze|mutate|campaign|persist> [options] \
                  [--telemetry out.json] [--trace out.trace.json]";
+    isl_analyze::install_debug_verifier();
     let telemetry_out = take_flag(&mut args, "--telemetry");
     let trace_out = take_flag(&mut args, "--trace");
     if telemetry_out.is_some() || trace_out.is_some() {
@@ -268,6 +375,7 @@ fn main() -> ExitCode {
     let result: Result<ExitCode, String> = match cmd.as_str() {
         "diff" => cmd_diff(rest),
         "replay" => cmd_replay(rest),
+        "analyze" => cmd_analyze(rest),
         "mutate" => cmd_mutate(rest),
         "campaign" => cmd_campaign(rest).map_err(|e| e.to_string()),
         "persist" => cmd_persist(rest),

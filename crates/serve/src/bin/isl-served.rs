@@ -18,6 +18,8 @@
 //!   line's `result` JSON to stdout and exits non-zero on any error. Ops:
 //!   `ping`, `stats`, `explore`, `certify`, `search_format`, `shutdown`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Duration;
 

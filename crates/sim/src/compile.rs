@@ -22,10 +22,70 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use isl_fpga::FixedFormat;
 use isl_ir::{BinaryOp, Cone, Expr, FieldKind, Leaf, Node, NodeId, StencilPattern, UnaryOp};
+
+/// A borrowed view of one freshly compiled program, in whichever of the
+/// five forms the compiler emits — what the [compile verifier
+/// hook](set_compile_verifier) receives.
+#[derive(Clone, Copy)]
+pub enum ProgramView<'a> {
+    /// An SSA `f64` kernel ([`CompiledKernel`]).
+    Kernel(&'a CompiledKernel),
+    /// An SSA quantised kernel ([`QuantizedKernel`]).
+    QuantizedKernel(&'a QuantizedKernel),
+    /// A multi-field quantised step program ([`QuantizedStep`]).
+    Step(&'a QuantizedStep),
+    /// A slot-allocated `f64` cone program ([`CompiledCone`]).
+    Cone(&'a CompiledCone),
+    /// A slot-allocated quantised cone program ([`QuantizedCone`]).
+    QuantizedCone(&'a QuantizedCone),
+}
+
+impl ProgramView<'_> {
+    /// Short human name of the program form (for diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProgramView::Kernel(_) => "kernel",
+            ProgramView::QuantizedKernel(_) => "quantized kernel",
+            ProgramView::Step(_) => "quantized step",
+            ProgramView::Cone(_) => "cone",
+            ProgramView::QuantizedCone(_) => "quantized cone",
+        }
+    }
+}
+
+/// A bytecode verifier installed with [`set_compile_verifier`]: receives
+/// every freshly compiled program and returns a description of the first
+/// violated contract, if any.
+pub type CompileVerifier = fn(ProgramView<'_>) -> Result<(), String>;
+
+static COMPILE_VERIFIER: OnceLock<CompileVerifier> = OnceLock::new();
+
+/// Install a process-wide bytecode verifier, called after **every**
+/// compile in debug builds (release builds skip the call entirely); a
+/// verifier finding is a compiler bug and panics. First installation
+/// wins and later calls are no-ops (returning `false`), so every entry
+/// point can install unconditionally. The canonical verifier lives in
+/// `isl-analyze` (`install_debug_verifier`) — this crate only provides
+/// the hook, keeping the dependency arrow pointing analyzer → compiler.
+pub fn set_compile_verifier(hook: CompileVerifier) -> bool {
+    COMPILE_VERIFIER.set(hook).is_ok()
+}
+
+/// Debug-assert the installed verifier on a freshly compiled program.
+#[inline]
+fn notify_compiled(view: ProgramView<'_>) {
+    if cfg!(debug_assertions) {
+        if let Some(hook) = COMPILE_VERIFIER.get() {
+            if let Err(e) = hook(view) {
+                panic!("compiled {} failed bytecode verification: {e}", view.kind());
+            }
+        }
+    }
+}
 
 /// Index of an instruction (or, after slot allocation, of a value slot).
 /// In a [`CompiledKernel`] instruction `i` writes virtual register `i`.
@@ -245,7 +305,9 @@ impl CompiledKernel {
                 halo.down = halo.down.max(dy.unsigned_abs() * u32::from(dy > 0));
             }
         }
-        CompiledKernel { code, result, halo }
+        let k = CompiledKernel { code, result, halo };
+        notify_compiled(ProgramView::Kernel(&k));
+        k
     }
 
     /// Number of instructions in the flattened program.
@@ -962,7 +1024,7 @@ impl CompiledCone {
     pub fn compile_with(cone: &Cone, params: &[f64], fold: bool) -> Self {
         let (code, result_regs) = lower_cone(cone, params, fold);
         let p = finish_cone(code, result_regs, cone);
-        CompiledCone {
+        let c = CompiledCone {
             code: p.code,
             dst: p.dst,
             outputs: p.outputs,
@@ -971,7 +1033,9 @@ impl CompiledCone {
             slots: p.slots,
             slots_unscheduled: p.slots_unscheduled,
             reach: p.reach,
-        }
+        };
+        notify_compiled(ProgramView::Cone(&c));
+        c
     }
 
     /// Number of value slots the evaluator needs (peak live registers).
@@ -1080,12 +1144,14 @@ impl QuantizedKernel {
         let (code, results) = quantize_code(&k.code, &[k.result], fmt);
         let result = results[0];
         let halo = quantized_halo(&code);
-        QuantizedKernel {
+        let k = QuantizedKernel {
             code,
             result,
             halo,
             fmt,
-        }
+        };
+        notify_compiled(ProgramView::QuantizedKernel(&k));
+        k
     }
 
     /// Number of instructions in the flattened program.
@@ -1185,12 +1251,14 @@ impl QuantizedStep {
         }
         let (code, results) = quantize_code(&b.code, &roots, fmt);
         let halo = quantized_halo(&code);
-        QuantizedStep {
+        let s = QuantizedStep {
             code,
             outputs: fields.into_iter().zip(results).collect(),
             halo,
             fmt,
-        }
+        };
+        notify_compiled(ProgramView::Step(&s));
+        s
     }
 
     /// Number of instructions in the fused program.
@@ -1327,7 +1395,7 @@ impl QuantizedCone {
         let (code, result_regs) = lower_cone(cone, params, false);
         let (qcode, qresults) = quantize_code(&code, &result_regs, fmt);
         let p = finish_cone(qcode, qresults, cone);
-        QuantizedCone {
+        let c = QuantizedCone {
             code: p.code,
             dst: p.dst,
             outputs: p.outputs,
@@ -1336,7 +1404,9 @@ impl QuantizedCone {
             slots: p.slots,
             fmt,
             reach: p.reach,
-        }
+        };
+        notify_compiled(ProgramView::QuantizedCone(&c));
+        c
     }
 
     /// Number of value slots the evaluator needs (peak live registers).

@@ -167,8 +167,9 @@ mod vm;
 
 pub use border::BorderMode;
 pub use compile::{
-    CompiledCone, CompiledKernel, CompiledPattern, ConeSlot, Halo, Instr, ProgramCache, QInstr,
-    QuantizedCone, QuantizedKernel, QuantizedPattern, QuantizedStep, Reach, Reg,
+    set_compile_verifier, CompileVerifier, CompiledCone, CompiledKernel, CompiledPattern,
+    ConeSlot, Halo, Instr, ProgramCache, ProgramView, QInstr, QuantizedCone, QuantizedKernel,
+    QuantizedPattern, QuantizedStep, Reach, Reg,
 };
 pub use error::SimError;
 pub use fixed::Quantizer;

@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run -p isl-examples --bin chambolle_denoise --release`.
 
+#![forbid(unsafe_code)]
+
 use isl_hls::algorithms::{chambolle, chambolle as chambolle_mod};
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;

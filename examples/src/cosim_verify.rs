@@ -5,6 +5,8 @@
 //! `Certified::synthesize` packages vectors + replay testbenches + VHDL
 //! into one directory where an external simulator run is one command.
 
+#![forbid(unsafe_code)]
+
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
 

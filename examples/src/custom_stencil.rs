@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run -p isl-examples --bin custom_stencil --release`.
 
+#![forbid(unsafe_code)]
+
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
 

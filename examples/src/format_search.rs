@@ -6,6 +6,8 @@
 //! cargo run --release -p isl-examples --bin format_search
 //! ```
 
+#![forbid(unsafe_code)]
+
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
 

@@ -7,6 +7,8 @@
 //!
 //! Run with `cargo run -p isl-examples --bin gaussian_blur_study --release`.
 
+#![forbid(unsafe_code)]
+
 use isl_hls::algorithms::gaussian_igf;
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;

@@ -9,6 +9,8 @@
 //!     [--telemetry out.json] [--trace out.trace.json]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use isl_hls::prelude::*;
 use isl_hls::sim::synthetic;
 

@@ -6,6 +6,8 @@
 //! Run with `cargo run -p isl-examples --bin vhdl_export` — files land in
 //! `target/vhdl_export/<algorithm>/`.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use isl_hls::algorithms::all;
